@@ -1,0 +1,270 @@
+//! AE-A baseline: the fully-connected autoencoder compressor of Liu et al.
+//! ("High-ratio lossy compression: exploring the autoencoder to compress
+//! scientific data", reference [43] of the paper).
+//!
+//! AE-A treats the field as a 1D stream, cuts it into fixed-length windows,
+//! and pushes each window through a small stack of fully-connected layers
+//! whose sizes shrink by 8× per layer (512× total reduction to the latent).
+//! The latent values are stored in the compressed stream, and the residual
+//! between the autoencoder reconstruction and the original data is compressed
+//! with an SZ-style quantization stage (the ".dvalue" file of the original
+//! code), which is what restores the error bound. Its weaknesses relative to
+//! AE-SZ — no spatial awareness, slow dense layers, heavy residual volume —
+//! are exactly what the paper's comparison shows.
+
+use aesz_codec::varint::{read_uvarint, write_uvarint};
+use aesz_codec::{compress_bytes, decompress_bytes};
+use aesz_metrics::Compressor;
+use aesz_nn::activation::Tanh;
+use aesz_nn::dense::Dense;
+use aesz_nn::layer::Layer;
+use aesz_nn::loss;
+use aesz_nn::optim::Adam;
+use aesz_nn::sequential::Sequential;
+use aesz_predictors::{Quantizer, DEFAULT_QUANT_BINS};
+use aesz_tensor::{init, Field, Tensor};
+
+use crate::common::{absolute_bound, assemble, parse, BaseHeader};
+
+/// Window length of the 1D fully-connected autoencoder.
+pub const WINDOW: usize = 512;
+/// Latent length per window (512× reduction, as in the original design).
+pub const LATENT: usize = 1;
+
+/// The AE-A compressor. Must be trained (`train`) before use.
+pub struct AeA {
+    encoder: Sequential,
+    decoder: Sequential,
+    trained: bool,
+}
+
+impl Default for AeA {
+    fn default() -> Self {
+        Self::new(9)
+    }
+}
+
+impl AeA {
+    /// Fresh, untrained model with the given initialisation seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = init::rng(seed);
+        // Encoder 512 → 64 → 8 → 1, decoder mirror; Tanh in between.
+        let encoder = Sequential::new()
+            .push(Box::new(Dense::new(WINDOW, 64, &mut rng)))
+            .push(Box::new(Tanh::new()))
+            .push(Box::new(Dense::new(64, 8, &mut rng)))
+            .push(Box::new(Tanh::new()))
+            .push(Box::new(Dense::new(8, LATENT, &mut rng)));
+        let decoder = Sequential::new()
+            .push(Box::new(Dense::new(LATENT, 8, &mut rng)))
+            .push(Box::new(Tanh::new()))
+            .push(Box::new(Dense::new(8, 64, &mut rng)))
+            .push(Box::new(Tanh::new()))
+            .push(Box::new(Dense::new(64, WINDOW, &mut rng)))
+            .push(Box::new(Tanh::new()));
+        AeA {
+            encoder,
+            decoder,
+            trained: false,
+        }
+    }
+
+    /// Whether [`AeA::train`] has been called.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Cut a normalised field into fixed-length windows (zero-padded tail).
+    fn windows(data: &[f32]) -> Vec<Vec<f32>> {
+        data.chunks(WINDOW)
+            .map(|c| {
+                let mut w = c.to_vec();
+                w.resize(WINDOW, 0.0);
+                w
+            })
+            .collect()
+    }
+
+    /// Train the dense autoencoder on windows drawn from the training fields
+    /// (plain MSE objective, as in the original work).
+    pub fn train(&mut self, training_fields: &[Field], epochs: usize, seed: u64) {
+        let mut rng = init::rng(seed);
+        let mut windows: Vec<Vec<f32>> = Vec::new();
+        for field in training_fields {
+            let (norm, _, _) = field.normalize_pm1();
+            windows.extend(Self::windows(norm.as_slice()));
+        }
+        assert!(!windows.is_empty(), "no training windows");
+        let mut adam = Adam::new(1e-3);
+        let batch = 32usize;
+        for _ in 0..epochs {
+            use rand::seq::SliceRandom;
+            windows.shuffle(&mut rng);
+            for chunk in windows.chunks(batch) {
+                let flat: Vec<f32> = chunk.iter().flatten().copied().collect();
+                let x = Tensor::from_vec(&[chunk.len(), WINDOW], flat).expect("shape");
+                let z = self.encoder.forward(&x);
+                let y = self.decoder.forward(&z);
+                let (_, grad) = loss::mse(&y, &x);
+                let gz = self.decoder.backward(&grad);
+                let _ = self.encoder.backward(&gz);
+                let mut params = self.encoder.params_mut();
+                params.extend(self.decoder.params_mut());
+                adam.step(&mut params);
+            }
+        }
+        self.trained = true;
+    }
+
+    /// Encode a normalised field into one latent vector per window.
+    fn encode_latents(&mut self, norm: &[f32]) -> Vec<f32> {
+        let windows = Self::windows(norm);
+        let n = windows.len();
+        let flat: Vec<f32> = windows.into_iter().flatten().collect();
+        let x = Tensor::from_vec(&[n, WINDOW], flat).expect("shape");
+        self.encoder.forward(&x).into_vec()
+    }
+
+    /// Decode latents back to a flat normalised signal of length `len`.
+    fn decode_latents(&mut self, latents: &[f32], len: usize) -> Vec<f32> {
+        let n = latents.len() / LATENT;
+        let z = Tensor::from_vec(&[n, LATENT], latents.to_vec()).expect("shape");
+        let y = self.decoder.forward(&z);
+        y.into_vec().into_iter().take(len).collect()
+    }
+
+    /// Denormalise a prediction signal back to the data domain.
+    fn denormalise(norm: &[f32], lo: f32, hi: f32) -> Vec<f32> {
+        let range = (hi - lo) as f64;
+        norm.iter()
+            .map(|&v| ((v as f64 + 1.0) * 0.5 * range + lo as f64) as f32)
+            .collect()
+    }
+}
+
+impl Compressor for AeA {
+    fn name(&self) -> &'static str {
+        "AE-A"
+    }
+
+    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
+        assert!(self.trained, "AeA::train must be called before compressing");
+        let (lo, hi) = field.min_max();
+        let abs_eb = absolute_bound(rel_eb, lo, hi);
+        let (norm, _, _) = field.normalize_pm1();
+        // Latents are stored; predictions come from decoding the *stored*
+        // latents so the decompressor reproduces them exactly.
+        let latents = self.encode_latents(norm.as_slice());
+        let pred_norm = self.decode_latents(&latents, field.len());
+        let preds = Self::denormalise(&pred_norm, lo, hi);
+        let quantizer = Quantizer::new(abs_eb, DEFAULT_QUANT_BINS);
+        let (blk, _) = quantizer.quantize_buffer(field.as_slice(), &preds);
+
+        let mut extra = Vec::new();
+        extra.extend_from_slice(&lo.to_le_bytes());
+        extra.extend_from_slice(&hi.to_le_bytes());
+        let latent_bytes: Vec<u8> = latents.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let latent_payload = compress_bytes(&latent_bytes);
+        write_uvarint(&mut extra, latent_payload.len() as u64);
+        extra.extend_from_slice(&latent_payload);
+
+        assemble(
+            BaseHeader {
+                dims: field.dims(),
+                abs_eb,
+            },
+            &blk,
+            &extra,
+        )
+    }
+
+    fn decompress(&mut self, bytes: &[u8]) -> Field {
+        assert!(self.trained, "AeA::train must be called before decompressing");
+        let (header, blk, extra) = parse(bytes);
+        let lo = f32::from_le_bytes([extra[0], extra[1], extra[2], extra[3]]);
+        let hi = f32::from_le_bytes([extra[4], extra[5], extra[6], extra[7]]);
+        let mut pos = 8usize;
+        let latent_len = read_uvarint(&extra, &mut pos).expect("latent length") as usize;
+        let latent_bytes = decompress_bytes(&extra[pos..pos + latent_len]).expect("latents");
+        let latents: Vec<f32> = latent_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let n = header.dims.len();
+        let pred_norm = self.decode_latents(&latents, n);
+        let preds = Self::denormalise(&pred_norm, lo, hi);
+        let quantizer = Quantizer::new(header.abs_eb, DEFAULT_QUANT_BINS);
+        let data = quantizer.dequantize_buffer(&blk, &preds);
+        Field::from_vec(header.dims, data).expect("dims match payload")
+    }
+
+    fn is_error_bounded(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_datagen::Application;
+    use aesz_metrics::verify_error_bound;
+    use aesz_tensor::Dims;
+
+    #[test]
+    fn windows_pad_the_tail() {
+        let w = AeA::windows(&vec![1.0; WINDOW + 10]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1][10], 0.0);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 0);
+        let mut ae = AeA::new(1);
+        let (norm, _, _) = field.normalize_pm1();
+        let recon_err = |ae: &mut AeA| -> f64 {
+            let latents = ae.encode_latents(norm.as_slice());
+            ae.decode_latents(&latents, norm.len())
+                .iter()
+                .zip(norm.as_slice())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum()
+        };
+        let before = recon_err(&mut ae);
+        ae.train(std::slice::from_ref(&field), 3, 2);
+        let after = recon_err(&mut ae);
+        assert!(after < before, "training must help: {before} -> {after}");
+    }
+
+    #[test]
+    fn roundtrip_respects_the_error_bound() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 51);
+        let mut ae = AeA::new(3);
+        ae.train(std::slice::from_ref(&field), 2, 4);
+        for rel_eb in [1e-2, 1e-3] {
+            let bytes = ae.compress(&field, rel_eb);
+            let recon = ae.decompress(&bytes);
+            let abs = rel_eb * field.value_range() as f64;
+            verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
+        }
+    }
+
+    #[test]
+    fn latent_overhead_is_small() {
+        // One latent per 512 values: the stream must be dominated by residuals,
+        // not latents, and still smaller than the raw data at a coarse bound.
+        let field = Application::CesmFreqsh.generate(Dims::d2(64, 64), 1);
+        let mut ae = AeA::new(6);
+        ae.train(std::slice::from_ref(&field), 2, 7);
+        let bytes = ae.compress(&field, 1e-2);
+        assert!(bytes.len() < field.len() * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "train must be called")]
+    fn untrained_model_refuses_to_compress() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 0);
+        let mut ae = AeA::new(5);
+        let _ = ae.compress(&field, 1e-2);
+    }
+}

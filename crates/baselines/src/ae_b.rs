@@ -1,0 +1,215 @@
+//! AE-B baseline: the convolutional autoencoder of Glaws et al. ("Deep
+//! learning for in situ data compression of large turbulent flow
+//! simulations", reference [40] of the paper).
+//!
+//! AE-B compresses 3D blocks through a convolutional autoencoder at a *fixed*
+//! 64:1 ratio and is **not error bounded** — both properties are called out in
+//! the paper (Fig. 1 shows its pointwise error reaching ~20 % of the value
+//! range). The compressed stream is simply the latent vectors (plus a small
+//! header); reconstruction quality is whatever the network delivers.
+
+use aesz_codec::varint::{read_f32, read_uvarint, write_f32, write_uvarint};
+use aesz_metrics::Compressor;
+use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
+use aesz_nn::models::zoo::AeVariant;
+use aesz_nn::train::{TrainConfig, Trainer};
+use aesz_tensor::{BlockSpec, Dims, Field};
+
+use crate::common::{read_dims, write_dims};
+
+/// Block edge length (16³ = 4096 values per block).
+pub const BLOCK: usize = 16;
+/// Latent length per block: 4096 / 64 = 64 → the fixed 64:1 reduction.
+pub const LATENT: usize = 64;
+
+/// The AE-B compressor. Must be trained (or fine-tuned) before use.
+pub struct AeB {
+    model: ConvAutoencoder,
+    trained: bool,
+}
+
+impl Default for AeB {
+    fn default() -> Self {
+        Self::new(13)
+    }
+}
+
+impl AeB {
+    /// Fresh, untrained model with the given initialisation seed.
+    pub fn new(seed: u64) -> Self {
+        let model = ConvAutoencoder::new(AeConfig {
+            spatial_rank: 3,
+            block_size: BLOCK,
+            latent_dim: LATENT,
+            channels: vec![8, 8],
+            variational: false,
+            seed,
+        });
+        AeB {
+            model,
+            trained: false,
+        }
+    }
+
+    /// Whether [`AeB::train`] has been called.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Train (the paper fine-tunes a pre-trained network; we train from
+    /// scratch for a few epochs) on blocks drawn from 3D training fields.
+    pub fn train(&mut self, training_fields: &[Field], epochs: usize, seed: u64) {
+        let mut blocks = Vec::new();
+        for field in training_fields {
+            assert_eq!(field.dims().rank(), 3, "AE-B is defined for 3D data only");
+            let (lo, hi) = field.min_max();
+            let range = hi - lo;
+            for spec in field.blocks(BLOCK) {
+                let blk = field.extract_block(&spec);
+                blocks.push(if range > 0.0 {
+                    blk.data.iter().map(|&v| 2.0 * (v - lo) / range - 1.0).collect()
+                } else {
+                    vec![0.0; blk.data.len()]
+                });
+            }
+        }
+        // Cap the training set so fine-tuning stays quick.
+        blocks.truncate(128);
+        let config = self.model.config().clone();
+        let trainer_cfg = TrainConfig {
+            epochs,
+            batch_size: 8,
+            learning_rate: 2e-3,
+            variant: AeVariant::Ae,
+            seed,
+        };
+        // Re-create the model inside a trainer (keeps the Trainer API uniform),
+        // then adopt the trained weights.
+        let mut trainer = Trainer::with_model(std::mem::replace(
+            &mut self.model,
+            ConvAutoencoder::new(config),
+        ), trainer_cfg);
+        trainer.train(&blocks);
+        self.model = trainer.into_model();
+        self.trained = true;
+    }
+}
+
+impl Compressor for AeB {
+    fn name(&self) -> &'static str {
+        "AE-B"
+    }
+
+    fn compress(&mut self, field: &Field, _rel_eb: f64) -> Vec<u8> {
+        assert!(self.trained, "AeB::train must be called before compressing");
+        assert_eq!(field.dims().rank(), 3, "AE-B is defined for 3D data only");
+        let (lo, hi) = field.min_max();
+        let range = hi - lo;
+        let specs: Vec<BlockSpec> = field.blocks(BLOCK).collect();
+        let block_len = BLOCK * BLOCK * BLOCK;
+        let mut out = Vec::new();
+        write_dims(&mut out, field.dims());
+        write_f32(&mut out, lo);
+        write_f32(&mut out, hi);
+        write_uvarint(&mut out, specs.len() as u64);
+        for chunk in specs.chunks(16) {
+            let mut batch = Vec::with_capacity(chunk.len() * block_len);
+            for spec in chunk {
+                let blk = field.extract_block(spec);
+                batch.extend(blk.data.iter().map(|&v| {
+                    if range > 0.0 {
+                        2.0 * (v - lo) / range - 1.0
+                    } else {
+                        0.0
+                    }
+                }));
+            }
+            let latents = self.model.encode_blocks(&batch, chunk.len());
+            for &v in &latents {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decompress(&mut self, bytes: &[u8]) -> Field {
+        assert!(self.trained, "AeB::train must be called before decompressing");
+        let mut pos = 0usize;
+        let dims: Dims = read_dims(bytes, &mut pos).expect("dims");
+        let lo = read_f32(bytes, &mut pos).expect("lo");
+        let hi = read_f32(bytes, &mut pos).expect("hi");
+        let n_blocks = read_uvarint(bytes, &mut pos).expect("block count") as usize;
+        let range = (hi - lo) as f64;
+        let latents: Vec<f32> = bytes[pos..]
+            .chunks_exact(4)
+            .take(n_blocks * LATENT)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let mut field = Field::zeros(dims);
+        let specs: Vec<BlockSpec> = field.blocks(BLOCK).collect();
+        assert_eq!(specs.len(), n_blocks);
+        let block_len = BLOCK * BLOCK * BLOCK;
+        for (chunk_no, chunk) in specs.chunks(16).enumerate() {
+            let start = chunk_no * 16 * LATENT;
+            let z = &latents[start..start + chunk.len() * LATENT];
+            let decoded = self.model.decode_latents(z, chunk.len());
+            for (k, spec) in chunk.iter().enumerate() {
+                let pred: Vec<f32> = decoded[k * block_len..(k + 1) * block_len]
+                    .iter()
+                    .map(|&v| ((v as f64 + 1.0) * 0.5 * range + lo as f64) as f32)
+                    .collect();
+                field.write_block(spec, &pred);
+            }
+        }
+        field
+    }
+
+    fn is_error_bounded(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_datagen::Application;
+
+    #[test]
+    fn fixed_ratio_is_about_64x() {
+        let field = Application::Rtm.generate(Dims::d3(32, 32, 32), 10);
+        let mut ae = AeB::new(1);
+        ae.train(std::slice::from_ref(&field), 1, 2);
+        let bytes = ae.compress(&field, 1e-3);
+        let ratio = (field.len() * 4) as f64 / bytes.len() as f64;
+        assert!(
+            (50.0..70.0).contains(&ratio),
+            "expected ~64:1 fixed ratio, got {ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn not_error_bounded_but_reconstruction_is_sane() {
+        let field = Application::HurricaneQvapor.generate(Dims::d3(16, 32, 32), 3);
+        let mut ae = AeB::new(2);
+        ae.train(std::slice::from_ref(&field), 2, 3);
+        let bytes = ae.compress(&field, 1e-4);
+        let recon = ae.decompress(&bytes);
+        assert!(!ae.is_error_bounded());
+        assert_eq!(recon.dims(), field.dims());
+        // Reconstruction must stay within the (denormalised) data range envelope.
+        let (lo, hi) = field.min_max();
+        let slack = (hi - lo) * 0.2;
+        assert!(recon
+            .as_slice()
+            .iter()
+            .all(|&v| v >= lo - slack && v <= hi + slack));
+    }
+
+    #[test]
+    #[should_panic(expected = "3D data only")]
+    fn rejects_2d_fields() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 0);
+        let mut ae = AeB::new(3);
+        ae.train(std::slice::from_ref(&field), 1, 1);
+    }
+}

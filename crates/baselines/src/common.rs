@@ -1,0 +1,134 @@
+//! Shared stream plumbing for the baseline compressors.
+//!
+//! Every SZ-family baseline produces the same three ingredients: a small
+//! header (dims + error bound), a stream of quantization codes, and the
+//! escaped unpredictable values. This module owns that common framing so the
+//! individual baselines only implement their prediction scheme.
+
+use aesz_codec::varint::{read_f64, read_uvarint, write_f64, write_uvarint};
+use aesz_codec::{compress_bytes, decode_codes, decompress_bytes, encode_codes};
+use aesz_predictors::QuantizedBlock;
+use aesz_tensor::Dims;
+
+/// Header shared by the whole-field baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseHeader {
+    /// Extents of the original field.
+    pub dims: Dims,
+    /// Absolute error bound used for quantization.
+    pub abs_eb: f64,
+}
+
+/// Serialize dims (rank + extents) into a byte buffer.
+pub fn write_dims(out: &mut Vec<u8>, dims: Dims) {
+    let e = dims.extents();
+    out.push(e.len() as u8);
+    for &d in &e {
+        write_uvarint(out, d as u64);
+    }
+}
+
+/// Parse dims written by [`write_dims`].
+pub fn read_dims(buf: &[u8], pos: &mut usize) -> Option<Dims> {
+    let rank = *buf.get(*pos)? as usize;
+    *pos += 1;
+    let mut e = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        e.push(read_uvarint(buf, pos)? as usize);
+    }
+    match rank {
+        1 => Some(Dims::d1(e[0])),
+        2 => Some(Dims::d2(e[0], e[1])),
+        3 => Some(Dims::d3(e[0], e[1], e[2])),
+        _ => None,
+    }
+}
+
+/// Assemble a whole-field baseline stream: header + entropy-coded codes +
+/// zlite-compressed unpredictable values (+ an optional extra section the
+/// caller can use for coefficients, flags, …).
+pub fn assemble(header: BaseHeader, block: &QuantizedBlock, extra: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_dims(&mut out, header.dims);
+    write_f64(&mut out, header.abs_eb);
+    let codes = encode_codes(&block.codes);
+    write_uvarint(&mut out, codes.len() as u64);
+    out.extend_from_slice(&codes);
+    let unpred: Vec<u8> = block
+        .unpredictable
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    let unpred = compress_bytes(&unpred);
+    write_uvarint(&mut out, unpred.len() as u64);
+    out.extend_from_slice(&unpred);
+    write_uvarint(&mut out, extra.len() as u64);
+    out.extend_from_slice(extra);
+    out
+}
+
+/// Parse a stream produced by [`assemble`]; returns the header, the quantized
+/// representation and the extra section.
+pub fn parse(bytes: &[u8]) -> (BaseHeader, QuantizedBlock, Vec<u8>) {
+    let mut pos = 0usize;
+    let dims = read_dims(bytes, &mut pos).expect("dims");
+    let abs_eb = read_f64(bytes, &mut pos).expect("abs_eb");
+    let codes_len = read_uvarint(bytes, &mut pos).expect("codes length") as usize;
+    let codes = decode_codes(&bytes[pos..pos + codes_len]).expect("codes payload");
+    pos += codes_len;
+    let unpred_len = read_uvarint(bytes, &mut pos).expect("unpredictable length") as usize;
+    let unpred_bytes = decompress_bytes(&bytes[pos..pos + unpred_len]).expect("unpredictable");
+    pos += unpred_len;
+    let unpredictable: Vec<f32> = unpred_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let extra_len = read_uvarint(bytes, &mut pos).expect("extra length") as usize;
+    let extra = bytes[pos..pos + extra_len].to_vec();
+    (
+        BaseHeader { dims, abs_eb },
+        QuantizedBlock {
+            codes,
+            unpredictable,
+        },
+        extra,
+    )
+}
+
+/// Absolute error bound for a value-range-relative bound on a field.
+pub fn absolute_bound(rel_eb: f64, lo: f32, hi: f32) -> f64 {
+    let range = (hi - lo) as f64;
+    if range > 0.0 {
+        rel_eb * range
+    } else {
+        rel_eb.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_parse_roundtrip() {
+        let header = BaseHeader {
+            dims: Dims::d3(4, 5, 6),
+            abs_eb: 2.5e-3,
+        };
+        let blk = QuantizedBlock {
+            codes: (0..120).map(|i| if i % 9 == 0 { 0 } else { 32768 }).collect(),
+            unpredictable: vec![1.5; 14],
+        };
+        let bytes = assemble(header, &blk, b"extra!");
+        let (h2, b2, extra) = parse(&bytes);
+        assert_eq!(h2, header);
+        assert_eq!(b2, blk);
+        assert_eq!(extra, b"extra!");
+    }
+
+    #[test]
+    fn absolute_bound_handles_constant_fields() {
+        assert!((absolute_bound(1e-3, 0.0, 10.0) - 1e-2).abs() < 1e-15);
+        assert!(absolute_bound(1e-3, 5.0, 5.0) > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # aesz-baselines
+//!
+//! From-scratch reimplementations of the six comparison compressors of the
+//! AE-SZ paper's evaluation (Section V):
+//!
+//! * [`sz2`] — SZ2.1-like: blockwise selection between first-order Lorenzo and
+//!   linear regression, SZ quantization, Huffman + zlite.
+//! * [`zfp`] — ZFP-like: 4^d block decorrelating lifting transform with
+//!   uniform coefficient quantization (fixed-accuracy style).
+//! * [`szauto`] — SZauto-like: second-order Lorenzo prediction with a sampled
+//!   choice between first and second order.
+//! * [`szinterp`] — SZinterp-like: multi-level cubic spline interpolation
+//!   prediction.
+//! * [`ae_a`] — the fully-connected autoencoder compressor of Liu et al. [43]:
+//!   1D windows, ~512× reduction through dense layers, residuals compressed
+//!   with an SZ-style stage to restore error bounding.
+//! * [`ae_b`] — the convolutional autoencoder of Glaws et al. [40]: fixed 64×
+//!   reduction, *not* error bounded.
+//!
+//! Each implements [`aesz_metrics::Compressor`], so the benchmark harness can
+//! sweep all of them uniformly. These are simplified reimplementations — the
+//! goal is to reproduce each algorithm's characteristic rate-distortion
+//! behaviour, not its exact bitstream.
+
+pub mod ae_a;
+pub mod ae_b;
+pub mod common;
+pub mod sz2;
+pub mod szauto;
+pub mod szinterp;
+pub mod zfp;
+
+pub use ae_a::AeA;
+pub use ae_b::AeB;
+pub use sz2::Sz2;
+pub use szauto::SzAuto;
+pub use szinterp::SzInterp;
+pub use zfp::Zfp;

@@ -1,0 +1,235 @@
+//! SZ2.1-like baseline: blockwise selection between first-order Lorenzo and
+//! linear regression, followed by SZ quantization and Huffman + zlite.
+//!
+//! This mirrors the structure of Liang et al.'s SZ2.1 (the paper's main
+//! traditional comparison point): the field is split into small blocks
+//! (6×6 / 6×6×6 in the original; 8 here for alignment with the rest of the
+//! workspace), a regression plane is fitted per block, and whichever of
+//! {Lorenzo, regression} predicts the sampled block better is used. The
+//! regression coefficients are stored (lossily quantized to f32) per
+//! regression block, exactly the overhead the AE latents replace in AE-SZ.
+
+use aesz_codec::varint::{read_uvarint, write_uvarint};
+use aesz_codec::{compress_bytes, decompress_bytes};
+use aesz_metrics::Compressor;
+use aesz_predictors::regression::{self, RegressionCoeffs};
+use aesz_predictors::{lorenzo, QuantizedBlock, Quantizer, DEFAULT_QUANT_BINS};
+use aesz_tensor::{BlockSpec, Field};
+
+use crate::common::{absolute_bound, assemble, parse, BaseHeader};
+
+/// SZ2.1-like compressor.
+pub struct Sz2 {
+    /// Block edge length used for the regression/Lorenzo selection.
+    pub block_size: usize,
+}
+
+impl Default for Sz2 {
+    fn default() -> Self {
+        Sz2 { block_size: 8 }
+    }
+}
+
+impl Sz2 {
+    /// New compressor with the default block size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn valid_block(field: &Field, spec: &BlockSpec) -> Vec<f32> {
+        field.read_block_valid(spec)
+    }
+}
+
+impl Compressor for Sz2 {
+    fn name(&self) -> &'static str {
+        "SZ2.1"
+    }
+
+    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
+        let (lo, hi) = field.min_max();
+        let abs_eb = absolute_bound(rel_eb, lo, hi);
+        let quantizer = Quantizer::new(abs_eb, DEFAULT_QUANT_BINS);
+        let specs: Vec<BlockSpec> = field.blocks(self.block_size).collect();
+
+        let mut all = QuantizedBlock {
+            codes: Vec::with_capacity(field.len()),
+            unpredictable: Vec::new(),
+        };
+        // Extra section: per-block flag (1 bit per block, packed) + coefficients.
+        let mut flags = vec![0u8; specs.len().div_ceil(8)];
+        let mut coeff_bytes: Vec<u8> = Vec::new();
+        for (bi, spec) in specs.iter().enumerate() {
+            let valid = Self::valid_block(field, spec);
+            // Choose by comparing l1 losses of ideal predictions.
+            let lorenzo_loss: f64 = valid
+                .iter()
+                .zip(lorenzo::ideal_predictions(&valid, &spec.size).iter())
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum();
+            let reg_loss = regression::l1_loss(&valid, &spec.size);
+            let use_regression = reg_loss < lorenzo_loss && spec.valid_len() > spec.size.len() + 1;
+            let (blk, _recon) = if use_regression {
+                flags[bi / 8] |= 1 << (bi % 8);
+                let (coeffs, blk, recon) = regression::compress(&valid, &spec.size, &quantizer);
+                for v in coeffs.to_vec() {
+                    coeff_bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                (blk, recon)
+            } else {
+                lorenzo::compress(&valid, &spec.size, &quantizer)
+            };
+            all.codes.extend_from_slice(&blk.codes);
+            all.unpredictable.extend_from_slice(&blk.unpredictable);
+        }
+
+        let mut extra = Vec::new();
+        write_uvarint(&mut extra, self.block_size as u64);
+        write_uvarint(&mut extra, flags.len() as u64);
+        extra.extend_from_slice(&flags);
+        let coeff_payload = compress_bytes(&coeff_bytes);
+        write_uvarint(&mut extra, coeff_payload.len() as u64);
+        extra.extend_from_slice(&coeff_payload);
+
+        assemble(
+            BaseHeader {
+                dims: field.dims(),
+                abs_eb,
+            },
+            &all,
+            &extra,
+        )
+    }
+
+    fn decompress(&mut self, bytes: &[u8]) -> Field {
+        let (header, all, extra) = parse(bytes);
+        let mut pos = 0usize;
+        let block_size = read_uvarint(&extra, &mut pos).expect("block size") as usize;
+        let flags_len = read_uvarint(&extra, &mut pos).expect("flag length") as usize;
+        let flags = &extra[pos..pos + flags_len];
+        pos += flags_len;
+        let coeff_len = read_uvarint(&extra, &mut pos).expect("coeff length") as usize;
+        let coeff_bytes = decompress_bytes(&extra[pos..pos + coeff_len]).expect("coefficients");
+        let coeffs: Vec<f32> = coeff_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+
+        let quantizer = Quantizer::new(header.abs_eb, DEFAULT_QUANT_BINS);
+        let mut field = Field::zeros(header.dims);
+        let rank = header.dims.rank();
+        let specs: Vec<BlockSpec> = field.blocks(block_size).collect();
+
+        let mut code_pos = 0usize;
+        let mut unpred_pos = 0usize;
+        let mut coeff_pos = 0usize;
+        for (bi, spec) in specs.iter().enumerate() {
+            let n = spec.valid_len();
+            let codes = all.codes[code_pos..code_pos + n].to_vec();
+            code_pos += n;
+            let escapes = codes.iter().filter(|&&c| c == 0).count();
+            let blk = QuantizedBlock {
+                codes,
+                unpredictable: all.unpredictable[unpred_pos..unpred_pos + escapes].to_vec(),
+            };
+            unpred_pos += escapes;
+            let use_regression = flags[bi / 8] >> (bi % 8) & 1 == 1;
+            let valid = if use_regression {
+                let c = RegressionCoeffs::from_slice(&coeffs[coeff_pos..coeff_pos + rank + 1]);
+                coeff_pos += rank + 1;
+                regression::decompress(&c, &blk, &spec.size, &quantizer)
+            } else {
+                lorenzo::decompress(&blk, &spec.size, &quantizer)
+            };
+            // Write back the valid region (no padding involved here).
+            let mut padded = vec![0.0f32; spec.padded_len(rank)];
+            let b = spec.nominal;
+            let mut it = valid.iter();
+            match rank {
+                1 => {
+                    for x in 0..spec.size[0] {
+                        padded[x] = *it.next().expect("size");
+                    }
+                }
+                2 => {
+                    for y in 0..spec.size[0] {
+                        for x in 0..spec.size[1] {
+                            padded[y * b + x] = *it.next().expect("size");
+                        }
+                    }
+                }
+                _ => {
+                    for z in 0..spec.size[0] {
+                        for y in 0..spec.size[1] {
+                            for x in 0..spec.size[2] {
+                                padded[(z * b + y) * b + x] = *it.next().expect("size");
+                            }
+                        }
+                    }
+                }
+            }
+            field.write_block(spec, &padded);
+        }
+        field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_datagen::Application;
+    use aesz_metrics::verify_error_bound;
+    use aesz_tensor::Dims;
+
+    #[test]
+    fn roundtrip_respects_bound_2d_and_3d() {
+        for (app, dims) in [
+            (Application::CesmCldhgh, Dims::d2(64, 80)),
+            (Application::NyxBaryonDensity, Dims::d3(24, 24, 24)),
+        ] {
+            let field = app.generate(dims, 50);
+            let mut sz = Sz2::new();
+            for rel_eb in [1e-2, 1e-3, 1e-4] {
+                let bytes = sz.compress(&field, rel_eb);
+                let recon = sz.decompress(&bytes);
+                let abs = rel_eb * field.value_range() as f64;
+                verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
+                    .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+                assert!(bytes.len() < field.len() * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_much_better_than_raw() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(128, 128), 10);
+        let mut sz = Sz2::new();
+        let bytes = sz.compress(&field, 1e-2);
+        assert!(
+            bytes.len() * 8 < field.len() * 4,
+            "expected >8x compression, got {} bytes for {} values",
+            bytes.len(),
+            field.len()
+        );
+    }
+
+    #[test]
+    fn regression_blocks_are_used_on_planar_data() {
+        // A smooth gradient field strongly favours the regression predictor.
+        let field = Field::from_fn(Dims::d2(64, 64), |c| {
+            0.31 * c[0] as f32 + 0.17 * c[1] as f32
+        });
+        let mut sz = Sz2::new();
+        let bytes = sz.compress(&field, 1e-3);
+        let recon = sz.decompress(&bytes);
+        let abs = 1e-3 * field.value_range() as f64;
+        verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
+    }
+
+    #[test]
+    fn finer_bound_costs_more() {
+        let field = Application::HurricaneU.generate(Dims::d3(16, 32, 32), 5);
+        let mut sz = Sz2::new();
+        assert!(sz.compress(&field, 1e-4).len() > sz.compress(&field, 1e-2).len());
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benches for the lossless coding substrate (backs the throughput
+//! discussion of Table VIII): Huffman, zlite and the composed code pipeline.
+
+use aesz_codec::{encode_codes, decode_codes, huffman_encode, zlite_compress, zlite_decompress};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn quantization_like_codes(n: usize) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| if i % 37 == 0 { 32768 + (i % 11) } else { 32768 })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let codes = quantization_like_codes(1 << 16);
+    let bytes: Vec<u8> = codes.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let encoded = encode_codes(&codes);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("huffman_encode_64k_codes", |b| {
+        b.iter(|| huffman_encode(std::hint::black_box(&codes)))
+    });
+    group.bench_function("zlite_compress_256KiB", |b| {
+        b.iter(|| zlite_compress(std::hint::black_box(&bytes)))
+    });
+    let z = zlite_compress(&bytes);
+    group.bench_function("zlite_decompress_256KiB", |b| {
+        b.iter(|| zlite_decompress(std::hint::black_box(&z)).unwrap())
+    });
+    group.bench_function("encode_codes_pipeline_64k", |b| {
+        b.iter(|| encode_codes(std::hint::black_box(&codes)))
+    });
+    group.bench_function("decode_codes_pipeline_64k", |b| {
+        b.iter(|| decode_codes(std::hint::black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec
+}
+criterion_main!(benches);

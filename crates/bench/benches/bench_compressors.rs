@@ -1,0 +1,64 @@
+//! Criterion benches backing Table VIII: end-to-end compression and
+//! decompression throughput of AE-SZ and the traditional baselines at
+//! error bound 1e-3 on a Hurricane-like 3D field.
+
+use aesz_baselines::{Sz2, SzAuto, SzInterp, Zfp};
+use aesz_core::training::{train_swae_for_field, TrainingOptions};
+use aesz_core::{AeSz, AeSzConfig};
+use aesz_datagen::Application;
+use aesz_metrics::Compressor;
+use aesz_tensor::Dims;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_compressors(c: &mut Criterion) {
+    let app = Application::HurricaneU;
+    let field = app.generate(Dims::d3(32, 32, 32), 40);
+    let train = app.generate(Dims::d3(32, 32, 32), 1);
+    let opts = TrainingOptions {
+        epochs: 2,
+        max_blocks: 96,
+        ..TrainingOptions::default_for_rank(3)
+    };
+    let model = train_swae_for_field(std::slice::from_ref(&train), &opts);
+    let mut aesz = AeSz::new(model, AeSzConfig::default_3d());
+    let eb = 1e-3;
+
+    let mut group = c.benchmark_group("compressors_table8");
+    group.throughput(Throughput::Bytes((field.len() * 4) as u64));
+    group.bench_function("sz2_compress", |b| {
+        let mut sz = Sz2::new();
+        b.iter(|| sz.compress(std::hint::black_box(&field), eb))
+    });
+    group.bench_function("zfp_compress", |b| {
+        let mut z = Zfp::new();
+        b.iter(|| z.compress(std::hint::black_box(&field), eb))
+    });
+    group.bench_function("szauto_compress", |b| {
+        let mut s = SzAuto::new();
+        b.iter(|| s.compress(std::hint::black_box(&field), eb))
+    });
+    group.bench_function("szinterp_compress", |b| {
+        let mut s = SzInterp::new();
+        b.iter(|| s.compress(std::hint::black_box(&field), eb))
+    });
+    group.bench_function("aesz_compress", |b| {
+        b.iter(|| aesz.compress(std::hint::black_box(&field), eb))
+    });
+    let bytes = aesz.compress(&field, eb);
+    group.bench_function("aesz_decompress", |b| {
+        b.iter(|| aesz.decompress(std::hint::black_box(&bytes)))
+    });
+    let mut sz = Sz2::new();
+    let sz_bytes = sz.compress(&field, eb);
+    group.bench_function("sz2_decompress", |b| {
+        b.iter(|| sz.decompress(std::hint::black_box(&sz_bytes)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compressors
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the latent-vector "custo." codec versus the
+//! SZ2.1-style alternative (backs Table IV).
+
+use aesz_baselines::Sz2;
+use aesz_core::LatentCodec;
+use aesz_metrics::Compressor;
+use aesz_tensor::{Dims, Field};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn synthetic_latents(vectors: usize, dim: usize) -> Vec<f32> {
+    (0..vectors * dim)
+        .map(|i| (i as f32 * 0.618).sin() * 1.5 + ((i / dim) as f32 * 0.01).cos())
+        .collect()
+}
+
+fn bench_latent(c: &mut Criterion) {
+    let (vectors, dim) = (2048usize, 16usize);
+    let latents = synthetic_latents(vectors, dim);
+    let codec = LatentCodec::new(2e-3);
+    let indices = codec.quantize(&latents);
+    let encoded = codec.encode(&indices, dim);
+    let latent_field = Field::from_vec(Dims::d2(vectors, dim), latents.clone()).unwrap();
+
+    let mut group = c.benchmark_group("latent_codec_table4");
+    group.throughput(Throughput::Bytes((latents.len() * 4) as u64));
+    group.bench_function("custo_quantize_encode", |b| {
+        b.iter(|| {
+            let idx = codec.quantize(std::hint::black_box(&latents));
+            codec.encode(&idx, dim)
+        })
+    });
+    group.bench_function("custo_decode", |b| {
+        b.iter(|| codec.decode(std::hint::black_box(&encoded)).unwrap())
+    });
+    group.bench_function("sz2_on_latent_matrix", |b| {
+        let mut sz = Sz2::new();
+        b.iter(|| sz.compress(std::hint::black_box(&latent_field), 1e-3))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_latent
+}
+criterion_main!(benches);

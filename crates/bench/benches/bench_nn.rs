@@ -1,0 +1,54 @@
+//! Criterion benches for the neural substrate: SWAE encode/decode batches and
+//! one training step (the building blocks of the AE-SZ throughput numbers).
+
+use aesz_core::training::training_blocks_from_field;
+use aesz_datagen::Application;
+use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
+use aesz_nn::train::{TrainConfig, Trainer};
+use aesz_tensor::Dims;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_nn(c: &mut Criterion) {
+    let field = Application::CesmCldhgh.generate(Dims::d2(128, 128), 0);
+    let blocks = training_blocks_from_field(&field, 16, 32, 1);
+    let flat: Vec<f32> = blocks.iter().flatten().copied().collect();
+    let config = AeConfig {
+        spatial_rank: 2,
+        block_size: 16,
+        latent_dim: 8,
+        channels: vec![8, 16],
+        variational: false,
+        seed: 1,
+    };
+    let mut model = ConvAutoencoder::new(config.clone());
+
+    let mut group = c.benchmark_group("nn");
+    group.bench_function("swae_encode_32_blocks_16x16", |b| {
+        b.iter(|| model.encode_blocks(std::hint::black_box(&flat), blocks.len()))
+    });
+    let latents = model.encode_blocks(&flat, blocks.len());
+    group.bench_function("swae_decode_32_blocks_16x16", |b| {
+        b.iter(|| model.decode_latents(std::hint::black_box(&latents), blocks.len()))
+    });
+    group.bench_function("swae_train_one_epoch_32_blocks", |b| {
+        b.iter(|| {
+            let mut trainer = Trainer::new(
+                config.clone(),
+                TrainConfig {
+                    epochs: 1,
+                    batch_size: 16,
+                    ..TrainConfig::default()
+                },
+            );
+            trainer.train(std::hint::black_box(&blocks))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nn
+}
+criterion_main!(benches);

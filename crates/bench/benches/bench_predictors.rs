@@ -1,0 +1,36 @@
+//! Criterion benches for the SZ-family predictors (Lorenzo, second-order
+//! Lorenzo, spline interpolation) on a Hurricane-like 3D field.
+
+use aesz_datagen::Application;
+use aesz_predictors::{interp, lorenzo, lorenzo2, Quantizer};
+use aesz_tensor::Dims;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_predictors(c: &mut Criterion) {
+    let field = Application::HurricaneU.generate(Dims::d3(32, 32, 32), 1);
+    let extents = field.dims().extents();
+    let q = Quantizer::with_default_bins(1e-3 * field.value_range() as f64);
+    let mut group = c.benchmark_group("predictors");
+    group.throughput(Throughput::Bytes((field.len() * 4) as u64));
+    group.bench_function("lorenzo_compress_32cube", |b| {
+        b.iter(|| lorenzo::compress(std::hint::black_box(field.as_slice()), &extents, &q))
+    });
+    group.bench_function("lorenzo2_compress_32cube", |b| {
+        b.iter(|| lorenzo2::compress(std::hint::black_box(field.as_slice()), &extents, &q))
+    });
+    group.bench_function("interp_compress_32cube", |b| {
+        b.iter(|| interp::compress(std::hint::black_box(field.as_slice()), &extents, &q))
+    });
+    let (blk, _) = lorenzo::compress(field.as_slice(), &extents, &q);
+    group.bench_function("lorenzo_decompress_32cube", |b| {
+        b.iter(|| lorenzo::decompress(std::hint::black_box(&blk), &extents, &q))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_predictors
+}
+criterion_main!(benches);

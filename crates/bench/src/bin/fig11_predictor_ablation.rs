@@ -1,0 +1,29 @@
+//! Fig. 11 — rate distortion of AE-SZ with the adaptive AE+Lorenzo selection
+//! versus forcing a single predictor (AE only / Lorenzo only), on CESM-CLDHGH
+//! and Hurricane-U.
+
+use aesz_bench::{print_curves, standard_bounds, sweep, test_field, trained_aesz};
+use aesz_core::PredictorPolicy;
+use aesz_datagen::Application;
+
+fn main() {
+    println!("Fig. 11 counterpart — predictor ablation (adaptive vs AE-only vs Lorenzo-only)");
+    println!("paper reference: AE+Lorenzo dominates both single-predictor variants at every bit rate.");
+    let bounds = standard_bounds();
+    for app in [Application::CesmCldhgh, Application::HurricaneU] {
+        let field = test_field(app);
+        let mut aesz = trained_aesz(app);
+        let mut curves = Vec::new();
+        for (label, policy) in [
+            ("AE+Lorenzo", PredictorPolicy::Adaptive),
+            ("AE only", PredictorPolicy::AeOnly),
+            ("Lorenzo only", PredictorPolicy::LorenzoOnly),
+        ] {
+            aesz.set_policy(policy);
+            let mut curve = sweep(&mut aesz, &field, &bounds);
+            curve.name = label.to_string();
+            curves.push(curve);
+        }
+        print_curves(app.name(), &curves);
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 8 — rate-distortion (PSNR vs bit rate) of AE-SZ against SZ2.1, ZFP,
+//! SZauto, SZinterp, AE-A and AE-B on every evaluated field. 2D fields only
+//! get the compressors that support 2D data, exactly as in the paper.
+
+use aesz_baselines::{AeA, AeB, Sz2, SzAuto, SzInterp, Zfp};
+use aesz_bench::{print_curves, standard_bounds, sweep, test_field, trained_aesz, training_fields};
+use aesz_datagen::Application;
+use aesz_metrics::{measure, RdCurve, RdPoint};
+
+fn main() {
+    let apps = [
+        Application::CesmCldhgh,
+        Application::CesmFreqsh,
+        Application::Exafel,
+        Application::NyxBaryonDensity,
+        Application::NyxTemperature,
+        Application::HurricaneQvapor,
+        Application::HurricaneU,
+        Application::Rtm,
+    ];
+    println!("Fig. 8 counterpart — rate distortion per field (PSNR dB vs bits/value)");
+    println!("paper reference: AE-SZ best at low bit rates (100%-800% higher CR than SZ2.1/ZFP), close to SZinterp.");
+    let bounds = standard_bounds();
+    for app in apps {
+        let field = test_field(app);
+        let train = training_fields(app);
+        let mut curves: Vec<RdCurve> = Vec::new();
+
+        let mut aesz = trained_aesz(app);
+        curves.push(sweep(&mut aesz, &field, &bounds));
+        curves.push(sweep(&mut Sz2::new(), &field, &bounds));
+        curves.push(sweep(&mut Zfp::new(), &field, &bounds));
+        let mut ae_a = AeA::new(3);
+        ae_a.train(&train, 2, 4);
+        curves.push(sweep(&mut ae_a, &field, &bounds));
+        if app.rank() == 3 {
+            curves.push(sweep(&mut SzAuto::new(), &field, &bounds));
+            curves.push(sweep(&mut SzInterp::new(), &field, &bounds));
+            let mut ae_b = AeB::new(5);
+            ae_b.train(&train, 2, 6);
+            // AE-B has a single fixed-rate operating point.
+            let p = measure(&mut ae_b, &field, 1e-3);
+            let mut c = RdCurve::new("AE-B");
+            c.push(RdPoint { error_bound: f64::NAN, bit_rate: p.bit_rate, psnr: p.psnr, compression_ratio: p.compression_ratio });
+            curves.push(c);
+        }
+        print_curves(app.name(), &curves);
+    }
+}

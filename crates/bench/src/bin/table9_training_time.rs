@@ -1,0 +1,26 @@
+//! Table IX — wall-clock training time of the AE-SZ autoencoder (SWAE) versus
+//! AE-A on the same training data and epoch budget.
+
+use aesz_baselines::AeA;
+use aesz_bench::{harness_training_options, training_fields};
+use aesz_core::train_swae_for_field;
+use aesz_datagen::Application;
+use std::time::Instant;
+
+fn main() {
+    println!("Table IX counterpart — autoencoder training time (seconds, same data & epochs)");
+    println!("paper reference (hours, V100): AE-SZ 1.0-5.5 vs AE-A 1.5-21.4 (AE-SZ never slower).");
+    println!("{:<22} {:>12} {:>12}", "dataset", "AE-SZ (s)", "AE-A (s)");
+    for app in [Application::CesmCldhgh, Application::NyxBaryonDensity, Application::HurricaneU] {
+        let fields = training_fields(app);
+        let opts = harness_training_options(app);
+        let t0 = Instant::now();
+        let _ = train_swae_for_field(&fields, &opts);
+        let t_aesz = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let mut ae_a = AeA::new(1);
+        ae_a.train(&fields, opts.epochs, 2);
+        let t_aea = t1.elapsed().as_secs_f64();
+        println!("{:<22} {:>12.1} {:>12.1}", app.name(), t_aesz, t_aea);
+    }
+}

@@ -1,0 +1,188 @@
+//! Bit-granular I/O over in-memory byte buffers.
+//!
+//! Both the Huffman coder and the ZFP-like embedded bit-plane coder need to
+//! emit codes whose lengths are not multiples of eight. Bits are packed
+//! LSB-first within each byte, which keeps the write/read loops branch-light.
+
+/// Accumulates bits into a byte vector (LSB-first within each byte).
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of bits already used in the final byte (0..8); 0 means the
+    /// buffer ends on a byte boundary.
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with pre-allocated capacity (in bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            bit_pos: 0,
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) & 7;
+    }
+
+    /// Append the `n` low bits of `value`, LSB first. `n` must be ≤ 64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in 0..n {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finish writing and return the packed bytes (final partial byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads bits from a byte slice in the order [`BitWriter`] wrote them.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader positioned at the first bit of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader {
+            buf,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Read one bit; returns `None` past the end of the buffer.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.byte_pos >= self.buf.len() {
+            return None;
+        }
+        let bit = (self.buf[self.byte_pos] >> self.bit_pos) & 1 == 1;
+        self.bit_pos += 1;
+        if self.bit_pos == 8 {
+            self.bit_pos = 0;
+            self.byte_pos += 1;
+        }
+        Some(bit)
+    }
+
+    /// Read `n` bits (LSB first); returns `None` if the buffer runs out.
+    #[inline]
+    pub fn read_bits(&mut self, n: u8) -> Option<u64> {
+        debug_assert!(n <= 64);
+        let mut value = 0u64;
+        for i in 0..n {
+            if self.read_bit()? {
+                value |= 1 << i;
+            }
+        }
+        Some(value)
+    }
+
+    /// Number of whole bits remaining (counting padding in the final byte).
+    pub fn bits_remaining(&self) -> usize {
+        (self.buf.len() - self.byte_pos) * 8 - self.bit_pos as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(16), Some(0xABCD));
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn reading_past_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b101)); // padding bits are zero
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 8);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn bits_remaining_counts_down() {
+        let bytes = [0xFFu8, 0x00];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits_remaining(), 16);
+        r.read_bits(5);
+        assert_eq!(r.bits_remaining(), 11);
+    }
+}

@@ -1,0 +1,307 @@
+//! Canonical Huffman coding over `u32` alphabets.
+//!
+//! The SZ-style quantization stage produces a stream of bin indices drawn from
+//! an alphabet of up to 65,536 symbols whose distribution is sharply peaked
+//! around the zero-error bin; Huffman coding is the first entropy stage the
+//! paper applies to them. Codes are canonical so only the code *lengths* per
+//! symbol need to be stored in the header.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint::{read_uvarint, write_uvarint};
+use std::collections::HashMap;
+
+/// Maximum code length we allow before rescaling frequencies.
+const MAX_CODE_LEN: u8 = 56;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapNode {
+    weight: u64,
+    /// Tie-break so the heap ordering is deterministic across runs.
+    order: u32,
+    index: usize,
+}
+
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (weight, order).
+        other
+            .weight
+            .cmp(&self.weight)
+            .then(other.order.cmp(&self.order))
+    }
+}
+
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compute Huffman code lengths for the given (symbol, frequency) pairs.
+fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u8)> {
+    let n = freqs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(freqs[0].0, 1)];
+    }
+    // Tree nodes: leaves 0..n, internal nodes appended after.
+    let mut weights: Vec<u64> = freqs.iter().map(|&(_, w)| w.max(1)).collect();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut heap: std::collections::BinaryHeap<HeapNode> = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, w))| HeapNode {
+            weight: w.max(1),
+            order: i as u32,
+            index: i,
+        })
+        .collect();
+    let mut next_order = n as u32;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap has >= 2 entries");
+        let b = heap.pop().expect("heap has >= 2 entries");
+        let idx = weights.len();
+        weights.push(a.weight + b.weight);
+        parent.push(usize::MAX);
+        parent[a.index] = idx;
+        parent[b.index] = idx;
+        heap.push(HeapNode {
+            weight: a.weight + b.weight,
+            order: next_order,
+            index: idx,
+        });
+        next_order += 1;
+    }
+    // Depth of each leaf = number of parent hops to the root.
+    let mut lengths = Vec::with_capacity(n);
+    for (i, &(sym, _)) in freqs.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut node = i;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths.push((sym, depth.max(1)));
+    }
+    lengths
+}
+
+/// Assign canonical codes from (symbol, length) pairs.
+/// Returns symbol → (code, length).
+fn canonical_codes(lengths: &[(u32, u8)]) -> HashMap<u32, (u64, u8)> {
+    let mut sorted: Vec<(u32, u8)> = lengths.to_vec();
+    sorted.sort_by_key(|&(sym, len)| (len, sym));
+    let mut codes = HashMap::with_capacity(sorted.len());
+    let mut code: u64 = 0;
+    let mut prev_len = 0u8;
+    for &(sym, len) in &sorted {
+        code <<= len - prev_len;
+        codes.insert(sym, (code, len));
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Encode a slice of symbols. The output is self-describing (header with the
+/// canonical table plus the packed code stream) and decodable with
+/// [`huffman_decode`].
+pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *freq.entry(s).or_insert(0) += 1;
+    }
+    let mut freqs: Vec<(u32, u64)> = freq.into_iter().collect();
+    freqs.sort_unstable();
+
+    let mut lengths = code_lengths(&freqs);
+    // Extremely skewed distributions on huge inputs could exceed the writer's
+    // 64-bit code limit; flatten the tail by rescaling frequencies if so.
+    if lengths.iter().any(|&(_, l)| l > MAX_CODE_LEN) {
+        let rescaled: Vec<(u32, u64)> = freqs
+            .iter()
+            .map(|&(s, w)| (s, (w as f64).sqrt().ceil() as u64))
+            .collect();
+        lengths = code_lengths(&rescaled);
+    }
+    let codes = canonical_codes(&lengths);
+
+    let mut out = Vec::new();
+    write_uvarint(&mut out, symbols.len() as u64);
+    write_uvarint(&mut out, lengths.len() as u64);
+    // Delta-encode the sorted symbol values to keep the table small.
+    let mut sorted = lengths.clone();
+    sorted.sort_unstable_by_key(|&(sym, _)| sym);
+    let mut prev = 0u64;
+    for &(sym, len) in &sorted {
+        write_uvarint(&mut out, sym as u64 - prev);
+        out.push(len);
+        prev = sym as u64;
+    }
+
+    if lengths.len() <= 1 {
+        // Degenerate alphabet: the count and the single table entry say it all.
+        write_uvarint(&mut out, 0);
+        return out;
+    }
+
+    let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
+    for &s in symbols {
+        let &(code, len) = codes.get(&s).expect("every symbol has a code");
+        // Canonical codes are MSB-first; emit them that way so the decoder can
+        // grow the prefix bit by bit.
+        for i in (0..len).rev() {
+            bits.write_bit((code >> i) & 1 == 1);
+        }
+    }
+    let payload = bits.into_bytes();
+    write_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode a buffer produced by [`huffman_encode`].
+/// Returns `None` if the buffer is malformed or truncated.
+pub fn huffman_decode(buf: &[u8]) -> Option<Vec<u32>> {
+    let mut pos = 0usize;
+    let count = read_uvarint(buf, &mut pos)? as usize;
+    let table_len = read_uvarint(buf, &mut pos)? as usize;
+    if count == 0 {
+        return Some(Vec::new());
+    }
+    let mut lengths = Vec::with_capacity(table_len);
+    let mut prev = 0u64;
+    for _ in 0..table_len {
+        let delta = read_uvarint(buf, &mut pos)?;
+        let len = *buf.get(pos)?;
+        pos += 1;
+        let sym = prev + delta;
+        lengths.push((sym as u32, len));
+        prev = sym;
+    }
+    let payload_len = read_uvarint(buf, &mut pos)? as usize;
+    let payload = buf.get(pos..pos + payload_len)?;
+
+    if table_len == 1 {
+        // Degenerate alphabet: the payload carries `count` copies of one symbol.
+        return Some(vec![lengths[0].0; count]);
+    }
+
+    let codes = canonical_codes(&lengths);
+    // Invert to (length, code) → symbol for prefix matching.
+    let mut decode: HashMap<(u8, u64), u32> = HashMap::with_capacity(codes.len());
+    let mut max_len = 0u8;
+    for (&sym, &(code, len)) in &codes {
+        decode.insert((len, code), sym);
+        max_len = max_len.max(len);
+    }
+
+    let mut out = Vec::with_capacity(count);
+    let mut reader = BitReader::new(payload);
+    let mut code: u64 = 0;
+    let mut len: u8 = 0;
+    while out.len() < count {
+        let bit = reader.read_bit()?;
+        code = (code << 1) | u64::from(bit);
+        len += 1;
+        if len > max_len {
+            return None;
+        }
+        if let Some(&sym) = decode.get(&(len, code)) {
+            out.push(sym);
+            code = 0;
+            len = 0;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let enc = huffman_encode(&[]);
+        assert_eq!(huffman_decode(&enc), Some(vec![]));
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let data = vec![7u32; 1000];
+        let enc = huffman_encode(&data);
+        assert!(enc.len() < 40, "degenerate stream should be tiny: {}", enc.len());
+        assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn two_symbols_roundtrip() {
+        let data: Vec<u32> = (0..257).map(|i| if i % 3 == 0 { 5 } else { 9 }).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95% of symbols are the centre bin, like real quantization codes.
+        let mut data = Vec::new();
+        for i in 0..10_000u32 {
+            data.push(if i % 20 == 0 { 32768 + (i % 7) } else { 32768 });
+        }
+        let enc = huffman_encode(&data);
+        assert!(
+            enc.len() < data.len(), // ≪ 4 bytes/symbol
+            "skewed stream should compress well: {} bytes for {} symbols",
+            enc.len(),
+            data.len()
+        );
+        assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn wide_alphabet_roundtrip() {
+        let data: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 60000) as u32).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn truncated_stream_fails_cleanly() {
+        let data: Vec<u32> = (0..100).map(|i| i % 17).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode(&enc[..enc.len() - 3]), None);
+        assert_eq!(huffman_decode(&enc[..2]), None);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = vec![(0u32, 2u8), (1, 2), (2, 3), (3, 3), (4, 3), (5, 3)];
+        let codes = canonical_codes(&lengths);
+        let items: Vec<(u64, u8)> = codes.values().copied().collect();
+        for (i, &(ca, la)) in items.iter().enumerate() {
+            for (j, &(cb, lb)) in items.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (short, slen, long, llen) = if la <= lb {
+                    (ca, la, cb, lb)
+                } else {
+                    (cb, lb, ca, la)
+                };
+                assert_ne!(
+                    short,
+                    long >> (llen - slen),
+                    "code {short:b} is a prefix of {long:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let data: Vec<u32> = (0..4096).map(|i| i % 97).collect();
+        assert_eq!(huffman_encode(&data), huffman_encode(&data));
+    }
+}

@@ -1,0 +1,28 @@
+//! # aesz-codec
+//!
+//! Lossless coding substrate for the AE-SZ reproduction.
+//!
+//! The paper's pipeline finishes every compressor with *Huffman encoding of
+//! the quantization codes followed by Zstd*. This crate provides that stage
+//! built from scratch:
+//!
+//! * [`bitio`] — bit-granular writer/reader over byte buffers.
+//! * [`varint`] — LEB128 variable-length integers and zigzag mapping.
+//! * [`huffman`] — canonical Huffman coding over arbitrary `u32` alphabets
+//!   (the quantization-bin alphabet has up to 65,536 symbols).
+//! * [`lz`] — `zlite`, a greedy LZ77 match coder with hash-chain search that
+//!   stands in for Zstd as the final byte-oriented squeeze.
+//! * [`pipeline`] — the composed stages used by the compressors:
+//!   `encode_codes` (Huffman + zlite over quantization codes) and
+//!   `compress_bytes` (zlite over arbitrary byte payloads).
+
+pub mod bitio;
+pub mod huffman;
+pub mod lz;
+pub mod pipeline;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use huffman::{huffman_decode, huffman_encode};
+pub use lz::{zlite_compress, zlite_decompress};
+pub use pipeline::{compress_bytes, decode_codes, decompress_bytes, encode_codes, CodecError};

@@ -1,0 +1,238 @@
+//! `zlite`: a greedy LZ77 match coder with hash-chain search.
+//!
+//! AE-SZ finishes its pipeline with Zstd on top of the Huffman-coded
+//! quantization bins. Zstd itself is out of scope to rebuild faithfully, so
+//! `zlite` plays the same role: a byte-oriented dictionary coder that removes
+//! the repetitiveness Huffman cannot see (runs of identical codes, repeated
+//! block headers, …). The format is:
+//!
+//! ```text
+//! uvarint original_len
+//! tokens*:
+//!   literal run:  0x00, uvarint len, len raw bytes
+//!   match:        0x01, uvarint len (>= MIN_MATCH), uvarint distance (>= 1)
+//! ```
+//!
+//! Matching uses a 4-byte hash chained over previous positions, with a bounded
+//! chain walk so worst-case inputs stay linear in practice.
+
+use crate::varint::{read_uvarint, write_uvarint};
+
+/// Minimum match length worth emitting (shorter matches cost more than literals).
+const MIN_MATCH: usize = 4;
+/// Maximum match length (keeps token lengths bounded; longer repeats split).
+const MAX_MATCH: usize = 1 << 16;
+/// Window size: how far back matches may reach.
+const WINDOW: usize = 1 << 20;
+/// Maximum number of chain links examined per position.
+const MAX_CHAIN: usize = 32;
+
+const HASH_BITS: u32 = 16;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress a byte buffer with greedy LZ77.
+pub fn zlite_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    write_uvarint(&mut out, data.len() as u64);
+    if data.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h (+1, 0 = empty);
+    // prev[i % WINDOW] = previous position with the same hash as i.
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; data.len().min(WINDOW)];
+
+    let mut literals: Vec<u8> = Vec::new();
+    let mut pos = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, literals: &mut Vec<u8>| {
+        if !literals.is_empty() {
+            out.push(0x00);
+            write_uvarint(out, literals.len() as u64);
+            out.extend_from_slice(literals);
+            literals.clear();
+        }
+    };
+
+    while pos < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash4(data, pos);
+            let mut candidate = head[h] as usize;
+            let mut chain = 0;
+            while candidate > 0 && chain < MAX_CHAIN {
+                let cand_pos = candidate - 1;
+                if pos - cand_pos > WINDOW.min(pos) {
+                    break;
+                }
+                // Extend the match.
+                let limit = (data.len() - pos).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < limit && data[cand_pos + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cand_pos;
+                    if len >= limit {
+                        break;
+                    }
+                }
+                candidate = prev[cand_pos % prev.len()] as usize;
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, &mut literals);
+            out.push(0x01);
+            write_uvarint(&mut out, best_len as u64);
+            write_uvarint(&mut out, best_dist as u64);
+            // Insert hash entries for the skipped positions so later matches
+            // can still reference them.
+            let end = pos + best_len;
+            let prev_len = prev.len();
+            while pos < end && pos + MIN_MATCH <= data.len() {
+                let h = hash4(data, pos);
+                prev[pos % prev_len] = head[h];
+                head[h] = (pos + 1) as u32;
+                pos += 1;
+            }
+            pos = end;
+        } else {
+            if pos + MIN_MATCH <= data.len() {
+                let h = hash4(data, pos);
+                let prev_len = prev.len();
+                prev[pos % prev_len] = head[h];
+                head[h] = (pos + 1) as u32;
+            }
+            literals.push(data[pos]);
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, &mut literals);
+    out
+}
+
+/// Decompress a buffer produced by [`zlite_compress`].
+/// Returns `None` on malformed input.
+pub fn zlite_decompress(buf: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let original_len = read_uvarint(buf, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(original_len);
+    while out.len() < original_len {
+        let tag = *buf.get(pos)?;
+        pos += 1;
+        match tag {
+            0x00 => {
+                let len = read_uvarint(buf, &mut pos)? as usize;
+                let bytes = buf.get(pos..pos + len)?;
+                pos += len;
+                out.extend_from_slice(bytes);
+            }
+            0x01 => {
+                let len = read_uvarint(buf, &mut pos)? as usize;
+                let dist = read_uvarint(buf, &mut pos)? as usize;
+                if dist == 0 || dist > out.len() || len < MIN_MATCH {
+                    return None;
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are valid (and common for runs).
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return None,
+        }
+    }
+    if out.len() == original_len {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8]) {
+        let enc = zlite_compress(data);
+        let dec = zlite_decompress(&enc).expect("roundtrip must decode");
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(&[]);
+        roundtrip(&[42]);
+        roundtrip(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn run_of_identical_bytes_compresses_hard() {
+        let data = vec![7u8; 100_000];
+        let enc = zlite_compress(&data);
+        assert!(enc.len() < 100, "run should collapse: {} bytes", enc.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repeating_pattern_compresses() {
+        let pattern: Vec<u8> = (0..64u8).collect();
+        let data: Vec<u8> = pattern.iter().cycle().take(64 * 200).copied().collect();
+        let enc = zlite_compress(&data);
+        assert!(enc.len() < data.len() / 10);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_random_data_roundtrips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let enc = zlite_compress(&data);
+        // Random bytes should expand only slightly (literal-run overhead).
+        assert!(enc.len() < data.len() + data.len() / 16 + 64);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_is_handled() {
+        // "abcabcabc..." forces matches with distance 3 < length.
+        let data: Vec<u8> = b"abc".iter().cycle().take(3000).copied().collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn mixed_structured_payload() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(&(i / 7).to_le_bytes());
+        }
+        let enc = zlite_compress(&data);
+        assert!(enc.len() < data.len() / 2);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_input_fails_cleanly() {
+        let data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut enc = zlite_compress(&data);
+        // Truncate.
+        assert_eq!(zlite_decompress(&enc[..enc.len() - 2]), None);
+        // Invalid tag.
+        let last = enc.len() - 1;
+        enc[last.min(2)] = 0xFF;
+        let _ = zlite_decompress(&enc); // must not panic
+    }
+}

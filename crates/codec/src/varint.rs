@@ -1,0 +1,143 @@
+//! LEB128 variable-length integers and zigzag mapping.
+//!
+//! Headers, block metadata and token streams store lengths and signed
+//! residuals compactly with these helpers.
+
+/// Append `value` as an unsigned LEB128 varint.
+pub fn write_uvarint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint starting at `pos`; advances `pos`.
+/// Returns `None` on truncated input or overlong (>10 byte) encodings.
+pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift >= 70 {
+            return None;
+        }
+    }
+}
+
+/// Map a signed integer to an unsigned one with small magnitudes staying small.
+#[inline]
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Append a signed varint (zigzag + LEB128).
+pub fn write_ivarint(buf: &mut Vec<u8>, value: i64) {
+    write_uvarint(buf, zigzag(value));
+}
+
+/// Read a signed varint written by [`write_ivarint`].
+pub fn read_ivarint(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_uvarint(buf, pos).map(unzigzag)
+}
+
+/// Append a `f32` as 4 little-endian bytes.
+pub fn write_f32(buf: &mut Vec<u8>, value: f32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Read a `f32` written by [`write_f32`].
+pub fn read_f32(buf: &[u8], pos: &mut usize) -> Option<f32> {
+    let bytes = buf.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+/// Append a `f64` as 8 little-endian bytes.
+pub fn write_f64(buf: &mut Vec<u8>, value: f64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Read a `f64` written by [`write_f64`].
+pub fn read_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
+    let bytes = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(f64::from_le_bytes([
+        bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip_edge_values() {
+        for &v in &[0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn uvarint_truncated_returns_none() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1 << 20);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_is_involutive_and_compact() {
+        for &v in &[0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -12345, 99999] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        let values = [-1_000_000i64, -1, 0, 1, 65_535, i64::MIN, i64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_ivarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_ivarint(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut buf = Vec::new();
+        write_f32(&mut buf, -3.25);
+        write_f64(&mut buf, 1e-300);
+        let mut pos = 0;
+        assert_eq!(read_f32(&buf, &mut pos), Some(-3.25));
+        assert_eq!(read_f64(&buf, &mut pos), Some(1e-300));
+        assert_eq!(read_f32(&buf, &mut pos), None);
+    }
+}

@@ -1,0 +1,556 @@
+//! The AE-SZ compressor / decompressor (Algorithm 1 of the paper).
+
+use aesz_codec::{compress_bytes, decode_codes, decompress_bytes, encode_codes};
+use aesz_metrics::Compressor;
+use aesz_nn::models::conv_ae::ConvAutoencoder;
+use aesz_predictors::{lorenzo, mean, QuantizedBlock, Quantizer};
+use aesz_tensor::{BlockSpec, Dims, Field};
+
+use crate::config::{AeSzConfig, PredictorPolicy};
+use crate::latent::LatentCodec;
+use crate::stream::{BlockPredictor, Header, Stream};
+
+/// Per-compression statistics (drives Fig. 10 and the section-size analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompressionReport {
+    /// Total number of blocks in the field.
+    pub total_blocks: usize,
+    /// Blocks predicted by the autoencoder.
+    pub ae_blocks: usize,
+    /// Blocks predicted by classic Lorenzo.
+    pub lorenzo_blocks: usize,
+    /// Blocks predicted by their mean.
+    pub mean_blocks: usize,
+    /// Total compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// Bytes spent on the lossily compressed latent vectors.
+    pub latent_bytes: usize,
+    /// Bytes spent on the entropy-coded quantization codes.
+    pub codes_bytes: usize,
+    /// Bytes spent on block means.
+    pub means_bytes: usize,
+    /// Bytes spent on escaped (unpredictable) values.
+    pub unpredictable_bytes: usize,
+}
+
+impl CompressionReport {
+    /// Fraction of blocks predicted by the autoencoder (the y-axis of Fig. 10).
+    pub fn ae_fraction(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.ae_blocks as f64 / self.total_blocks as f64
+        }
+    }
+}
+
+/// The AE-SZ error-bounded lossy compressor: a pre-trained blockwise SWAE
+/// predictor combined with the (mean-)Lorenzo predictor and SZ-style
+/// quantization + entropy coding.
+pub struct AeSz {
+    model: ConvAutoencoder,
+    config: AeSzConfig,
+    last_report: CompressionReport,
+}
+
+/// Batch size used when pushing blocks through the network.
+const AE_BATCH: usize = 32;
+
+impl AeSz {
+    /// Build a compressor around a pre-trained model.
+    ///
+    /// # Panics
+    /// Panics when the model's block size does not match the configuration.
+    pub fn new(model: ConvAutoencoder, config: AeSzConfig) -> Self {
+        assert_eq!(
+            model.config().block_size,
+            config.block_size,
+            "model was trained for block size {}, config asks for {}",
+            model.config().block_size,
+            config.block_size
+        );
+        AeSz {
+            model,
+            config,
+            last_report: CompressionReport::default(),
+        }
+    }
+
+    /// The compressor configuration.
+    pub fn config(&self) -> &AeSzConfig {
+        &self.config
+    }
+
+    /// Change the predictor policy (used by the Fig. 11 ablation).
+    pub fn set_policy(&mut self, policy: PredictorPolicy) {
+        self.config.policy = policy;
+    }
+
+    /// The underlying trained model.
+    pub fn model(&self) -> &ConvAutoencoder {
+        &self.model
+    }
+
+    /// Statistics of the most recent [`AeSz::compress`] call.
+    pub fn last_report(&self) -> CompressionReport {
+        self.last_report
+    }
+
+    fn abs_bound(rel_eb: f64, lo: f32, hi: f32) -> f64 {
+        let range = (hi - lo) as f64;
+        if range > 0.0 {
+            rel_eb * range
+        } else {
+            rel_eb.max(1e-12)
+        }
+    }
+
+    fn rank(dims: Dims) -> usize {
+        dims.rank()
+    }
+
+    /// Extract the valid-region values of a padded block buffer.
+    fn padded_to_valid(padded: &[f32], spec: &BlockSpec, rank: usize) -> Vec<f32> {
+        let b = spec.nominal;
+        let mut out = Vec::with_capacity(spec.valid_len());
+        match rank {
+            1 => {
+                out.extend_from_slice(&padded[..spec.size[0]]);
+            }
+            2 => {
+                for y in 0..spec.size[0] {
+                    for x in 0..spec.size[1] {
+                        out.push(padded[y * b + x]);
+                    }
+                }
+            }
+            _ => {
+                for z in 0..spec.size[0] {
+                    for y in 0..spec.size[1] {
+                        for x in 0..spec.size[2] {
+                            out.push(padded[(z * b + y) * b + x]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scatter valid-region values back into a padded block buffer.
+    fn valid_to_padded(valid: &[f32], spec: &BlockSpec, rank: usize) -> Vec<f32> {
+        let b = spec.nominal;
+        let mut out = vec![0.0f32; spec.padded_len(rank)];
+        let mut it = valid.iter();
+        match rank {
+            1 => {
+                for x in 0..spec.size[0] {
+                    out[x] = *it.next().expect("length checked");
+                }
+            }
+            2 => {
+                for y in 0..spec.size[0] {
+                    for x in 0..spec.size[1] {
+                        out[y * b + x] = *it.next().expect("length checked");
+                    }
+                }
+            }
+            _ => {
+                for z in 0..spec.size[0] {
+                    for y in 0..spec.size[1] {
+                        for x in 0..spec.size[2] {
+                            out[(z * b + y) * b + x] = *it.next().expect("length checked");
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compress a field, returning the stream bytes and the per-block report.
+    pub fn compress_with_report(
+        &mut self,
+        field: &Field,
+        rel_eb: f64,
+    ) -> (Vec<u8>, CompressionReport) {
+        assert!(rel_eb > 0.0 && rel_eb.is_finite(), "error bound must be positive");
+        let dims = field.dims();
+        let rank = Self::rank(dims);
+        let bs = self.config.block_size;
+        let (lo, hi) = field.min_max();
+        let range = (hi - lo) as f64;
+        let abs_eb = Self::abs_bound(rel_eb, lo, hi);
+        let quantizer = Quantizer::new(abs_eb, self.config.quant_bins);
+        // Latent error bound: fraction of the *normalised-domain* bound
+        // (normalised range is 2, so e_norm = 2·rel_eb).
+        let latent_eb = (self.config.latent_eb_fraction * 2.0 * rel_eb).max(1e-9);
+        let latent_codec = LatentCodec::new(latent_eb);
+        let latent_dim = self.model.config().latent_dim;
+        let block_len = self.model.config().block_len();
+
+        let specs: Vec<BlockSpec> = field.blocks(bs).collect();
+        let n_blocks = specs.len();
+
+        // --- AE path (skipped entirely under the LorenzoOnly policy) ---
+        // Normalise every padded block, push through encoder, quantize the
+        // latents, decode the quantized latents, denormalise the predictions.
+        let use_ae = self.config.policy != PredictorPolicy::LorenzoOnly && range > 0.0;
+        let mut ae_preds: Vec<Vec<f32>> = Vec::new();
+        let mut latent_indices_per_block: Vec<Vec<i64>> = Vec::new();
+        if use_ae {
+            ae_preds.reserve(n_blocks);
+            latent_indices_per_block.reserve(n_blocks);
+            let norm = |v: f32| 2.0 * (v - lo) / range as f32 - 1.0;
+            for chunk in specs.chunks(AE_BATCH) {
+                let mut batch = Vec::with_capacity(chunk.len() * block_len);
+                for spec in chunk {
+                    let blk = field.extract_block(spec);
+                    batch.extend(blk.data.iter().map(|&v| norm(v)));
+                }
+                let latents = self.model.encode_blocks(&batch, chunk.len());
+                // Quantize + dequantize the latents (the z → z_d path of Fig. 5).
+                let mut zd = Vec::with_capacity(latents.len());
+                for bi in 0..chunk.len() {
+                    let z = &latents[bi * latent_dim..(bi + 1) * latent_dim];
+                    let idx = latent_codec.quantize(z);
+                    zd.extend(latent_codec.dequantize(&idx));
+                    latent_indices_per_block.push(idx);
+                }
+                let decoded = self.model.decode_latents(&zd, chunk.len());
+                for bi in 0..chunk.len() {
+                    let pred_norm = &decoded[bi * block_len..(bi + 1) * block_len];
+                    // Denormalise back to the data domain.
+                    let pred: Vec<f32> = pred_norm
+                        .iter()
+                        .map(|&v| (v + 1.0) * 0.5 * range as f32 + lo)
+                        .collect();
+                    ae_preds.push(pred);
+                }
+            }
+        }
+
+        // --- Per-block predictor selection and quantization ---
+        let mut predictors = Vec::with_capacity(n_blocks);
+        let mut all_codes: Vec<u32> = Vec::with_capacity(field.len());
+        let mut unpredictable: Vec<f32> = Vec::new();
+        let mut means: Vec<f32> = Vec::new();
+        let mut kept_latent_indices: Vec<i64> = Vec::new();
+        let mut report = CompressionReport {
+            total_blocks: n_blocks,
+            ..CompressionReport::default()
+        };
+
+        for (bi, spec) in specs.iter().enumerate() {
+            let valid = field.read_block_valid(spec);
+            // Candidate losses.
+            let ae_loss = if use_ae {
+                let pred_valid = Self::padded_to_valid(&ae_preds[bi], spec, rank);
+                Some(
+                    valid
+                        .iter()
+                        .zip(pred_valid.iter())
+                        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                        .sum::<f64>(),
+                )
+            } else {
+                None
+            };
+            let lorenzo_preds = lorenzo::ideal_predictions(&valid, &spec.size);
+            let lorenzo_loss: f64 = valid
+                .iter()
+                .zip(lorenzo_preds.iter())
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum();
+            let mean_value = mean::block_mean(&valid);
+            let mean_loss = mean::mean_l1_loss(&valid);
+
+            let choice = match self.config.policy {
+                PredictorPolicy::AeOnly if use_ae => BlockPredictor::Ae,
+                PredictorPolicy::LorenzoOnly | PredictorPolicy::AeOnly => {
+                    if mean_loss < lorenzo_loss {
+                        BlockPredictor::Mean
+                    } else {
+                        BlockPredictor::Lorenzo
+                    }
+                }
+                PredictorPolicy::Adaptive => {
+                    let lor_best = lorenzo_loss.min(mean_loss);
+                    match ae_loss {
+                        Some(al) if al < lor_best => BlockPredictor::Ae,
+                        _ => {
+                            if mean_loss < lorenzo_loss {
+                                BlockPredictor::Mean
+                            } else {
+                                BlockPredictor::Lorenzo
+                            }
+                        }
+                    }
+                }
+            };
+
+            let block = match choice {
+                BlockPredictor::Ae => {
+                    report.ae_blocks += 1;
+                    kept_latent_indices.extend_from_slice(&latent_indices_per_block[bi]);
+                    let pred_valid = Self::padded_to_valid(&ae_preds[bi], spec, rank);
+                    let (blk, _) = quantizer.quantize_buffer(&valid, &pred_valid);
+                    blk
+                }
+                BlockPredictor::Lorenzo => {
+                    report.lorenzo_blocks += 1;
+                    let (blk, _) = lorenzo::compress(&valid, &spec.size, &quantizer);
+                    blk
+                }
+                BlockPredictor::Mean => {
+                    report.mean_blocks += 1;
+                    means.push(mean_value);
+                    let (blk, _) = mean::compress(&valid, mean_value, &quantizer);
+                    blk
+                }
+            };
+            predictors.push(choice);
+            all_codes.extend_from_slice(&block.codes);
+            unpredictable.extend_from_slice(&block.unpredictable);
+        }
+
+        // --- Assemble the stream ---
+        let latent_section = latent_codec.encode(&kept_latent_indices, latent_dim);
+        let means_bytes: Vec<u8> = means.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let means_section = compress_bytes(&means_bytes);
+        let codes_section = encode_codes(&all_codes);
+        let unpred_bytes: Vec<u8> = unpredictable.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let unpredictable_section = compress_bytes(&unpred_bytes);
+
+        report.latent_bytes = latent_section.len();
+        report.codes_bytes = codes_section.len();
+        report.means_bytes = means_section.len();
+        report.unpredictable_bytes = unpredictable_section.len();
+
+        let stream = Stream {
+            header: Header {
+                dims,
+                data_min: lo,
+                data_max: hi,
+                rel_eb,
+                block_size: bs,
+                latent_dim,
+                policy: self.config.policy,
+            },
+            predictors,
+            latent_section,
+            means_section,
+            codes_section,
+            unpredictable_section,
+        };
+        let bytes = stream.to_bytes();
+        report.compressed_bytes = bytes.len();
+        self.last_report = report;
+        (bytes, report)
+    }
+
+    /// Reconstruct a field from a compressed stream.
+    pub fn decompress_stream(&mut self, bytes: &[u8]) -> Field {
+        let stream = Stream::from_bytes(bytes).expect("valid AE-SZ stream");
+        let h = &stream.header;
+        let dims = h.dims;
+        let rank = Self::rank(dims);
+        let bs = h.block_size;
+        let (lo, hi) = (h.data_min, h.data_max);
+        let range = (hi - lo) as f64;
+        let abs_eb = Self::abs_bound(h.rel_eb, lo, hi);
+        let quantizer = Quantizer::new(abs_eb, self.config.quant_bins);
+        let latent_eb = (self.config.latent_eb_fraction * 2.0 * h.rel_eb).max(1e-9);
+        let latent_codec = LatentCodec::new(latent_eb);
+        let block_len = self.model.config().block_len();
+
+        let all_codes = decode_codes(&stream.codes_section).expect("codes section");
+        let unpred_bytes = decompress_bytes(&stream.unpredictable_section).expect("unpredictable");
+        let unpredictable: Vec<f32> = unpred_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let means_bytes = decompress_bytes(&stream.means_section).expect("means section");
+        let means: Vec<f32> = means_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let (latent_indices, latent_dim) =
+            latent_codec.decode(&stream.latent_section).expect("latent section");
+
+        let mut field = Field::zeros(dims);
+        let specs: Vec<BlockSpec> = field.blocks(bs).collect();
+        assert_eq!(specs.len(), stream.predictors.len(), "block count mismatch");
+
+        // Decode the AE predictions for every AE block, in batches.
+        let ae_block_ids: Vec<usize> = stream
+            .predictors
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == BlockPredictor::Ae)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            latent_indices.len(),
+            ae_block_ids.len() * latent_dim,
+            "latent payload does not match the number of AE blocks"
+        );
+        let mut ae_pred_by_block: std::collections::HashMap<usize, Vec<f32>> =
+            std::collections::HashMap::with_capacity(ae_block_ids.len());
+        for (chunk_no, chunk) in ae_block_ids.chunks(AE_BATCH).enumerate() {
+            let mut zd = Vec::with_capacity(chunk.len() * latent_dim);
+            for (k, _) in chunk.iter().enumerate() {
+                let offset = (chunk_no * AE_BATCH + k) * latent_dim;
+                let idx = &latent_indices[offset..offset + latent_dim];
+                zd.extend(latent_codec.dequantize(idx));
+            }
+            let decoded = self.model.decode_latents(&zd, chunk.len());
+            for (k, &bid) in chunk.iter().enumerate() {
+                let pred_norm = &decoded[k * block_len..(k + 1) * block_len];
+                let pred: Vec<f32> = pred_norm
+                    .iter()
+                    .map(|&v| (v + 1.0) * 0.5 * range as f32 + lo)
+                    .collect();
+                ae_pred_by_block.insert(bid, pred);
+            }
+        }
+
+        // Walk the blocks, consuming codes / unpredictables / means in order.
+        let mut code_pos = 0usize;
+        let mut unpred_pos = 0usize;
+        let mut mean_pos = 0usize;
+        for (bi, spec) in specs.iter().enumerate() {
+            let n = spec.valid_len();
+            let codes = &all_codes[code_pos..code_pos + n];
+            code_pos += n;
+            let escapes = codes.iter().filter(|&&c| c == 0).count();
+            let blk = QuantizedBlock {
+                codes: codes.to_vec(),
+                unpredictable: unpredictable[unpred_pos..unpred_pos + escapes].to_vec(),
+            };
+            unpred_pos += escapes;
+            let valid = match stream.predictors[bi] {
+                BlockPredictor::Ae => {
+                    let pred = &ae_pred_by_block[&bi];
+                    let pred_valid = Self::padded_to_valid(pred, spec, rank);
+                    quantizer.dequantize_buffer(&blk, &pred_valid)
+                }
+                BlockPredictor::Lorenzo => lorenzo::decompress(&blk, &spec.size, &quantizer),
+                BlockPredictor::Mean => {
+                    let m = means[mean_pos];
+                    mean_pos += 1;
+                    mean::decompress(&blk, m, &quantizer)
+                }
+            };
+            let padded = Self::valid_to_padded(&valid, spec, rank);
+            field.write_block(spec, &padded);
+        }
+        field
+    }
+}
+
+impl Compressor for AeSz {
+    fn name(&self) -> &'static str {
+        "AE-SZ"
+    }
+
+    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
+        self.compress_with_report(field, rel_eb).0
+    }
+
+    fn decompress(&mut self, bytes: &[u8]) -> Field {
+        self.decompress_stream(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train_swae_for_field, TrainingOptions};
+    use aesz_datagen::Application;
+    use aesz_metrics::verify_error_bound;
+
+    /// A quickly trained 2D compressor shared by the tests in this module.
+    fn quick_aesz_2d(field: &Field) -> AeSz {
+        let opts = TrainingOptions {
+            block_size: 16,
+            latent_dim: 8,
+            channels: vec![4, 8],
+            epochs: 3,
+            max_blocks: 96,
+            seed: 17,
+            ..TrainingOptions::default_for_rank(2)
+        };
+        let model = train_swae_for_field(std::slice::from_ref(field), &opts);
+        AeSz::new(
+            model,
+            AeSzConfig {
+                block_size: 16,
+                ..AeSzConfig::default_2d()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound_2d() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 51);
+        let mut aesz = quick_aesz_2d(&field);
+        for rel_eb in [1e-2, 1e-3] {
+            let bytes = aesz.compress(&field, rel_eb);
+            let recon = aesz.decompress(&bytes);
+            let abs = rel_eb * field.value_range() as f64;
+            verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
+                .expect("error bound must hold");
+            assert!(bytes.len() < field.len() * 4, "must actually compress");
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_every_block() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 48), 52);
+        let mut aesz = quick_aesz_2d(&field);
+        let (_, report) = aesz.compress_with_report(&field, 1e-2);
+        assert_eq!(
+            report.ae_blocks + report.lorenzo_blocks + report.mean_blocks,
+            report.total_blocks
+        );
+        assert_eq!(report.total_blocks, field.block_count(16));
+        assert!(report.compressed_bytes > 0);
+        assert!(report.ae_fraction() >= 0.0 && report.ae_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn policy_ablation_changes_block_assignment() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 53);
+        let mut aesz = quick_aesz_2d(&field);
+        aesz.set_policy(PredictorPolicy::AeOnly);
+        let (_, r_ae) = aesz.compress_with_report(&field, 1e-2);
+        assert_eq!(r_ae.ae_blocks, r_ae.total_blocks);
+        aesz.set_policy(PredictorPolicy::LorenzoOnly);
+        let (bytes, r_lor) = aesz.compress_with_report(&field, 1e-2);
+        assert_eq!(r_lor.ae_blocks, 0);
+        // Both policies must still satisfy the error bound.
+        let recon = aesz.decompress(&bytes);
+        let abs = 1e-2 * field.value_range() as f64;
+        verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
+    }
+
+    #[test]
+    fn constant_field_compresses_to_almost_nothing() {
+        let field = Field::from_vec(Dims::d2(32, 32), vec![4.2; 1024]).unwrap();
+        let mut aesz = quick_aesz_2d(&Application::CesmCldhgh.generate(Dims::d2(32, 32), 3));
+        let bytes = aesz.compress(&field, 1e-3);
+        let recon = aesz.decompress(&bytes);
+        assert_eq!(recon.as_slice(), field.as_slice());
+        assert!(bytes.len() < 300, "constant field produced {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn finer_bounds_cost_more_bits() {
+        let field = Application::CesmFreqsh.generate(Dims::d2(64, 64), 54);
+        let mut aesz = quick_aesz_2d(&field);
+        let coarse = aesz.compress(&field, 1e-1).len();
+        let fine = aesz.compress(&field, 1e-4).len();
+        assert!(fine > coarse, "fine {fine} <= coarse {coarse}");
+    }
+}

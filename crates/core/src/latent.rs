@@ -1,0 +1,169 @@
+//! The customized ("custo.") lossy codec for AE latent vectors (Section IV-E).
+//!
+//! Instead of storing raw `f32` latents, AE-SZ quantizes every latent element
+//! with an error bound of `0.1·e` (one tenth of the data error bound) and
+//! entropy-codes the quantization indices with Huffman + zlite. Crucially the
+//! compression of each latent vector is independent of every other block —
+//! unlike SZ2.1, whose cross-block prediction would break AE-SZ's ability to
+//! drop the latents of Lorenzo-predicted blocks. Decoding the quantized
+//! latents (`z_d` in Fig. 5) is what the decoder network consumes on both the
+//! compression and decompression sides, so the two sides always see identical
+//! predictions.
+
+use aesz_codec::varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
+use aesz_codec::{decode_codes, encode_codes, CodecError};
+
+/// Quantizes latent vectors with a fixed absolute error bound and
+/// entropy-codes the indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatentCodec {
+    /// Absolute error bound applied to every latent element.
+    pub abs_bound: f64,
+}
+
+impl LatentCodec {
+    /// Codec with the given absolute per-element error bound.
+    pub fn new(abs_bound: f64) -> Self {
+        assert!(abs_bound > 0.0 && abs_bound.is_finite());
+        LatentCodec { abs_bound }
+    }
+
+    /// Quantize a latent vector to integer indices; `dequantize_one` of each
+    /// index reproduces the value the decoder will use.
+    pub fn quantize(&self, latent: &[f32]) -> Vec<i64> {
+        latent
+            .iter()
+            .map(|&v| (v as f64 / (2.0 * self.abs_bound)).round() as i64)
+            .collect()
+    }
+
+    /// Reconstruct one latent element from its quantization index.
+    pub fn dequantize_one(&self, index: i64) -> f32 {
+        (index as f64 * 2.0 * self.abs_bound) as f32
+    }
+
+    /// Reconstruct a full latent vector from its indices.
+    pub fn dequantize(&self, indices: &[i64]) -> Vec<f32> {
+        indices.iter().map(|&i| self.dequantize_one(i)).collect()
+    }
+
+    /// Quantize and immediately dequantize (the `z → z_d` path of Fig. 5).
+    pub fn roundtrip(&self, latent: &[f32]) -> Vec<f32> {
+        self.dequantize(&self.quantize(latent))
+    }
+
+    /// Entropy-encode a set of quantized latent vectors (all of equal length).
+    ///
+    /// The indices are mapped to unsigned symbols by offsetting with the
+    /// stream minimum, then Huffman + zlite coded; the minimum, the vector
+    /// length and the vector count go into a small header.
+    pub fn encode(&self, indices: &[i64], latent_dim: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_uvarint(&mut out, latent_dim as u64);
+        write_uvarint(&mut out, indices.len() as u64);
+        let min = indices.iter().copied().min().unwrap_or(0);
+        write_ivarint(&mut out, min);
+        let symbols: Vec<u32> = indices.iter().map(|&i| (i - min) as u32).collect();
+        let payload = encode_codes(&symbols);
+        write_uvarint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a buffer produced by [`LatentCodec::encode`]; returns
+    /// `(indices, latent_dim)`.
+    pub fn decode(&self, bytes: &[u8]) -> Result<(Vec<i64>, usize), CodecError> {
+        let mut pos = 0usize;
+        let latent_dim =
+            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("latent_dim"))? as usize;
+        let count =
+            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("count"))? as usize;
+        let min = read_ivarint(bytes, &mut pos).ok_or(CodecError::Malformed("min"))?;
+        let payload_len =
+            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("payload_len"))? as usize;
+        let payload = bytes
+            .get(pos..pos + payload_len)
+            .ok_or(CodecError::Malformed("payload"))?;
+        let symbols = decode_codes(payload)?;
+        if symbols.len() != count {
+            return Err(CodecError::Malformed("latent symbol count"));
+        }
+        Ok((symbols.into_iter().map(|s| s as i64 + min).collect(), latent_dim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantize_respects_bound() {
+        let codec = LatentCodec::new(0.01);
+        let latent: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 2.0).collect();
+        let rt = codec.roundtrip(&latent);
+        for (a, b) in latent.iter().zip(rt.iter()) {
+            assert!((a - b).abs() <= 0.01 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let codec = LatentCodec::new(0.005);
+        let latent: Vec<f32> = (0..256).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect();
+        let indices = codec.quantize(&latent);
+        let bytes = codec.encode(&indices, 16);
+        let (decoded, dim) = codec.decode(&bytes).unwrap();
+        assert_eq!(decoded, indices);
+        assert_eq!(dim, 16);
+    }
+
+    #[test]
+    fn empty_latent_set_is_fine() {
+        let codec = LatentCodec::new(0.01);
+        let bytes = codec.encode(&[], 8);
+        let (decoded, dim) = codec.decode(&bytes).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(dim, 8);
+    }
+
+    #[test]
+    fn corrupted_buffer_is_an_error() {
+        let codec = LatentCodec::new(0.01);
+        let bytes = codec.encode(&[1, 2, 3, 4], 2);
+        assert!(codec.decode(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn compresses_smooth_latents_well() {
+        // Latents whose values cluster tightly should cost far less than 4 bytes each.
+        let codec = LatentCodec::new(0.01);
+        let latent: Vec<f32> = (0..4096).map(|i| ((i % 7) as f32) * 0.005).collect();
+        let indices = codec.quantize(&latent);
+        let bytes = codec.encode(&indices, 16);
+        assert!(bytes.len() * 4 < latent.len() * 4, "{} bytes", bytes.len());
+    }
+
+    proptest! {
+        /// The decoded latent the decompressor sees equals the one the
+        /// compressor used, and both are within the bound of the original.
+        #[test]
+        fn prop_roundtrip_and_bound(
+            latent in proptest::collection::vec(-5.0f32..5.0, 1..128),
+            bound_exp in -4i32..-1,
+        ) {
+            let bound = 10f64.powi(bound_exp);
+            let codec = LatentCodec::new(bound);
+            let indices = codec.quantize(&latent);
+            let bytes = codec.encode(&indices, latent.len());
+            let (decoded, _) = codec.decode(&bytes).unwrap();
+            prop_assert_eq!(&decoded, &indices);
+            // The reconstructed latent is stored as f32, so allow one f32 ULP of
+            // the value magnitude on top of the quantization bound.
+            for (v, d) in latent.iter().zip(codec.dequantize(&decoded)) {
+                let slack = (v.abs() as f64) * f32::EPSILON as f64 + 1e-9;
+                prop_assert!((*v as f64 - d as f64).abs() <= bound + slack);
+            }
+        }
+    }
+}

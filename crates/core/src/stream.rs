@@ -1,0 +1,282 @@
+//! On-disk / in-memory layout of an AE-SZ compressed stream.
+//!
+//! The stream mirrors the paper's description of the compressed data: "a
+//! header containing metadata (with trivial space cost), lossy compressed
+//! latent vectors from autoencoders, and quantization bins (losslessly
+//! encoded)" — plus the block means of mean-predicted blocks and the escaped
+//! unpredictable values that SZ-style quantization always needs.
+
+use aesz_codec::varint::{read_f32, read_f64, read_uvarint, write_f32, write_f64, write_uvarint};
+use aesz_codec::CodecError;
+use aesz_tensor::Dims;
+
+use crate::config::PredictorPolicy;
+
+/// Magic bytes identifying an AE-SZ stream.
+pub const MAGIC: &[u8; 8] = b"AESZ0001";
+
+/// Per-block predictor choice, two bits per block in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockPredictor {
+    /// Autoencoder prediction from the lossily compressed latent vector.
+    Ae = 0,
+    /// Classic first-order Lorenzo within the block.
+    Lorenzo = 1,
+    /// Constant block-mean prediction ("mean-Lorenzo").
+    Mean = 2,
+}
+
+impl BlockPredictor {
+    fn from_bits(bits: u8) -> BlockPredictor {
+        match bits & 0b11 {
+            0 => BlockPredictor::Ae,
+            1 => BlockPredictor::Lorenzo,
+            _ => BlockPredictor::Mean,
+        }
+    }
+}
+
+/// Parsed header of an AE-SZ stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Extents of the original field.
+    pub dims: Dims,
+    /// Global minimum of the original field (for the [-1, 1] normalization).
+    pub data_min: f32,
+    /// Global maximum of the original field.
+    pub data_max: f32,
+    /// Value-range-relative error bound the stream was compressed with.
+    pub rel_eb: f64,
+    /// Block edge length.
+    pub block_size: usize,
+    /// Latent vector length of the model that produced the stream.
+    pub latent_dim: usize,
+    /// Predictor policy used (Adaptive / AeOnly / LorenzoOnly).
+    pub policy: PredictorPolicy,
+}
+
+/// Fully parsed AE-SZ stream: header, per-block predictor flags, and the four
+/// compressed payload sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stream {
+    /// Stream header.
+    pub header: Header,
+    /// Predictor choice per block, in block-grid scan order.
+    pub predictors: Vec<BlockPredictor>,
+    /// "custo."-encoded latent indices of the AE-predicted blocks.
+    pub latent_section: Vec<u8>,
+    /// zlite-compressed little-endian means of the mean-predicted blocks.
+    pub means_section: Vec<u8>,
+    /// Huffman+zlite-encoded quantization codes of every block, concatenated.
+    pub codes_section: Vec<u8>,
+    /// zlite-compressed little-endian unpredictable values.
+    pub unpredictable_section: Vec<u8>,
+}
+
+fn write_dims(out: &mut Vec<u8>, dims: Dims) {
+    let e = dims.extents();
+    out.push(e.len() as u8);
+    for &d in &e {
+        write_uvarint(out, d as u64);
+    }
+}
+
+fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, CodecError> {
+    let rank = *buf.get(*pos).ok_or(CodecError::Malformed("rank"))? as usize;
+    *pos += 1;
+    let mut e = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        e.push(read_uvarint(buf, pos).ok_or(CodecError::Malformed("extent"))? as usize);
+    }
+    match rank {
+        1 => Ok(Dims::d1(e[0])),
+        2 => Ok(Dims::d2(e[0], e[1])),
+        3 => Ok(Dims::d3(e[0], e[1], e[2])),
+        _ => Err(CodecError::Malformed("rank must be 1-3")),
+    }
+}
+
+fn write_section(out: &mut Vec<u8>, section: &[u8]) {
+    write_uvarint(out, section.len() as u64);
+    out.extend_from_slice(section);
+}
+
+fn read_section(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
+    let len = read_uvarint(buf, pos).ok_or(CodecError::Malformed("section length"))? as usize;
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or(CodecError::Malformed("section payload"))?;
+    *pos += len;
+    Ok(bytes.to_vec())
+}
+
+impl Stream {
+    /// Serialize the stream to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_dims(&mut out, self.header.dims);
+        write_f32(&mut out, self.header.data_min);
+        write_f32(&mut out, self.header.data_max);
+        write_f64(&mut out, self.header.rel_eb);
+        write_uvarint(&mut out, self.header.block_size as u64);
+        write_uvarint(&mut out, self.header.latent_dim as u64);
+        out.push(match self.header.policy {
+            PredictorPolicy::Adaptive => 0,
+            PredictorPolicy::AeOnly => 1,
+            PredictorPolicy::LorenzoOnly => 2,
+        });
+        write_uvarint(&mut out, self.predictors.len() as u64);
+        // Two bits per block, packed four to a byte.
+        let mut packed = vec![0u8; self.predictors.len().div_ceil(4)];
+        for (i, &p) in self.predictors.iter().enumerate() {
+            packed[i / 4] |= (p as u8) << ((i % 4) * 2);
+        }
+        out.extend_from_slice(&packed);
+        write_section(&mut out, &self.latent_section);
+        write_section(&mut out, &self.means_section);
+        write_section(&mut out, &self.codes_section);
+        write_section(&mut out, &self.unpredictable_section);
+        out
+    }
+
+    /// Parse a stream from bytes produced by [`Stream::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Stream, CodecError> {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CodecError::Malformed("magic"));
+        }
+        let mut pos = MAGIC.len();
+        let dims = read_dims(bytes, &mut pos)?;
+        let data_min = read_f32(bytes, &mut pos).ok_or(CodecError::Malformed("data_min"))?;
+        let data_max = read_f32(bytes, &mut pos).ok_or(CodecError::Malformed("data_max"))?;
+        let rel_eb = read_f64(bytes, &mut pos).ok_or(CodecError::Malformed("rel_eb"))?;
+        let block_size =
+            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("block_size"))? as usize;
+        let latent_dim =
+            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("latent_dim"))? as usize;
+        let policy = match bytes.get(pos).ok_or(CodecError::Malformed("policy"))? {
+            0 => PredictorPolicy::Adaptive,
+            1 => PredictorPolicy::AeOnly,
+            2 => PredictorPolicy::LorenzoOnly,
+            _ => return Err(CodecError::Malformed("policy value")),
+        };
+        pos += 1;
+        let n_blocks =
+            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("n_blocks"))? as usize;
+        let packed_len = n_blocks.div_ceil(4);
+        let packed = bytes
+            .get(pos..pos + packed_len)
+            .ok_or(CodecError::Malformed("predictor flags"))?;
+        pos += packed_len;
+        let predictors = (0..n_blocks)
+            .map(|i| BlockPredictor::from_bits(packed[i / 4] >> ((i % 4) * 2)))
+            .collect();
+        let latent_section = read_section(bytes, &mut pos)?;
+        let means_section = read_section(bytes, &mut pos)?;
+        let codes_section = read_section(bytes, &mut pos)?;
+        let unpredictable_section = read_section(bytes, &mut pos)?;
+        Ok(Stream {
+            header: Header {
+                dims,
+                data_min,
+                data_max,
+                rel_eb,
+                block_size,
+                latent_dim,
+                policy,
+            },
+            predictors,
+            latent_section,
+            means_section,
+            codes_section,
+            unpredictable_section,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> Stream {
+        Stream {
+            header: Header {
+                dims: Dims::d2(100, 200),
+                data_min: -1.5,
+                data_max: 2.5,
+                rel_eb: 1e-3,
+                block_size: 32,
+                latent_dim: 16,
+                policy: PredictorPolicy::Adaptive,
+            },
+            predictors: vec![
+                BlockPredictor::Ae,
+                BlockPredictor::Lorenzo,
+                BlockPredictor::Mean,
+                BlockPredictor::Ae,
+                BlockPredictor::Lorenzo,
+            ],
+            latent_section: vec![1, 2, 3],
+            means_section: vec![4, 5],
+            codes_section: vec![6, 7, 8, 9],
+            unpredictable_section: vec![],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = sample_stream();
+        let bytes = s.to_bytes();
+        let parsed = Stream::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn header_overhead_is_trivial() {
+        // The paper calls the header "trivial space cost"; ours is tens of bytes.
+        let s = sample_stream();
+        let empty_payload = s.to_bytes().len()
+            - s.latent_section.len()
+            - s.means_section.len()
+            - s.codes_section.len()
+            - s.unpredictable_section.len();
+        assert!(empty_payload < 64, "header is {empty_payload} bytes");
+    }
+
+    #[test]
+    fn corrupt_magic_and_truncation_are_rejected() {
+        let s = sample_stream();
+        let mut bytes = s.to_bytes();
+        assert!(Stream::from_bytes(&bytes[..10]).is_err());
+        bytes[0] = b'X';
+        assert!(Stream::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn all_predictor_policies_roundtrip() {
+        for policy in [
+            PredictorPolicy::Adaptive,
+            PredictorPolicy::AeOnly,
+            PredictorPolicy::LorenzoOnly,
+        ] {
+            let mut s = sample_stream();
+            s.header.policy = policy;
+            let parsed = Stream::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(parsed.header.policy, policy);
+        }
+    }
+
+    #[test]
+    fn predictor_flags_pack_two_bits_each() {
+        let mut s = sample_stream();
+        s.predictors = (0..17)
+            .map(|i| match i % 3 {
+                0 => BlockPredictor::Ae,
+                1 => BlockPredictor::Lorenzo,
+                _ => BlockPredictor::Mean,
+            })
+            .collect();
+        let parsed = Stream::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(parsed.predictors, s.predictors);
+    }
+}

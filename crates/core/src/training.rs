@@ -1,0 +1,187 @@
+//! Offline training of the AE-SZ predictor (the left half of Fig. 2).
+//!
+//! The paper trains one SWAE per data field on blocks drawn from the training
+//! snapshots, then reuses that network for every later snapshot of the same
+//! application. These helpers turn fields into normalised training blocks and
+//! drive [`aesz_nn::Trainer`] with the SWAE objective.
+
+use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
+use aesz_nn::models::zoo::AeVariant;
+use aesz_nn::train::{TrainConfig, Trainer};
+use aesz_tensor::Field;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Options controlling blockwise SWAE training for one data field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingOptions {
+    /// Block edge length (must match the compressor's block size).
+    pub block_size: usize,
+    /// Latent vector length.
+    pub latent_dim: usize,
+    /// Channels per convolutional block.
+    pub channels: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Cap on the number of training blocks sampled from the fields.
+    pub max_blocks: usize,
+    /// Which autoencoder variant to train (SWAE for AE-SZ itself).
+    pub variant: AeVariant,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrainingOptions {
+    /// Reasonable CPU-scale defaults for 2D (rank 2) or 3D (rank 3) fields.
+    pub fn default_for_rank(rank: usize) -> Self {
+        match rank {
+            2 => TrainingOptions {
+                block_size: 32,
+                latent_dim: 16,
+                channels: vec![8, 16],
+                epochs: 6,
+                batch_size: 16,
+                learning_rate: 2e-3,
+                max_blocks: 256,
+                variant: AeVariant::aesz_default(),
+                seed: 2021,
+            },
+            3 => TrainingOptions {
+                block_size: 8,
+                latent_dim: 16,
+                channels: vec![8, 16],
+                epochs: 6,
+                batch_size: 16,
+                learning_rate: 2e-3,
+                max_blocks: 256,
+                variant: AeVariant::aesz_default(),
+                seed: 2021,
+            },
+            r => panic!("unsupported rank {r}"),
+        }
+    }
+
+    /// Spatial rank implied by the block shape of the first training field.
+    fn ae_config(&self, rank: usize) -> AeConfig {
+        AeConfig {
+            spatial_rank: rank,
+            block_size: self.block_size,
+            latent_dim: self.latent_dim,
+            channels: self.channels.clone(),
+            variational: self.variant.is_variational(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Extract up to `max_blocks` normalised (to `[-1, 1]`) padded blocks from a
+/// field, sampled uniformly without replacement.
+pub fn training_blocks_from_field(
+    field: &Field,
+    block_size: usize,
+    max_blocks: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    let (lo, hi) = field.min_max();
+    let range = hi - lo;
+    let mut specs: Vec<_> = field.blocks(block_size).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    specs.shuffle(&mut rng);
+    specs
+        .into_iter()
+        .take(max_blocks)
+        .map(|spec| {
+            let blk = field.extract_block(&spec);
+            if range > 0.0 {
+                blk.data
+                    .iter()
+                    .map(|&v| 2.0 * (v - lo) / range - 1.0)
+                    .collect()
+            } else {
+                vec![0.0; blk.data.len()]
+            }
+        })
+        .collect()
+}
+
+/// Train an autoencoder (SWAE by default) on blocks drawn from the training
+/// fields, following the offline-training stage of Fig. 2.
+pub fn train_swae_for_field(training_fields: &[Field], options: &TrainingOptions) -> ConvAutoencoder {
+    assert!(!training_fields.is_empty(), "need at least one training field");
+    let rank = training_fields[0].dims().rank();
+    assert!(
+        training_fields.iter().all(|f| f.dims().rank() == rank),
+        "all training fields must share the same rank"
+    );
+    let per_field = (options.max_blocks / training_fields.len()).max(1);
+    let mut blocks = Vec::new();
+    for (i, field) in training_fields.iter().enumerate() {
+        blocks.extend(training_blocks_from_field(
+            field,
+            options.block_size,
+            per_field,
+            options.seed ^ (i as u64),
+        ));
+    }
+    let train_config = TrainConfig {
+        epochs: options.epochs,
+        batch_size: options.batch_size,
+        learning_rate: options.learning_rate,
+        variant: options.variant,
+        seed: options.seed,
+    };
+    let mut trainer = Trainer::new(options.ae_config(rank), train_config);
+    trainer.train(&blocks);
+    trainer.into_model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_datagen::Application;
+    use aesz_tensor::Dims;
+
+    #[test]
+    fn blocks_are_normalised_and_capped() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(96, 96), 0);
+        let blocks = training_blocks_from_field(&field, 32, 5, 1);
+        assert_eq!(blocks.len(), 5);
+        for b in &blocks {
+            assert_eq!(b.len(), 32 * 32);
+            assert!(b.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn constant_field_normalises_to_zero_blocks() {
+        let field = Field::from_vec(Dims::d2(32, 32), vec![3.0; 1024]).unwrap();
+        let blocks = training_blocks_from_field(&field, 32, 2, 1);
+        assert!(blocks[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn training_produces_a_model_of_the_requested_shape() {
+        let field = Application::HurricaneU.generate(Dims::d3(16, 24, 24), 1);
+        let opts = TrainingOptions {
+            epochs: 1,
+            max_blocks: 24,
+            latent_dim: 4,
+            channels: vec![4],
+            ..TrainingOptions::default_for_rank(3)
+        };
+        let model = train_swae_for_field(&[field], &opts);
+        assert_eq!(model.config().spatial_rank, 3);
+        assert_eq!(model.config().block_size, 8);
+        assert_eq!(model.config().latent_dim, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training field")]
+    fn rejects_empty_training_set() {
+        train_swae_for_field(&[], &TrainingOptions::default_for_rank(2));
+    }
+}

@@ -1,0 +1,134 @@
+//! Synthetic CESM atmosphere fields (2D).
+//!
+//! The CESM CLDHGH (high-cloud fraction) and FREQSH (shallow-convection
+//! frequency) fields are smooth 2D fields bounded in `[0, 1]` with
+//! multi-scale structure: planetary-scale bands, regional blobs and mesoscale
+//! detail. The generator superimposes latitude bands, drifting Gaussian
+//! blobs and a small amount of smooth noise, then clamps to `[0, 1]`.
+
+use aesz_tensor::{Dims, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Smooth pseudo-random blob parameters derived from the seed.
+struct Blob {
+    cy: f32,
+    cx: f32,
+    sy: f32,
+    sx: f32,
+    amp: f32,
+    drift_y: f32,
+    drift_x: f32,
+}
+
+fn blobs(seed: u64, count: usize, amp_scale: f32) -> Vec<Blob> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Blob {
+            cy: rng.gen_range(0.0..1.0),
+            cx: rng.gen_range(0.0..1.0),
+            sy: rng.gen_range(0.04..0.25),
+            sx: rng.gen_range(0.04..0.25),
+            amp: rng.gen_range(0.2..1.0) * amp_scale,
+            drift_y: rng.gen_range(-0.01..0.01),
+            drift_x: rng.gen_range(-0.02..0.02),
+        })
+        .collect()
+}
+
+fn evaluate(dims: Dims, snapshot: u64, seed: u64, band_weight: f32, blob_count: usize) -> Field {
+    let (ny, nx) = match dims {
+        Dims::D2 { ny, nx } => (ny, nx),
+        _ => panic!("CESM fields are 2D"),
+    };
+    let bl = blobs(seed, blob_count, 0.6);
+    let t = snapshot as f32;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15 ^ snapshot);
+    // Smooth noise realised as a few random low-frequency cosines.
+    let noise_modes: Vec<(f32, f32, f32, f32)> = (0..6)
+        .map(|_| {
+            (
+                rng.gen_range(2.0..9.0),
+                rng.gen_range(2.0..9.0),
+                rng.gen_range(0.0..std::f32::consts::TAU),
+                rng.gen_range(0.01..0.05),
+            )
+        })
+        .collect();
+
+    Field::from_fn(dims, |c| {
+        let v = c[0] as f32 / ny.max(1) as f32;
+        let u = c[1] as f32 / nx.max(1) as f32;
+        // Latitude bands: ITCZ-like maximum near the equator plus mid-latitude storm tracks.
+        let lat = (v - 0.5) * 2.0; // -1 (south pole) .. 1 (north pole)
+        let band = band_weight
+            * (0.55 * (-lat * lat / 0.08).exp()
+                + 0.35 * (-(lat.abs() - 0.6).powi(2) / 0.02).exp());
+        // Drifting blobs (weather systems).
+        let mut blobby = 0.0f32;
+        for b in &bl {
+            let dy = v - (b.cy + b.drift_y * t).rem_euclid(1.0);
+            let dx = u - (b.cx + b.drift_x * t).rem_euclid(1.0);
+            // Periodic in longitude.
+            let dx = dx - dx.round();
+            blobby += b.amp * (-(dy * dy) / (2.0 * b.sy * b.sy) - (dx * dx) / (2.0 * b.sx * b.sx)).exp();
+        }
+        // Mesoscale smooth noise.
+        let mut noise = 0.0f32;
+        for &(ky, kx, phase, amp) in &noise_modes {
+            noise += amp
+                * (std::f32::consts::TAU * (ky * v + kx * u) + phase + 0.11 * t).cos();
+        }
+        (band + blobby + noise).clamp(0.0, 1.0)
+    })
+}
+
+/// High-cloud fraction (CLDHGH): broad bands plus large blobs.
+pub fn generate_cldhgh(dims: Dims, snapshot: u64) -> Field {
+    evaluate(dims, snapshot, 0xC1D_6A11, 1.0, 18)
+}
+
+/// Shallow-convection frequency (FREQSH): weaker bands, smaller and more numerous blobs.
+pub fn generate_freqsh(dims: Dims, snapshot: u64) -> Field {
+    evaluate(dims, snapshot, 0xF2E_05EE, 0.6, 40)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_physical_fractions() {
+        let f = generate_cldhgh(Dims::d2(90, 180), 0);
+        assert!(f.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let g = generate_freqsh(Dims::d2(90, 180), 0);
+        assert!(g.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn field_is_smooth() {
+        // Neighbouring points should differ far less than the value range.
+        let f = generate_cldhgh(Dims::d2(128, 128), 2);
+        let s = f.as_slice();
+        let mut max_step = 0.0f32;
+        for y in 0..128 {
+            for x in 1..128 {
+                max_step = max_step.max((s[y * 128 + x] - s[y * 128 + x - 1]).abs());
+            }
+        }
+        assert!(max_step < 0.5 * f.value_range(), "max step {max_step}");
+    }
+
+    #[test]
+    fn fields_differ_between_variables() {
+        let a = generate_cldhgh(Dims::d2(64, 64), 0);
+        let b = generate_freqsh(Dims::d2(64, 64), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "2D")]
+    fn rejects_wrong_rank() {
+        generate_cldhgh(Dims::d3(4, 4, 4), 0);
+    }
+}

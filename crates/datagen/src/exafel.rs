@@ -1,0 +1,115 @@
+//! Synthetic EXAFEL / LCLS detector frames (2D).
+//!
+//! Serial crystallography detector images are dominated by a noisy, slowly
+//! varying background (dark current + diffuse scattering rings) with sparse,
+//! very sharp Bragg peaks. In SDRBench the frames are concatenated 185×388
+//! panels forming a tall 2D array; here one call generates one such composite
+//! frame at whatever extents the caller asks for.
+
+use aesz_tensor::{Dims, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Poisson};
+
+fn extents2(dims: Dims) -> (usize, usize) {
+    match dims {
+        Dims::D2 { ny, nx } => (ny, nx),
+        _ => panic!("EXAFEL frames are 2D"),
+    }
+}
+
+/// One detector frame: background + diffuse rings + Poisson-ish noise + Bragg peaks.
+pub fn generate_frame(dims: Dims, snapshot: u64) -> Field {
+    let (ny, nx) = extents2(dims);
+    let mut rng = StdRng::seed_from_u64(0xE8AF_E100 ^ snapshot);
+    let normal = Normal::new(0.0f32, 3.0).expect("valid std");
+    // Beam centre slightly off-centre, different per frame.
+    let cy = 0.5 + rng.gen_range(-0.05..0.05f32);
+    let cx = 0.5 + rng.gen_range(-0.05..0.05f32);
+    // Bragg peaks: positions on a noisy reciprocal lattice.
+    let n_peaks = rng.gen_range(40..120usize);
+    let peaks: Vec<(f32, f32, f32, f32)> = (0..n_peaks)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..1.0f32),
+                rng.gen_range(0.0..1.0f32),
+                rng.gen_range(200.0..4000.0f32), // peak intensity in ADU
+                rng.gen_range(0.002..0.006f32),  // peak width
+            )
+        })
+        .collect();
+    // Powder/diffuse rings.
+    let rings: Vec<(f32, f32, f32)> = (0..4)
+        .map(|_| {
+            (
+                rng.gen_range(0.15..0.55f32),
+                rng.gen_range(5.0..25.0f32),
+                rng.gen_range(0.01..0.03f32),
+            )
+        })
+        .collect();
+
+    let mut noise_rng = StdRng::seed_from_u64(0xE8AF_E101 ^ snapshot);
+    Field::from_fn(dims, |c| {
+        let y = c[0] as f32 / ny.max(1) as f32;
+        let x = c[1] as f32 / nx.max(1) as f32;
+        let r = ((y - cy).powi(2) + (x - cx).powi(2)).sqrt();
+        // Background: pedestal + radially decaying diffuse scattering.
+        let mut v = 30.0 + 80.0 * (-r / 0.3).exp();
+        for &(rr, amp, width) in &rings {
+            v += amp * (-(r - rr).powi(2) / (2.0 * width * width)).exp();
+        }
+        for &(py, px, amp, width) in &peaks {
+            let d2 = (y - py).powi(2) + (x - px).powi(2);
+            if d2 < 25.0 * width * width {
+                v += amp * (-d2 / (2.0 * width * width)).exp();
+            }
+        }
+        // Photon-counting style noise: Poisson for bright pixels is expensive,
+        // so use Poisson only for the moderate range and Gaussian elsewhere.
+        let noisy = if v < 500.0 {
+            let lambda = v.max(0.1) as f64;
+            Poisson::new(lambda).map(|p| p.sample(&mut noise_rng) as f32).unwrap_or(v)
+        } else {
+            v + normal.sample(&mut noise_rng) * v.sqrt() / 3.0
+        };
+        noisy.max(0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_is_nonnegative_with_sparse_bright_peaks() {
+        let f = generate_frame(Dims::d2(185, 388), 0);
+        assert!(f.as_slice().iter().all(|&v| v >= 0.0));
+        let (_, hi) = f.min_max();
+        let bright = f.as_slice().iter().filter(|&&v| v > 0.5 * hi).count();
+        // Bragg peaks occupy a tiny fraction of the pixels.
+        assert!(bright * 100 < f.len(), "bright pixels: {bright}/{}", f.len());
+        assert!(hi > 300.0, "peaks should reach hundreds of ADU: {hi}");
+    }
+
+    #[test]
+    fn frames_differ_per_shot() {
+        let a = generate_frame(Dims::d2(64, 64), 0);
+        let b = generate_frame(Dims::d2(64, 64), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_shot() {
+        assert_eq!(
+            generate_frame(Dims::d2(32, 48), 7),
+            generate_frame(Dims::d2(32, 48), 7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2D")]
+    fn rejects_wrong_rank() {
+        generate_frame(Dims::d3(2, 2, 2), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Synthetic Hurricane-Isabel fields (3D).
+//!
+//! The Hurricane Isabel simulation covers a 100×500×500 domain (height ×
+//! latitude × longitude). The U field is the east-west wind component of a
+//! rotating vortex embedded in a background flow with vertical shear; QVAPOR
+//! is the water-vapour mixing ratio, largest near the surface and inside the
+//! moist vortex core. Both are smooth but anisotropic (the vertical axis is
+//! much shorter and behaves differently), which is exactly what stresses a
+//! blockwise 3D predictor.
+
+use aesz_tensor::{Dims, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn extents3(dims: Dims) -> (usize, usize, usize) {
+    match dims {
+        Dims::D3 { nz, ny, nx } => (nz, ny, nx),
+        _ => panic!("Hurricane fields are 3D"),
+    }
+}
+
+/// Storm-track parameters shared by both fields, derived from the snapshot.
+struct Storm {
+    cy: f32,
+    cx: f32,
+    rmax: f32,
+    vmax: f32,
+}
+
+fn storm(snapshot: u64) -> Storm {
+    // The eye drifts north-west over time like the real storm track.
+    let t = snapshot as f32;
+    Storm {
+        cy: 0.65 - 0.006 * t,
+        cx: 0.60 - 0.008 * t,
+        rmax: 0.06 + 0.002 * (t * 0.7).sin(),
+        vmax: 65.0 + 4.0 * (t * 0.45).cos(),
+    }
+}
+
+/// East-west wind component U (m/s): Rankine-like vortex + sheared zonal flow.
+pub fn generate_u(dims: Dims, snapshot: u64) -> Field {
+    let (nz, ny, nx) = extents3(dims);
+    let s = storm(snapshot);
+    let mut rng = StdRng::seed_from_u64(0x0815_0C0C ^ snapshot);
+    let ripples: Vec<(f32, f32, f32, f32)> = (0..8)
+        .map(|_| {
+            (
+                rng.gen_range(3.0..14.0),
+                rng.gen_range(3.0..14.0),
+                rng.gen_range(0.0..std::f32::consts::TAU),
+                rng.gen_range(0.3..1.4),
+            )
+        })
+        .collect();
+    Field::from_fn(dims, |c| {
+        let z = c[0] as f32 / nz.max(1) as f32;
+        let y = c[1] as f32 / ny.max(1) as f32;
+        let x = c[2] as f32 / nx.max(1) as f32;
+        let dy = y - s.cy;
+        let dx = x - s.cx;
+        let r = (dy * dy + dx * dx).sqrt().max(1e-4);
+        // Tangential wind of a Rankine vortex, decaying with altitude.
+        let vt = if r < s.rmax {
+            s.vmax * r / s.rmax
+        } else {
+            s.vmax * (s.rmax / r).powf(0.6)
+        };
+        let decay = (-z / 0.6).exp();
+        // U component of tangential flow = -vt * sin(theta) = -vt * dy / r.
+        let u_vortex = -vt * dy / r * decay;
+        // Background zonal flow with vertical shear (trade winds → jet).
+        let u_background = -8.0 + 30.0 * z + 6.0 * (std::f32::consts::TAU * y).sin();
+        let mut ripple = 0.0;
+        for &(ky, kx, phase, amp) in &ripples {
+            ripple += amp * (std::f32::consts::TAU * (ky * y + kx * x) + phase + z * 3.0).cos();
+        }
+        u_vortex + u_background + ripple
+    })
+}
+
+/// Water-vapour mixing ratio QVAPOR (kg/kg): moist boundary layer + vortex core.
+pub fn generate_qvapor(dims: Dims, snapshot: u64) -> Field {
+    let (nz, ny, nx) = extents3(dims);
+    let s = storm(snapshot);
+    let mut rng = StdRng::seed_from_u64(0x0A0A_0B0B ^ snapshot);
+    let patches: Vec<(f32, f32, f32, f32)> = (0..12)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.05..0.2),
+                rng.gen_range(0.1..0.5),
+            )
+        })
+        .collect();
+    Field::from_fn(dims, |c| {
+        let z = c[0] as f32 / nz.max(1) as f32;
+        let y = c[1] as f32 / ny.max(1) as f32;
+        let x = c[2] as f32 / nx.max(1) as f32;
+        // Exponential decrease with altitude (scale height ~ 0.25 of the domain).
+        let base = 0.02 * (-z / 0.25).exp();
+        let dy = y - s.cy;
+        let dx = x - s.cx;
+        let r2 = dy * dy + dx * dx;
+        // Moist core and spiral rainbands.
+        let core = 0.008 * (-r2 / (2.0 * (2.5 * s.rmax).powi(2))).exp() * (-z / 0.35).exp();
+        let theta = dy.atan2(dx);
+        let band = 0.003
+            * ((theta * 2.0 - r2.sqrt() * 40.0).cos()).max(0.0)
+            * (-r2 / 0.05).exp()
+            * (-z / 0.3).exp();
+        let mut patchy = 0.0;
+        for &(py, px, pw, pa) in &patches {
+            let d2 = (y - py).powi(2) + (x - px).powi(2);
+            patchy += 0.002 * pa * (-d2 / (2.0 * pw * pw)).exp() * (-z / 0.3).exp();
+        }
+        (base + core + band + patchy).max(0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_has_both_signs_and_vertical_structure() {
+        let f = generate_u(Dims::d3(16, 48, 48), 0);
+        let (lo, hi) = f.min_max();
+        assert!(lo < -5.0, "lo = {lo}");
+        assert!(hi > 5.0, "hi = {hi}");
+        // Mean wind near the top should exceed the surface mean (shear).
+        let s = f.as_slice();
+        let layer = 48 * 48;
+        let surface: f32 = s[..layer].iter().sum::<f32>() / layer as f32;
+        let top: f32 = s[15 * layer..].iter().sum::<f32>() / layer as f32;
+        assert!(top > surface + 10.0, "surface {surface}, top {top}");
+    }
+
+    #[test]
+    fn qvapor_is_nonnegative_and_decays_with_height() {
+        let f = generate_qvapor(Dims::d3(20, 32, 32), 5);
+        assert!(f.as_slice().iter().all(|&v| v >= 0.0));
+        let s = f.as_slice();
+        let layer = 32 * 32;
+        let surface: f32 = s[..layer].iter().sum::<f32>() / layer as f32;
+        let top: f32 = s[19 * layer..].iter().sum::<f32>() / layer as f32;
+        assert!(surface > top * 2.0);
+    }
+
+    #[test]
+    fn storm_moves_between_snapshots() {
+        let a = generate_u(Dims::d3(8, 32, 32), 0);
+        let b = generate_u(Dims::d3(8, 32, 32), 10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "3D")]
+    fn rejects_wrong_rank() {
+        generate_u(Dims::d1(10), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! # aesz-datagen
+//!
+//! Synthetic scientific-data generators standing in for the SDRBench datasets
+//! used by the AE-SZ paper (CESM, NYX, Hurricane, RTM, EXAFEL), plus raw
+//! binary I/O in the SDRBench on-disk format (flat little-endian `f32`).
+//!
+//! The real datasets are multi-gigabyte downloads; what drives the paper's
+//! conclusions is not the exact bytes but the *character* of each field:
+//!
+//! * **CESM** (2D climate): smooth multi-scale structure with regional fronts,
+//!   values bounded in a physical range (cloud fraction 0..1).
+//! * **NYX** (3D cosmology): sharply peaked, filamentary log-density fields.
+//! * **Hurricane** (3D weather): a rotating vortex with vertical shear.
+//! * **RTM** (3D seismic): oscillatory expanding wavefronts over a layered
+//!   background.
+//! * **EXAFEL** (2D crystallography detector): flat noisy background with
+//!   sparse sharp Bragg peaks.
+//!
+//! Every generator is deterministic in `(seed, snapshot)` so "time steps" for
+//! the train/test split of the paper can be produced on demand: the training
+//! split uses low snapshot indices, the test split high ones, exactly like the
+//! papers' split across simulation time steps.
+
+pub mod cesm;
+pub mod exafel;
+pub mod hurricane;
+pub mod loader;
+pub mod nyx;
+pub mod rtm;
+
+use aesz_tensor::{Dims, Field};
+
+pub use loader::{load_f32_file, save_f32_file};
+
+/// The scientific applications covered by the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// CESM atmosphere model (2D), CLDHGH field.
+    CesmCldhgh,
+    /// CESM atmosphere model (2D), FREQSH field.
+    CesmFreqsh,
+    /// EXAFEL LCLS detector frames (2D).
+    Exafel,
+    /// NYX cosmology (3D), baryon density (log scale).
+    NyxBaryonDensity,
+    /// NYX cosmology (3D), temperature (log scale).
+    NyxTemperature,
+    /// NYX cosmology (3D), dark matter density (log scale).
+    NyxDarkMatterDensity,
+    /// Hurricane Isabel (3D), U wind component.
+    HurricaneU,
+    /// Hurricane Isabel (3D), QVAPOR water-vapour mixing ratio.
+    HurricaneQvapor,
+    /// Reverse-time-migration seismic wavefield snapshots (3D).
+    Rtm,
+}
+
+impl Application {
+    /// All applications, in the order the paper lists them.
+    pub fn all() -> Vec<Application> {
+        vec![
+            Application::CesmCldhgh,
+            Application::CesmFreqsh,
+            Application::Exafel,
+            Application::NyxBaryonDensity,
+            Application::NyxTemperature,
+            Application::NyxDarkMatterDensity,
+            Application::HurricaneU,
+            Application::HurricaneQvapor,
+            Application::Rtm,
+        ]
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Application::CesmCldhgh => "CESM-CLDHGH",
+            Application::CesmFreqsh => "CESM-FREQSH",
+            Application::Exafel => "EXAFEL",
+            Application::NyxBaryonDensity => "NYX-baryon_density",
+            Application::NyxTemperature => "NYX-temperature",
+            Application::NyxDarkMatterDensity => "NYX-dark_matter_density",
+            Application::HurricaneU => "Hurricane-U",
+            Application::HurricaneQvapor => "Hurricane-QVAPOR",
+            Application::Rtm => "RTM",
+        }
+    }
+
+    /// Rank of the field (2 or 3), matching Table V of the paper.
+    pub fn rank(&self) -> usize {
+        match self {
+            Application::CesmCldhgh
+            | Application::CesmFreqsh
+            | Application::Exafel => 2,
+            _ => 3,
+        }
+    }
+
+    /// Default block size used by AE-SZ for this field (Table VI).
+    pub fn default_block_size(&self) -> usize {
+        match self.rank() {
+            2 => 32,
+            _ => 8,
+        }
+    }
+
+    /// Generate one snapshot of this application at the given extents.
+    ///
+    /// `snapshot` plays the role of the simulation time step / file index used
+    /// by the paper's train-test split; different snapshots of the same
+    /// application share large-scale structure but differ in detail.
+    pub fn generate(&self, dims: Dims, snapshot: u64) -> Field {
+        match self {
+            Application::CesmCldhgh => cesm::generate_cldhgh(dims, snapshot),
+            Application::CesmFreqsh => cesm::generate_freqsh(dims, snapshot),
+            Application::Exafel => exafel::generate_frame(dims, snapshot),
+            Application::NyxBaryonDensity => nyx::generate_log_density(dims, snapshot, 0),
+            Application::NyxTemperature => nyx::generate_log_temperature(dims, snapshot),
+            Application::NyxDarkMatterDensity => nyx::generate_log_density(dims, snapshot, 7),
+            Application::HurricaneU => hurricane::generate_u(dims, snapshot),
+            Application::HurricaneQvapor => hurricane::generate_qvapor(dims, snapshot),
+            Application::Rtm => rtm::generate_wavefield(dims, snapshot),
+        }
+    }
+
+    /// Extents used by the test suite and examples (scaled-down stand-ins for
+    /// the full SDRBench extents in Table V, keeping the same rank).
+    pub fn test_dims(&self) -> Dims {
+        match self.rank() {
+            2 => Dims::d2(256, 256),
+            _ => Dims::d3(64, 64, 64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_applications_generate_finite_fields() {
+        for app in Application::all() {
+            let dims = match app.rank() {
+                2 => Dims::d2(48, 64),
+                _ => Dims::d3(24, 24, 24),
+            };
+            let f = app.generate(dims, 0);
+            assert_eq!(f.len(), dims.len(), "{}", app.name());
+            assert!(
+                f.as_slice().iter().all(|v| v.is_finite()),
+                "{} produced non-finite values",
+                app.name()
+            );
+            assert!(f.value_range() > 0.0, "{} is constant", app.name());
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_distinct() {
+        let app = Application::CesmCldhgh;
+        let dims = Dims::d2(64, 64);
+        let a = app.generate(dims, 3);
+        let b = app.generate(dims, 3);
+        let c = app.generate(dims, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranks_and_block_sizes_match_the_paper() {
+        assert_eq!(Application::CesmCldhgh.rank(), 2);
+        assert_eq!(Application::CesmCldhgh.default_block_size(), 32);
+        assert_eq!(Application::NyxBaryonDensity.rank(), 3);
+        assert_eq!(Application::NyxBaryonDensity.default_block_size(), 8);
+        assert_eq!(Application::Rtm.rank(), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Raw binary I/O in the SDRBench on-disk format.
+//!
+//! SDRBench distributes every field as a flat little-endian `f32` file with
+//! the extents documented out of band. These helpers let users of this
+//! reproduction drop in the *real* SDRBench files when they have them: load a
+//! `.f32`/`.dat` file with known dimensions, or save a generated field so it
+//! can be compared against external compressors.
+
+use aesz_tensor::{Dims, Field};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Load a flat little-endian `f32` file as a [`Field`] with the given extents.
+///
+/// Fails when the file size does not match `dims.len() * 4` bytes.
+pub fn load_f32_file(path: &Path, dims: Dims) -> std::io::Result<Field> {
+    let mut file = std::fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    Field::from_le_bytes(dims, &bytes).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{path:?}: {e} (expected {} elements)", dims.len()),
+        )
+    })
+}
+
+/// Save a field as a flat little-endian `f32` file (the SDRBench format).
+pub fn save_f32_file(path: &Path, field: &Field) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&field.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Application;
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("aesz_datagen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cesm_test.f32");
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 48), 0);
+        save_f32_file(&path, &field).unwrap();
+        let loaded = load_f32_file(&path, Dims::d2(32, 48)).unwrap();
+        assert_eq!(field, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_dims_is_an_error() {
+        let dir = std::env::temp_dir().join("aesz_datagen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong_dims.f32");
+        let field = Application::CesmCldhgh.generate(Dims::d2(16, 16), 0);
+        save_f32_file(&path, &field).unwrap();
+        assert!(load_f32_file(&path, Dims::d2(16, 17)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_f32_file(Path::new("/nonexistent/never.f32"), Dims::d1(4)).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic NYX cosmology fields (3D).
+//!
+//! NYX baryon / dark-matter density fields are dominated by a near-uniform
+//! background punctuated by strongly peaked halos connected by filaments; the
+//! paper (and SDRBench practice) compresses their *logarithm*. Temperature is
+//! similar but smoother. The generator places clustered halos, accumulates a
+//! softened inverse-square density from each, adds a filament contribution
+//! between nearby halo pairs, and returns `ln(density)`.
+
+use aesz_tensor::{Dims, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Halo {
+    z: f32,
+    y: f32,
+    x: f32,
+    mass: f32,
+    core: f32,
+}
+
+fn halos(seed: u64, count: usize) -> Vec<Halo> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cluster centres first, then halos scattered around them, so the halo
+    // field has the clustered (non-Poisson) character of large-scale structure.
+    let centres: Vec<(f32, f32, f32)> = (0..count / 8 + 1)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            )
+        })
+        .collect();
+    (0..count)
+        .map(|_| {
+            let (cz, cy, cx) = centres[rng.gen_range(0..centres.len())];
+            Halo {
+                z: (cz + rng.gen_range(-0.12..0.12)).rem_euclid(1.0),
+                y: (cy + rng.gen_range(-0.12..0.12)).rem_euclid(1.0),
+                x: (cx + rng.gen_range(-0.12..0.12)).rem_euclid(1.0),
+                mass: rng.gen_range(0.2..3.0),
+                core: rng.gen_range(0.01..0.04),
+            }
+        })
+        .collect()
+}
+
+fn extents3(dims: Dims) -> (usize, usize, usize) {
+    match dims {
+        Dims::D3 { nz, ny, nx } => (nz, ny, nx),
+        _ => panic!("NYX fields are 3D"),
+    }
+}
+
+/// Periodic distance between two coordinates in the unit cube.
+#[inline]
+fn pdist(a: f32, b: f32) -> f32 {
+    let d = (a - b).abs();
+    d.min(1.0 - d)
+}
+
+/// Log of a density-like field: background + softened halo profiles.
+///
+/// `variant` perturbs the halo catalogue so baryon and dark-matter densities
+/// share large-scale structure but differ in detail, as in the simulation.
+pub fn generate_log_density(dims: Dims, snapshot: u64, variant: u64) -> Field {
+    let (nz, ny, nx) = extents3(dims);
+    let hl = halos(0x4E59_0000 ^ variant ^ (snapshot / 8), 96);
+    let growth = 1.0 + 0.05 * (snapshot % 8) as f32;
+    Field::from_fn(dims, |c| {
+        let z = c[0] as f32 / nz.max(1) as f32;
+        let y = c[1] as f32 / ny.max(1) as f32;
+        let x = c[2] as f32 / nx.max(1) as f32;
+        let mut rho = 0.08f32; // diffuse background
+        for h in &hl {
+            let dz = pdist(z, h.z);
+            let dy = pdist(y, h.y);
+            let dx = pdist(x, h.x);
+            let r2 = dz * dz + dy * dy + dx * dx;
+            rho += growth * h.mass * h.core * h.core / (r2 + h.core * h.core);
+        }
+        rho.ln()
+    })
+}
+
+/// Log temperature: smoother than density (shock-heated gas around halos).
+pub fn generate_log_temperature(dims: Dims, snapshot: u64) -> Field {
+    let (nz, ny, nx) = extents3(dims);
+    let hl = halos(0x7E3A_1111 ^ (snapshot / 8), 48);
+    let t = (snapshot % 8) as f32;
+    Field::from_fn(dims, |c| {
+        let z = c[0] as f32 / nz.max(1) as f32;
+        let y = c[1] as f32 / ny.max(1) as f32;
+        let x = c[2] as f32 / nx.max(1) as f32;
+        let mut temp = 1.0e4f32;
+        for h in &hl {
+            let dz = pdist(z, h.z);
+            let dy = pdist(y, h.y);
+            let dx = pdist(x, h.x);
+            let r2 = dz * dz + dy * dy + dx * dx;
+            // Wider, softer profiles than the density halos.
+            let w = 4.0 * h.core;
+            temp += 3.0e6 * h.mass * (-(r2) / (2.0 * w * w)).exp();
+        }
+        // Mild time evolution so snapshots differ.
+        (temp * (1.0 + 0.01 * t)).ln()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_log_scaled_and_peaked() {
+        let f = generate_log_density(Dims::d3(32, 32, 32), 0, 0);
+        let (lo, hi) = f.min_max();
+        // ln(0.08) ≈ -2.5 background; halos should push the max well above it.
+        assert!(lo > -4.0 && lo < 0.0, "lo = {lo}");
+        assert!(hi > lo + 1.0, "not enough dynamic range: {lo}..{hi}");
+        // The distribution must be skewed: mean well below the midpoint.
+        let mean: f32 = f.as_slice().iter().sum::<f32>() / f.len() as f32;
+        assert!(mean < (lo + hi) / 2.0);
+    }
+
+    #[test]
+    fn baryon_and_dark_matter_differ_but_correlate() {
+        let b = generate_log_density(Dims::d3(24, 24, 24), 0, 0);
+        let d = generate_log_density(Dims::d3(24, 24, 24), 0, 7);
+        assert_ne!(b, d);
+    }
+
+    #[test]
+    fn temperature_is_finite_and_positive_in_log() {
+        let f = generate_log_temperature(Dims::d3(24, 24, 24), 3);
+        assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        assert!(f.min_max().0 > 0.0); // ln(1e4) ≈ 9.2
+    }
+
+    #[test]
+    fn different_simulations_for_train_and_test() {
+        // Snapshots 0..7 share a halo catalogue; snapshot 8 starts a new one,
+        // mimicking the paper's "another simulation" test split.
+        let a = generate_log_density(Dims::d3(16, 16, 16), 0, 0);
+        let b = generate_log_density(Dims::d3(16, 16, 16), 7, 0);
+        let c = generate_log_density(Dims::d3(16, 16, 16), 8, 0);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "3D")]
+    fn rejects_wrong_rank() {
+        generate_log_density(Dims::d2(8, 8), 0, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Synthetic reverse-time-migration (RTM) seismic wavefield snapshots (3D).
+//!
+//! RTM snapshots are propagating acoustic wavefields: expanding, oscillatory
+//! wavefronts emitted by a source, reflected by layered geology. The dominant
+//! signal is a band-limited spherical wave packet whose radius grows with the
+//! snapshot index (time step), superimposed on weaker reflections from
+//! horizontal layers. Values are signed and oscillate around zero, which is
+//! the regime where transform-based compressors (ZFP) traditionally do well —
+//! making it a good stress test for the AE predictor.
+
+use aesz_tensor::{Dims, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn extents3(dims: Dims) -> (usize, usize, usize) {
+    match dims {
+        Dims::D3 { nz, ny, nx } => (nz, ny, nx),
+        _ => panic!("RTM wavefields are 3D"),
+    }
+}
+
+/// One snapshot of the propagating wavefield at "time step" `snapshot`.
+pub fn generate_wavefield(dims: Dims, snapshot: u64) -> Field {
+    let (nz, ny, nx) = extents3(dims);
+    let mut rng = StdRng::seed_from_u64(0x5E15_0001);
+    // Source position (fixed across snapshots, like a single shot record).
+    let (sz, sy, sx) = (
+        rng.gen_range(0.1..0.3f32),
+        rng.gen_range(0.4..0.6f32),
+        rng.gen_range(0.4..0.6f32),
+    );
+    // Layer interfaces (depths) and reflectivities.
+    let layers: Vec<(f32, f32)> = (0..6)
+        .map(|i| {
+            (
+                0.15 + 0.13 * i as f32 + rng.gen_range(-0.02..0.02),
+                rng.gen_range(-0.4..0.4f32),
+            )
+        })
+        .collect();
+    // Wavefront radius grows with the time step; wavelength is fixed.
+    let t = snapshot as f32;
+    let radius = 0.08 + 0.015 * t;
+    let k = 60.0; // wavenumber of the dominant oscillation
+    let pulse_width = 0.05f32;
+
+    Field::from_fn(dims, |c| {
+        let z = c[0] as f32 / nz.max(1) as f32;
+        let y = c[1] as f32 / ny.max(1) as f32;
+        let x = c[2] as f32 / nx.max(1) as f32;
+        let dz = z - sz;
+        let dy = y - sy;
+        let dx = x - sx;
+        let r = (dz * dz + dy * dy + dx * dx).sqrt();
+        // Direct wave: band-limited ricker-like packet around the current radius.
+        let arg = (r - radius) / pulse_width;
+        let geom = 1.0 / (r + 0.05);
+        let direct = geom * (-arg * arg).exp() * (k * (r - radius)).cos();
+        // Layer reflections: secondary packets mirrored at each interface.
+        let mut reflected = 0.0f32;
+        for &(depth, refl) in &layers {
+            if radius > (depth - sz).abs() {
+                let zz = 2.0 * depth - sz; // image source below the interface
+                let dzr = z - zz;
+                let rr = (dzr * dzr + dy * dy + dx * dx).sqrt();
+                let arg_r = (rr - radius) / pulse_width;
+                reflected += refl * (1.0 / (rr + 0.1)) * (-arg_r * arg_r).exp()
+                    * (k * (rr - radius)).cos();
+            }
+        }
+        direct + 0.5 * reflected
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavefield_is_signed_and_oscillatory() {
+        let f = generate_wavefield(Dims::d3(48, 48, 48), 10);
+        let (lo, hi) = f.min_max();
+        assert!(lo < 0.0 && hi > 0.0, "wavefield must oscillate: {lo}..{hi}");
+        // Most of the volume is near zero (quiet zone ahead of the front).
+        let near_zero = f
+            .as_slice()
+            .iter()
+            .filter(|v| v.abs() < 0.05 * hi.max(-lo))
+            .count();
+        assert!(near_zero * 2 > f.len(), "wavefield should be sparse");
+    }
+
+    #[test]
+    fn wavefront_expands_over_time() {
+        // Energy far from the source should grow as the snapshot index grows.
+        let early = generate_wavefield(Dims::d3(32, 32, 32), 2);
+        let late = generate_wavefield(Dims::d3(32, 32, 32), 30);
+        let shell_energy = |f: &Field| {
+            let s = f.as_slice();
+            let n = 32usize;
+            let mut e = 0.0f64;
+            for z in 0..n {
+                for y in 0..n {
+                    for x in 0..n {
+                        let dz = z as f32 / 32.0 - 0.5;
+                        let dy = y as f32 / 32.0 - 0.5;
+                        let dx = x as f32 / 32.0 - 0.5;
+                        if (dz * dz + dy * dy + dx * dx).sqrt() > 0.35 {
+                            e += (s[(z * n + y) * n + x] as f64).powi(2);
+                        }
+                    }
+                }
+            }
+            e
+        };
+        assert!(shell_energy(&late) > shell_energy(&early));
+    }
+
+    #[test]
+    fn deterministic_per_snapshot() {
+        assert_eq!(
+            generate_wavefield(Dims::d3(16, 16, 16), 5),
+            generate_wavefield(Dims::d3(16, 16, 16), 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "3D")]
+    fn rejects_wrong_rank() {
+        generate_wavefield(Dims::d2(16, 16), 0);
+    }
+}

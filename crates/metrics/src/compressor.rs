@@ -1,0 +1,114 @@
+//! The common interface every lossy compressor in the workspace implements.
+//!
+//! The benchmark harness sweeps error bounds across AE-SZ and the six
+//! comparison compressors of the paper; this trait is the only thing it needs
+//! to know about them. Error bounds are *value-range-relative* (ε in the
+//! paper): the absolute bound is `ε · (max − min)` of the input field.
+
+use aesz_tensor::Field;
+
+/// A lossy field compressor with (optionally) bounded pointwise error.
+pub trait Compressor {
+    /// Display name matching the paper's figures ("AE-SZ", "SZ2.1", "ZFP", …).
+    fn name(&self) -> &'static str;
+
+    /// Compress `field` under the value-range-relative error bound `rel_eb`.
+    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8>;
+
+    /// Reconstruct a field from bytes produced by [`Compressor::compress`].
+    fn decompress(&mut self, bytes: &[u8]) -> Field;
+
+    /// Whether the compressor guarantees `|dᵢ − d'ᵢ| ≤ rel_eb·range` pointwise.
+    /// (AE-B in the paper is the one comparison compressor that does not.)
+    fn is_error_bounded(&self) -> bool {
+        true
+    }
+}
+
+/// One measured operating point of a compressor on a field, as used by the
+/// rate-distortion sweeps of Fig. 8/11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Relative error bound requested.
+    pub rel_eb: f64,
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// PSNR of the reconstruction (dB).
+    pub psnr: f64,
+    /// Maximum absolute pointwise error of the reconstruction.
+    pub max_abs_error: f64,
+    /// Compression ratio.
+    pub compression_ratio: f64,
+    /// Bit rate (bits per data point).
+    pub bit_rate: f64,
+}
+
+/// Run one compressor over a field at one error bound and measure everything
+/// the evaluation needs.
+pub fn measure(compressor: &mut dyn Compressor, field: &Field, rel_eb: f64) -> SweepPoint {
+    let bytes = compressor.compress(field, rel_eb);
+    let recon = compressor.decompress(&bytes);
+    let stats = crate::error_stats::ErrorStats::compute(field.as_slice(), recon.as_slice());
+    let original_bytes = field.len() * std::mem::size_of::<f32>();
+    SweepPoint {
+        rel_eb,
+        compressed_bytes: bytes.len(),
+        psnr: stats.psnr,
+        max_abs_error: stats.max_abs_error,
+        compression_ratio: crate::rate_distortion::compression_ratio(original_bytes, bytes.len()),
+        bit_rate: crate::rate_distortion::bit_rate(bytes.len(), field.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_tensor::Dims;
+
+    /// A trivial "compressor" that stores the raw bytes, used to test `measure`.
+    struct Identity;
+
+    impl Compressor for Identity {
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+        fn compress(&mut self, field: &Field, _rel_eb: f64) -> Vec<u8> {
+            let mut out = Vec::new();
+            let e = field.dims().extents();
+            out.push(e.len() as u8);
+            for &d in &e {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&field.to_le_bytes());
+            out
+        }
+        fn decompress(&mut self, bytes: &[u8]) -> Field {
+            let rank = bytes[0] as usize;
+            let mut pos = 1;
+            let mut ext = Vec::new();
+            for _ in 0..rank {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&bytes[pos..pos + 8]);
+                ext.push(u64::from_le_bytes(b) as usize);
+                pos += 8;
+            }
+            let dims = match rank {
+                1 => Dims::d1(ext[0]),
+                2 => Dims::d2(ext[0], ext[1]),
+                _ => Dims::d3(ext[0], ext[1], ext[2]),
+            };
+            Field::from_le_bytes(dims, &bytes[pos..]).unwrap()
+        }
+    }
+
+    #[test]
+    fn measure_reports_lossless_roundtrip() {
+        let field = Field::from_fn(Dims::d2(16, 16), |c| (c[0] + c[1]) as f32);
+        let mut ident = Identity;
+        let p = measure(&mut ident, &field, 1e-3);
+        assert!(p.psnr.is_infinite());
+        assert_eq!(p.max_abs_error, 0.0);
+        assert!(p.compression_ratio < 1.01);
+        assert!(p.bit_rate > 31.9);
+    }
+}

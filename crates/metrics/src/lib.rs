@@ -1,0 +1,18 @@
+//! # aesz-metrics
+//!
+//! Compression-quality metrics used throughout the evaluation: PSNR, MSE,
+//! NRMSE, maximum pointwise error, bit rate, compression ratio, and simple
+//! rate-distortion curve containers. Definitions follow Section III-B of the
+//! AE-SZ paper:
+//!
+//! * `PSNR = 20·log10(vrange(D)) − 10·log10(mse(D, D'))`
+//! * `bit rate = compressed bits / number of data points`
+//! * `compression ratio = |D| / |D'|` in bytes.
+
+pub mod compressor;
+pub mod error_stats;
+pub mod rate_distortion;
+
+pub use compressor::{measure, Compressor, SweepPoint};
+pub use error_stats::{max_abs_error, mse, nrmse, psnr, verify_error_bound, ErrorStats};
+pub use rate_distortion::{bit_rate, compression_ratio, RdCurve, RdPoint};

@@ -1,0 +1,176 @@
+//! Bit rate, compression ratio, and rate-distortion curve containers.
+//!
+//! Figure 8, Figure 11 and the zoomed inserts of the paper are all
+//! rate-distortion plots: PSNR (dB) on the y-axis against bit rate
+//! (bits per data point) on the x-axis. [`RdCurve`] accumulates the sweep
+//! points produced by the benchmark harness and renders them as aligned text
+//! tables so the harness binaries can print paper-style series.
+
+/// Bit rate in bits per data point for a compressed payload.
+pub fn bit_rate(compressed_bytes: usize, num_points: usize) -> f64 {
+    if num_points == 0 {
+        return 0.0;
+    }
+    compressed_bytes as f64 * 8.0 / num_points as f64
+}
+
+/// Compression ratio `original bytes / compressed bytes`.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    if compressed_bytes == 0 {
+        return f64::INFINITY;
+    }
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// One point of a rate-distortion sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdPoint {
+    /// Value-range-relative error bound used for this point.
+    pub error_bound: f64,
+    /// Bits per data point.
+    pub bit_rate: f64,
+    /// PSNR in dB.
+    pub psnr: f64,
+    /// Compression ratio.
+    pub compression_ratio: f64,
+}
+
+/// A named rate-distortion curve (one compressor on one field).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RdCurve {
+    /// Label shown in tables/plots (e.g. "AE-SZ", "SZ2.1").
+    pub name: String,
+    /// Sweep points in the order they were added.
+    pub points: Vec<RdPoint>,
+}
+
+impl RdCurve {
+    /// Empty curve with the given label.
+    pub fn new(name: impl Into<String>) -> Self {
+        RdCurve {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append one sweep point.
+    pub fn push(&mut self, point: RdPoint) {
+        self.points.push(point);
+    }
+
+    /// Interpolated bit rate at a target PSNR (linear interpolation on the
+    /// curve sorted by PSNR); `None` when the target lies outside the sweep.
+    pub fn bit_rate_at_psnr(&self, target_psnr: f64) -> Option<f64> {
+        let mut pts: Vec<&RdPoint> = self.points.iter().filter(|p| p.psnr.is_finite()).collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        pts.sort_by(|a, b| a.psnr.partial_cmp(&b.psnr).expect("finite PSNRs"));
+        if target_psnr < pts[0].psnr || target_psnr > pts[pts.len() - 1].psnr {
+            return None;
+        }
+        for w in pts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if (a.psnr..=b.psnr).contains(&target_psnr) {
+                let t = if b.psnr == a.psnr {
+                    0.0
+                } else {
+                    (target_psnr - a.psnr) / (b.psnr - a.psnr)
+                };
+                return Some(a.bit_rate + t * (b.bit_rate - a.bit_rate));
+            }
+        }
+        None
+    }
+
+    /// Interpolated compression ratio at a target PSNR.
+    pub fn cr_at_psnr(&self, target_psnr: f64) -> Option<f64> {
+        self.bit_rate_at_psnr(target_psnr).map(|br| {
+            if br <= 0.0 {
+                f64::INFINITY
+            } else {
+                32.0 / br
+            }
+        })
+    }
+
+    /// Render the curve as an aligned text table (error bound, bit rate, PSNR, CR).
+    pub fn to_table(&self) -> String {
+        let mut s = format!(
+            "{:<12} {:>12} {:>10} {:>10} {:>10}\n",
+            self.name, "err_bound", "bit_rate", "PSNR", "CR"
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:<12} {:>12.2e} {:>10.4} {:>10.2} {:>10.2}\n",
+                "", p.error_bound, p.bit_rate, p.psnr, p.compression_ratio
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_rate_and_cr_basics() {
+        // 1000 f32 points compressed to 500 bytes → 4 bits/point, CR 8.
+        assert!((bit_rate(500, 1000) - 4.0).abs() < 1e-12);
+        assert!((compression_ratio(4000, 500) - 8.0).abs() < 1e-12);
+        assert_eq!(bit_rate(10, 0), 0.0);
+        assert!(compression_ratio(100, 0).is_infinite());
+    }
+
+    #[test]
+    fn curve_interpolation() {
+        let mut c = RdCurve::new("test");
+        c.push(RdPoint {
+            error_bound: 1e-2,
+            bit_rate: 0.5,
+            psnr: 40.0,
+            compression_ratio: 64.0,
+        });
+        c.push(RdPoint {
+            error_bound: 1e-3,
+            bit_rate: 1.5,
+            psnr: 60.0,
+            compression_ratio: 21.3,
+        });
+        let br = c.bit_rate_at_psnr(50.0).unwrap();
+        assert!((br - 1.0).abs() < 1e-12);
+        assert!((c.cr_at_psnr(50.0).unwrap() - 32.0).abs() < 1e-9);
+        assert!(c.bit_rate_at_psnr(10.0).is_none());
+        assert!(c.bit_rate_at_psnr(90.0).is_none());
+    }
+
+    #[test]
+    fn interpolation_needs_two_points() {
+        let mut c = RdCurve::new("one");
+        assert!(c.bit_rate_at_psnr(40.0).is_none());
+        c.push(RdPoint {
+            error_bound: 1e-2,
+            bit_rate: 1.0,
+            psnr: 40.0,
+            compression_ratio: 32.0,
+        });
+        assert!(c.bit_rate_at_psnr(40.0).is_none());
+    }
+
+    #[test]
+    fn table_contains_all_points() {
+        let mut c = RdCurve::new("AE-SZ");
+        for i in 1..=3 {
+            c.push(RdPoint {
+                error_bound: 10f64.powi(-i),
+                bit_rate: i as f64,
+                psnr: 30.0 + i as f64,
+                compression_ratio: 32.0 / i as f64,
+            });
+        }
+        let table = c.to_table();
+        assert!(table.starts_with("AE-SZ"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

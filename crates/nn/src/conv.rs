@@ -1,0 +1,425 @@
+//! N-dimensional convolution layers (2D and 3D spatial).
+//!
+//! The AE-SZ encoder stacks `Conv(stride 1) → Conv(stride 2) → GDN` blocks;
+//! the decoder mirrors them with upsampling + convolution (see
+//! [`crate::upsample`]). Kernels are 3×3 (2D) or 3×3×3 (3D) as in the paper.
+//! Internally every input is treated as 5-D `(N, C, D, H, W)` with `D = 1`
+//! for 2D data, so a single implementation covers both ranks.
+//!
+//! Padding is always `k/2` ("same"), so stride-1 convolutions preserve the
+//! spatial size and stride-2 convolutions halve it (for even sizes).
+
+use crate::layer::{Layer, Param};
+use aesz_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+
+/// Convolution over 2 or 3 spatial dimensions with cubic kernels.
+pub struct ConvNd {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    spatial_rank: usize,
+    cached_input: Option<Tensor>,
+}
+
+/// Shape of an activation viewed as (N, C, D, H, W) with D=1 for 2D data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Act5 {
+    pub n: usize,
+    pub c: usize,
+    pub d: usize,
+    pub h: usize,
+    pub w: usize,
+}
+
+impl Act5 {
+    pub(crate) fn from_shape(shape: &[usize], spatial_rank: usize) -> Act5 {
+        match (shape.len(), spatial_rank) {
+            (4, 2) => Act5 {
+                n: shape[0],
+                c: shape[1],
+                d: 1,
+                h: shape[2],
+                w: shape[3],
+            },
+            (5, 3) => Act5 {
+                n: shape[0],
+                c: shape[1],
+                d: shape[2],
+                h: shape[3],
+                w: shape[4],
+            },
+            _ => panic!(
+                "activation shape {shape:?} incompatible with spatial rank {spatial_rank}"
+            ),
+        }
+    }
+
+    pub(crate) fn to_shape(self, spatial_rank: usize) -> Vec<usize> {
+        match spatial_rank {
+            2 => vec![self.n, self.c, self.h, self.w],
+            3 => vec![self.n, self.c, self.d, self.h, self.w],
+            r => panic!("unsupported spatial rank {r}"),
+        }
+    }
+
+    pub(crate) fn spatial_len(&self) -> usize {
+        self.d * self.h * self.w
+    }
+
+    pub(crate) fn sample_len(&self) -> usize {
+        self.c * self.spatial_len()
+    }
+}
+
+impl ConvNd {
+    /// New convolution layer. `spatial_rank` must be 2 or 3; `kernel` is the
+    /// cubic kernel edge (3 in the paper); `stride` 1 or 2.
+    pub fn new(
+        spatial_rank: usize,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(spatial_rank == 2 || spatial_rank == 3, "spatial rank must be 2 or 3");
+        assert!(kernel % 2 == 1, "kernel edge must be odd for same-padding");
+        let k_elems = kernel.pow(spatial_rank as u32);
+        let fan_in = in_channels * k_elems;
+        let weight = init::kaiming(&[out_channels, in_channels * k_elems], fan_in, rng);
+        ConvNd {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            spatial_rank,
+            cached_input: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn kernel_dims(&self) -> (usize, usize, usize) {
+        if self.spatial_rank == 2 {
+            (1, self.kernel, self.kernel)
+        } else {
+            (self.kernel, self.kernel, self.kernel)
+        }
+    }
+
+    fn pads(&self) -> (isize, isize, isize) {
+        let p = (self.kernel / 2) as isize;
+        if self.spatial_rank == 2 {
+            (0, p, p)
+        } else {
+            (p, p, p)
+        }
+    }
+
+    fn out_extent(extent: usize, kernel: usize, pad: isize, stride: usize) -> usize {
+        (extent as isize + 2 * pad - kernel as isize) as usize / stride + 1
+    }
+
+    fn output_act(&self, input: Act5) -> Act5 {
+        let (kd, kh, kw) = self.kernel_dims();
+        let (pd, ph, pw) = self.pads();
+        let sd = if self.spatial_rank == 2 { 1 } else { self.stride };
+        Act5 {
+            n: input.n,
+            c: self.out_channels,
+            d: Self::out_extent(input.d, kd, pd, sd),
+            h: Self::out_extent(input.h, kh, ph, self.stride),
+            w: Self::out_extent(input.w, kw, pw, self.stride),
+        }
+    }
+}
+
+impl Layer for ConvNd {
+    fn name(&self) -> &'static str {
+        "ConvNd"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let ia = Act5::from_shape(input.shape(), self.spatial_rank);
+        assert_eq!(ia.c, self.in_channels, "channel count mismatch");
+        let oa = self.output_act(ia);
+        let (kd, kh, kw) = self.kernel_dims();
+        let (pd, ph, pw) = self.pads();
+        let sd = if self.spatial_rank == 2 { 1 } else { self.stride };
+        let (sh, sw) = (self.stride, self.stride);
+        let x = input.as_slice();
+        let w = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        let k_elems = kd * kh * kw;
+
+        let in_sample = ia.sample_len();
+        let out_sample = oa.sample_len();
+        let mut out = vec![0.0f32; oa.n * out_sample];
+
+        out.par_chunks_mut(out_sample).enumerate().for_each(|(n, o_n)| {
+            let x_n = &x[n * in_sample..(n + 1) * in_sample];
+            for co in 0..oa.c {
+                let w_co = &w[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
+                for od in 0..oa.d {
+                    for oh in 0..oa.h {
+                        for ow in 0..oa.w {
+                            let mut acc = b[co];
+                            for ci in 0..ia.c {
+                                let w_ci = &w_co[ci * k_elems..(ci + 1) * k_elems];
+                                let x_ci = &x_n[ci * ia.spatial_len()..(ci + 1) * ia.spatial_len()];
+                                for dk in 0..kd {
+                                    let id = od as isize * sd as isize - pd + dk as isize;
+                                    if id < 0 || id >= ia.d as isize {
+                                        continue;
+                                    }
+                                    for hk in 0..kh {
+                                        let ih = oh as isize * sh as isize - ph + hk as isize;
+                                        if ih < 0 || ih >= ia.h as isize {
+                                            continue;
+                                        }
+                                        for wk in 0..kw {
+                                            let iw = ow as isize * sw as isize - pw + wk as isize;
+                                            if iw < 0 || iw >= ia.w as isize {
+                                                continue;
+                                            }
+                                            let xi = (id as usize * ia.h + ih as usize) * ia.w
+                                                + iw as usize;
+                                            let wi = (dk * kh + hk) * kw + wk;
+                                            acc += x_ci[xi] * w_ci[wi];
+                                        }
+                                    }
+                                }
+                            }
+                            o_n[(co * oa.d + od) * oa.h * oa.w + oh * oa.w + ow] = acc;
+                        }
+                    }
+                }
+            }
+        });
+
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(&oa.to_shape(self.spatial_rank), out).expect("consistent shape")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let ia = Act5::from_shape(input.shape(), self.spatial_rank);
+        let oa = self.output_act(ia);
+        assert_eq!(grad_output.shape(), &oa.to_shape(self.spatial_rank)[..]);
+
+        let (kd, kh, kw) = self.kernel_dims();
+        let (pd, ph, pw) = self.pads();
+        let sd = if self.spatial_rank == 2 { 1 } else { self.stride };
+        let (sh, sw) = (self.stride, self.stride);
+        let k_elems = kd * kh * kw;
+
+        let x = input.as_slice();
+        let go = grad_output.as_slice();
+        let w = self.weight.value.as_slice();
+        let gw = self.weight.grad.as_mut_slice();
+        let gb = self.bias.grad.as_mut_slice();
+        let mut gx = vec![0.0f32; x.len()];
+
+        let in_sample = ia.sample_len();
+        let out_sample = oa.sample_len();
+        for n in 0..ia.n {
+            let x_n = &x[n * in_sample..(n + 1) * in_sample];
+            let go_n = &go[n * out_sample..(n + 1) * out_sample];
+            let gx_n = &mut gx[n * in_sample..(n + 1) * in_sample];
+            for co in 0..oa.c {
+                let w_co = &w[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
+                let gw_co = &mut gw[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
+                for od in 0..oa.d {
+                    for oh in 0..oa.h {
+                        for ow in 0..oa.w {
+                            let g = go_n[(co * oa.d + od) * oa.h * oa.w + oh * oa.w + ow];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            gb[co] += g;
+                            for ci in 0..ia.c {
+                                let base_x = ci * ia.spatial_len();
+                                let base_w = ci * k_elems;
+                                for dk in 0..kd {
+                                    let id = od as isize * sd as isize - pd + dk as isize;
+                                    if id < 0 || id >= ia.d as isize {
+                                        continue;
+                                    }
+                                    for hk in 0..kh {
+                                        let ih = oh as isize * sh as isize - ph + hk as isize;
+                                        if ih < 0 || ih >= ia.h as isize {
+                                            continue;
+                                        }
+                                        for wk in 0..kw {
+                                            let iw = ow as isize * sw as isize - pw + wk as isize;
+                                            if iw < 0 || iw >= ia.w as isize {
+                                                continue;
+                                            }
+                                            let xi = base_x
+                                                + (id as usize * ia.h + ih as usize) * ia.w
+                                                + iw as usize;
+                                            let wi = base_w + (dk * kh + hk) * kw + wk;
+                                            gw_co[wi] += g * x_n[xi];
+                                            gx_n[xi] += g * w_co[wi];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Tensor::from_vec(input.shape(), gx).expect("consistent shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+}
+
+/// Reshape layer: maps `(N, …)` activations to `(N, per_sample_shape…)`.
+/// Used to flatten convolutional feature maps before the dense latent layer
+/// and to unflatten them again in the decoder.
+pub struct Reshape {
+    per_sample_shape: Vec<usize>,
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl Reshape {
+    /// Reshape every sample to `per_sample_shape` (product must match).
+    pub fn new(per_sample_shape: Vec<usize>) -> Self {
+        Reshape {
+            per_sample_shape,
+            cached_in_shape: None,
+        }
+    }
+}
+
+impl Layer for Reshape {
+    fn name(&self) -> &'static str {
+        "Reshape"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let n = input.shape()[0];
+        let per_sample: usize = input.shape()[1..].iter().product();
+        let target: usize = self.per_sample_shape.iter().product();
+        assert_eq!(per_sample, target, "reshape element count mismatch");
+        self.cached_in_shape = Some(input.shape().to_vec());
+        let mut shape = vec![n];
+        shape.extend_from_slice(&self.per_sample_shape);
+        input.reshape(&shape).expect("element count checked")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let in_shape = self
+            .cached_in_shape
+            .as_ref()
+            .expect("backward called before forward");
+        grad_output.reshape(in_shape).expect("same element count")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::grad_check_input;
+    use aesz_tensor::init::rng;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut r = rng(1);
+        let mut conv = ConvNd::new(2, 1, 1, 3, 1, &mut r);
+        // Set the kernel to a centred delta.
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0;
+        conv.weight.value = Tensor::from_vec(&[1, 9], w).unwrap();
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_size() {
+        let mut r = rng(2);
+        let mut conv2 = ConvNd::new(2, 3, 8, 3, 2, &mut r);
+        let x = init::normal(&[2, 3, 16, 16], 0.0, 1.0, &mut r);
+        assert_eq!(conv2.forward(&x).shape(), &[2, 8, 8, 8]);
+
+        let mut conv3 = ConvNd::new(3, 2, 4, 3, 2, &mut r);
+        let x3 = init::normal(&[1, 2, 8, 8, 8], 0.0, 1.0, &mut r);
+        assert_eq!(conv3.forward(&x3).shape(), &[1, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn averaging_kernel_computes_local_means() {
+        let mut r = rng(3);
+        let mut conv = ConvNd::new(2, 1, 1, 3, 1, &mut r);
+        conv.weight.value = Tensor::full(&[1, 9], 1.0 / 9.0);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::ones(&[1, 1, 5, 5]);
+        let y = conv.forward(&x);
+        // Interior of an all-ones image stays 1 under a mean filter.
+        assert!((y.at(&[0, 0, 2, 2]) - 1.0).abs() < 1e-6);
+        // Corner sees only 4 of 9 taps.
+        assert!((y.at(&[0, 0, 0, 0]) - 4.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_check_2d() {
+        let mut r = rng(4);
+        let mut conv = ConvNd::new(2, 2, 3, 3, 1, &mut r);
+        let x = init::normal(&[1, 2, 5, 5], 0.0, 1.0, &mut r);
+        let err = grad_check_input(&mut conv, &x, 1e-2);
+        assert!(err < 2e-2, "relative gradient error {err}");
+    }
+
+    #[test]
+    fn gradient_check_3d_strided() {
+        let mut r = rng(5);
+        let mut conv = ConvNd::new(3, 2, 2, 3, 2, &mut r);
+        let x = init::normal(&[1, 2, 4, 4, 4], 0.0, 1.0, &mut r);
+        let err = grad_check_input(&mut conv, &x, 1e-2);
+        assert!(err < 2e-2, "relative gradient error {err}");
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let mut flat = Reshape::new(vec![12]);
+        let x = Tensor::from_vec(&[2, 3, 2, 2], (0..24).map(|v| v as f32).collect()).unwrap();
+        let y = flat.forward(&x);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = flat.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 2, 2]);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn rejects_wrong_channel_count() {
+        let mut r = rng(6);
+        let mut conv = ConvNd::new(2, 3, 4, 3, 1, &mut r);
+        conv.forward(&Tensor::zeros(&[1, 2, 8, 8]));
+    }
+}

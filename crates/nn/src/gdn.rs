@@ -1,0 +1,258 @@
+//! Generalized Divisive Normalization (GDN) and its inverse (iGDN).
+//!
+//! GDN (Ballé et al.) normalises each channel by a learned combination of the
+//! squared activations of all channels at the same spatial position:
+//!
+//! `y_c = x_c / sqrt(β_c + Σ_j γ_{c,j} · x_j²)`
+//!
+//! and iGDN multiplies instead of dividing. The paper replaces every classic
+//! activation in AE-SZ with GDN/iGDN (encoder/decoder respectively) and
+//! reports better reconstruction quality than ReLU/LeakyReLU/BatchNorm.
+//!
+//! β and γ must stay positive; they are stored as raw parameters whose squares
+//! are used in the forward pass, which keeps the constraint differentiable.
+
+use crate::conv::Act5;
+use crate::layer::{Layer, Param};
+use aesz_tensor::Tensor;
+
+/// Shared implementation of GDN (divide) and iGDN (multiply).
+pub struct Gdn {
+    /// Raw β parameters; effective β = raw² + ε.
+    beta_raw: Param,
+    /// Raw γ parameters (C×C); effective γ = raw².
+    gamma_raw: Param,
+    channels: usize,
+    spatial_rank: usize,
+    inverse: bool,
+    cached_input: Option<Tensor>,
+}
+
+const BETA_EPS: f32 = 1e-6;
+
+impl Gdn {
+    /// New GDN (`inverse = false`) or iGDN (`inverse = true`) over `channels`.
+    pub fn new(spatial_rank: usize, channels: usize, inverse: bool) -> Self {
+        // β starts at 1, γ at 0.1 on the diagonal and a small positive value
+        // elsewhere so off-diagonal interactions can still receive gradient.
+        let beta_raw = Tensor::ones(&[channels]);
+        let mut gamma = vec![0.05f32; channels * channels];
+        for c in 0..channels {
+            gamma[c * channels + c] = 0.1f32.sqrt();
+        }
+        Gdn {
+            beta_raw: Param::new(beta_raw),
+            gamma_raw: Param::new(Tensor::from_vec(&[channels, channels], gamma).expect("shape")),
+            channels,
+            spatial_rank,
+            inverse,
+            cached_input: None,
+        }
+    }
+
+    /// Effective (positive) β values.
+    fn beta(&self) -> Vec<f32> {
+        self.beta_raw
+            .value
+            .as_slice()
+            .iter()
+            .map(|&b| b * b + BETA_EPS)
+            .collect()
+    }
+
+    /// Effective (non-negative) γ values.
+    fn gamma(&self) -> Vec<f32> {
+        self.gamma_raw.value.as_slice().iter().map(|&g| g * g).collect()
+    }
+}
+
+impl Layer for Gdn {
+    fn name(&self) -> &'static str {
+        if self.inverse {
+            "iGDN"
+        } else {
+            "GDN"
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let a = Act5::from_shape(input.shape(), self.spatial_rank);
+        assert_eq!(a.c, self.channels, "GDN channel mismatch");
+        let beta = self.beta();
+        let gamma = self.gamma();
+        let x = input.as_slice();
+        let spatial = a.spatial_len();
+        let mut out = vec![0.0f32; x.len()];
+        for n in 0..a.n {
+            let base = n * a.c * spatial;
+            for s in 0..spatial {
+                // Gather x_j² at this position.
+                let mut sq = vec![0.0f32; a.c];
+                for (j, sqj) in sq.iter_mut().enumerate() {
+                    let v = x[base + j * spatial + s];
+                    *sqj = v * v;
+                }
+                for c in 0..a.c {
+                    let mut denom = beta[c];
+                    let grow = &gamma[c * a.c..(c + 1) * a.c];
+                    for j in 0..a.c {
+                        denom += grow[j] * sq[j];
+                    }
+                    let xc = x[base + c * spatial + s];
+                    out[base + c * spatial + s] = if self.inverse {
+                        xc * denom.sqrt()
+                    } else {
+                        xc / denom.sqrt()
+                    };
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(input.shape(), out).expect("consistent shape")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let a = Act5::from_shape(input.shape(), self.spatial_rank);
+        let beta = self.beta();
+        let gamma = self.gamma();
+        let x = input.as_slice();
+        let go = grad_output.as_slice();
+        let spatial = a.spatial_len();
+
+        let beta_raw = self.beta_raw.value.as_slice().to_vec();
+        let gamma_raw = self.gamma_raw.value.as_slice().to_vec();
+        let gbeta_raw = self.beta_raw.grad.as_mut_slice();
+        let ggamma_raw = self.gamma_raw.grad.as_mut_slice();
+        let mut gx = vec![0.0f32; x.len()];
+
+        for n in 0..a.n {
+            let base = n * a.c * spatial;
+            for s in 0..spatial {
+                let mut xs = vec![0.0f32; a.c];
+                let mut sq = vec![0.0f32; a.c];
+                for j in 0..a.c {
+                    let v = x[base + j * spatial + s];
+                    xs[j] = v;
+                    sq[j] = v * v;
+                }
+                for c in 0..a.c {
+                    let g = go[base + c * spatial + s];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let grow = &gamma[c * a.c..(c + 1) * a.c];
+                    let mut denom = beta[c];
+                    for j in 0..a.c {
+                        denom += grow[j] * sq[j];
+                    }
+                    let xc = xs[c];
+                    if self.inverse {
+                        let root = denom.sqrt();
+                        let inv_root = 1.0 / root;
+                        // dy/dx_k = δ_ck·√denom + x_c·γ_ck·x_k/√denom
+                        gx[base + c * spatial + s] += g * root;
+                        for k in 0..a.c {
+                            gx[base + k * spatial + s] += g * xc * grow[k] * xs[k] * inv_root;
+                        }
+                        // dy/dβ_c = x_c / (2√denom); dy/dγ_cj = x_c·x_j² / (2√denom)
+                        let dbeta = g * xc * 0.5 * inv_root;
+                        gbeta_raw[c] += dbeta * 2.0 * beta_raw[c];
+                        for j in 0..a.c {
+                            let dgamma = g * xc * 0.5 * inv_root * sq[j];
+                            ggamma_raw[c * a.c + j] += dgamma * 2.0 * gamma_raw[c * a.c + j];
+                        }
+                    } else {
+                        let inv_root = 1.0 / denom.sqrt();
+                        let inv_3 = inv_root / denom;
+                        // dy/dx_k = δ_ck/√denom − x_c·γ_ck·x_k/denom^{3/2}
+                        gx[base + c * spatial + s] += g * inv_root;
+                        for k in 0..a.c {
+                            gx[base + k * spatial + s] -= g * xc * grow[k] * xs[k] * inv_3;
+                        }
+                        // dy/dβ_c = −x_c/(2·denom^{3/2}); dy/dγ_cj adds x_j².
+                        let dbeta = -g * xc * 0.5 * inv_3;
+                        gbeta_raw[c] += dbeta * 2.0 * beta_raw[c];
+                        for j in 0..a.c {
+                            let dgamma = -g * xc * 0.5 * inv_3 * sq[j];
+                            ggamma_raw[c * a.c + j] += dgamma * 2.0 * gamma_raw[c * a.c + j];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(input.shape(), gx).expect("consistent shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.beta_raw, &mut self.gamma_raw]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.beta_raw, &self.gamma_raw]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::grad_check_input;
+    use aesz_tensor::init::{normal, rng};
+
+    #[test]
+    fn forward_matches_closed_form_for_single_channel() {
+        // With one channel, β = 1 + ε and γ = 0.1: y = x / sqrt(1 + 0.1 x²).
+        let mut gdn = Gdn::new(2, 1, false);
+        let x = Tensor::from_vec(&[1, 1, 1, 3], vec![0.0, 1.0, -2.0]).unwrap();
+        let y = gdn.forward(&x);
+        let expect = |v: f32| v / (1.0 + BETA_EPS + 0.1 * v * v).sqrt();
+        for (a, &b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - expect(b)).abs() < 1e-4, "{a} vs {}", expect(b));
+        }
+    }
+
+    #[test]
+    fn igdn_approximately_inverts_gdn_for_small_inputs() {
+        let mut gdn = Gdn::new(2, 4, false);
+        let mut igdn = Gdn::new(2, 4, true);
+        let mut r = rng(1);
+        let x = normal(&[2, 4, 3, 3], 0.0, 0.1, &mut r);
+        let y = gdn.forward(&x);
+        let z = igdn.forward(&y);
+        // With identical fresh parameters the composition is close to the identity
+        // for small activations (denominators near β = 1).
+        for (a, b) in x.as_slice().iter().zip(z.as_slice()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_gdn() {
+        let mut gdn = Gdn::new(2, 3, false);
+        let mut r = rng(2);
+        let x = normal(&[1, 3, 4, 4], 0.0, 1.0, &mut r);
+        let err = grad_check_input(&mut gdn, &x, 1e-3);
+        assert!(err < 2e-2, "relative gradient error {err}");
+    }
+
+    #[test]
+    fn gradient_check_igdn_3d() {
+        let mut igdn = Gdn::new(3, 2, true);
+        let mut r = rng(3);
+        let x = normal(&[1, 2, 3, 3, 3], 0.0, 1.0, &mut r);
+        let err = grad_check_input(&mut igdn, &x, 1e-3);
+        assert!(err < 2e-2, "relative gradient error {err}");
+    }
+
+    #[test]
+    fn parameters_stay_positive_under_the_reparameterisation() {
+        let gdn = Gdn::new(2, 8, false);
+        assert!(gdn.beta().iter().all(|&b| b > 0.0));
+        assert!(gdn.gamma().iter().all(|&g| g >= 0.0));
+        assert_eq!(gdn.params().len(), 2);
+        assert_eq!(gdn.num_params(), 8 + 64);
+    }
+}

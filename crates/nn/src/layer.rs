@@ -1,0 +1,131 @@
+//! The `Layer` trait and trainable parameters.
+//!
+//! Layers own their parameters and cache whatever they need from the forward
+//! pass to compute gradients in the backward pass (classic define-by-layer
+//! backprop; no tape/autograd). The optimizer walks the parameter list each
+//! step, so `Param` keeps the gradient accumulator alongside the value.
+
+use aesz_tensor::Tensor;
+
+/// A trainable parameter: value plus gradient accumulator of identical shape.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value of the parameter.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Parameter initialised to `value` with a zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Reset the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_();
+    }
+
+    /// Number of scalar weights in this parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True for parameters with no elements (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A neural-network layer with explicit forward/backward passes.
+pub trait Layer: Send {
+    /// Human-readable layer name (used in summaries and serialization).
+    fn name(&self) -> &'static str;
+
+    /// Run the layer on `input`, caching activations needed by `backward`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Propagate `grad_output` (∂loss/∂output) back through the layer,
+    /// accumulating parameter gradients and returning ∂loss/∂input.
+    ///
+    /// Must be called after `forward` with the matching input.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to the trainable parameters (empty for stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Immutable access to the trainable parameters.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Total number of scalar weights.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Finite-difference gradient checking helper used by layer unit tests.
+///
+/// Returns the maximum relative error between the analytic input gradient of
+/// `layer` and a central-difference estimate on the scalar loss
+/// `L = Σ out·coeffs` (a fixed random linear functional of the output).
+#[cfg(test)]
+pub fn grad_check_input(layer: &mut dyn Layer, input: &Tensor, eps: f32) -> f32 {
+    let out = layer.forward(input);
+    // Fixed pseudo-random coefficients.
+    let coeffs: Vec<f32> = (0..out.len())
+        .map(|i| ((i as f32 * 12.9898).sin() * 43_758.547).fract() - 0.5)
+        .collect();
+    let grad_out = Tensor::from_vec(out.shape(), coeffs.clone()).expect("shape matches");
+    let analytic = layer.backward(&grad_out);
+
+    let loss = |layer: &mut dyn Layer, x: &Tensor| -> f64 {
+        let o = layer.forward(x);
+        o.as_slice()
+            .iter()
+            .zip(coeffs.iter())
+            .map(|(&a, &c)| a as f64 * c as f64)
+            .sum()
+    };
+
+    let mut max_rel = 0.0f32;
+    // Probe a subset of the input elements (all of them for small inputs).
+    let stride = (input.len() / 64).max(1);
+    for i in (0..input.len()).step_by(stride) {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let numeric = ((loss(layer, &plus) - loss(layer, &minus)) / (2.0 * eps as f64)) as f32;
+        let a = analytic.as_slice()[i];
+        let denom = numeric.abs().max(a.abs()).max(1e-3);
+        max_rel = max_rel.max((numeric - a).abs() / denom);
+    }
+    max_rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_tracks_grad_shape() {
+        let p = Param::new(Tensor::ones(&[3, 4]));
+        assert_eq!(p.grad.shape(), &[3, 4]);
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.grad = Tensor::full(&[4], 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # aesz-nn
+//!
+//! A minimal, CPU-only deep-learning framework built from scratch for the
+//! AE-SZ reproduction. The paper trains its autoencoders with PyTorch on
+//! V100 GPUs; this crate provides the same building blocks in pure Rust so
+//! the full compression pipeline (encode → compress latents → decode →
+//! quantize residuals) can be exercised end to end:
+//!
+//! * [`layer`] — the `Layer` trait (manual forward/backward) and `Param`.
+//! * [`dense`], [`conv`], [`upsample`], [`gdn`], [`activation`] — the layers
+//!   used by the paper's architecture: strided convolutions, GDN/iGDN
+//!   nonlinearities, fully-connected resize layers, Tanh output.
+//! * [`sequential`] — ordered layer stacks with joint backward.
+//! * [`loss`] — reconstruction losses (MSE, L1, log-cosh) and the
+//!   distribution-matching regularizers that differentiate the autoencoder
+//!   zoo: KL divergence (VAE / β-VAE), MMD (Info-VAE / WAE-MMD), covariance
+//!   penalties (DIP-VAE) and the sliced-Wasserstein distance (SWAE).
+//! * [`optim`] — Adam and SGD.
+//! * [`models`] — the blockwise convolutional autoencoder of AE-SZ
+//!   (Fig. 3/4 of the paper) and the eight-variant autoencoder zoo of
+//!   Table I.
+//! * [`train`] — mini-batch training loops over data blocks.
+//! * [`serialize`] — flat binary save/load of model weights, so a trained
+//!   predictor can be stored next to the compressed data like the paper's
+//!   network files.
+//!
+//! Everything is deterministic given a seed; training parallelises over the
+//! mini-batch with rayon.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod gdn;
+pub mod layer;
+pub mod loss;
+pub mod models;
+pub mod optim;
+pub mod sequential;
+pub mod serialize;
+pub mod train;
+pub mod upsample;
+
+pub use layer::{Layer, Param};
+pub use models::conv_ae::{AeConfig, ConvAutoencoder};
+pub use models::zoo::AeVariant;
+pub use optim::Adam;
+pub use sequential::Sequential;
+pub use train::{TrainConfig, Trainer};

@@ -1,0 +1,146 @@
+//! Loss functions and distribution-matching regularizers.
+//!
+//! Reconstruction losses return both the scalar loss and its gradient with
+//! respect to the reconstruction; regularizers return the loss and its
+//! gradient with respect to the latent codes (and, for VAE-style models, the
+//! mean/log-variance heads). The autoencoder zoo of Table I differs almost
+//! entirely in which of these terms it combines.
+
+pub mod kl;
+pub mod mmd;
+pub mod swd;
+
+pub use kl::kl_divergence;
+pub use mmd::mmd_rbf;
+pub use swd::{sliced_wasserstein, SwdConfig};
+
+use aesz_tensor::Tensor;
+
+/// Mean squared error loss: `L = mean((ŷ − y)²)`, gradient `2(ŷ − y)/n`.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape());
+    let n = prediction.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad: Vec<f32> = prediction
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d * d;
+            2.0 * d / n
+        })
+        .collect();
+    (
+        loss / n,
+        Tensor::from_vec(prediction.shape(), grad).expect("same shape"),
+    )
+}
+
+/// Mean absolute error loss: `L = mean(|ŷ − y|)`, gradient `sign(ŷ − y)/n`.
+pub fn l1(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape());
+    let n = prediction.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad: Vec<f32> = prediction
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d.abs();
+            d.signum() / n
+        })
+        .collect();
+    (
+        loss / n,
+        Tensor::from_vec(prediction.shape(), grad).expect("same shape"),
+    )
+}
+
+/// Log-cosh reconstruction loss (used by the LogCosh-VAE variant):
+/// `L = mean(log cosh(ŷ − y))`, gradient `tanh(ŷ − y)/n`.
+pub fn log_cosh(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape());
+    let n = prediction.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad: Vec<f32> = prediction
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            // Numerically stable log cosh: |d| + ln(1 + e^{-2|d|}) − ln 2.
+            loss += d.abs() + (-2.0 * d.abs()).exp().ln_1p() - std::f32::consts::LN_2;
+            d.tanh() / n
+        })
+        .collect();
+    (
+        loss / n,
+        Tensor::from_vec(prediction.shape(), grad).expect("same shape"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(
+        f: impl Fn(&Tensor) -> f32,
+        x: &Tensor,
+        i: usize,
+        eps: f32,
+    ) -> f32 {
+        let mut plus = x.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = x.clone();
+        minus.as_mut_slice()[i] -= eps;
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).unwrap();
+        let t = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]).unwrap();
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - (0.0 + 1.0 + 4.0) / 3.0).abs() < 1e-6);
+        for i in 0..3 {
+            let num = numeric_grad(|x| mse(x, &t).0, &p, i, 1e-3);
+            assert!((grad.as_slice()[i] - num).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn l1_value_and_gradient_signs() {
+        let p = Tensor::from_vec(&[2], vec![2.0, -1.0]).unwrap();
+        let t = Tensor::from_vec(&[2], vec![0.0, 0.0]).unwrap();
+        let (loss, grad) = l1(&p, &t);
+        assert!((loss - 1.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn log_cosh_is_between_l1_and_mse_behaviour() {
+        let p = Tensor::from_vec(&[1], vec![3.0]).unwrap();
+        let t = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        let (lc, grad) = log_cosh(&p, &t);
+        // log cosh(3) ≈ 2.3093; gradient saturates to tanh(3) ≈ 0.995.
+        assert!((lc - 2.3093).abs() < 1e-3);
+        assert!((grad.as_slice()[0] - 0.995).abs() < 1e-2);
+        // Near zero it behaves quadratically (value ≈ d²/2).
+        let p2 = Tensor::from_vec(&[1], vec![0.01]).unwrap();
+        let (lc2, _) = log_cosh(&p2, &t);
+        assert!((lc2 - 0.00005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_cosh_gradient_matches_numeric() {
+        let p = Tensor::from_vec(&[4], vec![0.3, -0.7, 2.0, -5.0]).unwrap();
+        let t = Tensor::from_vec(&[4], vec![0.0, 0.1, 2.5, -4.0]).unwrap();
+        let (_, grad) = log_cosh(&p, &t);
+        for i in 0..4 {
+            let num = numeric_grad(|x| log_cosh(x, &t).0, &p, i, 1e-3);
+            assert!((grad.as_slice()[i] - num).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Sliced-Wasserstein distance between encoded latents and a prior.
+//!
+//! The SWAE (Kolouri et al.) regularizer — Eq. (1) of the AE-SZ paper —
+//! projects both the encoded latents and prior samples onto `L` random unit
+//! directions, sorts both projected sets, and penalises the squared
+//! differences of the order-matched projections:
+//!
+//! `SW = (1/(L·M)) Σ_l Σ_m (θ_l·z̃_{i[m]} − θ_l·z_{j[m]})²`
+//!
+//! Its computation is `O(L·M log M)` (versus `O(M²)` for the exact
+//! Wasserstein/MMD terms of WAE), which is exactly the efficiency argument
+//! the paper makes for choosing SWAE.
+
+use aesz_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration of the sliced-Wasserstein estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwdConfig {
+    /// Number of random projection directions `L`.
+    pub projections: usize,
+    /// Regularization weight λ applied by the caller (stored here so model
+    /// configs carry the full SWAE hyper-parameters in one place).
+    pub weight: f32,
+}
+
+impl Default for SwdConfig {
+    fn default() -> Self {
+        SwdConfig {
+            projections: 32,
+            weight: 1.0,
+        }
+    }
+}
+
+/// Sample a unit vector uniformly from the sphere `S^{d−1}`.
+fn random_direction(d: usize, rng: &mut StdRng) -> Vec<f32> {
+    loop {
+        let v: Vec<f32> = (0..d)
+            .map(|_| {
+                // Box–Muller standard normal.
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+            })
+            .collect();
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-6 {
+            return v.iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+/// Sliced-Wasserstein distance between `latent` `(N, d)` and `prior` `(N, d)`
+/// samples (the batch sizes must match, as in the SWAE formulation).
+///
+/// Returns the loss and its gradient with respect to `latent`.
+pub fn sliced_wasserstein(
+    latent: &Tensor,
+    prior: &Tensor,
+    projections: usize,
+    rng: &mut StdRng,
+) -> (f32, Tensor) {
+    assert_eq!(
+        latent.shape(),
+        prior.shape(),
+        "SWAE matches equal-sized latent and prior batches"
+    );
+    let (n, d) = (latent.shape()[0], latent.shape()[1]);
+    assert!(n > 0 && d > 0);
+    let z = latent.as_slice();
+    let p = prior.as_slice();
+    let norm = 1.0 / (projections * n) as f32;
+
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; n * d];
+    for _ in 0..projections {
+        let theta = random_direction(d, rng);
+        // Project both sets.
+        let mut proj_z: Vec<(f32, usize)> = (0..n)
+            .map(|i| {
+                (
+                    z[i * d..(i + 1) * d]
+                        .iter()
+                        .zip(theta.iter())
+                        .map(|(&a, &t)| a * t)
+                        .sum::<f32>(),
+                    i,
+                )
+            })
+            .collect();
+        let mut proj_p: Vec<f32> = (0..n)
+            .map(|i| {
+                p[i * d..(i + 1) * d]
+                    .iter()
+                    .zip(theta.iter())
+                    .map(|(&a, &t)| a * t)
+                    .sum::<f32>()
+            })
+            .collect();
+        proj_z.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite projections"));
+        proj_p.sort_by(|a, b| a.partial_cmp(b).expect("finite projections"));
+        // Order-matched quadratic cost.
+        for (rank, &(zval, zi)) in proj_z.iter().enumerate() {
+            let diff = zval - proj_p[rank];
+            loss += norm * diff * diff;
+            // d/dz_{zi} = 2·diff·θ (the sorting permutation is locally constant).
+            for t in 0..d {
+                grad[zi * d + t] += norm * 2.0 * diff * theta[t];
+            }
+        }
+    }
+    (
+        loss,
+        Tensor::from_vec(latent.shape(), grad).expect("same shape"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_tensor::init::{normal, rng};
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let mut r = rng(1);
+        let a = normal(&[32, 4], 0.0, 1.0, &mut r);
+        let mut r2 = rng(99);
+        let (loss, grad) = sliced_wasserstein(&a, &a, 16, &mut r2);
+        assert!(loss.abs() < 1e-10);
+        assert!(grad.sq_norm() < 1e-10);
+    }
+
+    #[test]
+    fn distance_grows_with_distribution_shift() {
+        let mut r = rng(2);
+        let prior = normal(&[64, 3], 0.0, 1.0, &mut r);
+        let near = normal(&[64, 3], 0.2, 1.0, &mut r);
+        let far = normal(&[64, 3], 3.0, 1.0, &mut r);
+        let mut r2 = rng(7);
+        let (l_near, _) = sliced_wasserstein(&near, &prior, 32, &mut r2);
+        let mut r3 = rng(7);
+        let (l_far, _) = sliced_wasserstein(&far, &prior, 32, &mut r3);
+        assert!(l_far > l_near * 3.0, "near {l_near}, far {l_far}");
+    }
+
+    #[test]
+    fn gradient_matches_numeric_estimate() {
+        let mut r = rng(3);
+        let z = normal(&[8, 2], 1.0, 0.5, &mut r);
+        let p = normal(&[8, 2], 0.0, 1.0, &mut r);
+        // Use the same RNG seed for every evaluation so the directions match.
+        let eval = |zz: &Tensor| {
+            let mut rr = rng(42);
+            sliced_wasserstein(zz, &p, 64, &mut rr).0
+        };
+        let mut rr = rng(42);
+        let (_, grad) = sliced_wasserstein(&z, &p, 64, &mut rr);
+        let eps = 1e-3;
+        for i in [0usize, 3, 7, 12] {
+            let mut plus = z.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = z.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let num = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            assert!(
+                (grad.as_slice()[i] - num).abs() < 2e-2,
+                "i={i}: analytic {} vs numeric {num}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn directions_are_unit_length() {
+        let mut r = rng(5);
+        for d in [1usize, 2, 8, 32] {
+            let v = random_direction(d, &mut r);
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = SwdConfig::default();
+        assert!(c.projections > 0);
+        assert!(c.weight > 0.0);
+    }
+}

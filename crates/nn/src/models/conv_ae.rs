@@ -1,0 +1,348 @@
+//! The blockwise convolutional autoencoder used by AE-SZ (Fig. 3/4 of the paper).
+//!
+//! Encoder: a stack of `Conv(stride 1) → Conv(stride 2) → GDN` blocks followed
+//! by a fully-connected layer that resizes the flattened feature map to the
+//! latent vector. Decoder: the mirror image — a fully-connected layer, then
+//! `Upsample → Conv(stride 1) → iGDN` blocks, a final stride-1 convolution to
+//! one channel and a `Tanh` output (inputs are normalised to `[-1, 1]`).
+//!
+//! The number of blocks and channels is configurable per data field, exactly
+//! like Table VI in the paper; this reproduction defaults to smaller channel
+//! counts so CPU training stays fast while preserving the architecture shape.
+
+use crate::activation::Tanh;
+use crate::conv::{ConvNd, Reshape};
+use crate::dense::Dense;
+use crate::gdn::Gdn;
+use crate::layer::{Layer, Param};
+use crate::sequential::Sequential;
+use aesz_tensor::{init, Tensor};
+
+/// Hyper-parameters of one AE-SZ autoencoder (one per data field, Table VI).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AeConfig {
+    /// 2 for 2D fields (CESM, EXAFEL), 3 for 3D fields (NYX, Hurricane, RTM).
+    pub spatial_rank: usize,
+    /// Input block edge length (32 for 2D, 8 for 3D by default).
+    pub block_size: usize,
+    /// Latent vector length.
+    pub latent_dim: usize,
+    /// Channels of each convolutional block (each block halves the spatial size).
+    pub channels: Vec<usize>,
+    /// When true the encoder outputs `2·latent_dim` values (μ and log σ²) for
+    /// the VAE-family variants; when false it outputs `latent_dim` directly.
+    pub variational: bool,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl AeConfig {
+    /// Default 2D configuration (scaled-down version of the paper's
+    /// 32×32 / latent 16 / channels [32,64,128,256] setting).
+    pub fn default_2d() -> Self {
+        AeConfig {
+            spatial_rank: 2,
+            block_size: 32,
+            latent_dim: 16,
+            channels: vec![8, 16],
+            variational: false,
+            seed: 7,
+        }
+    }
+
+    /// Default 3D configuration (scaled-down version of the paper's
+    /// 8×8×8 / latent 16 / channels [32,64,128] setting).
+    pub fn default_3d() -> Self {
+        AeConfig {
+            spatial_rank: 3,
+            block_size: 8,
+            latent_dim: 16,
+            channels: vec![8, 16],
+            variational: false,
+            seed: 7,
+        }
+    }
+
+    /// Number of values the encoder emits per sample.
+    pub fn encoder_out(&self) -> usize {
+        if self.variational {
+            2 * self.latent_dim
+        } else {
+            self.latent_dim
+        }
+    }
+
+    /// Spatial edge length of the feature map after all strided blocks.
+    pub fn feature_edge(&self) -> usize {
+        let mut e = self.block_size;
+        for _ in &self.channels {
+            e = (e + 1) / 2;
+        }
+        e.max(1)
+    }
+
+    /// Number of elements per input block.
+    pub fn block_len(&self) -> usize {
+        self.block_size.pow(self.spatial_rank as u32)
+    }
+
+    /// Flattened feature size at the encoder/decoder junction.
+    pub fn feature_len(&self) -> usize {
+        let c = *self.channels.last().expect("at least one conv block");
+        c * self.feature_edge().pow(self.spatial_rank as u32)
+    }
+
+    /// Latent ratio = block elements / latent length (the paper's "latent ratio").
+    pub fn latent_ratio(&self) -> f64 {
+        self.block_len() as f64 / self.latent_dim as f64
+    }
+}
+
+/// The AE-SZ convolutional autoencoder: an encoder and decoder stack built
+/// from the configuration, with explicit forward/backward entry points so the
+/// training objectives (zoo variants) can inject latent-space gradients.
+pub struct ConvAutoencoder {
+    config: AeConfig,
+    encoder: Sequential,
+    decoder: Sequential,
+}
+
+impl ConvAutoencoder {
+    /// Build a freshly initialised autoencoder from its configuration.
+    pub fn new(config: AeConfig) -> Self {
+        assert!(
+            config.spatial_rank == 2 || config.spatial_rank == 3,
+            "spatial rank must be 2 or 3"
+        );
+        assert!(!config.channels.is_empty(), "need at least one conv block");
+        assert!(
+            config.block_size % (1 << config.channels.len()) == 0,
+            "block size {} must be divisible by 2^{} (one halving per conv block)",
+            config.block_size,
+            config.channels.len()
+        );
+        let mut rng = init::rng(config.seed);
+        let rank = config.spatial_rank;
+
+        // Encoder: [Conv s1 → Conv s2 → GDN] per block, then flatten + dense.
+        let mut encoder = Sequential::new();
+        let mut in_c = 1usize;
+        for &c in &config.channels {
+            encoder.add(Box::new(ConvNd::new(rank, in_c, c, 3, 1, &mut rng)));
+            encoder.add(Box::new(ConvNd::new(rank, c, c, 3, 2, &mut rng)));
+            encoder.add(Box::new(Gdn::new(rank, c, false)));
+            in_c = c;
+        }
+        encoder.add(Box::new(Reshape::new(vec![config.feature_len()])));
+        encoder.add(Box::new(Dense::new(
+            config.feature_len(),
+            config.encoder_out(),
+            &mut rng,
+        )));
+
+        // Decoder: dense, unflatten, [Upsample → Conv s1 → iGDN] per block
+        // (mirrored), final 1-channel convolution + Tanh.
+        let mut decoder = Sequential::new();
+        decoder.add(Box::new(Dense::new(
+            config.latent_dim,
+            config.feature_len(),
+            &mut rng,
+        )));
+        let edge = config.feature_edge();
+        let last_c = *config.channels.last().expect("non-empty");
+        let mut feat_shape = vec![last_c];
+        feat_shape.extend(std::iter::repeat(edge).take(rank));
+        decoder.add(Box::new(Reshape::new(feat_shape)));
+        let mut in_c = last_c;
+        for &c in config.channels.iter().rev() {
+            decoder.add(Box::new(crate::upsample::Upsample::new(rank, 2)));
+            decoder.add(Box::new(ConvNd::new(rank, in_c, c, 3, 1, &mut rng)));
+            decoder.add(Box::new(Gdn::new(rank, c, true)));
+            in_c = c;
+        }
+        decoder.add(Box::new(ConvNd::new(rank, in_c, 1, 3, 1, &mut rng)));
+        decoder.add(Box::new(Tanh::new()));
+
+        ConvAutoencoder {
+            config,
+            encoder,
+            decoder,
+        }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &AeConfig {
+        &self.config
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.encoder.num_params() + self.decoder.num_params()
+    }
+
+    /// Shape of one batch of input blocks: `(n, 1, edge, edge[, edge])`.
+    pub fn input_shape(&self, n: usize) -> Vec<usize> {
+        let mut s = vec![n, 1];
+        s.extend(std::iter::repeat(self.config.block_size).take(self.config.spatial_rank));
+        s
+    }
+
+    /// Run the encoder: blocks `(N, 1, …)` → latent codes `(N, encoder_out)`.
+    pub fn encode(&mut self, blocks: &Tensor) -> Tensor {
+        self.encoder.forward(blocks)
+    }
+
+    /// Run the decoder: latent codes `(N, latent_dim)` → blocks `(N, 1, …)`.
+    pub fn decode(&mut self, latents: &Tensor) -> Tensor {
+        self.decoder.forward(latents)
+    }
+
+    /// Backward through the decoder; returns ∂loss/∂latent.
+    pub fn decoder_backward(&mut self, grad_recon: &Tensor) -> Tensor {
+        self.decoder.backward(grad_recon)
+    }
+
+    /// Backward through the encoder; returns ∂loss/∂input (rarely needed).
+    pub fn encoder_backward(&mut self, grad_latent: &Tensor) -> Tensor {
+        self.encoder.backward(grad_latent)
+    }
+
+    /// Deterministic reconstruction of a batch of blocks (uses μ for
+    /// variational models), as used at compression time.
+    pub fn reconstruct(&mut self, blocks: &Tensor) -> Tensor {
+        let latent = self.encode(blocks);
+        let z = self.deterministic_latent(&latent);
+        self.decode(&z)
+    }
+
+    /// Extract the deterministic latent code (μ for variational encoders).
+    pub fn deterministic_latent(&self, encoder_out: &Tensor) -> Tensor {
+        if !self.config.variational {
+            return encoder_out.clone();
+        }
+        let n = encoder_out.shape()[0];
+        let ld = self.config.latent_dim;
+        let src = encoder_out.as_slice();
+        let mut mu = Vec::with_capacity(n * ld);
+        for i in 0..n {
+            mu.extend_from_slice(&src[i * 2 * ld..i * 2 * ld + ld]);
+        }
+        Tensor::from_vec(&[n, ld], mu).expect("consistent shape")
+    }
+
+    /// Mutable access to every trainable parameter (encoder then decoder).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.encoder.params_mut();
+        p.extend(self.decoder.params_mut());
+        p
+    }
+
+    /// Immutable access to every trainable parameter (encoder then decoder).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut p = self.encoder.params();
+        p.extend(self.decoder.params());
+        p
+    }
+
+    /// Encode a set of flat, already-normalised blocks and return their
+    /// deterministic latent vectors, row-major `(n, latent_dim)`.
+    pub fn encode_blocks(&mut self, blocks: &[f32], n: usize) -> Vec<f32> {
+        assert_eq!(blocks.len(), n * self.config.block_len());
+        let x = Tensor::from_vec(&self.input_shape(n), blocks.to_vec()).expect("shape");
+        let latent = self.encode(&x);
+        self.deterministic_latent(&latent).into_vec()
+    }
+
+    /// Decode flat latent vectors `(n, latent_dim)` back to flat blocks.
+    pub fn decode_latents(&mut self, latents: &[f32], n: usize) -> Vec<f32> {
+        assert_eq!(latents.len(), n * self.config.latent_dim);
+        let z = Tensor::from_vec(&[n, self.config.latent_dim], latents.to_vec()).expect("shape");
+        self.decode(&z).into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_2d() -> AeConfig {
+        AeConfig {
+            spatial_rank: 2,
+            block_size: 8,
+            latent_dim: 4,
+            channels: vec![4, 8],
+            variational: false,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn config_arithmetic() {
+        let c = tiny_2d();
+        assert_eq!(c.feature_edge(), 2);
+        assert_eq!(c.block_len(), 64);
+        assert_eq!(c.feature_len(), 8 * 4);
+        assert_eq!(c.encoder_out(), 4);
+        assert!((c.latent_ratio() - 16.0).abs() < 1e-12);
+        let c3 = AeConfig::default_3d();
+        assert_eq!(c3.feature_edge(), 2);
+        assert_eq!(c3.block_len(), 512);
+    }
+
+    #[test]
+    fn shapes_flow_through_encoder_and_decoder_2d() {
+        let mut ae = ConvAutoencoder::new(tiny_2d());
+        let x = Tensor::zeros(&[3, 1, 8, 8]);
+        let z = ae.encode(&x);
+        assert_eq!(z.shape(), &[3, 4]);
+        let y = ae.decode(&z);
+        assert_eq!(y.shape(), &[3, 1, 8, 8]);
+        assert!(y.as_slice().iter().all(|v| v.abs() <= 1.0), "Tanh bounds output");
+    }
+
+    #[test]
+    fn shapes_flow_through_3d_and_variational() {
+        let cfg = AeConfig {
+            spatial_rank: 3,
+            block_size: 8,
+            latent_dim: 6,
+            channels: vec![4, 4],
+            variational: true,
+            seed: 2,
+        };
+        let mut ae = ConvAutoencoder::new(cfg);
+        let x = Tensor::zeros(&[2, 1, 8, 8, 8]);
+        let enc = ae.encode(&x);
+        assert_eq!(enc.shape(), &[2, 12]); // mu and logvar
+        let mu = ae.deterministic_latent(&enc);
+        assert_eq!(mu.shape(), &[2, 6]);
+        let y = ae.decode(&mu);
+        assert_eq!(y.shape(), &[2, 1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn flat_block_helpers_roundtrip_shapes() {
+        let mut ae = ConvAutoencoder::new(tiny_2d());
+        let blocks = vec![0.1f32; 2 * 64];
+        let latents = ae.encode_blocks(&blocks, 2);
+        assert_eq!(latents.len(), 2 * 4);
+        let recon = ae.decode_latents(&latents, 2);
+        assert_eq!(recon.len(), 2 * 64);
+    }
+
+    #[test]
+    fn parameter_count_is_nontrivial_and_stable() {
+        let ae = ConvAutoencoder::new(tiny_2d());
+        let n = ae.num_params();
+        assert!(n > 1000, "unexpectedly small model: {n}");
+        assert_eq!(ae.params().len(), ae.params().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_block_size_not_divisible_by_stride_product() {
+        let mut cfg = tiny_2d();
+        cfg.block_size = 10;
+        ConvAutoencoder::new(cfg);
+    }
+}

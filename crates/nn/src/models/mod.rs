@@ -1,0 +1,8 @@
+//! Autoencoder models: the blockwise convolutional autoencoder of AE-SZ and
+//! the eight-variant zoo evaluated in Table I of the paper.
+
+pub mod conv_ae;
+pub mod zoo;
+
+pub use conv_ae::{AeConfig, ConvAutoencoder};
+pub use zoo::AeVariant;

@@ -1,0 +1,124 @@
+//! Ordered stacks of layers with joint forward/backward passes.
+
+use crate::layer::{Layer, Param};
+use aesz_tensor::Tensor;
+
+/// A simple feed-forward container: `forward` runs every layer in order,
+/// `backward` runs them in reverse. The encoder and decoder of the AE-SZ
+/// network are each one `Sequential`.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Append a layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in order (for summaries and serialization sanity checks).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Tanh;
+    use crate::dense::Dense;
+    use crate::layer::grad_check_input;
+    use aesz_tensor::init::{normal, rng};
+
+    #[test]
+    fn composes_layers_in_order() {
+        let mut r = rng(1);
+        let mut seq = Sequential::new()
+            .push(Box::new(Dense::new(4, 8, &mut r)))
+            .push(Box::new(Tanh::new()))
+            .push(Box::new(Dense::new(8, 2, &mut r)));
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.layer_names(), vec!["Dense", "Tanh", "Dense"]);
+        let x = normal(&[5, 4], 0.0, 1.0, &mut r);
+        let y = seq.forward(&x);
+        assert_eq!(y.shape(), &[5, 2]);
+    }
+
+    #[test]
+    fn gradient_check_through_the_stack() {
+        let mut r = rng(2);
+        let mut seq = Sequential::new()
+            .push(Box::new(Dense::new(6, 5, &mut r)))
+            .push(Box::new(Tanh::new()))
+            .push(Box::new(Dense::new(5, 3, &mut r)));
+        let x = normal(&[2, 6], 0.0, 1.0, &mut r);
+        let err = grad_check_input(&mut seq, &x, 1e-3);
+        assert!(err < 1e-2, "relative gradient error {err}");
+    }
+
+    #[test]
+    fn collects_all_parameters() {
+        let mut r = rng(3);
+        let mut seq = Sequential::new()
+            .push(Box::new(Dense::new(3, 4, &mut r)))
+            .push(Box::new(Dense::new(4, 2, &mut r)));
+        assert_eq!(seq.params().len(), 4); // two weights + two biases
+        assert_eq!(seq.num_params(), 3 * 4 + 4 + 4 * 2 + 2);
+        assert_eq!(seq.params_mut().len(), 4);
+    }
+}

@@ -1,0 +1,183 @@
+//! Flat binary serialization of trained autoencoders.
+//!
+//! The paper stores the trained network separately from the compressed data so
+//! one model can serve many snapshots of the same application. This module
+//! writes the [`AeConfig`] followed by every parameter tensor (encoder first,
+//! then decoder, in construction order) as little-endian `f32`, and rebuilds
+//! an identical model on load.
+
+use crate::models::conv_ae::{AeConfig, ConvAutoencoder};
+
+/// Magic bytes identifying a serialized AE-SZ model.
+const MAGIC: &[u8; 8] = b"AESZMDL1";
+
+/// Errors produced while loading a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The buffer ended before all fields could be read.
+    Truncated,
+    /// The parameter payload does not match the model the config describes.
+    ParamMismatch {
+        /// Number of scalars the config implies.
+        expected: usize,
+        /// Number of scalars present in the payload.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadMagic => write!(f, "not an AE-SZ model file"),
+            ModelError::Truncated => write!(f, "model file truncated"),
+            ModelError::ParamMismatch { expected, got } => {
+                write!(f, "parameter count mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, ModelError> {
+    let b = buf.get(*pos..*pos + 8).ok_or(ModelError::Truncated)?;
+    *pos += 8;
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+/// Serialize the model (config + all weights) to bytes.
+pub fn save_model(model: &ConvAutoencoder) -> Vec<u8> {
+    let cfg = model.config();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    push_u64(&mut out, cfg.spatial_rank as u64);
+    push_u64(&mut out, cfg.block_size as u64);
+    push_u64(&mut out, cfg.latent_dim as u64);
+    push_u64(&mut out, cfg.variational as u64);
+    push_u64(&mut out, cfg.seed);
+    push_u64(&mut out, cfg.channels.len() as u64);
+    for &c in &cfg.channels {
+        push_u64(&mut out, c as u64);
+    }
+    let params = model.params();
+    let total: usize = params.iter().map(|p| p.len()).sum();
+    push_u64(&mut out, total as u64);
+    for p in params {
+        for &v in p.value.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Rebuild a model from bytes written by [`save_model`].
+pub fn load_model(bytes: &[u8]) -> Result<ConvAutoencoder, ModelError> {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(ModelError::BadMagic);
+    }
+    let mut pos = 8usize;
+    let spatial_rank = read_u64(bytes, &mut pos)? as usize;
+    let block_size = read_u64(bytes, &mut pos)? as usize;
+    let latent_dim = read_u64(bytes, &mut pos)? as usize;
+    let variational = read_u64(bytes, &mut pos)? != 0;
+    let seed = read_u64(bytes, &mut pos)?;
+    let n_channels = read_u64(bytes, &mut pos)? as usize;
+    let mut channels = Vec::with_capacity(n_channels);
+    for _ in 0..n_channels {
+        channels.push(read_u64(bytes, &mut pos)? as usize);
+    }
+    let total = read_u64(bytes, &mut pos)? as usize;
+
+    let config = AeConfig {
+        spatial_rank,
+        block_size,
+        latent_dim,
+        channels,
+        variational,
+        seed,
+    };
+    let mut model = ConvAutoencoder::new(config);
+    let expected: usize = model.params().iter().map(|p| p.len()).sum();
+    if expected != total {
+        return Err(ModelError::ParamMismatch {
+            expected,
+            got: total,
+        });
+    }
+    let payload = bytes
+        .get(pos..pos + total * 4)
+        .ok_or(ModelError::Truncated)?;
+    let mut values = payload
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+    for p in model.params_mut() {
+        for v in p.value.as_mut_slice() {
+            *v = values.next().ok_or(ModelError::Truncated)?;
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_tensor::Tensor;
+
+    fn tiny_model() -> ConvAutoencoder {
+        ConvAutoencoder::new(AeConfig {
+            spatial_rank: 2,
+            block_size: 8,
+            latent_dim: 4,
+            channels: vec![4],
+            variational: false,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_outputs() {
+        let mut model = tiny_model();
+        let bytes = save_model(&model);
+        let mut loaded = load_model(&bytes).expect("roundtrip");
+        let x = Tensor::from_vec(&[1, 1, 8, 8], (0..64).map(|v| v as f32 / 64.0).collect()).unwrap();
+        let a = model.reconstruct(&x);
+        let b = loaded.reconstruct(&x);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(loaded.config(), model.config());
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let model = tiny_model();
+        let mut bytes = save_model(&model);
+        bytes[0] = b'X';
+        assert!(matches!(load_model(&bytes), Err(ModelError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let model = tiny_model();
+        let bytes = save_model(&model);
+        assert!(matches!(
+            load_model(&bytes[..bytes.len() - 10]),
+            Err(ModelError::Truncated)
+        ));
+        assert!(matches!(load_model(&bytes[..20]), Err(ModelError::Truncated)));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ModelError::BadMagic.to_string().contains("AE-SZ"));
+        assert!(ModelError::ParamMismatch { expected: 10, got: 5 }
+            .to_string()
+            .contains("expected 10"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Multi-level spline-interpolation predictor (the core idea of SZinterp).
+//!
+//! SZinterp (Zhao et al., ICDE'21) replaces pointwise Lorenzo/regression
+//! prediction with dynamic spline interpolation: the field is processed level
+//! by level, from a coarse anchor grid down to full resolution, and every new
+//! point is predicted by cubic (falling back to linear) interpolation along
+//! one dimension from already-reconstructed points. Because predictions come
+//! only from reconstructed values, the error bound holds exactly as in SZ.
+//!
+//! The traversal is the standard one: for each level with spacing `s`
+//! (halving every level), each dimension in turn predicts the points whose
+//! coordinate along that dimension is an odd multiple of `s/2` while
+//! already-processed dimensions are on the `s/2` grid and not-yet-processed
+//! dimensions remain on the `s` grid.
+
+use crate::lorenzo;
+use crate::quantizer::{QuantizedBlock, Quantizer};
+
+/// Cubic interpolation weights for the symmetric 4-point stencil.
+const CUBIC_W: [f32; 4] = [-1.0 / 16.0, 9.0 / 16.0, 9.0 / 16.0, -1.0 / 16.0];
+
+/// One step of the interpolation traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    /// Anchor-grid point predicted with Lorenzo over already-seen anchors.
+    Anchor { idx: usize, coord: [usize; 3] },
+    /// Point predicted by interpolation along `dim` with spacing `half`.
+    Interp {
+        idx: usize,
+        coord: [usize; 3],
+        dim: usize,
+        half: usize,
+    },
+}
+
+fn strides(extents: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; extents.len()];
+    for i in (0..extents.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * extents[i + 1];
+    }
+    s
+}
+
+/// Largest level spacing: the smallest power of two ≥ (max extent − 1), ≥ 2.
+fn max_stride(extents: &[usize]) -> usize {
+    let m = extents.iter().copied().max().unwrap_or(1).saturating_sub(1);
+    let mut s = 2usize;
+    while s < m {
+        s *= 2;
+    }
+    s
+}
+
+/// Iterate a rectangular sub-grid; coordinate `d` runs `starts[d], +steps[d], …`.
+fn visit_grid(extents: &[usize], steps: &[usize], starts: &[usize], f: &mut impl FnMut(&[usize; 3])) {
+    let rank = extents.len();
+    let ext = |d: usize| if d < rank { extents[d] } else { 1 };
+    let stp = |d: usize| if d < rank { steps[d] } else { 1 };
+    let srt = |d: usize| if d < rank { starts[d] } else { 0 };
+    let mut z = srt(0);
+    while z < ext(0) {
+        let mut y = srt(1);
+        while y < ext(1) {
+            let mut x = srt(2);
+            while x < ext(2) {
+                f(&[z, y, x]);
+                x += stp(2);
+            }
+            y += stp(1);
+        }
+        z += stp(0);
+    }
+}
+
+/// Build the full traversal plan for the given extents: every point appears
+/// exactly once, anchors first, then level by level, dimension by dimension.
+fn traversal_plan(extents: &[usize]) -> Vec<Step> {
+    let rank = extents.len();
+    assert!((1..=3).contains(&rank), "rank 1-3 supported, got {rank}");
+    let st = strides(extents);
+    let smax = max_stride(extents);
+    let flat = |c: &[usize; 3]| -> usize {
+        (0..rank).map(|d| c[d] * st[d]).sum()
+    };
+
+    let mut plan = Vec::new();
+    // Anchor grid: all coordinates multiples of smax.
+    visit_grid(extents, &vec![smax; rank], &vec![0; rank], &mut |c| {
+        plan.push(Step::Anchor {
+            idx: flat(c),
+            coord: *c,
+        });
+    });
+
+    let mut s = smax;
+    while s >= 2 {
+        let half = s / 2;
+        for dim in 0..rank {
+            let mut starts = vec![0usize; rank];
+            let mut steps = vec![0usize; rank];
+            for d in 0..rank {
+                if d < dim {
+                    steps[d] = half;
+                } else if d == dim {
+                    starts[d] = half;
+                    steps[d] = s;
+                } else {
+                    steps[d] = s;
+                }
+            }
+            visit_grid(extents, &steps, &starts, &mut |c| {
+                plan.push(Step::Interp {
+                    idx: flat(c),
+                    coord: *c,
+                    dim,
+                    half,
+                });
+            });
+        }
+        s /= 2;
+    }
+    plan
+}
+
+/// Predict the value at `idx` by interpolating along dimension `dim` with
+/// spacing `half`, using only values already present in `recon`.
+fn interp_predict(
+    recon: &[f32],
+    extents: &[usize],
+    strides: &[usize],
+    coord: &[usize; 3],
+    idx: usize,
+    dim: usize,
+    half: usize,
+) -> f32 {
+    let extent = extents[dim];
+    let stride = strides[dim];
+    let c = coord[dim];
+    let prev1 = (c >= half).then(|| idx - half * stride);
+    let next1 = (c + half < extent).then(|| idx + half * stride);
+    let prev2 = (c >= 3 * half).then(|| idx - 3 * half * stride);
+    let next2 = (c + 3 * half < extent).then(|| idx + 3 * half * stride);
+    match (prev2, prev1, next1, next2) {
+        (Some(p2), Some(p1), Some(n1), Some(n2)) => {
+            CUBIC_W[0] * recon[p2]
+                + CUBIC_W[1] * recon[p1]
+                + CUBIC_W[2] * recon[n1]
+                + CUBIC_W[3] * recon[n2]
+        }
+        (_, Some(p1), Some(n1), _) => 0.5 * (recon[p1] + recon[n1]),
+        (_, Some(p1), None, _) => recon[p1],
+        (_, None, Some(n1), _) => recon[n1],
+        _ => 0.0,
+    }
+}
+
+/// Compress a field with interpolation prediction + linear quantization.
+pub fn compress(data: &[f32], extents: &[usize], quantizer: &Quantizer) -> (QuantizedBlock, Vec<f32>) {
+    let n: usize = extents.iter().product();
+    assert_eq!(data.len(), n);
+    let st = strides(extents);
+    let plan = traversal_plan(extents);
+    debug_assert_eq!(plan.len(), n, "every point must be visited exactly once");
+
+    let mut recon = vec![0.0f32; n];
+    let mut codes = vec![0u32; n];
+    let mut unpredictable = Vec::new();
+    for step in &plan {
+        let (idx, pred) = match step {
+            Step::Anchor { idx, coord } => {
+                let coord_slice = &coord[..extents.len()];
+                (*idx, lorenzo::predict(&recon, extents, coord_slice))
+            }
+            Step::Interp {
+                idx,
+                coord,
+                dim,
+                half,
+            } => (
+                *idx,
+                interp_predict(&recon, extents, &st, coord, *idx, *dim, *half),
+            ),
+        };
+        match quantizer.quantize(data[idx], pred) {
+            Some((code, r)) => {
+                codes[idx] = code + 1;
+                recon[idx] = r;
+            }
+            None => {
+                codes[idx] = 0;
+                unpredictable.push(data[idx]);
+                recon[idx] = data[idx];
+            }
+        }
+    }
+    (
+        QuantizedBlock {
+            codes,
+            unpredictable,
+        },
+        recon,
+    )
+}
+
+/// Decompress a field produced by [`compress`] with the same quantizer.
+///
+/// The unpredictable values are consumed in traversal order (the same order
+/// the encoder pushed them), not in flat scan order.
+pub fn decompress(block: &QuantizedBlock, extents: &[usize], quantizer: &Quantizer) -> Vec<f32> {
+    let n: usize = extents.iter().product();
+    assert_eq!(block.codes.len(), n);
+    let st = strides(extents);
+    let plan = traversal_plan(extents);
+    let mut recon = vec![0.0f32; n];
+    let mut un = block.unpredictable.iter();
+    for step in &plan {
+        let (idx, pred) = match step {
+            Step::Anchor { idx, coord } => {
+                let coord_slice = &coord[..extents.len()];
+                (*idx, lorenzo::predict(&recon, extents, coord_slice))
+            }
+            Step::Interp {
+                idx,
+                coord,
+                dim,
+                half,
+            } => (
+                *idx,
+                interp_predict(&recon, extents, &st, coord, *idx, *dim, *half),
+            ),
+        };
+        let code = block.codes[idx];
+        recon[idx] = if code == 0 {
+            *un.next().expect("unpredictable value present")
+        } else {
+            quantizer.dequantize(code - 1, pred)
+        };
+    }
+    recon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn traversal_visits_every_point_once() {
+        for extents in [vec![17usize], vec![13, 9], vec![5, 6, 7], vec![8, 8, 8], vec![1, 1, 3]] {
+            let plan = traversal_plan(&extents);
+            let n: usize = extents.iter().product();
+            assert_eq!(plan.len(), n, "extents {extents:?}");
+            let mut seen = HashSet::new();
+            for step in &plan {
+                let idx = match step {
+                    Step::Anchor { idx, .. } | Step::Interp { idx, .. } => *idx,
+                };
+                assert!(idx < n);
+                assert!(seen.insert(idx), "point {idx} visited twice ({extents:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_field_predicts_well() {
+        let n = 33usize;
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| ((i % n) as f32 * 0.2).sin() + ((i / n) as f32 * 0.15).cos())
+            .collect();
+        let q = Quantizer::with_default_bins(1e-3);
+        let (blk, recon) = compress(&data, &[n, n], &q);
+        for (a, b) in data.iter().zip(recon.iter()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-9);
+        }
+        // A smooth field should need almost no escapes.
+        assert!(blk.unpredictable.len() < 4);
+        assert_eq!(decompress(&blk, &[n, n], &q), recon);
+    }
+
+    #[test]
+    fn roundtrip_3d_and_odd_extents() {
+        let extents = [7usize, 11, 5];
+        let n: usize = extents.iter().product();
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 4.0).collect();
+        let q = Quantizer::with_default_bins(5e-3);
+        let (blk, recon) = compress(&data, &extents, &q);
+        for (a, b) in data.iter().zip(recon.iter()) {
+            assert!((a - b).abs() <= 5e-3 + 1e-9);
+        }
+        assert_eq!(decompress(&blk, &extents, &q), recon);
+    }
+
+    #[test]
+    fn interpolation_concentrates_codes_on_smooth_data() {
+        // On smooth data at a coarse error bound, the vast majority of points
+        // should land within a handful of bins of the zero-residual bin.
+        let n = 65usize;
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| {
+                let y = (i / n) as f32 / n as f32;
+                let x = (i % n) as f32 / n as f32;
+                (std::f32::consts::TAU * x).sin() * (std::f32::consts::TAU * y).cos()
+            })
+            .collect();
+        let q = Quantizer::with_default_bins(1e-2);
+        let (bi, _) = compress(&data, &[n, n], &q);
+        assert!(bi.unpredictable.is_empty());
+        let centre = (crate::quantizer::DEFAULT_QUANT_BINS / 2) as i64 + 1;
+        let near = bi
+            .codes
+            .iter()
+            .filter(|&&c| c != 0 && (c as i64 - centre).abs() <= 4)
+            .count();
+        assert!(
+            near * 10 >= bi.codes.len() * 6,
+            "only {near}/{} codes near the centre bin",
+            bi.codes.len()
+        );
+    }
+
+    #[test]
+    fn tiny_fields_are_handled() {
+        let q = Quantizer::with_default_bins(1e-3);
+        for extents in [vec![1usize], vec![2, 2], vec![1, 1, 3]] {
+            let n: usize = extents.iter().product();
+            let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let (blk, recon) = compress(&data, &extents, &q);
+            assert_eq!(decompress(&blk, &extents, &q), recon);
+        }
+    }
+
+    #[test]
+    fn cubic_weights_reproduce_cubic_polynomials() {
+        // A cubic polynomial sampled at -3,-1,1,3 interpolated at 0 must be exact.
+        let f = |x: f32| 2.0 + 0.5 * x - 0.25 * x * x + 0.125 * x * x * x;
+        let interp = CUBIC_W[0] * f(-3.0) + CUBIC_W[1] * f(-1.0) + CUBIC_W[2] * f(1.0) + CUBIC_W[3] * f(3.0);
+        assert!((interp - f(0.0)).abs() < 1e-5, "{interp} vs {}", f(0.0));
+    }
+}

@@ -1,0 +1,24 @@
+//! # aesz-predictors
+//!
+//! The SZ-family prediction and quantization substrate shared by AE-SZ and the
+//! baseline compressors:
+//!
+//! * [`quantizer`] — the linear-scale quantizer with a user error bound,
+//!   a bounded number of bins (65,536 by default) and an "unpredictable"
+//!   escape for residuals that fall outside the bin range.
+//! * [`lorenzo`] — first-order Lorenzo prediction in 1D/2D/3D, operating on
+//!   previously *reconstructed* values so decompression can reproduce the
+//!   exact same predictions (the error-bound guarantee depends on this).
+//! * [`mean`] — the block-mean predictor AE-SZ uses as "mean-Lorenzo".
+//! * [`regression`] — the blockwise linear-regression predictor of SZ2.1.
+//! * [`lorenzo2`] — the second-order Lorenzo predictor used by SZauto.
+//! * [`interp`] — the multi-level spline-interpolation predictor of SZinterp.
+
+pub mod interp;
+pub mod lorenzo;
+pub mod lorenzo2;
+pub mod mean;
+pub mod quantizer;
+pub mod regression;
+
+pub use quantizer::{QuantizedBlock, Quantizer, DEFAULT_QUANT_BINS};

@@ -1,0 +1,272 @@
+//! First-order Lorenzo prediction (1D/2D/3D).
+//!
+//! The Lorenzo predictor estimates each point from its already-processed
+//! neighbours: 1 neighbour in 1D, 3 in 2D, 7 in 3D (with alternating signs).
+//! During compression the neighbours must be the *reconstructed* values, not
+//! the originals, so that decompression — which only has reconstructed data —
+//! produces bit-identical predictions. Both the streaming compressor form and
+//! an "ideal" form (predicting from original data, used for predictor
+//! selection and the error-distribution analysis of Fig. 7) are provided.
+
+use crate::quantizer::{QuantizedBlock, Quantizer};
+
+/// First-order Lorenzo prediction at scan position `(z, y, x)` using values
+/// from `buf` (row-major with the given extents). Out-of-range neighbours
+/// contribute zero, which is the standard SZ boundary treatment.
+#[inline]
+pub fn predict(buf: &[f32], extents: &[usize], coord: &[usize]) -> f32 {
+    match extents.len() {
+        1 => {
+            let x = coord[0];
+            if x >= 1 {
+                buf[x - 1]
+            } else {
+                0.0
+            }
+        }
+        2 => {
+            let (ny, nx) = (extents[0], extents[1]);
+            debug_assert_eq!(buf.len(), ny * nx);
+            let (y, x) = (coord[0], coord[1]);
+            let get = |yy: isize, xx: isize| -> f32 {
+                if yy < 0 || xx < 0 {
+                    0.0
+                } else {
+                    buf[yy as usize * nx + xx as usize]
+                }
+            };
+            get(y as isize, x as isize - 1) + get(y as isize - 1, x as isize)
+                - get(y as isize - 1, x as isize - 1)
+        }
+        3 => {
+            let (ny, nx) = (extents[1], extents[2]);
+            let (z, y, x) = (coord[0], coord[1], coord[2]);
+            let get = |zz: isize, yy: isize, xx: isize| -> f32 {
+                if zz < 0 || yy < 0 || xx < 0 {
+                    0.0
+                } else {
+                    buf[(zz as usize * ny + yy as usize) * nx + xx as usize]
+                }
+            };
+            let (zi, yi, xi) = (z as isize, y as isize, x as isize);
+            get(zi - 1, yi, xi) + get(zi, yi - 1, xi) + get(zi, yi, xi - 1)
+                - get(zi - 1, yi - 1, xi)
+                - get(zi - 1, yi, xi - 1)
+                - get(zi, yi - 1, xi - 1)
+                + get(zi - 1, yi - 1, xi - 1)
+        }
+        r => panic!("Lorenzo predictor supports rank 1-3, got {r}"),
+    }
+}
+
+/// Iterate coordinates of a row-major buffer with the given extents.
+fn for_each_coord(extents: &[usize], mut f: impl FnMut(usize, &[usize])) {
+    match extents.len() {
+        1 => {
+            for x in 0..extents[0] {
+                f(x, &[x]);
+            }
+        }
+        2 => {
+            let mut i = 0;
+            for y in 0..extents[0] {
+                for x in 0..extents[1] {
+                    f(i, &[y, x]);
+                    i += 1;
+                }
+            }
+        }
+        3 => {
+            let mut i = 0;
+            for z in 0..extents[0] {
+                for y in 0..extents[1] {
+                    for x in 0..extents[2] {
+                        f(i, &[z, y, x]);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        r => panic!("Lorenzo predictor supports rank 1-3, got {r}"),
+    }
+}
+
+/// "Ideal" Lorenzo predictions computed from the original data (no feedback of
+/// reconstruction error). Used for predictor selection and Fig. 7.
+pub fn ideal_predictions(data: &[f32], extents: &[usize]) -> Vec<f32> {
+    let mut preds = vec![0.0f32; data.len()];
+    for_each_coord(extents, |i, coord| {
+        preds[i] = predict(data, extents, coord);
+    });
+    preds
+}
+
+/// Compress a buffer with streaming Lorenzo prediction + linear quantization.
+///
+/// Returns the quantized block and the reconstruction (the values a decoder
+/// will produce), which respects the quantizer's error bound at every point.
+pub fn compress(data: &[f32], extents: &[usize], quantizer: &Quantizer) -> (QuantizedBlock, Vec<f32>) {
+    let n: usize = extents.iter().product();
+    assert_eq!(data.len(), n, "data length must match extents");
+    let mut recon = vec![0.0f32; n];
+    let mut codes = Vec::with_capacity(n);
+    let mut unpredictable = Vec::new();
+    for_each_coord(extents, |i, coord| {
+        let pred = predict(&recon, extents, coord);
+        match quantizer.quantize(data[i], pred) {
+            Some((code, r)) => {
+                codes.push(code + 1);
+                recon[i] = r;
+            }
+            None => {
+                codes.push(0);
+                unpredictable.push(data[i]);
+                recon[i] = data[i];
+            }
+        }
+    });
+    (
+        QuantizedBlock {
+            codes,
+            unpredictable,
+        },
+        recon,
+    )
+}
+
+/// Decompress a buffer produced by [`compress`] with the same quantizer.
+pub fn decompress(block: &QuantizedBlock, extents: &[usize], quantizer: &Quantizer) -> Vec<f32> {
+    let n: usize = extents.iter().product();
+    assert_eq!(block.codes.len(), n, "code count must match extents");
+    let mut recon = vec![0.0f32; n];
+    let mut un = block.unpredictable.iter();
+    for_each_coord(extents, |i, coord| {
+        let pred = predict(&recon, extents, coord);
+        let code = block.codes[i];
+        recon[i] = if code == 0 {
+            *un.next().expect("unpredictable value present")
+        } else {
+            quantizer.dequantize(code - 1, pred)
+        };
+    });
+    recon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn predict_2d_matches_paper_formula() {
+        // d[i][j] predicted by d[i][j-1] + d[i-1][j] - d[i-1][j-1].
+        let buf = vec![1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 7.0, 8.0, 0.0];
+        assert_eq!(predict(&buf, &[3, 3], &[1, 1]), 4.0 + 2.0 - 1.0);
+        assert_eq!(predict(&buf, &[3, 3], &[0, 0]), 0.0);
+        assert_eq!(predict(&buf, &[3, 3], &[0, 2]), 2.0);
+        assert_eq!(predict(&buf, &[3, 3], &[2, 0]), 4.0);
+    }
+
+    #[test]
+    fn predict_3d_uses_seven_neighbours() {
+        // A perfectly tri-linear field is predicted exactly by the 3D Lorenzo stencil.
+        let extents = [3usize, 3, 3];
+        let f = |z: usize, y: usize, x: usize| 2.0 * z as f32 + 3.0 * y as f32 + 5.0 * x as f32 + 1.0;
+        let mut buf = vec![0.0f32; 27];
+        for z in 0..3 {
+            for y in 0..3 {
+                for x in 0..3 {
+                    buf[(z * 3 + y) * 3 + x] = f(z, y, x);
+                }
+            }
+        }
+        let p = predict(&buf, &extents, &[2, 2, 2]);
+        assert!((p - f(2, 2, 2)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linear_ramp_is_predicted_exactly_in_interior() {
+        let nx = 16usize;
+        let data: Vec<f32> = (0..nx * nx).map(|i| (i % nx + i / nx) as f32).collect();
+        let preds = ideal_predictions(&data, &[nx, nx]);
+        for y in 1..nx {
+            for x in 1..nx {
+                assert!((preds[y * nx + x] - data[y * nx + x]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip_respects_bound() {
+        let n = 32usize;
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| ((i % n) as f32 * 0.3).sin() + ((i / n) as f32 * 0.2).cos())
+            .collect();
+        let q = Quantizer::with_default_bins(1e-3);
+        let (blk, recon) = compress(&data, &[n, n], &q);
+        for (a, b) in data.iter().zip(recon.iter()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-9);
+        }
+        let dec = decompress(&blk, &[n, n], &q);
+        assert_eq!(dec, recon, "decoder must reproduce the encoder reconstruction exactly");
+    }
+
+    #[test]
+    fn smooth_data_yields_concentrated_codes() {
+        let n = 64usize;
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| ((i % n) as f32 * 0.05).sin() * 3.0)
+            .collect();
+        let q = Quantizer::with_default_bins(1e-2);
+        let (blk, _) = compress(&data, &[n, n], &q);
+        let radius_code = (crate::quantizer::DEFAULT_QUANT_BINS / 2) as u32 + 1;
+        let near_centre = blk
+            .codes
+            .iter()
+            .filter(|&&c| c != 0 && (c as i64 - radius_code as i64).abs() <= 2)
+            .count();
+        assert!(near_centre * 10 > blk.codes.len() * 9);
+        assert!(blk.unpredictable.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1-3")]
+    fn rejects_rank_4() {
+        predict(&[0.0; 16], &[2, 2, 2, 2], &[0, 0, 0, 0]);
+    }
+
+    proptest! {
+        /// Roundtrip property: for random smooth-ish data in any supported rank,
+        /// decompression reproduces the encoder-side reconstruction exactly and
+        /// the error bound holds.
+        #[test]
+        fn prop_roundtrip(
+            values in proptest::collection::vec(-100.0f32..100.0, 8..64),
+            rank in 1usize..=3,
+            bound_exp in -3i32..0,
+        ) {
+            let bound = 10f64.powi(bound_exp);
+            // Shape the flat vector into the requested rank.
+            let extents: Vec<usize> = match rank {
+                1 => vec![values.len()],
+                2 => {
+                    let s = (values.len() as f64).sqrt() as usize;
+                    vec![s.max(1), values.len() / s.max(1)]
+                }
+                _ => {
+                    let s = (values.len() as f64).cbrt() as usize;
+                    vec![s.max(1), s.max(1), values.len() / (s.max(1) * s.max(1))]
+                }
+            };
+            let n: usize = extents.iter().product();
+            prop_assume!(n > 0);
+            let data = &values[..n];
+            let q = Quantizer::with_default_bins(bound);
+            let (blk, recon) = compress(data, &extents, &q);
+            for (a, b) in data.iter().zip(recon.iter()) {
+                prop_assert!((a - b).abs() as f64 <= bound + 1e-9);
+            }
+            prop_assert_eq!(decompress(&blk, &extents, &q), recon);
+        }
+    }
+}

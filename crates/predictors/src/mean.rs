@@ -1,0 +1,76 @@
+//! Block-mean predictor ("mean-Lorenzo" in AE-SZ).
+//!
+//! AE-SZ selects, per block, between the classic Lorenzo predictor and
+//! predicting every point of the block by the block mean; the chosen mean is
+//! stored losslessly in the stream. This module provides the mean computation
+//! and the constant-prediction compression path.
+
+use crate::quantizer::{QuantizedBlock, Quantizer};
+
+/// Arithmetic mean of a block (0 for empty blocks).
+pub fn block_mean(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    (data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64) as f32
+}
+
+/// Sum of absolute deviations from the mean — the l1 loss of the mean
+/// predictor, used for AE-SZ's per-block predictor selection.
+pub fn mean_l1_loss(data: &[f32]) -> f64 {
+    let m = block_mean(data) as f64;
+    data.iter().map(|&v| (v as f64 - m).abs()).sum()
+}
+
+/// Quantize a block against the constant prediction `mean`.
+pub fn compress(data: &[f32], mean: f32, quantizer: &Quantizer) -> (QuantizedBlock, Vec<f32>) {
+    let preds = vec![mean; data.len()];
+    quantizer.quantize_buffer(data, &preds)
+}
+
+/// Reconstruct a block compressed with [`compress`] and the same `mean`.
+pub fn decompress(block: &QuantizedBlock, mean: f32, quantizer: &Quantizer) -> Vec<f32> {
+    let preds = vec![mean; block.codes.len()];
+    quantizer.dequantize_buffer(block, &preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_block() {
+        assert_eq!(block_mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(block_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn constant_block_has_zero_loss_and_compresses_perfectly() {
+        let data = vec![3.75f32; 64];
+        assert_eq!(mean_l1_loss(&data), 0.0);
+        let q = Quantizer::with_default_bins(1e-4);
+        let (blk, recon) = compress(&data, block_mean(&data), &q);
+        assert!(blk.unpredictable.is_empty());
+        assert_eq!(recon, data);
+        assert_eq!(decompress(&blk, 3.75, &q), data);
+    }
+
+    #[test]
+    fn near_constant_block_respects_bound() {
+        let data: Vec<f32> = (0..100).map(|i| 5.0 + 1e-3 * (i as f32 * 0.7).sin()).collect();
+        let q = Quantizer::with_default_bins(1e-3);
+        let mean = block_mean(&data);
+        let (blk, recon) = compress(&data, mean, &q);
+        for (a, b) in data.iter().zip(recon.iter()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-9);
+        }
+        assert_eq!(decompress(&blk, mean, &q), recon);
+    }
+
+    #[test]
+    fn l1_loss_orders_blocks_by_flatness() {
+        let flat: Vec<f32> = (0..64).map(|i| 1.0 + 1e-4 * i as f32).collect();
+        let bumpy: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+        assert!(mean_l1_loss(&flat) < mean_l1_loss(&bumpy));
+    }
+}

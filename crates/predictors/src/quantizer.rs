@@ -1,0 +1,248 @@
+//! Linear-scale quantization with a strict error bound.
+//!
+//! This is the error-controlling core of every SZ-style compressor in the
+//! workspace. Given a prediction `p` for a value `v` and an absolute error
+//! bound `e`, the residual is quantized to the bin
+//! `code = round((v − p) / (2e)) + radius`; reconstruction uses
+//! `v' = p + (code − radius)·2e`, so `|v − v'| ≤ e` whenever the code fits in
+//! the bin range. Residuals too large for the configured number of bins are
+//! escaped as *unpredictable* (code 0) and their values stored verbatim,
+//! exactly as in SZ2.1 / AE-SZ.
+
+/// Default number of quantization bins (matches SZ2.1 / the paper: 65,536).
+pub const DEFAULT_QUANT_BINS: usize = 65_536;
+
+/// Linear-scale quantizer with an absolute error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    abs_bound: f64,
+    radius: i64,
+}
+
+/// The quantized representation of one block (or one whole field).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedBlock {
+    /// One code per data point; 0 means "unpredictable, value stored verbatim".
+    pub codes: Vec<u32>,
+    /// Verbatim values for the unpredictable points, in scan order.
+    pub unpredictable: Vec<f32>,
+}
+
+impl Quantizer {
+    /// Quantizer with the given absolute error bound and bin count.
+    ///
+    /// # Panics
+    /// Panics when `abs_bound` is not positive/finite or `bins < 4`.
+    pub fn new(abs_bound: f64, bins: usize) -> Self {
+        assert!(
+            abs_bound.is_finite() && abs_bound > 0.0,
+            "error bound must be positive and finite, got {abs_bound}"
+        );
+        assert!(bins >= 4, "need at least 4 quantization bins, got {bins}");
+        Quantizer {
+            abs_bound,
+            radius: (bins / 2) as i64,
+        }
+    }
+
+    /// Quantizer with the default 65,536 bins.
+    pub fn with_default_bins(abs_bound: f64) -> Self {
+        Self::new(abs_bound, DEFAULT_QUANT_BINS)
+    }
+
+    /// The absolute error bound this quantizer enforces.
+    pub fn abs_bound(&self) -> f64 {
+        self.abs_bound
+    }
+
+    /// Half the number of bins; code `radius` means "zero residual".
+    pub fn radius(&self) -> i64 {
+        self.radius
+    }
+
+    /// Quantize one value against its prediction.
+    ///
+    /// Returns `Some((code, reconstructed))` when the residual fits in the bin
+    /// range (then `|value − reconstructed| ≤ abs_bound`), or `None` when the
+    /// point must be stored verbatim.
+    #[inline]
+    pub fn quantize(&self, value: f32, prediction: f32) -> Option<(u32, f32)> {
+        let diff = value as f64 - prediction as f64;
+        let scaled = diff / (2.0 * self.abs_bound);
+        let q = scaled.round();
+        if !q.is_finite() || q.abs() >= self.radius as f64 {
+            return None;
+        }
+        let code = q as i64 + self.radius;
+        let reconstructed = prediction as f64 + (q * 2.0 * self.abs_bound);
+        let reconstructed = reconstructed as f32;
+        // Guard against f32 rounding pushing the reconstruction out of bounds.
+        if (value as f64 - reconstructed as f64).abs() > self.abs_bound {
+            return None;
+        }
+        Some((code as u32, reconstructed))
+    }
+
+    /// Reconstruct a value from its code and prediction (code must be non-zero
+    /// and produced by [`Quantizer::quantize`] with the same settings).
+    #[inline]
+    pub fn dequantize(&self, code: u32, prediction: f32) -> f32 {
+        let q = code as i64 - self.radius;
+        (prediction as f64 + q as f64 * 2.0 * self.abs_bound) as f32
+    }
+
+    /// Quantize a whole buffer against per-point predictions.
+    ///
+    /// `codes[i] == 0` marks unpredictable points, whose original values are
+    /// appended to `unpredictable` in order. The returned `reconstruction`
+    /// contains bound-respecting values for every point (verbatim values for
+    /// the unpredictable ones).
+    pub fn quantize_buffer(
+        &self,
+        values: &[f32],
+        predictions: &[f32],
+    ) -> (QuantizedBlock, Vec<f32>) {
+        assert_eq!(values.len(), predictions.len());
+        let mut codes = Vec::with_capacity(values.len());
+        let mut unpredictable = Vec::new();
+        let mut reconstruction = Vec::with_capacity(values.len());
+        for (&v, &p) in values.iter().zip(predictions.iter()) {
+            match self.quantize(v, p) {
+                Some((code, recon)) => {
+                    codes.push(code + 1); // shift by one so 0 stays the escape code
+                    reconstruction.push(recon);
+                }
+                None => {
+                    codes.push(0);
+                    unpredictable.push(v);
+                    reconstruction.push(v);
+                }
+            }
+        }
+        (
+            QuantizedBlock {
+                codes,
+                unpredictable,
+            },
+            reconstruction,
+        )
+    }
+
+    /// Inverse of [`Quantizer::quantize_buffer`] given the same predictions.
+    pub fn dequantize_buffer(&self, block: &QuantizedBlock, predictions: &[f32]) -> Vec<f32> {
+        assert_eq!(block.codes.len(), predictions.len());
+        let mut out = Vec::with_capacity(block.codes.len());
+        let mut un = block.unpredictable.iter();
+        for (&code, &p) in block.codes.iter().zip(predictions.iter()) {
+            if code == 0 {
+                out.push(*un.next().expect("unpredictable value for escape code"));
+            } else {
+                out.push(self.dequantize(code - 1, p));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_residual_maps_to_radius() {
+        let q = Quantizer::new(0.01, 256);
+        let (code, recon) = q.quantize(1.0, 1.0).unwrap();
+        assert_eq!(code, 128);
+        assert_eq!(recon, 1.0);
+    }
+
+    #[test]
+    fn reconstruction_respects_bound() {
+        let q = Quantizer::with_default_bins(0.05);
+        for i in -100..100 {
+            let v = i as f32 * 0.013;
+            let p = 0.2;
+            if let Some((_, recon)) = q.quantize(v, p) {
+                assert!((v - recon).abs() <= 0.05 + 1e-9, "v={v} recon={recon}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_residuals_become_unpredictable() {
+        let q = Quantizer::new(1e-4, 256);
+        // Residual of 1.0 ≫ 128 bins × 2e-4.
+        assert!(q.quantize(1.0, 0.0).is_none());
+        // NaN/inf predictions cannot be quantized either.
+        assert!(q.quantize(1.0, f32::NAN).is_none());
+        assert!(q.quantize(f32::INFINITY, 0.0).is_none());
+    }
+
+    #[test]
+    fn buffer_roundtrip_with_escapes() {
+        let q = Quantizer::new(0.01, 64);
+        let values = vec![0.0f32, 0.5, 10.0, -0.2, 0.05];
+        let preds = vec![0.0f32, 0.45, 0.0, -0.15, 0.0];
+        let (blk, recon) = q.quantize_buffer(&values, &preds);
+        assert_eq!(blk.codes.len(), 5);
+        assert_eq!(blk.codes[2], 0, "huge residual must escape");
+        assert_eq!(blk.unpredictable, vec![10.0]);
+        for (v, r) in values.iter().zip(recon.iter()) {
+            assert!((v - r).abs() <= 0.01 + 1e-9);
+        }
+        let deq = q.dequantize_buffer(&blk, &preds);
+        assert_eq!(deq, recon);
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn rejects_nonpositive_bound() {
+        Quantizer::new(0.0, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn rejects_tiny_bin_count() {
+        Quantizer::new(0.1, 2);
+    }
+
+    proptest! {
+        /// For any value/prediction pair, either the quantizer escapes or the
+        /// reconstruction error is within the bound — never silently outside.
+        #[test]
+        fn prop_error_bound_holds(
+            value in -1e6f32..1e6,
+            prediction in -1e6f32..1e6,
+            bound_exp in -6i32..1,
+        ) {
+            let bound = 10f64.powi(bound_exp);
+            let q = Quantizer::with_default_bins(bound);
+            if let Some((code, recon)) = q.quantize(value, prediction) {
+                prop_assert!((value as f64 - recon as f64).abs() <= bound + 1e-12);
+                prop_assert!(code < DEFAULT_QUANT_BINS as u32);
+                // Decoding the code must give back the same reconstruction.
+                prop_assert_eq!(q.dequantize(code, prediction), recon);
+            }
+        }
+
+        /// Buffer quantization always reconstructs within the bound, and the
+        /// number of escape codes equals the number of stored verbatim values.
+        #[test]
+        fn prop_buffer_roundtrip(
+            values in proptest::collection::vec(-1e4f32..1e4, 1..200),
+            bound_exp in -4i32..0,
+        ) {
+            let bound = 10f64.powi(bound_exp);
+            let q = Quantizer::with_default_bins(bound);
+            let preds: Vec<f32> = values.iter().map(|v| v * 0.9).collect();
+            let (blk, recon) = q.quantize_buffer(&values, &preds);
+            let escapes = blk.codes.iter().filter(|&&c| c == 0).count();
+            prop_assert_eq!(escapes, blk.unpredictable.len());
+            for (v, r) in values.iter().zip(recon.iter()) {
+                prop_assert!((v - r).abs() as f64 <= bound + 1e-9);
+            }
+            prop_assert_eq!(q.dequantize_buffer(&blk, &preds), recon);
+        }
+    }
+}

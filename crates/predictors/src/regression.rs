@@ -1,0 +1,235 @@
+//! Blockwise linear-regression predictor (the second predictor of SZ2.1).
+//!
+//! SZ2.1 fits, per block, an affine function of the coordinates
+//! (`v ≈ a·x + b·y (+ c·z) + d`) by least squares on the original block data,
+//! stores the coefficients, and predicts every point of the block from them.
+//! Because the prediction does not depend on reconstructed neighbours, the
+//! decoder only needs the coefficients — exactly like the AE latent vectors in
+//! AE-SZ, which replace this predictor.
+
+use crate::quantizer::{QuantizedBlock, Quantizer};
+use aesz_tensor::ops::least_squares;
+
+/// Regression coefficients for one block: one slope per axis plus an intercept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionCoeffs {
+    /// Slopes, ordered slow-to-fast axis (`[z, y, x]` in 3D).
+    pub slopes: Vec<f32>,
+    /// Intercept.
+    pub intercept: f32,
+}
+
+impl RegressionCoeffs {
+    /// Number of stored f32 coefficients.
+    pub fn len(&self) -> usize {
+        self.slopes.len() + 1
+    }
+
+    /// True when there are no coefficients (never the case for fitted blocks).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flatten to f32 values for storage.
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut v = self.slopes.clone();
+        v.push(self.intercept);
+        v
+    }
+
+    /// Rebuild from the flattened representation.
+    pub fn from_slice(values: &[f32]) -> RegressionCoeffs {
+        let (slopes, intercept) = values.split_at(values.len() - 1);
+        RegressionCoeffs {
+            slopes: slopes.to_vec(),
+            intercept: intercept[0],
+        }
+    }
+}
+
+/// Fit the affine model to a block (row-major with the given extents).
+/// Falls back to a constant (mean) fit when the normal equations are singular,
+/// which happens for degenerate extents like 1×1 blocks.
+pub fn fit(data: &[f32], extents: &[usize]) -> RegressionCoeffs {
+    let rank = extents.len();
+    let n: usize = extents.iter().product();
+    assert_eq!(data.len(), n);
+    let cols = rank + 1;
+    let mut design = Vec::with_capacity(n * cols);
+    let mut push_row = |coord: &[usize]| {
+        for &c in coord {
+            design.push(c as f32);
+        }
+        design.push(1.0);
+    };
+    match rank {
+        1 => {
+            for x in 0..extents[0] {
+                push_row(&[x]);
+            }
+        }
+        2 => {
+            for y in 0..extents[0] {
+                for x in 0..extents[1] {
+                    push_row(&[y, x]);
+                }
+            }
+        }
+        3 => {
+            for z in 0..extents[0] {
+                for y in 0..extents[1] {
+                    for x in 0..extents[2] {
+                        push_row(&[z, y, x]);
+                    }
+                }
+            }
+        }
+        r => panic!("regression predictor supports rank 1-3, got {r}"),
+    }
+    match least_squares(&design, n, cols, data) {
+        Some(beta) => RegressionCoeffs {
+            slopes: beta[..rank].to_vec(),
+            intercept: beta[rank],
+        },
+        None => RegressionCoeffs {
+            slopes: vec![0.0; rank],
+            intercept: crate::mean::block_mean(data),
+        },
+    }
+}
+
+/// Evaluate the fitted plane at every point of the block.
+pub fn predictions(coeffs: &RegressionCoeffs, extents: &[usize]) -> Vec<f32> {
+    let n: usize = extents.iter().product();
+    let mut preds = Vec::with_capacity(n);
+    let eval = |coord: &[usize]| -> f32 {
+        coord
+            .iter()
+            .zip(coeffs.slopes.iter())
+            .map(|(&c, &s)| c as f32 * s)
+            .sum::<f32>()
+            + coeffs.intercept
+    };
+    match extents.len() {
+        1 => {
+            for x in 0..extents[0] {
+                preds.push(eval(&[x]));
+            }
+        }
+        2 => {
+            for y in 0..extents[0] {
+                for x in 0..extents[1] {
+                    preds.push(eval(&[y, x]));
+                }
+            }
+        }
+        3 => {
+            for z in 0..extents[0] {
+                for y in 0..extents[1] {
+                    for x in 0..extents[2] {
+                        preds.push(eval(&[z, y, x]));
+                    }
+                }
+            }
+        }
+        r => panic!("regression predictor supports rank 1-3, got {r}"),
+    }
+    preds
+}
+
+/// l1 loss of the regression predictor on a block (for predictor selection).
+pub fn l1_loss(data: &[f32], extents: &[usize]) -> f64 {
+    let coeffs = fit(data, extents);
+    let preds = predictions(&coeffs, extents);
+    data.iter()
+        .zip(preds.iter())
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .sum()
+}
+
+/// Compress a block: fit, predict, quantize residuals.
+pub fn compress(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> (RegressionCoeffs, QuantizedBlock, Vec<f32>) {
+    let coeffs = fit(data, extents);
+    let preds = predictions(&coeffs, extents);
+    let (blk, recon) = quantizer.quantize_buffer(data, &preds);
+    (coeffs, blk, recon)
+}
+
+/// Reconstruct a block from its coefficients and quantized residuals.
+pub fn decompress(
+    coeffs: &RegressionCoeffs,
+    block: &QuantizedBlock,
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> Vec<f32> {
+    let preds = predictions(coeffs, extents);
+    quantizer.dequantize_buffer(block, &preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_planar_data() {
+        // v = 2y + 3x + 1 over an 8x8 block.
+        let extents = [8usize, 8];
+        let data: Vec<f32> = (0..64)
+            .map(|i| 2.0 * (i / 8) as f32 + 3.0 * (i % 8) as f32 + 1.0)
+            .collect();
+        let c = fit(&data, &extents);
+        assert!((c.slopes[0] - 2.0).abs() < 1e-3);
+        assert!((c.slopes[1] - 3.0).abs() < 1e-3);
+        assert!((c.intercept - 1.0).abs() < 1e-3);
+        assert!(l1_loss(&data, &extents) < 1e-2);
+    }
+
+    #[test]
+    fn coeffs_roundtrip_through_flat_representation() {
+        let c = RegressionCoeffs {
+            slopes: vec![1.5, -2.5, 0.25],
+            intercept: 7.0,
+        };
+        assert_eq!(RegressionCoeffs::from_slice(&c.to_vec()), c);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn compress_decompress_respects_bound() {
+        let extents = [8usize, 8, 8];
+        let data: Vec<f32> = (0..512)
+            .map(|i| {
+                let z = (i / 64) as f32;
+                let y = ((i / 8) % 8) as f32;
+                let x = (i % 8) as f32;
+                0.5 * z - 0.2 * y + 0.7 * x + (x * 0.9).sin() * 0.3
+            })
+            .collect();
+        let q = Quantizer::with_default_bins(1e-3);
+        let (coeffs, blk, recon) = compress(&data, &extents, &q);
+        for (a, b) in data.iter().zip(recon.iter()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-9);
+        }
+        assert_eq!(decompress(&coeffs, &blk, &extents, &q), recon);
+    }
+
+    #[test]
+    fn degenerate_block_falls_back_to_mean() {
+        let c = fit(&[5.0], &[1]);
+        assert_eq!(c.intercept, 5.0);
+    }
+
+    #[test]
+    fn curved_data_has_higher_loss_than_planar() {
+        let extents = [16usize, 16];
+        let planar: Vec<f32> = (0..256).map(|i| (i / 16) as f32 + (i % 16) as f32).collect();
+        let curved: Vec<f32> = (0..256)
+            .map(|i| ((i / 16) as f32 * 0.5).sin() * 10.0 + ((i % 16) as f32 * 0.7).cos() * 10.0)
+            .collect();
+        assert!(l1_loss(&planar, &extents) < l1_loss(&curved, &extents));
+    }
+}

@@ -1,0 +1,66 @@
+//! # aesz-tensor
+//!
+//! N-dimensional containers used throughout the AE-SZ reproduction.
+//!
+//! Two families of types live here:
+//!
+//! * [`Field`] — a scientific data field (1D/2D/3D, `f32`, row-major) with the
+//!   blockwise access patterns the SZ/AE-SZ compressors need: fixed-size block
+//!   extraction with edge clamping, block write-back, global min/max and
+//!   normalization helpers.
+//! * [`Tensor`] — a general N-dimensional tensor used by the `aesz-nn`
+//!   mini deep-learning framework (batched activations, convolution kernels,
+//!   latent vectors).
+//!
+//! The crate is dependency-light on purpose; everything else in the workspace
+//! builds on top of it.
+
+pub mod dims;
+pub mod field;
+pub mod tensor;
+pub mod ops;
+pub mod init;
+
+pub use dims::Dims;
+pub use field::{Field, Block, BlockIter, BlockSpec};
+pub use tensor::Tensor;
+
+/// Convenience result alias used by fallible constructors in this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by shape/layout validation in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the shape does not match the data length.
+    ShapeMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+    },
+    /// An index was out of bounds for the given dimensions.
+    OutOfBounds {
+        /// The offending flattened index.
+        index: usize,
+        /// The number of valid elements.
+        len: usize,
+    },
+    /// An operation received operands with incompatible shapes.
+    IncompatibleShapes(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {got}")
+            }
+            TensorError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            TensorError::IncompatibleShapes(msg) => write!(f, "incompatible shapes: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,54 @@
+//! Quickstart: train an AE-SZ compressor on one climate snapshot, compress a
+//! later snapshot under a 1e-3 value-range-relative error bound, verify the
+//! bound, and print the compression ratio.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use aesz_repro::core::training::TrainingOptions;
+use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
+use aesz_repro::datagen::Application;
+use aesz_repro::metrics::{verify_error_bound, ErrorStats};
+use aesz_repro::tensor::Dims;
+
+fn main() {
+    // 1. Get data: an early snapshot for training, a later one to compress.
+    let app = Application::CesmCldhgh;
+    let train_field = app.generate(Dims::d2(128, 128), 0);
+    let test_field = app.generate(Dims::d2(128, 128), 50);
+
+    // 2. Offline training (Fig. 2, left): a small SWAE on 16x16 blocks.
+    println!("training the SWAE predictor ...");
+    let opts = TrainingOptions {
+        block_size: 16,
+        latent_dim: 8,
+        epochs: 5,
+        max_blocks: 192,
+        ..TrainingOptions::default_for_rank(2)
+    };
+    let model = train_swae_for_field(std::slice::from_ref(&train_field), &opts);
+
+    // 3. Online compression (Fig. 2, right).
+    let mut aesz = AeSz::new(
+        model,
+        AeSzConfig {
+            block_size: 16,
+            ..AeSzConfig::default_2d()
+        },
+    );
+    let rel_eb = 1e-3;
+    let (bytes, report) = aesz.compress_with_report(&test_field, rel_eb);
+    let recon = aesz.decompress_stream(&bytes);
+
+    // 4. Verify the error bound and report quality.
+    let abs = rel_eb * test_field.value_range() as f64;
+    verify_error_bound(test_field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
+        .expect("AE-SZ must respect the requested error bound");
+    let stats = ErrorStats::compute(test_field.as_slice(), recon.as_slice());
+    println!("error bound            : {rel_eb:.0e} (abs {abs:.3e}) — verified");
+    println!("compression ratio      : {:.1}x", (test_field.len() * 4) as f64 / bytes.len() as f64);
+    println!("PSNR                   : {:.2} dB", stats.psnr);
+    println!(
+        "blocks by predictor    : {} AE / {} Lorenzo / {} mean",
+        report.ae_blocks, report.lorenzo_blocks, report.mean_blocks
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the AE-SZ reproduction workspace.
+//!
+//! Re-exports the public APIs of every member crate so that examples and
+//! integration tests can `use aesz_repro::...` without naming each crate.
+
+pub use aesz_baselines as baselines;
+pub use aesz_codec as codec;
+pub use aesz_core as core;
+pub use aesz_datagen as datagen;
+pub use aesz_metrics as metrics;
+pub use aesz_nn as nn;
+pub use aesz_predictors as predictors;
+pub use aesz_tensor as tensor;

@@ -1,0 +1,65 @@
+//! Cross-crate integration test of the comparative claims the benchmark
+//! harness relies on: the relative behaviour of the compressors, not absolute
+//! numbers.
+
+use aesz_repro::baselines::{Sz2, SzInterp, Zfp};
+use aesz_repro::core::training::TrainingOptions;
+use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig, PredictorPolicy};
+use aesz_repro::datagen::Application;
+use aesz_repro::metrics::{measure, Compressor};
+use aesz_repro::tensor::Dims;
+
+#[test]
+fn all_compressors_beat_raw_storage_on_smooth_data() {
+    let field = Application::CesmCldhgh.generate(Dims::d2(96, 96), 20);
+    for comp in [&mut Sz2::new() as &mut dyn Compressor, &mut Zfp::new(), &mut SzInterp::new()] {
+        let p = measure(comp, &field, 1e-3);
+        assert!(
+            p.compression_ratio > 2.0,
+            "{} only reached CR {:.2}",
+            comp.name(),
+            p.compression_ratio
+        );
+    }
+}
+
+#[test]
+fn adaptive_predictor_selection_is_not_worse_than_lorenzo_only() {
+    // Fig. 11's claim, in relaxed form: at a coarse bound the adaptive policy
+    // must not produce a (meaningfully) larger stream than Lorenzo-only.
+    let app = Application::CesmCldhgh;
+    let train = app.generate(Dims::d2(96, 96), 0);
+    let test = app.generate(Dims::d2(96, 96), 50);
+    let opts = TrainingOptions {
+        block_size: 16,
+        latent_dim: 8,
+        channels: vec![4, 8],
+        epochs: 3,
+        max_blocks: 96,
+        ..TrainingOptions::default_for_rank(2)
+    };
+    let model = train_swae_for_field(std::slice::from_ref(&train), &opts);
+    let mut aesz = AeSz::new(model, AeSzConfig { block_size: 16, ..AeSzConfig::default_2d() });
+    let adaptive = aesz.compress_with_report(&test, 1e-2).0.len();
+    aesz.set_policy(PredictorPolicy::LorenzoOnly);
+    let lorenzo_only = aesz.compress_with_report(&test, 1e-2).0.len();
+    assert!(
+        (adaptive as f64) < 1.1 * lorenzo_only as f64,
+        "adaptive {adaptive} should not lose badly to lorenzo-only {lorenzo_only}"
+    );
+}
+
+#[test]
+fn finer_bounds_monotonically_increase_psnr_for_every_compressor() {
+    let field = Application::HurricaneU.generate(Dims::d3(16, 32, 32), 44);
+    for comp in [&mut Sz2::new() as &mut dyn Compressor, &mut Zfp::new(), &mut SzInterp::new()] {
+        let coarse = measure(comp, &field, 1e-2);
+        let fine = measure(comp, &field, 1e-4);
+        assert!(
+            fine.psnr > coarse.psnr,
+            "{}: PSNR did not improve with a finer bound",
+            comp.name()
+        );
+        assert!(fine.bit_rate > coarse.bit_rate);
+    }
+}

@@ -1,0 +1,58 @@
+//! Cross-crate integration test of the full AE-SZ lifecycle: generate data,
+//! train, serialize the model, reload it, compress, write the stream to disk,
+//! read it back, decompress, and check both the bound and the ratio.
+
+use aesz_repro::core::training::TrainingOptions;
+use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
+use aesz_repro::datagen::{load_f32_file, save_f32_file, Application};
+use aesz_repro::metrics::{verify_error_bound, ErrorStats};
+use aesz_repro::nn::serialize::{load_model, save_model};
+use aesz_repro::tensor::Dims;
+
+#[test]
+fn full_pipeline_from_training_to_decompressed_file() {
+    let app = Application::CesmCldhgh;
+    let dims = Dims::d2(64, 64);
+    let train_field = app.generate(dims, 0);
+    let test_field = app.generate(dims, 51);
+
+    // Persist the "SDRBench" input the way a user would receive it.
+    let dir = std::env::temp_dir().join("aesz_e2e_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input_path = dir.join("cldhgh_snapshot51.f32");
+    save_f32_file(&input_path, &test_field).unwrap();
+    let loaded_input = load_f32_file(&input_path, dims).unwrap();
+    assert_eq!(loaded_input, test_field);
+
+    // Train, serialize, reload.
+    let opts = TrainingOptions {
+        block_size: 16,
+        latent_dim: 8,
+        channels: vec![4, 8],
+        epochs: 2,
+        max_blocks: 64,
+        ..TrainingOptions::default_for_rank(2)
+    };
+    let model = train_swae_for_field(std::slice::from_ref(&train_field), &opts);
+    let model = load_model(&save_model(&model)).expect("model roundtrip");
+
+    // Compress, persist the stream, reload, decompress.
+    let mut aesz = AeSz::new(model, AeSzConfig { block_size: 16, ..AeSzConfig::default_2d() });
+    let rel_eb = 1e-3;
+    let bytes = aesz.compress_with_report(&loaded_input, rel_eb).0;
+    let stream_path = dir.join("cldhgh_snapshot51.aesz");
+    std::fs::write(&stream_path, &bytes).unwrap();
+    let reread = std::fs::read(&stream_path).unwrap();
+    let recon = aesz.decompress_stream(&reread);
+
+    let abs = rel_eb * test_field.value_range() as f64;
+    verify_error_bound(test_field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
+    let stats = ErrorStats::compute(test_field.as_slice(), recon.as_slice());
+    assert!(stats.psnr > 40.0, "PSNR {:.1} unexpectedly low at eb 1e-3", stats.psnr);
+    assert!(
+        bytes.len() * 4 < test_field.len() * 4,
+        "compression ratio below 4x: {} bytes",
+        bytes.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

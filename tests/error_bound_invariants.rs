@@ -1,0 +1,65 @@
+//! Cross-crate integration test: every compressor that claims to be
+//! error-bounded must respect the requested bound on every application's data,
+//! across several error bounds (the invariant of DESIGN.md §6).
+
+use aesz_repro::baselines::{Sz2, SzAuto, SzInterp, Zfp};
+use aesz_repro::core::training::TrainingOptions;
+use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
+use aesz_repro::datagen::Application;
+use aesz_repro::metrics::{verify_error_bound, Compressor};
+use aesz_repro::tensor::Dims;
+
+fn check(comp: &mut dyn Compressor, field: &aesz_repro::tensor::Field, rel_eb: f64) {
+    let bytes = comp.compress(field, rel_eb);
+    let recon = comp.decompress(&bytes);
+    let abs = rel_eb * field.value_range() as f64;
+    verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
+        .unwrap_or_else(|e| panic!("{} violated the bound at eb {rel_eb}: {e}", comp.name()));
+}
+
+#[test]
+fn traditional_baselines_respect_bounds_on_all_applications() {
+    for app in Application::all() {
+        let dims = match app.rank() {
+            2 => Dims::d2(48, 64),
+            _ => Dims::d3(20, 24, 24),
+        };
+        let field = app.generate(dims, 50);
+        for rel_eb in [1e-2, 1e-3] {
+            check(&mut Sz2::new(), &field, rel_eb);
+            check(&mut Zfp::new(), &field, rel_eb);
+            check(&mut SzAuto::new(), &field, rel_eb);
+            check(&mut SzInterp::new(), &field, rel_eb);
+        }
+    }
+}
+
+#[test]
+fn aesz_respects_bounds_in_2d_and_3d() {
+    for (app, dims, block) in [
+        (Application::CesmFreqsh, Dims::d2(64, 64), 16usize),
+        (Application::NyxTemperature, Dims::d3(24, 24, 24), 8),
+    ] {
+        let train = app.generate(dims, 0);
+        let test = app.generate(dims, 50);
+        let opts = TrainingOptions {
+            block_size: block,
+            latent_dim: 8,
+            channels: vec![4, 8],
+            epochs: 2,
+            max_blocks: 64,
+            ..TrainingOptions::default_for_rank(app.rank())
+        };
+        let model = train_swae_for_field(std::slice::from_ref(&train), &opts);
+        let mut aesz = AeSz::new(
+            model,
+            AeSzConfig {
+                block_size: block,
+                ..AeSzConfig::default_2d()
+            },
+        );
+        for rel_eb in [1e-1, 1e-2, 1e-3] {
+            check(&mut aesz, &test, rel_eb);
+        }
+    }
+}
