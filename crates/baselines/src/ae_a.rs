@@ -179,7 +179,10 @@ impl Compressor for AeA {
     }
 
     fn decompress(&mut self, bytes: &[u8]) -> Field {
-        assert!(self.trained, "AeA::train must be called before decompressing");
+        assert!(
+            self.trained,
+            "AeA::train must be called before decompressing"
+        );
         let (header, blk, extra) = parse(bytes);
         let lo = f32::from_le_bytes([extra[0], extra[1], extra[2], extra[3]]);
         let hi = f32::from_le_bytes([extra[4], extra[5], extra[6], extra[7]]);

@@ -67,7 +67,10 @@ impl AeB {
             for spec in field.blocks(BLOCK) {
                 let blk = field.extract_block(&spec);
                 blocks.push(if range > 0.0 {
-                    blk.data.iter().map(|&v| 2.0 * (v - lo) / range - 1.0).collect()
+                    blk.data
+                        .iter()
+                        .map(|&v| 2.0 * (v - lo) / range - 1.0)
+                        .collect()
                 } else {
                     vec![0.0; blk.data.len()]
                 });
@@ -85,10 +88,10 @@ impl AeB {
         };
         // Re-create the model inside a trainer (keeps the Trainer API uniform),
         // then adopt the trained weights.
-        let mut trainer = Trainer::with_model(std::mem::replace(
-            &mut self.model,
-            ConvAutoencoder::new(config),
-        ), trainer_cfg);
+        let mut trainer = Trainer::with_model(
+            std::mem::replace(&mut self.model, ConvAutoencoder::new(config)),
+            trainer_cfg,
+        );
         trainer.train(&blocks);
         self.model = trainer.into_model();
         self.trained = true;
@@ -133,7 +136,10 @@ impl Compressor for AeB {
     }
 
     fn decompress(&mut self, bytes: &[u8]) -> Field {
-        assert!(self.trained, "AeB::train must be called before decompressing");
+        assert!(
+            self.trained,
+            "AeB::train must be called before decompressing"
+        );
         let mut pos = 0usize;
         let dims: Dims = read_dims(bytes, &mut pos).expect("dims");
         let lo = read_f32(bytes, &mut pos).expect("lo");

@@ -116,7 +116,9 @@ mod tests {
             abs_eb: 2.5e-3,
         };
         let blk = QuantizedBlock {
-            codes: (0..120).map(|i| if i % 9 == 0 { 0 } else { 32768 }).collect(),
+            codes: (0..120)
+                .map(|i| if i % 9 == 0 { 0 } else { 32768 })
+                .collect(),
             unpredictable: vec![1.5; 14],
         };
         let bytes = assemble(header, &blk, b"extra!");

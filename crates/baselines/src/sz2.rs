@@ -147,8 +147,8 @@ impl Compressor for Sz2 {
             let mut it = valid.iter();
             match rank {
                 1 => {
-                    for x in 0..spec.size[0] {
-                        padded[x] = *it.next().expect("size");
+                    for slot in padded.iter_mut().take(spec.size[0]) {
+                        *slot = *it.next().expect("size");
                     }
                 }
                 2 => {

@@ -1,7 +1,7 @@
 //! Criterion benches for the lossless coding substrate (backs the throughput
 //! discussion of Table VIII): Huffman, zlite and the composed code pipeline.
 
-use aesz_codec::{encode_codes, decode_codes, huffman_encode, zlite_compress, zlite_decompress};
+use aesz_codec::{decode_codes, encode_codes, huffman_encode, zlite_compress, zlite_decompress};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn quantization_like_codes(n: usize) -> Vec<u32> {

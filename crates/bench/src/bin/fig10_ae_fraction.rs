@@ -9,11 +9,18 @@ fn main() {
     println!("Fig. 10 counterpart — fraction of AE-predicted blocks vs error bound");
     println!("paper reference: AE dominates for medium bounds (~5e-3..2e-2) and loses to Lorenzo at small bounds.");
     let bounds = [1e-1f64, 5e-2, 2e-2, 1e-2, 5e-3, 2e-3, 1e-3, 3e-4];
-    for app in [Application::CesmCldhgh, Application::HurricaneU, Application::NyxTemperature] {
+    for app in [
+        Application::CesmCldhgh,
+        Application::HurricaneU,
+        Application::NyxTemperature,
+    ] {
         let field = test_field(app);
         let mut aesz = trained_aesz(app);
         println!("-- {} --", app.name());
-        println!("{:>10} {:>16} {:>10} {:>10} {:>10}", "eb", "AE fraction", "AE", "Lorenzo", "mean");
+        println!(
+            "{:>10} {:>16} {:>10} {:>10} {:>10}",
+            "eb", "AE fraction", "AE", "Lorenzo", "mean"
+        );
         for &eb in &bounds {
             let (_, report) = aesz.compress_with_report(&field, eb);
             println!(

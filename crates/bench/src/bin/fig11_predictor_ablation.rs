@@ -8,7 +8,9 @@ use aesz_datagen::Application;
 
 fn main() {
     println!("Fig. 11 counterpart — predictor ablation (adaptive vs AE-only vs Lorenzo-only)");
-    println!("paper reference: AE+Lorenzo dominates both single-predictor variants at every bit rate.");
+    println!(
+        "paper reference: AE+Lorenzo dominates both single-predictor variants at every bit rate."
+    );
     let bounds = standard_bounds();
     for app in [Application::CesmCldhgh, Application::HurricaneU] {
         let field = test_field(app);

@@ -22,9 +22,22 @@ fn main() {
     let (lo, hi) = test.min_max();
     println!("Fig. 1 counterpart (paper: range [-3.06, 2.64], max abs error 1.2 at 64:1)");
     println!("  value range           : [{lo:.3}, {hi:.3}]");
-    println!("  compression ratio     : {:.1}", (test.len() * 4) as f64 / bytes.len() as f64);
-    println!("  max pointwise error   : {:.4} ({:.1}% of range)", stats.max_abs_error, 100.0 * stats.max_abs_error / stats.value_range);
+    println!(
+        "  compression ratio     : {:.1}",
+        (test.len() * 4) as f64 / bytes.len() as f64
+    );
+    println!(
+        "  max pointwise error   : {:.4} ({:.1}% of range)",
+        stats.max_abs_error,
+        100.0 * stats.max_abs_error / stats.value_range
+    );
     println!("  PSNR                  : {:.2} dB", stats.psnr);
-    println!("\noriginal (middle slice):\n{}", ascii_heatmap(&test, 16, 48));
-    println!("AE 64:1 reconstruction (middle slice):\n{}", ascii_heatmap(&recon, 16, 48));
+    println!(
+        "\noriginal (middle slice):\n{}",
+        ascii_heatmap(&test, 16, 48)
+    );
+    println!(
+        "AE 64:1 reconstruction (middle slice):\n{}",
+        ascii_heatmap(&recon, 16, 48)
+    );
 }

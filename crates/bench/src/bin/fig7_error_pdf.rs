@@ -28,31 +28,56 @@ fn main() {
     let train_field = app.generate(dims, 0);
     let test_field = app.generate(dims, 55);
     let block = 16usize;
-    let opts = TrainingOptions { block_size: block, epochs: 4, max_blocks: 192, ..TrainingOptions::default_for_rank(2) };
+    let opts = TrainingOptions {
+        block_size: block,
+        epochs: 4,
+        max_blocks: 192,
+        ..TrainingOptions::default_for_rank(2)
+    };
     let mut model = train_swae_for_field(std::slice::from_ref(&train_field), &opts);
     let blocks = training_blocks_from_field(&test_field, block, 64, 7);
     let flat: Vec<f32> = blocks.iter().flatten().copied().collect();
     let range = test_field.value_range() as f64;
 
-    println!("Fig. 7 counterpart — prediction-error PDF (fraction per bin, range +/-5% of value range)");
+    println!(
+        "Fig. 7 counterpart — prediction-error PDF (fraction per bin, range +/-5% of value range)"
+    );
     for eb in [1e-2f64, 1e-4] {
         // AE predictions from latents quantized at 0.1*eb (normalised bound 2*eb).
         let codec = LatentCodec::new((0.1 * 2.0 * eb).max(1e-9));
         let latents = model.encode_blocks(&flat, blocks.len());
         let zd = codec.roundtrip(&latents);
         let ae_recon = model.decode_latents(&zd, blocks.len());
-        let ae_err: Vec<f64> = flat.iter().zip(ae_recon.iter()).map(|(a, b)| (*a as f64 - *b as f64) * range / 2.0).collect();
+        let ae_err: Vec<f64> = flat
+            .iter()
+            .zip(ae_recon.iter())
+            .map(|(a, b)| (*a as f64 - *b as f64) * range / 2.0)
+            .collect();
         // Lorenzo and regression errors on the raw (unnormalised) test field.
         let ext = test_field.dims().extents();
         let lor = lorenzo::ideal_predictions(test_field.as_slice(), &ext);
-        let lor_err: Vec<f64> = test_field.as_slice().iter().zip(lor.iter()).map(|(a, b)| *a as f64 - *b as f64).collect();
+        let lor_err: Vec<f64> = test_field
+            .as_slice()
+            .iter()
+            .zip(lor.iter())
+            .map(|(a, b)| *a as f64 - *b as f64)
+            .collect();
         let coeffs = regression::fit(test_field.as_slice(), &ext);
         let reg = regression::predictions(&coeffs, &ext);
-        let reg_err: Vec<f64> = test_field.as_slice().iter().zip(reg.iter()).map(|(a, b)| *a as f64 - *b as f64).collect();
+        let reg_err: Vec<f64> = test_field
+            .as_slice()
+            .iter()
+            .zip(reg.iter())
+            .map(|(a, b)| *a as f64 - *b as f64)
+            .collect();
 
         let hw = 0.05 * range;
         println!("-- error bound {eb:.0e} (histogram over [-{hw:.3}, {hw:.3}], 11 bins) --");
-        for (name, err) in [("lorenzo", &lor_err), ("linear reg", &reg_err), ("conv. AE", &ae_err)] {
+        for (name, err) in [
+            ("lorenzo", &lor_err),
+            ("linear reg", &reg_err),
+            ("conv. AE", &ae_err),
+        ] {
             let h = histogram(err, hw, 11);
             let cells: Vec<String> = h.iter().map(|v| format!("{v:.3}")).collect();
             println!("{name:<12} {}", cells.join(" "));

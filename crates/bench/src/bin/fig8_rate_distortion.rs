@@ -41,7 +41,12 @@ fn main() {
             // AE-B has a single fixed-rate operating point.
             let p = measure(&mut ae_b, &field, 1e-3);
             let mut c = RdCurve::new("AE-B");
-            c.push(RdPoint { error_bound: f64::NAN, bit_rate: p.bit_rate, psnr: p.psnr, compression_ratio: p.compression_ratio });
+            c.push(RdPoint {
+                error_bound: f64::NAN,
+                bit_rate: p.bit_rate,
+                psnr: p.psnr,
+                compression_ratio: p.compression_ratio,
+            });
             curves.push(c);
         }
         print_curves(app.name(), &curves);

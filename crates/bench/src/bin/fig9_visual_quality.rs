@@ -8,7 +8,11 @@ use aesz_bench::{ascii_heatmap, test_field, trained_aesz};
 use aesz_datagen::Application;
 use aesz_metrics::{measure, Compressor};
 
-fn find_eb_for_cr(compressor: &mut dyn Compressor, field: &aesz_tensor::Field, target_cr: f64) -> f64 {
+fn find_eb_for_cr(
+    compressor: &mut dyn Compressor,
+    field: &aesz_tensor::Field,
+    target_cr: f64,
+) -> f64 {
     let mut best = (f64::INFINITY, 1e-2);
     for &eb in &[2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1] {
         let p = measure(compressor, field, eb);
@@ -24,14 +28,18 @@ fn main() {
     let app = Application::NyxBaryonDensity;
     let field = test_field(app);
     let target_cr = 60.0;
-    println!("Fig. 9 counterpart — visual quality at matched CR (~{target_cr}) on {}", app.name());
+    println!(
+        "Fig. 9 counterpart — visual quality at matched CR (~{target_cr}) on {}",
+        app.name()
+    );
     println!("paper reference at CR~180: AE-SZ PSNR 46.8 > SZinterp 45.5 > SZ 41.7 > SZauto 40.6 > ZFP 30.2");
-    println!("\noriginal (middle slice):\n{}", ascii_heatmap(&field, 16, 48));
+    println!(
+        "\noriginal (middle slice):\n{}",
+        ascii_heatmap(&field, 16, 48)
+    );
 
     let mut aesz = trained_aesz(app);
-    let mut compressors: Vec<(&str, &mut dyn Compressor)> = vec![
-        ("AE-SZ", &mut aesz),
-    ];
+    let mut compressors: Vec<(&str, &mut dyn Compressor)> = vec![("AE-SZ", &mut aesz)];
     let mut szinterp = SzInterp::new();
     let mut szauto = SzAuto::new();
     let mut sz2 = Sz2::new();
@@ -46,6 +54,10 @@ fn main() {
         let recon = comp.decompress(&bytes);
         let stats = aesz_metrics::ErrorStats::compute(field.as_slice(), recon.as_slice());
         let cr = (field.len() * 4) as f64 / bytes.len() as f64;
-        println!("{name}: CR {cr:.1}, PSNR {:.2} dB (eb {eb:.0e})\n{}", stats.psnr, ascii_heatmap(&recon, 16, 48));
+        println!(
+            "{name}: CR {cr:.1}, PSNR {:.2} dB (eb {eb:.0e})\n{}",
+            stats.psnr,
+            ascii_heatmap(&recon, 16, 48)
+        );
     }
 }

@@ -10,8 +10,15 @@ use aesz_tensor::Dims;
 
 fn run(app: Application, block_sizes: &[usize], latent_ratio: usize) {
     println!("-- {} (latent ratio {latent_ratio}) --", app.name());
-    println!("{:<12} {:>12} {:>10}", "block size", "PSNR (dB)", "CR(1e-2)");
-    let dims = if app.rank() == 2 { Dims::d2(128, 128) } else { Dims::d3(48, 48, 48) };
+    println!(
+        "{:<12} {:>12} {:>10}",
+        "block size", "PSNR (dB)", "CR(1e-2)"
+    );
+    let dims = if app.rank() == 2 {
+        Dims::d2(128, 128)
+    } else {
+        Dims::d3(48, 48, 48)
+    };
     let train_field = app.generate(dims, 0);
     let test_field = app.generate(dims, 50);
     for &bs in block_sizes {
@@ -32,7 +39,13 @@ fn run(app: Application, block_sizes: &[usize], latent_ratio: usize) {
         let mut probe = Trainer::with_model(model, TrainConfig::default());
         let psnr = probe.prediction_psnr(&test_blocks);
         let model = probe.into_model();
-        let mut aesz = AeSz::new(model, AeSzConfig { block_size: bs, ..AeSzConfig::default_2d() });
+        let mut aesz = AeSz::new(
+            model,
+            AeSzConfig {
+                block_size: bs,
+                ..AeSzConfig::default_2d()
+            },
+        );
         let point = measure(&mut aesz, &test_field, 1e-2);
         let label = match rank {
             2 => format!("{bs}x{bs}"),
@@ -44,7 +57,9 @@ fn run(app: Application, block_sizes: &[usize], latent_ratio: usize) {
 
 fn main() {
     println!("Table II counterpart — block size vs prediction PSNR and CR at eb=1e-2");
-    println!("paper reference: CESM 32x32 best (43.9 dB / CR 60.9); NYX 8x8x8 best (46.6 dB / CR 71.1)");
+    println!(
+        "paper reference: CESM 32x32 best (43.9 dB / CR 60.9); NYX 8x8x8 best (46.6 dB / CR 71.1)"
+    );
     run(Application::CesmCldhgh, &[16, 32, 64], 64);
     run(Application::NyxBaryonDensity, &[8, 16], 32);
 }

@@ -13,8 +13,13 @@ fn main() {
     let train_field = app.generate(dims, 1);
     let test_field = app.generate(dims, 45);
     println!("Table III counterpart — latent size vs CR at eb=1e-2 on Hurricane-U (8x8x8 blocks)");
-    println!("paper reference: latent 4 -> 123.4, 6 -> 137.4, 8 -> 149.1 (best), 12 -> 127.7, 16 -> 106");
-    println!("{:<12} {:>12} {:>10}", "latent size", "latent ratio", "CR(1e-2)");
+    println!(
+        "paper reference: latent 4 -> 123.4, 6 -> 137.4, 8 -> 149.1 (best), 12 -> 127.7, 16 -> 106"
+    );
+    println!(
+        "{:<12} {:>12} {:>10}",
+        "latent size", "latent ratio", "CR(1e-2)"
+    );
     for latent in [4usize, 8, 16] {
         let opts = TrainingOptions {
             block_size: 8,
@@ -28,6 +33,9 @@ fn main() {
         let ratio = model.config().latent_ratio();
         let mut aesz = AeSz::new(model, AeSzConfig::default_3d());
         let point = measure(&mut aesz, &test_field, 1e-2);
-        println!("{latent:<12} {ratio:>12.1} {:>10.1}", point.compression_ratio);
+        println!(
+            "{latent:<12} {ratio:>12.1} {:>10.1}",
+            point.compression_ratio
+        );
     }
 }

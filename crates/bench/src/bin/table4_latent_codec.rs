@@ -10,7 +10,11 @@ use aesz_metrics::Compressor;
 use aesz_tensor::{Dims, Field};
 
 fn latents_for(app: Application) -> (Vec<f32>, usize) {
-    let dims = if app.rank() == 2 { Dims::d2(128, 128) } else { Dims::d3(48, 48, 48) };
+    let dims = if app.rank() == 2 {
+        Dims::d2(128, 128)
+    } else {
+        Dims::d3(48, 48, 48)
+    };
     let field = app.generate(dims, 0);
     let rank = app.rank();
     let opts = TrainingOptions {
@@ -28,8 +32,15 @@ fn latents_for(app: Application) -> (Vec<f32>, usize) {
 fn main() {
     println!("Table IV counterpart — latent-vector compression ratio: custo. vs SZ2.1-style");
     println!("paper reference (custo./SZ2.1): eb 1e-2: 6.9/5.9 (RTM), 7.1/6.2 (NYX-dmd), 6.6/5.7 (EXAFEL)");
-    println!("{:<26} {:>8} {:>10} {:>10}", "field", "eb", "custo.", "SZ2.1");
-    for app in [Application::Rtm, Application::NyxDarkMatterDensity, Application::Exafel] {
+    println!(
+        "{:<26} {:>8} {:>10} {:>10}",
+        "field", "eb", "custo.", "SZ2.1"
+    );
+    for app in [
+        Application::Rtm,
+        Application::NyxDarkMatterDensity,
+        Application::Exafel,
+    ] {
         let (latents, latent_dim) = latents_for(app);
         let n_vectors = latents.len() / latent_dim;
         let raw_bytes = latents.len() * 4;
@@ -39,7 +50,8 @@ fn main() {
             let indices = codec.quantize(&latents);
             let custo_bytes = codec.encode(&indices, latent_dim).len();
             // SZ2.1-style: treat the latent matrix as a 2D field.
-            let latent_field = Field::from_vec(Dims::d2(n_vectors, latent_dim), latents.clone()).unwrap();
+            let latent_field =
+                Field::from_vec(Dims::d2(n_vectors, latent_dim), latents.clone()).unwrap();
             let mut sz2 = Sz2::new();
             let sz2_bytes = sz2.compress(&latent_field, 0.1 * eb).len();
             println!(

@@ -16,8 +16,16 @@ fn throughput(mb: f64, seconds: f64) -> f64 {
 fn main() {
     println!("Table VIII counterpart — compression / decompression speed (MB/s), eb = 1e-3");
     println!("paper reference ordering: SZ2.1/ZFP/SZauto/SZinterp >> AE-SZ >> AE-A; AE-B similar to AE-SZ.");
-    println!("{:<22} {:<10} {:>12} {:>12}", "dataset", "compressor", "comp MB/s", "decomp MB/s");
-    for app in [Application::CesmCldhgh, Application::NyxBaryonDensity, Application::HurricaneU, Application::Rtm] {
+    println!(
+        "{:<22} {:<10} {:>12} {:>12}",
+        "dataset", "compressor", "comp MB/s", "decomp MB/s"
+    );
+    for app in [
+        Application::CesmCldhgh,
+        Application::NyxBaryonDensity,
+        Application::HurricaneU,
+        Application::Rtm,
+    ] {
         let field = test_field(app);
         let train = training_fields(app);
         let mb = (field.len() * 4) as f64 / (1024.0 * 1024.0);

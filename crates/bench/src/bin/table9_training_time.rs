@@ -11,7 +11,11 @@ fn main() {
     println!("Table IX counterpart — autoencoder training time (seconds, same data & epochs)");
     println!("paper reference (hours, V100): AE-SZ 1.0-5.5 vs AE-A 1.5-21.4 (AE-SZ never slower).");
     println!("{:<22} {:>12} {:>12}", "dataset", "AE-SZ (s)", "AE-A (s)");
-    for app in [Application::CesmCldhgh, Application::NyxBaryonDensity, Application::HurricaneU] {
+    for app in [
+        Application::CesmCldhgh,
+        Application::NyxBaryonDensity,
+        Application::HurricaneU,
+    ] {
         let fields = training_fields(app);
         let opts = harness_training_options(app);
         let t0 = Instant::now();

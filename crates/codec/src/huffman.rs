@@ -232,7 +232,11 @@ mod tests {
     fn single_symbol_alphabet() {
         let data = vec![7u32; 1000];
         let enc = huffman_encode(&data);
-        assert!(enc.len() < 40, "degenerate stream should be tiny: {}", enc.len());
+        assert!(
+            enc.len() < 40,
+            "degenerate stream should be tiny: {}",
+            enc.len()
+        );
         assert_eq!(huffman_decode(&enc), Some(data));
     }
 
@@ -262,7 +266,9 @@ mod tests {
 
     #[test]
     fn wide_alphabet_roundtrip() {
-        let data: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 60000) as u32).collect();
+        let data: Vec<u32> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 60000) as u32)
+            .collect();
         let enc = huffman_encode(&data);
         assert_eq!(huffman_decode(&enc), Some(data));
     }

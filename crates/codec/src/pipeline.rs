@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn empty_streams() {
         assert_eq!(decode_codes(&encode_codes(&[])).unwrap(), Vec::<u32>::new());
-        assert_eq!(decompress_bytes(&compress_bytes(&[])).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            decompress_bytes(&compress_bytes(&[])).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]
@@ -95,6 +98,8 @@ mod tests {
     #[test]
     fn error_display_is_informative() {
         assert_eq!(CodecError::CorruptLz.to_string(), "corrupt zlite stream");
-        assert!(CodecError::Malformed("header").to_string().contains("header"));
+        assert!(CodecError::Malformed("header")
+            .to_string()
+            .contains("header"));
     }
 }

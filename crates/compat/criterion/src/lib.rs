@@ -1,0 +1,285 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the `aesz_bench` benches
+//! use — `Criterion::default().sample_size(n)`, `benchmark_group`,
+//! `throughput`, `bench_function`, `finish`, plus the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple measure-and-report loop:
+//! each benchmark is warmed up, then timed for `sample_size` samples, and
+//! the median per-iteration time (with derived throughput, when declared)
+//! is printed to stdout. No statistical analysis, plots, or baselines; the
+//! point is that `cargo bench` runs and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group. Mirror of
+/// `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level harness state. Mirror of `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(self, None, id, None, sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    // Per-group override, like real criterion: it must not leak into
+    // groups created later from the same `Criterion`.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(
+            self.criterion,
+            Some(&self.name),
+            id,
+            self.throughput,
+            sample_size,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing context handed to the closure. Mirror of
+/// `criterion::Bencher`; `iter` runs the routine `iters` times and records
+/// the elapsed wall-clock time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+
+    // Warm-up, and calibrate how many iterations fit in one sample so that
+    // each sample is long enough to time reliably.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    let mut per_iter = loop {
+        let elapsed = time_once(&mut f, iters);
+        if warm_up_start.elapsed() >= criterion.warm_up_time {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        if elapsed < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+    let sample_budget = criterion.measurement_time.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = ((sample_budget / per_iter).ceil() as u64).clamp(1, 1 << 30);
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| time_once(&mut f, iters_per_sample).as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+            format!("  thrpt: {}/s", human_bytes(bytes as f64 / median))
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / median / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} time: [{} {} {}]{rate}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+    );
+}
+
+fn human_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+fn human_bytes(bytes_per_sec: f64) -> String {
+    const KIB: f64 = 1024.0;
+    if bytes_per_sec >= KIB * KIB * KIB {
+        format!("{:.3} GiB", bytes_per_sec / (KIB * KIB * KIB))
+    } else if bytes_per_sec >= KIB * KIB {
+        format!("{:.3} MiB", bytes_per_sec / (KIB * KIB))
+    } else if bytes_per_sec >= KIB {
+        format!("{:.3} KiB", bytes_per_sec / KIB)
+    } else {
+        format!("{bytes_per_sec:.1} B")
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: expands to a function that runs
+/// every target against the configured `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: expands to `main`, ignoring the
+/// harness arguments cargo-bench passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_report_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).map(black_box).sum::<u64>()));
+        group.finish();
+    }
+}

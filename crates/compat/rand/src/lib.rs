@@ -1,0 +1,286 @@
+//! Offline, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small subset of the `rand` 0.8 API its members actually use:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit PRNG (xoshiro256** seeded via
+//!   SplitMix64, like `rand`'s `seed_from_u64` bootstrap).
+//! * [`Rng`] — `gen`, `gen_range`, `gen_bool` over the primitive types the
+//!   workspace samples.
+//! * [`SeedableRng::seed_from_u64`].
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! Streams differ from upstream `rand` (no attempt is made to match its
+//! output values), but everything is deterministic given a seed, which is
+//! the property the reproduction relies on.
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// A source of random 32/64-bit words. Mirror of `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Mirror of `rand::SeedableRng`, reduced to the `seed_from_u64` entry point.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be produced uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types with a uniform sampler over half-open / inclusive intervals.
+/// Mirror of `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                // Lemire-style widening reduction: negligible bias for the
+                // span sizes used here, and branch-free.
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(off as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                // Span computed entirely in the wide domain: delegating via
+                // `hi.wrapping_add(1)` would wrap in the narrow type when
+                // `hi == MAX` and produce a bogus 64-bit span.
+                let span = ((hi as $wide).wrapping_sub(lo as $wide) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Only reachable for the full 64-bit range.
+                    return <$t>::sample_standard(rng);
+                }
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty => $mantissa:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                // `lo + (hi - lo) * u` can round up to exactly `hi` even for
+                // u < 1; nudge such results back inside to honour the
+                // half-open contract.
+                let v = lo + (hi - lo) * <$t>::sample_standard(rng);
+                if v < hi {
+                    v
+                } else {
+                    hi.next_down().max(lo)
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                // Unlike the half-open case, the unit sample here must be able
+                // to reach 1.0 so `hi` itself is attainable (upstream rand's
+                // inclusive contract): mantissa-width random bits over an
+                // inclusive denominator give a uniform grid on [0, 1]. The
+                // clamp guards the same rounding overshoot the half-open path
+                // handles: lo + (hi - lo) * 1.0 can round strictly above hi.
+                let u = (rng.next_u64() >> (64 - $mantissa)) as $t
+                    / ((1u64 << $mantissa) - 1) as $t;
+                (lo + (hi - lo) * u).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32 => 24, f64 => 53);
+
+/// Ranges usable with [`Rng::gen_range`]. Mirror of
+/// `rand::distributions::uniform::SampleRange`. The blanket impls keep type
+/// inference working the way upstream's do (`rng.gen_range(0.0..1.0)` picks
+/// up `f32` from the surrounding expression).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Mirror of `rand::Rng`: convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&u));
+            let i: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn inclusive_int_range_ending_at_type_max_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10_000 {
+            let b: u8 = rng.gen_range(5u8..=u8::MAX);
+            assert!(b >= 5, "b={b}");
+            let i: i16 = rng.gen_range(100i16..=i16::MAX);
+            assert!(i >= 100, "i={i}");
+            let f: u64 = rng.gen_range(0u64..=u64::MAX); // full-range path
+            let _ = f;
+        }
+        // MIN..=MAX on a narrow type must cover the whole space, not panic.
+        let any: i8 = rng.gen_range(i8::MIN..=i8::MAX);
+        let _ = any;
+    }
+
+    #[test]
+    fn half_open_float_range_never_returns_the_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100_000 {
+            // Ranges chosen so that lo + (hi - lo) * (1 − 2⁻²⁴) rounds up to
+            // hi without the explicit exclusivity guard.
+            let a: f32 = rng.gen_range(0.25f32..0.75);
+            assert!(a < 0.75, "a={a}");
+            let b: f32 = rng.gen_range(0.1f32..0.3);
+            assert!(b < 0.3, "b={b}");
+            let c: f64 = rng.gen_range(0.25f64..0.75);
+            assert!(c < 0.75, "c={c}");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_can_reach_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut max = f32::MIN;
+        let mut min = f32::MAX;
+        for _ in 0..20_000 {
+            let f: f32 = rng.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&f));
+            max = max.max(f);
+            min = min.min(f);
+        }
+        // The half-open sampler can never exceed 1 − 2⁻²⁴ of the span; the
+        // inclusive one closes that gap, so 20k draws should get very close
+        // to (and are allowed to hit) both endpoints.
+        assert!(max > 0.999, "max={max}");
+        assert!(min < -0.999, "min={min}");
+    }
+
+    #[test]
+    fn inclusive_float_range_never_overshoots_hi() {
+        // (lo, hi) pair where lo + (hi − lo) · 1.0 rounds strictly above hi
+        // in f32 without the clamp (found empirically; ~1% of pairs do this).
+        let (lo, hi) = (-0.372_206_12_f32, 0.663_774_9_f32);
+        assert!(
+            lo + (hi - lo) > hi,
+            "precondition: this pair must overshoot"
+        );
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..200_000 {
+            let v: f32 = rng.gen_range(lo..=hi);
+            assert!((lo..=hi).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn gen_covers_value_space_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline, dependency-free stand-in for the `rand_distr` crate, providing
+//! the two distributions the workspace samples: [`Normal`] (Box–Muller) and
+//! [`Poisson`] (Knuth multiplication for small λ, normal approximation for
+//! large λ). See `crates/compat/rand` for why this exists.
+
+use rand::{Rng, RngCore};
+
+/// Mirror of `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for non-finite or negative spread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Error returned by [`Poisson::new`] for a non-positive or non-finite rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoissonError;
+
+impl core::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "lambda must be finite and > 0")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Float abstraction so `Normal::new(0.0f32, 3.0)` infers the scalar type the
+/// same way upstream `rand_distr`'s generic impls do (a single generic impl,
+/// not one inherent `new` per float type, keeps inference unambiguous).
+pub trait Float: Copy + PartialOrd {
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+    fn is_finite(self) -> bool;
+    fn zero() -> Self;
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Float for $t {
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            fn zero() -> Self {
+                0.0
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+/// Gaussian distribution with given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Poisson distribution with rate λ.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson<F> {
+    lambda: F,
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if std_dev.is_finite() && std_dev >= F::zero() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; one of the pair is discarded for simplicity.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+impl<F: Float> Poisson<F> {
+    pub fn new(lambda: F) -> Result<Self, PoissonError> {
+        if lambda.is_finite() && lambda > F::zero() {
+            Ok(Poisson { lambda })
+        } else {
+            Err(PoissonError)
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Poisson<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let lambda = self.lambda.to_f64();
+        if lambda < 30.0 {
+            // Knuth: count uniforms until their product drops below e^-λ.
+            let limit = (-lambda).exp();
+            let mut product: f64 = rng.gen_range(0.0..1.0);
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= rng.gen_range(0.0..1.0f64);
+            }
+            F::from_f64(count as f64)
+        } else {
+            // Normal approximation, adequate for the detector-noise
+            // intensities this workspace simulates.
+            let g = Normal::new(lambda, lambda.sqrt())
+                .expect("lambda is finite and positive")
+                .sample(rng);
+            F::from_f64(g.max(0.0).round())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dist = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for lambda in [0.5f64, 4.0, 80.0] {
+            let dist = Poisson::new(lambda).unwrap();
+            let n = 20_000;
+            let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0) + 0.05,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Poisson::new(0.0f32).is_err());
+        assert!(Poisson::new(f32::NAN).is_err());
+    }
+}

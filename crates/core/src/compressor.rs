@@ -144,8 +144,8 @@ impl AeSz {
         let mut it = valid.iter();
         match rank {
             1 => {
-                for x in 0..spec.size[0] {
-                    out[x] = *it.next().expect("length checked");
+                for slot in out.iter_mut().take(spec.size[0]) {
+                    *slot = *it.next().expect("length checked");
                 }
             }
             2 => {
@@ -174,7 +174,10 @@ impl AeSz {
         field: &Field,
         rel_eb: f64,
     ) -> (Vec<u8>, CompressionReport) {
-        assert!(rel_eb > 0.0 && rel_eb.is_finite(), "error bound must be positive");
+        assert!(
+            rel_eb > 0.0 && rel_eb.is_finite(),
+            "error bound must be positive"
+        );
         let dims = field.dims();
         let rank = Self::rank(dims);
         let bs = self.config.block_size;
@@ -375,8 +378,9 @@ impl AeSz {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        let (latent_indices, latent_dim) =
-            latent_codec.decode(&stream.latent_section).expect("latent section");
+        let (latent_indices, latent_dim) = latent_codec
+            .decode(&stream.latent_section)
+            .expect("latent section");
 
         let mut field = Field::zeros(dims);
         let specs: Vec<BlockSpec> = field.blocks(bs).collect();
@@ -542,7 +546,11 @@ mod tests {
         let bytes = aesz.compress(&field, 1e-3);
         let recon = aesz.decompress(&bytes);
         assert_eq!(recon.as_slice(), field.as_slice());
-        assert!(bytes.len() < 300, "constant field produced {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 300,
+            "constant field produced {} bytes",
+            bytes.len()
+        );
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl LatentCodec {
         let mut pos = 0usize;
         let latent_dim =
             read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("latent_dim"))? as usize;
-        let count =
-            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("count"))? as usize;
+        let count = read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("count"))? as usize;
         let min = read_ivarint(bytes, &mut pos).ok_or(CodecError::Malformed("min"))?;
         let payload_len =
             read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("payload_len"))? as usize;
@@ -88,7 +87,10 @@ impl LatentCodec {
         if symbols.len() != count {
             return Err(CodecError::Malformed("latent symbol count"));
         }
-        Ok((symbols.into_iter().map(|s| s as i64 + min).collect(), latent_dim))
+        Ok((
+            symbols.into_iter().map(|s| s as i64 + min).collect(),
+            latent_dim,
+        ))
     }
 }
 

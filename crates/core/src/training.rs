@@ -110,8 +110,14 @@ pub fn training_blocks_from_field(
 
 /// Train an autoencoder (SWAE by default) on blocks drawn from the training
 /// fields, following the offline-training stage of Fig. 2.
-pub fn train_swae_for_field(training_fields: &[Field], options: &TrainingOptions) -> ConvAutoencoder {
-    assert!(!training_fields.is_empty(), "need at least one training field");
+pub fn train_swae_for_field(
+    training_fields: &[Field],
+    options: &TrainingOptions,
+) -> ConvAutoencoder {
+    assert!(
+        !training_fields.is_empty(),
+        "need at least one training field"
+    );
     let rank = training_fields[0].dims().rank();
     assert!(
         training_fields.iter().all(|f| f.dims().rank() == rank),

@@ -62,8 +62,7 @@ fn evaluate(dims: Dims, snapshot: u64, seed: u64, band_weight: f32, blob_count: 
         // Latitude bands: ITCZ-like maximum near the equator plus mid-latitude storm tracks.
         let lat = (v - 0.5) * 2.0; // -1 (south pole) .. 1 (north pole)
         let band = band_weight
-            * (0.55 * (-lat * lat / 0.08).exp()
-                + 0.35 * (-(lat.abs() - 0.6).powi(2) / 0.02).exp());
+            * (0.55 * (-lat * lat / 0.08).exp() + 0.35 * (-(lat.abs() - 0.6).powi(2) / 0.02).exp());
         // Drifting blobs (weather systems).
         let mut blobby = 0.0f32;
         for b in &bl {
@@ -71,13 +70,13 @@ fn evaluate(dims: Dims, snapshot: u64, seed: u64, band_weight: f32, blob_count: 
             let dx = u - (b.cx + b.drift_x * t).rem_euclid(1.0);
             // Periodic in longitude.
             let dx = dx - dx.round();
-            blobby += b.amp * (-(dy * dy) / (2.0 * b.sy * b.sy) - (dx * dx) / (2.0 * b.sx * b.sx)).exp();
+            blobby +=
+                b.amp * (-(dy * dy) / (2.0 * b.sy * b.sy) - (dx * dx) / (2.0 * b.sx * b.sx)).exp();
         }
         // Mesoscale smooth noise.
         let mut noise = 0.0f32;
         for &(ky, kx, phase, amp) in &noise_modes {
-            noise += amp
-                * (std::f32::consts::TAU * (ky * v + kx * u) + phase + 0.11 * t).cos();
+            noise += amp * (std::f32::consts::TAU * (ky * v + kx * u) + phase + 0.11 * t).cos();
         }
         (band + blobby + noise).clamp(0.0, 1.0)
     })

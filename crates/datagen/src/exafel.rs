@@ -69,7 +69,9 @@ pub fn generate_frame(dims: Dims, snapshot: u64) -> Field {
         // so use Poisson only for the moderate range and Gaussian elsewhere.
         let noisy = if v < 500.0 {
             let lambda = v.max(0.1) as f64;
-            Poisson::new(lambda).map(|p| p.sample(&mut noise_rng) as f32).unwrap_or(v)
+            Poisson::new(lambda)
+                .map(|p| p.sample(&mut noise_rng) as f32)
+                .unwrap_or(v)
         } else {
             v + normal.sample(&mut noise_rng) * v.sqrt() / 3.0
         };
@@ -88,7 +90,11 @@ mod tests {
         let (_, hi) = f.min_max();
         let bright = f.as_slice().iter().filter(|&&v| v > 0.5 * hi).count();
         // Bragg peaks occupy a tiny fraction of the pixels.
-        assert!(bright * 100 < f.len(), "bright pixels: {bright}/{}", f.len());
+        assert!(
+            bright * 100 < f.len(),
+            "bright pixels: {bright}/{}",
+            f.len()
+        );
         assert!(hi > 300.0, "peaks should reach hundreds of ADU: {hi}");
     }
 

@@ -89,9 +89,7 @@ impl Application {
     /// Rank of the field (2 or 3), matching Table V of the paper.
     pub fn rank(&self) -> usize {
         match self {
-            Application::CesmCldhgh
-            | Application::CesmFreqsh
-            | Application::Exafel => 2,
+            Application::CesmCldhgh | Application::CesmFreqsh | Application::Exafel => 2,
             _ => 3,
         }
     }

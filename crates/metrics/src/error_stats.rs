@@ -64,7 +64,11 @@ impl ErrorStats {
         } else {
             20.0 * range.log10() - 10.0 * mse.log10()
         };
-        let nrmse = if range == 0.0 { 0.0 } else { mse.sqrt() / range };
+        let nrmse = if range == 0.0 {
+            0.0
+        } else {
+            mse.sqrt() / range
+        };
         ErrorStats {
             mse,
             max_abs_error: max_err,

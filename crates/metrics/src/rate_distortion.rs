@@ -85,13 +85,15 @@ impl RdCurve {
 
     /// Interpolated compression ratio at a target PSNR.
     pub fn cr_at_psnr(&self, target_psnr: f64) -> Option<f64> {
-        self.bit_rate_at_psnr(target_psnr).map(|br| {
-            if br <= 0.0 {
-                f64::INFINITY
-            } else {
-                32.0 / br
-            }
-        })
+        self.bit_rate_at_psnr(target_psnr).map(
+            |br| {
+                if br <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    32.0 / br
+                }
+            },
+        )
     }
 
     /// Render the curve as an aligned text table (error bound, bit rate, PSNR, CR).

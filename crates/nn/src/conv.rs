@@ -53,9 +53,7 @@ impl Act5 {
                 h: shape[3],
                 w: shape[4],
             },
-            _ => panic!(
-                "activation shape {shape:?} incompatible with spatial rank {spatial_rank}"
-            ),
+            _ => panic!("activation shape {shape:?} incompatible with spatial rank {spatial_rank}"),
         }
     }
 
@@ -87,7 +85,10 @@ impl ConvNd {
         stride: usize,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(spatial_rank == 2 || spatial_rank == 3, "spatial rank must be 2 or 3");
+        assert!(
+            spatial_rank == 2 || spatial_rank == 3,
+            "spatial rank must be 2 or 3"
+        );
         assert!(kernel % 2 == 1, "kernel edge must be odd for same-padding");
         let k_elems = kernel.pow(spatial_rank as u32);
         let fan_in = in_channels * k_elems;
@@ -133,7 +134,11 @@ impl ConvNd {
     fn output_act(&self, input: Act5) -> Act5 {
         let (kd, kh, kw) = self.kernel_dims();
         let (pd, ph, pw) = self.pads();
-        let sd = if self.spatial_rank == 2 { 1 } else { self.stride };
+        let sd = if self.spatial_rank == 2 {
+            1
+        } else {
+            self.stride
+        };
         Act5 {
             n: input.n,
             c: self.out_channels,
@@ -155,7 +160,11 @@ impl Layer for ConvNd {
         let oa = self.output_act(ia);
         let (kd, kh, kw) = self.kernel_dims();
         let (pd, ph, pw) = self.pads();
-        let sd = if self.spatial_rank == 2 { 1 } else { self.stride };
+        let sd = if self.spatial_rank == 2 {
+            1
+        } else {
+            self.stride
+        };
         let (sh, sw) = (self.stride, self.stride);
         let x = input.as_slice();
         let w = self.weight.value.as_slice();
@@ -166,46 +175,51 @@ impl Layer for ConvNd {
         let out_sample = oa.sample_len();
         let mut out = vec![0.0f32; oa.n * out_sample];
 
-        out.par_chunks_mut(out_sample).enumerate().for_each(|(n, o_n)| {
-            let x_n = &x[n * in_sample..(n + 1) * in_sample];
-            for co in 0..oa.c {
-                let w_co = &w[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
-                for od in 0..oa.d {
-                    for oh in 0..oa.h {
-                        for ow in 0..oa.w {
-                            let mut acc = b[co];
-                            for ci in 0..ia.c {
-                                let w_ci = &w_co[ci * k_elems..(ci + 1) * k_elems];
-                                let x_ci = &x_n[ci * ia.spatial_len()..(ci + 1) * ia.spatial_len()];
-                                for dk in 0..kd {
-                                    let id = od as isize * sd as isize - pd + dk as isize;
-                                    if id < 0 || id >= ia.d as isize {
-                                        continue;
-                                    }
-                                    for hk in 0..kh {
-                                        let ih = oh as isize * sh as isize - ph + hk as isize;
-                                        if ih < 0 || ih >= ia.h as isize {
+        out.par_chunks_mut(out_sample)
+            .enumerate()
+            .for_each(|(n, o_n)| {
+                let x_n = &x[n * in_sample..(n + 1) * in_sample];
+                for co in 0..oa.c {
+                    let w_co =
+                        &w[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
+                    for od in 0..oa.d {
+                        for oh in 0..oa.h {
+                            for ow in 0..oa.w {
+                                let mut acc = b[co];
+                                for ci in 0..ia.c {
+                                    let w_ci = &w_co[ci * k_elems..(ci + 1) * k_elems];
+                                    let x_ci =
+                                        &x_n[ci * ia.spatial_len()..(ci + 1) * ia.spatial_len()];
+                                    for dk in 0..kd {
+                                        let id = od as isize * sd as isize - pd + dk as isize;
+                                        if id < 0 || id >= ia.d as isize {
                                             continue;
                                         }
-                                        for wk in 0..kw {
-                                            let iw = ow as isize * sw as isize - pw + wk as isize;
-                                            if iw < 0 || iw >= ia.w as isize {
+                                        for hk in 0..kh {
+                                            let ih = oh as isize * sh as isize - ph + hk as isize;
+                                            if ih < 0 || ih >= ia.h as isize {
                                                 continue;
                                             }
-                                            let xi = (id as usize * ia.h + ih as usize) * ia.w
-                                                + iw as usize;
-                                            let wi = (dk * kh + hk) * kw + wk;
-                                            acc += x_ci[xi] * w_ci[wi];
+                                            for wk in 0..kw {
+                                                let iw =
+                                                    ow as isize * sw as isize - pw + wk as isize;
+                                                if iw < 0 || iw >= ia.w as isize {
+                                                    continue;
+                                                }
+                                                let xi = (id as usize * ia.h + ih as usize) * ia.w
+                                                    + iw as usize;
+                                                let wi = (dk * kh + hk) * kw + wk;
+                                                acc += x_ci[xi] * w_ci[wi];
+                                            }
                                         }
                                     }
                                 }
+                                o_n[(co * oa.d + od) * oa.h * oa.w + oh * oa.w + ow] = acc;
                             }
-                            o_n[(co * oa.d + od) * oa.h * oa.w + oh * oa.w + ow] = acc;
                         }
                     }
                 }
-            }
-        });
+            });
 
         self.cached_input = Some(input.clone());
         Tensor::from_vec(&oa.to_shape(self.spatial_rank), out).expect("consistent shape")
@@ -222,7 +236,11 @@ impl Layer for ConvNd {
 
         let (kd, kh, kw) = self.kernel_dims();
         let (pd, ph, pw) = self.pads();
-        let sd = if self.spatial_rank == 2 { 1 } else { self.stride };
+        let sd = if self.spatial_rank == 2 {
+            1
+        } else {
+            self.stride
+        };
         let (sh, sw) = (self.stride, self.stride);
         let k_elems = kd * kh * kw;
 
@@ -240,8 +258,10 @@ impl Layer for ConvNd {
             let go_n = &go[n * out_sample..(n + 1) * out_sample];
             let gx_n = &mut gx[n * in_sample..(n + 1) * in_sample];
             for co in 0..oa.c {
-                let w_co = &w[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
-                let gw_co = &mut gw[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
+                let w_co =
+                    &w[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
+                let gw_co =
+                    &mut gw[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
                 for od in 0..oa.d {
                     for oh in 0..oa.h {
                         for ow in 0..oa.w {

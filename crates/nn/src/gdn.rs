@@ -62,7 +62,12 @@ impl Gdn {
 
     /// Effective (non-negative) γ values.
     fn gamma(&self) -> Vec<f32> {
-        self.gamma_raw.value.as_slice().iter().map(|&g| g * g).collect()
+        self.gamma_raw
+            .value
+            .as_slice()
+            .iter()
+            .map(|&g| g * g)
+            .collect()
     }
 }
 

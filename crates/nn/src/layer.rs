@@ -93,20 +93,40 @@ pub fn grad_check_input(layer: &mut dyn Layer, input: &Tensor, eps: f32) -> f32 
             .sum()
     };
 
-    let mut max_rel = 0.0f32;
-    // Probe a subset of the input elements (all of them for small inputs).
+    // Probe a subset of the input elements (all of them for small inputs) and
+    // combine two error measures, returning the larger:
+    //
+    // * aggregate ‖numeric − analytic‖ / (‖numeric‖ + ‖analytic‖) — catches
+    //   broadly wrong gradients;
+    // * per-element max |numericᵢ − analyticᵢ| / ‖gradient‖∞ — catches bugs
+    //   confined to a few elements (e.g. a skipped boundary contribution)
+    //   that the norm ratio would dilute.
+    //
+    // Both denominators are global magnitudes: a per-element *relative*
+    // metric is too brittle in f32, since a probe whose true gradient is
+    // near zero turns central-difference noise into a large ratio.
     let stride = (input.len() / 64).max(1);
+    let mut diff_sq = 0.0f64;
+    let mut numeric_sq = 0.0f64;
+    let mut analytic_sq = 0.0f64;
+    let mut max_abs_diff = 0.0f64;
+    let mut grad_inf = 0.0f64;
     for i in (0..input.len()).step_by(stride) {
         let mut plus = input.clone();
         plus.as_mut_slice()[i] += eps;
         let mut minus = input.clone();
         minus.as_mut_slice()[i] -= eps;
-        let numeric = ((loss(layer, &plus) - loss(layer, &minus)) / (2.0 * eps as f64)) as f32;
-        let a = analytic.as_slice()[i];
-        let denom = numeric.abs().max(a.abs()).max(1e-3);
-        max_rel = max_rel.max((numeric - a).abs() / denom);
+        let numeric = (loss(layer, &plus) - loss(layer, &minus)) / (2.0 * eps as f64);
+        let a = analytic.as_slice()[i] as f64;
+        diff_sq += (numeric - a).powi(2);
+        numeric_sq += numeric.powi(2);
+        analytic_sq += a.powi(2);
+        max_abs_diff = max_abs_diff.max((numeric - a).abs());
+        grad_inf = grad_inf.max(numeric.abs()).max(a.abs());
     }
-    max_rel
+    let l2_ratio = diff_sq.sqrt() / (numeric_sq.sqrt() + analytic_sq.sqrt()).max(1e-8);
+    let elem_ratio = max_abs_diff / grad_inf.max(1e-8);
+    l2_ratio.max(elem_ratio) as f32
 }
 
 #[cfg(test)]

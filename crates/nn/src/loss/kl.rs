@@ -135,7 +135,8 @@ mod tests {
     #[test]
     fn dip_penalty_zero_for_identity_covariance() {
         // Two orthogonal ±1 columns give a sample covariance of exactly I.
-        let mu = Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0]).unwrap();
+        let mu =
+            Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0]).unwrap();
         let (loss, _) = dip_covariance_penalty(&mu, 1.0, 1.0);
         assert!(loss.abs() < 1e-6, "loss = {loss}");
     }
@@ -143,7 +144,8 @@ mod tests {
     #[test]
     fn dip_penalty_detects_correlated_latents() {
         // Perfectly correlated columns → large off-diagonal penalty.
-        let mu = Tensor::from_vec(&[4, 2], vec![1.0, 1.0, -1.0, -1.0, 2.0, 2.0, -2.0, -2.0]).unwrap();
+        let mu =
+            Tensor::from_vec(&[4, 2], vec![1.0, 1.0, -1.0, -1.0, 2.0, 2.0, -2.0, -2.0]).unwrap();
         let (loss, grad) = dip_covariance_penalty(&mu, 10.0, 1.0);
         assert!(loss > 1.0);
         assert!(grad.sq_norm() > 0.0);

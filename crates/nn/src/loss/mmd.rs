@@ -11,7 +11,10 @@
 use aesz_tensor::Tensor;
 
 fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 /// Biased MMD² estimate between `latent` `(N, d)` and `prior` `(M, d)` samples
@@ -48,8 +51,8 @@ pub fn mmd_rbf(latent: &Tensor, prior: &Tensor, sigma: f32) -> (f32, Tensor) {
     let pp_norm = 1.0 / (m * m) as f32;
     for i in 0..m {
         for j in 0..m {
-            loss += pp_norm
-                * (-gamma * sq_dist(&p[i * d..(i + 1) * d], &p[j * d..(j + 1) * d])).exp();
+            loss +=
+                pp_norm * (-gamma * sq_dist(&p[i * d..(i + 1) * d], &p[j * d..(j + 1) * d])).exp();
         }
     }
     // −2 E[k(z, p)] term.
@@ -59,8 +62,7 @@ pub fn mmd_rbf(latent: &Tensor, prior: &Tensor, sigma: f32) -> (f32, Tensor) {
             let k = (-gamma * sq_dist(&z[i * d..(i + 1) * d], &p[j * d..(j + 1) * d])).exp();
             loss -= zp_norm * k;
             for t in 0..d {
-                grad[i * d + t] -=
-                    zp_norm * k * (-2.0 * gamma) * (z[i * d + t] - p[j * d + t]);
+                grad[i * d + t] -= zp_norm * k * (-2.0 * gamma) * (z[i * d + t] - p[j * d + t]);
             }
         }
     }

@@ -85,12 +85,7 @@ pub fn log_cosh(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
 mod tests {
     use super::*;
 
-    fn numeric_grad(
-        f: impl Fn(&Tensor) -> f32,
-        x: &Tensor,
-        i: usize,
-        eps: f32,
-    ) -> f32 {
+    fn numeric_grad(f: impl Fn(&Tensor) -> f32, x: &Tensor, i: usize, eps: f32) -> f32 {
         let mut plus = x.clone();
         plus.as_mut_slice()[i] += eps;
         let mut minus = x.clone();

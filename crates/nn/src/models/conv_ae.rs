@@ -76,7 +76,7 @@ impl AeConfig {
     pub fn feature_edge(&self) -> usize {
         let mut e = self.block_size;
         for _ in &self.channels {
-            e = (e + 1) / 2;
+            e = e.div_ceil(2);
         }
         e.max(1)
     }
@@ -116,7 +116,7 @@ impl ConvAutoencoder {
         );
         assert!(!config.channels.is_empty(), "need at least one conv block");
         assert!(
-            config.block_size % (1 << config.channels.len()) == 0,
+            config.block_size.is_multiple_of(1 << config.channels.len()),
             "block size {} must be divisible by 2^{} (one halving per conv block)",
             config.block_size,
             config.channels.len()
@@ -151,7 +151,7 @@ impl ConvAutoencoder {
         let edge = config.feature_edge();
         let last_c = *config.channels.last().expect("non-empty");
         let mut feat_shape = vec![last_c];
-        feat_shape.extend(std::iter::repeat(edge).take(rank));
+        feat_shape.extend(std::iter::repeat_n(edge, rank));
         decoder.add(Box::new(Reshape::new(feat_shape)));
         let mut in_c = last_c;
         for &c in config.channels.iter().rev() {
@@ -183,7 +183,10 @@ impl ConvAutoencoder {
     /// Shape of one batch of input blocks: `(n, 1, edge, edge[, edge])`.
     pub fn input_shape(&self, n: usize) -> Vec<usize> {
         let mut s = vec![n, 1];
-        s.extend(std::iter::repeat(self.config.block_size).take(self.config.spatial_rank));
+        s.extend(std::iter::repeat_n(
+            self.config.block_size,
+            self.config.spatial_rank,
+        ));
         s
     }
 
@@ -297,7 +300,10 @@ mod tests {
         assert_eq!(z.shape(), &[3, 4]);
         let y = ae.decode(&z);
         assert_eq!(y.shape(), &[3, 1, 8, 8]);
-        assert!(y.as_slice().iter().all(|v| v.abs() <= 1.0), "Tanh bounds output");
+        assert!(
+            y.as_slice().iter().all(|v| v.abs() <= 1.0),
+            "Tanh bounds output"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl std::fmt::Display for ModelError {
             ModelError::BadMagic => write!(f, "not an AE-SZ model file"),
             ModelError::Truncated => write!(f, "model file truncated"),
             ModelError::ParamMismatch { expected, got } => {
-                write!(f, "parameter count mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "parameter count mismatch: expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -147,7 +150,8 @@ mod tests {
         let mut model = tiny_model();
         let bytes = save_model(&model);
         let mut loaded = load_model(&bytes).expect("roundtrip");
-        let x = Tensor::from_vec(&[1, 1, 8, 8], (0..64).map(|v| v as f32 / 64.0).collect()).unwrap();
+        let x =
+            Tensor::from_vec(&[1, 1, 8, 8], (0..64).map(|v| v as f32 / 64.0).collect()).unwrap();
         let a = model.reconstruct(&x);
         let b = loaded.reconstruct(&x);
         assert_eq!(a.as_slice(), b.as_slice());
@@ -170,14 +174,20 @@ mod tests {
             load_model(&bytes[..bytes.len() - 10]),
             Err(ModelError::Truncated)
         ));
-        assert!(matches!(load_model(&bytes[..20]), Err(ModelError::Truncated)));
+        assert!(matches!(
+            load_model(&bytes[..20]),
+            Err(ModelError::Truncated)
+        ));
     }
 
     #[test]
     fn error_messages_are_informative() {
         assert!(ModelError::BadMagic.to_string().contains("AE-SZ"));
-        assert!(ModelError::ParamMismatch { expected: 10, got: 5 }
-            .to_string()
-            .contains("expected 10"));
+        assert!(ModelError::ParamMismatch {
+            expected: 10,
+            got: 5
+        }
+        .to_string()
+        .contains("expected 10"));
     }
 }

@@ -190,10 +190,12 @@ impl Trainer {
                 grad_mu_extra = gmu.scale(beta);
                 grad_logvar_extra = glv.scale(beta);
             }
-            AeVariant::DipVae { lambda_od, lambda_d } => {
+            AeVariant::DipVae {
+                lambda_od,
+                lambda_d,
+            } => {
                 let mu_t = mu.as_ref().expect("vae");
-                let (kl, gmu, glv) =
-                    loss::kl_divergence(mu_t, logvar.as_ref().expect("vae"));
+                let (kl, gmu, glv) = loss::kl_divergence(mu_t, logvar.as_ref().expect("vae"));
                 let (dip, gdip) = loss::kl::dip_covariance_penalty(mu_t, lambda_od, lambda_d);
                 reg_loss += kl + dip;
                 grad_mu_extra = gmu.add(&gdip).expect("same shape");
@@ -201,8 +203,7 @@ impl Trainer {
             }
             AeVariant::InfoVae { lambda_mmd } => {
                 let mu_t = mu.as_ref().expect("vae");
-                let (kl, gmu, glv) =
-                    loss::kl_divergence(mu_t, logvar.as_ref().expect("vae"));
+                let (kl, gmu, glv) = loss::kl_divergence(mu_t, logvar.as_ref().expect("vae"));
                 let prior = init::normal(&[n, latent_dim], 0.0, 1.0, &mut self.rng);
                 let (mmd, gz) = loss::mmd_rbf(&z, &prior, 1.0);
                 // Info-VAE keeps a small KL plus a strong MMD term.
@@ -224,10 +225,12 @@ impl Trainer {
                 reg_loss += lambda_mmd * mmd;
                 grad_z_extra = gz.scale(lambda_mmd);
             }
-            AeVariant::Swae { lambda, projections } => {
+            AeVariant::Swae {
+                lambda,
+                projections,
+            } => {
                 let prior = init::normal(&[n, latent_dim], 0.0, 1.0, &mut self.rng);
-                let (swd, gz) =
-                    loss::sliced_wasserstein(&z, &prior, projections, &mut self.rng);
+                let (swd, gz) = loss::sliced_wasserstein(&z, &prior, projections, &mut self.rng);
                 reg_loss += lambda * swd;
                 grad_z_extra = gz.scale(lambda);
             }
@@ -343,7 +346,10 @@ pub fn synthetic_block(block_len: usize, edge: usize, rank: usize, seed: u64) ->
     let mut out = Vec::with_capacity(block_len);
     for i in 0..block_len {
         let (a, b) = match rank {
-            2 => ((i / edge) as f32 / edge as f32, (i % edge) as f32 / edge as f32),
+            2 => (
+                (i / edge) as f32 / edge as f32,
+                (i % edge) as f32 / edge as f32,
+            ),
             _ => (
                 ((i / (edge * edge)) as f32 / edge as f32),
                 ((i % (edge * edge)) / edge) as f32 / edge as f32,
@@ -370,7 +376,9 @@ mod tests {
     }
 
     fn training_blocks(count: usize) -> Vec<Vec<f32>> {
-        (0..count).map(|i| synthetic_block(64, 8, 2, i as u64)).collect()
+        (0..count)
+            .map(|i| synthetic_block(64, 8, 2, i as u64))
+            .collect()
     }
 
     #[test]

@@ -52,7 +52,12 @@ fn max_stride(extents: &[usize]) -> usize {
 }
 
 /// Iterate a rectangular sub-grid; coordinate `d` runs `starts[d], +steps[d], …`.
-fn visit_grid(extents: &[usize], steps: &[usize], starts: &[usize], f: &mut impl FnMut(&[usize; 3])) {
+fn visit_grid(
+    extents: &[usize],
+    steps: &[usize],
+    starts: &[usize],
+    f: &mut impl FnMut(&[usize; 3]),
+) {
     let rank = extents.len();
     let ext = |d: usize| if d < rank { extents[d] } else { 1 };
     let stp = |d: usize| if d < rank { steps[d] } else { 1 };
@@ -79,9 +84,7 @@ fn traversal_plan(extents: &[usize]) -> Vec<Step> {
     assert!((1..=3).contains(&rank), "rank 1-3 supported, got {rank}");
     let st = strides(extents);
     let smax = max_stride(extents);
-    let flat = |c: &[usize; 3]| -> usize {
-        (0..rank).map(|d| c[d] * st[d]).sum()
-    };
+    let flat = |c: &[usize; 3]| -> usize { (0..rank).map(|d| c[d] * st[d]).sum() };
 
     let mut plan = Vec::new();
     // Anchor grid: all coordinates multiples of smax.
@@ -155,7 +158,11 @@ fn interp_predict(
 }
 
 /// Compress a field with interpolation prediction + linear quantization.
-pub fn compress(data: &[f32], extents: &[usize], quantizer: &Quantizer) -> (QuantizedBlock, Vec<f32>) {
+pub fn compress(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> (QuantizedBlock, Vec<f32>) {
     let n: usize = extents.iter().product();
     assert_eq!(data.len(), n);
     let st = strides(extents);
@@ -246,7 +253,13 @@ mod tests {
 
     #[test]
     fn traversal_visits_every_point_once() {
-        for extents in [vec![17usize], vec![13, 9], vec![5, 6, 7], vec![8, 8, 8], vec![1, 1, 3]] {
+        for extents in [
+            vec![17usize],
+            vec![13, 9],
+            vec![5, 6, 7],
+            vec![8, 8, 8],
+            vec![1, 1, 3],
+        ] {
             let plan = traversal_plan(&extents);
             let n: usize = extents.iter().product();
             assert_eq!(plan.len(), n, "extents {extents:?}");
@@ -333,7 +346,8 @@ mod tests {
     fn cubic_weights_reproduce_cubic_polynomials() {
         // A cubic polynomial sampled at -3,-1,1,3 interpolated at 0 must be exact.
         let f = |x: f32| 2.0 + 0.5 * x - 0.25 * x * x + 0.125 * x * x * x;
-        let interp = CUBIC_W[0] * f(-3.0) + CUBIC_W[1] * f(-1.0) + CUBIC_W[2] * f(1.0) + CUBIC_W[3] * f(3.0);
+        let interp =
+            CUBIC_W[0] * f(-3.0) + CUBIC_W[1] * f(-1.0) + CUBIC_W[2] * f(1.0) + CUBIC_W[3] * f(3.0);
         assert!((interp - f(0.0)).abs() < 1e-5, "{interp} vs {}", f(0.0));
     }
 }

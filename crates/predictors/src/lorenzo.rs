@@ -105,7 +105,11 @@ pub fn ideal_predictions(data: &[f32], extents: &[usize]) -> Vec<f32> {
 ///
 /// Returns the quantized block and the reconstruction (the values a decoder
 /// will produce), which respects the quantizer's error bound at every point.
-pub fn compress(data: &[f32], extents: &[usize], quantizer: &Quantizer) -> (QuantizedBlock, Vec<f32>) {
+pub fn compress(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> (QuantizedBlock, Vec<f32>) {
     let n: usize = extents.iter().product();
     assert_eq!(data.len(), n, "data length must match extents");
     let mut recon = vec![0.0f32; n];
@@ -171,7 +175,8 @@ mod tests {
     fn predict_3d_uses_seven_neighbours() {
         // A perfectly tri-linear field is predicted exactly by the 3D Lorenzo stencil.
         let extents = [3usize, 3, 3];
-        let f = |z: usize, y: usize, x: usize| 2.0 * z as f32 + 3.0 * y as f32 + 5.0 * x as f32 + 1.0;
+        let f =
+            |z: usize, y: usize, x: usize| 2.0 * z as f32 + 3.0 * y as f32 + 5.0 * x as f32 + 1.0;
         let mut buf = vec![0.0f32; 27];
         for z in 0..3 {
             for y in 0..3 {
@@ -208,7 +213,10 @@ mod tests {
             assert!((a - b).abs() <= 1e-3 + 1e-9);
         }
         let dec = decompress(&blk, &[n, n], &q);
-        assert_eq!(dec, recon, "decoder must reproduce the encoder reconstruction exactly");
+        assert_eq!(
+            dec, recon,
+            "decoder must reproduce the encoder reconstruction exactly"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub fn predict(buf: &[f32], extents: &[usize], coord: &[usize]) -> f32 {
         }
         // Coefficient: -(-1)^(sum) * prod C(2, i_k).
         let sum: usize = offs[..rank].iter().sum();
-        let mut coeff = if sum % 2 == 0 { -1.0f32 } else { 1.0 };
+        let mut coeff = if sum.is_multiple_of(2) { -1.0f32 } else { 1.0 };
         for &o in &offs[..rank] {
             coeff *= c2(o);
         }
@@ -101,7 +101,11 @@ pub fn ideal_predictions(data: &[f32], extents: &[usize]) -> Vec<f32> {
 }
 
 /// Streaming compression with the second-order predictor (reconstruction feedback).
-pub fn compress(data: &[f32], extents: &[usize], quantizer: &Quantizer) -> (QuantizedBlock, Vec<f32>) {
+pub fn compress(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> (QuantizedBlock, Vec<f32>) {
     let n: usize = extents.iter().product();
     assert_eq!(data.len(), n);
     let mut recon = vec![0.0f32; n];

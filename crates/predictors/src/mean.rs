@@ -57,7 +57,9 @@ mod tests {
 
     #[test]
     fn near_constant_block_respects_bound() {
-        let data: Vec<f32> = (0..100).map(|i| 5.0 + 1e-3 * (i as f32 * 0.7).sin()).collect();
+        let data: Vec<f32> = (0..100)
+            .map(|i| 5.0 + 1e-3 * (i as f32 * 0.7).sin())
+            .collect();
         let q = Quantizer::with_default_bins(1e-3);
         let mean = block_mean(&data);
         let (blk, recon) = compress(&data, mean, &q);

@@ -226,7 +226,9 @@ mod tests {
     #[test]
     fn curved_data_has_higher_loss_than_planar() {
         let extents = [16usize, 16];
-        let planar: Vec<f32> = (0..256).map(|i| (i / 16) as f32 + (i % 16) as f32).collect();
+        let planar: Vec<f32> = (0..256)
+            .map(|i| (i / 16) as f32 + (i % 16) as f32)
+            .collect();
         let curved: Vec<f32> = (0..256)
             .map(|i| ((i / 16) as f32 * 0.5).sin() * 10.0 + ((i % 16) as f32 * 0.7).cos() * 10.0)
             .collect();

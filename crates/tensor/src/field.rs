@@ -226,9 +226,9 @@ impl Field {
         let mut data = vec![0.0f32; spec.padded_len(rank)];
         match self.dims {
             Dims::D1 { .. } => {
-                for i in 0..b {
+                for (i, slot) in data.iter_mut().enumerate().take(b) {
                     let src = spec.origin[0] + i.min(spec.size[0].saturating_sub(1));
-                    data[i] = self.data[src];
+                    *slot = self.data[src];
                 }
             }
             Dims::D2 { nx, .. } => {
@@ -264,9 +264,8 @@ impl Field {
         let b = spec.nominal;
         match self.dims {
             Dims::D1 { .. } => {
-                for i in 0..spec.size[0] {
-                    self.data[spec.origin[0] + i] = padded[i];
-                }
+                let dst = spec.origin[0]..spec.origin[0] + spec.size[0];
+                self.data[dst].copy_from_slice(&padded[..spec.size[0]]);
             }
             Dims::D2 { nx, .. } => {
                 for by in 0..spec.size[0] {
@@ -504,7 +503,9 @@ mod tests {
 
     #[test]
     fn extract_and_write_roundtrip_3d() {
-        let f = Field::from_fn(Dims::d3(9, 10, 11), |c| (c[0] * 110 + c[1] * 11 + c[2]) as f32);
+        let f = Field::from_fn(Dims::d3(9, 10, 11), |c| {
+            (c[0] * 110 + c[1] * 11 + c[2]) as f32
+        });
         let mut g = Field::zeros(Dims::d3(9, 10, 11));
         for spec in f.blocks(8) {
             let blk = f.extract_block(&spec);
@@ -541,9 +542,6 @@ mod tests {
     #[test]
     fn from_fn_order_is_row_major() {
         let f = Field::from_fn(Dims::d3(2, 2, 2), |c| (c[0] * 4 + c[1] * 2 + c[2]) as f32);
-        assert_eq!(
-            f.as_slice(),
-            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
-        );
+        assert_eq!(f.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
     }
 }

@@ -76,7 +76,11 @@ mod tests {
         let mut r = rng(3);
         let t = normal(&[20_000], 1.0, 2.0, &mut r);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|&v| (v - mean).powi(2)).sum::<f32>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean).powi(2))
+            .sum::<f32>()
             / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");

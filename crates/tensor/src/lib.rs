@@ -17,12 +17,12 @@
 
 pub mod dims;
 pub mod field;
-pub mod tensor;
-pub mod ops;
 pub mod init;
+pub mod ops;
+pub mod tensor;
 
 pub use dims::Dims;
-pub use field::{Field, Block, BlockIter, BlockSpec};
+pub use field::{Block, BlockIter, BlockSpec, Field};
 pub use tensor::Tensor;
 
 /// Convenience result alias used by fallible constructors in this crate.

@@ -25,11 +25,20 @@ fn main() {
         ..TrainingOptions::default_for_rank(2)
     };
     let model = train_swae_for_field(std::slice::from_ref(&train_field), &opts);
-    let mut aesz = AeSz::new(model, AeSzConfig { block_size: 16, ..AeSzConfig::default_2d() });
+    let mut aesz = AeSz::new(
+        model,
+        AeSzConfig {
+            block_size: 16,
+            ..AeSzConfig::default_2d()
+        },
+    );
     let mut sz2 = Sz2::new();
     let mut zfp = Zfp::new();
 
-    println!("\n{:<10} {:<10} {:>10} {:>10} {:>10}", "compressor", "eb", "CR", "bit rate", "PSNR");
+    println!(
+        "\n{:<10} {:<10} {:>10} {:>10} {:>10}",
+        "compressor", "eb", "CR", "bit rate", "PSNR"
+    );
     for eb in [1e-2, 5e-3, 1e-3, 1e-4] {
         for (name, comp) in [
             ("AE-SZ", &mut aesz as &mut dyn Compressor),

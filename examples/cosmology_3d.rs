@@ -14,10 +14,15 @@ fn main() {
     let app = Application::NyxBaryonDensity;
     // Snapshots 0..7 share a halo catalogue ("one simulation"); snapshot 8+
     // starts another, which is what we compress (the paper's test split).
-    let train_fields: Vec<_> = (0..3).map(|s| app.generate(Dims::d3(48, 48, 48), s)).collect();
+    let train_fields: Vec<_> = (0..3)
+        .map(|s| app.generate(Dims::d3(48, 48, 48), s))
+        .collect();
     let test_field = app.generate(Dims::d3(48, 48, 48), 9);
 
-    println!("training AE-SZ on {} (3 snapshots of simulation A) ...", app.name());
+    println!(
+        "training AE-SZ on {} (3 snapshots of simulation A) ...",
+        app.name()
+    );
     let opts = TrainingOptions {
         epochs: 4,
         max_blocks: 192,
@@ -27,7 +32,10 @@ fn main() {
     let mut aesz = AeSz::new(model, AeSzConfig::default_3d());
 
     println!("\ncompressing an unseen snapshot of simulation B:");
-    println!("{:>10} {:>10} {:>10} {:>14}", "eb", "CR", "max err", "AE blocks (%)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>14}",
+        "eb", "CR", "max err", "AE blocks (%)"
+    );
     for eb in [2e-2, 1e-2, 5e-3, 1e-3, 1e-4] {
         let (bytes, report) = aesz.compress_with_report(&test_field, eb);
         let recon = aesz.decompress_stream(&bytes);

@@ -45,7 +45,10 @@ fn main() {
         .expect("AE-SZ must respect the requested error bound");
     let stats = ErrorStats::compute(test_field.as_slice(), recon.as_slice());
     println!("error bound            : {rel_eb:.0e} (abs {abs:.3e}) — verified");
-    println!("compression ratio      : {:.1}x", (test_field.len() * 4) as f64 / bytes.len() as f64);
+    println!(
+        "compression ratio      : {:.1}x",
+        (test_field.len() * 4) as f64 / bytes.len() as f64
+    );
     println!("PSNR                   : {:.2} dB", stats.psnr);
     println!(
         "blocks by predictor    : {} AE / {} Lorenzo / {} mean",

@@ -16,7 +16,11 @@ fn main() {
     let train_field = app.generate(Dims::d3(48, 48, 48), 1);
     let test_field = app.generate(Dims::d3(48, 48, 48), 45);
     println!("training AE-SZ for {} ...", app.name());
-    let opts = TrainingOptions { epochs: 4, max_blocks: 192, ..TrainingOptions::default_for_rank(3) };
+    let opts = TrainingOptions {
+        epochs: 4,
+        max_blocks: 192,
+        ..TrainingOptions::default_for_rank(3)
+    };
     let model = train_swae_for_field(std::slice::from_ref(&train_field), &opts);
     let mut aesz = AeSz::new(model, AeSzConfig::default_3d());
 

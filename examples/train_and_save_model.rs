@@ -24,8 +24,11 @@ fn main() {
 
     let path = std::env::temp_dir().join("aesz_hurricane_u.model");
     std::fs::write(&path, save_model(&model)).expect("write model file");
-    println!("model saved to {path:?} ({} bytes, {} parameters)",
-        std::fs::metadata(&path).unwrap().len(), model.num_params());
+    println!(
+        "model saved to {path:?} ({} bytes, {} parameters)",
+        std::fs::metadata(&path).unwrap().len(),
+        model.num_params()
+    );
 
     let reloaded = load_model(&std::fs::read(&path).unwrap()).expect("reload model");
     let mut a = AeSz::new(model, AeSzConfig::default_3d());
@@ -37,7 +40,10 @@ fn main() {
         let bytes_a = a.compress_with_report(&field, 1e-3).0;
         let bytes_b = b.compress_with_report(&field, 1e-3).0;
         assert_eq!(bytes_a, bytes_b, "reloaded model must behave identically");
-        println!("snapshot {snapshot}: {} bytes (identical from saved and reloaded model)", bytes_a.len());
+        println!(
+            "snapshot {snapshot}: {} bytes (identical from saved and reloaded model)",
+            bytes_a.len()
+        );
     }
     std::fs::remove_file(&path).ok();
 }

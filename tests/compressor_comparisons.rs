@@ -12,7 +12,11 @@ use aesz_repro::tensor::Dims;
 #[test]
 fn all_compressors_beat_raw_storage_on_smooth_data() {
     let field = Application::CesmCldhgh.generate(Dims::d2(96, 96), 20);
-    for comp in [&mut Sz2::new() as &mut dyn Compressor, &mut Zfp::new(), &mut SzInterp::new()] {
+    for comp in [
+        &mut Sz2::new() as &mut dyn Compressor,
+        &mut Zfp::new(),
+        &mut SzInterp::new(),
+    ] {
         let p = measure(comp, &field, 1e-3);
         assert!(
             p.compression_ratio > 2.0,
@@ -39,7 +43,13 @@ fn adaptive_predictor_selection_is_not_worse_than_lorenzo_only() {
         ..TrainingOptions::default_for_rank(2)
     };
     let model = train_swae_for_field(std::slice::from_ref(&train), &opts);
-    let mut aesz = AeSz::new(model, AeSzConfig { block_size: 16, ..AeSzConfig::default_2d() });
+    let mut aesz = AeSz::new(
+        model,
+        AeSzConfig {
+            block_size: 16,
+            ..AeSzConfig::default_2d()
+        },
+    );
     let adaptive = aesz.compress_with_report(&test, 1e-2).0.len();
     aesz.set_policy(PredictorPolicy::LorenzoOnly);
     let lorenzo_only = aesz.compress_with_report(&test, 1e-2).0.len();
@@ -52,7 +62,11 @@ fn adaptive_predictor_selection_is_not_worse_than_lorenzo_only() {
 #[test]
 fn finer_bounds_monotonically_increase_psnr_for_every_compressor() {
     let field = Application::HurricaneU.generate(Dims::d3(16, 32, 32), 44);
-    for comp in [&mut Sz2::new() as &mut dyn Compressor, &mut Zfp::new(), &mut SzInterp::new()] {
+    for comp in [
+        &mut Sz2::new() as &mut dyn Compressor,
+        &mut Zfp::new(),
+        &mut SzInterp::new(),
+    ] {
         let coarse = measure(comp, &field, 1e-2);
         let fine = measure(comp, &field, 1e-4);
         assert!(

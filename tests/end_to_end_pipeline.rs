@@ -37,7 +37,13 @@ fn full_pipeline_from_training_to_decompressed_file() {
     let model = load_model(&save_model(&model)).expect("model roundtrip");
 
     // Compress, persist the stream, reload, decompress.
-    let mut aesz = AeSz::new(model, AeSzConfig { block_size: 16, ..AeSzConfig::default_2d() });
+    let mut aesz = AeSz::new(
+        model,
+        AeSzConfig {
+            block_size: 16,
+            ..AeSzConfig::default_2d()
+        },
+    );
     let rel_eb = 1e-3;
     let bytes = aesz.compress_with_report(&loaded_input, rel_eb).0;
     let stream_path = dir.join("cldhgh_snapshot51.aesz");
@@ -48,7 +54,11 @@ fn full_pipeline_from_training_to_decompressed_file() {
     let abs = rel_eb * test_field.value_range() as f64;
     verify_error_bound(test_field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
     let stats = ErrorStats::compute(test_field.as_slice(), recon.as_slice());
-    assert!(stats.psnr > 40.0, "PSNR {:.1} unexpectedly low at eb 1e-3", stats.psnr);
+    assert!(
+        stats.psnr > 40.0,
+        "PSNR {:.1} unexpectedly low at eb 1e-3",
+        stats.psnr
+    );
     assert!(
         bytes.len() * 4 < test_field.len() * 4,
         "compression ratio below 4x: {} bytes",
