@@ -164,12 +164,34 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
 
 /// Decode a buffer produced by [`huffman_encode`].
 /// Returns `None` if the buffer is malformed or truncated.
+///
+/// The declared symbol count is trusted for the degenerate single-symbol
+/// layout, whose output size a tiny input can inflate arbitrarily — decode
+/// untrusted bytes with [`huffman_decode_capped`] instead.
 pub fn huffman_decode(buf: &[u8]) -> Option<Vec<u32>> {
+    huffman_decode_capped(buf, usize::MAX)
+}
+
+/// [`huffman_decode`] with an upper bound on the declared symbol count.
+///
+/// Returns `None` when the stream is malformed *or* declares more than
+/// `max_symbols` symbols, so a corrupt count prefix on untrusted input is
+/// rejected before any symbol-count-sized allocation happens.
+pub fn huffman_decode_capped(buf: &[u8], max_symbols: usize) -> Option<Vec<u32>> {
     let mut pos = 0usize;
-    let count = read_uvarint(buf, &mut pos)? as usize;
+    let count = read_uvarint(buf, &mut pos)?;
+    if count > max_symbols as u64 {
+        return None;
+    }
+    let count = count as usize;
     let table_len = read_uvarint(buf, &mut pos)? as usize;
     if count == 0 {
         return Some(Vec::new());
+    }
+    // Every table entry occupies at least two bytes (delta varint + length),
+    // so a table longer than the remaining input is malformed.
+    if table_len.checked_mul(2)? > buf.len().saturating_sub(pos) {
+        return None;
     }
     let mut lengths = Vec::with_capacity(table_len);
     let mut prev = 0u64;
@@ -177,12 +199,20 @@ pub fn huffman_decode(buf: &[u8]) -> Option<Vec<u32>> {
         let delta = read_uvarint(buf, &mut pos)?;
         let len = *buf.get(pos)?;
         pos += 1;
-        let sym = prev + delta;
+        // The encoder only emits code lengths 1..=MAX_CODE_LEN; anything else
+        // would overflow the canonical-code shifts below.
+        if len == 0 || len > MAX_CODE_LEN {
+            return None;
+        }
+        let sym = prev.checked_add(delta)?;
+        if sym > u32::MAX as u64 {
+            return None;
+        }
         lengths.push((sym as u32, len));
         prev = sym;
     }
     let payload_len = read_uvarint(buf, &mut pos)? as usize;
-    let payload = buf.get(pos..pos + payload_len)?;
+    let payload = buf.get(pos..pos.checked_add(payload_len)?)?;
 
     if table_len == 1 {
         // Degenerate alphabet: the payload carries `count` copies of one symbol.
@@ -198,7 +228,10 @@ pub fn huffman_decode(buf: &[u8]) -> Option<Vec<u32>> {
         max_len = max_len.max(len);
     }
 
-    let mut out = Vec::with_capacity(count);
+    // Each symbol consumes at least one payload bit; clamp the hint so a
+    // corrupt count cannot force a huge allocation before the bit reader
+    // runs out of input.
+    let mut out = Vec::with_capacity(count.min(payload.len().saturating_mul(8)));
     let mut reader = BitReader::new(payload);
     let mut code: u64 = 0;
     let mut len: u8 = 0;
@@ -271,6 +304,31 @@ mod tests {
             .collect();
         let enc = huffman_encode(&data);
         assert_eq!(huffman_decode(&enc), Some(data));
+    }
+
+    #[test]
+    fn capped_decode_rejects_oversized_counts() {
+        let data: Vec<u32> = (0..500).map(|i| i % 7).collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(huffman_decode_capped(&enc, 500), Some(data));
+        assert_eq!(huffman_decode_capped(&enc, 499), None);
+        // Degenerate single-symbol streams are the cheapest amplification
+        // vector: a few bytes can declare billions of symbols.
+        let degenerate = huffman_encode(&vec![42u32; 100]);
+        assert_eq!(huffman_decode_capped(&degenerate, 99), None);
+        let mut hostile = Vec::new();
+        write_uvarint(&mut hostile, u64::MAX); // count
+        write_uvarint(&mut hostile, 1); // table_len
+        assert_eq!(huffman_decode_capped(&hostile, 1 << 20), None);
+    }
+
+    #[test]
+    fn table_longer_than_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 10); // count
+        write_uvarint(&mut buf, u32::MAX as u64); // table_len ≫ input
+        buf.extend_from_slice(&[0u8; 16]);
+        assert_eq!(huffman_decode(&buf), None);
     }
 
     #[test]

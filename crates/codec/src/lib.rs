@@ -23,6 +23,9 @@ pub mod pipeline;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
-pub use huffman::{huffman_decode, huffman_encode};
-pub use lz::{zlite_compress, zlite_decompress};
-pub use pipeline::{compress_bytes, decode_codes, decompress_bytes, encode_codes, CodecError};
+pub use huffman::{huffman_decode, huffman_decode_capped, huffman_encode};
+pub use lz::{zlite_compress, zlite_decompress, zlite_decompress_capped};
+pub use pipeline::{
+    compress_bytes, decode_codes, decode_codes_capped, decompress_bytes, decompress_bytes_capped,
+    encode_codes, CodecError,
+};

@@ -125,23 +125,39 @@ pub fn zlite_compress(data: &[u8]) -> Vec<u8> {
 /// Decompress a buffer produced by [`zlite_compress`].
 /// Returns `None` on malformed input.
 pub fn zlite_decompress(buf: &[u8]) -> Option<Vec<u8>> {
+    zlite_decompress_capped(buf, usize::MAX)
+}
+
+/// [`zlite_decompress`] with an upper bound on the declared output size.
+///
+/// Returns `None` when the stream is malformed *or* declares more than
+/// `max_len` output bytes. Decoders of untrusted input should pass the
+/// largest size a valid payload could have, so a corrupt length prefix is
+/// rejected up front instead of driving a huge allocation.
+pub fn zlite_decompress_capped(buf: &[u8], max_len: usize) -> Option<Vec<u8>> {
     let mut pos = 0usize;
-    let original_len = read_uvarint(buf, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(original_len);
+    let original_len = read_uvarint(buf, &mut pos)?;
+    if original_len > max_len as u64 {
+        return None;
+    }
+    let original_len = original_len as usize;
+    // The capacity is only a hint: clamp it so a corrupt prefix that slipped
+    // past a permissive cap still cannot abort the process on allocation.
+    let mut out = Vec::with_capacity(original_len.min(buf.len().saturating_mul(8).max(4096)));
     while out.len() < original_len {
         let tag = *buf.get(pos)?;
         pos += 1;
         match tag {
             0x00 => {
                 let len = read_uvarint(buf, &mut pos)? as usize;
-                let bytes = buf.get(pos..pos + len)?;
+                let bytes = buf.get(pos..pos.checked_add(len)?)?;
                 pos += len;
                 out.extend_from_slice(bytes);
             }
             0x01 => {
                 let len = read_uvarint(buf, &mut pos)? as usize;
                 let dist = read_uvarint(buf, &mut pos)? as usize;
-                if dist == 0 || dist > out.len() || len < MIN_MATCH {
+                if dist == 0 || dist > out.len() || !(MIN_MATCH..=MAX_MATCH).contains(&len) {
                     return None;
                 }
                 let start = out.len() - dist;
@@ -222,6 +238,33 @@ mod tests {
         let enc = zlite_compress(&data);
         assert!(enc.len() < data.len() / 2);
         roundtrip(&data);
+    }
+
+    #[test]
+    fn capped_decode_rejects_oversized_declarations() {
+        let data = vec![3u8; 4096];
+        let enc = zlite_compress(&data);
+        // Honest size passes, one byte less fails.
+        assert_eq!(zlite_decompress_capped(&enc, 4096), Some(data));
+        assert_eq!(zlite_decompress_capped(&enc, 4095), None);
+        // A stream declaring an absurd length must fail fast, not allocate.
+        let mut hostile = Vec::new();
+        crate::varint::write_uvarint(&mut hostile, u64::MAX);
+        assert_eq!(zlite_decompress_capped(&hostile, 1 << 20), None);
+        assert_eq!(zlite_decompress(&hostile), None);
+    }
+
+    #[test]
+    fn match_length_beyond_format_limit_is_rejected() {
+        // original_len 8, one literal byte, then a match claiming a length
+        // far above MAX_MATCH — the decoder must refuse it.
+        let mut buf = Vec::new();
+        crate::varint::write_uvarint(&mut buf, 8);
+        buf.extend_from_slice(&[0x00, 0x01, 0xAA]); // literal run of 1
+        buf.push(0x01);
+        crate::varint::write_uvarint(&mut buf, (MAX_MATCH + 1) as u64);
+        crate::varint::write_uvarint(&mut buf, 1);
+        assert_eq!(zlite_decompress(&buf), None);
     }
 
     #[test]

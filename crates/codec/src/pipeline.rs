@@ -6,8 +6,8 @@
 //! * [`compress_bytes`] / [`decompress_bytes`] — `zlite` over raw byte
 //!   payloads (unpredictable values, latent headers, block means).
 
-use crate::huffman::{huffman_decode, huffman_encode};
-use crate::lz::{zlite_compress, zlite_decompress};
+use crate::huffman::{huffman_decode, huffman_decode_capped, huffman_encode};
+use crate::lz::{zlite_compress, zlite_decompress, zlite_decompress_capped};
 
 /// Errors surfaced while decoding compressed payloads.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +43,19 @@ pub fn decode_codes(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
     huffman_decode(&huff).ok_or(CodecError::CorruptHuffman)
 }
 
+/// [`decode_codes`] with an upper bound on the declared symbol count.
+///
+/// Use on untrusted input when the caller knows how many codes a valid
+/// stream can hold: corrupt length prefixes in either lossless stage are
+/// rejected instead of trusted into large allocations. A Huffman code spends
+/// at most [`crate::huffman`]'s 56 bits (7 bytes) per symbol, so the inner
+/// zlite output is capped at `8 · max_symbols` bytes plus table headroom.
+pub fn decode_codes_capped(buf: &[u8], max_symbols: usize) -> Result<Vec<u32>, CodecError> {
+    let huff_cap = max_symbols.saturating_mul(8).saturating_add(1 << 16);
+    let huff = zlite_decompress_capped(buf, huff_cap).ok_or(CodecError::CorruptLz)?;
+    huffman_decode_capped(&huff, max_symbols).ok_or(CodecError::CorruptHuffman)
+}
+
 /// Losslessly compress an arbitrary byte payload with zlite.
 pub fn compress_bytes(bytes: &[u8]) -> Vec<u8> {
     zlite_compress(bytes)
@@ -51,6 +64,12 @@ pub fn compress_bytes(bytes: &[u8]) -> Vec<u8> {
 /// Inverse of [`compress_bytes`].
 pub fn decompress_bytes(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
     zlite_decompress(buf).ok_or(CodecError::CorruptLz)
+}
+
+/// [`decompress_bytes`] with an upper bound on the declared output size, for
+/// untrusted input whose valid maximum size the caller knows.
+pub fn decompress_bytes_capped(buf: &[u8], max_len: usize) -> Result<Vec<u8>, CodecError> {
+    zlite_decompress_capped(buf, max_len).ok_or(CodecError::CorruptLz)
 }
 
 #[cfg(test)]

@@ -1,12 +1,33 @@
 //! The AE-SZ compressor / decompressor (Algorithm 1 of the paper).
+//!
+//! Both directions are organized as a *fallible, parallel block pipeline*:
+//!
+//! * **Fallible** — [`AeSz::try_decompress`] validates the stream header and
+//!   every payload-level invariant (code counts, escape counts, latent
+//!   payload size, model geometry) and returns a
+//!   [`DecompressError`](crate::error::DecompressError) on any violation.
+//!   The legacy [`AeSz::decompress_stream`] and the
+//!   [`Compressor`](aesz_metrics::Compressor) trait are thin panicking
+//!   wrappers kept for callers that trust their input.
+//! * **Parallel** — the per-block predictor/quantization work is partitioned
+//!   into contiguous chunks of [`AeSzConfig::chunk_blocks`] blocks and fanned
+//!   out with rayon, while AE inference runs in wide batches of
+//!   [`AE_PARALLEL_BATCH`] blocks (the convolution layers parallelize per
+//!   sample; the batch is bounded so activation memory stays independent of
+//!   the field size).
+//!   Chunk outputs are merged in block order, so the parallel path produces
+//!   **byte-identical** streams and reports to the serial reference
+//!   ([`AeSz::compress_with_report_serial`] / [`AeSz::try_decompress_serial`]).
 
-use aesz_codec::{compress_bytes, decode_codes, decompress_bytes, encode_codes};
+use aesz_codec::{compress_bytes, decode_codes_capped, decompress_bytes_capped, encode_codes};
 use aesz_metrics::Compressor;
 use aesz_nn::models::conv_ae::ConvAutoencoder;
 use aesz_predictors::{lorenzo, mean, QuantizedBlock, Quantizer};
 use aesz_tensor::{BlockSpec, Dims, Field};
+use rayon::prelude::*;
 
 use crate::config::{AeSzConfig, PredictorPolicy};
+use crate::error::DecompressError;
 use crate::latent::LatentCodec;
 use crate::stream::{BlockPredictor, Header, Stream};
 
@@ -53,8 +74,24 @@ pub struct AeSz {
     last_report: CompressionReport,
 }
 
-/// Batch size used when pushing blocks through the network.
+/// Batch size used by the serial reference path when pushing blocks through
+/// the network.
 const AE_BATCH: usize = 32;
+
+/// Batch size of the parallel path's AE inference. Wide enough to keep every
+/// core busy in the per-sample conv parallelism (and far wider than
+/// [`AE_BATCH`]'s stop-and-go batching), but bounded so peak activation
+/// memory stays independent of the field size. Batch partitioning provably
+/// does not change the network outputs, so this only affects speed/memory.
+const AE_PARALLEL_BATCH: usize = 1024;
+
+/// Everything the per-block compression stage produces for one block.
+struct BlockOut {
+    choice: BlockPredictor,
+    block: QuantizedBlock,
+    /// The stored mean, meaningful only when `choice == Mean`.
+    mean: f32,
+}
 
 impl AeSz {
     /// Build a compressor around a pre-trained model.
@@ -96,6 +133,16 @@ impl AeSz {
         self.last_report
     }
 
+    /// Absolute error bound for a value-range-relative bound `rel_eb` on a
+    /// field spanning `[lo, hi]`.
+    ///
+    /// # Degenerate-range contract
+    /// For a constant (or empty) field `hi == lo`, a *relative* bound has no
+    /// scale to be relative to. In that case `rel_eb` is interpreted as an
+    /// **absolute** bound, floored at `1e-12` so the quantizer stays valid.
+    /// Compression additionally stores constant fields through the mean
+    /// predictor with the exact constant as the mean, so the reconstruction
+    /// is bit-exact regardless of the bound.
     fn abs_bound(rel_eb: f64, lo: f32, hi: f32) -> f64 {
         let range = (hi - lo) as f64;
         if range > 0.0 {
@@ -168,11 +215,118 @@ impl AeSz {
         out
     }
 
-    /// Compress a field, returning the stream bytes and the per-block report.
+    /// Run every block through encoder → latent quantization → decoder in
+    /// batches of `batch` blocks, returning the denormalised predictions and
+    /// the quantized latent indices per block.
+    fn ae_predict_blocks(
+        &mut self,
+        field: &Field,
+        specs: &[BlockSpec],
+        lo: f32,
+        range: f64,
+        latent_codec: &LatentCodec,
+        batch: usize,
+    ) -> (Vec<Vec<f32>>, Vec<Vec<i64>>) {
+        let latent_dim = self.model.config().latent_dim;
+        let block_len = self.model.config().block_len();
+        let mut ae_preds = Vec::with_capacity(specs.len());
+        let mut latent_indices_per_block = Vec::with_capacity(specs.len());
+        let norm = |v: f32| 2.0 * (v - lo) / range as f32 - 1.0;
+        for chunk in specs.chunks(batch.max(1)) {
+            let mut batch_buf = Vec::with_capacity(chunk.len() * block_len);
+            for spec in chunk {
+                let blk = field.extract_block(spec);
+                batch_buf.extend(blk.data.iter().map(|&v| norm(v)));
+            }
+            let latents = self.model.encode_blocks(&batch_buf, chunk.len());
+            // Quantize + dequantize the latents (the z → z_d path of Fig. 5).
+            let mut zd = Vec::with_capacity(latents.len());
+            for bi in 0..chunk.len() {
+                let z = &latents[bi * latent_dim..(bi + 1) * latent_dim];
+                let idx = latent_codec.quantize(z);
+                zd.extend(latent_codec.dequantize(&idx));
+                latent_indices_per_block.push(idx);
+            }
+            let decoded = self.model.decode_latents(&zd, chunk.len());
+            for bi in 0..chunk.len() {
+                let pred_norm = &decoded[bi * block_len..(bi + 1) * block_len];
+                // Denormalise back to the data domain.
+                let pred: Vec<f32> = pred_norm
+                    .iter()
+                    .map(|&v| (v + 1.0) * 0.5 * range as f32 + lo)
+                    .collect();
+                ae_preds.push(pred);
+            }
+        }
+        (ae_preds, latent_indices_per_block)
+    }
+
+    /// Decode the latent indices of the AE-predicted blocks (one model-sized
+    /// latent vector per block) back into denormalised block predictions, in
+    /// batches of `batch` blocks.
+    fn ae_decode_latents(
+        &mut self,
+        latent_indices: &[i64],
+        lo: f32,
+        range: f64,
+        latent_codec: &LatentCodec,
+        batch: usize,
+    ) -> Vec<Vec<f32>> {
+        let latent_dim = self.model.config().latent_dim;
+        let block_len = self.model.config().block_len();
+        debug_assert_eq!(latent_indices.len() % latent_dim.max(1), 0);
+        let n_ae = latent_indices.len() / latent_dim.max(1);
+        let mut preds = Vec::with_capacity(n_ae);
+        let batch = batch.max(1);
+        let mut done = 0usize;
+        while done < n_ae {
+            let n = batch.min(n_ae - done);
+            let mut zd = Vec::with_capacity(n * latent_dim);
+            for k in 0..n {
+                let offset = (done + k) * latent_dim;
+                zd.extend(latent_codec.dequantize(&latent_indices[offset..offset + latent_dim]));
+            }
+            let decoded = self.model.decode_latents(&zd, n);
+            for k in 0..n {
+                let pred_norm = &decoded[k * block_len..(k + 1) * block_len];
+                preds.push(
+                    pred_norm
+                        .iter()
+                        .map(|&v| (v + 1.0) * 0.5 * range as f32 + lo)
+                        .collect(),
+                );
+            }
+            done += n;
+        }
+        preds
+    }
+
+    /// Compress a field with the parallel pipeline, returning the stream
+    /// bytes and the per-block report.
     pub fn compress_with_report(
         &mut self,
         field: &Field,
         rel_eb: f64,
+    ) -> (Vec<u8>, CompressionReport) {
+        self.compress_impl(field, rel_eb, true)
+    }
+
+    /// Serial reference implementation of [`AeSz::compress_with_report`];
+    /// produces byte-identical streams (kept for benchmarking and as a
+    /// differential-testing oracle).
+    pub fn compress_with_report_serial(
+        &mut self,
+        field: &Field,
+        rel_eb: f64,
+    ) -> (Vec<u8>, CompressionReport) {
+        self.compress_impl(field, rel_eb, false)
+    }
+
+    fn compress_impl(
+        &mut self,
+        field: &Field,
+        rel_eb: f64,
+        parallel: bool,
     ) -> (Vec<u8>, CompressionReport) {
         assert!(
             rel_eb > 0.0 && rel_eb.is_finite(),
@@ -182,6 +336,10 @@ impl AeSz {
         let rank = Self::rank(dims);
         let bs = self.config.block_size;
         let (lo, hi) = field.min_max();
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "field contains infinite values; the relative error bound is undefined"
+        );
         let range = (hi - lo) as f64;
         let abs_eb = Self::abs_bound(rel_eb, lo, hi);
         let quantizer = Quantizer::new(abs_eb, self.config.quant_bins);
@@ -190,62 +348,41 @@ impl AeSz {
         let latent_eb = (self.config.latent_eb_fraction * 2.0 * rel_eb).max(1e-9);
         let latent_codec = LatentCodec::new(latent_eb);
         let latent_dim = self.model.config().latent_dim;
-        let block_len = self.model.config().block_len();
 
         let specs: Vec<BlockSpec> = field.blocks(bs).collect();
         let n_blocks = specs.len();
 
-        // --- AE path (skipped entirely under the LorenzoOnly policy) ---
-        // Normalise every padded block, push through encoder, quantize the
-        // latents, decode the quantized latents, denormalise the predictions.
-        let use_ae = self.config.policy != PredictorPolicy::LorenzoOnly && range > 0.0;
-        let mut ae_preds: Vec<Vec<f32>> = Vec::new();
-        let mut latent_indices_per_block: Vec<Vec<i64>> = Vec::new();
-        if use_ae {
-            ae_preds.reserve(n_blocks);
-            latent_indices_per_block.reserve(n_blocks);
-            let norm = |v: f32| 2.0 * (v - lo) / range as f32 - 1.0;
-            for chunk in specs.chunks(AE_BATCH) {
-                let mut batch = Vec::with_capacity(chunk.len() * block_len);
-                for spec in chunk {
-                    let blk = field.extract_block(spec);
-                    batch.extend(blk.data.iter().map(|&v| norm(v)));
-                }
-                let latents = self.model.encode_blocks(&batch, chunk.len());
-                // Quantize + dequantize the latents (the z → z_d path of Fig. 5).
-                let mut zd = Vec::with_capacity(latents.len());
-                for bi in 0..chunk.len() {
-                    let z = &latents[bi * latent_dim..(bi + 1) * latent_dim];
-                    let idx = latent_codec.quantize(z);
-                    zd.extend(latent_codec.dequantize(&idx));
-                    latent_indices_per_block.push(idx);
-                }
-                let decoded = self.model.decode_latents(&zd, chunk.len());
-                for bi in 0..chunk.len() {
-                    let pred_norm = &decoded[bi * block_len..(bi + 1) * block_len];
-                    // Denormalise back to the data domain.
-                    let pred: Vec<f32> = pred_norm
-                        .iter()
-                        .map(|&v| (v + 1.0) * 0.5 * range as f32 + lo)
-                        .collect();
-                    ae_preds.push(pred);
-                }
-            }
-        }
-
-        // --- Per-block predictor selection and quantization ---
-        let mut predictors = Vec::with_capacity(n_blocks);
-        let mut all_codes: Vec<u32> = Vec::with_capacity(field.len());
-        let mut unpredictable: Vec<f32> = Vec::new();
-        let mut means: Vec<f32> = Vec::new();
-        let mut kept_latent_indices: Vec<i64> = Vec::new();
-        let mut report = CompressionReport {
-            total_blocks: n_blocks,
-            ..CompressionReport::default()
+        // --- AE path (skipped under LorenzoOnly, for degenerate ranges, and
+        // for fields whose rank the model was not built for) ---
+        let use_ae = self.config.policy != PredictorPolicy::LorenzoOnly
+            && range > 0.0
+            && rank == self.model.config().spatial_rank;
+        let (ae_preds, latent_indices_per_block) = if use_ae {
+            let batch = if parallel {
+                AE_PARALLEL_BATCH
+            } else {
+                AE_BATCH
+            };
+            self.ae_predict_blocks(field, &specs, lo, range, &latent_codec, batch)
+        } else {
+            (Vec::new(), Vec::new())
         };
 
-        for (bi, spec) in specs.iter().enumerate() {
+        // --- Per-block predictor selection and quantization, chunked ---
+        let policy = self.config.policy;
+        let compute_block = |bi: usize| -> BlockOut {
+            let spec = &specs[bi];
             let valid = field.read_block_valid(spec);
+            if range == 0.0 {
+                // Constant field: store the exact constant as the block mean
+                // so reconstruction is bit-exact (see `abs_bound`).
+                let (block, _) = mean::compress(&valid, lo, &quantizer);
+                return BlockOut {
+                    choice: BlockPredictor::Mean,
+                    block,
+                    mean: lo,
+                };
+            }
             // Candidate losses.
             let ae_loss = if use_ae {
                 let pred_valid = Self::padded_to_valid(&ae_preds[bi], spec, rank);
@@ -268,7 +405,7 @@ impl AeSz {
             let mean_value = mean::block_mean(&valid);
             let mean_loss = mean::mean_l1_loss(&valid);
 
-            let choice = match self.config.policy {
+            let choice = match policy {
                 PredictorPolicy::AeOnly if use_ae => BlockPredictor::Ae,
                 PredictorPolicy::LorenzoOnly | PredictorPolicy::AeOnly => {
                     if mean_loss < lorenzo_loss {
@@ -294,27 +431,70 @@ impl AeSz {
 
             let block = match choice {
                 BlockPredictor::Ae => {
-                    report.ae_blocks += 1;
-                    kept_latent_indices.extend_from_slice(&latent_indices_per_block[bi]);
                     let pred_valid = Self::padded_to_valid(&ae_preds[bi], spec, rank);
                     let (blk, _) = quantizer.quantize_buffer(&valid, &pred_valid);
                     blk
                 }
                 BlockPredictor::Lorenzo => {
-                    report.lorenzo_blocks += 1;
                     let (blk, _) = lorenzo::compress(&valid, &spec.size, &quantizer);
                     blk
                 }
                 BlockPredictor::Mean => {
-                    report.mean_blocks += 1;
-                    means.push(mean_value);
                     let (blk, _) = mean::compress(&valid, mean_value, &quantizer);
                     blk
                 }
             };
-            predictors.push(choice);
-            all_codes.extend_from_slice(&block.codes);
-            unpredictable.extend_from_slice(&block.unpredictable);
+            BlockOut {
+                choice,
+                block,
+                mean: mean_value,
+            }
+        };
+
+        let chunk = self.config.chunk_blocks.max(1);
+        let mut slots: Vec<Option<BlockOut>> = (0..n_blocks).map(|_| None).collect();
+        let fill_chunk = |ci: usize, out: &mut [Option<BlockOut>]| {
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = Some(compute_block(ci * chunk + j));
+            }
+        };
+        if parallel {
+            slots
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, out)| fill_chunk(ci, out));
+        } else {
+            for (ci, out) in slots.chunks_mut(chunk).enumerate() {
+                fill_chunk(ci, out);
+            }
+        }
+
+        // --- Deterministic merge in block order ---
+        let mut predictors = Vec::with_capacity(n_blocks);
+        let mut all_codes: Vec<u32> = Vec::with_capacity(field.len());
+        let mut unpredictable: Vec<f32> = Vec::new();
+        let mut means: Vec<f32> = Vec::new();
+        let mut kept_latent_indices: Vec<i64> = Vec::new();
+        let mut report = CompressionReport {
+            total_blocks: n_blocks,
+            ..CompressionReport::default()
+        };
+        for (bi, slot) in slots.into_iter().enumerate() {
+            let out = slot.expect("every chunk fills its blocks");
+            match out.choice {
+                BlockPredictor::Ae => {
+                    report.ae_blocks += 1;
+                    kept_latent_indices.extend_from_slice(&latent_indices_per_block[bi]);
+                }
+                BlockPredictor::Lorenzo => report.lorenzo_blocks += 1,
+                BlockPredictor::Mean => {
+                    report.mean_blocks += 1;
+                    means.push(out.mean);
+                }
+            }
+            predictors.push(out.choice);
+            all_codes.extend_from_slice(&out.block.codes);
+            unpredictable.extend_from_slice(&out.block.unpredictable);
         }
 
         // --- Assemble the stream ---
@@ -338,6 +518,8 @@ impl AeSz {
                 rel_eb,
                 block_size: bs,
                 latent_dim,
+                quant_bins: self.config.quant_bins,
+                latent_eb_fraction: self.config.latent_eb_fraction,
                 policy: self.config.policy,
             },
             predictors,
@@ -352,9 +534,21 @@ impl AeSz {
         (bytes, report)
     }
 
-    /// Reconstruct a field from a compressed stream.
-    pub fn decompress_stream(&mut self, bytes: &[u8]) -> Field {
-        let stream = Stream::from_bytes(bytes).expect("valid AE-SZ stream");
+    /// Reconstruct a field from a compressed stream, returning an error on
+    /// any malformed, truncated or inconsistent input (never panicking and
+    /// never allocating more than the validated header implies).
+    pub fn try_decompress(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        self.decompress_impl(bytes, true)
+    }
+
+    /// Serial reference implementation of [`AeSz::try_decompress`]; produces
+    /// identical fields (kept for benchmarking and differential testing).
+    pub fn try_decompress_serial(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        self.decompress_impl(bytes, false)
+    }
+
+    fn decompress_impl(&mut self, bytes: &[u8], parallel: bool) -> Result<Field, DecompressError> {
+        let stream = Stream::from_bytes(bytes)?;
         let h = &stream.header;
         let dims = h.dims;
         let rank = Self::rank(dims);
@@ -362,94 +556,185 @@ impl AeSz {
         let (lo, hi) = (h.data_min, h.data_max);
         let range = (hi - lo) as f64;
         let abs_eb = Self::abs_bound(h.rel_eb, lo, hi);
-        let quantizer = Quantizer::new(abs_eb, self.config.quant_bins);
-        let latent_eb = (self.config.latent_eb_fraction * 2.0 * h.rel_eb).max(1e-9);
+        if !abs_eb.is_finite() || abs_eb <= 0.0 {
+            return Err(DecompressError::InvalidHeader("absolute error bound"));
+        }
+        // Quantizer and latent scale come from the (validated) stream header,
+        // never from this compressor's own configuration — a decoder
+        // configured differently from the encoder must still reconstruct
+        // correctly.
+        let quantizer = Quantizer::new(abs_eb, h.quant_bins);
+        let latent_eb = (h.latent_eb_fraction * 2.0 * h.rel_eb).max(1e-9);
+        if !latent_eb.is_finite() {
+            return Err(DecompressError::InvalidHeader("latent error bound"));
+        }
         let latent_codec = LatentCodec::new(latent_eb);
-        let block_len = self.model.config().block_len();
 
-        let all_codes = decode_codes(&stream.codes_section).expect("codes section");
-        let unpred_bytes = decompress_bytes(&stream.unpredictable_section).expect("unpredictable");
+        // --- Payload-level consistency checks (counts before contents) ---
+        let n_points = dims.len();
+        let n_blocks = stream.predictors.len();
+        let all_codes = decode_codes_capped(&stream.codes_section, n_points)?;
+        if all_codes.len() != n_points {
+            return Err(DecompressError::Inconsistent(
+                "code count does not match dims",
+            ));
+        }
+        let escapes_total = all_codes.iter().filter(|&&c| c == 0).count();
+        let unpred_bytes =
+            decompress_bytes_capped(&stream.unpredictable_section, escapes_total * 4)?;
+        if unpred_bytes.len() != escapes_total * 4 {
+            return Err(DecompressError::Inconsistent(
+                "unpredictable count does not match escape codes",
+            ));
+        }
         let unpredictable: Vec<f32> = unpred_bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        let means_bytes = decompress_bytes(&stream.means_section).expect("means section");
+        let n_mean = stream
+            .predictors
+            .iter()
+            .filter(|&&p| p == BlockPredictor::Mean)
+            .count();
+        let means_bytes = decompress_bytes_capped(&stream.means_section, n_mean * 4)?;
+        if means_bytes.len() != n_mean * 4 {
+            return Err(DecompressError::Inconsistent(
+                "mean count does not match mean-predicted blocks",
+            ));
+        }
         let means: Vec<f32> = means_bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        let (latent_indices, latent_dim) = latent_codec
-            .decode(&stream.latent_section)
-            .expect("latent section");
 
-        let mut field = Field::zeros(dims);
-        let specs: Vec<BlockSpec> = field.blocks(bs).collect();
-        assert_eq!(specs.len(), stream.predictors.len(), "block count mismatch");
-
-        // Decode the AE predictions for every AE block, in batches.
-        let ae_block_ids: Vec<usize> = stream
+        let n_ae = stream
             .predictors
             .iter()
-            .enumerate()
-            .filter(|(_, &p)| p == BlockPredictor::Ae)
-            .map(|(i, _)| i)
-            .collect();
-        assert_eq!(
-            latent_indices.len(),
-            ae_block_ids.len() * latent_dim,
-            "latent payload does not match the number of AE blocks"
-        );
-        let mut ae_pred_by_block: std::collections::HashMap<usize, Vec<f32>> =
-            std::collections::HashMap::with_capacity(ae_block_ids.len());
-        for (chunk_no, chunk) in ae_block_ids.chunks(AE_BATCH).enumerate() {
-            let mut zd = Vec::with_capacity(chunk.len() * latent_dim);
-            for (k, _) in chunk.iter().enumerate() {
-                let offset = (chunk_no * AE_BATCH + k) * latent_dim;
-                let idx = &latent_indices[offset..offset + latent_dim];
-                zd.extend(latent_codec.dequantize(idx));
-            }
-            let decoded = self.model.decode_latents(&zd, chunk.len());
-            for (k, &bid) in chunk.iter().enumerate() {
-                let pred_norm = &decoded[k * block_len..(k + 1) * block_len];
-                let pred: Vec<f32> = pred_norm
-                    .iter()
-                    .map(|&v| (v + 1.0) * 0.5 * range as f32 + lo)
-                    .collect();
-                ae_pred_by_block.insert(bid, pred);
-            }
+            .filter(|&&p| p == BlockPredictor::Ae)
+            .count();
+        if n_ae > 0
+            && (h.block_size != self.model.config().block_size
+                || h.latent_dim != self.model.config().latent_dim
+                || rank != self.model.config().spatial_rank)
+        {
+            return Err(DecompressError::ModelMismatch {
+                stream_block_size: h.block_size,
+                stream_latent_dim: h.latent_dim,
+                model_block_size: self.model.config().block_size,
+                model_latent_dim: self.model.config().latent_dim,
+            });
+        }
+        let max_latents = n_ae
+            .checked_mul(h.latent_dim)
+            .ok_or(DecompressError::InvalidHeader("latent payload overflow"))?;
+        let (latent_indices, lat_dim) =
+            latent_codec.decode_capped(&stream.latent_section, max_latents)?;
+        if n_ae > 0 && lat_dim != h.latent_dim {
+            return Err(DecompressError::Inconsistent(
+                "latent section dim disagrees with header",
+            ));
+        }
+        if latent_indices.len() != n_ae * h.latent_dim {
+            return Err(DecompressError::Inconsistent(
+                "latent payload does not match the number of AE blocks",
+            ));
         }
 
-        // Walk the blocks, consuming codes / unpredictables / means in order.
-        let mut code_pos = 0usize;
-        let mut unpred_pos = 0usize;
-        let mut mean_pos = 0usize;
-        for (bi, spec) in specs.iter().enumerate() {
-            let n = spec.valid_len();
-            let codes = &all_codes[code_pos..code_pos + n];
-            code_pos += n;
-            let escapes = codes.iter().filter(|&&c| c == 0).count();
+        // --- Batched AE decode over all AE blocks ---
+        let batch = if parallel {
+            AE_PARALLEL_BATCH
+        } else {
+            AE_BATCH
+        };
+        let ae_preds = if n_ae > 0 {
+            self.ae_decode_latents(&latent_indices, lo, range, &latent_codec, batch)
+        } else {
+            Vec::new()
+        };
+
+        // --- Per-block offsets so chunks can work independently ---
+        let mut field = Field::zeros(dims);
+        let specs: Vec<BlockSpec> = field.blocks(bs).collect();
+        debug_assert_eq!(specs.len(), n_blocks, "validated by Stream::from_bytes");
+        let mut code_off = Vec::with_capacity(n_blocks + 1);
+        code_off.push(0usize);
+        for spec in &specs {
+            code_off.push(code_off.last().unwrap() + spec.valid_len());
+        }
+        if *code_off.last().unwrap() != n_points {
+            return Err(DecompressError::Inconsistent(
+                "block geometry does not cover the field",
+            ));
+        }
+        let mut esc_off = Vec::with_capacity(n_blocks + 1);
+        let mut mean_off = Vec::with_capacity(n_blocks);
+        let mut ae_ord = Vec::with_capacity(n_blocks);
+        let (mut esc, mut me, mut ae) = (0usize, 0usize, 0usize);
+        esc_off.push(0usize);
+        for (bi, p) in stream.predictors.iter().enumerate() {
+            mean_off.push(me);
+            ae_ord.push(ae);
+            match p {
+                BlockPredictor::Mean => me += 1,
+                BlockPredictor::Ae => ae += 1,
+                BlockPredictor::Lorenzo => {}
+            }
+            esc += all_codes[code_off[bi]..code_off[bi + 1]]
+                .iter()
+                .filter(|&&c| c == 0)
+                .count();
+            esc_off.push(esc);
+        }
+
+        // --- Chunked parallel reconstruction, then ordered write-back ---
+        let predictors = &stream.predictors;
+        let reconstruct_block = |bi: usize| -> Vec<f32> {
+            let spec = &specs[bi];
             let blk = QuantizedBlock {
-                codes: codes.to_vec(),
-                unpredictable: unpredictable[unpred_pos..unpred_pos + escapes].to_vec(),
+                codes: all_codes[code_off[bi]..code_off[bi + 1]].to_vec(),
+                unpredictable: unpredictable[esc_off[bi]..esc_off[bi + 1]].to_vec(),
             };
-            unpred_pos += escapes;
-            let valid = match stream.predictors[bi] {
+            let valid = match predictors[bi] {
                 BlockPredictor::Ae => {
-                    let pred = &ae_pred_by_block[&bi];
-                    let pred_valid = Self::padded_to_valid(pred, spec, rank);
+                    let pred_valid = Self::padded_to_valid(&ae_preds[ae_ord[bi]], spec, rank);
                     quantizer.dequantize_buffer(&blk, &pred_valid)
                 }
                 BlockPredictor::Lorenzo => lorenzo::decompress(&blk, &spec.size, &quantizer),
-                BlockPredictor::Mean => {
-                    let m = means[mean_pos];
-                    mean_pos += 1;
-                    mean::decompress(&blk, m, &quantizer)
-                }
+                BlockPredictor::Mean => mean::decompress(&blk, means[mean_off[bi]], &quantizer),
             };
-            let padded = Self::valid_to_padded(&valid, spec, rank);
-            field.write_block(spec, &padded);
+            Self::valid_to_padded(&valid, spec, rank)
+        };
+        let chunk = self.config.chunk_blocks.max(1);
+        let mut padded: Vec<Option<Vec<f32>>> = (0..n_blocks).map(|_| None).collect();
+        let fill_chunk = |ci: usize, out: &mut [Option<Vec<f32>>]| {
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = Some(reconstruct_block(ci * chunk + j));
+            }
+        };
+        if parallel {
+            padded
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, out)| fill_chunk(ci, out));
+        } else {
+            for (ci, out) in padded.chunks_mut(chunk).enumerate() {
+                fill_chunk(ci, out);
+            }
         }
-        field
+        for (bi, spec) in specs.iter().enumerate() {
+            let buf = padded[bi].take().expect("every chunk fills its blocks");
+            field.write_block(spec, &buf);
+        }
+        Ok(field)
+    }
+
+    /// Reconstruct a field from a compressed stream.
+    ///
+    /// # Panics
+    /// Panics on malformed input; use [`AeSz::try_decompress`] to handle
+    /// untrusted streams gracefully.
+    pub fn decompress_stream(&mut self, bytes: &[u8]) -> Field {
+        self.try_decompress(bytes).expect("valid AE-SZ stream")
     }
 }
 
@@ -464,6 +749,13 @@ impl Compressor for AeSz {
 
     fn decompress(&mut self, bytes: &[u8]) -> Field {
         self.decompress_stream(bytes)
+    }
+
+    fn try_decompress(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<Field, Box<dyn std::error::Error + Send + Sync>> {
+        AeSz::try_decompress(self, bytes).map_err(|e| Box::new(e) as _)
     }
 }
 
@@ -554,11 +846,120 @@ mod tests {
     }
 
     #[test]
+    fn constant_fields_reconstruct_exactly_at_any_bound() {
+        // The degenerate-range contract of `abs_bound`: constant fields are
+        // stored through the mean predictor and come back bit-exact, even
+        // for values that are awkward in f32 and for extreme bounds.
+        let mut aesz = quick_aesz_2d(&Application::CesmCldhgh.generate(Dims::d2(32, 32), 3));
+        for value in [0.0f32, 4.2, -1.0e-7, 3.3333333e12] {
+            for rel_eb in [1e-1, 1e-6, 1e-12] {
+                let field = Field::from_vec(Dims::d2(32, 32), vec![value; 1024]).unwrap();
+                let bytes = aesz.compress(&field, rel_eb);
+                let recon = aesz.try_decompress(&bytes).expect("valid stream");
+                assert_eq!(
+                    recon.as_slice(),
+                    field.as_slice(),
+                    "constant {value} at eb {rel_eb} must reconstruct exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn finer_bounds_cost_more_bits() {
         let field = Application::CesmFreqsh.generate(Dims::d2(64, 64), 54);
         let mut aesz = quick_aesz_2d(&field);
         let coarse = aesz.compress(&field, 1e-1).len();
         let fine = aesz.compress(&field, 1e-4).len();
         assert!(fine > coarse, "fine {fine} <= coarse {coarse}");
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_are_bit_identical() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(80, 56), 55);
+        let mut aesz = quick_aesz_2d(&field);
+        for rel_eb in [1e-2, 1e-3] {
+            let (par_bytes, par_report) = aesz.compress_with_report(&field, rel_eb);
+            let (ser_bytes, ser_report) = aesz.compress_with_report_serial(&field, rel_eb);
+            assert_eq!(par_bytes, ser_bytes, "streams must be byte-identical");
+            assert_eq!(par_report, ser_report, "reports must match");
+            let par_field = aesz.try_decompress(&par_bytes).unwrap();
+            let ser_field = aesz.try_decompress_serial(&par_bytes).unwrap();
+            assert_eq!(par_field.as_slice(), ser_field.as_slice());
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_stream() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 56);
+        let mut aesz = quick_aesz_2d(&field);
+        let (reference, _) = aesz.compress_with_report(&field, 1e-2);
+        for chunk_blocks in [1, 3, 1000] {
+            aesz.config.chunk_blocks = chunk_blocks;
+            let (bytes, _) = aesz.compress_with_report(&field, 1e-2);
+            assert_eq!(bytes, reference, "chunk_blocks={chunk_blocks}");
+        }
+    }
+
+    #[test]
+    fn rank1_fields_fall_back_to_lorenzo_predictors() {
+        // The 2D model cannot predict 1D blocks; the pipeline must route
+        // rank-1 fields through (mean-)Lorenzo under any policy.
+        let field = Field::from_fn(Dims::d1(333), |c| ((c[0] as f32) * 0.1).sin());
+        let mut aesz = quick_aesz_2d(&Application::CesmCldhgh.generate(Dims::d2(32, 32), 3));
+        let (bytes, report) = aesz.compress_with_report(&field, 1e-3);
+        assert_eq!(report.ae_blocks, 0);
+        let recon = aesz.try_decompress(&bytes).expect("valid stream");
+        let abs = 1e-3 * field.value_range() as f64;
+        verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
+    }
+
+    #[test]
+    fn decoder_with_different_config_still_reconstructs_correctly() {
+        // The stream header is self-describing: quant_bins and
+        // latent_eb_fraction are read from the stream, so a decoder whose own
+        // configuration differs must still honour the error bound.
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 58);
+        let mut aesz = quick_aesz_2d(&field);
+        let (bytes, _) = aesz.compress_with_report(&field, 1e-3);
+        aesz.config.quant_bins = 1024;
+        aesz.config.latent_eb_fraction = 0.5;
+        let recon = aesz.try_decompress(&bytes).expect("valid stream");
+        let abs = 1e-3 * field.value_range() as f64;
+        verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
+            .expect("decoder config must not affect reconstruction");
+    }
+
+    #[test]
+    fn model_mismatch_is_reported() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 57);
+        let mut aesz = quick_aesz_2d(&field);
+        let (bytes, report) = aesz.compress_with_report(&field, 1e-2);
+        if report.ae_blocks == 0 {
+            return; // nothing latent-coded; any model can decode it
+        }
+        // A compressor around a model with a different latent size must
+        // refuse the stream instead of decoding garbage.
+        let opts = TrainingOptions {
+            block_size: 16,
+            latent_dim: 4,
+            channels: vec![4, 8],
+            epochs: 1,
+            max_blocks: 16,
+            seed: 5,
+            ..TrainingOptions::default_for_rank(2)
+        };
+        let other_model = train_swae_for_field(std::slice::from_ref(&field), &opts);
+        let mut other = AeSz::new(
+            other_model,
+            AeSzConfig {
+                block_size: 16,
+                ..AeSzConfig::default_2d()
+            },
+        );
+        assert!(matches!(
+            other.try_decompress(&bytes),
+            Err(DecompressError::ModelMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,107 @@
+//! Error type of the fallible AE-SZ decode path.
+//!
+//! Every way a compressed stream can be unusable — truncation, bit flips,
+//! hostile length prefixes, a model/stream mismatch — surfaces as a
+//! [`DecompressError`] from [`crate::stream::Stream::from_bytes`] and
+//! [`crate::AeSz::try_decompress`] instead of a panic or an unbounded
+//! allocation. The panicking wrappers ([`crate::AeSz::decompress_stream`]
+//! and the [`aesz_metrics::Compressor`] trait impl) unwrap this type.
+
+use aesz_codec::CodecError;
+
+/// Why an AE-SZ stream could not be decompressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The input does not start with the AE-SZ magic bytes.
+    BadMagic,
+    /// The input ended before the named header field or section was complete.
+    Truncated(&'static str),
+    /// A header field holds a value no valid stream can contain.
+    InvalidHeader(&'static str),
+    /// Header fields and payload sections disagree with each other.
+    Inconsistent(&'static str),
+    /// The stream was produced with a different model geometry than the
+    /// compressor trying to decode it.
+    ModelMismatch {
+        /// Block edge length recorded in the stream header.
+        stream_block_size: usize,
+        /// Latent vector length recorded in the stream header.
+        stream_latent_dim: usize,
+        /// Block edge length of the decoding model.
+        model_block_size: usize,
+        /// Latent vector length of the decoding model.
+        model_latent_dim: usize,
+    },
+    /// An entropy-coded payload section failed to decode.
+    Codec(CodecError),
+}
+
+impl From<CodecError> for DecompressError {
+    fn from(e: CodecError) -> Self {
+        DecompressError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::BadMagic => write!(f, "not an AE-SZ stream (bad magic)"),
+            DecompressError::Truncated(what) => write!(f, "truncated stream: {what}"),
+            DecompressError::InvalidHeader(what) => write!(f, "invalid header field: {what}"),
+            DecompressError::Inconsistent(what) => write!(f, "inconsistent stream: {what}"),
+            DecompressError::ModelMismatch {
+                stream_block_size,
+                stream_latent_dim,
+                model_block_size,
+                model_latent_dim,
+            } => write!(
+                f,
+                "stream was written with block size {stream_block_size} / latent dim \
+                 {stream_latent_dim}, but the model expects block size {model_block_size} / \
+                 latent dim {model_latent_dim}"
+            ),
+            DecompressError::Codec(e) => write!(f, "payload section failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecompressError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DecompressError::BadMagic.to_string().contains("magic"));
+        assert!(DecompressError::Truncated("codes section")
+            .to_string()
+            .contains("codes section"));
+        assert!(DecompressError::from(CodecError::CorruptLz)
+            .to_string()
+            .contains("zlite"));
+        let mm = DecompressError::ModelMismatch {
+            stream_block_size: 32,
+            stream_latent_dim: 16,
+            model_block_size: 8,
+            model_latent_dim: 4,
+        };
+        assert!(mm.to_string().contains("32"));
+        assert!(mm.to_string().contains("4"));
+    }
+
+    #[test]
+    fn codec_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let e = DecompressError::from(CodecError::Malformed("header"));
+        assert!(e.source().is_some());
+        assert!(DecompressError::BadMagic.source().is_none());
+    }
+}

@@ -11,7 +11,7 @@
 //! predictions.
 
 use aesz_codec::varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
-use aesz_codec::{decode_codes, encode_codes, CodecError};
+use aesz_codec::{decode_codes_capped, encode_codes, CodecError};
 
 /// Quantizes latent vectors with a fixed absolute error bound and
 /// entropy-codes the indices.
@@ -73,22 +73,42 @@ impl LatentCodec {
     /// Decode a buffer produced by [`LatentCodec::encode`]; returns
     /// `(indices, latent_dim)`.
     pub fn decode(&self, bytes: &[u8]) -> Result<(Vec<i64>, usize), CodecError> {
+        self.decode_capped(bytes, usize::MAX)
+    }
+
+    /// [`LatentCodec::decode`] with an upper bound on the declared index
+    /// count, for untrusted input: a corrupt count or length prefix is
+    /// rejected instead of driving a huge allocation or a slice panic.
+    pub fn decode_capped(
+        &self,
+        bytes: &[u8],
+        max_indices: usize,
+    ) -> Result<(Vec<i64>, usize), CodecError> {
         let mut pos = 0usize;
         let latent_dim =
             read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("latent_dim"))? as usize;
         let count = read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("count"))? as usize;
+        if count > max_indices {
+            return Err(CodecError::Malformed("latent count exceeds cap"));
+        }
         let min = read_ivarint(bytes, &mut pos).ok_or(CodecError::Malformed("min"))?;
         let payload_len =
             read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("payload_len"))? as usize;
+        let end = pos
+            .checked_add(payload_len)
+            .ok_or(CodecError::Malformed("payload length overflow"))?;
         let payload = bytes
-            .get(pos..pos + payload_len)
+            .get(pos..end)
             .ok_or(CodecError::Malformed("payload"))?;
-        let symbols = decode_codes(payload)?;
+        let symbols = decode_codes_capped(payload, count)?;
         if symbols.len() != count {
             return Err(CodecError::Malformed("latent symbol count"));
         }
         Ok((
-            symbols.into_iter().map(|s| s as i64 + min).collect(),
+            symbols
+                .into_iter()
+                .map(|s| (s as i64).wrapping_add(min))
+                .collect(),
             latent_dim,
         ))
     }
@@ -134,6 +154,19 @@ mod tests {
         let codec = LatentCodec::new(0.01);
         let bytes = codec.encode(&[1, 2, 3, 4], 2);
         assert!(codec.decode(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn capped_decode_rejects_oversized_counts() {
+        let codec = LatentCodec::new(0.01);
+        let bytes = codec.encode(&[1, 2, 3, 4], 2);
+        assert!(codec.decode_capped(&bytes, 4).is_ok());
+        assert!(codec.decode_capped(&bytes, 3).is_err());
+        // A hostile count prefix alone must not drive an allocation.
+        let mut hostile = Vec::new();
+        write_uvarint(&mut hostile, 2); // latent_dim
+        write_uvarint(&mut hostile, u64::MAX); // count
+        assert!(codec.decode_capped(&hostile, 1 << 20).is_err());
     }
 
     #[test]

@@ -24,11 +24,13 @@
 
 pub mod compressor;
 pub mod config;
+pub mod error;
 pub mod latent;
 pub mod stream;
 pub mod training;
 
 pub use compressor::{AeSz, CompressionReport};
 pub use config::{AeSzConfig, PredictorPolicy};
+pub use error::DecompressError;
 pub use latent::LatentCodec;
 pub use training::{train_swae_for_field, training_blocks_from_field};

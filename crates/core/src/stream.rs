@@ -5,15 +5,54 @@
 //! latent vectors from autoencoders, and quantization bins (losslessly
 //! encoded)" — plus the block means of mean-predicted blocks and the escaped
 //! unpredictable values that SZ-style quantization always needs.
+//!
+//! # Validated header invariants
+//!
+//! [`Stream::from_bytes`] is the trust boundary of the decoder: it fully
+//! validates the header *before* any payload byte is interpreted, so
+//! truncated or hostile input yields a [`DecompressError`] instead of a
+//! panic or an attacker-sized allocation. A successfully parsed [`Stream`]
+//! guarantees:
+//!
+//! * the input starts with [`MAGIC`];
+//! * the rank is 1–3, and the total element count neither overflows `usize`
+//!   nor exceeds [`MAX_FIELD_ELEMS`];
+//! * `data_min`/`data_max` are finite with `data_min <= data_max`, and
+//!   `rel_eb` is finite and positive;
+//! * `block_size >= 1` with `block_size^rank` (the padded block volume) no
+//!   larger than [`MAX_FIELD_ELEMS`], and `latent_dim >= 1`; `quant_bins`
+//!   is in `4..=2³¹` and `latent_eb_fraction` is finite and non-negative
+//!   (the header is self-describing: decoding never depends on the
+//!   decoder's own configuration of these parameters);
+//! * the stored block count equals the block-grid size implied by the dims
+//!   and `block_size`, and the packed predictor flags for exactly that many
+//!   blocks are present, with no flag holding the invalid bit pattern
+//!   `0b11`;
+//! * a stream whose policy is `LorenzoOnly` contains no AE-predicted block;
+//! * every section length prefix fits inside the remaining input (a corrupt
+//!   varint cannot drive a huge `Vec` or a slice panic), and no trailing
+//!   bytes follow the last section.
+//!
+//! Payload-level consistency (symbol counts vs. block geometry, escape
+//! counts, latent payload size) is validated by
+//! [`crate::AeSz::try_decompress`] before reconstruction starts.
 
 use aesz_codec::varint::{read_f32, read_f64, read_uvarint, write_f32, write_f64, write_uvarint};
-use aesz_codec::CodecError;
 use aesz_tensor::Dims;
 
 use crate::config::PredictorPolicy;
+use crate::error::DecompressError;
 
-/// Magic bytes identifying an AE-SZ stream.
-pub const MAGIC: &[u8; 8] = b"AESZ0001";
+/// Magic bytes identifying an AE-SZ stream (version 2: the header became
+/// self-describing by carrying the quantizer bin count and the latent
+/// error-bound fraction, so decoding no longer depends on the decoder's own
+/// configuration matching the encoder's).
+pub const MAGIC: &[u8; 8] = b"AESZ0002";
+
+/// Upper bound on the element count a stream header may declare (2³¹ points,
+/// an 8 GiB `f32` field). Every decode-side allocation is proportional to a
+/// header-declared size, so this caps what hostile headers can request.
+pub const MAX_FIELD_ELEMS: usize = 1 << 31;
 
 /// Per-block predictor choice, two bits per block in the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,11 +66,15 @@ pub enum BlockPredictor {
 }
 
 impl BlockPredictor {
-    fn from_bits(bits: u8) -> BlockPredictor {
+    /// Decode a two-bit flag; the fourth bit pattern (`0b11`) is unassigned
+    /// and returns `None` so corrupted flags fail decoding instead of being
+    /// silently misread as a valid predictor.
+    pub fn try_from_bits(bits: u8) -> Option<BlockPredictor> {
         match bits & 0b11 {
-            0 => BlockPredictor::Ae,
-            1 => BlockPredictor::Lorenzo,
-            _ => BlockPredictor::Mean,
+            0 => Some(BlockPredictor::Ae),
+            1 => Some(BlockPredictor::Lorenzo),
+            2 => Some(BlockPredictor::Mean),
+            _ => None,
         }
     }
 }
@@ -51,6 +94,13 @@ pub struct Header {
     pub block_size: usize,
     /// Latent vector length of the model that produced the stream.
     pub latent_dim: usize,
+    /// Number of linear quantization bins the residual codes were written
+    /// with; the decoder must dequantize with the same bin count.
+    pub quant_bins: usize,
+    /// Fraction of the data error bound used for the latent quantizer
+    /// ([`crate::AeSzConfig::latent_eb_fraction`] at compression time); the
+    /// decoder must reconstruct latents at the same scale.
+    pub latent_eb_fraction: f64,
     /// Predictor policy used (Adaptive / AeOnly / LorenzoOnly).
     pub policy: PredictorPolicy,
 }
@@ -81,18 +131,30 @@ fn write_dims(out: &mut Vec<u8>, dims: Dims) {
     }
 }
 
-fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, CodecError> {
-    let rank = *buf.get(*pos).ok_or(CodecError::Malformed("rank"))? as usize;
+fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, DecompressError> {
+    let rank = *buf
+        .get(*pos)
+        .ok_or(DecompressError::Truncated("rank byte"))? as usize;
     *pos += 1;
+    if !(1..=3).contains(&rank) {
+        return Err(DecompressError::InvalidHeader("rank must be 1-3"));
+    }
     let mut e = Vec::with_capacity(rank);
     for _ in 0..rank {
-        e.push(read_uvarint(buf, pos).ok_or(CodecError::Malformed("extent"))? as usize);
+        let ext = read_uvarint(buf, pos).ok_or(DecompressError::Truncated("extent"))?;
+        if ext > MAX_FIELD_ELEMS as u64 {
+            return Err(DecompressError::InvalidHeader("extent too large"));
+        }
+        e.push(ext as usize);
     }
+    e.iter()
+        .try_fold(1usize, |acc, &ext| acc.checked_mul(ext))
+        .filter(|&n| n <= MAX_FIELD_ELEMS)
+        .ok_or(DecompressError::InvalidHeader("field too large"))?;
     match rank {
         1 => Ok(Dims::d1(e[0])),
         2 => Ok(Dims::d2(e[0], e[1])),
-        3 => Ok(Dims::d3(e[0], e[1], e[2])),
-        _ => Err(CodecError::Malformed("rank must be 1-3")),
+        _ => Ok(Dims::d3(e[0], e[1], e[2])),
     }
 }
 
@@ -101,13 +163,22 @@ fn write_section(out: &mut Vec<u8>, section: &[u8]) {
     out.extend_from_slice(section);
 }
 
-fn read_section(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
-    let len = read_uvarint(buf, pos).ok_or(CodecError::Malformed("section length"))? as usize;
-    let bytes = buf
-        .get(*pos..*pos + len)
-        .ok_or(CodecError::Malformed("section payload"))?;
+fn read_section(
+    buf: &[u8],
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<Vec<u8>, DecompressError> {
+    let len = read_uvarint(buf, pos).ok_or(DecompressError::Truncated(what))?;
+    // Reject length prefixes that exceed the remaining input outright; the
+    // declared length is never trusted into an allocation or slice index.
+    let remaining = buf.len() - *pos;
+    if len > remaining as u64 {
+        return Err(DecompressError::Truncated(what));
+    }
+    let len = len as usize;
+    let bytes = buf[*pos..*pos + len].to_vec();
     *pos += len;
-    Ok(bytes.to_vec())
+    Ok(bytes)
 }
 
 impl Stream {
@@ -121,6 +192,8 @@ impl Stream {
         write_f64(&mut out, self.header.rel_eb);
         write_uvarint(&mut out, self.header.block_size as u64);
         write_uvarint(&mut out, self.header.latent_dim as u64);
+        write_uvarint(&mut out, self.header.quant_bins as u64);
+        write_f64(&mut out, self.header.latent_eb_fraction);
         out.push(match self.header.policy {
             PredictorPolicy::Adaptive => 0,
             PredictorPolicy::AeOnly => 1,
@@ -140,41 +213,104 @@ impl Stream {
         out
     }
 
-    /// Parse a stream from bytes produced by [`Stream::to_bytes`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Stream, CodecError> {
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-            return Err(CodecError::Malformed("magic"));
+    /// Parse and validate a stream from bytes produced by
+    /// [`Stream::to_bytes`]. See the module docs for the invariants a
+    /// returned `Stream` satisfies.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Stream, DecompressError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(DecompressError::Truncated("magic"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(DecompressError::BadMagic);
         }
         let mut pos = MAGIC.len();
         let dims = read_dims(bytes, &mut pos)?;
-        let data_min = read_f32(bytes, &mut pos).ok_or(CodecError::Malformed("data_min"))?;
-        let data_max = read_f32(bytes, &mut pos).ok_or(CodecError::Malformed("data_max"))?;
-        let rel_eb = read_f64(bytes, &mut pos).ok_or(CodecError::Malformed("rel_eb"))?;
+        let data_min = read_f32(bytes, &mut pos).ok_or(DecompressError::Truncated("data_min"))?;
+        let data_max = read_f32(bytes, &mut pos).ok_or(DecompressError::Truncated("data_max"))?;
+        if !data_min.is_finite() || !data_max.is_finite() || data_min > data_max {
+            return Err(DecompressError::InvalidHeader("data range"));
+        }
+        let rel_eb = read_f64(bytes, &mut pos).ok_or(DecompressError::Truncated("rel_eb"))?;
+        if !rel_eb.is_finite() || rel_eb <= 0.0 {
+            return Err(DecompressError::InvalidHeader("rel_eb"));
+        }
         let block_size =
-            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("block_size"))? as usize;
+            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("block_size"))? as usize;
+        if block_size == 0 || block_size > MAX_FIELD_ELEMS {
+            return Err(DecompressError::InvalidHeader("block_size"));
+        }
+        // Reconstruction allocates padded block_size^rank buffers; cap that
+        // volume like the field itself so a tiny hostile stream (e.g. a 1×1
+        // field claiming a 2³⁰ block edge) cannot abort on allocation.
+        if (block_size as u64)
+            .checked_pow(dims.rank() as u32)
+            .is_none_or(|v| v > MAX_FIELD_ELEMS as u64)
+        {
+            return Err(DecompressError::InvalidHeader("block volume"));
+        }
         let latent_dim =
-            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("latent_dim"))? as usize;
-        let policy = match bytes.get(pos).ok_or(CodecError::Malformed("policy"))? {
+            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("latent_dim"))? as usize;
+        if latent_dim == 0 || latent_dim > MAX_FIELD_ELEMS {
+            return Err(DecompressError::InvalidHeader("latent_dim"));
+        }
+        let quant_bins =
+            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("quant_bins"))?;
+        // The quantizer requires at least 4 bins; the cap keeps the value
+        // within usize on every target (codes are u32 anyway).
+        if !(4..=1 << 31).contains(&quant_bins) {
+            return Err(DecompressError::InvalidHeader("quant_bins"));
+        }
+        let quant_bins = quant_bins as usize;
+        let latent_eb_fraction =
+            read_f64(bytes, &mut pos).ok_or(DecompressError::Truncated("latent_eb_fraction"))?;
+        if !latent_eb_fraction.is_finite() || latent_eb_fraction < 0.0 {
+            return Err(DecompressError::InvalidHeader("latent_eb_fraction"));
+        }
+        let policy = match bytes.get(pos).ok_or(DecompressError::Truncated("policy"))? {
             0 => PredictorPolicy::Adaptive,
             1 => PredictorPolicy::AeOnly,
             2 => PredictorPolicy::LorenzoOnly,
-            _ => return Err(CodecError::Malformed("policy value")),
+            _ => return Err(DecompressError::InvalidHeader("policy value")),
         };
         pos += 1;
         let n_blocks =
-            read_uvarint(bytes, &mut pos).ok_or(CodecError::Malformed("n_blocks"))? as usize;
+            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("n_blocks"))? as usize;
+        // The block count is implied by the dims and block size; a stream
+        // claiming anything else is corrupt, and rejecting it here bounds
+        // the predictor-flag allocation by the (already capped) field size.
+        let expected_blocks: usize = dims
+            .block_grid(block_size)
+            .iter()
+            .try_fold(1usize, |acc, &g| acc.checked_mul(g))
+            .ok_or(DecompressError::InvalidHeader("block grid overflow"))?;
+        if n_blocks != expected_blocks {
+            return Err(DecompressError::Inconsistent(
+                "block count does not match dims / block_size",
+            ));
+        }
         let packed_len = n_blocks.div_ceil(4);
         let packed = bytes
             .get(pos..pos + packed_len)
-            .ok_or(CodecError::Malformed("predictor flags"))?;
+            .ok_or(DecompressError::Truncated("predictor flags"))?;
         pos += packed_len;
-        let predictors = (0..n_blocks)
-            .map(|i| BlockPredictor::from_bits(packed[i / 4] >> ((i % 4) * 2)))
-            .collect();
-        let latent_section = read_section(bytes, &mut pos)?;
-        let means_section = read_section(bytes, &mut pos)?;
-        let codes_section = read_section(bytes, &mut pos)?;
-        let unpredictable_section = read_section(bytes, &mut pos)?;
+        let mut predictors = Vec::with_capacity(n_blocks);
+        for i in 0..n_blocks {
+            let p = BlockPredictor::try_from_bits(packed[i / 4] >> ((i % 4) * 2))
+                .ok_or(DecompressError::InvalidHeader("predictor flag 0b11"))?;
+            if p == BlockPredictor::Ae && policy == PredictorPolicy::LorenzoOnly {
+                return Err(DecompressError::Inconsistent(
+                    "AE-predicted block in a LorenzoOnly stream",
+                ));
+            }
+            predictors.push(p);
+        }
+        let latent_section = read_section(bytes, &mut pos, "latent section")?;
+        let means_section = read_section(bytes, &mut pos, "means section")?;
+        let codes_section = read_section(bytes, &mut pos, "codes section")?;
+        let unpredictable_section = read_section(bytes, &mut pos, "unpredictable section")?;
+        if pos != bytes.len() {
+            return Err(DecompressError::Inconsistent("trailing bytes"));
+        }
         Ok(Stream {
             header: Header {
                 dims,
@@ -183,6 +319,8 @@ impl Stream {
                 rel_eb,
                 block_size,
                 latent_dim,
+                quant_bins,
+                latent_eb_fraction,
                 policy,
             },
             predictors,
@@ -207,15 +345,18 @@ mod tests {
                 rel_eb: 1e-3,
                 block_size: 32,
                 latent_dim: 16,
+                quant_bins: 65_536,
+                latent_eb_fraction: 0.1,
                 policy: PredictorPolicy::Adaptive,
             },
-            predictors: vec![
-                BlockPredictor::Ae,
-                BlockPredictor::Lorenzo,
-                BlockPredictor::Mean,
-                BlockPredictor::Ae,
-                BlockPredictor::Lorenzo,
-            ],
+            // 100×200 with 32-blocks → 4×7 grid = 28 blocks.
+            predictors: (0..28)
+                .map(|i| match i % 3 {
+                    0 => BlockPredictor::Ae,
+                    1 => BlockPredictor::Lorenzo,
+                    _ => BlockPredictor::Mean,
+                })
+                .collect(),
             latent_section: vec![1, 2, 3],
             means_section: vec![4, 5],
             codes_section: vec![6, 7, 8, 9],
@@ -249,7 +390,18 @@ mod tests {
         let mut bytes = s.to_bytes();
         assert!(Stream::from_bytes(&bytes[..10]).is_err());
         bytes[0] = b'X';
-        assert!(Stream::from_bytes(&bytes).is_err());
+        assert_eq!(Stream::from_bytes(&bytes), Err(DecompressError::BadMagic));
+    }
+
+    #[test]
+    fn every_truncated_prefix_is_rejected() {
+        let bytes = sample_stream().to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                Stream::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes parsed as a complete stream"
+            );
+        }
     }
 
     #[test]
@@ -261,6 +413,14 @@ mod tests {
         ] {
             let mut s = sample_stream();
             s.header.policy = policy;
+            if policy == PredictorPolicy::LorenzoOnly {
+                // LorenzoOnly streams must not contain AE blocks.
+                for p in s.predictors.iter_mut() {
+                    if *p == BlockPredictor::Ae {
+                        *p = BlockPredictor::Lorenzo;
+                    }
+                }
+            }
             let parsed = Stream::from_bytes(&s.to_bytes()).unwrap();
             assert_eq!(parsed.header.policy, policy);
         }
@@ -268,15 +428,191 @@ mod tests {
 
     #[test]
     fn predictor_flags_pack_two_bits_each() {
-        let mut s = sample_stream();
-        s.predictors = (0..17)
-            .map(|i| match i % 3 {
-                0 => BlockPredictor::Ae,
-                1 => BlockPredictor::Lorenzo,
-                _ => BlockPredictor::Mean,
-            })
-            .collect();
+        let s = sample_stream();
         let parsed = Stream::from_bytes(&s.to_bytes()).unwrap();
         assert_eq!(parsed.predictors, s.predictors);
+    }
+
+    #[test]
+    fn invalid_flag_pattern_is_an_error() {
+        assert_eq!(
+            BlockPredictor::try_from_bits(0b00),
+            Some(BlockPredictor::Ae)
+        );
+        assert_eq!(
+            BlockPredictor::try_from_bits(0b01),
+            Some(BlockPredictor::Lorenzo)
+        );
+        assert_eq!(
+            BlockPredictor::try_from_bits(0b10),
+            Some(BlockPredictor::Mean)
+        );
+        assert_eq!(BlockPredictor::try_from_bits(0b11), None);
+
+        // Force the first block's flag to 0b11 in a serialized stream.
+        let s = sample_stream();
+        let mut bytes = s.to_bytes();
+        let flags_at = bytes.len()
+            - s.unpredictable_section.len()
+            - 1
+            - s.codes_section.len()
+            - 1
+            - s.means_section.len()
+            - 1
+            - s.latent_section.len()
+            - 1
+            - s.predictors.len().div_ceil(4);
+        bytes[flags_at] |= 0b11;
+        assert_eq!(
+            Stream::from_bytes(&bytes),
+            Err(DecompressError::InvalidHeader("predictor flag 0b11"))
+        );
+    }
+
+    #[test]
+    fn invalid_header_fields_are_rejected() {
+        let base = sample_stream();
+
+        let mut s = base.clone();
+        s.header.block_size = 0;
+        assert!(matches!(
+            Stream::from_bytes(&s.to_bytes()),
+            Err(DecompressError::InvalidHeader("block_size"))
+        ));
+
+        let mut s = base.clone();
+        s.header.latent_dim = 0;
+        assert!(matches!(
+            Stream::from_bytes(&s.to_bytes()),
+            Err(DecompressError::InvalidHeader("latent_dim"))
+        ));
+
+        let mut s = base.clone();
+        s.header.quant_bins = 3;
+        assert!(matches!(
+            Stream::from_bytes(&s.to_bytes()),
+            Err(DecompressError::InvalidHeader("quant_bins"))
+        ));
+
+        let mut s = base.clone();
+        s.header.latent_eb_fraction = f64::NAN;
+        assert!(matches!(
+            Stream::from_bytes(&s.to_bytes()),
+            Err(DecompressError::InvalidHeader("latent_eb_fraction"))
+        ));
+        s.header.latent_eb_fraction = -0.1;
+        assert!(Stream::from_bytes(&s.to_bytes()).is_err());
+
+        let mut s = base.clone();
+        s.header.rel_eb = f64::NAN;
+        assert!(Stream::from_bytes(&s.to_bytes()).is_err());
+        s.header.rel_eb = -1.0;
+        assert!(Stream::from_bytes(&s.to_bytes()).is_err());
+
+        let mut s = base.clone();
+        s.header.data_min = f32::INFINITY;
+        assert!(Stream::from_bytes(&s.to_bytes()).is_err());
+        s.header.data_min = 5.0;
+        s.header.data_max = -5.0;
+        assert!(Stream::from_bytes(&s.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_block_volume_is_rejected() {
+        // A 1×1 field with a 2³⁰ block edge has a block grid of exactly one
+        // block, so it passes the count check — but reconstructing it would
+        // allocate a (2³⁰)² padded buffer. The volume cap must reject it.
+        let s = Stream {
+            header: Header {
+                dims: Dims::d2(1, 1),
+                data_min: 0.0,
+                data_max: 1.0,
+                rel_eb: 1e-3,
+                block_size: 1 << 30,
+                latent_dim: 1,
+                quant_bins: 65_536,
+                latent_eb_fraction: 0.1,
+                policy: PredictorPolicy::Adaptive,
+            },
+            predictors: vec![BlockPredictor::Lorenzo],
+            latent_section: vec![],
+            means_section: vec![],
+            codes_section: vec![],
+            unpredictable_section: vec![],
+        };
+        assert_eq!(
+            Stream::from_bytes(&s.to_bytes()),
+            Err(DecompressError::InvalidHeader("block volume"))
+        );
+    }
+
+    #[test]
+    fn block_count_must_match_the_grid() {
+        let mut s = sample_stream();
+        s.predictors.pop();
+        assert!(matches!(
+            Stream::from_bytes(&s.to_bytes()),
+            Err(DecompressError::Inconsistent(_))
+        ));
+        let mut s = sample_stream();
+        s.predictors.push(BlockPredictor::Lorenzo);
+        assert!(Stream::from_bytes(&s.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn lorenzo_only_streams_may_not_contain_ae_blocks() {
+        let mut s = sample_stream();
+        s.header.policy = PredictorPolicy::LorenzoOnly;
+        assert_eq!(
+            Stream::from_bytes(&s.to_bytes()),
+            Err(DecompressError::Inconsistent(
+                "AE-predicted block in a LorenzoOnly stream"
+            ))
+        );
+    }
+
+    #[test]
+    fn oversized_dims_and_section_lengths_are_rejected() {
+        // Dims whose product overflows / exceeds the cap.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(MAGIC);
+        hostile.push(3);
+        for _ in 0..3 {
+            aesz_codec::varint::write_uvarint(&mut hostile, (MAX_FIELD_ELEMS as u64) - 1);
+        }
+        hostile.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            Stream::from_bytes(&hostile),
+            Err(DecompressError::InvalidHeader("field too large"))
+        ));
+
+        // A section length prefix far beyond the remaining input.
+        let s = sample_stream();
+        let good = s.to_bytes();
+        let latent_len_at = good.len()
+            - s.unpredictable_section.len()
+            - 1
+            - s.codes_section.len()
+            - 1
+            - s.means_section.len()
+            - 1
+            - s.latent_section.len()
+            - 1;
+        let mut bytes = good[..latent_len_at].to_vec();
+        aesz_codec::varint::write_uvarint(&mut bytes, u64::MAX / 2);
+        assert!(matches!(
+            Stream::from_bytes(&bytes),
+            Err(DecompressError::Truncated("latent section"))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample_stream().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Stream::from_bytes(&bytes),
+            Err(DecompressError::Inconsistent("trailing bytes"))
+        );
     }
 }

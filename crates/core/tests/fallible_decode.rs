@@ -1,0 +1,109 @@
+//! Adversarial decode tests: every truncated prefix of a valid stream must
+//! return an error, and every single-byte corruption must be handled
+//! gracefully (an `Err` or a successful decode — never a panic, never an
+//! attacker-sized allocation).
+
+use aesz_core::training::{train_swae_for_field, TrainingOptions};
+use aesz_core::{AeSz, AeSzConfig, DecompressError, PredictorPolicy};
+use aesz_datagen::Application;
+use aesz_tensor::{Dims, Field};
+
+/// A cheaply trained compressor whose streams contain all three block kinds.
+fn tiny_aesz() -> AeSz {
+    let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 7);
+    let opts = TrainingOptions {
+        block_size: 8,
+        latent_dim: 4,
+        channels: vec![4],
+        epochs: 1,
+        max_blocks: 9,
+        seed: 3,
+        ..TrainingOptions::default_for_rank(2)
+    };
+    let model = train_swae_for_field(std::slice::from_ref(&field), &opts);
+    AeSz::new(
+        model,
+        AeSzConfig {
+            block_size: 8,
+            ..AeSzConfig::default_2d()
+        },
+    )
+}
+
+fn sample_stream(aesz: &mut AeSz) -> Vec<u8> {
+    let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 11);
+    aesz.compress_with_report(&field, 1e-3).0
+}
+
+#[test]
+fn every_truncated_prefix_returns_an_error() {
+    let mut aesz = tiny_aesz();
+    let bytes = sample_stream(&mut aesz);
+    // Sanity: the full stream decodes.
+    aesz.try_decompress(&bytes).expect("valid stream");
+    for len in 0..bytes.len() {
+        let result = aesz.try_decompress(&bytes[..len]);
+        assert!(
+            result.is_err(),
+            "prefix of {len}/{} bytes decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    let mut aesz = tiny_aesz();
+    let bytes = sample_stream(&mut aesz);
+    for offset in 0..bytes.len() {
+        // Flip a (varying) single bit at this offset.
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 1 << (offset % 8);
+        let _ = aesz.try_decompress(&corrupt);
+        // And the all-bits-flipped byte, which exercises different varint /
+        // flag / tag paths.
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 0xFF;
+        let _ = aesz.try_decompress(&corrupt);
+    }
+}
+
+#[test]
+fn garbage_and_resized_inputs_are_rejected() {
+    let mut aesz = tiny_aesz();
+    assert!(aesz.try_decompress(&[]).is_err());
+    assert!(aesz.try_decompress(b"definitely not a stream").is_err());
+    assert!(matches!(
+        aesz.try_decompress(&[0xFF; 256]),
+        Err(DecompressError::BadMagic)
+    ));
+    // A valid stream with appended garbage must be rejected, not ignored.
+    let mut bytes = sample_stream(&mut aesz);
+    bytes.extend_from_slice(&[0, 1, 2]);
+    assert!(aesz.try_decompress(&bytes).is_err());
+}
+
+#[test]
+fn policy_flag_consistency_is_enforced() {
+    let mut aesz = tiny_aesz();
+    let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 13);
+    aesz.set_policy(PredictorPolicy::LorenzoOnly);
+    let (bytes, report) = aesz.compress_with_report(&field, 1e-3);
+    assert_eq!(report.ae_blocks, 0);
+    // LorenzoOnly streams decode fine…
+    aesz.try_decompress(&bytes).expect("valid stream");
+    // …and a compressor built for a different model geometry can decode them
+    // too, because no latent payload is involved.
+    let recon = aesz.try_decompress_serial(&bytes).expect("valid stream");
+    assert_eq!(recon.dims(), field.dims());
+}
+
+#[test]
+fn trait_level_try_decompress_reports_errors() {
+    use aesz_metrics::Compressor;
+    let mut aesz = tiny_aesz();
+    let field = Field::from_fn(Dims::d2(16, 16), |c| (c[0] * 16 + c[1]) as f32);
+    let bytes = Compressor::compress(&mut aesz, &field, 1e-3);
+    assert!(Compressor::try_decompress(&mut aesz, &bytes).is_ok());
+    assert!(Compressor::try_decompress(&mut aesz, &bytes[..bytes.len() / 2]).is_err());
+}

@@ -1,0 +1,163 @@
+//! Property tests of the parallel AE-SZ pipeline: round-trips over rank
+//! 1/2/3 fields whose dims are *not* multiples of the block size (exercising
+//! the `padded_to_valid` / `valid_to_padded` edge paths) at several error
+//! bounds, asserting the error bound and serial-vs-parallel stream equality.
+
+use std::sync::{Mutex, OnceLock};
+
+use aesz_core::training::{train_swae_for_field, TrainingOptions};
+use aesz_core::{AeSz, AeSzConfig};
+use aesz_datagen::Application;
+use aesz_metrics::verify_error_bound;
+use aesz_tensor::{Dims, Field};
+use proptest::prelude::*;
+
+fn aesz_2d() -> &'static Mutex<AeSz> {
+    static MODEL: OnceLock<Mutex<AeSz>> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 1);
+        let opts = TrainingOptions {
+            block_size: 8,
+            latent_dim: 4,
+            channels: vec![4],
+            epochs: 1,
+            max_blocks: 16,
+            seed: 9,
+            ..TrainingOptions::default_for_rank(2)
+        };
+        let model = train_swae_for_field(std::slice::from_ref(&field), &opts);
+        Mutex::new(AeSz::new(
+            model,
+            AeSzConfig {
+                block_size: 8,
+                ..AeSzConfig::default_2d()
+            },
+        ))
+    })
+}
+
+fn aesz_3d() -> &'static Mutex<AeSz> {
+    static MODEL: OnceLock<Mutex<AeSz>> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let field = Application::NyxBaryonDensity.generate(Dims::d3(16, 16, 16), 1);
+        let opts = TrainingOptions {
+            block_size: 8,
+            latent_dim: 8,
+            channels: vec![4],
+            epochs: 1,
+            max_blocks: 16,
+            seed: 9,
+            ..TrainingOptions::default_for_rank(3)
+        };
+        let model = train_swae_for_field(std::slice::from_ref(&field), &opts);
+        Mutex::new(AeSz::new(
+            model,
+            AeSzConfig {
+                block_size: 8,
+                ..AeSzConfig::default_3d()
+            },
+        ))
+    })
+}
+
+/// Compress serially and in parallel, assert stream equality, decode through
+/// both paths, assert field equality and the error bound.
+fn check_roundtrip(aesz: &mut AeSz, field: &Field, rel_eb: f64) -> Result<(), String> {
+    let (par_bytes, par_report) = aesz.compress_with_report(field, rel_eb);
+    let (ser_bytes, ser_report) = aesz.compress_with_report_serial(field, rel_eb);
+    if par_bytes != ser_bytes {
+        return Err(format!(
+            "parallel ({} B) and serial ({} B) streams differ for dims {}",
+            par_bytes.len(),
+            ser_bytes.len(),
+            field.dims()
+        ));
+    }
+    if par_report != ser_report {
+        return Err("parallel and serial reports differ".into());
+    }
+    let par_recon = aesz
+        .try_decompress(&par_bytes)
+        .map_err(|e| format!("parallel decode failed: {e}"))?;
+    let ser_recon = aesz
+        .try_decompress_serial(&par_bytes)
+        .map_err(|e| format!("serial decode failed: {e}"))?;
+    if par_recon.as_slice() != ser_recon.as_slice() {
+        return Err("parallel and serial reconstructions differ".into());
+    }
+    let abs = rel_eb * field.value_range() as f64;
+    if abs > 0.0 {
+        verify_error_bound(field.as_slice(), par_recon.as_slice(), abs, abs * 1e-3)
+            .map_err(|e| format!("error bound violated: {e}"))?;
+    } else if par_recon.as_slice() != field.as_slice() {
+        return Err("constant field did not reconstruct exactly".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn prop_roundtrip_rank1(
+        n in 3usize..150,
+        eb_exp in -4i32..0,
+        seed in 0u64..1_000,
+    ) {
+        let rel_eb = 10f64.powi(eb_exp);
+        let field = Field::from_fn(Dims::d1(n), |c| {
+            let x = c[0] as f32 + seed as f32 * 0.13;
+            (x * 0.21).sin() + 0.3 * (x * 0.047).cos()
+        });
+        let mut aesz = aesz_2d().lock().unwrap();
+        if let Err(msg) = check_roundtrip(&mut aesz, &field, rel_eb) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn prop_roundtrip_rank2(
+        ny in 9usize..44,
+        nx in 9usize..44,
+        eb_exp in -4i32..0,
+        seed in 0u64..1_000,
+    ) {
+        let rel_eb = 10f64.powi(eb_exp);
+        let field = Application::CesmCldhgh.generate(Dims::d2(ny, nx), seed);
+        let mut aesz = aesz_2d().lock().unwrap();
+        if let Err(msg) = check_roundtrip(&mut aesz, &field, rel_eb) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn prop_roundtrip_rank3(
+        nz in 9usize..20,
+        ny in 9usize..20,
+        nx in 9usize..20,
+        eb_exp in -4i32..0,
+        seed in 0u64..1_000,
+    ) {
+        let rel_eb = 10f64.powi(eb_exp);
+        let field = Application::NyxBaryonDensity.generate(Dims::d3(nz, ny, nx), seed);
+        let mut aesz = aesz_3d().lock().unwrap();
+        if let Err(msg) = check_roundtrip(&mut aesz, &field, rel_eb) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+#[test]
+fn constant_fields_roundtrip_exactly_across_ranks() {
+    let mut aesz2 = aesz_2d().lock().unwrap();
+    for (dims, value) in [
+        (Dims::d1(37), 1.25f32),
+        (Dims::d2(19, 23), -7.75),
+        (Dims::d2(8, 8), 0.0),
+    ] {
+        let field = Field::from_vec(dims, vec![value; dims.len()]).unwrap();
+        check_roundtrip(&mut aesz2, &field, 1e-3).unwrap();
+    }
+    let mut aesz3 = aesz_3d().lock().unwrap();
+    let dims = Dims::d3(9, 10, 11);
+    let field = Field::from_vec(dims, vec![42.5; dims.len()]).unwrap();
+    check_roundtrip(&mut aesz3, &field, 1e-3).unwrap();
+}

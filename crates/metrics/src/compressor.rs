@@ -18,6 +18,18 @@ pub trait Compressor {
     /// Reconstruct a field from bytes produced by [`Compressor::compress`].
     fn decompress(&mut self, bytes: &[u8]) -> Field;
 
+    /// Fallible reconstruction for untrusted input.
+    ///
+    /// Compressors with a hardened decode path (AE-SZ) override this to
+    /// report malformed streams as errors; the default delegates to
+    /// [`Compressor::decompress`] and therefore inherits its panics.
+    fn try_decompress(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<Field, Box<dyn std::error::Error + Send + Sync>> {
+        Ok(self.decompress(bytes))
+    }
+
     /// Whether the compressor guarantees `|dᵢ − d'ᵢ| ≤ rel_eb·range` pointwise.
     /// (AE-B in the paper is the one comparison compressor that does not.)
     fn is_error_bounded(&self) -> bool {
@@ -110,5 +122,14 @@ mod tests {
         assert_eq!(p.max_abs_error, 0.0);
         assert!(p.compression_ratio < 1.01);
         assert!(p.bit_rate > 31.9);
+    }
+
+    #[test]
+    fn default_try_decompress_delegates_to_decompress() {
+        let field = Field::from_fn(Dims::d1(8), |c| c[0] as f32);
+        let mut ident = Identity;
+        let bytes = ident.compress(&field, 1e-3);
+        let recon = ident.try_decompress(&bytes).expect("identity roundtrip");
+        assert_eq!(recon.as_slice(), field.as_slice());
     }
 }

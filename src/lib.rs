@@ -11,3 +11,10 @@ pub use aesz_metrics as metrics;
 pub use aesz_nn as nn;
 pub use aesz_predictors as predictors;
 pub use aesz_tensor as tensor;
+
+// The handful of types almost every consumer needs, at the crate root: the
+// compressor, its configuration, the fallible-decode error, and the trait
+// the benchmark harness drives everything through.
+pub use aesz_core::{AeSz, AeSzConfig, CompressionReport, DecompressError, PredictorPolicy};
+pub use aesz_metrics::Compressor;
+pub use aesz_tensor::{Dims, Field};
