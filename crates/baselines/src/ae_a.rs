@@ -1,6 +1,6 @@
 //! AE-A baseline: the fully-connected autoencoder compressor of Liu et al.
 //! ("High-ratio lossy compression: exploring the autoencoder to compress
-//! scientific data", reference [43] of the paper).
+//! scientific data", reference \[43\] of the paper).
 //!
 //! AE-A treats the field as a 1D stream, cuts it into fixed-length windows,
 //! and pushes each window through a small stack of fully-connected layers
@@ -12,9 +12,9 @@
 //! AE-SZ — no spatial awareness, slow dense layers, heavy residual volume —
 //! are exactly what the paper's comparison shows.
 
-use aesz_codec::varint::{read_uvarint, write_uvarint};
-use aesz_codec::{compress_bytes, decompress_bytes};
-use aesz_metrics::Compressor;
+use aesz_codec::varint::{read_f32, write_f32, write_uvarint};
+use aesz_codec::{compress_bytes, decompress_bytes_capped};
+use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
 use aesz_nn::activation::Tanh;
 use aesz_nn::dense::Dense;
 use aesz_nn::layer::Layer;
@@ -24,7 +24,7 @@ use aesz_nn::sequential::Sequential;
 use aesz_predictors::{Quantizer, DEFAULT_QUANT_BINS};
 use aesz_tensor::{init, Field, Tensor};
 
-use crate::common::{absolute_bound, assemble, parse, BaseHeader};
+use crate::common::{assemble, parse, read_len, resolve_bound, take, BaseHeader};
 
 /// Window length of the 1D fully-connected autoencoder.
 pub const WINDOW: usize = 512;
@@ -143,14 +143,21 @@ impl AeA {
 }
 
 impl Compressor for AeA {
-    fn name(&self) -> &'static str {
-        "AE-A"
+    fn codec_id(&self) -> CodecId {
+        CodecId::AeA
     }
 
-    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
-        assert!(self.trained, "AeA::train must be called before compressing");
-        let (lo, hi) = field.min_max();
-        let abs_eb = absolute_bound(rel_eb, lo, hi);
+    fn compress_payload(
+        &mut self,
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        if !self.trained {
+            return Err(CompressError::Untrained(
+                "AeA::train must be called before compressing",
+            ));
+        }
+        let (abs_eb, lo, hi) = resolve_bound(field, bound)?;
         let (norm, _, _) = field.normalize_pm1();
         // Latents are stored; predictions come from decoding the *stored*
         // latents so the decompressor reproduces them exactly.
@@ -161,8 +168,8 @@ impl Compressor for AeA {
         let (blk, _) = quantizer.quantize_buffer(field.as_slice(), &preds);
 
         let mut extra = Vec::new();
-        extra.extend_from_slice(&lo.to_le_bytes());
-        extra.extend_from_slice(&hi.to_le_bytes());
+        write_f32(&mut extra, lo);
+        write_f32(&mut extra, hi);
         let latent_bytes: Vec<u8> = latents.iter().flat_map(|v| v.to_le_bytes()).collect();
         let latent_payload = compress_bytes(&latent_bytes);
         write_uvarint(&mut extra, latent_payload.len() as u64);
@@ -178,27 +185,43 @@ impl Compressor for AeA {
         )
     }
 
-    fn decompress(&mut self, bytes: &[u8]) -> Field {
-        assert!(
-            self.trained,
-            "AeA::train must be called before decompressing"
-        );
-        let (header, blk, extra) = parse(bytes);
-        let lo = f32::from_le_bytes([extra[0], extra[1], extra[2], extra[3]]);
-        let hi = f32::from_le_bytes([extra[4], extra[5], extra[6], extra[7]]);
-        let mut pos = 8usize;
-        let latent_len = read_uvarint(&extra, &mut pos).expect("latent length") as usize;
-        let latent_bytes = decompress_bytes(&extra[pos..pos + latent_len]).expect("latents");
+    fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        if !self.trained {
+            return Err(DecompressError::Unsupported(
+                "AeA::train must be called before decompressing",
+            ));
+        }
+        let (header, blk, extra) = parse(bytes, |h| h.dims.len())?;
+        let mut pos = 0usize;
+        let lo = read_f32(&extra, &mut pos).ok_or(DecompressError::Truncated("data range"))?;
+        let hi = read_f32(&extra, &mut pos).ok_or(DecompressError::Truncated("data range"))?;
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(DecompressError::InvalidHeader("data range"));
+        }
+        let latent_len = read_len(&extra, &mut pos, "latent length")?;
+        let latent_section = take(&extra, &mut pos, latent_len, "latent section")?;
+        if pos != extra.len() {
+            return Err(DecompressError::Inconsistent("trailing extra bytes"));
+        }
+        let n = header.dims.len();
+        // One LATENT-sized vector per 512-value window, exactly.
+        let expected_latent_bytes = n.div_ceil(WINDOW) * LATENT * 4;
+        let latent_bytes = decompress_bytes_capped(latent_section, expected_latent_bytes)?;
+        if latent_bytes.len() != expected_latent_bytes {
+            return Err(DecompressError::Inconsistent(
+                "latent count does not match window count",
+            ));
+        }
         let latents: Vec<f32> = latent_bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        let n = header.dims.len();
         let pred_norm = self.decode_latents(&latents, n);
         let preds = Self::denormalise(&pred_norm, lo, hi);
         let quantizer = Quantizer::new(header.abs_eb, DEFAULT_QUANT_BINS);
         let data = quantizer.dequantize_buffer(&blk, &preds);
-        Field::from_vec(header.dims, data).expect("dims match payload")
+        Field::from_vec(header.dims, data)
+            .map_err(|_| DecompressError::Inconsistent("payload does not match dims"))
     }
 
     fn is_error_bounded(&self) -> bool {
@@ -245,8 +268,8 @@ mod tests {
         let mut ae = AeA::new(3);
         ae.train(std::slice::from_ref(&field), 2, 4);
         for rel_eb in [1e-2, 1e-3] {
-            let bytes = ae.compress(&field, rel_eb);
-            let recon = ae.decompress(&bytes);
+            let bytes = ae.compress(&field, ErrorBound::rel(rel_eb)).unwrap();
+            let recon = ae.decompress(&bytes).unwrap();
             let abs = rel_eb * field.value_range() as f64;
             verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
         }
@@ -259,15 +282,32 @@ mod tests {
         let field = Application::CesmFreqsh.generate(Dims::d2(64, 64), 1);
         let mut ae = AeA::new(6);
         ae.train(std::slice::from_ref(&field), 2, 7);
-        let bytes = ae.compress(&field, 1e-2);
+        let bytes = ae.compress(&field, ErrorBound::rel(1e-2)).unwrap();
         assert!(bytes.len() < field.len() * 4);
     }
 
     #[test]
-    #[should_panic(expected = "train must be called")]
     fn untrained_model_refuses_to_compress() {
         let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 0);
         let mut ae = AeA::new(5);
-        let _ = ae.compress(&field, 1e-2);
+        assert!(matches!(
+            ae.compress(&field, ErrorBound::rel(1e-2)),
+            Err(CompressError::Untrained(_))
+        ));
+        assert!(matches!(
+            ae.decompress(b"not a stream"),
+            Err(DecompressError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected_not_panicking() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 9);
+        let mut ae = AeA::new(7);
+        ae.train(std::slice::from_ref(&field), 1, 8);
+        let bytes = ae.compress(&field, ErrorBound::rel(1e-2)).unwrap();
+        for len in 0..bytes.len() {
+            assert!(ae.decompress(&bytes[..len]).is_err());
+        }
     }
 }

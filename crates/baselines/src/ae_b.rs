@@ -1,6 +1,6 @@
 //! AE-B baseline: the convolutional autoencoder of Glaws et al. ("Deep
 //! learning for in situ data compression of large turbulent flow
-//! simulations", reference [40] of the paper).
+//! simulations", reference \[40\] of the paper).
 //!
 //! AE-B compresses 3D blocks through a convolutional autoencoder at a *fixed*
 //! 64:1 ratio and is **not error bounded** — both properties are called out in
@@ -8,14 +8,14 @@
 //! range). The compressed stream is simply the latent vectors (plus a small
 //! header); reconstruction quality is whatever the network delivers.
 
-use aesz_codec::varint::{read_f32, read_uvarint, write_f32, write_uvarint};
-use aesz_metrics::Compressor;
+use aesz_codec::varint::{read_f32, write_f32, write_uvarint};
+use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
 use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
 use aesz_nn::models::zoo::AeVariant;
 use aesz_nn::train::{TrainConfig, Trainer};
 use aesz_tensor::{BlockSpec, Dims, Field};
 
-use crate::common::{read_dims, write_dims};
+use crate::common::{read_dims, read_len, write_dims};
 
 /// Block edge length (16³ = 4096 values per block).
 pub const BLOCK: usize = 16;
@@ -99,14 +99,31 @@ impl AeB {
 }
 
 impl Compressor for AeB {
-    fn name(&self) -> &'static str {
-        "AE-B"
+    fn codec_id(&self) -> CodecId {
+        CodecId::AeB
     }
 
-    fn compress(&mut self, field: &Field, _rel_eb: f64) -> Vec<u8> {
-        assert!(self.trained, "AeB::train must be called before compressing");
-        assert_eq!(field.dims().rank(), 3, "AE-B is defined for 3D data only");
+    fn compress_payload(
+        &mut self,
+        field: &Field,
+        _bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        if !self.trained {
+            return Err(CompressError::Untrained(
+                "AeB::train must be called before compressing",
+            ));
+        }
+        if field.dims().rank() != 3 {
+            return Err(CompressError::UnsupportedField(
+                "AE-B is defined for 3D data only",
+            ));
+        }
         let (lo, hi) = field.min_max();
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(CompressError::UnsupportedField(
+                "field contains non-finite values",
+            ));
+        }
         let range = hi - lo;
         let specs: Vec<BlockSpec> = field.blocks(BLOCK).collect();
         let block_len = BLOCK * BLOCK * BLOCK;
@@ -132,28 +149,50 @@ impl Compressor for AeB {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
-        out
+        Ok(out)
     }
 
-    fn decompress(&mut self, bytes: &[u8]) -> Field {
-        assert!(
-            self.trained,
-            "AeB::train must be called before decompressing"
-        );
+    fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        if !self.trained {
+            return Err(DecompressError::Unsupported(
+                "AeB::train must be called before decompressing",
+            ));
+        }
         let mut pos = 0usize;
-        let dims: Dims = read_dims(bytes, &mut pos).expect("dims");
-        let lo = read_f32(bytes, &mut pos).expect("lo");
-        let hi = read_f32(bytes, &mut pos).expect("hi");
-        let n_blocks = read_uvarint(bytes, &mut pos).expect("block count") as usize;
+        let dims: Dims = read_dims(bytes, &mut pos)?;
+        if dims.rank() != 3 {
+            return Err(DecompressError::InvalidHeader("AE-B streams are 3D only"));
+        }
+        let lo = read_f32(bytes, &mut pos).ok_or(DecompressError::Truncated("lo"))?;
+        let hi = read_f32(bytes, &mut pos).ok_or(DecompressError::Truncated("hi"))?;
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(DecompressError::InvalidHeader("data range"));
+        }
+        let n_blocks = read_len(bytes, &mut pos, "block count")?;
         let range = (hi - lo) as f64;
-        let latents: Vec<f32> = bytes[pos..]
-            .chunks_exact(4)
-            .take(n_blocks * LATENT)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
         let mut field = Field::zeros(dims);
         let specs: Vec<BlockSpec> = field.blocks(BLOCK).collect();
-        assert_eq!(specs.len(), n_blocks);
+        if specs.len() != n_blocks {
+            return Err(DecompressError::Inconsistent(
+                "block count does not match dims",
+            ));
+        }
+        // The latent payload is exactly one LATENT-vector per block; any
+        // shortfall or surplus is corruption.
+        let expected_latent_bytes = n_blocks
+            .checked_mul(LATENT * 4)
+            .ok_or(DecompressError::InvalidHeader("latent payload overflow"))?;
+        if bytes.len() - pos != expected_latent_bytes {
+            return Err(if bytes.len() - pos < expected_latent_bytes {
+                DecompressError::Truncated("latent payload")
+            } else {
+                DecompressError::Inconsistent("trailing bytes")
+            });
+        }
+        let latents: Vec<f32> = bytes[pos..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
         let block_len = BLOCK * BLOCK * BLOCK;
         for (chunk_no, chunk) in specs.chunks(16).enumerate() {
             let start = chunk_no * 16 * LATENT;
@@ -167,7 +206,7 @@ impl Compressor for AeB {
                 field.write_block(spec, &pred);
             }
         }
-        field
+        Ok(field)
     }
 
     fn is_error_bounded(&self) -> bool {
@@ -185,7 +224,7 @@ mod tests {
         let field = Application::Rtm.generate(Dims::d3(32, 32, 32), 10);
         let mut ae = AeB::new(1);
         ae.train(std::slice::from_ref(&field), 1, 2);
-        let bytes = ae.compress(&field, 1e-3);
+        let bytes = ae.compress(&field, ErrorBound::rel(1e-3)).unwrap();
         let ratio = (field.len() * 4) as f64 / bytes.len() as f64;
         assert!(
             (50.0..70.0).contains(&ratio),
@@ -198,8 +237,8 @@ mod tests {
         let field = Application::HurricaneQvapor.generate(Dims::d3(16, 32, 32), 3);
         let mut ae = AeB::new(2);
         ae.train(std::slice::from_ref(&field), 2, 3);
-        let bytes = ae.compress(&field, 1e-4);
-        let recon = ae.decompress(&bytes);
+        let bytes = ae.compress(&field, ErrorBound::rel(1e-4)).unwrap();
+        let recon = ae.decompress(&bytes).unwrap();
         assert!(!ae.is_error_bounded());
         assert_eq!(recon.dims(), field.dims());
         // Reconstruction must stay within the (denormalised) data range envelope.
@@ -213,9 +252,36 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "3D data only")]
-    fn rejects_2d_fields() {
+    fn training_rejects_2d_fields() {
         let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 0);
         let mut ae = AeB::new(3);
         ae.train(std::slice::from_ref(&field), 1, 1);
+    }
+
+    #[test]
+    fn compress_rejects_2d_fields_and_untrained_models() {
+        let field3 = Application::Rtm.generate(Dims::d3(16, 16, 16), 1);
+        let mut ae = AeB::new(4);
+        assert!(matches!(
+            ae.compress(&field3, ErrorBound::rel(1e-3)),
+            Err(CompressError::Untrained(_))
+        ));
+        ae.train(std::slice::from_ref(&field3), 1, 5);
+        let field2 = Application::CesmCldhgh.generate(Dims::d2(32, 32), 0);
+        assert!(matches!(
+            ae.compress(&field2, ErrorBound::rel(1e-3)),
+            Err(CompressError::UnsupportedField(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected_not_panicking() {
+        let field = Application::Rtm.generate(Dims::d3(16, 16, 16), 2);
+        let mut ae = AeB::new(5);
+        ae.train(std::slice::from_ref(&field), 1, 6);
+        let bytes = ae.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        for len in 0..bytes.len() {
+            assert!(ae.decompress(&bytes[..len]).is_err());
+        }
     }
 }

@@ -4,11 +4,23 @@
 //! header (dims + error bound), a stream of quantization codes, and the
 //! escaped unpredictable values. This module owns that common framing so the
 //! individual baselines only implement their prediction scheme.
+//!
+//! [`parse`] is the trust boundary of the baseline decoders: it validates the
+//! header (rank, extent caps, finite positive bound), checks every section
+//! length against the remaining input, decodes the entropy-coded sections
+//! through the capped codec variants (`decode_codes_capped` /
+//! `decompress_bytes_capped`, the same ones `aesz_core` uses), and
+//! cross-checks the escape count against the unpredictable payload — so a
+//! hostile stream yields a [`DecompressError`] instead of a panic or an
+//! attacker-sized allocation.
 
 use aesz_codec::varint::{read_f64, read_uvarint, write_f64, write_uvarint};
-use aesz_codec::{compress_bytes, decode_codes, decompress_bytes, encode_codes};
+use aesz_codec::{compress_bytes, decode_codes_capped, decompress_bytes_capped, encode_codes};
+use aesz_metrics::{CompressError, DecompressError, ErrorBound};
 use aesz_predictors::QuantizedBlock;
-use aesz_tensor::Dims;
+use aesz_tensor::{Dims, Field};
+
+pub use aesz_metrics::container::MAX_FIELD_ELEMS;
 
 /// Header shared by the whole-field baselines.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +29,19 @@ pub struct BaseHeader {
     pub dims: Dims,
     /// Absolute error bound used for quantization.
     pub abs_eb: f64,
+}
+
+/// Resolve an error-bound request against a field, validating that the data
+/// admits one (finite range). Returns the absolute bound with the field's
+/// min/max, the inputs every baseline needs.
+pub fn resolve_bound(field: &Field, bound: ErrorBound) -> Result<(f64, f32, f32), CompressError> {
+    let (lo, hi) = field.min_max();
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(CompressError::UnsupportedField(
+            "field contains non-finite values; the error bound is undefined",
+        ));
+    }
+    Ok((bound.absolute(lo, hi), lo, hi))
 }
 
 /// Serialize dims (rank + extents) into a byte buffer.
@@ -28,26 +53,79 @@ pub fn write_dims(out: &mut Vec<u8>, dims: Dims) {
     }
 }
 
-/// Parse dims written by [`write_dims`].
-pub fn read_dims(buf: &[u8], pos: &mut usize) -> Option<Dims> {
-    let rank = *buf.get(*pos)? as usize;
+/// Parse and validate dims written by [`write_dims`]: rank 1–3, every extent
+/// non-zero, and a total element count that neither overflows nor exceeds
+/// [`MAX_FIELD_ELEMS`].
+pub fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, DecompressError> {
+    let rank = *buf
+        .get(*pos)
+        .ok_or(DecompressError::Truncated("rank byte"))? as usize;
     *pos += 1;
+    if !(1..=3).contains(&rank) {
+        return Err(DecompressError::InvalidHeader("rank must be 1-3"));
+    }
     let mut e = Vec::with_capacity(rank);
     for _ in 0..rank {
-        e.push(read_uvarint(buf, pos)? as usize);
+        let ext = read_uvarint(buf, pos).ok_or(DecompressError::Truncated("extent"))?;
+        if ext == 0 {
+            return Err(DecompressError::InvalidHeader("zero extent"));
+        }
+        if ext > MAX_FIELD_ELEMS as u64 {
+            return Err(DecompressError::InvalidHeader("extent too large"));
+        }
+        e.push(ext as usize);
     }
+    e.iter()
+        .try_fold(1usize, |acc, &ext| acc.checked_mul(ext))
+        .filter(|&n| n <= MAX_FIELD_ELEMS)
+        .ok_or(DecompressError::InvalidHeader("field too large"))?;
     match rank {
-        1 => Some(Dims::d1(e[0])),
-        2 => Some(Dims::d2(e[0], e[1])),
-        3 => Some(Dims::d3(e[0], e[1], e[2])),
-        _ => None,
+        1 => Ok(Dims::d1(e[0])),
+        2 => Ok(Dims::d2(e[0], e[1])),
+        _ => Ok(Dims::d3(e[0], e[1], e[2])),
     }
+}
+
+/// Read a `u64` varint, mapping truncation to a named error.
+pub fn read_len(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<usize, DecompressError> {
+    let v = read_uvarint(buf, pos).ok_or(DecompressError::Truncated(what))?;
+    usize::try_from(v).map_err(|_| DecompressError::InvalidHeader(what))
+}
+
+/// Borrow the next `len` bytes, rejecting length prefixes that overrun the
+/// remaining input instead of slicing unchecked.
+pub fn take<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    len: usize,
+    what: &'static str,
+) -> Result<&'a [u8], DecompressError> {
+    let end = pos
+        .checked_add(len)
+        .ok_or(DecompressError::InvalidHeader(what))?;
+    let bytes = buf.get(*pos..end).ok_or(DecompressError::Truncated(what))?;
+    *pos = end;
+    Ok(bytes)
 }
 
 /// Assemble a whole-field baseline stream: header + entropy-coded codes +
 /// zlite-compressed unpredictable values (+ an optional extra section the
-/// caller can use for coefficients, flags, …).
-pub fn assemble(header: BaseHeader, block: &QuantizedBlock, extra: &[u8]) -> Vec<u8> {
+/// caller can use for coefficients, flags, …). Fails on a header no valid
+/// stream could carry (a non-finite or non-positive bound, e.g. from a field
+/// whose range overflows `f32`).
+pub fn assemble(
+    header: BaseHeader,
+    block: &QuantizedBlock,
+    extra: &[u8],
+) -> Result<Vec<u8>, CompressError> {
+    if !header.abs_eb.is_finite() || header.abs_eb <= 0.0 {
+        return Err(CompressError::InvalidBound(
+            "absolute bound must be finite and positive",
+        ));
+    }
+    if header.dims.is_empty() {
+        return Err(CompressError::UnsupportedField("field has no elements"));
+    }
     let mut out = Vec::new();
     write_dims(&mut out, header.dims);
     write_f64(&mut out, header.abs_eb);
@@ -64,53 +142,78 @@ pub fn assemble(header: BaseHeader, block: &QuantizedBlock, extra: &[u8]) -> Vec
     out.extend_from_slice(&unpred);
     write_uvarint(&mut out, extra.len() as u64);
     out.extend_from_slice(extra);
-    out
+    Ok(out)
 }
 
 /// Parse a stream produced by [`assemble`]; returns the header, the quantized
 /// representation and the extra section.
-pub fn parse(bytes: &[u8]) -> (BaseHeader, QuantizedBlock, Vec<u8>) {
+///
+/// `expected_codes` maps the validated header to the exact number of
+/// quantization codes the stream must carry (the callers know their block
+/// geometry; e.g. `|h| h.dims.len()` for whole-field prediction). The code
+/// count, the escape/unpredictable cross-check, the section lengths and the
+/// total stream length are all enforced here.
+pub fn parse(
+    bytes: &[u8],
+    expected_codes: impl FnOnce(&BaseHeader) -> usize,
+) -> Result<(BaseHeader, QuantizedBlock, Vec<u8>), DecompressError> {
     let mut pos = 0usize;
-    let dims = read_dims(bytes, &mut pos).expect("dims");
-    let abs_eb = read_f64(bytes, &mut pos).expect("abs_eb");
-    let codes_len = read_uvarint(bytes, &mut pos).expect("codes length") as usize;
-    let codes = decode_codes(&bytes[pos..pos + codes_len]).expect("codes payload");
-    pos += codes_len;
-    let unpred_len = read_uvarint(bytes, &mut pos).expect("unpredictable length") as usize;
-    let unpred_bytes = decompress_bytes(&bytes[pos..pos + unpred_len]).expect("unpredictable");
-    pos += unpred_len;
+    let dims = read_dims(bytes, &mut pos)?;
+    let abs_eb = read_f64(bytes, &mut pos).ok_or(DecompressError::Truncated("abs_eb"))?;
+    if !abs_eb.is_finite() || abs_eb <= 0.0 {
+        return Err(DecompressError::InvalidHeader("abs_eb"));
+    }
+    let header = BaseHeader { dims, abs_eb };
+    let n_codes = expected_codes(&header);
+
+    let codes_len = read_len(bytes, &mut pos, "codes length")?;
+    let codes_bytes = take(bytes, &mut pos, codes_len, "codes section")?;
+    let codes = decode_codes_capped(codes_bytes, n_codes)?;
+    if codes.len() != n_codes {
+        return Err(DecompressError::Inconsistent(
+            "code count does not match dims",
+        ));
+    }
+    let escapes = codes.iter().filter(|&&c| c == 0).count();
+
+    let unpred_len = read_len(bytes, &mut pos, "unpredictable length")?;
+    let unpred_section = take(bytes, &mut pos, unpred_len, "unpredictable section")?;
+    let unpred_bytes = decompress_bytes_capped(unpred_section, escapes * 4)?;
+    if unpred_bytes.len() != escapes * 4 {
+        return Err(DecompressError::Inconsistent(
+            "unpredictable count does not match escape codes",
+        ));
+    }
     let unpredictable: Vec<f32> = unpred_bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
-    let extra_len = read_uvarint(bytes, &mut pos).expect("extra length") as usize;
-    let extra = bytes[pos..pos + extra_len].to_vec();
-    (
-        BaseHeader { dims, abs_eb },
+
+    let extra_len = read_len(bytes, &mut pos, "extra length")?;
+    let extra = take(bytes, &mut pos, extra_len, "extra section")?.to_vec();
+    if pos != bytes.len() {
+        return Err(DecompressError::Inconsistent("trailing bytes"));
+    }
+    Ok((
+        header,
         QuantizedBlock {
             codes,
             unpredictable,
         },
         extra,
-    )
+    ))
 }
 
 /// Absolute error bound for a value-range-relative bound on a field.
 pub fn absolute_bound(rel_eb: f64, lo: f32, hi: f32) -> f64 {
-    let range = (hi - lo) as f64;
-    if range > 0.0 {
-        rel_eb * range
-    } else {
-        rel_eb.max(1e-12)
-    }
+    ErrorBound::rel(rel_eb).absolute(lo, hi)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn assemble_parse_roundtrip() {
+    fn sample() -> (BaseHeader, QuantizedBlock, Vec<u8>) {
         let header = BaseHeader {
             dims: Dims::d3(4, 5, 6),
             abs_eb: 2.5e-3,
@@ -121,11 +224,125 @@ mod tests {
                 .collect(),
             unpredictable: vec![1.5; 14],
         };
-        let bytes = assemble(header, &blk, b"extra!");
-        let (h2, b2, extra) = parse(&bytes);
+        let bytes = assemble(header, &blk, b"extra!").expect("valid header");
+        (header, blk, bytes)
+    }
+
+    #[test]
+    fn assemble_parse_roundtrip() {
+        let (header, blk, bytes) = sample();
+        let (h2, b2, extra) = parse(&bytes, |h| h.dims.len()).expect("own stream");
         assert_eq!(h2, header);
         assert_eq!(b2, blk);
         assert_eq!(extra, b"extra!");
+    }
+
+    #[test]
+    fn assemble_rejects_unusable_headers() {
+        let blk = QuantizedBlock {
+            codes: vec![1],
+            unpredictable: vec![],
+        };
+        for abs_eb in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let header = BaseHeader {
+                dims: Dims::d1(1),
+                abs_eb,
+            };
+            assert!(matches!(
+                assemble(header, &blk, &[]),
+                Err(CompressError::InvalidBound(_))
+            ));
+        }
+        let header = BaseHeader {
+            dims: Dims::d1(0),
+            abs_eb: 1e-3,
+        };
+        assert!(matches!(
+            assemble(header, &blk, &[]),
+            Err(CompressError::UnsupportedField(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncated_prefix_is_rejected() {
+        let (_, _, bytes) = sample();
+        for len in 0..bytes.len() {
+            assert!(
+                parse(&bytes[..len], |h| h.dims.len()).is_err(),
+                "prefix of {len}/{} bytes parsed as a complete stream",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_wrong_code_counts_are_rejected() {
+        let (_, _, mut bytes) = sample();
+        bytes.push(0);
+        assert_eq!(
+            parse(&bytes, |h| h.dims.len()),
+            Err(DecompressError::Inconsistent("trailing bytes"))
+        );
+        bytes.pop();
+        assert_eq!(
+            parse(&bytes, |h| h.dims.len() + 1),
+            Err(DecompressError::Inconsistent(
+                "code count does not match dims"
+            ))
+        );
+    }
+
+    #[test]
+    fn hostile_headers_are_rejected() {
+        // Rank outside 1–3.
+        let mut bytes = vec![4u8];
+        write_uvarint(&mut bytes, 2);
+        assert!(matches!(
+            parse(&bytes, |h| h.dims.len()),
+            Err(DecompressError::InvalidHeader("rank must be 1-3"))
+        ));
+        // Extents whose product overflows the cap.
+        let mut bytes = vec![3u8];
+        for _ in 0..3 {
+            write_uvarint(&mut bytes, (MAX_FIELD_ELEMS as u64) - 1);
+        }
+        bytes.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            parse(&bytes, |h| h.dims.len()),
+            Err(DecompressError::InvalidHeader("field too large"))
+        ));
+        // A section length prefix far beyond the remaining input.
+        let (_, blk, _) = sample();
+        let header = BaseHeader {
+            dims: Dims::d3(4, 5, 6),
+            abs_eb: 2.5e-3,
+        };
+        let good = assemble(header, &blk, b"").expect("valid header");
+        // Rewrite the codes length varint (directly after dims + abs_eb) to a
+        // huge value.
+        let mut hostile = good[..4 + 8].to_vec();
+        write_uvarint(&mut hostile, u64::MAX / 2);
+        assert!(parse(&hostile, |h| h.dims.len()).is_err());
+    }
+
+    #[test]
+    fn corrupt_unpredictable_counts_are_rejected() {
+        // One escape code but no unpredictable payload.
+        let header = BaseHeader {
+            dims: Dims::d1(4),
+            abs_eb: 1e-3,
+        };
+        let blk = QuantizedBlock {
+            codes: vec![0, 1, 1, 1],
+            unpredictable: vec![],
+        };
+        let bytes = assemble(header, &blk, &[]).expect("valid header");
+        assert_eq!(
+            parse(&bytes, |h| h.dims.len()),
+            Err(DecompressError::Inconsistent(
+                "unpredictable count does not match escape codes"
+            ))
+        );
     }
 
     #[test]

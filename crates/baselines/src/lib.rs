@@ -11,10 +11,10 @@
 //!   choice between first and second order.
 //! * [`szinterp`] — SZinterp-like: multi-level cubic spline interpolation
 //!   prediction.
-//! * [`ae_a`] — the fully-connected autoencoder compressor of Liu et al. [43]:
+//! * [`ae_a`] — the fully-connected autoencoder compressor of Liu et al. \[43\]:
 //!   1D windows, ~512× reduction through dense layers, residuals compressed
 //!   with an SZ-style stage to restore error bounding.
-//! * [`ae_b`] — the convolutional autoencoder of Glaws et al. [40]: fixed 64×
+//! * [`ae_b`] — the convolutional autoencoder of Glaws et al. \[40\]: fixed 64×
 //!   reduction, *not* error bounded.
 //!
 //! Each implements [`aesz_metrics::Compressor`], so the benchmark harness can

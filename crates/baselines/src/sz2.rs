@@ -9,14 +9,14 @@
 //! regression coefficients are stored (lossily quantized to f32) per
 //! regression block, exactly the overhead the AE latents replace in AE-SZ.
 
-use aesz_codec::varint::{read_uvarint, write_uvarint};
-use aesz_codec::{compress_bytes, decompress_bytes};
-use aesz_metrics::Compressor;
+use aesz_codec::varint::write_uvarint;
+use aesz_codec::{compress_bytes, decompress_bytes_capped};
+use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
 use aesz_predictors::regression::{self, RegressionCoeffs};
 use aesz_predictors::{lorenzo, QuantizedBlock, Quantizer, DEFAULT_QUANT_BINS};
 use aesz_tensor::{BlockSpec, Field};
 
-use crate::common::{absolute_bound, assemble, parse, BaseHeader};
+use crate::common::{assemble, parse, read_len, resolve_bound, take, BaseHeader};
 
 /// SZ2.1-like compressor.
 pub struct Sz2 {
@@ -42,13 +42,16 @@ impl Sz2 {
 }
 
 impl Compressor for Sz2 {
-    fn name(&self) -> &'static str {
-        "SZ2.1"
+    fn codec_id(&self) -> CodecId {
+        CodecId::Sz2
     }
 
-    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
-        let (lo, hi) = field.min_max();
-        let abs_eb = absolute_bound(rel_eb, lo, hi);
+    fn compress_payload(
+        &mut self,
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        let (abs_eb, _, _) = resolve_bound(field, bound)?;
         let quantizer = Quantizer::new(abs_eb, DEFAULT_QUANT_BINS);
         let specs: Vec<BlockSpec> = field.blocks(self.block_size).collect();
 
@@ -101,38 +104,76 @@ impl Compressor for Sz2 {
         )
     }
 
-    fn decompress(&mut self, bytes: &[u8]) -> Field {
-        let (header, all, extra) = parse(bytes);
+    fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        // The blocks of any block size partition the field, so the code
+        // count always equals the element count.
+        let (header, all, extra) = parse(bytes, |h| h.dims.len())?;
         let mut pos = 0usize;
-        let block_size = read_uvarint(&extra, &mut pos).expect("block size") as usize;
-        let flags_len = read_uvarint(&extra, &mut pos).expect("flag length") as usize;
-        let flags = &extra[pos..pos + flags_len];
-        pos += flags_len;
-        let coeff_len = read_uvarint(&extra, &mut pos).expect("coeff length") as usize;
-        let coeff_bytes = decompress_bytes(&extra[pos..pos + coeff_len]).expect("coefficients");
+        let block_size = read_len(&extra, &mut pos, "block size")?;
+        // Reconstruction allocates padded block_size^rank buffers; cap that
+        // volume like the field itself so a tiny hostile stream cannot abort
+        // on allocation.
+        if block_size == 0
+            || (block_size as u64)
+                .checked_pow(header.dims.rank() as u32)
+                .is_none_or(|v| v > crate::common::MAX_FIELD_ELEMS as u64)
+        {
+            return Err(DecompressError::InvalidHeader("block size"));
+        }
+        let flags_len = read_len(&extra, &mut pos, "flag length")?;
+        let flags = take(&extra, &mut pos, flags_len, "flag section")?;
+        let coeff_len = read_len(&extra, &mut pos, "coeff length")?;
+        let coeff_section = take(&extra, &mut pos, coeff_len, "coeff section")?;
+        if pos != extra.len() {
+            return Err(DecompressError::Inconsistent("trailing extra bytes"));
+        }
+
+        let mut field = Field::zeros(header.dims);
+        let rank = header.dims.rank();
+        let specs: Vec<BlockSpec> = field.blocks(block_size).collect();
+        if flags.len() != specs.len().div_ceil(8) {
+            return Err(DecompressError::Inconsistent(
+                "flag count does not match block grid",
+            ));
+        }
+        let n_regression: usize = (0..specs.len())
+            .filter(|bi| flags[bi / 8] >> (bi % 8) & 1 == 1)
+            .count();
+        let expected_coeffs = n_regression * (rank + 1) * 4;
+        let coeff_bytes = decompress_bytes_capped(coeff_section, expected_coeffs)?;
+        if coeff_bytes.len() != expected_coeffs {
+            return Err(DecompressError::Inconsistent(
+                "coefficient count does not match regression blocks",
+            ));
+        }
         let coeffs: Vec<f32> = coeff_bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
 
         let quantizer = Quantizer::new(header.abs_eb, DEFAULT_QUANT_BINS);
-        let mut field = Field::zeros(header.dims);
-        let rank = header.dims.rank();
-        let specs: Vec<BlockSpec> = field.blocks(block_size).collect();
-
         let mut code_pos = 0usize;
         let mut unpred_pos = 0usize;
         let mut coeff_pos = 0usize;
         for (bi, spec) in specs.iter().enumerate() {
             let n = spec.valid_len();
-            let codes = all.codes[code_pos..code_pos + n].to_vec();
+            let codes = all
+                .codes
+                .get(code_pos..code_pos + n)
+                .ok_or(DecompressError::Inconsistent("codes underrun"))?
+                .to_vec();
             code_pos += n;
             let escapes = codes.iter().filter(|&&c| c == 0).count();
+            let unpredictable = all
+                .unpredictable
+                .get(unpred_pos..unpred_pos + escapes)
+                .ok_or(DecompressError::Inconsistent("unpredictable underrun"))?
+                .to_vec();
+            unpred_pos += escapes;
             let blk = QuantizedBlock {
                 codes,
-                unpredictable: all.unpredictable[unpred_pos..unpred_pos + escapes].to_vec(),
+                unpredictable,
             };
-            unpred_pos += escapes;
             let use_regression = flags[bi / 8] >> (bi % 8) & 1 == 1;
             let valid = if use_regression {
                 let c = RegressionCoeffs::from_slice(&coeffs[coeff_pos..coeff_pos + rank + 1]);
@@ -170,7 +211,7 @@ impl Compressor for Sz2 {
             }
             field.write_block(spec, &padded);
         }
-        field
+        Ok(field)
     }
 }
 
@@ -190,8 +231,8 @@ mod tests {
             let field = app.generate(dims, 50);
             let mut sz = Sz2::new();
             for rel_eb in [1e-2, 1e-3, 1e-4] {
-                let bytes = sz.compress(&field, rel_eb);
-                let recon = sz.decompress(&bytes);
+                let bytes = sz.compress(&field, ErrorBound::rel(rel_eb)).unwrap();
+                let recon = sz.decompress(&bytes).unwrap();
                 let abs = rel_eb * field.value_range() as f64;
                 verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
                     .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
@@ -204,7 +245,7 @@ mod tests {
     fn smooth_data_compresses_much_better_than_raw() {
         let field = Application::CesmCldhgh.generate(Dims::d2(128, 128), 10);
         let mut sz = Sz2::new();
-        let bytes = sz.compress(&field, 1e-2);
+        let bytes = sz.compress(&field, ErrorBound::rel(1e-2)).unwrap();
         assert!(
             bytes.len() * 8 < field.len() * 4,
             "expected >8x compression, got {} bytes for {} values",
@@ -220,8 +261,8 @@ mod tests {
             0.31 * c[0] as f32 + 0.17 * c[1] as f32
         });
         let mut sz = Sz2::new();
-        let bytes = sz.compress(&field, 1e-3);
-        let recon = sz.decompress(&bytes);
+        let bytes = sz.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        let recon = sz.decompress(&bytes).unwrap();
         let abs = 1e-3 * field.value_range() as f64;
         verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
     }
@@ -230,6 +271,29 @@ mod tests {
     fn finer_bound_costs_more() {
         let field = Application::HurricaneU.generate(Dims::d3(16, 32, 32), 5);
         let mut sz = Sz2::new();
-        assert!(sz.compress(&field, 1e-4).len() > sz.compress(&field, 1e-2).len());
+        assert!(
+            sz.compress(&field, ErrorBound::rel(1e-4)).unwrap().len()
+                > sz.compress(&field, ErrorBound::rel(1e-2)).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn absolute_bounds_are_honoured() {
+        let field = Application::CesmFreqsh.generate(Dims::d2(48, 48), 3);
+        let abs = 0.5e-2 * field.value_range() as f64;
+        let mut sz = Sz2::new();
+        let bytes = sz.compress(&field, ErrorBound::abs(abs)).unwrap();
+        let recon = sz.decompress(&bytes).unwrap();
+        verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected_not_panicking() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 2);
+        let mut sz = Sz2::new();
+        let bytes = sz.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        for len in 0..bytes.len() {
+            assert!(sz.decompress(&bytes[..len]).is_err());
+        }
     }
 }

@@ -9,11 +9,11 @@
 //! higher order does not pay off (noisy fields amplify noise under
 //! higher-order extrapolation).
 
-use aesz_metrics::Compressor;
+use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
 use aesz_predictors::{lorenzo, lorenzo2, Quantizer, DEFAULT_QUANT_BINS};
 use aesz_tensor::Field;
 
-use crate::common::{absolute_bound, assemble, parse, BaseHeader};
+use crate::common::{assemble, parse, resolve_bound, BaseHeader};
 
 /// SZauto-like compressor.
 #[derive(Default)]
@@ -41,13 +41,16 @@ impl SzAuto {
 }
 
 impl Compressor for SzAuto {
-    fn name(&self) -> &'static str {
-        "SZauto"
+    fn codec_id(&self) -> CodecId {
+        CodecId::SzAuto
     }
 
-    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
-        let (lo, hi) = field.min_max();
-        let abs_eb = absolute_bound(rel_eb, lo, hi);
+    fn compress_payload(
+        &mut self,
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        let (abs_eb, _, _) = resolve_bound(field, bound)?;
         let quantizer = Quantizer::new(abs_eb, DEFAULT_QUANT_BINS);
         let extents = field.dims().extents();
         let second = Self::pick_second_order(field.as_slice(), &extents);
@@ -66,17 +69,21 @@ impl Compressor for SzAuto {
         )
     }
 
-    fn decompress(&mut self, bytes: &[u8]) -> Field {
-        let (header, blk, extra) = parse(bytes);
+    fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        let (header, blk, extra) = parse(bytes, |h| h.dims.len())?;
+        if extra.len() != 1 {
+            return Err(DecompressError::Inconsistent("predictor-order flag"));
+        }
         let quantizer = Quantizer::new(header.abs_eb, DEFAULT_QUANT_BINS);
         let extents = header.dims.extents();
-        let second = extra.first().copied().unwrap_or(1) != 0;
+        let second = extra[0] != 0;
         let data = if second {
             lorenzo2::decompress(&blk, &extents, &quantizer)
         } else {
             lorenzo::decompress(&blk, &extents, &quantizer)
         };
-        Field::from_vec(header.dims, data).expect("dims match payload")
+        Field::from_vec(header.dims, data)
+            .map_err(|_| DecompressError::Inconsistent("payload does not match dims"))
     }
 }
 
@@ -92,8 +99,8 @@ mod tests {
         let field = Application::NyxTemperature.generate(Dims::d3(24, 24, 24), 2);
         let mut sz = SzAuto::new();
         for rel_eb in [1e-2, 1e-4] {
-            let bytes = sz.compress(&field, rel_eb);
-            let recon = sz.decompress(&bytes);
+            let bytes = sz.compress(&field, ErrorBound::rel(rel_eb)).unwrap();
+            let recon = sz.decompress(&bytes).unwrap();
             let abs = rel_eb * field.value_range() as f64;
             verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
         }
@@ -125,7 +132,17 @@ mod tests {
     fn compresses_smooth_fields_well() {
         let field = Application::HurricaneQvapor.generate(Dims::d3(16, 32, 32), 1);
         let mut sz = SzAuto::new();
-        let bytes = sz.compress(&field, 1e-3);
+        let bytes = sz.compress(&field, ErrorBound::rel(1e-3)).unwrap();
         assert!(bytes.len() * 4 < field.len() * 4);
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected_not_panicking() {
+        let field = Application::NyxTemperature.generate(Dims::d3(12, 12, 12), 1);
+        let mut sz = SzAuto::new();
+        let bytes = sz.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        for len in 0..bytes.len() {
+            assert!(sz.decompress(&bytes[..len]).is_err());
+        }
     }
 }

@@ -6,11 +6,11 @@
 //! over the whole field, implemented in [`aesz_predictors::interp`]; this
 //! wrapper adds the SZ quantization framing and entropy coding.
 
-use aesz_metrics::Compressor;
+use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
 use aesz_predictors::{interp, Quantizer, DEFAULT_QUANT_BINS};
 use aesz_tensor::Field;
 
-use crate::common::{absolute_bound, assemble, parse, BaseHeader};
+use crate::common::{assemble, parse, resolve_bound, BaseHeader};
 
 /// SZinterp-like compressor.
 #[derive(Default)]
@@ -24,13 +24,16 @@ impl SzInterp {
 }
 
 impl Compressor for SzInterp {
-    fn name(&self) -> &'static str {
-        "SZinterp"
+    fn codec_id(&self) -> CodecId {
+        CodecId::SzInterp
     }
 
-    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
-        let (lo, hi) = field.min_max();
-        let abs_eb = absolute_bound(rel_eb, lo, hi);
+    fn compress_payload(
+        &mut self,
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        let (abs_eb, _, _) = resolve_bound(field, bound)?;
         let quantizer = Quantizer::new(abs_eb, DEFAULT_QUANT_BINS);
         let extents = field.dims().extents();
         let (blk, _) = interp::compress(field.as_slice(), &extents, &quantizer);
@@ -44,12 +47,16 @@ impl Compressor for SzInterp {
         )
     }
 
-    fn decompress(&mut self, bytes: &[u8]) -> Field {
-        let (header, blk, _) = parse(bytes);
+    fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        let (header, blk, extra) = parse(bytes, |h| h.dims.len())?;
+        if !extra.is_empty() {
+            return Err(DecompressError::Inconsistent("unexpected extra section"));
+        }
         let quantizer = Quantizer::new(header.abs_eb, DEFAULT_QUANT_BINS);
         let extents = header.dims.extents();
         let data = interp::decompress(&blk, &extents, &quantizer);
-        Field::from_vec(header.dims, data).expect("dims match payload")
+        Field::from_vec(header.dims, data)
+            .map_err(|_| DecompressError::Inconsistent("payload does not match dims"))
     }
 }
 
@@ -69,8 +76,8 @@ mod tests {
             let field = app.generate(dims, 41);
             let mut sz = SzInterp::new();
             for rel_eb in [1e-2, 1e-3] {
-                let bytes = sz.compress(&field, rel_eb);
-                let recon = sz.decompress(&bytes);
+                let bytes = sz.compress(&field, ErrorBound::rel(rel_eb)).unwrap();
+                let recon = sz.decompress(&bytes).unwrap();
                 let abs = rel_eb * field.value_range() as f64;
                 verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
             }
@@ -84,8 +91,8 @@ mod tests {
         let field = Application::HurricaneQvapor.generate(Dims::d3(16, 32, 32), 7);
         let mut si = SzInterp::new();
         let mut s2 = crate::sz2::Sz2::new();
-        let interp_size = si.compress(&field, 1e-3).len();
-        let sz2_size = s2.compress(&field, 1e-3).len();
+        let interp_size = si.compress(&field, ErrorBound::rel(1e-3)).unwrap().len();
+        let sz2_size = s2.compress(&field, ErrorBound::rel(1e-3)).unwrap().len();
         assert!(
             (interp_size as f64) < 1.2 * sz2_size as f64,
             "SZinterp {interp_size} should be competitive with SZ2 {sz2_size}"
@@ -96,8 +103,18 @@ mod tests {
     fn odd_extents_are_handled() {
         let field = Application::Rtm.generate(Dims::d3(13, 17, 11), 3);
         let mut sz = SzInterp::new();
-        let bytes = sz.compress(&field, 1e-3);
-        let recon = sz.decompress(&bytes);
+        let bytes = sz.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        let recon = sz.decompress(&bytes).unwrap();
         assert_eq!(recon.dims(), field.dims());
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected_not_panicking() {
+        let field = Application::CesmFreqsh.generate(Dims::d2(24, 24), 2);
+        let mut sz = SzInterp::new();
+        let bytes = sz.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        for len in 0..bytes.len() {
+            assert!(sz.decompress(&bytes[..len]).is_err());
+        }
     }
 }

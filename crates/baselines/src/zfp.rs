@@ -10,11 +10,11 @@
 //! relies on (at large error bounds few coefficients survive, so quality
 //! collapses earlier than prediction-based compressors) is preserved.
 
-use aesz_metrics::Compressor;
+use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
 use aesz_predictors::{QuantizedBlock, Quantizer, DEFAULT_QUANT_BINS};
-use aesz_tensor::{BlockSpec, Field};
+use aesz_tensor::{BlockSpec, Dims, Field};
 
-use crate::common::{absolute_bound, assemble, parse, BaseHeader};
+use crate::common::{assemble, parse, resolve_bound, BaseHeader};
 
 /// Edge length of a ZFP block.
 const BLOCK: usize = 4;
@@ -156,16 +156,26 @@ impl Zfp {
     fn coeff_step(abs_eb: f64, rank: usize) -> f64 {
         abs_eb / 3.75f64.powi(rank as i32)
     }
+
+    /// Number of quantization codes a ZFP stream over `dims` carries: one per
+    /// element of every padded 4^rank block.
+    fn code_count(dims: Dims) -> usize {
+        let n_blocks: usize = dims.block_grid(BLOCK).iter().product();
+        n_blocks * BLOCK.pow(dims.rank() as u32)
+    }
 }
 
 impl Compressor for Zfp {
-    fn name(&self) -> &'static str {
-        "ZFP"
+    fn codec_id(&self) -> CodecId {
+        CodecId::Zfp
     }
 
-    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
-        let (lo, hi) = field.min_max();
-        let abs_eb = absolute_bound(rel_eb, lo, hi);
+    fn compress_payload(
+        &mut self,
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        let (abs_eb, _, _) = resolve_bound(field, bound)?;
         let rank = field.dims().rank();
         let step = Self::coeff_step(abs_eb, rank);
         let quantizer = Quantizer::new(step, DEFAULT_QUANT_BINS);
@@ -193,8 +203,18 @@ impl Compressor for Zfp {
         )
     }
 
-    fn decompress(&mut self, bytes: &[u8]) -> Field {
-        let (header, all, _) = parse(bytes);
+    fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        // The padded code count can exceed the element count by up to 4x per
+        // dimension (each extent rounds up to a multiple of 4), so degenerate
+        // hostile dims like (1, 1, 2^31) would pass the element cap yet
+        // declare 2^35 codes. Clamp the decode-side allocation to the same
+        // ceiling as everything else before handing it to the codec.
+        let (header, all, extra) = parse(bytes, |h| {
+            Self::code_count(h.dims).min(crate::common::MAX_FIELD_ELEMS)
+        })?;
+        if !extra.is_empty() {
+            return Err(DecompressError::Inconsistent("unexpected extra section"));
+        }
         let rank = header.dims.rank();
         let step = Self::coeff_step(header.abs_eb, rank);
         let quantizer = Quantizer::new(step, DEFAULT_QUANT_BINS);
@@ -204,20 +224,29 @@ impl Compressor for Zfp {
         let mut code_pos = 0usize;
         let mut unpred_pos = 0usize;
         for spec in &specs {
-            let codes = all.codes[code_pos..code_pos + block_len].to_vec();
+            let codes = all
+                .codes
+                .get(code_pos..code_pos + block_len)
+                .ok_or(DecompressError::Inconsistent("codes underrun"))?
+                .to_vec();
             code_pos += block_len;
             let escapes = codes.iter().filter(|&&c| c == 0).count();
+            let unpredictable = all
+                .unpredictable
+                .get(unpred_pos..unpred_pos + escapes)
+                .ok_or(DecompressError::Inconsistent("unpredictable underrun"))?
+                .to_vec();
+            unpred_pos += escapes;
             let blk = QuantizedBlock {
                 codes,
-                unpredictable: all.unpredictable[unpred_pos..unpred_pos + escapes].to_vec(),
+                unpredictable,
             };
-            unpred_pos += escapes;
             let preds = vec![0.0f32; block_len];
             let mut coeffs = quantizer.dequantize_buffer(&blk, &preds);
             transform_block(&mut coeffs, rank, true);
             field.write_block(spec, &coeffs);
         }
-        field
+        Ok(field)
     }
 
     fn is_error_bounded(&self) -> bool {
@@ -279,8 +308,8 @@ mod tests {
             let field = app.generate(dims, 5);
             let mut zfp = Zfp::new();
             let rel_eb = 1e-3;
-            let bytes = zfp.compress(&field, rel_eb);
-            let recon = zfp.decompress(&bytes);
+            let bytes = zfp.compress(&field, ErrorBound::rel(rel_eb)).unwrap();
+            let recon = zfp.decompress(&bytes).unwrap();
             let abs = rel_eb * field.value_range() as f64;
             let max_err = aesz_metrics::max_abs_error(field.as_slice(), recon.as_slice());
             assert!(
@@ -296,7 +325,17 @@ mod tests {
     fn compresses_smooth_fields_substantially() {
         let field = Application::CesmCldhgh.generate(Dims::d2(128, 128), 1);
         let mut zfp = Zfp::new();
-        let bytes = zfp.compress(&field, 1e-2);
+        let bytes = zfp.compress(&field, ErrorBound::rel(1e-2)).unwrap();
         assert!(bytes.len() * 4 < field.len() * 4, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected_not_panicking() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 4);
+        let mut zfp = Zfp::new();
+        let bytes = zfp.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        for len in 0..bytes.len() {
+            assert!(zfp.decompress(&bytes[..len]).is_err());
+        }
     }
 }

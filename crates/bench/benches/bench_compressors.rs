@@ -6,7 +6,7 @@ use aesz_baselines::{Sz2, SzAuto, SzInterp, Zfp};
 use aesz_core::training::{train_swae_for_field, TrainingOptions};
 use aesz_core::{AeSz, AeSzConfig};
 use aesz_datagen::Application;
-use aesz_metrics::Compressor;
+use aesz_metrics::{Compressor, ErrorBound};
 use aesz_tensor::Dims;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -21,37 +21,37 @@ fn bench_compressors(c: &mut Criterion) {
     };
     let model = train_swae_for_field(std::slice::from_ref(&train), &opts);
     let mut aesz = AeSz::new(model, AeSzConfig::default_3d());
-    let eb = 1e-3;
+    let eb = ErrorBound::rel(1e-3);
 
     let mut group = c.benchmark_group("compressors_table8");
     group.throughput(Throughput::Bytes((field.len() * 4) as u64));
     group.bench_function("sz2_compress", |b| {
         let mut sz = Sz2::new();
-        b.iter(|| sz.compress(std::hint::black_box(&field), eb))
+        b.iter(|| sz.compress(std::hint::black_box(&field), eb).unwrap())
     });
     group.bench_function("zfp_compress", |b| {
         let mut z = Zfp::new();
-        b.iter(|| z.compress(std::hint::black_box(&field), eb))
+        b.iter(|| z.compress(std::hint::black_box(&field), eb).unwrap())
     });
     group.bench_function("szauto_compress", |b| {
         let mut s = SzAuto::new();
-        b.iter(|| s.compress(std::hint::black_box(&field), eb))
+        b.iter(|| s.compress(std::hint::black_box(&field), eb).unwrap())
     });
     group.bench_function("szinterp_compress", |b| {
         let mut s = SzInterp::new();
-        b.iter(|| s.compress(std::hint::black_box(&field), eb))
+        b.iter(|| s.compress(std::hint::black_box(&field), eb).unwrap())
     });
     group.bench_function("aesz_compress", |b| {
-        b.iter(|| aesz.compress(std::hint::black_box(&field), eb))
+        b.iter(|| aesz.compress(std::hint::black_box(&field), eb).unwrap())
     });
-    let bytes = aesz.compress(&field, eb);
+    let bytes = aesz.compress(&field, eb).unwrap();
     group.bench_function("aesz_decompress", |b| {
-        b.iter(|| aesz.decompress(std::hint::black_box(&bytes)))
+        b.iter(|| aesz.decompress(std::hint::black_box(&bytes)).unwrap())
     });
     let mut sz = Sz2::new();
-    let sz_bytes = sz.compress(&field, eb);
+    let sz_bytes = sz.compress(&field, eb).unwrap();
     group.bench_function("sz2_decompress", |b| {
-        b.iter(|| sz.decompress(std::hint::black_box(&sz_bytes)))
+        b.iter(|| sz.decompress(std::hint::black_box(&sz_bytes)).unwrap())
     });
     group.finish();
 }

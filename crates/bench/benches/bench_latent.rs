@@ -3,7 +3,7 @@
 
 use aesz_baselines::Sz2;
 use aesz_core::LatentCodec;
-use aesz_metrics::Compressor;
+use aesz_metrics::{Compressor, ErrorBound};
 use aesz_tensor::{Dims, Field};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -34,7 +34,10 @@ fn bench_latent(c: &mut Criterion) {
     });
     group.bench_function("sz2_on_latent_matrix", |b| {
         let mut sz = Sz2::new();
-        b.iter(|| sz.compress(std::hint::black_box(&latent_field), 1e-3))
+        b.iter(|| {
+            sz.compress(std::hint::black_box(&latent_field), ErrorBound::rel(1e-3))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -4,6 +4,7 @@
 
 use aesz_bench::{test_field, trained_aesz};
 use aesz_datagen::Application;
+use aesz_metrics::ErrorBound;
 
 fn main() {
     println!("Fig. 10 counterpart — fraction of AE-predicted blocks vs error bound");
@@ -22,7 +23,9 @@ fn main() {
             "eb", "AE fraction", "AE", "Lorenzo", "mean"
         );
         for &eb in &bounds {
-            let (_, report) = aesz.compress_with_report(&field, eb);
+            let (_, report) = aesz
+                .compress_with_report(&field, ErrorBound::rel(eb))
+                .expect("valid input");
             println!(
                 "{eb:>10.0e} {:>16.3} {:>10} {:>10} {:>10}",
                 report.ae_fraction(),

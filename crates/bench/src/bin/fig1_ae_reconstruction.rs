@@ -6,7 +6,7 @@
 use aesz_baselines::AeB;
 use aesz_bench::ascii_heatmap;
 use aesz_datagen::Application;
-use aesz_metrics::{Compressor, ErrorStats};
+use aesz_metrics::{Compressor, ErrorBound, ErrorStats};
 use aesz_tensor::Dims;
 
 fn main() {
@@ -16,8 +16,11 @@ fn main() {
     let mut ae = AeB::new(1);
     println!("training AE-B (fixed 64:1) on a turbulence-like RTM snapshot ...");
     ae.train(std::slice::from_ref(&train), 3, 2);
-    let bytes = ae.compress(&test, 0.0);
-    let recon = ae.decompress(&bytes);
+    // AE-B is fixed-rate: the bound is ignored, but must still be valid.
+    let bytes = ae
+        .compress(&test, ErrorBound::rel(1e-3))
+        .expect("valid input");
+    let recon = ae.decompress(&bytes).expect("own stream decodes");
     let stats = ErrorStats::compute(test.as_slice(), recon.as_slice());
     let (lo, hi) = test.min_max();
     println!("Fig. 1 counterpart (paper: range [-3.06, 2.64], max abs error 1.2 at 64:1)");

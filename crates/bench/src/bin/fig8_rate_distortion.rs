@@ -5,7 +5,7 @@
 use aesz_baselines::{AeA, AeB, Sz2, SzAuto, SzInterp, Zfp};
 use aesz_bench::{print_curves, standard_bounds, sweep, test_field, trained_aesz, training_fields};
 use aesz_datagen::Application;
-use aesz_metrics::{measure, RdCurve, RdPoint};
+use aesz_metrics::{measure, ErrorBound, RdCurve, RdPoint};
 
 fn main() {
     let apps = [
@@ -39,7 +39,7 @@ fn main() {
             let mut ae_b = AeB::new(5);
             ae_b.train(&train, 2, 6);
             // AE-B has a single fixed-rate operating point.
-            let p = measure(&mut ae_b, &field, 1e-3);
+            let p = measure(&mut ae_b, &field, ErrorBound::rel(1e-3)).expect("valid roundtrip");
             let mut c = RdCurve::new("AE-B");
             c.push(RdPoint {
                 error_bound: f64::NAN,

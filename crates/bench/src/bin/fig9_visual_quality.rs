@@ -6,7 +6,7 @@
 use aesz_baselines::{Sz2, SzAuto, SzInterp, Zfp};
 use aesz_bench::{ascii_heatmap, test_field, trained_aesz};
 use aesz_datagen::Application;
-use aesz_metrics::{measure, Compressor};
+use aesz_metrics::{measure, Compressor, ErrorBound};
 
 fn find_eb_for_cr(
     compressor: &mut dyn Compressor,
@@ -15,7 +15,7 @@ fn find_eb_for_cr(
 ) -> f64 {
     let mut best = (f64::INFINITY, 1e-2);
     for &eb in &[2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1] {
-        let p = measure(compressor, field, eb);
+        let p = measure(compressor, field, ErrorBound::rel(eb)).expect("valid roundtrip");
         let gap = (p.compression_ratio - target_cr).abs();
         if gap < best.0 {
             best = (gap, eb);
@@ -50,8 +50,10 @@ fn main() {
     compressors.push(("ZFP", &mut zfp));
     for (name, comp) in compressors {
         let eb = find_eb_for_cr(comp, &field, target_cr);
-        let bytes = comp.compress(&field, eb);
-        let recon = comp.decompress(&bytes);
+        let bytes = comp
+            .compress(&field, ErrorBound::rel(eb))
+            .expect("valid input");
+        let recon = comp.decompress(&bytes).expect("own stream decodes");
         let stats = aesz_metrics::ErrorStats::compute(field.as_slice(), recon.as_slice());
         let cr = (field.len() * 4) as f64 / bytes.len() as f64;
         println!(

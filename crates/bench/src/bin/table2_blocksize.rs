@@ -4,7 +4,7 @@
 use aesz_core::training::{train_swae_for_field, training_blocks_from_field, TrainingOptions};
 use aesz_core::{AeSz, AeSzConfig};
 use aesz_datagen::Application;
-use aesz_metrics::measure;
+use aesz_metrics::{measure, ErrorBound};
 use aesz_nn::train::{TrainConfig, Trainer};
 use aesz_tensor::Dims;
 
@@ -46,7 +46,8 @@ fn run(app: Application, block_sizes: &[usize], latent_ratio: usize) {
                 ..AeSzConfig::default_2d()
             },
         );
-        let point = measure(&mut aesz, &test_field, 1e-2);
+        let point =
+            measure(&mut aesz, &test_field, ErrorBound::rel(1e-2)).expect("valid roundtrip");
         let label = match rank {
             2 => format!("{bs}x{bs}"),
             _ => format!("{bs}x{bs}x{bs}"),

@@ -4,7 +4,7 @@
 use aesz_core::training::{train_swae_for_field, TrainingOptions};
 use aesz_core::{AeSz, AeSzConfig};
 use aesz_datagen::Application;
-use aesz_metrics::measure;
+use aesz_metrics::{measure, ErrorBound};
 use aesz_tensor::Dims;
 
 fn main() {
@@ -32,7 +32,8 @@ fn main() {
         let model = train_swae_for_field(std::slice::from_ref(&train_field), &opts);
         let ratio = model.config().latent_ratio();
         let mut aesz = AeSz::new(model, AeSzConfig::default_3d());
-        let point = measure(&mut aesz, &test_field, 1e-2);
+        let point =
+            measure(&mut aesz, &test_field, ErrorBound::rel(1e-2)).expect("valid roundtrip");
         println!(
             "{latent:<12} {ratio:>12.1} {:>10.1}",
             point.compression_ratio

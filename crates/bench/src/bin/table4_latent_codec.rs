@@ -6,7 +6,7 @@ use aesz_baselines::Sz2;
 use aesz_core::training::{train_swae_for_field, training_blocks_from_field, TrainingOptions};
 use aesz_core::LatentCodec;
 use aesz_datagen::Application;
-use aesz_metrics::Compressor;
+use aesz_metrics::{Compressor, ErrorBound};
 use aesz_tensor::{Dims, Field};
 
 fn latents_for(app: Application) -> (Vec<f32>, usize) {
@@ -53,7 +53,10 @@ fn main() {
             let latent_field =
                 Field::from_vec(Dims::d2(n_vectors, latent_dim), latents.clone()).unwrap();
             let mut sz2 = Sz2::new();
-            let sz2_bytes = sz2.compress(&latent_field, 0.1 * eb).len();
+            let sz2_bytes = sz2
+                .compress(&latent_field, ErrorBound::rel(0.1 * eb))
+                .expect("valid input")
+                .len();
             println!(
                 "{:<26} {:>8.0e} {:>10.2} {:>10.2}",
                 app.name(),

@@ -6,7 +6,7 @@
 use aesz_baselines::{AeA, AeB, Sz2, SzAuto, SzInterp, Zfp};
 use aesz_bench::{test_field, trained_aesz, training_fields};
 use aesz_datagen::Application;
-use aesz_metrics::Compressor;
+use aesz_metrics::{Compressor, ErrorBound};
 use std::time::Instant;
 
 fn throughput(mb: f64, seconds: f64) -> f64 {
@@ -54,10 +54,12 @@ fn main() {
         }
         for (name, comp) in entries {
             let t0 = Instant::now();
-            let bytes = comp.compress(&field, 1e-3);
+            let bytes = comp
+                .compress(&field, ErrorBound::rel(1e-3))
+                .expect("valid input");
             let t_comp = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let _ = comp.decompress(&bytes);
+            let _ = comp.decompress(&bytes).expect("own stream decodes");
             let t_dec = t1.elapsed().as_secs_f64();
             println!(
                 "{:<22} {:<10} {:>12.2} {:>12.2}",
@@ -69,7 +71,10 @@ fn main() {
         }
         // Serial reference path of AE-SZ (the entries borrow has ended).
         let t0 = Instant::now();
-        let bytes = aesz.compress_with_report_serial(&field, 1e-3).0;
+        let bytes = aesz
+            .compress_with_report_serial(&field, ErrorBound::rel(1e-3))
+            .expect("valid input")
+            .0;
         let t_comp = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
         let _ = aesz

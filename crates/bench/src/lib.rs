@@ -14,7 +14,7 @@
 use aesz_core::training::TrainingOptions;
 use aesz_core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_datagen::Application;
-use aesz_metrics::{measure, Compressor, RdCurve, RdPoint, SweepPoint};
+use aesz_metrics::{measure, Compressor, ErrorBound, RdCurve, RdPoint, SweepPoint};
 use aesz_tensor::{Dims, Field};
 
 /// Field extents used by the harness (scaled-down stand-ins for Table V).
@@ -83,10 +83,14 @@ pub fn standard_bounds() -> Vec<f64> {
 }
 
 /// Sweep one compressor over a field and collect its rate-distortion curve.
+///
+/// The harness generates its own (valid) inputs, so a failed roundtrip is a
+/// bug in the compressor under test and panics with the reported error.
 pub fn sweep(compressor: &mut dyn Compressor, field: &Field, bounds: &[f64]) -> RdCurve {
     let mut curve = RdCurve::new(compressor.name());
     for &eb in bounds {
-        let p: SweepPoint = measure(compressor, field, eb);
+        let p: SweepPoint = measure(compressor, field, ErrorBound::rel(eb))
+            .unwrap_or_else(|e| panic!("{} failed at eb {eb:e}: {e}", compressor.name()));
         curve.push(RdPoint {
             error_bound: eb,
             bit_rate: p.bit_rate,

@@ -10,6 +10,7 @@
 
 use aesz_core::{AeSz, AeSzConfig, PredictorPolicy};
 use aesz_datagen::Application;
+use aesz_metrics::ErrorBound;
 use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
 use aesz_tensor::{Dims, Field};
 use std::time::Instant;
@@ -58,14 +59,17 @@ fn parallel_beats_serial_on_8mb_field() {
     );
 
     // Warm-up pass doubling as a reference stream.
-    let (reference, _) = aesz.compress_with_report_serial(&field, 1e-3);
+    let eb = ErrorBound::rel(1e-3);
+    let (reference, _) = aesz
+        .compress_with_report_serial(&field, eb)
+        .expect("valid input");
 
     let (t_ser, ser_bytes) = {
-        let (t, b) = best_of_3(|| aesz.compress_with_report_serial(&field, 1e-3).0);
+        let (t, b) = best_of_3(|| aesz.compress_with_report_serial(&field, eb).unwrap().0);
         (t, b)
     };
     let (t_par, par_bytes) = {
-        let (t, b) = best_of_3(|| aesz.compress_with_report(&field, 1e-3).0);
+        let (t, b) = best_of_3(|| aesz.compress_with_report(&field, eb).unwrap().0);
         (t, b)
     };
     assert_eq!(par_bytes, ser_bytes, "streams must be byte-identical");

@@ -2,17 +2,18 @@
 //!
 //! Both directions are organized as a *fallible, parallel block pipeline*:
 //!
-//! * **Fallible** — [`AeSz::try_decompress`] validates the stream header and
-//!   every payload-level invariant (code counts, escape counts, latent
-//!   payload size, model geometry) and returns a
-//!   [`DecompressError`](crate::error::DecompressError) on any violation.
-//!   The legacy [`AeSz::decompress_stream`] and the
-//!   [`Compressor`](aesz_metrics::Compressor) trait are thin panicking
-//!   wrappers kept for callers that trust their input.
+//! * **Fallible** — both directions return `Result`. Compression rejects
+//!   unusable bounds and non-finite fields with a [`CompressError`];
+//!   [`AeSz::try_decompress`] validates the stream header and every
+//!   payload-level invariant (code counts, escape counts, latent payload
+//!   size, model geometry) and returns a [`DecompressError`] on any
+//!   violation. The [`Compressor`] trait impl wraps the raw AE-SZ stream in
+//!   the workspace container frame; the inherent methods work on the
+//!   unframed stream.
 //! * **Parallel** — the per-block predictor/quantization work is partitioned
 //!   into contiguous chunks of [`AeSzConfig::chunk_blocks`] blocks and fanned
 //!   out with rayon, while AE inference runs in wide batches of
-//!   [`AE_PARALLEL_BATCH`] blocks (the convolution layers parallelize per
+//!   `AE_PARALLEL_BATCH` blocks (the convolution layers parallelize per
 //!   sample; the batch is bounded so activation memory stays independent of
 //!   the field size).
 //!   Chunk outputs are merged in block order, so the parallel path produces
@@ -20,7 +21,7 @@
 //!   ([`AeSz::compress_with_report_serial`] / [`AeSz::try_decompress_serial`]).
 
 use aesz_codec::{compress_bytes, decode_codes_capped, decompress_bytes_capped, encode_codes};
-use aesz_metrics::Compressor;
+use aesz_metrics::{CodecId, CompressError, Compressor, ErrorBound};
 use aesz_nn::models::conv_ae::ConvAutoencoder;
 use aesz_predictors::{lorenzo, mean, QuantizedBlock, Quantizer};
 use aesz_tensor::{BlockSpec, Dims, Field};
@@ -301,14 +302,19 @@ impl AeSz {
         preds
     }
 
-    /// Compress a field with the parallel pipeline, returning the stream
-    /// bytes and the per-block report.
+    /// Compress a field with the parallel pipeline, returning the raw
+    /// (unframed) stream bytes and the per-block report.
+    ///
+    /// Rejects unusable bounds and empty or non-finite fields with a
+    /// [`CompressError`] instead of panicking. Pair with
+    /// [`AeSz::try_decompress`]; the [`Compressor`] trait adds the workspace
+    /// container frame on top of this stream.
     pub fn compress_with_report(
         &mut self,
         field: &Field,
-        rel_eb: f64,
-    ) -> (Vec<u8>, CompressionReport) {
-        self.compress_impl(field, rel_eb, true)
+        bound: ErrorBound,
+    ) -> Result<(Vec<u8>, CompressionReport), CompressError> {
+        self.compress_impl(field, bound, true)
     }
 
     /// Serial reference implementation of [`AeSz::compress_with_report`];
@@ -317,30 +323,42 @@ impl AeSz {
     pub fn compress_with_report_serial(
         &mut self,
         field: &Field,
-        rel_eb: f64,
-    ) -> (Vec<u8>, CompressionReport) {
-        self.compress_impl(field, rel_eb, false)
+        bound: ErrorBound,
+    ) -> Result<(Vec<u8>, CompressionReport), CompressError> {
+        self.compress_impl(field, bound, false)
     }
 
     fn compress_impl(
         &mut self,
         field: &Field,
-        rel_eb: f64,
+        bound: ErrorBound,
         parallel: bool,
-    ) -> (Vec<u8>, CompressionReport) {
-        assert!(
-            rel_eb > 0.0 && rel_eb.is_finite(),
-            "error bound must be positive"
-        );
+    ) -> Result<(Vec<u8>, CompressionReport), CompressError> {
+        bound.validate()?;
+        if field.is_empty() {
+            return Err(CompressError::UnsupportedField("field has no elements"));
+        }
         let dims = field.dims();
         let rank = Self::rank(dims);
         let bs = self.config.block_size;
         let (lo, hi) = field.min_max();
-        assert!(
-            lo.is_finite() && hi.is_finite(),
-            "field contains infinite values; the relative error bound is undefined"
-        );
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(CompressError::UnsupportedField(
+                "field contains non-finite values; the error bound is undefined",
+            ));
+        }
         let range = (hi - lo) as f64;
+        // The (version-2) stream header stores a range-relative bound, so an
+        // absolute request is converted against the data range here; on a
+        // degenerate range the stored value doubles as the absolute bound
+        // (the contract of `abs_bound`). Deriving `abs_eb` from the *stored*
+        // `rel_eb` keeps encoder and decoder quantizers bit-identical.
+        let rel_eb = bound.to_range_rel(lo, hi).value();
+        if !rel_eb.is_finite() || rel_eb <= 0.0 {
+            return Err(CompressError::InvalidBound(
+                "bound underflows relative to the data range",
+            ));
+        }
         let abs_eb = Self::abs_bound(rel_eb, lo, hi);
         let quantizer = Quantizer::new(abs_eb, self.config.quant_bins);
         // Latent error bound: fraction of the *normalised-domain* bound
@@ -531,7 +549,7 @@ impl AeSz {
         let bytes = stream.to_bytes();
         report.compressed_bytes = bytes.len();
         self.last_report = report;
-        (bytes, report)
+        Ok((bytes, report))
     }
 
     /// Reconstruct a field from a compressed stream, returning an error on
@@ -727,35 +745,26 @@ impl AeSz {
         }
         Ok(field)
     }
-
-    /// Reconstruct a field from a compressed stream.
-    ///
-    /// # Panics
-    /// Panics on malformed input; use [`AeSz::try_decompress`] to handle
-    /// untrusted streams gracefully.
-    pub fn decompress_stream(&mut self, bytes: &[u8]) -> Field {
-        self.try_decompress(bytes).expect("valid AE-SZ stream")
-    }
 }
 
 impl Compressor for AeSz {
-    fn name(&self) -> &'static str {
-        "AE-SZ"
+    fn codec_id(&self) -> CodecId {
+        CodecId::AeSz
     }
 
-    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8> {
-        self.compress_with_report(field, rel_eb).0
-    }
-
-    fn decompress(&mut self, bytes: &[u8]) -> Field {
-        self.decompress_stream(bytes)
-    }
-
-    fn try_decompress(
+    fn compress_payload(
         &mut self,
-        bytes: &[u8],
-    ) -> Result<Field, Box<dyn std::error::Error + Send + Sync>> {
-        AeSz::try_decompress(self, bytes).map_err(|e| Box::new(e) as _)
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        self.compress_with_report(field, bound).map(|(b, _)| b)
+    }
+
+    fn decompress_payload(
+        &mut self,
+        payload: &[u8],
+    ) -> Result<Field, aesz_metrics::DecompressError> {
+        self.try_decompress(payload).map_err(Into::into)
     }
 }
 
@@ -792,8 +801,10 @@ mod tests {
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 51);
         let mut aesz = quick_aesz_2d(&field);
         for rel_eb in [1e-2, 1e-3] {
-            let bytes = aesz.compress(&field, rel_eb);
-            let recon = aesz.decompress(&bytes);
+            let (bytes, _) = aesz
+                .compress_with_report(&field, ErrorBound::rel(rel_eb))
+                .expect("valid input");
+            let recon = aesz.try_decompress(&bytes).expect("valid stream");
             let abs = rel_eb * field.value_range() as f64;
             verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
                 .expect("error bound must hold");
@@ -805,7 +816,9 @@ mod tests {
     fn report_accounts_for_every_block() {
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 48), 52);
         let mut aesz = quick_aesz_2d(&field);
-        let (_, report) = aesz.compress_with_report(&field, 1e-2);
+        let (_, report) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-2))
+            .expect("valid input");
         assert_eq!(
             report.ae_blocks + report.lorenzo_blocks + report.mean_blocks,
             report.total_blocks
@@ -820,13 +833,17 @@ mod tests {
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 53);
         let mut aesz = quick_aesz_2d(&field);
         aesz.set_policy(PredictorPolicy::AeOnly);
-        let (_, r_ae) = aesz.compress_with_report(&field, 1e-2);
+        let (_, r_ae) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-2))
+            .expect("valid input");
         assert_eq!(r_ae.ae_blocks, r_ae.total_blocks);
         aesz.set_policy(PredictorPolicy::LorenzoOnly);
-        let (bytes, r_lor) = aesz.compress_with_report(&field, 1e-2);
+        let (bytes, r_lor) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-2))
+            .expect("valid input");
         assert_eq!(r_lor.ae_blocks, 0);
         // Both policies must still satisfy the error bound.
-        let recon = aesz.decompress(&bytes);
+        let recon = aesz.try_decompress(&bytes).expect("valid stream");
         let abs = 1e-2 * field.value_range() as f64;
         verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
     }
@@ -835,8 +852,10 @@ mod tests {
     fn constant_field_compresses_to_almost_nothing() {
         let field = Field::from_vec(Dims::d2(32, 32), vec![4.2; 1024]).unwrap();
         let mut aesz = quick_aesz_2d(&Application::CesmCldhgh.generate(Dims::d2(32, 32), 3));
-        let bytes = aesz.compress(&field, 1e-3);
-        let recon = aesz.decompress(&bytes);
+        let (bytes, _) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-3))
+            .expect("valid input");
+        let recon = aesz.try_decompress(&bytes).expect("valid stream");
         assert_eq!(recon.as_slice(), field.as_slice());
         assert!(
             bytes.len() < 300,
@@ -854,7 +873,9 @@ mod tests {
         for value in [0.0f32, 4.2, -1.0e-7, 3.3333333e12] {
             for rel_eb in [1e-1, 1e-6, 1e-12] {
                 let field = Field::from_vec(Dims::d2(32, 32), vec![value; 1024]).unwrap();
-                let bytes = aesz.compress(&field, rel_eb);
+                let (bytes, _) = aesz
+                    .compress_with_report(&field, ErrorBound::rel(rel_eb))
+                    .expect("valid input");
                 let recon = aesz.try_decompress(&bytes).expect("valid stream");
                 assert_eq!(
                     recon.as_slice(),
@@ -869,8 +890,16 @@ mod tests {
     fn finer_bounds_cost_more_bits() {
         let field = Application::CesmFreqsh.generate(Dims::d2(64, 64), 54);
         let mut aesz = quick_aesz_2d(&field);
-        let coarse = aesz.compress(&field, 1e-1).len();
-        let fine = aesz.compress(&field, 1e-4).len();
+        let coarse = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-1))
+            .expect("valid input")
+            .0
+            .len();
+        let fine = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-4))
+            .expect("valid input")
+            .0
+            .len();
         assert!(fine > coarse, "fine {fine} <= coarse {coarse}");
     }
 
@@ -879,8 +908,12 @@ mod tests {
         let field = Application::CesmCldhgh.generate(Dims::d2(80, 56), 55);
         let mut aesz = quick_aesz_2d(&field);
         for rel_eb in [1e-2, 1e-3] {
-            let (par_bytes, par_report) = aesz.compress_with_report(&field, rel_eb);
-            let (ser_bytes, ser_report) = aesz.compress_with_report_serial(&field, rel_eb);
+            let (par_bytes, par_report) = aesz
+                .compress_with_report(&field, ErrorBound::rel(rel_eb))
+                .expect("valid input");
+            let (ser_bytes, ser_report) = aesz
+                .compress_with_report_serial(&field, ErrorBound::rel(rel_eb))
+                .expect("valid input");
             assert_eq!(par_bytes, ser_bytes, "streams must be byte-identical");
             assert_eq!(par_report, ser_report, "reports must match");
             let par_field = aesz.try_decompress(&par_bytes).unwrap();
@@ -893,10 +926,14 @@ mod tests {
     fn chunk_size_does_not_change_the_stream() {
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 56);
         let mut aesz = quick_aesz_2d(&field);
-        let (reference, _) = aesz.compress_with_report(&field, 1e-2);
+        let (reference, _) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-2))
+            .expect("valid input");
         for chunk_blocks in [1, 3, 1000] {
             aesz.config.chunk_blocks = chunk_blocks;
-            let (bytes, _) = aesz.compress_with_report(&field, 1e-2);
+            let (bytes, _) = aesz
+                .compress_with_report(&field, ErrorBound::rel(1e-2))
+                .expect("valid input");
             assert_eq!(bytes, reference, "chunk_blocks={chunk_blocks}");
         }
     }
@@ -907,7 +944,9 @@ mod tests {
         // rank-1 fields through (mean-)Lorenzo under any policy.
         let field = Field::from_fn(Dims::d1(333), |c| ((c[0] as f32) * 0.1).sin());
         let mut aesz = quick_aesz_2d(&Application::CesmCldhgh.generate(Dims::d2(32, 32), 3));
-        let (bytes, report) = aesz.compress_with_report(&field, 1e-3);
+        let (bytes, report) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-3))
+            .expect("valid input");
         assert_eq!(report.ae_blocks, 0);
         let recon = aesz.try_decompress(&bytes).expect("valid stream");
         let abs = 1e-3 * field.value_range() as f64;
@@ -921,7 +960,9 @@ mod tests {
         // configuration differs must still honour the error bound.
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 58);
         let mut aesz = quick_aesz_2d(&field);
-        let (bytes, _) = aesz.compress_with_report(&field, 1e-3);
+        let (bytes, _) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-3))
+            .expect("valid input");
         aesz.config.quant_bins = 1024;
         aesz.config.latent_eb_fraction = 0.5;
         let recon = aesz.try_decompress(&bytes).expect("valid stream");
@@ -934,7 +975,9 @@ mod tests {
     fn model_mismatch_is_reported() {
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 57);
         let mut aesz = quick_aesz_2d(&field);
-        let (bytes, report) = aesz.compress_with_report(&field, 1e-2);
+        let (bytes, report) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-2))
+            .expect("valid input");
         if report.ae_blocks == 0 {
             return; // nothing latent-coded; any model can decode it
         }

@@ -4,8 +4,9 @@
 //! hostile length prefixes, a model/stream mismatch — surfaces as a
 //! [`DecompressError`] from [`crate::stream::Stream::from_bytes`] and
 //! [`crate::AeSz::try_decompress`] instead of a panic or an unbounded
-//! allocation. The panicking wrappers ([`crate::AeSz::decompress_stream`]
-//! and the [`aesz_metrics::Compressor`] trait impl) unwrap this type.
+//! allocation. The [`aesz_metrics::Compressor`] trait impl folds this type
+//! into the workspace-wide [`aesz_metrics::DecompressError`] hierarchy via
+//! the `From` impl below.
 
 use aesz_codec::CodecError;
 
@@ -39,6 +40,33 @@ pub enum DecompressError {
 impl From<CodecError> for DecompressError {
     fn from(e: CodecError) -> Self {
         DecompressError::Codec(e)
+    }
+}
+
+impl From<DecompressError> for aesz_metrics::DecompressError {
+    fn from(e: DecompressError) -> Self {
+        use aesz_metrics::DecompressError as Api;
+        match e {
+            // The container frame already identified the stream as AE-SZ, so
+            // a wrong *inner* magic is a header problem of the payload, not a
+            // container-level `BadMagic`.
+            DecompressError::BadMagic => Api::InvalidHeader("AE-SZ payload magic"),
+            DecompressError::Truncated(what) => Api::Truncated(what),
+            DecompressError::InvalidHeader(what) => Api::InvalidHeader(what),
+            DecompressError::Inconsistent(what) => Api::Inconsistent(what),
+            DecompressError::ModelMismatch {
+                stream_block_size,
+                stream_latent_dim,
+                model_block_size,
+                model_latent_dim,
+            } => Api::ModelMismatch {
+                stream_block_size,
+                stream_latent_dim,
+                model_block_size,
+                model_latent_dim,
+            },
+            DecompressError::Codec(c) => Api::Codec(c),
+        }
     }
 }
 
@@ -95,6 +123,36 @@ mod tests {
         };
         assert!(mm.to_string().contains("32"));
         assert!(mm.to_string().contains("4"));
+    }
+
+    #[test]
+    fn folds_into_the_workspace_error_hierarchy() {
+        use aesz_metrics::DecompressError as Api;
+        assert_eq!(
+            Api::from(DecompressError::Truncated("codes section")),
+            Api::Truncated("codes section")
+        );
+        assert!(matches!(
+            Api::from(DecompressError::BadMagic),
+            Api::InvalidHeader(_)
+        ));
+        assert!(matches!(
+            Api::from(DecompressError::ModelMismatch {
+                stream_block_size: 32,
+                stream_latent_dim: 16,
+                model_block_size: 8,
+                model_latent_dim: 4,
+            }),
+            Api::ModelMismatch {
+                stream_block_size: 32,
+                model_latent_dim: 4,
+                ..
+            }
+        ));
+        assert!(matches!(
+            Api::from(DecompressError::from(CodecError::CorruptLz)),
+            Api::Codec(CodecError::CorruptLz)
+        ));
     }
 
     #[test]

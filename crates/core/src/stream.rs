@@ -49,10 +49,7 @@ use crate::error::DecompressError;
 /// configuration matching the encoder's).
 pub const MAGIC: &[u8; 8] = b"AESZ0002";
 
-/// Upper bound on the element count a stream header may declare (2³¹ points,
-/// an 8 GiB `f32` field). Every decode-side allocation is proportional to a
-/// header-declared size, so this caps what hostile headers can request.
-pub const MAX_FIELD_ELEMS: usize = 1 << 31;
+pub use aesz_metrics::container::MAX_FIELD_ELEMS;
 
 /// Per-block predictor choice, two bits per block in the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

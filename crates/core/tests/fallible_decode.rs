@@ -6,6 +6,7 @@
 use aesz_core::training::{train_swae_for_field, TrainingOptions};
 use aesz_core::{AeSz, AeSzConfig, DecompressError, PredictorPolicy};
 use aesz_datagen::Application;
+use aesz_metrics::ErrorBound;
 use aesz_tensor::{Dims, Field};
 
 /// A cheaply trained compressor whose streams contain all three block kinds.
@@ -32,7 +33,9 @@ fn tiny_aesz() -> AeSz {
 
 fn sample_stream(aesz: &mut AeSz) -> Vec<u8> {
     let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 11);
-    aesz.compress_with_report(&field, 1e-3).0
+    aesz.compress_with_report(&field, ErrorBound::rel(1e-3))
+        .expect("valid input")
+        .0
 }
 
 #[test]
@@ -88,7 +91,9 @@ fn policy_flag_consistency_is_enforced() {
     let mut aesz = tiny_aesz();
     let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 13);
     aesz.set_policy(PredictorPolicy::LorenzoOnly);
-    let (bytes, report) = aesz.compress_with_report(&field, 1e-3);
+    let (bytes, report) = aesz
+        .compress_with_report(&field, ErrorBound::rel(1e-3))
+        .expect("valid input");
     assert_eq!(report.ae_blocks, 0);
     // LorenzoOnly streams decode fine…
     aesz.try_decompress(&bytes).expect("valid stream");
@@ -99,11 +104,35 @@ fn policy_flag_consistency_is_enforced() {
 }
 
 #[test]
-fn trait_level_try_decompress_reports_errors() {
+fn trait_level_decompress_reports_errors() {
     use aesz_metrics::Compressor;
     let mut aesz = tiny_aesz();
     let field = Field::from_fn(Dims::d2(16, 16), |c| (c[0] * 16 + c[1]) as f32);
-    let bytes = Compressor::compress(&mut aesz, &field, 1e-3);
-    assert!(Compressor::try_decompress(&mut aesz, &bytes).is_ok());
-    assert!(Compressor::try_decompress(&mut aesz, &bytes[..bytes.len() / 2]).is_err());
+    let bytes = Compressor::compress(&mut aesz, &field, ErrorBound::rel(1e-3)).expect("compress");
+    assert!(Compressor::decompress(&mut aesz, &bytes).is_ok());
+    for len in 0..bytes.len() {
+        assert!(
+            Compressor::decompress(&mut aesz, &bytes[..len]).is_err(),
+            "framed prefix of {len} bytes decoded successfully"
+        );
+    }
+    // Invalid compression requests are reported, not asserted.
+    assert!(Compressor::compress(&mut aesz, &field, ErrorBound::rel(f64::NAN)).is_err());
+    assert!(Compressor::compress(&mut aesz, &field, ErrorBound::abs(-1.0)).is_err());
+}
+
+#[test]
+fn absolute_bounds_are_honoured() {
+    let mut aesz = tiny_aesz();
+    let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 19);
+    let abs = 1e-3 * field.value_range() as f64;
+    let (bytes, _) = aesz
+        .compress_with_report(&field, ErrorBound::abs(abs))
+        .expect("valid input");
+    let recon = aesz.try_decompress(&bytes).expect("valid stream");
+    let max_err = aesz_metrics::max_abs_error(field.as_slice(), recon.as_slice());
+    assert!(
+        max_err <= abs * (1.0 + 1e-9),
+        "absolute bound {abs} violated: {max_err}"
+    );
 }

@@ -63,8 +63,13 @@ fn aesz_3d() -> &'static Mutex<AeSz> {
 /// Compress serially and in parallel, assert stream equality, decode through
 /// both paths, assert field equality and the error bound.
 fn check_roundtrip(aesz: &mut AeSz, field: &Field, rel_eb: f64) -> Result<(), String> {
-    let (par_bytes, par_report) = aesz.compress_with_report(field, rel_eb);
-    let (ser_bytes, ser_report) = aesz.compress_with_report_serial(field, rel_eb);
+    let bound = aesz_metrics::ErrorBound::rel(rel_eb);
+    let (par_bytes, par_report) = aesz
+        .compress_with_report(field, bound)
+        .map_err(|e| format!("parallel compress failed: {e}"))?;
+    let (ser_bytes, ser_report) = aesz
+        .compress_with_report_serial(field, bound)
+        .map_err(|e| format!("serial compress failed: {e}"))?;
     if par_bytes != ser_bytes {
         return Err(format!(
             "parallel ({} B) and serial ({} B) streams differ for dims {}",

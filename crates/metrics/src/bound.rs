@@ -1,0 +1,176 @@
+//! Error-bound modes accepted by every compressor in the workspace.
+//!
+//! Production SZ-family compressors expose (at least) absolute and
+//! value-range-relative bound modes; [`ErrorBound`] carries that request
+//! through the [`Compressor`](crate::Compressor) trait so every figure
+//! binary, example and future service front-end inherits both modes from the
+//! same code path. The paper's evaluation sweeps value-range-relative bounds
+//! (ε in Section III), which [`ErrorBound::RangeRel`] reproduces exactly.
+
+use crate::error::CompressError;
+use aesz_tensor::Field;
+
+/// Smallest absolute bound a degenerate (constant / empty) field resolves to,
+/// so the downstream quantizer always sees a positive step.
+pub const MIN_ABS_BOUND: f64 = 1e-12;
+
+/// A pointwise error bound request, in one of the supported modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound: `|dᵢ − d'ᵢ| ≤ e` for every point.
+    Abs(f64),
+    /// Value-range-relative bound (ε in the paper): the absolute bound is
+    /// `e · (max − min)` of the field being compressed.
+    RangeRel(f64),
+}
+
+impl ErrorBound {
+    /// Absolute bound `e`.
+    pub fn abs(e: f64) -> Self {
+        ErrorBound::Abs(e)
+    }
+
+    /// Value-range-relative bound `e` (the paper's ε).
+    pub fn rel(e: f64) -> Self {
+        ErrorBound::RangeRel(e)
+    }
+
+    /// The raw numeric value of the bound, in its own mode.
+    pub fn value(&self) -> f64 {
+        match *self {
+            ErrorBound::Abs(e) | ErrorBound::RangeRel(e) => e,
+        }
+    }
+
+    /// Short mode label ("abs" / "rel") for table headers and error messages.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            ErrorBound::Abs(_) => "abs",
+            ErrorBound::RangeRel(_) => "rel",
+        }
+    }
+
+    /// Check that the bound is usable: finite and strictly positive.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        let e = self.value();
+        if !e.is_finite() {
+            return Err(CompressError::InvalidBound("error bound must be finite"));
+        }
+        if e <= 0.0 {
+            return Err(CompressError::InvalidBound(
+                "error bound must be strictly positive",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolve to an absolute bound for a field spanning `[lo, hi]`.
+    ///
+    /// # Degenerate-range contract
+    /// A relative bound has no scale on a constant (or empty) field, so for
+    /// `hi <= lo` the relative value is interpreted as an **absolute** bound,
+    /// floored at [`MIN_ABS_BOUND`] so the quantizer stays valid. Absolute
+    /// bounds resolve to exactly themselves — no floor is applied, since the
+    /// caller's request is already in the absolute domain.
+    pub fn absolute(&self, lo: f32, hi: f32) -> f64 {
+        let range = (hi as f64) - (lo as f64);
+        match *self {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::RangeRel(e) => {
+                if range > 0.0 {
+                    e * range
+                } else {
+                    e.max(MIN_ABS_BOUND)
+                }
+            }
+        }
+    }
+
+    /// Resolve to an absolute bound for a concrete field (scans its min/max).
+    pub fn resolve(&self, field: &Field) -> f64 {
+        let (lo, hi) = field.min_max();
+        self.absolute(lo, hi)
+    }
+
+    /// Convert to the absolute mode for a field spanning `[lo, hi]`.
+    pub fn to_abs(self, lo: f32, hi: f32) -> ErrorBound {
+        ErrorBound::Abs(self.absolute(lo, hi))
+    }
+
+    /// Convert to the value-range-relative mode for a field spanning
+    /// `[lo, hi]`. On a degenerate range the numeric value is kept as-is
+    /// (the two modes coincide there, per the contract of
+    /// [`ErrorBound::absolute`]).
+    pub fn to_range_rel(self, lo: f32, hi: f32) -> ErrorBound {
+        let range = (hi as f64) - (lo as f64);
+        match self {
+            ErrorBound::RangeRel(e) => ErrorBound::RangeRel(e),
+            ErrorBound::Abs(e) => {
+                if range > 0.0 {
+                    ErrorBound::RangeRel(e / range)
+                } else {
+                    ErrorBound::RangeRel(e)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorBound::Abs(e) => write!(f, "abs {e:e}"),
+            ErrorBound::RangeRel(e) => write!(f, "rel {e:e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_tensor::Dims;
+
+    #[test]
+    fn relative_bounds_scale_with_the_range() {
+        assert!((ErrorBound::rel(1e-3).absolute(0.0, 10.0) - 1e-2).abs() < 1e-15);
+        assert!((ErrorBound::abs(0.5).absolute(0.0, 10.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_ranges_fall_back_to_absolute() {
+        assert!((ErrorBound::rel(1e-3).absolute(5.0, 5.0) - 1e-3).abs() < 1e-15);
+        assert!(ErrorBound::rel(0.0f64.min(1e-20)).absolute(5.0, 5.0) >= MIN_ABS_BOUND);
+        assert!((ErrorBound::abs(2.0).absolute(5.0, 5.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn resolve_scans_the_field() {
+        let field = Field::from_fn(Dims::d1(11), |c| c[0] as f32);
+        assert!((ErrorBound::rel(1e-2).resolve(&field) - 0.1).abs() < 1e-12);
+        assert!((ErrorBound::abs(0.25).resolve(&field) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conversions_roundtrip_on_positive_ranges() {
+        let b = ErrorBound::abs(0.05).to_range_rel(0.0, 10.0);
+        assert!(matches!(b, ErrorBound::RangeRel(e) if (e - 5e-3).abs() < 1e-15));
+        let a = b.to_abs(0.0, 10.0);
+        assert!(matches!(a, ErrorBound::Abs(e) if (e - 0.05).abs() < 1e-15));
+    }
+
+    #[test]
+    fn validation_rejects_unusable_bounds() {
+        assert!(ErrorBound::rel(1e-3).validate().is_ok());
+        assert!(ErrorBound::abs(f64::NAN).validate().is_err());
+        assert!(ErrorBound::abs(f64::INFINITY).validate().is_err());
+        assert!(ErrorBound::rel(0.0).validate().is_err());
+        assert!(ErrorBound::rel(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn display_names_the_mode() {
+        assert_eq!(ErrorBound::rel(1e-3).mode(), "rel");
+        assert_eq!(ErrorBound::abs(1e-3).mode(), "abs");
+        assert!(ErrorBound::abs(1e-3).to_string().starts_with("abs"));
+    }
+}

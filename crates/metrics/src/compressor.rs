@@ -1,39 +1,80 @@
 //! The common interface every lossy compressor in the workspace implements.
 //!
 //! The benchmark harness sweeps error bounds across AE-SZ and the six
-//! comparison compressors of the paper; this trait is the only thing it needs
-//! to know about them. Error bounds are *value-range-relative* (ε in the
-//! paper): the absolute bound is `ε · (max − min)` of the input field.
+//! comparison compressors of the paper through this trait, and a service
+//! front-end can decode untrusted streams through it: both directions are
+//! fallible, the error-bound mode is explicit ([`ErrorBound`]), and every
+//! stream is wrapped in the self-describing container frame of
+//! [`crate::container`] so `decompress_any` can dispatch by codec id.
+//!
+//! Implementors provide the codec-specific payload methods
+//! ([`Compressor::compress_payload`] / [`Compressor::decompress_payload`]);
+//! the primary entry points [`Compressor::compress`] and
+//! [`Compressor::decompress`] add the shared input validation and container
+//! framing so no codec can forget them.
 
+use crate::bound::ErrorBound;
+use crate::container::{self, CodecId};
+use crate::error::{CompressError, CompressorError, DecompressError};
 use aesz_tensor::Field;
 
 /// A lossy field compressor with (optionally) bounded pointwise error.
 pub trait Compressor {
+    /// Which codec this compressor implements (the container dispatch key).
+    fn codec_id(&self) -> CodecId;
+
     /// Display name matching the paper's figures ("AE-SZ", "SZ2.1", "ZFP", …).
-    fn name(&self) -> &'static str;
-
-    /// Compress `field` under the value-range-relative error bound `rel_eb`.
-    fn compress(&mut self, field: &Field, rel_eb: f64) -> Vec<u8>;
-
-    /// Reconstruct a field from bytes produced by [`Compressor::compress`].
-    fn decompress(&mut self, bytes: &[u8]) -> Field;
-
-    /// Fallible reconstruction for untrusted input.
-    ///
-    /// Compressors with a hardened decode path (AE-SZ) override this to
-    /// report malformed streams as errors; the default delegates to
-    /// [`Compressor::decompress`] and therefore inherits its panics.
-    fn try_decompress(
-        &mut self,
-        bytes: &[u8],
-    ) -> Result<Field, Box<dyn std::error::Error + Send + Sync>> {
-        Ok(self.decompress(bytes))
+    fn name(&self) -> &'static str {
+        self.codec_id().name()
     }
 
-    /// Whether the compressor guarantees `|dᵢ − d'ᵢ| ≤ rel_eb·range` pointwise.
+    /// Whether the compressor guarantees `|dᵢ − d'ᵢ| ≤ bound` pointwise.
     /// (AE-B in the paper is the one comparison compressor that does not.)
     fn is_error_bounded(&self) -> bool {
         true
+    }
+
+    /// Produce the codec-specific payload for `field` under `bound`.
+    ///
+    /// Called by [`Compressor::compress`] after the shared validation
+    /// (usable bound, non-empty field); implementations may assume both and
+    /// must not add the container frame themselves.
+    fn compress_payload(
+        &mut self,
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError>;
+
+    /// Reconstruct a field from a codec-specific payload (the container
+    /// frame already stripped by [`Compressor::decompress`]).
+    ///
+    /// Must return an error — never panic, never allocate unboundedly — on
+    /// any malformed, truncated or hostile input.
+    fn decompress_payload(&mut self, payload: &[u8]) -> Result<Field, DecompressError>;
+
+    /// Compress `field` under `bound` into a framed, self-describing stream.
+    fn compress(&mut self, field: &Field, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        bound.validate()?;
+        if field.is_empty() {
+            return Err(CompressError::UnsupportedField("field has no elements"));
+        }
+        let payload = self.compress_payload(field, bound)?;
+        Ok(container::write_frame(self.codec_id(), &payload))
+    }
+
+    /// Reconstruct a field from a framed stream produced by
+    /// [`Compressor::compress`]. Streams framed for a different codec are
+    /// rejected with [`DecompressError::WrongCodec`] (dispatch across codecs
+    /// with `decompress_any` instead).
+    fn decompress(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+        let (codec, payload) = container::read_frame(bytes)?;
+        if codec != self.codec_id() {
+            return Err(DecompressError::WrongCodec {
+                expected: self.codec_id(),
+                found: codec,
+            });
+        }
+        self.decompress_payload(payload)
     }
 }
 
@@ -41,8 +82,8 @@ pub trait Compressor {
 /// rate-distortion sweeps of Fig. 8/11.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
-    /// Relative error bound requested.
-    pub rel_eb: f64,
+    /// Error bound requested.
+    pub bound: ErrorBound,
     /// Compressed size in bytes.
     pub compressed_bytes: usize,
     /// PSNR of the reconstruction (dB).
@@ -56,20 +97,25 @@ pub struct SweepPoint {
 }
 
 /// Run one compressor over a field at one error bound and measure everything
-/// the evaluation needs.
-pub fn measure(compressor: &mut dyn Compressor, field: &Field, rel_eb: f64) -> SweepPoint {
-    let bytes = compressor.compress(field, rel_eb);
-    let recon = compressor.decompress(&bytes);
+/// the evaluation needs, reporting failures on either leg instead of
+/// panicking.
+pub fn measure(
+    compressor: &mut dyn Compressor,
+    field: &Field,
+    bound: ErrorBound,
+) -> Result<SweepPoint, CompressorError> {
+    let bytes = compressor.compress(field, bound)?;
+    let recon = compressor.decompress(&bytes)?;
     let stats = crate::error_stats::ErrorStats::compute(field.as_slice(), recon.as_slice());
     let original_bytes = field.len() * std::mem::size_of::<f32>();
-    SweepPoint {
-        rel_eb,
+    Ok(SweepPoint {
+        bound,
         compressed_bytes: bytes.len(),
         psnr: stats.psnr,
         max_abs_error: stats.max_abs_error,
         compression_ratio: crate::rate_distortion::compression_ratio(original_bytes, bytes.len()),
         bit_rate: crate::rate_distortion::bit_rate(bytes.len(), field.len()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -77,14 +123,20 @@ mod tests {
     use super::*;
     use aesz_tensor::Dims;
 
-    /// A trivial "compressor" that stores the raw bytes, used to test `measure`.
+    /// A trivial "compressor" that stores the raw bytes, used to test the
+    /// trait plumbing and `measure`. It borrows the ZFP codec id purely for
+    /// framing; it is not registered anywhere.
     struct Identity;
 
     impl Compressor for Identity {
-        fn name(&self) -> &'static str {
-            "identity"
+        fn codec_id(&self) -> CodecId {
+            CodecId::Zfp
         }
-        fn compress(&mut self, field: &Field, _rel_eb: f64) -> Vec<u8> {
+        fn compress_payload(
+            &mut self,
+            field: &Field,
+            _bound: ErrorBound,
+        ) -> Result<Vec<u8>, CompressError> {
             let mut out = Vec::new();
             let e = field.dims().extents();
             out.push(e.len() as u8);
@@ -92,15 +144,22 @@ mod tests {
                 out.extend_from_slice(&(d as u64).to_le_bytes());
             }
             out.extend_from_slice(&field.to_le_bytes());
-            out
+            Ok(out)
         }
-        fn decompress(&mut self, bytes: &[u8]) -> Field {
-            let rank = bytes[0] as usize;
+        fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+            let rank = *bytes.first().ok_or(DecompressError::Truncated("rank"))? as usize;
+            if !(1..=3).contains(&rank) {
+                return Err(DecompressError::InvalidHeader("rank"));
+            }
             let mut pos = 1;
             let mut ext = Vec::new();
             for _ in 0..rank {
                 let mut b = [0u8; 8];
-                b.copy_from_slice(&bytes[pos..pos + 8]);
+                b.copy_from_slice(
+                    bytes
+                        .get(pos..pos + 8)
+                        .ok_or(DecompressError::Truncated("extent"))?,
+                );
                 ext.push(u64::from_le_bytes(b) as usize);
                 pos += 8;
             }
@@ -109,7 +168,8 @@ mod tests {
                 2 => Dims::d2(ext[0], ext[1]),
                 _ => Dims::d3(ext[0], ext[1], ext[2]),
             };
-            Field::from_le_bytes(dims, &bytes[pos..]).unwrap()
+            Field::from_le_bytes(dims, &bytes[pos..])
+                .map_err(|_| DecompressError::Inconsistent("payload does not match dims"))
         }
     }
 
@@ -117,7 +177,7 @@ mod tests {
     fn measure_reports_lossless_roundtrip() {
         let field = Field::from_fn(Dims::d2(16, 16), |c| (c[0] + c[1]) as f32);
         let mut ident = Identity;
-        let p = measure(&mut ident, &field, 1e-3);
+        let p = measure(&mut ident, &field, ErrorBound::rel(1e-3)).expect("identity roundtrip");
         assert!(p.psnr.is_infinite());
         assert_eq!(p.max_abs_error, 0.0);
         assert!(p.compression_ratio < 1.01);
@@ -125,11 +185,35 @@ mod tests {
     }
 
     #[test]
-    fn default_try_decompress_delegates_to_decompress() {
+    fn compress_validates_bound_and_field() {
         let field = Field::from_fn(Dims::d1(8), |c| c[0] as f32);
         let mut ident = Identity;
-        let bytes = ident.compress(&field, 1e-3);
-        let recon = ident.try_decompress(&bytes).expect("identity roundtrip");
+        assert!(matches!(
+            ident.compress(&field, ErrorBound::rel(0.0)),
+            Err(CompressError::InvalidBound(_))
+        ));
+        let empty = Field::zeros(Dims::d1(0));
+        assert!(matches!(
+            ident.compress(&empty, ErrorBound::rel(1e-3)),
+            Err(CompressError::UnsupportedField(_))
+        ));
+    }
+
+    #[test]
+    fn streams_are_framed_and_self_describing() {
+        let field = Field::from_fn(Dims::d1(8), |c| c[0] as f32);
+        let mut ident = Identity;
+        let bytes = ident.compress(&field, ErrorBound::abs(1e-3)).unwrap();
+        assert_eq!(container::peek_codec(&bytes).unwrap(), CodecId::Zfp);
+        let recon = ident.decompress(&bytes).expect("identity roundtrip");
         assert_eq!(recon.as_slice(), field.as_slice());
+        for len in 0..bytes.len() {
+            assert!(ident.decompress(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn name_defaults_to_the_codec_name() {
+        assert_eq!(Identity.name(), "ZFP");
     }
 }

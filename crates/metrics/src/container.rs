@@ -1,0 +1,233 @@
+//! The self-describing outer container every compressed stream is wrapped in.
+//!
+//! Each codec keeps its own payload format, but every stream produced through
+//! the [`Compressor`](crate::Compressor) trait starts with one tiny frame so
+//! a service front-end can dispatch untrusted bytes to the right decoder
+//! without trusting anything beyond the frame itself:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"AESC"
+//! 4       1     container version (currently 1)
+//! 5       1     codec id (see CodecId)
+//! 6       8     payload length, u64 little-endian
+//! 14      n     codec-specific payload (exactly `payload length` bytes)
+//! ```
+//!
+//! [`read_frame`] rejects bad magic, unknown codec ids, unknown versions and
+//! any disagreement between the declared payload length and the actual input
+//! length, so truncated or padded streams fail before a single payload byte
+//! is interpreted.
+
+use crate::error::DecompressError;
+
+/// Magic bytes opening every container frame ("AE-SZ container").
+pub const CONTAINER_MAGIC: [u8; 4] = *b"AESC";
+
+/// Current container frame version.
+pub const CONTAINER_VERSION: u8 = 1;
+
+/// Size of the fixed-length frame preceding the payload.
+pub const FRAME_LEN: usize = 4 + 1 + 1 + 8;
+
+/// Upper bound on the element count any stream header may declare (2³¹
+/// points, an 8 GiB `f32` field). Every decode-side allocation in the
+/// workspace is proportional to a header-declared size, so this single cap
+/// bounds what hostile headers can request from any codec.
+pub const MAX_FIELD_ELEMS: usize = 1 << 31;
+
+/// Identifies which compressor produced a stream — the dispatch key of
+/// `decompress_any`. The discriminants are part of the on-disk format and
+/// must never be reused for a different codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CodecId {
+    /// The AE-SZ compressor of the paper (`aesz_core::AeSz`).
+    AeSz = 1,
+    /// SZ2.1-like blockwise Lorenzo/regression baseline.
+    Sz2 = 2,
+    /// ZFP-like transform baseline.
+    Zfp = 3,
+    /// SZauto-like second-order Lorenzo baseline.
+    SzAuto = 4,
+    /// SZinterp-like spline-interpolation baseline.
+    SzInterp = 5,
+    /// AE-A: the fully-connected autoencoder of Liu et al. \[43\].
+    AeA = 6,
+    /// AE-B: the convolutional autoencoder of Glaws et al. \[40\] (fixed-rate,
+    /// not error-bounded).
+    AeB = 7,
+}
+
+impl CodecId {
+    /// All codec ids this build knows, in discriminant order.
+    pub fn all() -> [CodecId; 7] {
+        [
+            CodecId::AeSz,
+            CodecId::Sz2,
+            CodecId::Zfp,
+            CodecId::SzAuto,
+            CodecId::SzInterp,
+            CodecId::AeA,
+            CodecId::AeB,
+        ]
+    }
+
+    /// Decode a codec id byte from a frame.
+    pub fn from_byte(b: u8) -> Option<CodecId> {
+        match b {
+            1 => Some(CodecId::AeSz),
+            2 => Some(CodecId::Sz2),
+            3 => Some(CodecId::Zfp),
+            4 => Some(CodecId::SzAuto),
+            5 => Some(CodecId::SzInterp),
+            6 => Some(CodecId::AeA),
+            7 => Some(CodecId::AeB),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::AeSz => "AE-SZ",
+            CodecId::Sz2 => "SZ2.1",
+            CodecId::Zfp => "ZFP",
+            CodecId::SzAuto => "SZauto",
+            CodecId::SzInterp => "SZinterp",
+            CodecId::AeA => "AE-A",
+            CodecId::AeB => "AE-B",
+        }
+    }
+}
+
+impl std::fmt::Display for CodecId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wrap a codec payload in a container frame.
+pub fn write_frame(codec: CodecId, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_LEN + payload.len());
+    out.extend_from_slice(&CONTAINER_MAGIC);
+    out.push(CONTAINER_VERSION);
+    out.push(codec as u8);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse and validate a container frame, returning the codec id and the
+/// borrowed payload. The declared payload length must match the remaining
+/// input exactly; any shortfall or surplus is an error.
+pub fn read_frame(bytes: &[u8]) -> Result<(CodecId, &[u8]), DecompressError> {
+    if bytes.len() < CONTAINER_MAGIC.len() {
+        return Err(DecompressError::Truncated("container magic"));
+    }
+    if bytes[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
+        return Err(DecompressError::BadMagic);
+    }
+    if bytes.len() < FRAME_LEN {
+        return Err(DecompressError::Truncated("container frame"));
+    }
+    let version = bytes[4];
+    if version != CONTAINER_VERSION {
+        return Err(DecompressError::UnsupportedVersion(version));
+    }
+    let codec = CodecId::from_byte(bytes[5]).ok_or(DecompressError::UnknownCodec(bytes[5]))?;
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&bytes[6..14]);
+    let declared = u64::from_le_bytes(len_bytes);
+    let actual = (bytes.len() - FRAME_LEN) as u64;
+    if declared > actual {
+        return Err(DecompressError::Truncated("container payload"));
+    }
+    if declared < actual {
+        return Err(DecompressError::Inconsistent(
+            "trailing bytes after container payload",
+        ));
+    }
+    Ok((codec, &bytes[FRAME_LEN..]))
+}
+
+/// Read only the codec id of a frame (for dispatch or inspection), without
+/// requiring the payload to be complete.
+pub fn peek_codec(bytes: &[u8]) -> Result<CodecId, DecompressError> {
+    if bytes.len() < CONTAINER_MAGIC.len() {
+        return Err(DecompressError::Truncated("container magic"));
+    }
+    if bytes[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
+        return Err(DecompressError::BadMagic);
+    }
+    let version = *bytes
+        .get(4)
+        .ok_or(DecompressError::Truncated("container version"))?;
+    if version != CONTAINER_VERSION {
+        return Err(DecompressError::UnsupportedVersion(version));
+    }
+    let id = *bytes
+        .get(5)
+        .ok_or(DecompressError::Truncated("container codec id"))?;
+    CodecId::from_byte(id).ok_or(DecompressError::UnknownCodec(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload = b"hello payload";
+        let framed = write_frame(CodecId::SzInterp, payload);
+        let (codec, body) = read_frame(&framed).unwrap();
+        assert_eq!(codec, CodecId::SzInterp);
+        assert_eq!(body, payload);
+        assert_eq!(peek_codec(&framed).unwrap(), CodecId::SzInterp);
+    }
+
+    #[test]
+    fn codec_ids_roundtrip_through_bytes() {
+        for id in CodecId::all() {
+            assert_eq!(CodecId::from_byte(id as u8), Some(id));
+            assert!(!id.name().is_empty());
+        }
+        assert_eq!(CodecId::from_byte(0), None);
+        assert_eq!(CodecId::from_byte(200), None);
+    }
+
+    #[test]
+    fn every_truncated_prefix_is_rejected() {
+        let framed = write_frame(CodecId::AeSz, &[7u8; 100]);
+        for len in 0..framed.len() {
+            assert!(
+                read_frame(&framed[..len]).is_err(),
+                "prefix of {len} bytes parsed as a complete frame"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_codec_and_trailing_bytes_are_rejected() {
+        let mut framed = write_frame(CodecId::Zfp, b"abc");
+        framed.push(0);
+        assert_eq!(
+            read_frame(&framed),
+            Err(DecompressError::Inconsistent(
+                "trailing bytes after container payload"
+            ))
+        );
+        let mut framed = write_frame(CodecId::Zfp, b"abc");
+        framed[0] = b'X';
+        assert_eq!(read_frame(&framed), Err(DecompressError::BadMagic));
+        let mut framed = write_frame(CodecId::Zfp, b"abc");
+        framed[4] = 99;
+        assert_eq!(
+            read_frame(&framed),
+            Err(DecompressError::UnsupportedVersion(99))
+        );
+        let mut framed = write_frame(CodecId::Zfp, b"abc");
+        framed[5] = 0;
+        assert_eq!(read_frame(&framed), Err(DecompressError::UnknownCodec(0)));
+    }
+}

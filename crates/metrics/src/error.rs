@@ -1,0 +1,200 @@
+//! The unified error hierarchy of the workspace-wide compressor API.
+//!
+//! Every compressor reports failures through two enums: [`CompressError`]
+//! for rejected inputs on the way in, and [`DecompressError`] for malformed,
+//! truncated or hostile streams on the way out. `aesz_core`'s own
+//! `DecompressError` and the baseline parsers fold into this hierarchy (via
+//! `From` impls in their crates), so callers that drive compressors through
+//! the [`Compressor`](crate::Compressor) trait handle one error surface.
+
+use crate::container::CodecId;
+use aesz_codec::CodecError;
+
+/// Why a field could not be compressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The requested error bound is unusable (non-finite or non-positive).
+    InvalidBound(&'static str),
+    /// The input field cannot be handled by this compressor (empty, wrong
+    /// rank, or containing non-finite values a relative bound is undefined
+    /// for).
+    UnsupportedField(&'static str),
+    /// A learned compressor was used before its model was trained.
+    Untrained(&'static str),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::InvalidBound(what) => write!(f, "invalid error bound: {what}"),
+            CompressError::UnsupportedField(what) => write!(f, "unsupported field: {what}"),
+            CompressError::Untrained(what) => write!(f, "model not trained: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Why a compressed stream could not be decompressed.
+///
+/// Container-frame problems ([`DecompressError::BadMagic`],
+/// [`DecompressError::UnknownCodec`], …) are reported by the shared frame
+/// parser; everything after the frame comes from the dispatched codec's own
+/// validated decode path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The input does not start with the container magic bytes.
+    BadMagic,
+    /// The container frame names a codec id this build does not know.
+    UnknownCodec(u8),
+    /// The container frame version is newer than this build understands.
+    UnsupportedVersion(u8),
+    /// The stream is framed for a different codec than the one asked to
+    /// decode it (use `decompress_any` to dispatch by codec id instead).
+    WrongCodec {
+        /// Codec id of the compressor that was asked to decode.
+        expected: CodecId,
+        /// Codec id recorded in the stream's container frame.
+        found: CodecId,
+    },
+    /// The input ended before the named field or section was complete.
+    Truncated(&'static str),
+    /// A header field holds a value no valid stream can contain.
+    InvalidHeader(&'static str),
+    /// Header fields and payload sections disagree with each other.
+    Inconsistent(&'static str),
+    /// The stream is well-formed but this decoder instance cannot honour it
+    /// (e.g. a learned codec whose model is not trained).
+    Unsupported(&'static str),
+    /// The stream was produced with a different model geometry than the
+    /// compressor trying to decode it.
+    ModelMismatch {
+        /// Block edge length recorded in the stream header.
+        stream_block_size: usize,
+        /// Latent vector length recorded in the stream header.
+        stream_latent_dim: usize,
+        /// Block edge length of the decoding model.
+        model_block_size: usize,
+        /// Latent vector length of the decoding model.
+        model_latent_dim: usize,
+    },
+    /// An entropy-coded payload section failed to decode.
+    Codec(CodecError),
+}
+
+impl From<CodecError> for DecompressError {
+    fn from(e: CodecError) -> Self {
+        DecompressError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::BadMagic => write!(f, "not a compressed container (bad magic)"),
+            DecompressError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            DecompressError::UnsupportedVersion(v) => {
+                write!(f, "unsupported container version {v}")
+            }
+            DecompressError::WrongCodec { expected, found } => write!(
+                f,
+                "stream is framed for codec {} but {} was asked to decode it",
+                found.name(),
+                expected.name()
+            ),
+            DecompressError::Truncated(what) => write!(f, "truncated stream: {what}"),
+            DecompressError::InvalidHeader(what) => write!(f, "invalid header field: {what}"),
+            DecompressError::Inconsistent(what) => write!(f, "inconsistent stream: {what}"),
+            DecompressError::Unsupported(what) => write!(f, "decoder cannot serve stream: {what}"),
+            DecompressError::ModelMismatch {
+                stream_block_size,
+                stream_latent_dim,
+                model_block_size,
+                model_latent_dim,
+            } => write!(
+                f,
+                "stream was written with block size {stream_block_size} / latent dim \
+                 {stream_latent_dim}, but the model expects block size {model_block_size} / \
+                 latent dim {model_latent_dim}"
+            ),
+            DecompressError::Codec(e) => write!(f, "payload section failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecompressError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Either side of a compress→decompress roundtrip failing, as reported by
+/// [`measure`](crate::measure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressorError {
+    /// The compression leg failed.
+    Compress(CompressError),
+    /// The decompression leg failed.
+    Decompress(DecompressError),
+}
+
+impl From<CompressError> for CompressorError {
+    fn from(e: CompressError) -> Self {
+        CompressorError::Compress(e)
+    }
+}
+
+impl From<DecompressError> for CompressorError {
+    fn from(e: DecompressError) -> Self {
+        CompressorError::Decompress(e)
+    }
+}
+
+impl std::fmt::Display for CompressorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressorError::Compress(e) => write!(f, "compression failed: {e}"),
+            CompressorError::Decompress(e) => write!(f, "decompression failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressorError::Compress(e) => Some(e),
+            CompressorError::Decompress(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CompressError::InvalidBound("x").to_string().contains("x"));
+        assert!(DecompressError::UnknownCodec(42).to_string().contains("42"));
+        let wrong = DecompressError::WrongCodec {
+            expected: CodecId::Zfp,
+            found: CodecId::Sz2,
+        };
+        assert!(wrong.to_string().contains("ZFP"));
+        assert!(wrong.to_string().contains("SZ2.1"));
+    }
+
+    #[test]
+    fn codec_errors_carry_their_source() {
+        use std::error::Error;
+        let e = DecompressError::from(CodecError::Malformed("header"));
+        assert!(e.source().is_some());
+        let m: CompressorError = e.into();
+        assert!(m.source().is_some());
+        let c: CompressorError = CompressError::Untrained("AE-A").into();
+        assert!(c.to_string().contains("AE-A"));
+    }
+}

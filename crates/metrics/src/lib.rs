@@ -9,10 +9,16 @@
 //! * `bit rate = compressed bits / number of data points`
 //! * `compression ratio = |D| / |D'|` in bytes.
 
+pub mod bound;
 pub mod compressor;
+pub mod container;
+pub mod error;
 pub mod error_stats;
 pub mod rate_distortion;
 
+pub use bound::ErrorBound;
 pub use compressor::{measure, Compressor, SweepPoint};
+pub use container::{read_frame, write_frame, CodecId};
+pub use error::{CompressError, CompressorError, DecompressError};
 pub use error_stats::{max_abs_error, mse, nrmse, psnr, verify_error_bound, ErrorStats};
 pub use rate_distortion::{bit_rate, compression_ratio, RdCurve, RdPoint};

@@ -38,7 +38,7 @@ pub struct AeConfig {
 
 impl AeConfig {
     /// Default 2D configuration (scaled-down version of the paper's
-    /// 32×32 / latent 16 / channels [32,64,128,256] setting).
+    /// 32×32 / latent 16 / channels \[32,64,128,256\] setting).
     pub fn default_2d() -> Self {
         AeConfig {
             spatial_rank: 2,
@@ -51,7 +51,7 @@ impl AeConfig {
     }
 
     /// Default 3D configuration (scaled-down version of the paper's
-    /// 8×8×8 / latent 16 / channels [32,64,128] setting).
+    /// 8×8×8 / latent 16 / channels \[32,64,128\] setting).
     pub fn default_3d() -> Self {
         AeConfig {
             spatial_rank: 3,

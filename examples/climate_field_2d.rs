@@ -8,7 +8,7 @@ use aesz_repro::baselines::{Sz2, Zfp};
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_repro::datagen::Application;
-use aesz_repro::metrics::{measure, Compressor};
+use aesz_repro::metrics::{measure, Compressor, ErrorBound};
 use aesz_repro::tensor::Dims;
 
 fn main() {
@@ -45,7 +45,7 @@ fn main() {
             ("SZ2.1", &mut sz2),
             ("ZFP", &mut zfp),
         ] {
-            let p = measure(comp, &test_field, eb);
+            let p = measure(comp, &test_field, ErrorBound::rel(eb)).expect("valid roundtrip");
             println!(
                 "{name:<10} {eb:<10.0e} {:>10.1} {:>10.3} {:>10.2}",
                 p.compression_ratio, p.bit_rate, p.psnr

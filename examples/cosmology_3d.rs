@@ -7,7 +7,7 @@
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_repro::datagen::Application;
-use aesz_repro::metrics::verify_error_bound;
+use aesz_repro::metrics::{verify_error_bound, ErrorBound};
 use aesz_repro::tensor::Dims;
 
 fn main() {
@@ -37,8 +37,10 @@ fn main() {
         "eb", "CR", "max err", "AE blocks (%)"
     );
     for eb in [2e-2, 1e-2, 5e-3, 1e-3, 1e-4] {
-        let (bytes, report) = aesz.compress_with_report(&test_field, eb);
-        let recon = aesz.decompress_stream(&bytes);
+        let (bytes, report) = aesz
+            .compress_with_report(&test_field, ErrorBound::rel(eb))
+            .expect("valid input");
+        let recon = aesz.try_decompress(&bytes).expect("own stream decodes");
         let abs = eb * test_field.value_range() as f64;
         verify_error_bound(test_field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();
         let max_err = aesz_repro::metrics::max_abs_error(test_field.as_slice(), recon.as_slice());

@@ -7,7 +7,7 @@
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_repro::datagen::Application;
-use aesz_repro::metrics::{verify_error_bound, ErrorStats};
+use aesz_repro::metrics::{verify_error_bound, ErrorBound, ErrorStats};
 use aesz_repro::tensor::Dims;
 
 fn main() {
@@ -36,8 +36,10 @@ fn main() {
         },
     );
     let rel_eb = 1e-3;
-    let (bytes, report) = aesz.compress_with_report(&test_field, rel_eb);
-    let recon = aesz.decompress_stream(&bytes);
+    let (bytes, report) = aesz
+        .compress_with_report(&test_field, ErrorBound::rel(rel_eb))
+        .expect("valid input");
+    let recon = aesz.try_decompress(&bytes).expect("own stream decodes");
 
     // 4. Verify the error bound and report quality.
     let abs = rel_eb * test_field.value_range() as f64;

@@ -8,7 +8,7 @@ use aesz_repro::baselines::{Sz2, SzAuto, SzInterp, Zfp};
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_repro::datagen::Application;
-use aesz_repro::metrics::{measure, Compressor, RdCurve, RdPoint};
+use aesz_repro::metrics::{measure, Compressor, ErrorBound, RdCurve, RdPoint};
 use aesz_repro::tensor::Dims;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
     for (name, comp) in compressors {
         let mut curve = RdCurve::new(name);
         for &eb in &bounds {
-            let p = measure(comp, &test_field, eb);
+            let p = measure(comp, &test_field, ErrorBound::rel(eb)).expect("valid roundtrip");
             curve.push(RdPoint {
                 error_bound: eb,
                 bit_rate: p.bit_rate,

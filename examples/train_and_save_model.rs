@@ -8,6 +8,7 @@
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_repro::datagen::Application;
+use aesz_repro::metrics::ErrorBound;
 use aesz_repro::nn::serialize::{load_model, save_model};
 use aesz_repro::tensor::Dims;
 
@@ -37,8 +38,9 @@ fn main() {
     // Compress three later snapshots with both instances; streams must match.
     for snapshot in [40u64, 44, 48] {
         let field = app.generate(Dims::d3(32, 48, 48), snapshot);
-        let bytes_a = a.compress_with_report(&field, 1e-3).0;
-        let bytes_b = b.compress_with_report(&field, 1e-3).0;
+        let eb = ErrorBound::rel(1e-3);
+        let bytes_a = a.compress_with_report(&field, eb).expect("valid input").0;
+        let bytes_b = b.compress_with_report(&field, eb).expect("valid input").0;
         assert_eq!(bytes_a, bytes_b, "reloaded model must behave identically");
         println!(
             "snapshot {snapshot}: {} bytes (identical from saved and reloaded model)",

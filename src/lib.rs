@@ -1,7 +1,11 @@
 //! Umbrella crate for the AE-SZ reproduction workspace.
 //!
 //! Re-exports the public APIs of every member crate so that examples and
-//! integration tests can `use aesz_repro::...` without naming each crate.
+//! integration tests can `use aesz_repro::...` without naming each crate,
+//! and hosts the [`registry`] module: the codec [`Registry`] over all seven
+//! compressors and the [`decompress_any`] dispatch entry point.
+
+pub mod registry;
 
 pub use aesz_baselines as baselines;
 pub use aesz_codec as codec;
@@ -13,8 +17,12 @@ pub use aesz_predictors as predictors;
 pub use aesz_tensor as tensor;
 
 // The handful of types almost every consumer needs, at the crate root: the
-// compressor, its configuration, the fallible-decode error, and the trait
-// the benchmark harness drives everything through.
-pub use aesz_core::{AeSz, AeSzConfig, CompressionReport, DecompressError, PredictorPolicy};
-pub use aesz_metrics::Compressor;
+// compressor, its configuration, the unified error types, the error-bound
+// modes, the codec registry, and the trait the benchmark harness drives
+// everything through.
+pub use aesz_core::{AeSz, AeSzConfig, CompressionReport, PredictorPolicy};
+pub use aesz_metrics::{
+    CodecId, CompressError, Compressor, CompressorError, DecompressError, ErrorBound,
+};
 pub use aesz_tensor::{Dims, Field};
+pub use registry::{decompress_any, Registry};

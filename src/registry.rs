@@ -1,0 +1,194 @@
+//! Codec registry and cross-codec dispatch.
+//!
+//! Every stream produced through the [`Compressor`] trait carries the
+//! self-describing container frame of [`aesz_metrics::container`], so bytes
+//! of unknown provenance can be routed to the right decoder by codec id.
+//! [`Registry`] owns one decoder per codec and [`Registry::decompress_any`]
+//! performs that dispatch — the entry point a service front-end calls on
+//! untrusted traffic.
+//!
+//! The learned codecs (AE-SZ, AE-A, AE-B) need the *same trained model* the
+//! encoder used to reconstruct meaningfully; the default registry holds
+//! fresh untrained instances, which decode self-produced streams consistently
+//! but report [`DecompressError::Unsupported`] (AE-A/AE-B) or decode with
+//! untrained weights (AE-SZ streams carrying latent payloads are rejected on
+//! geometry mismatch, accepted otherwise). Swap in trained instances with
+//! [`Registry::register`] — the latest registration per codec id wins.
+
+use aesz_metrics::{CodecId, Compressor, DecompressError};
+use aesz_tensor::Field;
+
+/// One decoder/encoder per codec id, dispatchable by container frame.
+pub struct Registry {
+    entries: Vec<Box<dyn Compressor>>,
+}
+
+impl Registry {
+    /// An empty registry; populate it with [`Registry::register`].
+    pub fn empty() -> Self {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry holding all seven compressors of the paper's evaluation.
+    ///
+    /// The five traditional codecs are fully functional. The learned codecs
+    /// are fresh (untrained, deterministic-seed) instances — replace them
+    /// with trained ones via [`Registry::register`] before decoding foreign
+    /// AE streams.
+    pub fn with_defaults() -> Self {
+        use aesz_baselines::{AeA, AeB, Sz2, SzAuto, SzInterp, Zfp};
+        use aesz_core::{AeSz, AeSzConfig};
+        use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
+
+        let config = AeSzConfig::default_2d();
+        let model = ConvAutoencoder::new(AeConfig {
+            spatial_rank: 2,
+            block_size: config.block_size,
+            latent_dim: 8,
+            channels: vec![8, 16],
+            variational: false,
+            seed: 0,
+        });
+        let mut registry = Registry::empty();
+        registry.register(Box::new(AeSz::new(model, config)));
+        registry.register(Box::new(Sz2::new()));
+        registry.register(Box::new(Zfp::new()));
+        registry.register(Box::new(SzAuto::new()));
+        registry.register(Box::new(SzInterp::new()));
+        registry.register(Box::new(AeA::new(0)));
+        registry.register(Box::new(AeB::new(0)));
+        registry
+    }
+
+    /// Register a compressor, replacing any previous entry with the same
+    /// codec id (so trained models can shadow the defaults).
+    pub fn register(&mut self, compressor: Box<dyn Compressor>) {
+        let id = compressor.codec_id();
+        self.entries.retain(|c| c.codec_id() != id);
+        self.entries.push(compressor);
+    }
+
+    /// The codec ids currently registered, in registration order.
+    pub fn codec_ids(&self) -> Vec<CodecId> {
+        self.entries.iter().map(|c| c.codec_id()).collect()
+    }
+
+    /// Mutable access to the compressor registered for `id`.
+    pub fn get_mut(&mut self, id: CodecId) -> Option<&mut (dyn Compressor + 'static)> {
+        self.entries
+            .iter_mut()
+            .find(|c| c.codec_id() == id)
+            .map(|c| c.as_mut())
+    }
+
+    /// Iterate over every registered compressor mutably (the sweep harness's
+    /// access path).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Box<dyn Compressor>> {
+        self.entries.iter_mut()
+    }
+
+    /// Decode a framed stream from *any* registered codec, dispatching by
+    /// the codec id in the container frame. Returns the reconstruction and
+    /// which codec produced it; fails (never panics) on malformed frames,
+    /// unknown or unregistered codecs, and hostile payloads.
+    pub fn decompress_any(&mut self, bytes: &[u8]) -> Result<(Field, CodecId), DecompressError> {
+        let id = aesz_metrics::container::peek_codec(bytes)?;
+        let codec = self
+            .get_mut(id)
+            .ok_or(DecompressError::UnknownCodec(id as u8))?;
+        let field = codec.decompress(bytes)?;
+        Ok((field, id))
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_defaults()
+    }
+}
+
+/// A fresh default registry of all seven codecs (see
+/// [`Registry::with_defaults`] for the trained-model caveat on AE codecs).
+pub fn registry() -> Registry {
+    Registry::with_defaults()
+}
+
+/// Decode a framed stream from any known codec with a shared, lazily built
+/// default registry (constructing the default AE models is not free, so the
+/// registry is reused per thread across calls). A service that needs trained
+/// AE models should hold its own [`Registry`] and call
+/// [`Registry::decompress_any`] instead.
+pub fn decompress_any(bytes: &[u8]) -> Result<(Field, CodecId), DecompressError> {
+    thread_local! {
+        static DEFAULT: std::cell::RefCell<Registry> =
+            std::cell::RefCell::new(Registry::with_defaults());
+    }
+    DEFAULT.with(|r| r.borrow_mut().decompress_any(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_datagen::Application;
+    use aesz_metrics::ErrorBound;
+    use aesz_tensor::Dims;
+
+    #[test]
+    fn defaults_cover_all_seven_codecs() {
+        let registry = Registry::with_defaults();
+        let ids = registry.codec_ids();
+        for id in CodecId::all() {
+            assert!(ids.contains(&id), "{id} missing from the default registry");
+        }
+        assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn decompress_any_dispatches_by_frame() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 3);
+        let mut registry = Registry::with_defaults();
+        let bytes = registry
+            .get_mut(CodecId::SzInterp)
+            .unwrap()
+            .compress(&field, ErrorBound::rel(1e-3))
+            .unwrap();
+        let (recon, id) = registry.decompress_any(&bytes).unwrap();
+        assert_eq!(id, CodecId::SzInterp);
+        assert_eq!(recon.dims(), field.dims());
+        // The free function decodes traditional codecs too.
+        let (recon2, id2) = decompress_any(&bytes).unwrap();
+        assert_eq!(id2, CodecId::SzInterp);
+        assert_eq!(recon2.as_slice(), recon.as_slice());
+    }
+
+    #[test]
+    fn unregistered_codecs_are_reported() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(16, 16), 1);
+        let mut registry = Registry::with_defaults();
+        let bytes = registry
+            .get_mut(CodecId::Sz2)
+            .unwrap()
+            .compress(&field, ErrorBound::rel(1e-2))
+            .unwrap();
+        let mut sparse = Registry::empty();
+        sparse.register(Box::new(aesz_baselines::Zfp::new()));
+        assert!(matches!(
+            sparse.decompress_any(&bytes),
+            Err(DecompressError::UnknownCodec(2))
+        ));
+        assert!(matches!(
+            sparse.decompress_any(b"garbage!"),
+            Err(DecompressError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn register_replaces_by_codec_id() {
+        let mut registry = Registry::empty();
+        registry.register(Box::new(aesz_baselines::Sz2 { block_size: 8 }));
+        registry.register(Box::new(aesz_baselines::Sz2 { block_size: 4 }));
+        assert_eq!(registry.codec_ids(), vec![CodecId::Sz2]);
+    }
+}

@@ -6,7 +6,7 @@ use aesz_repro::baselines::{Sz2, SzInterp, Zfp};
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig, PredictorPolicy};
 use aesz_repro::datagen::Application;
-use aesz_repro::metrics::{measure, Compressor};
+use aesz_repro::metrics::{measure, Compressor, ErrorBound};
 use aesz_repro::tensor::Dims;
 
 #[test]
@@ -17,7 +17,7 @@ fn all_compressors_beat_raw_storage_on_smooth_data() {
         &mut Zfp::new(),
         &mut SzInterp::new(),
     ] {
-        let p = measure(comp, &field, 1e-3);
+        let p = measure(comp, &field, ErrorBound::rel(1e-3)).expect("valid roundtrip");
         assert!(
             p.compression_ratio > 2.0,
             "{} only reached CR {:.2}",
@@ -50,9 +50,10 @@ fn adaptive_predictor_selection_is_not_worse_than_lorenzo_only() {
             ..AeSzConfig::default_2d()
         },
     );
-    let adaptive = aesz.compress_with_report(&test, 1e-2).0.len();
+    let eb = ErrorBound::rel(1e-2);
+    let adaptive = aesz.compress_with_report(&test, eb).unwrap().0.len();
     aesz.set_policy(PredictorPolicy::LorenzoOnly);
-    let lorenzo_only = aesz.compress_with_report(&test, 1e-2).0.len();
+    let lorenzo_only = aesz.compress_with_report(&test, eb).unwrap().0.len();
     assert!(
         (adaptive as f64) < 1.1 * lorenzo_only as f64,
         "adaptive {adaptive} should not lose badly to lorenzo-only {lorenzo_only}"
@@ -67,8 +68,8 @@ fn finer_bounds_monotonically_increase_psnr_for_every_compressor() {
         &mut Zfp::new(),
         &mut SzInterp::new(),
     ] {
-        let coarse = measure(comp, &field, 1e-2);
-        let fine = measure(comp, &field, 1e-4);
+        let coarse = measure(comp, &field, ErrorBound::rel(1e-2)).expect("valid roundtrip");
+        let fine = measure(comp, &field, ErrorBound::rel(1e-4)).expect("valid roundtrip");
         assert!(
             fine.psnr > coarse.psnr,
             "{}: PSNR did not improve with a finer bound",

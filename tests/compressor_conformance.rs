@@ -1,0 +1,248 @@
+//! Shared conformance suite over the unified compressor API: every
+//! registered codec must roundtrip through the container frame, honour both
+//! error-bound modes (unless it declares itself not error-bounded), survive
+//! degenerate inputs, and reject — never panic on — truncated streams at
+//! every offset, both at the frame level and inside the payload.
+
+use aesz_repro::baselines::{AeA, AeB};
+use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
+use aesz_repro::core::{AeSz, AeSzConfig};
+use aesz_repro::datagen::Application;
+use aesz_repro::metrics::{
+    container, max_abs_error, verify_error_bound, CodecId, CompressError, ErrorBound,
+};
+use aesz_repro::{Dims, Field, Registry};
+
+/// The 2D field most codecs are exercised on (small, so the
+/// truncation-at-every-offset loops stay fast).
+fn field_2d() -> Field {
+    Application::CesmCldhgh.generate(Dims::d2(32, 48), 50)
+}
+
+/// The 3D field used for AE-B (which only supports rank 3).
+fn field_3d() -> Field {
+    Application::Rtm.generate(Dims::d3(16, 16, 16), 50)
+}
+
+/// The field a codec is conformance-tested on.
+fn test_field(id: CodecId) -> Field {
+    match id {
+        CodecId::AeB => field_3d(),
+        _ => field_2d(),
+    }
+}
+
+/// A registry whose learned codecs are (cheaply) trained, so all seven
+/// compressors can produce and decode streams.
+fn trained_registry() -> Registry {
+    let mut registry = Registry::with_defaults();
+
+    let train_2d = Application::CesmCldhgh.generate(Dims::d2(32, 48), 0);
+    let opts = TrainingOptions {
+        block_size: 16,
+        latent_dim: 4,
+        channels: vec![4],
+        epochs: 1,
+        max_blocks: 6,
+        seed: 11,
+        ..TrainingOptions::default_for_rank(2)
+    };
+    let model = train_swae_for_field(std::slice::from_ref(&train_2d), &opts);
+    registry.register(Box::new(AeSz::new(
+        model,
+        AeSzConfig {
+            block_size: 16,
+            ..AeSzConfig::default_2d()
+        },
+    )));
+
+    let mut ae_a = AeA::new(5);
+    ae_a.train(std::slice::from_ref(&train_2d), 1, 6);
+    registry.register(Box::new(ae_a));
+
+    let train_3d = Application::Rtm.generate(Dims::d3(16, 16, 16), 0);
+    let mut ae_b = AeB::new(7);
+    ae_b.train(std::slice::from_ref(&train_3d), 1, 8);
+    registry.register(Box::new(ae_b));
+
+    registry
+}
+
+#[test]
+fn roundtrip_honours_both_bound_modes() {
+    let mut registry = trained_registry();
+    for id in CodecId::all() {
+        let field = test_field(id);
+        let abs = 1e-2 * field.value_range() as f64;
+        for bound in [ErrorBound::rel(1e-2), ErrorBound::abs(abs)] {
+            let codec = registry.get_mut(id).expect("registered");
+            let bounded = codec.is_error_bounded();
+            let bytes = codec
+                .compress(&field, bound)
+                .unwrap_or_else(|e| panic!("{id} failed to compress ({bound}): {e}"));
+            assert_eq!(container::peek_codec(&bytes).unwrap(), id);
+            let recon = codec
+                .decompress(&bytes)
+                .unwrap_or_else(|e| panic!("{id} failed to decode its own stream: {e}"));
+            assert_eq!(recon.dims(), field.dims(), "{id} changed the dims");
+            let resolved = bound.resolve(&field);
+            if bounded {
+                verify_error_bound(
+                    field.as_slice(),
+                    recon.as_slice(),
+                    resolved,
+                    resolved * 1e-3,
+                )
+                .unwrap_or_else(|e| panic!("{id} violated its bound ({bound}): {e}"));
+            } else {
+                // AE-B: fixed-rate, quality is whatever the network delivers —
+                // but the reconstruction must still be sane.
+                let (lo, hi) = field.min_max();
+                let slack = (hi - lo) * 0.5;
+                assert!(
+                    recon
+                        .as_slice()
+                        .iter()
+                        .all(|&v| v.is_finite() && v >= lo - slack && v <= hi + slack),
+                    "{id} reconstruction left the data envelope"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn constant_fields_roundtrip_within_bound() {
+    let mut registry = trained_registry();
+    let bound = ErrorBound::rel(1e-3);
+    for id in CodecId::all() {
+        let dims = match id {
+            CodecId::AeB => Dims::d3(16, 16, 16),
+            _ => Dims::d2(24, 24),
+        };
+        let field = Field::from_vec(dims, vec![4.2; dims.len()]).unwrap();
+        let codec = registry.get_mut(id).expect("registered");
+        let bytes = codec
+            .compress(&field, bound)
+            .unwrap_or_else(|e| panic!("{id} failed on a constant field: {e}"));
+        let recon = codec
+            .decompress(&bytes)
+            .unwrap_or_else(|e| panic!("{id} failed to decode its constant-field stream: {e}"));
+        assert_eq!(recon.dims(), field.dims());
+        if codec.is_error_bounded() {
+            // Degenerate-range contract: the relative value acts as the
+            // absolute bound.
+            let resolved = bound.resolve(&field);
+            let max_err = max_abs_error(field.as_slice(), recon.as_slice());
+            assert!(
+                max_err <= resolved * 1.001,
+                "{id} violated the degenerate-range bound: {max_err} > {resolved}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_rank_mismatched_fields_are_rejected() {
+    let mut registry = trained_registry();
+    let empty = Field::zeros(Dims::d2(0, 16));
+    for id in CodecId::all() {
+        let codec = registry.get_mut(id).expect("registered");
+        assert!(
+            matches!(
+                codec.compress(&empty, ErrorBound::rel(1e-3)),
+                Err(CompressError::UnsupportedField(_))
+            ),
+            "{id} accepted an empty field"
+        );
+    }
+    // AE-B is rank-3 only; a 2D field must be an error, not a panic.
+    let codec = registry.get_mut(CodecId::AeB).expect("registered");
+    assert!(matches!(
+        codec.compress(&field_2d(), ErrorBound::rel(1e-3)),
+        Err(CompressError::UnsupportedField(_))
+    ));
+}
+
+#[test]
+fn truncation_at_every_offset_returns_err_never_panics() {
+    let mut registry = trained_registry();
+    for id in CodecId::all() {
+        let field = test_field(id);
+        let codec = registry.get_mut(id).expect("registered");
+        let bytes = codec
+            .compress(&field, ErrorBound::rel(1e-2))
+            .unwrap_or_else(|e| panic!("{id} failed to compress: {e}"));
+
+        // Frame-level truncation: every prefix of the framed stream.
+        for len in 0..bytes.len() {
+            assert!(
+                codec.decompress(&bytes[..len]).is_err(),
+                "{id}: framed prefix of {len}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+
+        // Payload-level truncation: re-frame every prefix of the payload with
+        // a *consistent* frame, so the codec's own validation is what must
+        // reject it (the frame length check cannot catch these).
+        let (_, payload) = container::read_frame(&bytes).expect("own frame");
+        let payload = payload.to_vec();
+        for len in 0..payload.len() {
+            let reframed = container::write_frame(id, &payload[..len]);
+            assert!(
+                codec.decompress(&reframed).is_err(),
+                "{id}: payload prefix of {len}/{} bytes decoded",
+                payload.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn decompress_any_roundtrips_all_seven_codecs() {
+    let mut registry = trained_registry();
+    let mut streams = Vec::new();
+    for id in CodecId::all() {
+        let field = test_field(id);
+        let bytes = registry
+            .get_mut(id)
+            .expect("registered")
+            .compress(&field, ErrorBound::rel(1e-2))
+            .unwrap_or_else(|e| panic!("{id} failed to compress: {e}"));
+        streams.push((id, field, bytes));
+    }
+    for (id, field, bytes) in &streams {
+        let (recon, dispatched) = registry
+            .decompress_any(bytes)
+            .unwrap_or_else(|e| panic!("decompress_any failed for {id}: {e}"));
+        assert_eq!(dispatched, *id);
+        assert_eq!(recon.dims(), field.dims());
+        // Truncated prefixes must be errors through the dispatcher too.
+        for len in 0..bytes.len() {
+            assert!(
+                registry.decompress_any(&bytes[..len]).is_err(),
+                "{id}: dispatched prefix of {len} bytes decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn streams_are_rejected_by_the_wrong_codec() {
+    let mut registry = trained_registry();
+    let field = field_2d();
+    let bytes = registry
+        .get_mut(CodecId::Sz2)
+        .unwrap()
+        .compress(&field, ErrorBound::rel(1e-2))
+        .unwrap();
+    let zfp = registry.get_mut(CodecId::Zfp).unwrap();
+    assert!(matches!(
+        zfp.decompress(&bytes),
+        Err(aesz_repro::DecompressError::WrongCodec {
+            expected: CodecId::Zfp,
+            found: CodecId::Sz2,
+        })
+    ));
+}

@@ -5,7 +5,7 @@
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_repro::datagen::{load_f32_file, save_f32_file, Application};
-use aesz_repro::metrics::{verify_error_bound, ErrorStats};
+use aesz_repro::metrics::{verify_error_bound, ErrorBound, ErrorStats};
 use aesz_repro::nn::serialize::{load_model, save_model};
 use aesz_repro::tensor::Dims;
 
@@ -45,11 +45,14 @@ fn full_pipeline_from_training_to_decompressed_file() {
         },
     );
     let rel_eb = 1e-3;
-    let bytes = aesz.compress_with_report(&loaded_input, rel_eb).0;
+    let bytes = aesz
+        .compress_with_report(&loaded_input, ErrorBound::rel(rel_eb))
+        .expect("valid input")
+        .0;
     let stream_path = dir.join("cldhgh_snapshot51.aesz");
     std::fs::write(&stream_path, &bytes).unwrap();
     let reread = std::fs::read(&stream_path).unwrap();
-    let recon = aesz.decompress_stream(&reread);
+    let recon = aesz.try_decompress(&reread).expect("own stream decodes");
 
     let abs = rel_eb * test_field.value_range() as f64;
     verify_error_bound(test_field.as_slice(), recon.as_slice(), abs, abs * 1e-3).unwrap();

@@ -6,15 +6,27 @@ use aesz_repro::baselines::{Sz2, SzAuto, SzInterp, Zfp};
 use aesz_repro::core::training::TrainingOptions;
 use aesz_repro::core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_repro::datagen::Application;
-use aesz_repro::metrics::{verify_error_bound, Compressor};
+use aesz_repro::metrics::{verify_error_bound, Compressor, ErrorBound};
 use aesz_repro::tensor::Dims;
 
 fn check(comp: &mut dyn Compressor, field: &aesz_repro::tensor::Field, rel_eb: f64) {
-    let bytes = comp.compress(field, rel_eb);
-    let recon = comp.decompress(&bytes);
+    let bytes = comp
+        .compress(field, ErrorBound::rel(rel_eb))
+        .unwrap_or_else(|e| panic!("{} failed to compress at eb {rel_eb}: {e}", comp.name()));
+    let recon = comp
+        .decompress(&bytes)
+        .unwrap_or_else(|e| panic!("{} failed to decode its own stream: {e}", comp.name()));
     let abs = rel_eb * field.value_range() as f64;
     verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
         .unwrap_or_else(|e| panic!("{} violated the bound at eb {rel_eb}: {e}", comp.name()));
+
+    // The same absolute bound, requested in absolute mode, must hold too.
+    let bytes = comp
+        .compress(field, ErrorBound::abs(abs))
+        .unwrap_or_else(|e| panic!("{} failed to compress at abs {abs}: {e}", comp.name()));
+    let recon = comp.decompress(&bytes).expect("own stream decodes");
+    verify_error_bound(field.as_slice(), recon.as_slice(), abs, abs * 1e-3)
+        .unwrap_or_else(|e| panic!("{} violated the absolute bound {abs}: {e}", comp.name()));
 }
 
 #[test]
