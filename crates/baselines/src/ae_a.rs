@@ -32,6 +32,7 @@ pub const WINDOW: usize = 512;
 pub const LATENT: usize = 1;
 
 /// The AE-A compressor. Must be trained (`train`) before use.
+#[derive(Clone)]
 pub struct AeA {
     encoder: Sequential,
     decoder: Sequential,
@@ -145,6 +146,10 @@ impl AeA {
 impl Compressor for AeA {
     fn codec_id(&self) -> CodecId {
         CodecId::AeA
+    }
+
+    fn fork(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 
     fn compress_payload(

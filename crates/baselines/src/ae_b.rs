@@ -23,6 +23,7 @@ pub const BLOCK: usize = 16;
 pub const LATENT: usize = 64;
 
 /// The AE-B compressor. Must be trained (or fine-tuned) before use.
+#[derive(Clone)]
 pub struct AeB {
     model: ConvAutoencoder,
     trained: bool,
@@ -101,6 +102,10 @@ impl AeB {
 impl Compressor for AeB {
     fn codec_id(&self) -> CodecId {
         CodecId::AeB
+    }
+
+    fn fork(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 
     fn compress_payload(

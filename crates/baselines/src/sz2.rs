@@ -19,6 +19,7 @@ use aesz_tensor::{BlockSpec, Field};
 use crate::common::{assemble, parse, read_len, resolve_bound, take, BaseHeader};
 
 /// SZ2.1-like compressor.
+#[derive(Clone)]
 pub struct Sz2 {
     /// Block edge length used for the regression/Lorenzo selection.
     pub block_size: usize,
@@ -44,6 +45,10 @@ impl Sz2 {
 impl Compressor for Sz2 {
     fn codec_id(&self) -> CodecId {
         CodecId::Sz2
+    }
+
+    fn fork(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 
     fn compress_payload(

@@ -16,7 +16,7 @@ use aesz_tensor::Field;
 use crate::common::{assemble, parse, resolve_bound, BaseHeader};
 
 /// SZauto-like compressor.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct SzAuto;
 
 impl SzAuto {
@@ -43,6 +43,10 @@ impl SzAuto {
 impl Compressor for SzAuto {
     fn codec_id(&self) -> CodecId {
         CodecId::SzAuto
+    }
+
+    fn fork(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 
     fn compress_payload(

@@ -13,7 +13,7 @@ use aesz_tensor::Field;
 use crate::common::{assemble, parse, resolve_bound, BaseHeader};
 
 /// SZinterp-like compressor.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct SzInterp;
 
 impl SzInterp {
@@ -26,6 +26,10 @@ impl SzInterp {
 impl Compressor for SzInterp {
     fn codec_id(&self) -> CodecId {
         CodecId::SzInterp
+    }
+
+    fn fork(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 
     fn compress_payload(

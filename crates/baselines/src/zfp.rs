@@ -138,7 +138,7 @@ fn transform_block(data: &mut [f32], rank: usize, inverse: bool) {
 }
 
 /// ZFP-like transform-based compressor (fixed-accuracy mode).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Zfp;
 
 impl Zfp {
@@ -168,6 +168,10 @@ impl Zfp {
 impl Compressor for Zfp {
     fn codec_id(&self) -> CodecId {
         CodecId::Zfp
+    }
+
+    fn fork(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 
     fn compress_payload(

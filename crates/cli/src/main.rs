@@ -1,0 +1,605 @@
+//! `aesz` — compress/decompress raw little-endian `f32` fields through the
+//! chunked streaming archive layer.
+//!
+//! The tool drives [`aesz_repro::archive`] with *file-backed* chunk sources
+//! and sinks: chunks are read and written with seeks, so a dataset is never
+//! materialized in memory — peak resident payload is one window of chunks,
+//! whatever the file size.
+//!
+//! ```text
+//! aesz gen        --app cesm --dims 512x512 --seed 7 --output field.f32
+//! aesz compress   --input field.f32 --dims 512x512 --codec sz2 --rel 1e-3 \
+//!                 --chunk 64 --window 8 --output field.aesa [--verify]
+//! aesz decompress --input field.aesa --output recon.f32 [--window 8]
+//! aesz info       --input field.aesa
+//! aesz compare    --a x.f32 --b y.f32 --dims 512x512 [--max-abs 1e-3]
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::time::Instant;
+
+use aesz_repro::archive::{write_archive, ArchiveOptions, ArchiveReader, ChunkSink, ChunkSource};
+use aesz_repro::datagen::Application;
+use aesz_repro::tensor::BlockSpec;
+use aesz_repro::{CodecId, Dims, ErrorBound, Field, Registry};
+
+const USAGE: &str = "usage:
+  aesz gen        --app NAME --dims DIMS --output FILE [--seed N]
+  aesz compress   --input FILE --dims DIMS --codec NAME --rel E | --abs E
+                  --output FILE [--chunk N] [--window N] [--verify]
+  aesz decompress --input FILE --output FILE [--window N]
+  aesz info       --input FILE
+  aesz compare    --a FILE --b FILE --dims DIMS [--max-abs E]
+
+DIMS is slow-to-fast extents, e.g. 1800x3600 or 256x256x256.
+codecs: aesz, sz2, zfp, szauto, szinterp, aea, aeb (aea/aeb need training
+and are rejected by the default untrained registry).
+apps for gen: cesm, cesm-freqsh, exafel, nyx, nyx-temp, nyx-dm,
+hurricane-u, hurricane-qvapor, rtm.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("aesz: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    if args.is_empty() {
+        return Err(format!("missing subcommand\n{USAGE}"));
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "gen" => cmd_gen(args),
+        "compress" => cmd_compress(args),
+        "decompress" => cmd_decompress(args),
+        "info" => cmd_info(args),
+        "compare" => cmd_compare(args),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+// ---------------------------------------------------------------- arguments
+
+fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{name} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn need_opt(args: &mut Vec<String>, name: &str) -> Result<String, String> {
+    take_opt(args, name)?.ok_or(format!("{name} is required\n{USAGE}"))
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn finish_args(args: Vec<String>) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unrecognised arguments: {}", args.join(" ")))
+    }
+}
+
+fn parse_dims(s: &str) -> Result<Dims, String> {
+    let parts: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
+    let parts = parts.map_err(|_| format!("bad dims `{s}` (expected e.g. 256x256)"))?;
+    if parts.contains(&0) {
+        return Err(format!("bad dims `{s}`: zero extent"));
+    }
+    match *parts.as_slice() {
+        [n] => Ok(Dims::d1(n)),
+        [ny, nx] => Ok(Dims::d2(ny, nx)),
+        [nz, ny, nx] => Ok(Dims::d3(nz, ny, nx)),
+        _ => Err(format!("bad dims `{s}`: rank must be 1..=3")),
+    }
+}
+
+fn parse_codec(s: &str) -> Result<CodecId, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "aesz" | "ae-sz" => Ok(CodecId::AeSz),
+        "sz2" | "sz2.1" => Ok(CodecId::Sz2),
+        "zfp" => Ok(CodecId::Zfp),
+        "szauto" => Ok(CodecId::SzAuto),
+        "szinterp" => Ok(CodecId::SzInterp),
+        "aea" | "ae-a" => Ok(CodecId::AeA),
+        "aeb" | "ae-b" => Ok(CodecId::AeB),
+        other => Err(format!("unknown codec `{other}`")),
+    }
+}
+
+fn parse_app(s: &str) -> Result<Application, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "cesm" | "cesm-cldhgh" => Ok(Application::CesmCldhgh),
+        "cesm-freqsh" => Ok(Application::CesmFreqsh),
+        "exafel" => Ok(Application::Exafel),
+        "nyx" | "nyx-baryon" => Ok(Application::NyxBaryonDensity),
+        "nyx-temp" => Ok(Application::NyxTemperature),
+        "nyx-dm" => Ok(Application::NyxDarkMatterDensity),
+        "hurricane-u" => Ok(Application::HurricaneU),
+        "hurricane-qvapor" => Ok(Application::HurricaneQvapor),
+        "rtm" => Ok(Application::Rtm),
+        other => Err(format!("unknown application `{other}`")),
+    }
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
+    s.parse::<f64>().map_err(|_| format!("bad {what} `{s}`"))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|_| format!("bad {what} `{s}`"))
+}
+
+// ------------------------------------------------------------- file chunk IO
+
+/// Fill `buf` from `file`, looping over short reads, and return how many
+/// bytes landed (< `buf.len()` only at end of file). Plain `read()` may
+/// return counts that are not multiples of 4, which would shear every
+/// following `f32` off its byte boundary.
+fn read_full(file: &mut File, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
+}
+
+/// Enumerate the contiguous runs (element offset + length) a chunk occupies
+/// inside a row-major file, in row-major order over the chunk.
+fn for_each_run(
+    dims: Dims,
+    spec: &BlockSpec,
+    mut f: impl FnMut(u64, usize) -> Result<(), String>,
+) -> Result<(), String> {
+    match dims {
+        Dims::D1 { .. } => f(spec.origin[0] as u64, spec.size[0]),
+        Dims::D2 { nx, .. } => {
+            for y in 0..spec.size[0] {
+                let at = (spec.origin[0] + y) * nx + spec.origin[1];
+                f(at as u64, spec.size[1])?;
+            }
+            Ok(())
+        }
+        Dims::D3 { ny, nx, .. } => {
+            for z in 0..spec.size[0] {
+                for y in 0..spec.size[1] {
+                    let at =
+                        ((spec.origin[0] + z) * ny + (spec.origin[1] + y)) * nx + spec.origin[2];
+                    f(at as u64, spec.size[2])?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// [`ChunkSource`] over a raw little-endian `f32` file, read with seeks so
+/// only one chunk is resident at a time.
+struct RawFileSource {
+    file: File,
+    dims: Dims,
+}
+
+impl RawFileSource {
+    fn open(path: &str, dims: Dims) -> Result<Self, String> {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let len = file
+            .metadata()
+            .map_err(|e| format!("stat {path}: {e}"))?
+            .len();
+        let expected = dims.len() as u64 * 4;
+        if len != expected {
+            return Err(format!(
+                "{path} holds {len} bytes but dims {dims} need {expected} (f32)"
+            ));
+        }
+        Ok(RawFileSource { file, dims })
+    }
+}
+
+impl ChunkSource for RawFileSource {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn min_max(&mut self) -> std::io::Result<(f32, f32)> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = vec![0u8; 1 << 16];
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        loop {
+            // The file length is a validated multiple of 4, so a full read
+            // (and the final partial one) always lands on f32 boundaries.
+            let n = read_full(&mut self.file, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            for v in buf[..n].chunks_exact(4) {
+                let x = f32::from_le_bytes([v[0], v[1], v[2], v[3]]);
+                if x.is_nan() {
+                    continue;
+                }
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        if lo > hi {
+            Ok((0.0, 0.0))
+        } else {
+            Ok((lo, hi))
+        }
+    }
+
+    fn read_chunk(&mut self, spec: &BlockSpec) -> std::io::Result<Field> {
+        let mut values = Vec::with_capacity(spec.valid_len());
+        let mut row = Vec::new();
+        let file = &mut self.file;
+        for_each_run(self.dims, spec, |offset, len| {
+            file.seek(SeekFrom::Start(offset * 4))
+                .map_err(|e| e.to_string())?;
+            row.resize(len * 4, 0);
+            file.read_exact(&mut row).map_err(|e| e.to_string())?;
+            for v in row.chunks_exact(4) {
+                values.push(f32::from_le_bytes([v[0], v[1], v[2], v[3]]));
+            }
+            Ok(())
+        })
+        .map_err(std::io::Error::other)?;
+        Ok(
+            Field::from_vec(aesz_repro::archive::chunk_dims(spec), values)
+                .expect("run lengths sum to the chunk size"),
+        )
+    }
+}
+
+/// [`ChunkSink`] writing decoded chunks into a raw `f32` file with seeks.
+struct RawFileSink {
+    file: File,
+    dims: Dims,
+}
+
+impl RawFileSink {
+    fn create(path: &str, dims: Dims) -> Result<Self, String> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| format!("create {path}: {e}"))?;
+        file.set_len(dims.len() as u64 * 4)
+            .map_err(|e| format!("size {path}: {e}"))?;
+        Ok(RawFileSink { file, dims })
+    }
+}
+
+impl ChunkSink for RawFileSink {
+    fn write_chunk(&mut self, spec: &BlockSpec, chunk: &Field) -> std::io::Result<()> {
+        let values = chunk.as_slice();
+        let mut taken = 0usize;
+        let file = &mut self.file;
+        for_each_run(self.dims, spec, |offset, len| {
+            file.seek(SeekFrom::Start(offset * 4))
+                .map_err(|e| e.to_string())?;
+            let mut row = Vec::with_capacity(len * 4);
+            for &v in &values[taken..taken + len] {
+                row.extend_from_slice(&v.to_le_bytes());
+            }
+            taken += len;
+            file.write_all(&row).map_err(|e| e.to_string())?;
+            Ok(())
+        })
+        .map_err(std::io::Error::other)
+    }
+}
+
+/// [`ChunkSink`] that compares decoded chunks against the original source
+/// instead of storing them — the streaming PSNR/max-error accumulator of
+/// `compress --verify`.
+struct VerifySink {
+    original: RawFileSource,
+    sum_sq: f64,
+    max_abs: f64,
+    count: u64,
+}
+
+impl ChunkSink for VerifySink {
+    fn write_chunk(&mut self, spec: &BlockSpec, chunk: &Field) -> std::io::Result<()> {
+        let reference = self.original.read_chunk(spec)?;
+        for (&a, &b) in reference.as_slice().iter().zip(chunk.as_slice()) {
+            let d = (a as f64 - b as f64).abs();
+            self.sum_sq += d * d;
+            self.max_abs = self.max_abs.max(d);
+            self.count += 1;
+        }
+        Ok(())
+    }
+}
+
+fn psnr(range: f64, sum_sq: f64, count: u64) -> f64 {
+    if count == 0 || sum_sq == 0.0 {
+        return f64::INFINITY;
+    }
+    let mse = sum_sq / count as f64;
+    20.0 * range.log10() - 10.0 * mse.log10()
+}
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / 1e6
+}
+
+// ------------------------------------------------------------- subcommands
+
+fn cmd_gen(mut args: Vec<String>) -> Result<(), String> {
+    let app = parse_app(&need_opt(&mut args, "--app")?)?;
+    let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
+    let output = need_opt(&mut args, "--output")?;
+    let seed = match take_opt(&mut args, "--seed")? {
+        Some(s) => parse_usize(&s, "seed")? as u64,
+        None => 0,
+    };
+    finish_args(args)?;
+    let field = app.generate(dims, seed);
+    let mut out =
+        BufWriter::new(File::create(&output).map_err(|e| format!("create {output}: {e}"))?);
+    out.write_all(&field.to_le_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("write {output}: {e}"))?;
+    let (lo, hi) = field.min_max();
+    println!(
+        "wrote {} ({} elements, {:.1} MB) range [{lo}, {hi}]",
+        output,
+        field.len(),
+        mb(field.len() * 4)
+    );
+    Ok(())
+}
+
+fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
+    let input = need_opt(&mut args, "--input")?;
+    let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
+    let codec = parse_codec(&need_opt(&mut args, "--codec")?)?;
+    let output = need_opt(&mut args, "--output")?;
+    let rel = take_opt(&mut args, "--rel")?;
+    let abs = take_opt(&mut args, "--abs")?;
+    let bound = match (rel, abs) {
+        (Some(e), None) => ErrorBound::rel(parse_f64(&e, "relative bound")?),
+        (None, Some(e)) => ErrorBound::abs(parse_f64(&e, "absolute bound")?),
+        _ => return Err(format!("exactly one of --rel / --abs is required\n{USAGE}")),
+    };
+    let opts = ArchiveOptions {
+        chunk: match take_opt(&mut args, "--chunk")? {
+            Some(s) => parse_usize(&s, "chunk")?,
+            None => ArchiveOptions::default().chunk,
+        },
+        window: match take_opt(&mut args, "--window")? {
+            Some(s) => parse_usize(&s, "window")?,
+            None => ArchiveOptions::default().window,
+        },
+    };
+    let verify = take_flag(&mut args, "--verify");
+    finish_args(args)?;
+
+    let registry = Registry::with_defaults();
+    let mut source = RawFileSource::open(&input, dims)?;
+    let mut sink = File::create(&output).map_err(|e| format!("create {output}: {e}"))?;
+    let t0 = Instant::now();
+    let stats = write_archive(
+        &mut source,
+        bound,
+        &opts,
+        &mut |_spec: &BlockSpec| {
+            registry
+                .fork(codec)
+                .ok_or(aesz_repro::CompressError::UnsupportedField(
+                    "codec not registered",
+                ))
+        },
+        &mut sink,
+    )
+    .map_err(|e| e.to_string())?;
+    sink.flush().map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+
+    println!(
+        "{} -> {}: {} chunks (chunk {}, window {}), {} -> {} bytes",
+        input, output, stats.chunks, opts.chunk, opts.window, stats.raw_bytes, stats.archive_bytes
+    );
+    println!(
+        "codec {}, bound {}, ratio {:.2}:1, {:.1} MB/s, peak window payload {:.2} MB",
+        codec.name(),
+        bound,
+        stats.raw_bytes as f64 / stats.archive_bytes as f64,
+        mb(stats.raw_bytes) / secs,
+        mb(stats.peak_window_raw_bytes),
+    );
+
+    if verify {
+        let bytes = std::fs::read(&output).map_err(|e| format!("read {output}: {e}"))?;
+        let reader = ArchiveReader::open(&bytes).map_err(|e| e.to_string())?;
+        let mut original = RawFileSource::open(&input, dims)?;
+        let (lo, hi) = original.min_max().map_err(|e| e.to_string())?;
+        let mut check = VerifySink {
+            original,
+            sum_sq: 0.0,
+            max_abs: 0.0,
+            count: 0,
+        };
+        reader
+            .decode_into(
+                opts.window,
+                &mut |id| {
+                    registry
+                        .fork(id)
+                        .ok_or(aesz_repro::DecompressError::UnknownCodec(id as u8))
+                },
+                &mut check,
+            )
+            .map_err(|e| e.to_string())?;
+        let resolved = bound.absolute(lo, hi);
+        let ok = check.max_abs <= resolved * 1.0001;
+        println!(
+            "verify: PSNR {:.2} dB, max abs err {:.3e} (bound {:.3e}) {}",
+            psnr((hi - lo) as f64, check.sum_sq, check.count),
+            check.max_abs,
+            resolved,
+            if ok { "OK" } else { "VIOLATED" }
+        );
+        if !ok {
+            return Err("error bound violated".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
+    let input = need_opt(&mut args, "--input")?;
+    let output = need_opt(&mut args, "--output")?;
+    let window = match take_opt(&mut args, "--window")? {
+        Some(s) => parse_usize(&s, "window")?,
+        None => ArchiveOptions::default().window,
+    };
+    finish_args(args)?;
+
+    let registry = Registry::with_defaults();
+    let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let t0 = Instant::now();
+    let reader = ArchiveReader::open(&bytes).map_err(|e| e.to_string())?;
+    let dims = reader.dims();
+    let mut sink = RawFileSink::create(&output, dims)?;
+    reader
+        .decode_into(
+            window,
+            &mut |id| {
+                registry
+                    .fork(id)
+                    .ok_or(aesz_repro::DecompressError::UnknownCodec(id as u8))
+            },
+            &mut sink,
+        )
+        .map_err(|e| e.to_string())?;
+    sink.file.flush().map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    let raw = dims.len() * 4;
+    println!(
+        "{} -> {}: dims {}, {} chunks, {} -> {} bytes, {:.1} MB/s",
+        input,
+        output,
+        dims,
+        reader.chunk_count(),
+        bytes.len(),
+        raw,
+        mb(raw) / secs,
+    );
+    Ok(())
+}
+
+fn cmd_info(mut args: Vec<String>) -> Result<(), String> {
+    let input = need_opt(&mut args, "--input")?;
+    finish_args(args)?;
+    let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let reader = ArchiveReader::open(&bytes).map_err(|e| e.to_string())?;
+    let header = reader.header();
+    println!(
+        "{input}: AESA v1, f32, dims {} ({} elements), chunk {} -> {} chunks",
+        header.dims,
+        header.dims.len(),
+        header.chunk,
+        reader.chunk_count()
+    );
+    println!(
+        "archive {} bytes (ratio {:.2}:1), header+index {} bytes",
+        bytes.len(),
+        (header.dims.len() * 4) as f64 / bytes.len() as f64,
+        header.data_start(),
+    );
+    for id in CodecId::all() {
+        let (count, frame_bytes) = reader
+            .entries()
+            .iter()
+            .filter(|e| e.codec == id)
+            .fold((0usize, 0u64), |(n, b), e| (n + 1, b + e.len));
+        if count > 0 {
+            println!("  {:<9} {count:>6} chunks, {frame_bytes} bytes", id.name());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(mut args: Vec<String>) -> Result<(), String> {
+    let a = need_opt(&mut args, "--a")?;
+    let b = need_opt(&mut args, "--b")?;
+    let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
+    let max_abs = match take_opt(&mut args, "--max-abs")? {
+        Some(s) => Some(parse_f64(&s, "max-abs")?),
+        None => None,
+    };
+    finish_args(args)?;
+
+    let mut fa = RawFileSource::open(&a, dims)?;
+    let mut fb = RawFileSource::open(&b, dims)?;
+    let (lo, hi) = fa.min_max().map_err(|e| e.to_string())?;
+    fa.file
+        .seek(SeekFrom::Start(0))
+        .map_err(|e| e.to_string())?;
+    let (mut sum_sq, mut worst, mut count) = (0.0f64, 0.0f64, 0u64);
+    let mut buf_a = vec![0u8; 1 << 16];
+    let mut buf_b = vec![0u8; 1 << 16];
+    loop {
+        let n = read_full(&mut fa.file, &mut buf_a).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        fb.file
+            .read_exact(&mut buf_b[..n])
+            .map_err(|e| e.to_string())?;
+        for (va, vb) in buf_a[..n].chunks_exact(4).zip(buf_b[..n].chunks_exact(4)) {
+            let x = f32::from_le_bytes([va[0], va[1], va[2], va[3]]) as f64;
+            let y = f32::from_le_bytes([vb[0], vb[1], vb[2], vb[3]]) as f64;
+            let d = (x - y).abs();
+            sum_sq += d * d;
+            worst = worst.max(d);
+            count += 1;
+        }
+    }
+    println!(
+        "{a} vs {b}: PSNR {:.2} dB, max abs err {:.3e}",
+        psnr((hi - lo) as f64, sum_sq, count),
+        worst
+    );
+    if let Some(cap) = max_abs {
+        if worst > cap {
+            return Err(format!(
+                "max abs err {worst:.3e} exceeds --max-abs {cap:.3e}"
+            ));
+        }
+        println!("within --max-abs {cap:.3e} OK");
+    }
+    Ok(())
+}

@@ -69,6 +69,10 @@ impl CompressionReport {
 /// The AE-SZ error-bounded lossy compressor: a pre-trained blockwise SWAE
 /// predictor combined with the (mean-)Lorenzo predictor and SZ-style
 /// quantization + entropy coding.
+///
+/// Cloning deep-copies the model, so forked instances (see
+/// [`Compressor::fork`]) encode and decode independently across threads.
+#[derive(Clone)]
 pub struct AeSz {
     model: ConvAutoencoder,
     config: AeSzConfig,
@@ -750,6 +754,10 @@ impl AeSz {
 impl Compressor for AeSz {
     fn codec_id(&self) -> CodecId {
         CodecId::AeSz
+    }
+
+    fn fork(&self) -> Box<dyn Compressor> {
+        Box::new(self.clone())
     }
 
     fn compress_payload(

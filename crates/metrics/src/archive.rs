@@ -1,0 +1,842 @@
+//! The streaming archive layer: bounded-memory, chunked, parallel
+//! compression of fields larger than RAM.
+//!
+//! A whole-field [`Compressor`] stream (one `AESC` frame) forces both sides
+//! to materialize the entire dataset. The archive format
+//! (magic `AESA`, laid out in [`crate::container`]) instead splits the field
+//! into a grid of chunks, compresses every chunk into its own complete
+//! `AESC` frame — possibly through a *different* codec per chunk — and keeps
+//! a codec-id + offset index up front, so:
+//!
+//! * **bounded memory** — [`write_archive`] pulls chunks from a
+//!   [`ChunkSource`] and [`ArchiveReader::decode_into`] pushes them into a
+//!   [`ChunkSink`] in windows of [`ArchiveOptions::window`] chunks; the peak
+//!   resident raw payload is one window, never the whole field (the
+//!   compressed archive itself is buffered only on the reader side, where it
+//!   arrives as the input);
+//! * **parallelism** — the chunks of a window are compressed/decompressed
+//!   concurrently, each on its own [`Compressor::fork`]ed instance, so no
+//!   `&mut` compressor is ever shared across threads;
+//! * **random access** — [`ArchiveReader::decode_chunk`] decodes one chunk
+//!   by index straight from its frame without touching the rest of the
+//!   archive.
+//!
+//! Value-range-relative bounds are resolved against the *whole field's*
+//! range (one streaming `min_max` pass over the source) and then applied to
+//! every chunk as an absolute bound, so the archive honours exactly the
+//! bound a whole-field compression would have.
+
+use std::io::{Cursor, Seek, SeekFrom, Write};
+
+use rayon::prelude::*;
+
+use crate::bound::ErrorBound;
+use crate::compressor::Compressor;
+use crate::container::{read_chunk_index, write_chunk_entry, ArchiveHeader, ChunkEntry, CodecId};
+use crate::error::{CompressError, DecompressError};
+use aesz_tensor::{BlockSpec, Dims, Field};
+
+/// Chunking and batching knobs of the archive writer/reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveOptions {
+    /// Nominal chunk edge length (need not divide the extents; edge chunks
+    /// are smaller).
+    pub chunk: usize,
+    /// Number of chunks processed concurrently per batch — the bound on
+    /// resident raw payload and on parallelism.
+    pub window: usize,
+}
+
+impl Default for ArchiveOptions {
+    fn default() -> Self {
+        ArchiveOptions {
+            chunk: 64,
+            window: 8,
+        }
+    }
+}
+
+/// The dims of the small [`Field`] holding one chunk's values (same rank as
+/// the parent field, extents = the chunk's valid size).
+pub fn chunk_dims(spec: &BlockSpec) -> Dims {
+    match *spec.size.as_slice() {
+        [n] => Dims::d1(n),
+        [ny, nx] => Dims::d2(ny, nx),
+        [nz, ny, nx] => Dims::d3(nz, ny, nx),
+        _ => unreachable!("BlockSpec rank is always 1..=3"),
+    }
+}
+
+/// Where the writer pulls raw chunk data from — an in-memory field
+/// ([`FieldSource`]) or something out-of-core like a raw `f32` file read
+/// with seeks (the `aesz` CLI), so the whole dataset never has to be
+/// resident.
+pub trait ChunkSource {
+    /// Extents of the field being archived.
+    fn dims(&self) -> Dims;
+
+    /// Global min/max of the field (one streaming pass is fine). Only called
+    /// when a value-range-relative bound needs resolving.
+    fn min_max(&mut self) -> std::io::Result<(f32, f32)>;
+
+    /// Read the chunk covering `spec` as a small field of dims
+    /// [`chunk_dims`]`(spec)` (row-major over `spec.size`, no padding).
+    fn read_chunk(&mut self, spec: &BlockSpec) -> std::io::Result<Field>;
+}
+
+/// Where the reader pushes decoded chunks — an in-memory field
+/// ([`FieldSink`]) or an out-of-core target written with seeks.
+pub trait ChunkSink {
+    /// Store the decoded chunk covering `spec` (dims [`chunk_dims`]`(spec)`).
+    fn write_chunk(&mut self, spec: &BlockSpec, chunk: &Field) -> std::io::Result<()>;
+}
+
+/// [`ChunkSource`] over a borrowed in-memory field.
+pub struct FieldSource<'a>(pub &'a Field);
+
+impl ChunkSource for FieldSource<'_> {
+    fn dims(&self) -> Dims {
+        self.0.dims()
+    }
+
+    fn min_max(&mut self) -> std::io::Result<(f32, f32)> {
+        Ok(self.0.min_max())
+    }
+
+    fn read_chunk(&mut self, spec: &BlockSpec) -> std::io::Result<Field> {
+        let values = self.0.read_block_valid(spec);
+        Ok(Field::from_vec(chunk_dims(spec), values).expect("spec sizes match value count"))
+    }
+}
+
+/// [`ChunkSink`] assembling decoded chunks into an in-memory field.
+pub struct FieldSink(Field);
+
+impl FieldSink {
+    /// A zero-initialised sink for a field with the given extents.
+    pub fn new(dims: Dims) -> Self {
+        FieldSink(Field::zeros(dims))
+    }
+
+    /// The assembled field.
+    pub fn into_field(self) -> Field {
+        self.0
+    }
+}
+
+impl ChunkSink for FieldSink {
+    fn write_chunk(&mut self, spec: &BlockSpec, chunk: &Field) -> std::io::Result<()> {
+        self.0.write_block_valid(spec, chunk.as_slice());
+        Ok(())
+    }
+}
+
+/// Why an archive could not be written.
+#[derive(Debug)]
+pub enum ArchiveWriteError {
+    /// The options, bound or source geometry are unusable.
+    Invalid(&'static str),
+    /// Compressing one chunk failed.
+    Compress {
+        /// Index of the failing chunk in the chunk grid.
+        chunk: usize,
+        /// The codec's error.
+        error: CompressError,
+    },
+    /// The sink or the chunk source failed.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ArchiveWriteError {
+    fn from(e: std::io::Error) -> Self {
+        ArchiveWriteError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ArchiveWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveWriteError::Invalid(what) => write!(f, "invalid archive request: {what}"),
+            ArchiveWriteError::Compress { chunk, error } => {
+                write!(f, "compressing chunk {chunk} failed: {error}")
+            }
+            ArchiveWriteError::Io(e) => write!(f, "archive I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveWriteError::Compress { error, .. } => Some(error),
+            ArchiveWriteError::Io(e) => Some(e),
+            ArchiveWriteError::Invalid(_) => None,
+        }
+    }
+}
+
+/// Why an archive could not be read back.
+#[derive(Debug)]
+pub enum ArchiveReadError {
+    /// The archive header or chunk index is malformed (reported before any
+    /// chunk payload is touched).
+    Archive(DecompressError),
+    /// Decoding one chunk frame failed.
+    Chunk {
+        /// Index of the failing chunk in the chunk grid.
+        chunk: usize,
+        /// The codec's error.
+        error: DecompressError,
+    },
+    /// The chunk sink failed.
+    Io(std::io::Error),
+}
+
+impl From<DecompressError> for ArchiveReadError {
+    fn from(e: DecompressError) -> Self {
+        ArchiveReadError::Archive(e)
+    }
+}
+
+impl From<std::io::Error> for ArchiveReadError {
+    fn from(e: std::io::Error) -> Self {
+        ArchiveReadError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ArchiveReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveReadError::Archive(e) => write!(f, "malformed archive: {e}"),
+            ArchiveReadError::Chunk { chunk, error } => {
+                write!(f, "decoding chunk {chunk} failed: {error}")
+            }
+            ArchiveReadError::Io(e) => write!(f, "archive I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveReadError::Archive(e) => Some(e),
+            ArchiveReadError::Chunk { error, .. } => Some(error),
+            ArchiveReadError::Io(e) => Some(e),
+        }
+    }
+}
+
+/// What [`write_archive`] measured while streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Number of chunks written.
+    pub chunks: usize,
+    /// Raw payload size (field elements × 4 bytes).
+    pub raw_bytes: usize,
+    /// Total archive size, header and index included.
+    pub archive_bytes: usize,
+    /// Largest raw payload resident at once — the bounded-memory witness:
+    /// with `window × chunkᵣᵃⁿᵏ` elements per batch this stays far below
+    /// `raw_bytes` for any multi-window archive.
+    pub peak_window_raw_bytes: usize,
+}
+
+/// What the writer's per-chunk codec factory returns: a dedicated
+/// (forked) compressor for one chunk, or the reason it could not be made.
+pub type CompressorFork = Result<Box<dyn Compressor>, CompressError>;
+
+/// What the reader's per-chunk decoder factory returns.
+pub type DecoderFork = Result<Box<dyn Compressor>, DecompressError>;
+
+/// Run every job of a window, each on its own thread-confined `&mut` state.
+///
+/// Chunk size 1 is deliberate: the vendored rayon shim only implements the
+/// `par_chunks_mut` shape (no `par_iter_mut`), and one-job chunks give it
+/// exactly per-job granularity — the inner loop runs once per job.
+fn run_jobs<J: Send>(jobs: &mut [J], run: impl Fn(&mut J) + Sync) {
+    jobs.par_chunks_mut(1).for_each(|one| {
+        for job in one {
+            run(job);
+        }
+    });
+}
+
+/// Compress a field pulled from `source` into the multi-chunk archive
+/// format, streaming chunk frames into `sink`.
+///
+/// `codecs` is called once per chunk (in index order) and must hand back a
+/// *dedicated* compressor instance — typically [`Compressor::fork`] of a
+/// registered codec; different chunks may use different codecs. Chunks are
+/// compressed in rayon-parallel windows of [`ArchiveOptions::window`]; only
+/// one window of raw chunk data is resident at a time. The sink must
+/// support seeking because the chunk index, whose entries are only known
+/// after compression, is back-patched into its reserved slot at the end.
+/// The archive starts at the sink's *current* position (it may be embedded
+/// in a larger stream); index offsets are archive-relative, and the sink is
+/// left positioned just past the archive's last byte.
+pub fn write_archive<W: Write + Seek>(
+    source: &mut dyn ChunkSource,
+    bound: ErrorBound,
+    opts: &ArchiveOptions,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    sink: &mut W,
+) -> Result<ArchiveStats, ArchiveWriteError> {
+    if opts.chunk == 0 {
+        return Err(ArchiveWriteError::Invalid("chunk edge must be at least 1"));
+    }
+    if opts.window == 0 {
+        return Err(ArchiveWriteError::Invalid("window must be at least 1"));
+    }
+    if bound.validate().is_err() {
+        return Err(ArchiveWriteError::Invalid(
+            "error bound must be finite and strictly positive",
+        ));
+    }
+    let dims = source.dims();
+    if dims.is_empty() {
+        return Err(ArchiveWriteError::Invalid("field has no elements"));
+    }
+
+    // Resolve a range-relative bound against the whole field once, so every
+    // chunk honours the field-level bound (a per-chunk range would be
+    // tighter on smooth chunks and looser on none).
+    let chunk_bound = match bound {
+        ErrorBound::Abs(_) => bound,
+        ErrorBound::RangeRel(_) => {
+            let (lo, hi) = source.min_max()?;
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(ArchiveWriteError::Invalid(
+                    "field contains non-finite values; a relative bound is undefined",
+                ));
+            }
+            ErrorBound::Abs(bound.absolute(lo, hi))
+        }
+    };
+
+    let header = ArchiveHeader {
+        dims,
+        chunk: opts.chunk,
+    };
+    // The archive may be embedded at any position of a larger stream: every
+    // seek below is relative to where the sink stands now, and the index
+    // offsets are archive-relative (per the format), not stream-absolute.
+    let base = sink.stream_position()?;
+    let count = header.chunk_count();
+    let mut head = Vec::with_capacity(header.encoded_len());
+    header.write(&mut head);
+    sink.write_all(&head)?;
+    // Reserve the index; its entries are back-patched once every frame
+    // length is known.
+    sink.write_all(&vec![0u8; header.index_len()])?;
+
+    struct Job {
+        index: usize,
+        id: CodecId,
+        field: Field,
+        codec: Box<dyn Compressor>,
+        out: Option<Result<Vec<u8>, CompressError>>,
+    }
+
+    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(count);
+    let mut offset = header.data_start() as u64;
+    let mut raw_bytes = 0usize;
+    let mut peak_window_raw_bytes = 0usize;
+    let mut next = 0usize;
+    while next < count {
+        let batch = opts.window.min(count - next);
+        let mut jobs = Vec::with_capacity(batch);
+        for index in next..next + batch {
+            let spec = BlockSpec::of(dims, opts.chunk, index);
+            let field = source.read_chunk(&spec)?;
+            if field.dims() != chunk_dims(&spec) {
+                return Err(ArchiveWriteError::Invalid(
+                    "chunk source returned a chunk with the wrong dims",
+                ));
+            }
+            let codec = codecs(&spec).map_err(|error| ArchiveWriteError::Compress {
+                chunk: index,
+                error,
+            })?;
+            jobs.push(Job {
+                index,
+                id: codec.codec_id(),
+                field,
+                codec,
+                out: None,
+            });
+        }
+        let window_raw: usize = jobs.iter().map(|j| j.field.len() * 4).sum();
+        peak_window_raw_bytes = peak_window_raw_bytes.max(window_raw);
+        run_jobs(&mut jobs, |job| {
+            job.out = Some(job.codec.compress(&job.field, chunk_bound));
+        });
+        for job in jobs {
+            let frame =
+                job.out
+                    .expect("window ran")
+                    .map_err(|error| ArchiveWriteError::Compress {
+                        chunk: job.index,
+                        error,
+                    })?;
+            sink.write_all(&frame)?;
+            entries.push(ChunkEntry {
+                codec: job.id,
+                offset,
+                len: frame.len() as u64,
+            });
+            offset += frame.len() as u64;
+            raw_bytes += job.field.len() * 4;
+        }
+        next += batch;
+    }
+
+    let mut index_bytes = Vec::with_capacity(header.index_len());
+    for entry in &entries {
+        write_chunk_entry(&mut index_bytes, entry);
+    }
+    sink.seek(SeekFrom::Start(base + header.encoded_len() as u64))?;
+    sink.write_all(&index_bytes)?;
+    // Leave the sink where writing stopped (the archive's end), not at the
+    // end of whatever larger stream it may be embedded in.
+    sink.seek(SeekFrom::Start(base + offset))?;
+
+    Ok(ArchiveStats {
+        chunks: count,
+        raw_bytes,
+        archive_bytes: offset as usize,
+        peak_window_raw_bytes,
+    })
+}
+
+/// [`write_archive`] into a fresh in-memory buffer — the convenience path
+/// for fields that are already resident.
+pub fn write_field_archive(
+    field: &Field,
+    bound: ErrorBound,
+    opts: &ArchiveOptions,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+) -> Result<(Vec<u8>, ArchiveStats), ArchiveWriteError> {
+    let mut cursor = Cursor::new(Vec::new());
+    let stats = write_archive(&mut FieldSource(field), bound, opts, codecs, &mut cursor)?;
+    Ok((cursor.into_inner(), stats))
+}
+
+/// Random-access view over a validated archive byte stream.
+///
+/// [`ArchiveReader::open`] parses and validates the header and the complete
+/// chunk index before returning, so every accessor works on trusted
+/// geometry; chunk payloads stay untouched (and untrusted) until decoded.
+pub struct ArchiveReader<'a> {
+    bytes: &'a [u8],
+    header: ArchiveHeader,
+    entries: Vec<ChunkEntry>,
+}
+
+impl<'a> ArchiveReader<'a> {
+    /// Parse and validate the header and chunk index of `bytes`.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, DecompressError> {
+        let header = ArchiveHeader::read(bytes)?;
+        let entries = read_chunk_index(bytes, &header)?;
+        Ok(ArchiveReader {
+            bytes,
+            header,
+            entries,
+        })
+    }
+
+    /// The archive's parsed header.
+    pub fn header(&self) -> ArchiveHeader {
+        self.header
+    }
+
+    /// Extents of the archived field.
+    pub fn dims(&self) -> Dims {
+        self.header.dims
+    }
+
+    /// Number of chunks in the archive.
+    pub fn chunk_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The validated chunk index.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// Placement of chunk `index` in the field (`None` out of range).
+    pub fn chunk_spec(&self, index: usize) -> Option<BlockSpec> {
+        (index < self.entries.len())
+            .then(|| BlockSpec::of(self.header.dims, self.header.chunk, index))
+    }
+
+    /// The raw `AESC` frame of chunk `index` (`None` out of range).
+    pub fn chunk_frame(&self, index: usize) -> Option<&'a [u8]> {
+        let entry = self.entries.get(index)?;
+        Some(&self.bytes[entry.offset as usize..(entry.offset + entry.len) as usize])
+    }
+
+    /// Decode a single chunk by index through `codec` — the random-access
+    /// path; nothing outside the chunk's frame is read.
+    ///
+    /// The caller picks `codec` from the chunk's index entry
+    /// ([`ArchiveReader::entries`]); a mismatched codec is rejected by the
+    /// frame check, and a frame whose reconstruction does not match the
+    /// chunk's grid cell is rejected here.
+    pub fn decode_chunk(
+        &self,
+        index: usize,
+        codec: &mut dyn Compressor,
+    ) -> Result<Field, DecompressError> {
+        let frame = self
+            .chunk_frame(index)
+            .ok_or(DecompressError::Inconsistent("chunk index out of range"))?;
+        let spec = self.chunk_spec(index).expect("index checked");
+        let field = codec.decompress(frame)?;
+        if field.dims() != chunk_dims(&spec) {
+            return Err(DecompressError::Inconsistent(
+                "chunk reconstruction disagrees with the archive grid",
+            ));
+        }
+        Ok(field)
+    }
+
+    /// Decode every chunk into `sink` in rayon-parallel windows of `window`
+    /// chunks, forking one compressor per in-flight chunk via `codecs`
+    /// (called with each chunk's index-entry codec id).
+    ///
+    /// Peak resident decoded payload is one window of chunks; the sink
+    /// receives chunks in index order.
+    pub fn decode_into(
+        &self,
+        window: usize,
+        codecs: &mut dyn FnMut(CodecId) -> DecoderFork,
+        sink: &mut dyn ChunkSink,
+    ) -> Result<(), ArchiveReadError> {
+        struct Job<'b> {
+            index: usize,
+            spec: BlockSpec,
+            frame: &'b [u8],
+            codec: Box<dyn Compressor>,
+            out: Option<Result<Field, DecompressError>>,
+        }
+
+        let window = window.max(1);
+        let count = self.entries.len();
+        let mut next = 0usize;
+        while next < count {
+            let batch = window.min(count - next);
+            let mut jobs = Vec::with_capacity(batch);
+            for index in next..next + batch {
+                let entry = self.entries[index];
+                let codec = codecs(entry.codec).map_err(|error| ArchiveReadError::Chunk {
+                    chunk: index,
+                    error,
+                })?;
+                jobs.push(Job {
+                    index,
+                    spec: self.chunk_spec(index).expect("index in range"),
+                    frame: self.chunk_frame(index).expect("index in range"),
+                    codec,
+                    out: None,
+                });
+            }
+            run_jobs(&mut jobs, |job| {
+                job.out = Some(job.codec.decompress(job.frame));
+            });
+            for job in jobs {
+                let field =
+                    job.out
+                        .expect("window ran")
+                        .map_err(|error| ArchiveReadError::Chunk {
+                            chunk: job.index,
+                            error,
+                        })?;
+                if field.dims() != chunk_dims(&job.spec) {
+                    return Err(ArchiveReadError::Chunk {
+                        chunk: job.index,
+                        error: DecompressError::Inconsistent(
+                            "chunk reconstruction disagrees with the archive grid",
+                        ),
+                    });
+                }
+                sink.write_chunk(&job.spec, &field)?;
+            }
+            next += batch;
+        }
+        Ok(())
+    }
+
+    /// Decode the whole archive into an in-memory field (a [`FieldSink`]
+    /// behind [`ArchiveReader::decode_into`]).
+    pub fn decode_all(
+        &self,
+        window: usize,
+        codecs: &mut dyn FnMut(CodecId) -> DecoderFork,
+    ) -> Result<Field, ArchiveReadError> {
+        let mut sink = FieldSink::new(self.header.dims);
+        self.decode_into(window, codecs, &mut sink)?;
+        Ok(sink.into_field())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{self, FRAME_LEN};
+
+    /// A stand-in codec storing raw little-endian bytes behind a tiny
+    /// dims header (borrowing the ZFP id purely for framing).
+    #[derive(Clone)]
+    struct Raw;
+
+    impl Compressor for Raw {
+        fn codec_id(&self) -> CodecId {
+            CodecId::Zfp
+        }
+        fn fork(&self) -> Box<dyn Compressor> {
+            Box::new(self.clone())
+        }
+        fn compress_payload(
+            &mut self,
+            field: &Field,
+            _bound: ErrorBound,
+        ) -> Result<Vec<u8>, CompressError> {
+            let mut out = Vec::new();
+            let e = field.dims().extents();
+            out.push(e.len() as u8);
+            for &d in &e {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&field.to_le_bytes());
+            Ok(out)
+        }
+        fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+            let rank = *bytes.first().ok_or(DecompressError::Truncated("rank"))? as usize;
+            if !(1..=3).contains(&rank) {
+                return Err(DecompressError::InvalidHeader("rank"));
+            }
+            let mut ext = Vec::new();
+            let mut pos = 1;
+            for _ in 0..rank {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(
+                    bytes
+                        .get(pos..pos + 8)
+                        .ok_or(DecompressError::Truncated("extent"))?,
+                );
+                ext.push(u64::from_le_bytes(b) as usize);
+                pos += 8;
+            }
+            let dims = match rank {
+                1 => Dims::d1(ext[0]),
+                2 => Dims::d2(ext[0], ext[1]),
+                _ => Dims::d3(ext[0], ext[1], ext[2]),
+            };
+            Field::from_le_bytes(dims, &bytes[pos..])
+                .map_err(|_| DecompressError::Inconsistent("payload/dims mismatch"))
+        }
+    }
+
+    fn raw_codec() -> impl FnMut(&BlockSpec) -> Result<Box<dyn Compressor>, CompressError> + 'static
+    {
+        |_spec: &BlockSpec| Ok(Box::new(Raw) as Box<dyn Compressor>)
+    }
+
+    fn raw_decoder() -> impl FnMut(CodecId) -> Result<Box<dyn Compressor>, DecompressError> + 'static
+    {
+        |_id: CodecId| Ok(Box::new(Raw) as Box<dyn Compressor>)
+    }
+
+    fn ramp(dims: Dims) -> Field {
+        let mut k = 0.0f32;
+        Field::from_fn(dims, |_| {
+            k += 1.0;
+            k
+        })
+    }
+
+    #[test]
+    fn archive_roundtrips_losslessly_with_the_raw_codec() {
+        for (dims, chunk, window) in [
+            (Dims::d1(37), 8, 3),
+            (Dims::d2(21, 13), 8, 1),
+            (Dims::d2(16, 16), 16, 4),
+            (Dims::d3(5, 7, 9), 4, 5),
+        ] {
+            let field = ramp(dims);
+            let opts = ArchiveOptions { chunk, window };
+            let (bytes, stats) =
+                write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec())
+                    .expect("write");
+            assert_eq!(stats.raw_bytes, field.len() * 4);
+            assert_eq!(stats.archive_bytes, bytes.len());
+            assert!(stats.peak_window_raw_bytes <= stats.raw_bytes);
+            let reader = ArchiveReader::open(&bytes).expect("open");
+            assert_eq!(reader.dims(), dims);
+            assert_eq!(reader.chunk_count(), stats.chunks);
+            let recon = reader.decode_all(window, &mut raw_decoder()).expect("read");
+            assert_eq!(recon.as_slice(), field.as_slice());
+        }
+    }
+
+    #[test]
+    fn random_access_matches_the_full_decode() {
+        let field = ramp(Dims::d2(30, 22));
+        let opts = ArchiveOptions {
+            chunk: 8,
+            window: 2,
+        };
+        let (bytes, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        let reader = ArchiveReader::open(&bytes).unwrap();
+        let full = reader.decode_all(4, &mut raw_decoder()).unwrap();
+        for i in 0..reader.chunk_count() {
+            let spec = reader.chunk_spec(i).unwrap();
+            let mut codec = Raw;
+            let chunk = reader.decode_chunk(i, &mut codec).unwrap();
+            assert_eq!(chunk.as_slice(), full.read_block_valid(&spec).as_slice());
+        }
+        assert!(reader.chunk_spec(reader.chunk_count()).is_none());
+        assert!(reader.chunk_frame(reader.chunk_count()).is_none());
+    }
+
+    #[test]
+    fn archives_can_be_embedded_at_a_nonzero_stream_position() {
+        let field = ramp(Dims::d2(10, 11));
+        let opts = ArchiveOptions {
+            chunk: 4,
+            window: 2,
+        };
+        let prefix = b"sixteen byte hdr".to_vec();
+        let mut cursor = Cursor::new(prefix.clone());
+        cursor.set_position(prefix.len() as u64);
+        let stats = write_archive(
+            &mut FieldSource(&field),
+            ErrorBound::abs(1.0),
+            &opts,
+            &mut raw_codec(),
+            &mut cursor,
+        )
+        .expect("embedded write");
+        // The sink is left just past the archive, the prefix is untouched,
+        // and the archive decodes from its own start.
+        assert_eq!(
+            cursor.stream_position().unwrap(),
+            (prefix.len() + stats.archive_bytes) as u64
+        );
+        let bytes = cursor.into_inner();
+        assert_eq!(&bytes[..prefix.len()], prefix.as_slice());
+        let reader = ArchiveReader::open(&bytes[prefix.len()..]).expect("open embedded");
+        let recon = reader.decode_all(2, &mut raw_decoder()).expect("decode");
+        assert_eq!(recon.as_slice(), field.as_slice());
+        // Byte-identical to the same archive written at position 0.
+        let (plain, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        assert_eq!(&bytes[prefix.len()..], plain.as_slice());
+    }
+
+    #[test]
+    fn writer_rejects_unusable_requests() {
+        let field = ramp(Dims::d1(8));
+        let ok = ArchiveOptions {
+            chunk: 4,
+            window: 1,
+        };
+        assert!(matches!(
+            write_field_archive(
+                &field,
+                ErrorBound::abs(1.0),
+                &ArchiveOptions { chunk: 0, ..ok },
+                &mut raw_codec()
+            ),
+            Err(ArchiveWriteError::Invalid(_))
+        ));
+        assert!(matches!(
+            write_field_archive(
+                &field,
+                ErrorBound::abs(1.0),
+                &ArchiveOptions { window: 0, ..ok },
+                &mut raw_codec()
+            ),
+            Err(ArchiveWriteError::Invalid(_))
+        ));
+        assert!(matches!(
+            write_field_archive(&field, ErrorBound::rel(0.0), &ok, &mut raw_codec()),
+            Err(ArchiveWriteError::Invalid(_))
+        ));
+        let empty = Field::zeros(Dims::d1(0));
+        assert!(matches!(
+            write_field_archive(&empty, ErrorBound::abs(1.0), &ok, &mut raw_codec()),
+            Err(ArchiveWriteError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_of_an_archive_is_rejected() {
+        let field = ramp(Dims::d2(9, 9));
+        let opts = ArchiveOptions {
+            chunk: 4,
+            window: 2,
+        };
+        let (bytes, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        for len in 0..bytes.len() {
+            assert!(
+                ArchiveReader::open(&bytes[..len]).is_err(),
+                "truncated archive of {len}/{} bytes opened",
+                bytes.len()
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(ArchiveReader::open(&padded).is_err());
+    }
+
+    #[test]
+    fn header_errors_are_reported_before_chunk_payloads() {
+        let field = ramp(Dims::d1(10));
+        let opts = ArchiveOptions {
+            chunk: 4,
+            window: 1,
+        };
+        let (bytes, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        // Codec byte of the first index entry → unknown id.
+        let header = ArchiveHeader::read(&bytes).unwrap();
+        let mut evil = bytes.clone();
+        evil[header.encoded_len()] = 200;
+        assert!(matches!(
+            ArchiveReader::open(&evil),
+            Err(DecompressError::UnknownCodec(200))
+        ));
+        // First entry offset off by one → tiling violation.
+        let mut evil = bytes.clone();
+        evil[header.encoded_len() + 1] ^= 1;
+        assert!(ArchiveReader::open(&evil).is_err());
+        // Stored chunk count off by one → inconsistency.
+        let mut evil = bytes.clone();
+        let count_at = header.encoded_len() - 8;
+        evil[count_at] = evil[count_at].wrapping_add(1);
+        assert!(ArchiveReader::open(&evil).is_err());
+    }
+
+    #[test]
+    fn frames_inside_an_archive_are_plain_container_frames() {
+        let field = ramp(Dims::d1(12));
+        let opts = ArchiveOptions {
+            chunk: 4,
+            window: 2,
+        };
+        let (bytes, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        let reader = ArchiveReader::open(&bytes).unwrap();
+        for i in 0..reader.chunk_count() {
+            let frame = reader.chunk_frame(i).unwrap();
+            assert!(frame.len() >= FRAME_LEN);
+            assert_eq!(container::peek_codec(frame).unwrap(), CodecId::Zfp);
+            let (codec, _) = container::read_frame(frame).unwrap();
+            assert_eq!(codec, reader.entries()[i].codec);
+        }
+    }
+}

@@ -87,6 +87,28 @@ impl ErrorBound {
     }
 
     /// Resolve to an absolute bound for a concrete field (scans its min/max).
+    ///
+    /// On a **degenerate range** (constant or empty field, `hi <= lo`) the
+    /// contract of [`ErrorBound::absolute`] applies: a relative bound acts
+    /// as an absolute bound (floored at [`MIN_ABS_BOUND`]), while an
+    /// absolute bound always resolves to exactly itself — so every codec
+    /// driven through `decompress_any` reconstructs a constant field within
+    /// the requested absolute tolerance:
+    ///
+    /// ```
+    /// use aesz_metrics::ErrorBound;
+    /// use aesz_tensor::{Dims, Field};
+    ///
+    /// let constant = Field::from_vec(Dims::d2(4, 4), vec![2.5; 16]).unwrap();
+    /// // Relative bounds have no scale on a constant field → absolute.
+    /// assert_eq!(ErrorBound::rel(1e-3).resolve(&constant), 1e-3);
+    /// // Absolute bounds are never rescaled, degenerate range or not.
+    /// assert_eq!(ErrorBound::abs(0.25).resolve(&constant), 0.25);
+    ///
+    /// let ramp = Field::from_vec(Dims::d1(3), vec![0.0, 5.0, 10.0]).unwrap();
+    /// assert_eq!(ErrorBound::rel(1e-3).resolve(&ramp), 1e-2);
+    /// assert_eq!(ErrorBound::abs(0.25).resolve(&ramp), 0.25);
+    /// ```
     pub fn resolve(&self, field: &Field) -> f64 {
         let (lo, hi) = field.min_max();
         self.absolute(lo, hi)

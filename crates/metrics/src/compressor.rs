@@ -19,9 +19,24 @@ use crate::error::{CompressError, CompressorError, DecompressError};
 use aesz_tensor::Field;
 
 /// A lossy field compressor with (optionally) bounded pointwise error.
-pub trait Compressor {
+///
+/// Compressors are `Send` and can produce independent deep copies of
+/// themselves ([`Compressor::fork`]), which is what lets the archive layer
+/// ([`crate::archive`]) fan per-chunk compression and decompression out
+/// across threads without sharing one `&mut` instance.
+pub trait Compressor: Send {
     /// Which codec this compressor implements (the container dispatch key).
     fn codec_id(&self) -> CodecId;
+
+    /// An independent deep copy of this compressor (trained weights and
+    /// configuration included) behind the trait object.
+    ///
+    /// Forked instances must produce byte-identical streams to the original
+    /// and decode anything the original encodes. The archive layer forks one
+    /// compressor per in-flight chunk so a window of chunks can be processed
+    /// in parallel; implementors that derive [`Clone`] just return
+    /// `Box::new(self.clone())`.
+    fn fork(&self) -> Box<dyn Compressor>;
 
     /// Display name matching the paper's figures ("AE-SZ", "SZ2.1", "ZFP", …).
     fn name(&self) -> &'static str {
@@ -126,11 +141,15 @@ mod tests {
     /// A trivial "compressor" that stores the raw bytes, used to test the
     /// trait plumbing and `measure`. It borrows the ZFP codec id purely for
     /// framing; it is not registered anywhere.
+    #[derive(Clone)]
     struct Identity;
 
     impl Compressor for Identity {
         fn codec_id(&self) -> CodecId {
             CodecId::Zfp
+        }
+        fn fork(&self) -> Box<dyn Compressor> {
+            Box::new(self.clone())
         }
         fn compress_payload(
             &mut self,

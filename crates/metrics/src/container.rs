@@ -18,8 +18,41 @@
 //! any disagreement between the declared payload length and the actual input
 //! length, so truncated or padded streams fail before a single payload byte
 //! is interpreted.
+//!
+//! # The multi-chunk archive format (`AESA`)
+//!
+//! On top of the single-payload frame, this module defines the wire format
+//! of the **streaming archive** ([`crate::archive`]): a field split into a
+//! grid of chunks, each chunk compressed independently into one complete
+//! `AESC` frame, with a per-chunk codec id + offset index up front so single
+//! chunks can be decoded without touching the rest of the archive:
+//!
+//! ```text
+//! offset      size  field
+//! 0           4     magic  b"AESA"
+//! 4           1     archive version (currently 1)
+//! 5           1     dtype (1 = f32 little-endian)
+//! 6           1     rank r (1..=3)
+//! 7           1     reserved, must be 0
+//! 8           8·r   extents, u64 little-endian each, slow-to-fast
+//! 8+8r        8     chunk edge length, u64 little-endian
+//! 16+8r       8     chunk count n, u64 little-endian (== the grid product)
+//! 24+8r       17·n  chunk index: n × (codec id u8, absolute byte offset
+//!                   u64 LE, frame length u64 LE)
+//! 24+8r+17n   …     n chunk frames, each a complete AESC frame, stored
+//!                   back-to-back in index order
+//! ```
+//!
+//! [`ArchiveHeader::read`] and [`read_chunk_index`] are the trust boundary:
+//! extents are capped at [`MAX_FIELD_ELEMS`], the stored chunk count must
+//! equal the recomputed grid product, and index entries must tile the data
+//! section exactly (first offset at the data start, each entry abutting the
+//! previous one, the last ending at the input's end) — so a flipped offset,
+//! a lying chunk count or a truncated tail is an error before any chunk
+//! payload is interpreted, and no allocation exceeds the input size.
 
 use crate::error::DecompressError;
+use aesz_tensor::Dims;
 
 /// Magic bytes opening every container frame ("AE-SZ container").
 pub const CONTAINER_MAGIC: [u8; 4] = *b"AESC";
@@ -170,6 +203,230 @@ pub fn peek_codec(bytes: &[u8]) -> Result<CodecId, DecompressError> {
         .get(5)
         .ok_or(DecompressError::Truncated("container codec id"))?;
     CodecId::from_byte(id).ok_or(DecompressError::UnknownCodec(id))
+}
+
+/// Magic bytes opening every multi-chunk archive ("AE-SZ archive").
+pub const ARCHIVE_MAGIC: [u8; 4] = *b"AESA";
+
+/// Current archive format version.
+pub const ARCHIVE_VERSION: u8 = 1;
+
+/// The one data type archives currently carry: little-endian `f32`.
+pub const ARCHIVE_DTYPE_F32: u8 = 1;
+
+/// Encoded size of one chunk-index entry (codec id + offset + length).
+pub const CHUNK_ENTRY_LEN: usize = 1 + 8 + 8;
+
+/// The parsed fixed-size head of an archive: field geometry + chunk grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveHeader {
+    /// Extents of the archived field.
+    pub dims: Dims,
+    /// Nominal chunk edge length (edge chunks are smaller, exactly like the
+    /// blockwise compressors' edge blocks).
+    pub chunk: usize,
+}
+
+impl ArchiveHeader {
+    /// Number of chunks along each axis (ceiling division per axis).
+    pub fn chunk_grid(&self) -> Vec<usize> {
+        self.dims.block_grid(self.chunk)
+    }
+
+    /// Total number of chunks in the archive.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_grid().iter().product()
+    }
+
+    /// Encoded byte length of this header (rank-dependent).
+    pub fn encoded_len(&self) -> usize {
+        8 + 8 * self.dims.rank() + 16
+    }
+
+    /// Byte length of the chunk index that follows the header.
+    pub fn index_len(&self) -> usize {
+        self.chunk_count() * CHUNK_ENTRY_LEN
+    }
+
+    /// Absolute offset of the first chunk frame (header + index).
+    pub fn data_start(&self) -> usize {
+        self.encoded_len() + self.index_len()
+    }
+
+    /// Serialize the header (magic through chunk count) into `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&ARCHIVE_MAGIC);
+        out.push(ARCHIVE_VERSION);
+        out.push(ARCHIVE_DTYPE_F32);
+        out.push(self.dims.rank() as u8);
+        out.push(0); // reserved
+        for e in self.dims.extents() {
+            out.extend_from_slice(&(e as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.chunk as u64).to_le_bytes());
+        out.extend_from_slice(&(self.chunk_count() as u64).to_le_bytes());
+    }
+
+    /// Parse and validate an archive header from the start of `bytes`.
+    ///
+    /// Rejects wrong magic/version/dtype, out-of-range ranks, zero or
+    /// over-cap extents (total capped at [`MAX_FIELD_ELEMS`]), a zero chunk
+    /// edge, and any stored chunk count that disagrees with the grid implied
+    /// by the extents and chunk edge.
+    pub fn read(bytes: &[u8]) -> Result<ArchiveHeader, DecompressError> {
+        if bytes.len() < ARCHIVE_MAGIC.len() {
+            return Err(DecompressError::Truncated("archive magic"));
+        }
+        if bytes[..ARCHIVE_MAGIC.len()] != ARCHIVE_MAGIC {
+            return Err(DecompressError::BadMagic);
+        }
+        if bytes.len() < 8 {
+            return Err(DecompressError::Truncated("archive header"));
+        }
+        if bytes[4] != ARCHIVE_VERSION {
+            return Err(DecompressError::UnsupportedVersion(bytes[4]));
+        }
+        if bytes[5] != ARCHIVE_DTYPE_F32 {
+            return Err(DecompressError::InvalidHeader("archive dtype"));
+        }
+        let rank = bytes[6] as usize;
+        if !(1..=3).contains(&rank) {
+            return Err(DecompressError::InvalidHeader("archive rank"));
+        }
+        if bytes[7] != 0 {
+            return Err(DecompressError::InvalidHeader("archive reserved byte"));
+        }
+        let fixed = 8 + 8 * rank + 16;
+        if bytes.len() < fixed {
+            return Err(DecompressError::Truncated("archive header"));
+        }
+        let u64_at = |pos: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[pos..pos + 8]);
+            u64::from_le_bytes(b)
+        };
+        let mut extents = [0usize; 3];
+        let mut total: usize = 1;
+        for (ax, slot) in extents.iter_mut().take(rank).enumerate() {
+            let e = u64_at(8 + 8 * ax);
+            if e == 0 {
+                return Err(DecompressError::InvalidHeader("archive extent is zero"));
+            }
+            if e > MAX_FIELD_ELEMS as u64 {
+                return Err(DecompressError::InvalidHeader("archive extent exceeds cap"));
+            }
+            *slot = e as usize;
+            total = total
+                .checked_mul(*slot)
+                .filter(|&t| t <= MAX_FIELD_ELEMS)
+                .ok_or(DecompressError::InvalidHeader(
+                    "archive element count exceeds cap",
+                ))?;
+        }
+        let dims = match rank {
+            1 => Dims::d1(extents[0]),
+            2 => Dims::d2(extents[0], extents[1]),
+            _ => Dims::d3(extents[0], extents[1], extents[2]),
+        };
+        let chunk = u64_at(8 + 8 * rank);
+        if chunk == 0 {
+            return Err(DecompressError::InvalidHeader("archive chunk edge is zero"));
+        }
+        if chunk > MAX_FIELD_ELEMS as u64 {
+            return Err(DecompressError::InvalidHeader(
+                "archive chunk edge exceeds cap",
+            ));
+        }
+        let header = ArchiveHeader {
+            dims,
+            chunk: chunk as usize,
+        };
+        let declared = u64_at(16 + 8 * rank);
+        if declared != header.chunk_count() as u64 {
+            return Err(DecompressError::Inconsistent(
+                "stored chunk count disagrees with the chunk grid",
+            ));
+        }
+        Ok(header)
+    }
+}
+
+/// One entry of the archive's chunk index: which codec wrote the chunk and
+/// where its `AESC` frame lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Codec that produced this chunk's frame (the random-access dispatch key).
+    pub codec: CodecId,
+    /// Absolute byte offset of the chunk's frame from the archive start.
+    pub offset: u64,
+    /// Byte length of the chunk's frame.
+    pub len: u64,
+}
+
+/// Serialize one chunk-index entry into `out`.
+pub fn write_chunk_entry(out: &mut Vec<u8>, entry: &ChunkEntry) {
+    out.push(entry.codec as u8);
+    out.extend_from_slice(&entry.offset.to_le_bytes());
+    out.extend_from_slice(&entry.len.to_le_bytes());
+}
+
+/// Parse and validate the chunk index of an archive whose header already
+/// parsed as `header`.
+///
+/// Beyond per-entry decoding, this enforces the tiling invariant: entry 0
+/// starts at the data section, every entry abuts its predecessor, every
+/// frame is at least [`FRAME_LEN`] long, and the last entry ends exactly at
+/// the end of the input — so lying offsets or lengths, overlapping or
+/// reordered entries, truncation and trailing garbage are all rejected here.
+pub fn read_chunk_index(
+    bytes: &[u8],
+    header: &ArchiveHeader,
+) -> Result<Vec<ChunkEntry>, DecompressError> {
+    let count = header.chunk_count();
+    let index_start = header.encoded_len();
+    // Both bounds are computed from the already-validated header, so this
+    // check (against the real input length) caps every allocation below.
+    let data_start = index_start
+        .checked_add(header.index_len())
+        .ok_or(DecompressError::InvalidHeader("archive index size"))?;
+    if bytes.len() < data_start {
+        return Err(DecompressError::Truncated("archive chunk index"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    let mut expected_offset = data_start as u64;
+    for i in 0..count {
+        let at = index_start + i * CHUNK_ENTRY_LEN;
+        let codec =
+            CodecId::from_byte(bytes[at]).ok_or(DecompressError::UnknownCodec(bytes[at]))?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[at + 1..at + 9]);
+        let offset = u64::from_le_bytes(b);
+        b.copy_from_slice(&bytes[at + 9..at + 17]);
+        let len = u64::from_le_bytes(b);
+        if offset != expected_offset {
+            return Err(DecompressError::Inconsistent(
+                "chunk index entries do not tile the data section",
+            ));
+        }
+        if len < FRAME_LEN as u64 {
+            return Err(DecompressError::InvalidHeader(
+                "chunk frame shorter than a container frame",
+            ));
+        }
+        expected_offset = offset
+            .checked_add(len)
+            .ok_or(DecompressError::InvalidHeader("chunk frame length"))?;
+        if expected_offset > bytes.len() as u64 {
+            return Err(DecompressError::Truncated("archive chunk data"));
+        }
+        entries.push(ChunkEntry { codec, offset, len });
+    }
+    if expected_offset != bytes.len() as u64 {
+        return Err(DecompressError::Inconsistent(
+            "trailing bytes after the last chunk frame",
+        ));
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! * `bit rate = compressed bits / number of data points`
 //! * `compression ratio = |D| / |D'|` in bytes.
 
+pub mod archive;
 pub mod bound;
 pub mod compressor;
 pub mod container;
@@ -16,9 +17,13 @@ pub mod error;
 pub mod error_stats;
 pub mod rate_distortion;
 
+pub use archive::{
+    write_archive, write_field_archive, ArchiveOptions, ArchiveReadError, ArchiveReader,
+    ArchiveStats, ArchiveWriteError, ChunkSink, ChunkSource, FieldSink, FieldSource,
+};
 pub use bound::ErrorBound;
 pub use compressor::{measure, Compressor, SweepPoint};
-pub use container::{read_frame, write_frame, CodecId};
+pub use container::{read_frame, write_frame, ArchiveHeader, ChunkEntry, CodecId};
 pub use error::{CompressError, CompressorError, DecompressError};
 pub use error_stats::{max_abs_error, mse, nrmse, psnr, verify_error_bound, ErrorStats};
 pub use rate_distortion::{bit_rate, compression_ratio, RdCurve, RdPoint};

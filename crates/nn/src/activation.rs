@@ -6,7 +6,7 @@ use crate::layer::Layer;
 use aesz_tensor::Tensor;
 
 /// Hyperbolic tangent activation.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Tanh {
     cached_output: Option<Tensor>,
 }
@@ -21,6 +21,10 @@ impl Tanh {
 impl Layer for Tanh {
     fn name(&self) -> &'static str {
         "Tanh"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
@@ -41,7 +45,7 @@ impl Layer for Tanh {
 }
 
 /// Rectified linear unit.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Relu {
     cached_input: Option<Tensor>,
 }
@@ -56,6 +60,10 @@ impl Relu {
 impl Layer for Relu {
     fn name(&self) -> &'static str {
         "ReLU"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
@@ -75,6 +83,7 @@ impl Layer for Relu {
 }
 
 /// Leaky rectified linear unit with fixed negative slope.
+#[derive(Clone)]
 pub struct LeakyRelu {
     slope: f32,
     cached_input: Option<Tensor>,
@@ -93,6 +102,10 @@ impl LeakyRelu {
 impl Layer for LeakyRelu {
     fn name(&self) -> &'static str {
         "LeakyReLU"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

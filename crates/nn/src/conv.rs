@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rayon::prelude::*;
 
 /// Convolution over 2 or 3 spatial dimensions with cubic kernels.
+#[derive(Clone)]
 pub struct ConvNd {
     weight: Param,
     bias: Param,
@@ -152,6 +153,10 @@ impl ConvNd {
 impl Layer for ConvNd {
     fn name(&self) -> &'static str {
         "ConvNd"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
@@ -319,6 +324,7 @@ impl Layer for ConvNd {
 /// Reshape layer: maps `(N, …)` activations to `(N, per_sample_shape…)`.
 /// Used to flatten convolutional feature maps before the dense latent layer
 /// and to unflatten them again in the decoder.
+#[derive(Clone)]
 pub struct Reshape {
     per_sample_shape: Vec<usize>,
     cached_in_shape: Option<Vec<usize>>,
@@ -337,6 +343,10 @@ impl Reshape {
 impl Layer for Reshape {
     fn name(&self) -> &'static str {
         "Reshape"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

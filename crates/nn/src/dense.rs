@@ -10,6 +10,7 @@ use aesz_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 
 /// `y = x·Wᵀ + b` with `W: (out, in)`, `b: (out)`.
+#[derive(Clone)]
 pub struct Dense {
     weight: Param,
     bias: Param,
@@ -45,6 +46,10 @@ impl Dense {
 impl Layer for Dense {
     fn name(&self) -> &'static str {
         "Dense"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

@@ -17,6 +17,7 @@ use crate::layer::{Layer, Param};
 use aesz_tensor::Tensor;
 
 /// Shared implementation of GDN (divide) and iGDN (multiply).
+#[derive(Clone)]
 pub struct Gdn {
     /// Raw β parameters; effective β = raw² + ε.
     beta_raw: Param,
@@ -78,6 +79,10 @@ impl Layer for Gdn {
         } else {
             "GDN"
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

@@ -58,6 +58,15 @@ pub trait Layer: Send {
         Vec::new()
     }
 
+    /// An owned deep copy of this layer behind the trait object.
+    ///
+    /// This is what makes whole layer stacks (and therefore the models and
+    /// compressors built from them) cloneable, so independent copies can run
+    /// on different threads — the archive layer forks one compressor per
+    /// in-flight chunk. Implementors that derive [`Clone`] just return
+    /// `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
     /// Immutable access to the trainable parameters.
     fn params(&self) -> Vec<&Param> {
         Vec::new()
@@ -66,6 +75,12 @@ pub trait Layer: Send {
     /// Total number of scalar weights.
     fn num_params(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 

@@ -101,6 +101,10 @@ impl AeConfig {
 /// The AE-SZ convolutional autoencoder: an encoder and decoder stack built
 /// from the configuration, with explicit forward/backward entry points so the
 /// training objectives (zoo variants) can inject latent-space gradients.
+///
+/// Cloning produces an independent deep copy (weights included), which is how
+/// the archive layer runs one model per in-flight chunk across threads.
+#[derive(Clone)]
 pub struct ConvAutoencoder {
     config: AeConfig,
     encoder: Sequential,

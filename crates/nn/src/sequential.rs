@@ -6,7 +6,7 @@ use aesz_tensor::Tensor;
 /// A simple feed-forward container: `forward` runs every layer in order,
 /// `backward` runs them in reverse. The encoder and decoder of the AE-SZ
 /// network are each one `Sequential`.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -47,6 +47,10 @@ impl Sequential {
 impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "Sequential"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

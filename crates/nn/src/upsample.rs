@@ -12,6 +12,7 @@ use crate::layer::Layer;
 use aesz_tensor::Tensor;
 
 /// Repeat each spatial cell `factor` times along every spatial axis.
+#[derive(Clone)]
 pub struct Upsample {
     factor: usize,
     spatial_rank: usize,
@@ -34,6 +35,10 @@ impl Upsample {
 impl Layer for Upsample {
     fn name(&self) -> &'static str {
         "Upsample"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

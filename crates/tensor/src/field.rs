@@ -34,6 +34,34 @@ pub struct BlockSpec {
 }
 
 impl BlockSpec {
+    /// Build the spec of the `i`-th block (row-major over the block grid) of
+    /// a field with extents `dims`, without needing the field itself — the
+    /// random-access entry point the archive layer uses to map a chunk index
+    /// back to its region.
+    pub fn of(dims: Dims, block: usize, i: usize) -> BlockSpec {
+        let block = block.max(1);
+        let grid = dims.block_grid(block);
+        let extents = dims.extents();
+        let mut coord = vec![0usize; grid.len()];
+        let mut rem = i;
+        for ax in (0..grid.len()).rev() {
+            coord[ax] = rem % grid[ax];
+            rem /= grid[ax];
+        }
+        let origin: Vec<usize> = coord.iter().map(|&c| c * block).collect();
+        let size: Vec<usize> = origin
+            .iter()
+            .zip(extents.iter())
+            .map(|(&o, &e)| block.min(e - o))
+            .collect();
+        BlockSpec {
+            index: i,
+            origin,
+            size,
+            nominal: block,
+        }
+    }
+
     /// Number of valid (in-field) elements covered by this block.
     pub fn valid_len(&self) -> usize {
         self.size.iter().product()
@@ -290,6 +318,50 @@ impl Field {
         }
     }
 
+    /// Write a block's valid region back from an *unpadded* buffer (the
+    /// inverse of [`Field::read_block_valid`]), row-major over `spec.size`.
+    ///
+    /// # Panics
+    /// Panics when `values` is shorter than `spec.valid_len()` or the spec
+    /// lies outside the field.
+    pub fn write_block_valid(&mut self, spec: &BlockSpec, values: &[f32]) {
+        assert!(
+            values.len() >= spec.valid_len(),
+            "need {} values for the block, got {}",
+            spec.valid_len(),
+            values.len()
+        );
+        let mut src = values.iter();
+        match self.dims {
+            Dims::D1 { .. } => {
+                for i in 0..spec.size[0] {
+                    self.data[spec.origin[0] + i] = *src.next().expect("length checked");
+                }
+            }
+            Dims::D2 { nx, .. } => {
+                for by in 0..spec.size[0] {
+                    let dy = spec.origin[0] + by;
+                    for bx in 0..spec.size[1] {
+                        self.data[dy * nx + spec.origin[1] + bx] =
+                            *src.next().expect("length checked");
+                    }
+                }
+            }
+            Dims::D3 { ny, nx, .. } => {
+                for bz in 0..spec.size[0] {
+                    let dz = spec.origin[0] + bz;
+                    for by in 0..spec.size[1] {
+                        let dy = spec.origin[1] + by;
+                        for bx in 0..spec.size[2] {
+                            self.data[(dz * ny + dy) * nx + spec.origin[2] + bx] =
+                                *src.next().expect("length checked");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Read the valid region of a block (no padding), row-major over `spec.size`.
     pub fn read_block_valid(&self, spec: &BlockSpec) -> Vec<f32> {
         let mut out = Vec::with_capacity(spec.valid_len());
@@ -383,26 +455,7 @@ impl<'a> BlockIter<'a> {
 
     /// Build the spec for the `i`-th block of the grid without iterating.
     pub fn spec_at(field: &Field, block: usize, i: usize) -> BlockSpec {
-        let grid = field.dims.block_grid(block);
-        let extents = field.dims.extents();
-        let mut coord = vec![0usize; grid.len()];
-        let mut rem = i;
-        for ax in (0..grid.len()).rev() {
-            coord[ax] = rem % grid[ax];
-            rem /= grid[ax];
-        }
-        let origin: Vec<usize> = coord.iter().map(|&c| c * block).collect();
-        let size: Vec<usize> = origin
-            .iter()
-            .zip(extents.iter())
-            .map(|(&o, &e)| block.min(e - o))
-            .collect();
-        BlockSpec {
-            index: i,
-            origin,
-            size,
-            nominal: block,
-        }
+        BlockSpec::of(field.dims, block, i)
     }
 }
 
@@ -521,6 +574,30 @@ mod tests {
         let spec = f.blocks(4).next().unwrap();
         let blk = f.extract_block(&spec);
         assert_eq!(blk.data, vec![1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn spec_of_matches_iteration_without_a_field() {
+        let f = Field::from_fn(Dims::d3(9, 10, 11), |c| c[2] as f32);
+        for spec in f.blocks(4) {
+            assert_eq!(BlockSpec::of(f.dims(), 4, spec.index), spec);
+        }
+    }
+
+    #[test]
+    fn write_block_valid_roundtrips_read_block_valid() {
+        let f = Field::from_fn(Dims::d3(7, 9, 5), |c| (c[0] * 45 + c[1] * 5 + c[2]) as f32);
+        let mut g = Field::zeros(f.dims());
+        for spec in f.blocks(4) {
+            g.write_block_valid(&spec, &f.read_block_valid(&spec));
+        }
+        assert_eq!(f.as_slice(), g.as_slice());
+        let mut h = Field::zeros(Dims::d2(5, 7));
+        let f2 = Field::from_fn(Dims::d2(5, 7), |c| (c[0] * 7 + c[1]) as f32);
+        for spec in f2.blocks(3) {
+            h.write_block_valid(&spec, &f2.read_block_valid(&spec));
+        }
+        assert_eq!(f2.as_slice(), h.as_slice());
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! Re-exports the public APIs of every member crate so that examples and
 //! integration tests can `use aesz_repro::...` without naming each crate,
-//! and hosts the [`registry`] module: the codec [`Registry`] over all seven
-//! compressors and the [`decompress_any`] dispatch entry point.
+//! and hosts the [`registry`] module (the codec [`Registry`] over all seven
+//! compressors and the [`decompress_any`] dispatch entry point) plus the
+//! [`archive`] module (registry-driven chunked streaming archives with
+//! per-chunk codec choice and random-access decode).
 
+pub mod archive;
 pub mod registry;
 
 pub use aesz_baselines as baselines;

@@ -75,12 +75,27 @@ impl Registry {
         self.entries.iter().map(|c| c.codec_id()).collect()
     }
 
+    /// Shared access to the compressor registered for `id`.
+    pub fn get(&self, id: CodecId) -> Option<&(dyn Compressor + 'static)> {
+        self.entries
+            .iter()
+            .find(|c| c.codec_id() == id)
+            .map(|c| c.as_ref())
+    }
+
     /// Mutable access to the compressor registered for `id`.
     pub fn get_mut(&mut self, id: CodecId) -> Option<&mut (dyn Compressor + 'static)> {
         self.entries
             .iter_mut()
             .find(|c| c.codec_id() == id)
             .map(|c| c.as_mut())
+    }
+
+    /// An independent deep copy of the compressor registered for `id`
+    /// ([`Compressor::fork`]) — how the archive layer obtains one instance
+    /// per in-flight chunk without sharing `&mut` state across threads.
+    pub fn fork(&self, id: CodecId) -> Option<Box<dyn Compressor>> {
+        self.get(id).map(|c| c.fork())
     }
 
     /// Iterate over every registered compressor mutably (the sweep harness's

@@ -1,0 +1,147 @@
+//! Release-mode archive acceptance + throughput measurement.
+//!
+//! * An 8 MB+ field must flow through the archive path with a chunk window
+//!   that keeps the peak resident raw payload far below the whole-field
+//!   size, round-trip within the requested bound for every error-bounded
+//!   codec (all seven codecs take part, chunk-interleaved; AE-B is fixed
+//!   rate and envelope-checked), and serve random-access single-chunk
+//!   decodes byte-identical to the full decode.
+//! * The chunked-vs-whole-field throughput of the SZ2.1 codec is measured
+//!   and written to `BENCH_archive.json` (CI's bench artifact).
+//!
+//! Timings only mean something under the optimized profile, so the whole
+//! suite is ignored in debug builds (CI runs it via `cargo test --release`).
+
+use aesz_repro::archive::{compress_field_with, decompress, decompress_chunk, ArchiveOptions};
+use aesz_repro::datagen::Application;
+use aesz_repro::metrics::{CodecId, ErrorBound};
+use aesz_repro::tensor::BlockSpec;
+use aesz_repro::{Dims, Registry};
+use std::time::Instant;
+
+mod common;
+use common::trained_registry;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "8 MB acceptance run needs --release")]
+fn eight_megabyte_field_through_the_archive_path_all_seven_codecs() {
+    let dims = Dims::d3(128, 128, 128);
+    let field = Application::NyxBaryonDensity.generate(dims, 3);
+    assert!(field.len() * 4 >= 8 * 1024 * 1024, "field must be >= 8 MB");
+
+    let registry = trained_registry();
+    let bound = ErrorBound::rel(1e-2);
+    let opts = ArchiveOptions {
+        chunk: 32,
+        window: 4,
+    };
+    let all = CodecId::all();
+    let (bytes, stats) = compress_field_with(&registry, &field, bound, &opts, |s: &BlockSpec| {
+        all[s.index % all.len()]
+    })
+    .expect("8 MB archive");
+
+    // Bounded memory: the window held at most 4 chunks of 32³ f32 — a tiny
+    // fraction of the 8 MB field.
+    assert_eq!(stats.raw_bytes, field.len() * 4);
+    assert_eq!(stats.peak_window_raw_bytes, 4 * 32 * 32 * 32 * 4);
+    assert!(stats.peak_window_raw_bytes * 16 <= stats.raw_bytes);
+
+    let (recon, codecs) = decompress(&registry, &bytes, 4).expect("8 MB decode");
+    assert_eq!(recon.dims(), dims);
+    assert_eq!(codecs.len(), stats.chunks);
+    assert!(
+        CodecId::all().iter().all(|id| codecs.contains(id)),
+        "every codec must cover some chunks"
+    );
+
+    // Per-element bound on every chunk owned by an error-bounded codec;
+    // envelope sanity on AE-B's fixed-rate chunks.
+    let abs = bound.resolve(&field);
+    let (lo, hi) = field.min_max();
+    let slack = (hi - lo) * 0.5;
+    for (i, &id) in codecs.iter().enumerate() {
+        let spec = BlockSpec::of(dims, opts.chunk, i);
+        let original = field.read_block_valid(&spec);
+        let restored = recon.read_block_valid(&spec);
+        if registry.get(id).expect("registered").is_error_bounded() {
+            for (a, b) in original.iter().zip(restored.iter()) {
+                assert!(
+                    ((a - b) as f64).abs() <= abs * 1.0001,
+                    "{id} violated the bound in chunk {i}"
+                );
+            }
+        } else {
+            assert!(restored
+                .iter()
+                .all(|&v| v.is_finite() && v >= lo - slack && v <= hi + slack));
+        }
+    }
+
+    // Random access must be byte-identical to the full decode.
+    for i in 0..stats.chunks {
+        let (spec, chunk) = decompress_chunk(&registry, &bytes, i).expect("chunk decode");
+        let region = recon.read_block_valid(&spec);
+        for (a, b) in chunk.as_slice().iter().zip(region.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "chunk {i} random access diverged");
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "throughput measurement needs --release")]
+fn chunked_vs_whole_field_throughput_is_recorded() {
+    let dims = Dims::d3(128, 128, 128);
+    let field = Application::NyxBaryonDensity.generate(dims, 3);
+    let raw_bytes = field.len() * 4;
+    let bound = ErrorBound::rel(1e-3);
+    let registry = Registry::with_defaults();
+    let window = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 16);
+    let opts = ArchiveOptions { chunk: 64, window };
+
+    // Whole-field single-frame path.
+    let mut sz2 = registry.fork(CodecId::Sz2).expect("sz2");
+    let t0 = Instant::now();
+    let whole = sz2.compress(&field, bound).expect("whole-field compress");
+    let whole_c = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let whole_recon = sz2.decompress(&whole).expect("whole-field decompress");
+    let whole_d = t0.elapsed().as_secs_f64();
+    assert_eq!(whole_recon.dims(), dims);
+
+    // Chunked archive path (same codec on every chunk).
+    let t0 = Instant::now();
+    let (bytes, stats) = compress_field_with(&registry, &field, bound, &opts, |_| CodecId::Sz2)
+        .expect("archive compress");
+    let arch_c = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let (arch_recon, _) = decompress(&registry, &bytes, window).expect("archive decompress");
+    let arch_d = t0.elapsed().as_secs_f64();
+    assert_eq!(arch_recon.dims(), dims);
+
+    let mbps = |secs: f64| raw_bytes as f64 / 1e6 / secs;
+    let json = format!(
+        "{{\n  \"field\": \"nyx-baryon {dims}\",\n  \"field_bytes\": {raw_bytes},\n  \
+         \"bound\": \"{bound}\",\n  \"codec\": \"SZ2.1\",\n  \"whole_field\": {{\n    \
+         \"compress_s\": {whole_c:.4}, \"decompress_s\": {whole_d:.4},\n    \
+         \"compress_mbps\": {:.2}, \"decompress_mbps\": {:.2},\n    \"bytes\": {}\n  }},\n  \
+         \"archive\": {{\n    \"chunk\": {}, \"window\": {window},\n    \
+         \"compress_s\": {arch_c:.4}, \"decompress_s\": {arch_d:.4},\n    \
+         \"compress_mbps\": {:.2}, \"decompress_mbps\": {:.2},\n    \"bytes\": {},\n    \
+         \"peak_window_raw_bytes\": {}\n  }}\n}}\n",
+        mbps(whole_c),
+        mbps(whole_d),
+        whole.len(),
+        opts.chunk,
+        mbps(arch_c),
+        mbps(arch_d),
+        bytes.len(),
+        stats.peak_window_raw_bytes,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_archive.json");
+    std::fs::write(path, &json).expect("write BENCH_archive.json");
+    println!("wrote {path}:\n{json}");
+}

@@ -1,0 +1,66 @@
+//! Shared helpers of the integration suites: deterministic test fields and a
+//! registry whose learned codecs are cheaply trained, so all seven
+//! compressors can produce and decode streams.
+#![allow(dead_code)] // each test binary uses its own subset
+
+use aesz_repro::baselines::{AeA, AeB};
+use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
+use aesz_repro::core::{AeSz, AeSzConfig};
+use aesz_repro::datagen::Application;
+use aesz_repro::metrics::CodecId;
+use aesz_repro::{Dims, Field, Registry};
+
+/// The 2D field most codecs are exercised on (small, so the
+/// truncation-at-every-offset loops stay fast).
+pub fn field_2d() -> Field {
+    Application::CesmCldhgh.generate(Dims::d2(32, 48), 50)
+}
+
+/// The 3D field used for AE-B (which only supports rank 3).
+pub fn field_3d() -> Field {
+    Application::Rtm.generate(Dims::d3(16, 16, 16), 50)
+}
+
+/// The field a codec is conformance-tested on.
+pub fn test_field(id: CodecId) -> Field {
+    match id {
+        CodecId::AeB => field_3d(),
+        _ => field_2d(),
+    }
+}
+
+/// A registry whose learned codecs are (cheaply) trained, so all seven
+/// compressors can produce and decode streams.
+pub fn trained_registry() -> Registry {
+    let mut registry = Registry::with_defaults();
+
+    let train_2d = Application::CesmCldhgh.generate(Dims::d2(32, 48), 0);
+    let opts = TrainingOptions {
+        block_size: 16,
+        latent_dim: 4,
+        channels: vec![4],
+        epochs: 1,
+        max_blocks: 6,
+        seed: 11,
+        ..TrainingOptions::default_for_rank(2)
+    };
+    let model = train_swae_for_field(std::slice::from_ref(&train_2d), &opts);
+    registry.register(Box::new(AeSz::new(
+        model,
+        AeSzConfig {
+            block_size: 16,
+            ..AeSzConfig::default_2d()
+        },
+    )));
+
+    let mut ae_a = AeA::new(5);
+    ae_a.train(std::slice::from_ref(&train_2d), 1, 6);
+    registry.register(Box::new(ae_a));
+
+    let train_3d = Application::Rtm.generate(Dims::d3(16, 16, 16), 0);
+    let mut ae_b = AeB::new(7);
+    ae_b.train(std::slice::from_ref(&train_3d), 1, 8);
+    registry.register(Box::new(ae_b));
+
+    registry
+}

@@ -4,69 +4,13 @@
 //! degenerate inputs, and reject — never panic on — truncated streams at
 //! every offset, both at the frame level and inside the payload.
 
-use aesz_repro::baselines::{AeA, AeB};
-use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
-use aesz_repro::core::{AeSz, AeSzConfig};
-use aesz_repro::datagen::Application;
 use aesz_repro::metrics::{
     container, max_abs_error, verify_error_bound, CodecId, CompressError, ErrorBound,
 };
-use aesz_repro::{Dims, Field, Registry};
+use aesz_repro::{Dims, Field};
 
-/// The 2D field most codecs are exercised on (small, so the
-/// truncation-at-every-offset loops stay fast).
-fn field_2d() -> Field {
-    Application::CesmCldhgh.generate(Dims::d2(32, 48), 50)
-}
-
-/// The 3D field used for AE-B (which only supports rank 3).
-fn field_3d() -> Field {
-    Application::Rtm.generate(Dims::d3(16, 16, 16), 50)
-}
-
-/// The field a codec is conformance-tested on.
-fn test_field(id: CodecId) -> Field {
-    match id {
-        CodecId::AeB => field_3d(),
-        _ => field_2d(),
-    }
-}
-
-/// A registry whose learned codecs are (cheaply) trained, so all seven
-/// compressors can produce and decode streams.
-fn trained_registry() -> Registry {
-    let mut registry = Registry::with_defaults();
-
-    let train_2d = Application::CesmCldhgh.generate(Dims::d2(32, 48), 0);
-    let opts = TrainingOptions {
-        block_size: 16,
-        latent_dim: 4,
-        channels: vec![4],
-        epochs: 1,
-        max_blocks: 6,
-        seed: 11,
-        ..TrainingOptions::default_for_rank(2)
-    };
-    let model = train_swae_for_field(std::slice::from_ref(&train_2d), &opts);
-    registry.register(Box::new(AeSz::new(
-        model,
-        AeSzConfig {
-            block_size: 16,
-            ..AeSzConfig::default_2d()
-        },
-    )));
-
-    let mut ae_a = AeA::new(5);
-    ae_a.train(std::slice::from_ref(&train_2d), 1, 6);
-    registry.register(Box::new(ae_a));
-
-    let train_3d = Application::Rtm.generate(Dims::d3(16, 16, 16), 0);
-    let mut ae_b = AeB::new(7);
-    ae_b.train(std::slice::from_ref(&train_3d), 1, 8);
-    registry.register(Box::new(ae_b));
-
-    registry
-}
+mod common;
+use common::{field_2d, test_field, trained_registry};
 
 #[test]
 fn roundtrip_honours_both_bound_modes() {
@@ -137,6 +81,45 @@ fn constant_fields_roundtrip_within_bound() {
             assert!(
                 max_err <= resolved * 1.001,
                 "{id} violated the degenerate-range bound: {max_err} > {resolved}"
+            );
+        }
+    }
+}
+
+/// The PR-3 latent gap: `ErrorBound::Abs` on a constant (`hi == lo`) field.
+/// Per the degenerate-range contract documented on `ErrorBound::resolve`, an
+/// absolute bound resolves to exactly itself (no flooring, no rescaling), so
+/// every error-bounded codec must reconstruct a constant field within the
+/// requested absolute tolerance — and the streams must dispatch through
+/// `decompress_any` like any other.
+#[test]
+fn abs_bound_on_constant_fields_roundtrips_through_decompress_any() {
+    let mut registry = trained_registry();
+    let bound = ErrorBound::abs(1e-3);
+    for id in CodecId::all() {
+        let dims = match id {
+            CodecId::AeB => Dims::d3(16, 16, 16),
+            _ => Dims::d2(24, 24),
+        };
+        let field = Field::from_vec(dims, vec![-7.25; dims.len()]).unwrap();
+        let bounded = registry.get_mut(id).expect("registered").is_error_bounded();
+        let bytes = registry
+            .get_mut(id)
+            .expect("registered")
+            .compress(&field, bound)
+            .unwrap_or_else(|e| panic!("{id} failed on a constant field with an abs bound: {e}"));
+        let (recon, dispatched) = registry
+            .decompress_any(&bytes)
+            .unwrap_or_else(|e| panic!("decompress_any failed for {id}: {e}"));
+        assert_eq!(dispatched, id);
+        assert_eq!(recon.dims(), field.dims());
+        // resolve() must hand every codec exactly the requested tolerance.
+        assert_eq!(bound.resolve(&field), 1e-3, "{id}");
+        if bounded {
+            let max_err = max_abs_error(field.as_slice(), recon.as_slice());
+            assert!(
+                max_err <= 1e-3 * 1.001,
+                "{id} violated the abs bound on a constant field: {max_err}"
             );
         }
     }
