@@ -11,16 +11,30 @@
 //! code), which is what restores the error bound. Its weaknesses relative to
 //! AE-SZ — no spatial awareness, slow dense layers, heavy residual volume —
 //! are exactly what the paper's comparison shows.
+//!
+//! # Payload format
+//!
+//! The payload leads with the 16-byte content-addressed [`ModelId`] of the
+//! trained network, followed by the shared baseline stream
+//! ([`crate::common::assemble`]). Pre-model-id AE-A payloads (which carried
+//! no version marker) are **not** decodable by this version — unlike AE-SZ,
+//! whose magic distinguishes stream versions, AE-A streams were never
+//! decodable outside the process that trained the exact instance, so there
+//! is no compatible installed base to preserve.
 
 use aesz_codec::varint::{read_f32, write_f32, write_uvarint};
 use aesz_codec::{compress_bytes, decompress_bytes_capped};
-use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
+use aesz_metrics::container::MODEL_ID_LEN;
+use aesz_metrics::{
+    CodecId, CompressError, Compressor, DecompressError, EmbeddedModel, ErrorBound, ModelId,
+};
 use aesz_nn::activation::Tanh;
 use aesz_nn::dense::Dense;
 use aesz_nn::layer::Layer;
 use aesz_nn::loss;
 use aesz_nn::optim::Adam;
 use aesz_nn::sequential::Sequential;
+use aesz_nn::serialize::{read_params_into, write_params, ModelError};
 use aesz_predictors::{Quantizer, DEFAULT_QUANT_BINS};
 use aesz_tensor::{init, Field, Tensor};
 
@@ -31,12 +45,19 @@ pub const WINDOW: usize = 512;
 /// Latent length per window (512× reduction, as in the original design).
 pub const LATENT: usize = 1;
 
-/// The AE-A compressor. Must be trained (`train`) before use.
+/// Magic bytes identifying a serialized AE-A model (the fixed dense
+/// architecture needs no config fields — just the parameter stream).
+const MODEL_MAGIC: &[u8; 8] = b"AEAMODL1";
+
+/// The AE-A compressor. Must be trained ([`AeA::train`]) or rebuilt from a
+/// trained model file ([`AeA::from_model_bytes`]) before use.
 #[derive(Clone)]
 pub struct AeA {
     encoder: Sequential,
     decoder: Sequential,
     trained: bool,
+    /// Content-addressed id of the trained weights; `None` until trained.
+    model_id: Option<ModelId>,
 }
 
 impl Default for AeA {
@@ -67,12 +88,54 @@ impl AeA {
             encoder,
             decoder,
             trained: false,
+            model_id: None,
         }
     }
 
     /// Whether [`AeA::train`] has been called.
     pub fn is_trained(&self) -> bool {
         self.trained
+    }
+
+    /// Content-addressed id of the trained weights (`None` while untrained).
+    pub fn model_id(&self) -> Option<ModelId> {
+        self.model_id
+    }
+
+    /// Serialize the trained weights: magic + the encoder-then-decoder
+    /// parameter stream ([`aesz_nn::serialize::write_params`]). This byte
+    /// sequence is what the [`ModelId`] hashes.
+    pub fn to_model_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MODEL_MAGIC);
+        let mut params = self.encoder.params();
+        params.extend(self.decoder.params());
+        write_params(&mut out, &params);
+        out
+    }
+
+    /// Rebuild a trained AE-A from bytes written by [`AeA::to_model_bytes`]
+    /// — the decode path of the sidecar / embedded-model lifecycle. The
+    /// loaded instance is trained by definition and carries the id of the
+    /// given bytes.
+    pub fn from_model_bytes(bytes: &[u8]) -> Result<AeA, ModelError> {
+        if bytes.len() < MODEL_MAGIC.len() {
+            return Err(ModelError::Truncated);
+        }
+        if &bytes[..MODEL_MAGIC.len()] != MODEL_MAGIC {
+            return Err(ModelError::BadMagic);
+        }
+        let mut ae = AeA::new(0);
+        let mut pos = MODEL_MAGIC.len();
+        let mut params = ae.encoder.params_mut();
+        params.extend(ae.decoder.params_mut());
+        read_params_into(bytes, &mut pos, params)?;
+        if pos != bytes.len() {
+            return Err(ModelError::TrailingBytes);
+        }
+        ae.trained = true;
+        ae.model_id = Some(ModelId::of(bytes));
+        Ok(ae)
     }
 
     /// Cut a normalised field into fixed-length windows (zero-padded tail).
@@ -115,6 +178,7 @@ impl AeA {
             }
         }
         self.trained = true;
+        self.model_id = Some(ModelId::of(&self.to_model_bytes()));
     }
 
     /// Encode a normalised field into one latent vector per window.
@@ -152,16 +216,25 @@ impl Compressor for AeA {
         Box::new(self.clone())
     }
 
+    fn embedded_model(&self) -> Option<EmbeddedModel> {
+        self.trained
+            .then(|| EmbeddedModel::new(CodecId::AeA, &self.to_model_bytes()))
+    }
+
+    fn embedded_model_id(&self) -> Option<ModelId> {
+        self.model_id.filter(|_| self.trained)
+    }
+
     fn compress_payload(
         &mut self,
         field: &Field,
         bound: ErrorBound,
     ) -> Result<Vec<u8>, CompressError> {
-        if !self.trained {
+        let Some(model_id) = self.model_id.filter(|_| self.trained) else {
             return Err(CompressError::Untrained(
                 "AeA::train must be called before compressing",
             ));
-        }
+        };
         let (abs_eb, lo, hi) = resolve_bound(field, bound)?;
         let (norm, _, _) = field.normalize_pm1();
         // Latents are stored; predictions come from decoding the *stored*
@@ -180,23 +253,35 @@ impl Compressor for AeA {
         write_uvarint(&mut extra, latent_payload.len() as u64);
         extra.extend_from_slice(&latent_payload);
 
-        assemble(
+        let body = assemble(
             BaseHeader {
                 dims: field.dims(),
                 abs_eb,
             },
             &blk,
             &extra,
-        )
+        )?;
+        // The model id leads the payload (before the shared baseline header)
+        // so dispatchers can resolve the model without parsing anything.
+        let mut out = Vec::with_capacity(MODEL_ID_LEN + body.len());
+        out.extend_from_slice(model_id.as_bytes());
+        out.extend_from_slice(&body);
+        Ok(out)
     }
 
     fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
-        if !self.trained {
-            return Err(DecompressError::Unsupported(
-                "AeA::train must be called before decompressing",
-            ));
+        let stream_id =
+            ModelId::from_prefix(bytes).ok_or(DecompressError::Truncated("model id"))?;
+        // Provenance check before anything else: an untrained instance or
+        // one holding different weights cannot reconstruct this stream, and
+        // the stream itself names the model that can.
+        if !self.trained || self.model_id != Some(stream_id) {
+            return Err(DecompressError::MissingModel {
+                codec: CodecId::AeA,
+                model_id: stream_id,
+            });
         }
-        let (header, blk, extra) = parse(bytes, |h| h.dims.len())?;
+        let (header, blk, extra) = parse(&bytes[MODEL_ID_LEN..], |h| h.dims.len())?;
         let mut pos = 0usize;
         let lo = read_f32(&extra, &mut pos).ok_or(DecompressError::Truncated("data range"))?;
         let hi = read_f32(&extra, &mut pos).ok_or(DecompressError::Truncated("data range"))?;
@@ -232,6 +317,12 @@ impl Compressor for AeA {
     fn is_error_bounded(&self) -> bool {
         true
     }
+}
+
+/// Read the model id leading an AE-A payload (container frame already
+/// stripped) without parsing the rest of the stream.
+pub fn peek_model_id(payload: &[u8]) -> Option<ModelId> {
+    ModelId::from_prefix(payload)
 }
 
 #[cfg(test)]
@@ -302,6 +393,65 @@ mod tests {
         assert!(matches!(
             ae.decompress(b"not a stream"),
             Err(DecompressError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn model_bytes_roundtrip_and_streams_carry_the_id() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 12);
+        let mut ae = AeA::new(4);
+        assert_eq!(ae.model_id(), None);
+        ae.train(std::slice::from_ref(&field), 1, 5);
+        let id = ae.model_id().expect("trained");
+        let bytes = ae.to_model_bytes();
+        assert_eq!(ModelId::of(&bytes), id);
+
+        // A fresh instance rebuilt from the bytes decodes the stream the
+        // trainer's instance wrote, bit-identically.
+        let stream = ae.compress(&field, ErrorBound::rel(1e-2)).unwrap();
+        let mut rebuilt = AeA::from_model_bytes(&bytes).expect("reload");
+        assert_eq!(rebuilt.model_id(), Some(id));
+        assert_eq!(rebuilt.to_model_bytes(), bytes, "canonical serialization");
+        let a = ae.decompress(&stream).unwrap();
+        let b = rebuilt.decompress(&stream).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+
+        // The payload leads with the id; a differently trained instance
+        // refuses with the dedicated missing-model error naming it.
+        let (_, payload) = aesz_metrics::container::read_frame(&stream).unwrap();
+        assert_eq!(peek_model_id(payload), Some(id));
+        let mut other = AeA::new(99);
+        other.train(std::slice::from_ref(&field), 1, 100);
+        assert_eq!(
+            other.decompress(&stream),
+            Err(DecompressError::MissingModel {
+                codec: CodecId::AeA,
+                model_id: id,
+            })
+        );
+        // An untrained instance reports the same missing model.
+        assert!(matches!(
+            AeA::new(1).decompress(&stream),
+            Err(DecompressError::MissingModel { .. })
+        ));
+
+        // Corrupt model files are rejected, never panicking.
+        assert!(matches!(
+            AeA::from_model_bytes(b"AEAMODL1"),
+            Err(ModelError::Truncated)
+        ));
+        assert!(matches!(
+            AeA::from_model_bytes(b"XXXXXXXXrest"),
+            Err(ModelError::BadMagic)
+        ));
+        for len in 0..bytes.len().min(64) {
+            assert!(AeA::from_model_bytes(&bytes[..len]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            AeA::from_model_bytes(&padded),
+            Err(ModelError::TrailingBytes)
         ));
     }
 

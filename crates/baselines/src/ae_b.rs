@@ -7,11 +7,20 @@
 //! the paper (Fig. 1 shows its pointwise error reaching ~20 % of the value
 //! range). The compressed stream is simply the latent vectors (plus a small
 //! header); reconstruction quality is whatever the network delivers.
+//!
+//! The payload leads with the 16-byte content-addressed [`ModelId`] of the
+//! trained network (pre-model-id AE-B payloads are not decodable by this
+//! version — like AE-A, such streams were never usable outside the training
+//! process, so nothing compatible is lost).
 
 use aesz_codec::varint::{read_f32, write_f32, write_uvarint};
-use aesz_metrics::{CodecId, CompressError, Compressor, DecompressError, ErrorBound};
+use aesz_metrics::container::MODEL_ID_LEN;
+use aesz_metrics::{
+    CodecId, CompressError, Compressor, DecompressError, EmbeddedModel, ErrorBound, ModelId,
+};
 use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
 use aesz_nn::models::zoo::AeVariant;
+use aesz_nn::serialize::{load_model, model_id, save_model, ModelError};
 use aesz_nn::train::{TrainConfig, Trainer};
 use aesz_tensor::{BlockSpec, Dims, Field};
 
@@ -27,6 +36,8 @@ pub const LATENT: usize = 64;
 pub struct AeB {
     model: ConvAutoencoder,
     trained: bool,
+    /// Content-addressed id of the trained weights; `None` until trained.
+    model_id: Option<ModelId>,
 }
 
 impl Default for AeB {
@@ -49,12 +60,48 @@ impl AeB {
         AeB {
             model,
             trained: false,
+            model_id: None,
         }
     }
 
     /// Whether [`AeB::train`] has been called.
     pub fn is_trained(&self) -> bool {
         self.trained
+    }
+
+    /// Content-addressed id of the trained weights (`None` while untrained).
+    pub fn model_id(&self) -> Option<ModelId> {
+        self.model_id
+    }
+
+    /// Serialize the trained model (the standard `AESZMDL1` format — AE-B's
+    /// network is a [`ConvAutoencoder`] like AE-SZ's).
+    pub fn to_model_bytes(&self) -> Vec<u8> {
+        save_model(&self.model)
+    }
+
+    /// Rebuild a trained AE-B from bytes written by [`AeB::to_model_bytes`].
+    /// The model must describe exactly AE-B's fixed geometry (rank 3, block
+    /// 16, latent 64, deterministic encoder); anything else is rejected —
+    /// AE-B's wire format hard-codes that reduction.
+    pub fn from_model_bytes(bytes: &[u8]) -> Result<AeB, ModelError> {
+        let model = load_model(bytes)?;
+        let cfg = model.config();
+        if cfg.spatial_rank != 3
+            || cfg.block_size != BLOCK
+            || cfg.latent_dim != LATENT
+            || cfg.variational
+        {
+            return Err(ModelError::InvalidConfig(
+                "model geometry does not match AE-B's fixed 16^3 -> 64 reduction",
+            ));
+        }
+        let id = model_id(&model);
+        Ok(AeB {
+            model,
+            trained: true,
+            model_id: Some(id),
+        })
     }
 
     /// Train (the paper fine-tunes a pre-trained network; we train from
@@ -96,6 +143,7 @@ impl AeB {
         trainer.train(&blocks);
         self.model = trainer.into_model();
         self.trained = true;
+        self.model_id = Some(model_id(&self.model));
     }
 }
 
@@ -108,16 +156,25 @@ impl Compressor for AeB {
         Box::new(self.clone())
     }
 
+    fn embedded_model(&self) -> Option<EmbeddedModel> {
+        self.trained
+            .then(|| EmbeddedModel::new(CodecId::AeB, &self.to_model_bytes()))
+    }
+
+    fn embedded_model_id(&self) -> Option<ModelId> {
+        self.model_id.filter(|_| self.trained)
+    }
+
     fn compress_payload(
         &mut self,
         field: &Field,
         _bound: ErrorBound,
     ) -> Result<Vec<u8>, CompressError> {
-        if !self.trained {
+        let Some(model_id) = self.model_id.filter(|_| self.trained) else {
             return Err(CompressError::Untrained(
                 "AeB::train must be called before compressing",
             ));
-        }
+        };
         if field.dims().rank() != 3 {
             return Err(CompressError::UnsupportedField(
                 "AE-B is defined for 3D data only",
@@ -133,6 +190,9 @@ impl Compressor for AeB {
         let specs: Vec<BlockSpec> = field.blocks(BLOCK).collect();
         let block_len = BLOCK * BLOCK * BLOCK;
         let mut out = Vec::new();
+        // The model id leads the payload (like AE-A) so dispatchers can
+        // resolve the model without parsing the stream.
+        out.extend_from_slice(model_id.as_bytes());
         write_dims(&mut out, field.dims());
         write_f32(&mut out, lo);
         write_f32(&mut out, hi);
@@ -158,12 +218,15 @@ impl Compressor for AeB {
     }
 
     fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
-        if !self.trained {
-            return Err(DecompressError::Unsupported(
-                "AeB::train must be called before decompressing",
-            ));
+        let stream_id =
+            ModelId::from_prefix(bytes).ok_or(DecompressError::Truncated("model id"))?;
+        if !self.trained || self.model_id != Some(stream_id) {
+            return Err(DecompressError::MissingModel {
+                codec: CodecId::AeB,
+                model_id: stream_id,
+            });
         }
-        let mut pos = 0usize;
+        let mut pos = MODEL_ID_LEN;
         let dims: Dims = read_dims(bytes, &mut pos)?;
         if dims.rank() != 3 {
             return Err(DecompressError::InvalidHeader("AE-B streams are 3D only"));
@@ -217,6 +280,12 @@ impl Compressor for AeB {
     fn is_error_bounded(&self) -> bool {
         false
     }
+}
+
+/// Read the model id leading an AE-B payload (container frame already
+/// stripped) without parsing the rest of the stream.
+pub fn peek_model_id(payload: &[u8]) -> Option<ModelId> {
+    ModelId::from_prefix(payload)
 }
 
 #[cfg(test)]
@@ -288,5 +357,54 @@ mod tests {
         for len in 0..bytes.len() {
             assert!(ae.decompress(&bytes[..len]).is_err());
         }
+    }
+
+    #[test]
+    fn model_bytes_roundtrip_and_streams_carry_the_id() {
+        let field = Application::Rtm.generate(Dims::d3(16, 16, 16), 8);
+        let mut ae = AeB::new(6);
+        ae.train(std::slice::from_ref(&field), 1, 7);
+        let id = ae.model_id().expect("trained");
+        let bytes = ae.to_model_bytes();
+        assert_eq!(ModelId::of(&bytes), id);
+
+        let stream = ae.compress(&field, ErrorBound::rel(1e-3)).unwrap();
+        let (_, payload) = aesz_metrics::container::read_frame(&stream).unwrap();
+        assert_eq!(peek_model_id(payload), Some(id));
+
+        let mut rebuilt = AeB::from_model_bytes(&bytes).expect("reload");
+        assert_eq!(rebuilt.model_id(), Some(id));
+        let a = ae.decompress(&stream).unwrap();
+        let b = rebuilt.decompress(&stream).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+
+        // Wrong weights → the dedicated missing-model error naming the id.
+        let mut other = AeB::new(44);
+        other.train(std::slice::from_ref(&field), 1, 45);
+        assert_eq!(
+            other.decompress(&stream),
+            Err(DecompressError::MissingModel {
+                codec: CodecId::AeB,
+                model_id: id,
+            })
+        );
+        assert!(matches!(
+            AeB::new(1).decompress(&stream),
+            Err(DecompressError::MissingModel { .. })
+        ));
+
+        // A model file with the wrong geometry is rejected up front.
+        let foreign = save_model(&ConvAutoencoder::new(AeConfig {
+            spatial_rank: 2,
+            block_size: 16,
+            latent_dim: 8,
+            channels: vec![4],
+            variational: false,
+            seed: 0,
+        }));
+        assert!(matches!(
+            AeB::from_model_bytes(&foreign),
+            Err(ModelError::InvalidConfig(_))
+        ));
     }
 }

@@ -8,34 +8,59 @@
 //!
 //! ```text
 //! aesz gen        --app cesm --dims 512x512 --seed 7 --output field.f32
-//! aesz compress   --input field.f32 --dims 512x512 --codec sz2 --rel 1e-3 \
+//! aesz train      --input field.f32 --dims 512x512 --codec aesz \
+//!                 --output field.aesm [--epochs 4]
+//! aesz compress   --input field.f32 --dims 512x512 --codec aesz --rel 1e-3 \
+//!                 --model field.aesm --embed-model \
 //!                 --chunk 64 --window 8 --output field.aesa [--verify]
-//! aesz decompress --input field.aesa --output recon.f32 [--window 8]
+//! aesz decompress --input field.aesa --output recon.f32 [--model field.aesm]
 //! aesz info       --input field.aesa
 //! aesz compare    --a x.f32 --b y.f32 --dims 512x512 [--max-abs 1e-3]
 //! ```
+//!
+//! The `train` subcommand is the paper's offline stage: it trains a learned
+//! codec's network and writes a content-addressed sidecar model file
+//! (`AESM` frame). `compress` can load that sidecar (`--model`), train one
+//! inline (`--train`), and embed the model bytes into the archive itself
+//! (`--embed-model`) so `decompress` in a fresh process needs nothing but
+//! the archive.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::time::Instant;
 
-use aesz_repro::archive::{write_archive, ArchiveOptions, ArchiveReader, ChunkSink, ChunkSource};
+use aesz_repro::archive::{
+    write_archive, write_archive_embedding, ArchiveDecoders, ArchiveOptions, ArchiveReader,
+    ChunkSink, ChunkSource,
+};
+use aesz_repro::baselines::{AeA, AeB};
+use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
+use aesz_repro::core::AeSz;
 use aesz_repro::datagen::Application;
+use aesz_repro::model_store::build_compressor;
 use aesz_repro::tensor::BlockSpec;
-use aesz_repro::{CodecId, Dims, ErrorBound, Field, Registry};
+use aesz_repro::{CodecId, Compressor, Dims, EmbeddedModel, ErrorBound, Field, Registry};
 
 const USAGE: &str = "usage:
   aesz gen        --app NAME --dims DIMS --output FILE [--seed N]
+  aesz train      --input FILE | --app NAME  --dims DIMS --output FILE
+                  [--codec aesz|aea|aeb] [--epochs N] [--block N] [--latent N]
+                  [--channels 8,16] [--max-blocks N] [--train-seed N] [--seed N]
   aesz compress   --input FILE --dims DIMS --codec NAME --rel E | --abs E
                   --output FILE [--chunk N] [--window N] [--verify]
-  aesz decompress --input FILE --output FILE [--window N]
+                  [--model FILE] [--train] [--embed-model] [--epochs N]
+  aesz decompress --input FILE --output FILE [--window N] [--model FILE]
+                  [--verify]
   aesz info       --input FILE
   aesz compare    --a FILE --b FILE --dims DIMS [--max-abs E]
 
 DIMS is slow-to-fast extents, e.g. 1800x3600 or 256x256x256.
-codecs: aesz, sz2, zfp, szauto, szinterp, aea, aeb (aea/aeb need training
-and are rejected by the default untrained registry).
-apps for gen: cesm, cesm-freqsh, exafel, nyx, nyx-temp, nyx-dm,
+codecs: aesz, sz2, zfp, szauto, szinterp, aea, aeb. The learned codecs
+(aesz, aea, aeb) need a trained model: train one offline (`aesz train`),
+load it with --model, or train inline with --train. `--embed-model` ships
+the model inside the archive; `decompress` also resolves sidecar files
+given via --model. With --train, --model names where to SAVE the model.
+apps for gen/train: cesm, cesm-freqsh, exafel, nyx, nyx-temp, nyx-dm,
 hurricane-u, hurricane-qvapor, rtm.";
 
 fn main() {
@@ -56,6 +81,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     let cmd = args.remove(0);
     match cmd.as_str() {
         "gen" => cmd_gen(args),
+        "train" => cmd_train(args),
         "compress" => cmd_compress(args),
         "decompress" => cmd_decompress(args),
         "info" => cmd_info(args),
@@ -152,6 +178,146 @@ fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
 
 fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
     s.parse::<usize>().map_err(|_| format!("bad {what} `{s}`"))
+}
+
+fn parse_channels(s: &str) -> Result<Vec<usize>, String> {
+    let parts: Result<Vec<usize>, _> = s.split(',').map(|p| p.trim().parse::<usize>()).collect();
+    let parts = parts.map_err(|_| format!("bad channels `{s}` (expected e.g. 8,16)"))?;
+    if parts.is_empty() || parts.contains(&0) {
+        return Err(format!(
+            "bad channels `{s}`: need at least one, all non-zero"
+        ));
+    }
+    Ok(parts)
+}
+
+// --------------------------------------------------------------- model files
+
+/// Read a whole raw `f32` field into memory (training needs the blocks).
+fn read_field(path: &str, dims: Dims) -> Result<Field, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let expected = dims.len() * 4;
+    if bytes.len() != expected {
+        return Err(format!(
+            "{path} holds {} bytes but dims {dims} need {expected} (f32)",
+            bytes.len()
+        ));
+    }
+    Field::from_le_bytes(dims, &bytes).map_err(|_| format!("{path}: byte/dims mismatch"))
+}
+
+/// Load a sidecar `AESM` model file into a trained compressor.
+fn load_model_file(path: &str) -> Result<(EmbeddedModel, Box<dyn Compressor>), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let (model, codec) = EmbeddedModel::from_frame(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let built = build_compressor(&model).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "loaded {} model {} from {path} ({} bytes)",
+        codec.name(),
+        model.id,
+        bytes.len()
+    );
+    Ok((model, built))
+}
+
+/// Training knobs shared by `aesz train` and `compress --train`.
+struct TrainKnobs {
+    epochs: Option<usize>,
+    block: Option<usize>,
+    latent: Option<usize>,
+    channels: Option<Vec<usize>>,
+    max_blocks: Option<usize>,
+    train_seed: u64,
+}
+
+impl TrainKnobs {
+    fn take(args: &mut Vec<String>) -> Result<TrainKnobs, String> {
+        Ok(TrainKnobs {
+            epochs: match take_opt(args, "--epochs")? {
+                Some(s) => Some(parse_usize(&s, "epochs")?),
+                None => None,
+            },
+            block: match take_opt(args, "--block")? {
+                Some(s) => Some(parse_usize(&s, "block")?),
+                None => None,
+            },
+            latent: match take_opt(args, "--latent")? {
+                Some(s) => Some(parse_usize(&s, "latent")?),
+                None => None,
+            },
+            channels: match take_opt(args, "--channels")? {
+                Some(s) => Some(parse_channels(&s)?),
+                None => None,
+            },
+            max_blocks: match take_opt(args, "--max-blocks")? {
+                Some(s) => Some(parse_usize(&s, "max-blocks")?),
+                None => None,
+            },
+            train_seed: match take_opt(args, "--train-seed")? {
+                Some(s) => parse_usize(&s, "train-seed")? as u64,
+                None => 2021,
+            },
+        })
+    }
+}
+
+/// Train a learned codec on `field` (the paper's offline stage), returning
+/// the trained compressor and its content-addressed model.
+fn train_codec(
+    codec: CodecId,
+    field: &Field,
+    knobs: &TrainKnobs,
+) -> Result<(EmbeddedModel, Box<dyn Compressor>), String> {
+    let fields = std::slice::from_ref(field);
+    let built: Box<dyn Compressor> = match codec {
+        CodecId::AeSz => {
+            let rank = field.dims().rank();
+            if rank < 2 {
+                return Err("aesz training needs a 2D or 3D field".into());
+            }
+            let mut opts = TrainingOptions::default_for_rank(rank);
+            if let Some(e) = knobs.epochs {
+                opts.epochs = e;
+            }
+            if let Some(b) = knobs.block {
+                opts.block_size = b;
+            }
+            if let Some(l) = knobs.latent {
+                opts.latent_dim = l;
+            }
+            if let Some(c) = &knobs.channels {
+                opts.channels = c.clone();
+            }
+            if let Some(m) = knobs.max_blocks {
+                opts.max_blocks = m;
+            }
+            opts.seed = knobs.train_seed;
+            Box::new(AeSz::from_model(train_swae_for_field(fields, &opts)))
+        }
+        CodecId::AeA => {
+            let mut ae = AeA::new(knobs.train_seed);
+            ae.train(fields, knobs.epochs.unwrap_or(3), knobs.train_seed);
+            Box::new(ae)
+        }
+        CodecId::AeB => {
+            if field.dims().rank() != 3 {
+                return Err("aeb training needs a 3D field".into());
+            }
+            let mut ae = AeB::new(knobs.train_seed);
+            ae.train(fields, knobs.epochs.unwrap_or(3), knobs.train_seed);
+            Box::new(ae)
+        }
+        other => {
+            return Err(format!(
+                "codec {} takes no model; only aesz, aea and aeb train",
+                other.name()
+            ))
+        }
+    };
+    let model = built
+        .embedded_model()
+        .expect("freshly trained codecs carry a model");
+    Ok((model, built))
 }
 
 // ------------------------------------------------------------- file chunk IO
@@ -381,6 +547,51 @@ fn cmd_gen(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_train(mut args: Vec<String>) -> Result<(), String> {
+    let codec = match take_opt(&mut args, "--codec")? {
+        Some(s) => parse_codec(&s)?,
+        None => CodecId::AeSz,
+    };
+    let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
+    let output = need_opt(&mut args, "--output")?;
+    let input = take_opt(&mut args, "--input")?;
+    let app = take_opt(&mut args, "--app")?;
+    let seed = match take_opt(&mut args, "--seed")? {
+        Some(s) => parse_usize(&s, "seed")? as u64,
+        None => 0,
+    };
+    let knobs = TrainKnobs::take(&mut args)?;
+    finish_args(args)?;
+
+    let field = match (&input, &app) {
+        (Some(path), None) => read_field(path, dims)?,
+        (None, Some(name)) => parse_app(name)?.generate(dims, seed),
+        _ => {
+            return Err(format!(
+                "exactly one of --input / --app is required\n{USAGE}"
+            ))
+        }
+    };
+    let t0 = Instant::now();
+    let (model, _) = train_codec(codec, &field, &knobs)?;
+    let secs = t0.elapsed().as_secs_f64();
+    std::fs::write(&output, &model.frame).map_err(|e| format!("write {output}: {e}"))?;
+    println!(
+        "trained {} on {} ({} elements) in {secs:.2} s ({:.2} MB/s of training data)",
+        codec.name(),
+        input.or(app).unwrap_or_default(),
+        field.len(),
+        mb(field.len() * 4) / secs,
+    );
+    println!(
+        "model {} -> {output} ({} bytes); decode with `--model {output}` or name it \
+         <id>.aesm in a sidecar directory",
+        model.id,
+        model.frame.len()
+    );
+    Ok(())
+}
+
 fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
     let input = need_opt(&mut args, "--input")?;
     let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
@@ -404,25 +615,58 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         },
     };
     let verify = take_flag(&mut args, "--verify");
+    let train = take_flag(&mut args, "--train");
+    let embed_model = take_flag(&mut args, "--embed-model");
+    let model_path = take_opt(&mut args, "--model")?;
+    let knobs = TrainKnobs::take(&mut args)?;
     finish_args(args)?;
 
-    let registry = Registry::with_defaults();
+    let mut registry = Registry::with_defaults();
+    if train {
+        // The paper's offline stage, inline: train the codec on the field
+        // being compressed, then (optionally) ship the model as a sidecar.
+        let field = read_field(&input, dims)?;
+        let t0 = Instant::now();
+        let (model, built) = train_codec(codec, &field, &knobs)?;
+        println!(
+            "trained {} model {} in {:.2} s",
+            codec.name(),
+            model.id,
+            t0.elapsed().as_secs_f64()
+        );
+        if let Some(path) = &model_path {
+            std::fs::write(path, &model.frame).map_err(|e| format!("write {path}: {e}"))?;
+            println!("model saved to {path}");
+        }
+        registry.register(built);
+    } else if let Some(path) = &model_path {
+        let (model, built) = load_model_file(path)?;
+        if built.codec_id() != codec {
+            return Err(format!(
+                "{path} holds a {} model but --codec is {}",
+                built.codec_id().name(),
+                codec.name()
+            ));
+        }
+        let _ = model;
+        registry.register(built);
+    }
+    let registry = registry;
     let mut source = RawFileSource::open(&input, dims)?;
     let mut sink = File::create(&output).map_err(|e| format!("create {output}: {e}"))?;
     let t0 = Instant::now();
-    let stats = write_archive(
-        &mut source,
-        bound,
-        &opts,
-        &mut |_spec: &BlockSpec| {
-            registry
-                .fork(codec)
-                .ok_or(aesz_repro::CompressError::UnsupportedField(
-                    "codec not registered",
-                ))
-        },
-        &mut sink,
-    )
+    let mut codecs = |_spec: &BlockSpec| {
+        registry
+            .fork(codec)
+            .ok_or(aesz_repro::CompressError::UnsupportedField(
+                "codec not registered",
+            ))
+    };
+    let stats = if embed_model {
+        write_archive_embedding(&mut source, bound, &opts, &mut codecs, &mut sink)
+    } else {
+        write_archive(&mut source, bound, &opts, &mut codecs, &mut sink)
+    }
     .map_err(|e| e.to_string())?;
     sink.flush().map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
@@ -439,6 +683,9 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         mb(stats.raw_bytes) / secs,
         mb(stats.peak_window_raw_bytes),
     );
+    if embed_model {
+        println!("embedded model section: {} bytes", stats.model_bytes);
+    }
 
     if verify {
         let bytes = std::fs::read(&output).map_err(|e| format!("read {output}: {e}"))?;
@@ -451,14 +698,11 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
             max_abs: 0.0,
             count: 0,
         };
+        let decoders = ArchiveDecoders::resolve(&registry, &reader);
         reader
             .decode_into(
                 opts.window,
-                &mut |id| {
-                    registry
-                        .fork(id)
-                        .ok_or(aesz_repro::DecompressError::UnknownCodec(id as u8))
-                },
+                &mut |i, id| decoders.fork_for(&reader, i, id),
                 &mut check,
             )
             .map_err(|e| e.to_string())?;
@@ -485,22 +729,40 @@ fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
         Some(s) => parse_usize(&s, "window")?,
         None => ArchiveOptions::default().window,
     };
+    let model_path = take_opt(&mut args, "--model")?;
+    let verify = take_flag(&mut args, "--verify");
     finish_args(args)?;
 
-    let registry = Registry::with_defaults();
+    let mut registry = Registry::with_defaults();
+    if let Some(path) = &model_path {
+        // Sidecar model: goes into the store so per-chunk resolution can
+        // match it to the exact streams that name it.
+        let id = registry
+            .model_store_mut()
+            .insert_file(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("loaded sidecar model {id} from {path}");
+    }
+    let registry = registry;
     let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
     let t0 = Instant::now();
     let reader = ArchiveReader::open(&bytes).map_err(|e| e.to_string())?;
+    for &(id, frame) in reader.models() {
+        let codec = aesz_repro::metrics::container::read_model_frame(frame)
+            .map(|(c, _)| c.name())
+            .unwrap_or("?");
+        println!("archive embeds {codec} model {id}");
+    }
+    // Per-chunk model resolution: embedded section first (hash-verified at
+    // open), then the registry's store (the sidecar above) — so the learned
+    // chunks decode in this fresh process.
+    let decoders = ArchiveDecoders::resolve(&registry, &reader);
     let dims = reader.dims();
     let mut sink = RawFileSink::create(&output, dims)?;
     reader
         .decode_into(
             window,
-            &mut |id| {
-                registry
-                    .fork(id)
-                    .ok_or(aesz_repro::DecompressError::UnknownCodec(id as u8))
-            },
+            &mut |i, id| decoders.fork_for(&reader, i, id),
             &mut sink,
         )
         .map_err(|e| e.to_string())?;
@@ -517,6 +779,35 @@ fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
         raw,
         mb(raw) / secs,
     );
+
+    if verify {
+        // Self-check: decode every chunk again through the random-access
+        // path and compare against what the windowed decode wrote — the two
+        // paths must agree bit for bit.
+        let mut written = RawFileSource::open(&output, dims)?;
+        for i in 0..reader.chunk_count() {
+            let entry = reader.entries()[i];
+            let mut codec = decoders
+                .fork_for(&reader, i, entry.codec)
+                .map_err(|e| format!("chunk {i}: {e}"))?;
+            let chunk = reader
+                .decode_chunk(i, codec.as_mut())
+                .map_err(|e| format!("chunk {i}: {e}"))?;
+            let spec = reader.chunk_spec(i).expect("in range");
+            let on_disk = written.read_chunk(&spec).map_err(|e| e.to_string())?;
+            for (a, b) in chunk.as_slice().iter().zip(on_disk.as_slice()) {
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!(
+                        "verify: chunk {i} random-access decode diverged from the output file"
+                    ));
+                }
+            }
+        }
+        println!(
+            "verify: all {} chunks random-access decode bit-identically OK",
+            reader.chunk_count()
+        );
+    }
     Ok(())
 }
 
@@ -527,7 +818,8 @@ fn cmd_info(mut args: Vec<String>) -> Result<(), String> {
     let reader = ArchiveReader::open(&bytes).map_err(|e| e.to_string())?;
     let header = reader.header();
     println!(
-        "{input}: AESA v1, f32, dims {} ({} elements), chunk {} -> {} chunks",
+        "{input}: AESA v{}, f32, dims {} ({} elements), chunk {} -> {} chunks",
+        header.version,
         header.dims,
         header.dims.len(),
         header.chunk,
@@ -547,6 +839,15 @@ fn cmd_info(mut args: Vec<String>) -> Result<(), String> {
             .fold((0usize, 0u64), |(n, b), e| (n + 1, b + e.len));
         if count > 0 {
             println!("  {:<9} {count:>6} chunks, {frame_bytes} bytes", id.name());
+        }
+    }
+    if !reader.models().is_empty() {
+        println!("embedded models ({} bytes):", header.model_len);
+        for &(id, frame) in reader.models() {
+            let codec = aesz_repro::metrics::container::read_model_frame(frame)
+                .map(|(c, _)| c.name())
+                .unwrap_or("?");
+            println!("  {codec:<9} {id} ({} bytes)", frame.len());
         }
     }
     Ok(())

@@ -15,14 +15,18 @@
 //! * [`pipeline`] — the composed stages used by the compressors:
 //!   `encode_codes` (Huffman + zlite over quantization codes) and
 //!   `compress_bytes` (zlite over arbitrary byte payloads).
+//! * [`hash`] — a self-contained SHA-256 and the content-addressed
+//!   [`ModelId`] that names trained models across streams and archives.
 
 pub mod bitio;
+pub mod hash;
 pub mod huffman;
 pub mod lz;
 pub mod pipeline;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
+pub use hash::{sha256, ModelId, MODEL_ID_LEN};
 pub use huffman::{huffman_decode, huffman_decode_capped, huffman_encode};
 pub use lz::{zlite_compress, zlite_decompress, zlite_decompress_capped};
 pub use pipeline::{

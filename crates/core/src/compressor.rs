@@ -21,8 +21,9 @@
 //!   ([`AeSz::compress_with_report_serial`] / [`AeSz::try_decompress_serial`]).
 
 use aesz_codec::{compress_bytes, decode_codes_capped, decompress_bytes_capped, encode_codes};
-use aesz_metrics::{CodecId, CompressError, Compressor, ErrorBound};
+use aesz_metrics::{CodecId, CompressError, Compressor, EmbeddedModel, ErrorBound, ModelId};
 use aesz_nn::models::conv_ae::ConvAutoencoder;
+use aesz_nn::serialize::save_model;
 use aesz_predictors::{lorenzo, mean, QuantizedBlock, Quantizer};
 use aesz_tensor::{BlockSpec, Dims, Field};
 use rayon::prelude::*;
@@ -75,6 +76,10 @@ impl CompressionReport {
 #[derive(Clone)]
 pub struct AeSz {
     model: ConvAutoencoder,
+    /// Content-addressed id of `model`, computed once at construction and
+    /// stamped into every stream this instance writes (hashing the weights
+    /// per compression would be wasted work).
+    model_id: ModelId,
     config: AeSzConfig,
     last_report: CompressionReport,
 }
@@ -111,11 +116,32 @@ impl AeSz {
             model.config().block_size,
             config.block_size
         );
+        let model_id = aesz_nn::serialize::model_id(&model);
         AeSz {
             model,
+            model_id,
             config,
             last_report: CompressionReport::default(),
         }
+    }
+
+    /// Build a compressor around a (typically deserialized) trained model
+    /// with the default configuration for the model's rank, taking the block
+    /// size from the model itself — the constructor the model store uses
+    /// when all it has is a model file.
+    pub fn from_model(model: ConvAutoencoder) -> Self {
+        let mut config = match model.config().spatial_rank {
+            3 => AeSzConfig::default_3d(),
+            _ => AeSzConfig::default_2d(),
+        };
+        config.block_size = model.config().block_size;
+        AeSz::new(model, config)
+    }
+
+    /// Content-addressed id of the model this instance encodes and decodes
+    /// with (the id stamped into its streams).
+    pub fn model_id(&self) -> ModelId {
+        self.model_id
     }
 
     /// The compressor configuration.
@@ -534,6 +560,7 @@ impl AeSz {
 
         let stream = Stream {
             header: Header {
+                model_id: Some(self.model_id),
                 dims,
                 data_min: lo,
                 data_max: hi,
@@ -634,17 +661,32 @@ impl AeSz {
             .iter()
             .filter(|&&p| p == BlockPredictor::Ae)
             .count();
-        if n_ae > 0
-            && (h.block_size != self.model.config().block_size
+        if n_ae > 0 {
+            // Provenance first: a version-3 stream names the exact network
+            // that encoded it, and holding a *different* model — even one
+            // with coincidentally matching geometry — must fail as "missing
+            // model" so a registry can resolve the right one and retry.
+            // Streams with no AE-predicted blocks decode model-free.
+            if let Some(stream_id) = h.model_id {
+                if stream_id != self.model_id {
+                    return Err(DecompressError::MissingModel {
+                        model_id: stream_id,
+                    });
+                }
+            }
+            // Geometry check: the only defence version-2 streams have, and a
+            // cheap invariant for version 3.
+            if h.block_size != self.model.config().block_size
                 || h.latent_dim != self.model.config().latent_dim
-                || rank != self.model.config().spatial_rank)
-        {
-            return Err(DecompressError::ModelMismatch {
-                stream_block_size: h.block_size,
-                stream_latent_dim: h.latent_dim,
-                model_block_size: self.model.config().block_size,
-                model_latent_dim: self.model.config().latent_dim,
-            });
+                || rank != self.model.config().spatial_rank
+            {
+                return Err(DecompressError::ModelMismatch {
+                    stream_block_size: h.block_size,
+                    stream_latent_dim: h.latent_dim,
+                    model_block_size: self.model.config().block_size,
+                    model_latent_dim: self.model.config().latent_dim,
+                });
+            }
         }
         let max_latents = n_ae
             .checked_mul(h.latent_dim)
@@ -758,6 +800,14 @@ impl Compressor for AeSz {
 
     fn fork(&self) -> Box<dyn Compressor> {
         Box::new(self.clone())
+    }
+
+    fn embedded_model(&self) -> Option<EmbeddedModel> {
+        Some(EmbeddedModel::new(CodecId::AeSz, &save_model(&self.model)))
+    }
+
+    fn embedded_model_id(&self) -> Option<ModelId> {
+        Some(self.model_id)
     }
 
     fn compress_payload(
@@ -980,7 +1030,7 @@ mod tests {
     }
 
     #[test]
-    fn model_mismatch_is_reported() {
+    fn wrong_model_is_reported_as_missing_model_not_geometry() {
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 57);
         let mut aesz = quick_aesz_2d(&field);
         let (bytes, report) = aesz
@@ -989,8 +1039,70 @@ mod tests {
         if report.ae_blocks == 0 {
             return; // nothing latent-coded; any model can decode it
         }
-        // A compressor around a model with a different latent size must
-        // refuse the stream instead of decoding garbage.
+        // Streams carry the encoder's content-addressed model id…
+        assert_eq!(
+            crate::stream::peek_model_id(&bytes),
+            Some(aesz.model_id()),
+            "streams must be stamped with the encoder's model id"
+        );
+        // …so a compressor around *any* other model — different latent size
+        // or even identical geometry but different weights — must refuse the
+        // stream with the dedicated missing-model error naming that id.
+        let opts = TrainingOptions {
+            block_size: 16,
+            latent_dim: 4,
+            channels: vec![4, 8],
+            epochs: 1,
+            max_blocks: 16,
+            seed: 5,
+            ..TrainingOptions::default_for_rank(2)
+        };
+        let other_model = train_swae_for_field(std::slice::from_ref(&field), &opts);
+        let mut other = AeSz::new(
+            other_model,
+            AeSzConfig {
+                block_size: 16,
+                ..AeSzConfig::default_2d()
+            },
+        );
+        assert_eq!(
+            other.try_decompress(&bytes),
+            Err(DecompressError::MissingModel {
+                model_id: aesz.model_id()
+            })
+        );
+        // Same geometry, different weights: still missing-model, because the
+        // id — not the shape — is the identity.
+        let retrained = quick_aesz_2d(&Application::CesmFreqsh.generate(Dims::d2(64, 64), 99));
+        assert_ne!(retrained.model_id(), aesz.model_id());
+        let mut retrained = retrained;
+        assert!(matches!(
+            retrained.try_decompress(&bytes),
+            Err(DecompressError::MissingModel { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_streams_without_an_id_fall_back_to_geometry_checks() {
+        // Strip the id from a v3 stream by re-serializing its parsed form
+        // with `model_id: None` — exactly the bytes a pre-model encoder
+        // would have produced.
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 60);
+        let mut aesz = quick_aesz_2d(&field);
+        let (bytes, report) = aesz
+            .compress_with_report(&field, ErrorBound::rel(1e-2))
+            .expect("valid input");
+        let mut stream = crate::stream::Stream::from_bytes(&bytes).unwrap();
+        stream.header.model_id = None;
+        let v2_bytes = stream.to_bytes();
+        // The same instance decodes the id-less stream identically.
+        let a = aesz.try_decompress(&bytes).unwrap();
+        let b = aesz.try_decompress(&v2_bytes).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        if report.ae_blocks == 0 {
+            return;
+        }
+        // A geometry-incompatible model gets the classic mismatch error.
         let opts = TrainingOptions {
             block_size: 16,
             latent_dim: 4,
@@ -1009,8 +1121,23 @@ mod tests {
             },
         );
         assert!(matches!(
-            other.try_decompress(&bytes),
+            other.try_decompress(&v2_bytes),
             Err(DecompressError::ModelMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn from_model_adopts_the_models_geometry() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 61);
+        let mut trained = quick_aesz_2d(&field);
+        let (bytes, _) = trained
+            .compress_with_report(&field, ErrorBound::rel(1e-2))
+            .expect("valid input");
+        let mut rebuilt = AeSz::from_model(trained.model().clone());
+        assert_eq!(rebuilt.config().block_size, 16);
+        assert_eq!(rebuilt.model_id(), trained.model_id());
+        let a = trained.try_decompress(&bytes).unwrap();
+        let b = rebuilt.try_decompress(&bytes).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 }

@@ -8,6 +8,7 @@
 //! into the workspace-wide [`aesz_metrics::DecompressError`] hierarchy via
 //! the `From` impl below.
 
+use aesz_codec::hash::ModelId;
 use aesz_codec::CodecError;
 
 /// Why an AE-SZ stream could not be decompressed.
@@ -21,6 +22,15 @@ pub enum DecompressError {
     InvalidHeader(&'static str),
     /// Header fields and payload sections disagree with each other.
     Inconsistent(&'static str),
+    /// The stream names (by content-addressed id) a trained model this
+    /// decoder does not hold — checked *before* any geometry comparison, so
+    /// a wrong-model decode fails as "missing model", not as a coincidental
+    /// geometry mismatch. A registry can resolve the id from a model store
+    /// and retry.
+    MissingModel {
+        /// Content-addressed id of the model the stream was encoded with.
+        model_id: ModelId,
+    },
     /// The stream was produced with a different model geometry than the
     /// compressor trying to decode it.
     ModelMismatch {
@@ -54,6 +64,10 @@ impl From<DecompressError> for aesz_metrics::DecompressError {
             DecompressError::Truncated(what) => Api::Truncated(what),
             DecompressError::InvalidHeader(what) => Api::InvalidHeader(what),
             DecompressError::Inconsistent(what) => Api::Inconsistent(what),
+            DecompressError::MissingModel { model_id } => Api::MissingModel {
+                codec: aesz_metrics::CodecId::AeSz,
+                model_id,
+            },
             DecompressError::ModelMismatch {
                 stream_block_size,
                 stream_latent_dim,
@@ -77,6 +91,10 @@ impl std::fmt::Display for DecompressError {
             DecompressError::Truncated(what) => write!(f, "truncated stream: {what}"),
             DecompressError::InvalidHeader(what) => write!(f, "invalid header field: {what}"),
             DecompressError::Inconsistent(what) => write!(f, "inconsistent stream: {what}"),
+            DecompressError::MissingModel { model_id } => write!(
+                f,
+                "stream was encoded with model {model_id}, which this decoder does not hold"
+            ),
             DecompressError::ModelMismatch {
                 stream_block_size,
                 stream_latent_dim,
@@ -153,6 +171,14 @@ mod tests {
             Api::from(DecompressError::from(CodecError::CorruptLz)),
             Api::Codec(CodecError::CorruptLz)
         ));
+        let id = ModelId::of(b"weights");
+        assert_eq!(
+            Api::from(DecompressError::MissingModel { model_id: id }),
+            Api::MissingModel {
+                codec: aesz_metrics::CodecId::AeSz,
+                model_id: id,
+            }
+        );
     }
 
     #[test]

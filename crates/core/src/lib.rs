@@ -33,4 +33,5 @@ pub use compressor::{AeSz, CompressionReport};
 pub use config::{AeSzConfig, PredictorPolicy};
 pub use error::DecompressError;
 pub use latent::LatentCodec;
+pub use stream::peek_model_id;
 pub use training::{train_swae_for_field, training_blocks_from_field};

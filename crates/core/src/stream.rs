@@ -14,7 +14,9 @@
 //! panic or an attacker-sized allocation. A successfully parsed [`Stream`]
 //! guarantees:
 //!
-//! * the input starts with [`MAGIC`];
+//! * the input starts with [`MAGIC`] (version 3: followed by the 16-byte
+//!   [`ModelId`] of the encoding network) or [`MAGIC_V2`] (version 2: no
+//!   model id, parsed as "model id unknown");
 //! * the rank is 1–3, and the total element count neither overflows `usize`
 //!   nor exceeds [`MAX_FIELD_ELEMS`];
 //! * `data_min`/`data_max` are finite with `data_min <= data_max`, and
@@ -43,13 +45,22 @@ use aesz_tensor::Dims;
 use crate::config::PredictorPolicy;
 use crate::error::DecompressError;
 
-/// Magic bytes identifying an AE-SZ stream (version 2: the header became
-/// self-describing by carrying the quantizer bin count and the latent
-/// error-bound fraction, so decoding no longer depends on the decoder's own
-/// configuration matching the encoder's).
-pub const MAGIC: &[u8; 8] = b"AESZ0002";
+/// Magic bytes identifying a current AE-SZ stream (version 3: the magic is
+/// followed by the 16-byte content-addressed [`ModelId`] of the network that
+/// encoded the stream, so a decoder can resolve the exact trained model —
+/// or fail with a dedicated "missing model" error instead of decoding
+/// garbage).
+pub const MAGIC: &[u8; 8] = b"AESZ0003";
+
+/// Magic bytes of the previous stream version, which carries no model id.
+/// Still fully decodable: such streams parse with
+/// [`Header::model_id`]` == None` ("model id unknown") and rely on the
+/// geometry checks alone, exactly as they did before version 3.
+pub const MAGIC_V2: &[u8; 8] = b"AESZ0002";
 
 pub use aesz_metrics::container::MAX_FIELD_ELEMS;
+use aesz_metrics::container::MODEL_ID_LEN;
+pub use aesz_metrics::ModelId;
 
 /// Per-block predictor choice, two bits per block in the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +90,11 @@ impl BlockPredictor {
 /// Parsed header of an AE-SZ stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Header {
+    /// Content-addressed id of the trained model that encoded the stream
+    /// (`None` for version-2 streams, which predate model provenance).
+    /// Serialized immediately after the magic so it can be peeked without
+    /// parsing the rest of the header ([`peek_model_id`]).
+    pub model_id: Option<ModelId>,
     /// Extents of the original field.
     pub dims: Dims,
     /// Global minimum of the original field (for the [-1, 1] normalization).
@@ -179,10 +195,17 @@ fn read_section(
 }
 
 impl Stream {
-    /// Serialize the stream to bytes.
+    /// Serialize the stream to bytes: version 3 (magic + model id) when the
+    /// header carries a model id, the id-less version 2 layout otherwise.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
+        match self.header.model_id {
+            Some(id) => {
+                out.extend_from_slice(MAGIC);
+                out.extend_from_slice(id.as_bytes());
+            }
+            None => out.extend_from_slice(MAGIC_V2),
+        }
         write_dims(&mut out, self.header.dims);
         write_f32(&mut out, self.header.data_min);
         write_f32(&mut out, self.header.data_max);
@@ -217,10 +240,17 @@ impl Stream {
         if bytes.len() < MAGIC.len() {
             return Err(DecompressError::Truncated("magic"));
         }
-        if &bytes[..MAGIC.len()] != MAGIC {
-            return Err(DecompressError::BadMagic);
-        }
         let mut pos = MAGIC.len();
+        let model_id = match &bytes[..MAGIC.len()] {
+            m if m == MAGIC => {
+                let id = ModelId::from_prefix(&bytes[pos..])
+                    .ok_or(DecompressError::Truncated("model id"))?;
+                pos += MODEL_ID_LEN;
+                Some(id)
+            }
+            m if m == MAGIC_V2 => None,
+            _ => return Err(DecompressError::BadMagic),
+        };
         let dims = read_dims(bytes, &mut pos)?;
         let data_min = read_f32(bytes, &mut pos).ok_or(DecompressError::Truncated("data_min"))?;
         let data_max = read_f32(bytes, &mut pos).ok_or(DecompressError::Truncated("data_max"))?;
@@ -310,6 +340,7 @@ impl Stream {
         }
         Ok(Stream {
             header: Header {
+                model_id,
                 dims,
                 data_min,
                 data_max,
@@ -329,6 +360,18 @@ impl Stream {
     }
 }
 
+/// Read only the model id of a serialized AE-SZ stream (payload bytes, no
+/// container frame), without parsing or validating anything else — the cheap
+/// pre-dispatch hook a registry uses to resolve the right trained model.
+/// Returns `None` for version-2 streams (no id) and for anything too short
+/// or mis-tagged to carry one.
+pub fn peek_model_id(bytes: &[u8]) -> Option<ModelId> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    ModelId::from_prefix(&bytes[MAGIC.len()..])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +379,7 @@ mod tests {
     fn sample_stream() -> Stream {
         Stream {
             header: Header {
+                model_id: None,
                 dims: Dims::d2(100, 200),
                 data_min: -1.5,
                 data_max: 2.5,
@@ -367,6 +411,40 @@ mod tests {
         let bytes = s.to_bytes();
         let parsed = Stream::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn v3_streams_carry_a_peekable_model_id() {
+        let mut s = sample_stream();
+        let id = ModelId::of(b"the trained network");
+        s.header.model_id = Some(id);
+        let bytes = s.to_bytes();
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(peek_model_id(&bytes), Some(id));
+        let parsed = Stream::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, s);
+        for len in 0..bytes.len() {
+            assert!(
+                Stream::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes parsed as a complete v3 stream"
+            );
+        }
+
+        // Version-2 streams decode as "model id unknown" and peek as None.
+        let v2 = sample_stream().to_bytes();
+        assert_eq!(&v2[..8], MAGIC_V2);
+        assert_eq!(peek_model_id(&v2), None);
+        assert_eq!(Stream::from_bytes(&v2).unwrap().header.model_id, None);
+        assert_eq!(peek_model_id(&bytes[..10]), None);
+        assert_eq!(peek_model_id(b"garbage"), None);
+    }
+
+    #[test]
+    fn v3_header_costs_exactly_the_model_id() {
+        let mut s = sample_stream();
+        let v2_len = s.to_bytes().len();
+        s.header.model_id = Some(ModelId::of(b"net"));
+        assert_eq!(s.to_bytes().len(), v2_len + 16);
     }
 
     #[test]
@@ -521,6 +599,7 @@ mod tests {
         // allocate a (2³⁰)² padded buffer. The volume cap must reject it.
         let s = Stream {
             header: Header {
+                model_id: None,
                 dims: Dims::d2(1, 1),
                 data_min: 0.0,
                 data_max: 1.0,
@@ -573,6 +652,7 @@ mod tests {
         // Dims whose product overflows / exceeds the cap.
         let mut hostile = Vec::new();
         hostile.extend_from_slice(MAGIC);
+        hostile.extend_from_slice(&[0u8; MODEL_ID_LEN]); // v3 model id slot
         hostile.push(3);
         for _ in 0..3 {
             aesz_codec::varint::write_uvarint(&mut hostile, (MAX_FIELD_ELEMS as u64) - 1);

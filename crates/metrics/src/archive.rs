@@ -32,7 +32,10 @@ use rayon::prelude::*;
 
 use crate::bound::ErrorBound;
 use crate::compressor::Compressor;
-use crate::container::{read_chunk_index, write_chunk_entry, ArchiveHeader, ChunkEntry, CodecId};
+use crate::container::{
+    read_chunk_index, read_model_section, write_chunk_entry, ArchiveHeader, ChunkEntry, CodecId,
+    EmbeddedModel, ModelId, ARCHIVE_VERSION, ARCHIVE_VERSION_MODELS,
+};
 use crate::error::{CompressError, DecompressError};
 use aesz_tensor::{BlockSpec, Dims, Field};
 
@@ -239,6 +242,9 @@ pub struct ArchiveStats {
     /// with `window × chunkᵣᵃⁿᵏ` elements per batch this stays far below
     /// `raw_bytes` for any multi-window archive.
     pub peak_window_raw_bytes: usize,
+    /// Bytes of the embedded model section (0 unless written through
+    /// [`write_archive_embedding`] with learned codecs that expose a model).
+    pub model_bytes: usize,
 }
 
 /// What the writer's per-chunk codec factory returns: a dedicated
@@ -281,6 +287,35 @@ pub fn write_archive<W: Write + Seek>(
     codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
     sink: &mut W,
 ) -> Result<ArchiveStats, ArchiveWriteError> {
+    write_archive_impl(source, bound, opts, codecs, false, sink)
+}
+
+/// [`write_archive`], but as a version-2 archive that **embeds the trained
+/// models** of the codecs used: every forked codec is asked for its
+/// [`Compressor::embedded_model`], and each distinct model (by [`ModelId`]) is
+/// appended once to the archive's model section, so a reader that never saw
+/// the trainer can resolve the learned chunks from the archive bytes alone.
+///
+/// Model-free codecs contribute nothing; an archive written purely with
+/// traditional codecs gets an empty model section (still version 2).
+pub fn write_archive_embedding<W: Write + Seek>(
+    source: &mut dyn ChunkSource,
+    bound: ErrorBound,
+    opts: &ArchiveOptions,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    sink: &mut W,
+) -> Result<ArchiveStats, ArchiveWriteError> {
+    write_archive_impl(source, bound, opts, codecs, true, sink)
+}
+
+fn write_archive_impl<W: Write + Seek>(
+    source: &mut dyn ChunkSource,
+    bound: ErrorBound,
+    opts: &ArchiveOptions,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    embed_models: bool,
+    sink: &mut W,
+) -> Result<ArchiveStats, ArchiveWriteError> {
     if opts.chunk == 0 {
         return Err(ArchiveWriteError::Invalid("chunk edge must be at least 1"));
     }
@@ -316,6 +351,14 @@ pub fn write_archive<W: Write + Seek>(
     let header = ArchiveHeader {
         dims,
         chunk: opts.chunk,
+        version: if embed_models {
+            ARCHIVE_VERSION_MODELS
+        } else {
+            ARCHIVE_VERSION
+        },
+        // Which models the chunks reference is only known once every codec
+        // has been forked; the length slot is back-patched like the index.
+        model_len: 0,
     };
     // The archive may be embedded at any position of a larger stream: every
     // seek below is relative to where the sink stands now, and the index
@@ -338,6 +381,7 @@ pub fn write_archive<W: Write + Seek>(
     }
 
     let mut entries: Vec<ChunkEntry> = Vec::with_capacity(count);
+    let mut models: Vec<EmbeddedModel> = Vec::new();
     let mut offset = header.data_start() as u64;
     let mut raw_bytes = 0usize;
     let mut peak_window_raw_bytes = 0usize;
@@ -357,6 +401,20 @@ pub fn write_archive<W: Write + Seek>(
                 chunk: index,
                 error,
             })?;
+            if embed_models {
+                // Dedup by the cached id first: serializing + hashing the
+                // full model once per *chunk* would be O(chunks × weights).
+                match codec.embedded_model_id() {
+                    Some(id) if models.iter().any(|m| m.id == id) => {}
+                    Some(_) | None => {
+                        if let Some(model) = codec.embedded_model() {
+                            if !models.iter().any(|m| m.id == model.id) {
+                                models.push(model);
+                            }
+                        }
+                    }
+                }
+            }
             jobs.push(Job {
                 index,
                 id: codec.codec_id(),
@@ -390,21 +448,38 @@ pub fn write_archive<W: Write + Seek>(
         next += batch;
     }
 
+    // The model section sits after the last chunk frame; its length goes
+    // into the header slot reserved for it (v2 only).
+    let mut model_section = Vec::new();
+    for model in &models {
+        model_section.extend_from_slice(model.id.as_bytes());
+        model_section.extend_from_slice(&(model.frame.len() as u64).to_le_bytes());
+        model_section.extend_from_slice(&model.frame);
+    }
+    sink.write_all(&model_section)?;
+
     let mut index_bytes = Vec::with_capacity(header.index_len());
     for entry in &entries {
         write_chunk_entry(&mut index_bytes, entry);
+    }
+    if embed_models {
+        // Back-patch the model-section length (the u64 right before the
+        // chunk index in a v2 header).
+        sink.seek(SeekFrom::Start(base + (header.encoded_len() - 8) as u64))?;
+        sink.write_all(&(model_section.len() as u64).to_le_bytes())?;
     }
     sink.seek(SeekFrom::Start(base + header.encoded_len() as u64))?;
     sink.write_all(&index_bytes)?;
     // Leave the sink where writing stopped (the archive's end), not at the
     // end of whatever larger stream it may be embedded in.
-    sink.seek(SeekFrom::Start(base + offset))?;
+    sink.seek(SeekFrom::Start(base + offset + model_section.len() as u64))?;
 
     Ok(ArchiveStats {
         chunks: count,
         raw_bytes,
-        archive_bytes: offset as usize,
+        archive_bytes: offset as usize + model_section.len(),
         peak_window_raw_bytes,
+        model_bytes: model_section.len(),
     })
 }
 
@@ -421,6 +496,18 @@ pub fn write_field_archive(
     Ok((cursor.into_inner(), stats))
 }
 
+/// [`write_archive_embedding`] into a fresh in-memory buffer.
+pub fn write_field_archive_embedding(
+    field: &Field,
+    bound: ErrorBound,
+    opts: &ArchiveOptions,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+) -> Result<(Vec<u8>, ArchiveStats), ArchiveWriteError> {
+    let mut cursor = Cursor::new(Vec::new());
+    let stats = write_archive_embedding(&mut FieldSource(field), bound, opts, codecs, &mut cursor)?;
+    Ok((cursor.into_inner(), stats))
+}
+
 /// Random-access view over a validated archive byte stream.
 ///
 /// [`ArchiveReader::open`] parses and validates the header and the complete
@@ -430,17 +517,21 @@ pub struct ArchiveReader<'a> {
     bytes: &'a [u8],
     header: ArchiveHeader,
     entries: Vec<ChunkEntry>,
+    models: Vec<(ModelId, &'a [u8])>,
 }
 
 impl<'a> ArchiveReader<'a> {
-    /// Parse and validate the header and chunk index of `bytes`.
+    /// Parse and validate the header, chunk index and (v2) model section of
+    /// `bytes`.
     pub fn open(bytes: &'a [u8]) -> Result<Self, DecompressError> {
         let header = ArchiveHeader::read(bytes)?;
         let entries = read_chunk_index(bytes, &header)?;
+        let models = read_model_section(bytes, &header)?;
         Ok(ArchiveReader {
             bytes,
             header,
             entries,
+            models,
         })
     }
 
@@ -462,6 +553,21 @@ impl<'a> ArchiveReader<'a> {
     /// The validated chunk index.
     pub fn entries(&self) -> &[ChunkEntry] {
         &self.entries
+    }
+
+    /// The embedded models of a v2 archive: each referenced model's
+    /// content-addressed id and its complete `AESM` frame (hash-verified at
+    /// [`ArchiveReader::open`]). Empty for v1 archives.
+    pub fn models(&self) -> &[(ModelId, &'a [u8])] {
+        &self.models
+    }
+
+    /// The `AESM` frame of the embedded model with the given id, if any.
+    pub fn model_frame(&self, id: ModelId) -> Option<&'a [u8]> {
+        self.models
+            .iter()
+            .find(|&&(mid, _)| mid == id)
+            .map(|&(_, frame)| frame)
     }
 
     /// Placement of chunk `index` in the field (`None` out of range).
@@ -503,14 +609,16 @@ impl<'a> ArchiveReader<'a> {
 
     /// Decode every chunk into `sink` in rayon-parallel windows of `window`
     /// chunks, forking one compressor per in-flight chunk via `codecs`
-    /// (called with each chunk's index-entry codec id).
+    /// (called with each chunk's index and its index-entry codec id — the
+    /// index is what lets a factory hand *different* trained models of the
+    /// same codec to different chunks).
     ///
     /// Peak resident decoded payload is one window of chunks; the sink
     /// receives chunks in index order.
     pub fn decode_into(
         &self,
         window: usize,
-        codecs: &mut dyn FnMut(CodecId) -> DecoderFork,
+        codecs: &mut dyn FnMut(usize, CodecId) -> DecoderFork,
         sink: &mut dyn ChunkSink,
     ) -> Result<(), ArchiveReadError> {
         struct Job<'b> {
@@ -529,10 +637,11 @@ impl<'a> ArchiveReader<'a> {
             let mut jobs = Vec::with_capacity(batch);
             for index in next..next + batch {
                 let entry = self.entries[index];
-                let codec = codecs(entry.codec).map_err(|error| ArchiveReadError::Chunk {
-                    chunk: index,
-                    error,
-                })?;
+                let codec =
+                    codecs(index, entry.codec).map_err(|error| ArchiveReadError::Chunk {
+                        chunk: index,
+                        error,
+                    })?;
                 jobs.push(Job {
                     index,
                     spec: self.chunk_spec(index).expect("index in range"),
@@ -572,7 +681,7 @@ impl<'a> ArchiveReader<'a> {
     pub fn decode_all(
         &self,
         window: usize,
-        codecs: &mut dyn FnMut(CodecId) -> DecoderFork,
+        codecs: &mut dyn FnMut(usize, CodecId) -> DecoderFork,
     ) -> Result<Field, ArchiveReadError> {
         let mut sink = FieldSink::new(self.header.dims);
         self.decode_into(window, codecs, &mut sink)?;
@@ -643,9 +752,9 @@ mod tests {
         |_spec: &BlockSpec| Ok(Box::new(Raw) as Box<dyn Compressor>)
     }
 
-    fn raw_decoder() -> impl FnMut(CodecId) -> Result<Box<dyn Compressor>, DecompressError> + 'static
-    {
-        |_id: CodecId| Ok(Box::new(Raw) as Box<dyn Compressor>)
+    fn raw_decoder(
+    ) -> impl FnMut(usize, CodecId) -> Result<Box<dyn Compressor>, DecompressError> + 'static {
+        |_index: usize, _id: CodecId| Ok(Box::new(Raw) as Box<dyn Compressor>)
     }
 
     fn ramp(dims: Dims) -> Field {
@@ -819,6 +928,100 @@ mod tests {
         let count_at = header.encoded_len() - 8;
         evil[count_at] = evil[count_at].wrapping_add(1);
         assert!(ArchiveReader::open(&evil).is_err());
+    }
+
+    /// A [`Raw`] with a fake trained model, for the embedding path.
+    #[derive(Clone)]
+    struct RawWithModel(Vec<u8>);
+
+    impl Compressor for RawWithModel {
+        fn codec_id(&self) -> CodecId {
+            CodecId::Zfp
+        }
+        fn fork(&self) -> Box<dyn Compressor> {
+            Box::new(self.clone())
+        }
+        fn embedded_model(&self) -> Option<EmbeddedModel> {
+            Some(EmbeddedModel::new(CodecId::Zfp, &self.0))
+        }
+        fn compress_payload(
+            &mut self,
+            field: &Field,
+            bound: ErrorBound,
+        ) -> Result<Vec<u8>, CompressError> {
+            Raw.compress_payload(field, bound)
+        }
+        fn decompress_payload(&mut self, bytes: &[u8]) -> Result<Field, DecompressError> {
+            Raw.decompress_payload(bytes)
+        }
+    }
+
+    #[test]
+    fn embedding_writer_ships_each_model_once_and_readers_verify_it() {
+        let field = ramp(Dims::d2(12, 10));
+        let opts = ArchiveOptions {
+            chunk: 4,
+            window: 2,
+        };
+        let weights = b"pretend weights".to_vec();
+        let expected = EmbeddedModel::new(CodecId::Zfp, &weights);
+        let mut codecs = move |_spec: &BlockSpec| {
+            Ok(Box::new(RawWithModel(weights.clone())) as Box<dyn Compressor>)
+        };
+        let (bytes, stats) =
+            write_field_archive_embedding(&field, ErrorBound::abs(1.0), &opts, &mut codecs)
+                .expect("embedding write");
+        assert_eq!(stats.archive_bytes, bytes.len());
+        assert!(stats.model_bytes > 0);
+
+        let reader = ArchiveReader::open(&bytes).expect("open v2");
+        assert_eq!(reader.header().version, ARCHIVE_VERSION_MODELS);
+        // Nine chunks forked nine codecs, but the model is embedded once.
+        assert_eq!(reader.models().len(), 1);
+        assert_eq!(reader.models()[0].0, expected.id);
+        assert_eq!(
+            reader.model_frame(expected.id),
+            Some(expected.frame.as_slice())
+        );
+        assert_eq!(reader.model_frame(ModelId::of(b"other")), None);
+        let recon = reader.decode_all(2, &mut raw_decoder()).expect("decode");
+        assert_eq!(recon.as_slice(), field.as_slice());
+
+        // Every truncation of the v2 archive is rejected, and a flipped bit
+        // in the embedded model fails the hash check at open.
+        for len in 0..bytes.len() {
+            assert!(ArchiveReader::open(&bytes[..len]).is_err());
+        }
+        let mut evil = bytes.clone();
+        let last = evil.len() - 1;
+        evil[last] ^= 1;
+        assert!(ArchiveReader::open(&evil).is_err());
+    }
+
+    #[test]
+    fn embedding_model_free_codecs_yields_an_empty_v2_section() {
+        let field = ramp(Dims::d1(10));
+        let opts = ArchiveOptions {
+            chunk: 4,
+            window: 2,
+        };
+        let (v2, stats) =
+            write_field_archive_embedding(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec())
+                .unwrap();
+        assert_eq!(stats.model_bytes, 0);
+        let reader = ArchiveReader::open(&v2).unwrap();
+        assert_eq!(reader.header().version, ARCHIVE_VERSION_MODELS);
+        assert!(reader.models().is_empty());
+        // The v1 writer is untouched by the feature: same field, same codec,
+        // version byte 1 and no model-length slot.
+        let (v1, s1) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        assert_eq!(
+            ArchiveReader::open(&v1).unwrap().header().version,
+            ARCHIVE_VERSION
+        );
+        assert_eq!(s1.model_bytes, 0);
+        assert_eq!(v1.len() + 8, v2.len());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! framing so no codec can forget them.
 
 use crate::bound::ErrorBound;
-use crate::container::{self, CodecId};
+use crate::container::{self, CodecId, EmbeddedModel};
 use crate::error::{CompressError, CompressorError, DecompressError};
 use aesz_tensor::Field;
 
@@ -47,6 +47,28 @@ pub trait Compressor: Send {
     /// (AE-B in the paper is the one comparison compressor that does not.)
     fn is_error_bounded(&self) -> bool {
         true
+    }
+
+    /// The trained model this compressor stamps into its streams, serialized
+    /// as a content-addressed `AESM` frame — the provenance hook the archive
+    /// layer uses to embed models next to the data they decode
+    /// ([`crate::archive::write_archive_embedding`]).
+    ///
+    /// Model-free codecs (the default) and untrained learned codecs return
+    /// `None`.
+    fn embedded_model(&self) -> Option<EmbeddedModel> {
+        None
+    }
+
+    /// The content-addressed id of [`Compressor::embedded_model`] without
+    /// serializing the model — implementors cache the id, so callers that
+    /// only need to *compare* identities (the archive writer's dedup, the
+    /// decode-side "is the registered instance already right?" check) avoid
+    /// a full weight serialization + hash per query.
+    ///
+    /// Must equal `self.embedded_model().map(|m| m.id)`.
+    fn embedded_model_id(&self) -> Option<crate::container::ModelId> {
+        None
     }
 
     /// Produce the codec-specific payload for `field` under `bound`.

@@ -43,16 +43,36 @@
 //!                   back-to-back in index order
 //! ```
 //!
-//! [`ArchiveHeader::read`] and [`read_chunk_index`] are the trust boundary:
-//! extents are capped at [`MAX_FIELD_ELEMS`], the stored chunk count must
-//! equal the recomputed grid product, and index entries must tile the data
-//! section exactly (first offset at the data start, each entry abutting the
-//! previous one, the last ending at the input's end) — so a flipped offset,
-//! a lying chunk count or a truncated tail is an error before any chunk
-//! payload is interpreted, and no allocation exceeds the input size.
+//! Version 2 ([`ARCHIVE_VERSION_MODELS`]) extends the header with one
+//! trailing `u64` — the byte length of a **model section** appended after
+//! the last chunk frame — so an archive can ship the trained networks its
+//! learned chunks reference, each embedded exactly once and indexed by
+//! content-addressed [`ModelId`]:
+//!
+//! ```text
+//! offset      size  field (v2 additions)
+//! 24+8r       8     model section length m_len, u64 little-endian
+//! 32+8r       17·n  chunk index (as in v1, shifted by 8)
+//! …                 chunk frames (as in v1)
+//! end−m_len   m_len model section: per model, a 16-byte ModelId, a u64 LE
+//!                   frame length, and a complete AESM model frame
+//! ```
+//!
+//! [`ArchiveHeader::read`], [`read_chunk_index`] and [`read_model_section`]
+//! are the trust boundary: extents are capped at [`MAX_FIELD_ELEMS`], the
+//! stored chunk count must equal the recomputed grid product, index entries
+//! must tile the data section exactly (first offset at the data start, each
+//! entry abutting the previous one, the last ending where the model section
+//! begins — the input's end for v1), and model entries must tile the model
+//! section exactly with every frame's recomputed payload hash equal to its
+//! stored id — so a flipped offset, a lying chunk count, a corrupted model
+//! or a truncated tail is an error before any chunk payload is interpreted,
+//! and no allocation exceeds the input size.
 
 use crate::error::DecompressError;
 use aesz_tensor::Dims;
+
+pub use aesz_codec::hash::{ModelId, MODEL_ID_LEN};
 
 /// Magic bytes opening every container frame ("AE-SZ container").
 pub const CONTAINER_MAGIC: [u8; 4] = *b"AESC";
@@ -205,11 +225,127 @@ pub fn peek_codec(bytes: &[u8]) -> Result<CodecId, DecompressError> {
     CodecId::from_byte(id).ok_or(DecompressError::UnknownCodec(id))
 }
 
+/// Magic bytes opening every serialized-model frame ("AE-SZ model").
+///
+/// The frame is the unit the model lifecycle ships around: sidecar `.aesm`
+/// files, the `AESA` v2 archive model section and [`crate::Compressor::embedded_model`]
+/// all carry exactly this frame. The payload is the codec-specific model
+/// serialization (`AESZMDL1` for the convolutional autoencoders, the AE-A
+/// dense format for AE-A); the [`ModelId`] of a model is the truncated
+/// SHA-256 of that *payload*, so the id is independent of the framing.
+///
+/// ```text
+/// offset  size  field
+/// 0       4     magic  b"AESM"
+/// 4       1     model frame version (currently 1)
+/// 5       1     codec id the model belongs to (see CodecId)
+/// 6       8     payload length, u64 little-endian
+/// 14      n     codec-specific serialized model (exactly n bytes)
+/// ```
+pub const MODEL_MAGIC: [u8; 4] = *b"AESM";
+
+/// Current model frame version.
+pub const MODEL_FRAME_VERSION: u8 = 1;
+
+/// Size of the fixed-length model frame preceding the model payload.
+pub const MODEL_FRAME_LEN: usize = 4 + 1 + 1 + 8;
+
+/// Wrap a codec-specific serialized model in a model frame.
+pub fn write_model_frame(codec: CodecId, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MODEL_FRAME_LEN + payload.len());
+    out.extend_from_slice(&MODEL_MAGIC);
+    out.push(MODEL_FRAME_VERSION);
+    out.push(codec as u8);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse and validate a model frame, returning the codec the model belongs
+/// to and the borrowed model payload. The declared payload length must match
+/// the remaining input exactly.
+pub fn read_model_frame(bytes: &[u8]) -> Result<(CodecId, &[u8]), DecompressError> {
+    if bytes.len() < MODEL_MAGIC.len() {
+        return Err(DecompressError::Truncated("model frame magic"));
+    }
+    if bytes[..MODEL_MAGIC.len()] != MODEL_MAGIC {
+        return Err(DecompressError::BadMagic);
+    }
+    if bytes.len() < MODEL_FRAME_LEN {
+        return Err(DecompressError::Truncated("model frame"));
+    }
+    if bytes[4] != MODEL_FRAME_VERSION {
+        return Err(DecompressError::UnsupportedVersion(bytes[4]));
+    }
+    let codec = CodecId::from_byte(bytes[5]).ok_or(DecompressError::UnknownCodec(bytes[5]))?;
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&bytes[6..14]);
+    let declared = u64::from_le_bytes(len_bytes);
+    let actual = (bytes.len() - MODEL_FRAME_LEN) as u64;
+    if declared > actual {
+        return Err(DecompressError::Truncated("model frame payload"));
+    }
+    if declared < actual {
+        return Err(DecompressError::Inconsistent(
+            "trailing bytes after model frame payload",
+        ));
+    }
+    Ok((codec, &bytes[MODEL_FRAME_LEN..]))
+}
+
+/// A serialized trained model ready to travel with compressed data: the
+/// content-addressed id plus the complete `AESM` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddedModel {
+    /// Content-addressed identity (truncated SHA-256 of the frame payload).
+    pub id: ModelId,
+    /// The complete `AESM` frame ([`write_model_frame`] output).
+    pub frame: Vec<u8>,
+}
+
+impl EmbeddedModel {
+    /// Frame a codec-specific model serialization, deriving its id.
+    pub fn new(codec: CodecId, payload: &[u8]) -> EmbeddedModel {
+        EmbeddedModel {
+            id: ModelId::of(payload),
+            frame: write_model_frame(codec, payload),
+        }
+    }
+
+    /// Parse and verify an existing frame: the frame must be well-formed and
+    /// the payload hash is recomputed, so a corrupted frame cannot smuggle a
+    /// wrong id into a store. Returns the model's codec alongside.
+    pub fn from_frame(frame: &[u8]) -> Result<(EmbeddedModel, CodecId), DecompressError> {
+        let (codec, payload) = read_model_frame(frame)?;
+        Ok((
+            EmbeddedModel {
+                id: ModelId::of(payload),
+                frame: frame.to_vec(),
+            },
+            codec,
+        ))
+    }
+
+    /// The codec this model belongs to (from the frame header).
+    pub fn codec(&self) -> CodecId {
+        CodecId::from_byte(self.frame[5]).expect("validated at construction")
+    }
+
+    /// The codec-specific model payload inside the frame.
+    pub fn payload(&self) -> &[u8] {
+        &self.frame[MODEL_FRAME_LEN..]
+    }
+}
+
 /// Magic bytes opening every multi-chunk archive ("AE-SZ archive").
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"AESA";
 
-/// Current archive format version.
+/// Archive format version without a model section (the original layout).
 pub const ARCHIVE_VERSION: u8 = 1;
+
+/// Archive format version whose header carries a model-section length and
+/// whose tail may embed the referenced models' `AESM` frames.
+pub const ARCHIVE_VERSION_MODELS: u8 = 2;
 
 /// The one data type archives currently carry: little-endian `f32`.
 pub const ARCHIVE_DTYPE_F32: u8 = 1;
@@ -225,9 +361,27 @@ pub struct ArchiveHeader {
     /// Nominal chunk edge length (edge chunks are smaller, exactly like the
     /// blockwise compressors' edge blocks).
     pub chunk: usize,
+    /// Archive format version ([`ARCHIVE_VERSION`] or
+    /// [`ARCHIVE_VERSION_MODELS`]). Version 1 archives have no model section
+    /// and their header carries no model-section length, so the v1 encoding
+    /// is byte-identical to the original format.
+    pub version: u8,
+    /// Byte length of the model section at the archive's tail (0 for v1 and
+    /// for v2 archives that embed nothing).
+    pub model_len: usize,
 }
 
 impl ArchiveHeader {
+    /// A version-1 header (no model section) — the shape every pre-model
+    /// archive used.
+    pub fn v1(dims: Dims, chunk: usize) -> ArchiveHeader {
+        ArchiveHeader {
+            dims,
+            chunk,
+            version: ARCHIVE_VERSION,
+            model_len: 0,
+        }
+    }
     /// Number of chunks along each axis (ceiling division per axis).
     pub fn chunk_grid(&self) -> Vec<usize> {
         self.dims.block_grid(self.chunk)
@@ -238,9 +392,16 @@ impl ArchiveHeader {
         self.chunk_grid().iter().product()
     }
 
-    /// Encoded byte length of this header (rank-dependent).
+    /// Encoded byte length of this header (rank- and version-dependent: v2
+    /// appends the 8-byte model-section length).
     pub fn encoded_len(&self) -> usize {
-        8 + 8 * self.dims.rank() + 16
+        8 + 8 * self.dims.rank()
+            + 16
+            + if self.version >= ARCHIVE_VERSION_MODELS {
+                8
+            } else {
+                0
+            }
     }
 
     /// Byte length of the chunk index that follows the header.
@@ -253,10 +414,11 @@ impl ArchiveHeader {
         self.encoded_len() + self.index_len()
     }
 
-    /// Serialize the header (magic through chunk count) into `out`.
+    /// Serialize the header (magic through chunk count, plus the
+    /// model-section length for v2) into `out`.
     pub fn write(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&ARCHIVE_MAGIC);
-        out.push(ARCHIVE_VERSION);
+        out.push(self.version);
         out.push(ARCHIVE_DTYPE_F32);
         out.push(self.dims.rank() as u8);
         out.push(0); // reserved
@@ -265,6 +427,9 @@ impl ArchiveHeader {
         }
         out.extend_from_slice(&(self.chunk as u64).to_le_bytes());
         out.extend_from_slice(&(self.chunk_count() as u64).to_le_bytes());
+        if self.version >= ARCHIVE_VERSION_MODELS {
+            out.extend_from_slice(&(self.model_len as u64).to_le_bytes());
+        }
     }
 
     /// Parse and validate an archive header from the start of `bytes`.
@@ -283,8 +448,9 @@ impl ArchiveHeader {
         if bytes.len() < 8 {
             return Err(DecompressError::Truncated("archive header"));
         }
-        if bytes[4] != ARCHIVE_VERSION {
-            return Err(DecompressError::UnsupportedVersion(bytes[4]));
+        let version = bytes[4];
+        if version != ARCHIVE_VERSION && version != ARCHIVE_VERSION_MODELS {
+            return Err(DecompressError::UnsupportedVersion(version));
         }
         if bytes[5] != ARCHIVE_DTYPE_F32 {
             return Err(DecompressError::InvalidHeader("archive dtype"));
@@ -296,7 +462,14 @@ impl ArchiveHeader {
         if bytes[7] != 0 {
             return Err(DecompressError::InvalidHeader("archive reserved byte"));
         }
-        let fixed = 8 + 8 * rank + 16;
+        let fixed = 8
+            + 8 * rank
+            + 16
+            + if version >= ARCHIVE_VERSION_MODELS {
+                8
+            } else {
+                0
+            };
         if bytes.len() < fixed {
             return Err(DecompressError::Truncated("archive header"));
         }
@@ -337,9 +510,23 @@ impl ArchiveHeader {
                 "archive chunk edge exceeds cap",
             ));
         }
+        let model_len = if version >= ARCHIVE_VERSION_MODELS {
+            let len = u64_at(24 + 8 * rank);
+            // The model section lives inside the archive, so its length can
+            // never exceed the input; a precise bound (input minus header,
+            // index and frames) is enforced by `read_chunk_index`.
+            if len > bytes.len() as u64 {
+                return Err(DecompressError::Truncated("archive model section"));
+            }
+            len as usize
+        } else {
+            0
+        };
         let header = ArchiveHeader {
             dims,
             chunk: chunk as usize,
+            version,
+            model_len,
         };
         let declared = u64_at(16 + 8 * rank);
         if declared != header.chunk_count() as u64 {
@@ -375,8 +562,9 @@ pub fn write_chunk_entry(out: &mut Vec<u8>, entry: &ChunkEntry) {
 ///
 /// Beyond per-entry decoding, this enforces the tiling invariant: entry 0
 /// starts at the data section, every entry abuts its predecessor, every
-/// frame is at least [`FRAME_LEN`] long, and the last entry ends exactly at
-/// the end of the input — so lying offsets or lengths, overlapping or
+/// frame is at least [`FRAME_LEN`] long, and the last entry ends exactly
+/// where the model section begins (the end of the input for v1 and for v2
+/// archives embedding nothing) — so lying offsets or lengths, overlapping or
 /// reordered entries, truncation and trailing garbage are all rejected here.
 pub fn read_chunk_index(
     bytes: &[u8],
@@ -391,6 +579,11 @@ pub fn read_chunk_index(
         .ok_or(DecompressError::InvalidHeader("archive index size"))?;
     if bytes.len() < data_start {
         return Err(DecompressError::Truncated("archive chunk index"));
+    }
+    // The chunk frames end where the (possibly empty) model section starts.
+    let data_end = bytes.len() - header.model_len.min(bytes.len());
+    if data_end < data_start {
+        return Err(DecompressError::Truncated("archive model section"));
     }
     let mut entries = Vec::with_capacity(count);
     let mut expected_offset = data_start as u64;
@@ -416,17 +609,70 @@ pub fn read_chunk_index(
         expected_offset = offset
             .checked_add(len)
             .ok_or(DecompressError::InvalidHeader("chunk frame length"))?;
-        if expected_offset > bytes.len() as u64 {
+        if expected_offset > data_end as u64 {
             return Err(DecompressError::Truncated("archive chunk data"));
         }
         entries.push(ChunkEntry { codec, offset, len });
     }
-    if expected_offset != bytes.len() as u64 {
+    if expected_offset != data_end as u64 {
         return Err(DecompressError::Inconsistent(
             "trailing bytes after the last chunk frame",
         ));
     }
     Ok(entries)
+}
+
+/// Parse and validate the model section of an archive whose header already
+/// parsed as `header`, returning each embedded model's id and its borrowed
+/// `AESM` frame.
+///
+/// The section must be tiled exactly by `(16-byte id, u64 frame length,
+/// frame)` records; every frame must parse as a valid model frame whose
+/// recomputed payload hash equals the stored id (so a flipped bit anywhere in
+/// a model is caught before the model is trusted), and ids must be unique
+/// (each referenced model is embedded exactly once).
+pub fn read_model_section<'a>(
+    bytes: &'a [u8],
+    header: &ArchiveHeader,
+) -> Result<Vec<(ModelId, &'a [u8])>, DecompressError> {
+    if header.model_len == 0 {
+        return Ok(Vec::new());
+    }
+    let start = bytes
+        .len()
+        .checked_sub(header.model_len)
+        .ok_or(DecompressError::Truncated("archive model section"))?;
+    let section = &bytes[start..];
+    let mut models = Vec::new();
+    let mut pos = 0usize;
+    while pos < section.len() {
+        let head = section
+            .get(pos..pos + MODEL_ID_LEN + 8)
+            .ok_or(DecompressError::Truncated("archive model entry"))?;
+        let id = ModelId::from_prefix(head).expect("slice holds a full id");
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&head[MODEL_ID_LEN..]);
+        let len = u64::from_le_bytes(len_bytes);
+        pos += MODEL_ID_LEN + 8;
+        if len > (section.len() - pos) as u64 {
+            return Err(DecompressError::Truncated("archive model frame"));
+        }
+        let frame = &section[pos..pos + len as usize];
+        pos += len as usize;
+        let (_, payload) = read_model_frame(frame)?;
+        if ModelId::of(payload) != id {
+            return Err(DecompressError::Inconsistent(
+                "embedded model bytes do not hash to their stored id",
+            ));
+        }
+        if models.iter().any(|&(seen, _)| seen == id) {
+            return Err(DecompressError::Inconsistent(
+                "model embedded more than once",
+            ));
+        }
+        models.push((id, frame));
+    }
+    Ok(models)
 }
 
 #[cfg(test)]
@@ -462,6 +708,150 @@ mod tests {
                 "prefix of {len} bytes parsed as a complete frame"
             );
         }
+    }
+
+    #[test]
+    fn model_frames_roundtrip_and_reject_corruption() {
+        let payload = b"fake serialized model bytes";
+        let model = EmbeddedModel::new(CodecId::AeSz, payload);
+        assert_eq!(model.id, ModelId::of(payload));
+        assert_eq!(model.codec(), CodecId::AeSz);
+        assert_eq!(model.payload(), payload);
+        let (codec, body) = read_model_frame(&model.frame).unwrap();
+        assert_eq!(codec, CodecId::AeSz);
+        assert_eq!(body, payload);
+        let (reparsed, codec) = EmbeddedModel::from_frame(&model.frame).unwrap();
+        assert_eq!(reparsed, model);
+        assert_eq!(codec, CodecId::AeSz);
+
+        for len in 0..model.frame.len() {
+            assert!(read_model_frame(&model.frame[..len]).is_err());
+        }
+        let mut evil = model.frame.clone();
+        evil.push(0);
+        assert!(matches!(
+            read_model_frame(&evil),
+            Err(DecompressError::Inconsistent(_))
+        ));
+        let mut evil = model.frame.clone();
+        evil[0] = b'X';
+        assert_eq!(read_model_frame(&evil), Err(DecompressError::BadMagic));
+        let mut evil = model.frame.clone();
+        evil[4] = 9;
+        assert_eq!(
+            read_model_frame(&evil),
+            Err(DecompressError::UnsupportedVersion(9))
+        );
+        let mut evil = model.frame.clone();
+        evil[5] = 200;
+        assert_eq!(
+            read_model_frame(&evil),
+            Err(DecompressError::UnknownCodec(200))
+        );
+    }
+
+    /// Build a synthetic v2 archive: header + one raw-frame chunk + a model
+    /// section holding `models`.
+    fn v2_archive(models: &[EmbeddedModel]) -> Vec<u8> {
+        let chunk_frame = write_frame(CodecId::Zfp, b"chunkpayload");
+        let mut model_section = Vec::new();
+        for m in models {
+            model_section.extend_from_slice(m.id.as_bytes());
+            model_section.extend_from_slice(&(m.frame.len() as u64).to_le_bytes());
+            model_section.extend_from_slice(&m.frame);
+        }
+        let header = ArchiveHeader {
+            dims: Dims::d1(4),
+            chunk: 4,
+            version: ARCHIVE_VERSION_MODELS,
+            model_len: model_section.len(),
+        };
+        let mut bytes = Vec::new();
+        header.write(&mut bytes);
+        write_chunk_entry(
+            &mut bytes,
+            &ChunkEntry {
+                codec: CodecId::Zfp,
+                offset: header.data_start() as u64,
+                len: chunk_frame.len() as u64,
+            },
+        );
+        bytes.extend_from_slice(&chunk_frame);
+        bytes.extend_from_slice(&model_section);
+        bytes
+    }
+
+    #[test]
+    fn v2_archives_carry_a_validated_model_section() {
+        let models = [
+            EmbeddedModel::new(CodecId::AeSz, b"model one"),
+            EmbeddedModel::new(CodecId::AeA, b"model two"),
+        ];
+        let bytes = v2_archive(&models);
+        let header = ArchiveHeader::read(&bytes).unwrap();
+        assert_eq!(header.version, ARCHIVE_VERSION_MODELS);
+        assert!(header.model_len > 0);
+        let entries = read_chunk_index(&bytes, &header).unwrap();
+        assert_eq!(entries.len(), 1);
+        let parsed = read_model_section(&bytes, &header).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (m, (id, frame)) in models.iter().zip(&parsed) {
+            assert_eq!(*id, m.id);
+            assert_eq!(*frame, m.frame.as_slice());
+        }
+
+        // v2 with an empty model section is valid.
+        let empty = v2_archive(&[]);
+        let h = ArchiveHeader::read(&empty).unwrap();
+        assert_eq!(h.model_len, 0);
+        assert!(read_model_section(&empty, &h).unwrap().is_empty());
+
+        // Every truncation of the archive is rejected by header, index or
+        // model-section validation.
+        for len in 0..bytes.len() {
+            let slice = &bytes[..len];
+            let ok = ArchiveHeader::read(slice)
+                .and_then(|h| read_chunk_index(slice, &h).map(|_| h))
+                .and_then(|h| read_model_section(slice, &h).map(|_| ()));
+            assert!(ok.is_err(), "truncated v2 archive of {len} bytes parsed");
+        }
+    }
+
+    #[test]
+    fn corrupted_model_sections_are_rejected() {
+        let model = EmbeddedModel::new(CodecId::AeSz, b"model bytes");
+        let bytes = v2_archive(std::slice::from_ref(&model));
+        let header = ArchiveHeader::read(&bytes).unwrap();
+        let section_start = bytes.len() - header.model_len;
+
+        // A flipped bit in the model payload breaks the stored hash.
+        let mut evil = bytes.clone();
+        let last = evil.len() - 1;
+        evil[last] ^= 1;
+        assert!(matches!(
+            read_model_section(&evil, &header),
+            Err(DecompressError::Inconsistent(_))
+        ));
+
+        // A flipped bit in the stored id breaks the hash check too.
+        let mut evil = bytes.clone();
+        evil[section_start] ^= 1;
+        assert!(read_model_section(&evil, &header).is_err());
+
+        // The same model embedded twice is rejected.
+        let twice = v2_archive(&[model.clone(), model.clone()]);
+        let h = ArchiveHeader::read(&twice).unwrap();
+        assert_eq!(
+            read_model_section(&twice, &h),
+            Err(DecompressError::Inconsistent(
+                "model embedded more than once"
+            ))
+        );
+
+        // A lying frame length inside the section is truncation.
+        let mut evil = bytes.clone();
+        evil[section_start + MODEL_ID_LEN] = 0xff;
+        assert!(read_model_section(&evil, &header).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `From` impls in their crates), so callers that drive compressors through
 //! the [`Compressor`](crate::Compressor) trait handle one error surface.
 
-use crate::container::CodecId;
+use crate::container::{CodecId, ModelId};
 use aesz_codec::CodecError;
 
 /// Why a field could not be compressed.
@@ -66,6 +66,27 @@ pub enum DecompressError {
     /// The stream is well-formed but this decoder instance cannot honour it
     /// (e.g. a learned codec whose model is not trained).
     Unsupported(&'static str),
+    /// The stream names a trained model (by content-addressed id) that this
+    /// decoder does not hold and cannot resolve — the dedicated "missing
+    /// model" failure of the model lifecycle, distinct from both
+    /// [`DecompressError::UnknownCodec`] (the *codec* is not registered) and
+    /// [`DecompressError::ModelMismatch`] (a model is present but its
+    /// geometry disagrees with the stream).
+    MissingModel {
+        /// Codec whose stream references the model.
+        codec: CodecId,
+        /// Content-addressed id of the model the stream was encoded with.
+        model_id: ModelId,
+    },
+    /// A dispatched codec failed to decode its stream — the wrapper
+    /// `decompress_any` uses so multi-codec callers always learn *which*
+    /// codec rejected the bytes.
+    CodecFailed {
+        /// Codec that was dispatched and failed.
+        codec: CodecId,
+        /// The codec's own error.
+        error: Box<DecompressError>,
+    },
     /// The stream was produced with a different model geometry than the
     /// compressor trying to decode it.
     ModelMismatch {
@@ -106,6 +127,15 @@ impl std::fmt::Display for DecompressError {
             DecompressError::InvalidHeader(what) => write!(f, "invalid header field: {what}"),
             DecompressError::Inconsistent(what) => write!(f, "inconsistent stream: {what}"),
             DecompressError::Unsupported(what) => write!(f, "decoder cannot serve stream: {what}"),
+            DecompressError::MissingModel { codec, model_id } => write!(
+                f,
+                "no trained model {model_id} available for {} (register one or add it to the \
+                 model store)",
+                codec.name()
+            ),
+            DecompressError::CodecFailed { codec, error } => {
+                write!(f, "{} failed to decode: {error}", codec.name())
+            }
             DecompressError::ModelMismatch {
                 stream_block_size,
                 stream_latent_dim,
@@ -126,6 +156,7 @@ impl std::error::Error for DecompressError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DecompressError::Codec(e) => Some(e),
+            DecompressError::CodecFailed { error, .. } => Some(error.as_ref()),
             _ => None,
         }
     }
@@ -185,6 +216,25 @@ mod tests {
         };
         assert!(wrong.to_string().contains("ZFP"));
         assert!(wrong.to_string().contains("SZ2.1"));
+    }
+
+    #[test]
+    fn model_errors_are_distinct_and_informative() {
+        let id = ModelId::of(b"weights");
+        let missing = DecompressError::MissingModel {
+            codec: CodecId::AeSz,
+            model_id: id,
+        };
+        assert!(missing.to_string().contains("AE-SZ"));
+        assert!(missing.to_string().contains(&id.to_string()));
+        let failed = DecompressError::CodecFailed {
+            codec: CodecId::AeA,
+            error: Box::new(DecompressError::Truncated("latent section")),
+        };
+        assert!(failed.to_string().contains("AE-A"));
+        assert!(failed.to_string().contains("latent section"));
+        use std::error::Error;
+        assert!(failed.source().is_some());
     }
 
     #[test]

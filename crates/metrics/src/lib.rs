@@ -18,12 +18,16 @@ pub mod error_stats;
 pub mod rate_distortion;
 
 pub use archive::{
-    write_archive, write_field_archive, ArchiveOptions, ArchiveReadError, ArchiveReader,
-    ArchiveStats, ArchiveWriteError, ChunkSink, ChunkSource, FieldSink, FieldSource,
+    write_archive, write_archive_embedding, write_field_archive, write_field_archive_embedding,
+    ArchiveOptions, ArchiveReadError, ArchiveReader, ArchiveStats, ArchiveWriteError, ChunkSink,
+    ChunkSource, FieldSink, FieldSource,
 };
 pub use bound::ErrorBound;
 pub use compressor::{measure, Compressor, SweepPoint};
-pub use container::{read_frame, write_frame, ArchiveHeader, ChunkEntry, CodecId};
+pub use container::{
+    read_frame, read_model_frame, write_frame, write_model_frame, ArchiveHeader, ChunkEntry,
+    CodecId, EmbeddedModel, ModelId,
+};
 pub use error::{CompressError, CompressorError, DecompressError};
 pub use error_stats::{max_abs_error, mse, nrmse, psnr, verify_error_bound, ErrorStats};
 pub use rate_distortion::{bit_rate, compression_ratio, RdCurve, RdPoint};

@@ -20,9 +20,11 @@
 //!   (Fig. 3/4 of the paper) and the eight-variant autoencoder zoo of
 //!   Table I.
 //! * [`train`] — mini-batch training loops over data blocks.
-//! * [`serialize`] — flat binary save/load of model weights, so a trained
-//!   predictor can be stored next to the compressed data like the paper's
-//!   network files.
+//! * [`serialize`] — flat binary save/load of model weights (every zoo
+//!   variant round-trips through the stable `AESZMDL1` format) plus the
+//!   content-addressed [`serialize::model_id`] that streams and archives use
+//!   to name the exact network that encoded them, so a trained predictor can
+//!   be stored next to the compressed data like the paper's network files.
 //!
 //! Everything is deterministic given a seed; training parallelises over the
 //! mini-batch with rayon.

@@ -4,9 +4,26 @@
 //! one model can serve many snapshots of the same application. This module
 //! writes the [`AeConfig`] followed by every parameter tensor (encoder first,
 //! then decoder, in construction order) as little-endian `f32`, and rebuilds
-//! an identical model on load.
+//! an identical model on load. Because the [`AeConfig`] pins every
+//! architectural choice (rank, block, latent, channels, variational flag),
+//! **every member of the autoencoder zoo round-trips through the same
+//! format** — the zoo variants differ only in training objective, which is
+//! not a property of the weights.
+//!
+//! The `AESZMDL1` layout is a **stable wire format**: golden fixtures lock it
+//! byte-for-byte, and the content-addressed [`ModelId`] derived from these
+//! bytes travels inside stream headers and archives, so neither the field
+//! order nor the encoding may change without a new magic.
+//!
+//! The parameter-stream halves ([`write_params`] / [`read_params_into`]) are
+//! exposed on their own so other model-bearing codecs (AE-A's dense stack in
+//! `aesz_baselines`) serialize their weights the same way without sharing the
+//! `AESZMDL1` header.
 
+use crate::layer::Param;
 use crate::models::conv_ae::{AeConfig, ConvAutoencoder};
+
+pub use aesz_codec::hash::ModelId;
 
 /// Magic bytes identifying a serialized AE-SZ model.
 const MAGIC: &[u8; 8] = b"AESZMDL1";
@@ -18,6 +35,11 @@ pub enum ModelError {
     BadMagic,
     /// The buffer ended before all fields could be read.
     Truncated,
+    /// A config field holds a value no valid model file can contain (wrong
+    /// rank, zero/oversized geometry, non-canonical flag). Validated before
+    /// any architecture is built, so hostile headers cannot drive a panic or
+    /// an attacker-sized allocation.
+    InvalidConfig(&'static str),
     /// The parameter payload does not match the model the config describes.
     ParamMismatch {
         /// Number of scalars the config implies.
@@ -25,6 +47,10 @@ pub enum ModelError {
         /// Number of scalars present in the payload.
         got: usize,
     },
+    /// Bytes follow the last parameter — the file is not a pure `AESZMDL1`
+    /// stream (rejecting them keeps `ModelId` canonical: one model, one
+    /// byte sequence, one id).
+    TrailingBytes,
 }
 
 impl std::fmt::Display for ModelError {
@@ -32,17 +58,73 @@ impl std::fmt::Display for ModelError {
         match self {
             ModelError::BadMagic => write!(f, "not an AE-SZ model file"),
             ModelError::Truncated => write!(f, "model file truncated"),
+            ModelError::InvalidConfig(what) => {
+                write!(f, "invalid model config field: {what}")
+            }
             ModelError::ParamMismatch { expected, got } => {
                 write!(
                     f,
                     "parameter count mismatch: expected {expected}, got {got}"
                 )
             }
+            ModelError::TrailingBytes => write!(f, "trailing bytes after the model parameters"),
         }
     }
 }
 
 impl std::error::Error for ModelError {}
+
+/// Caps on the architecture a model file may describe, far above the paper's
+/// largest configuration (block 32, channels \[32, 64, 128, 256\], latent
+/// 128) but small enough that building the described model is a bounded
+/// allocation even for a hostile file.
+const MAX_MODEL_BLOCK: usize = 1024;
+const MAX_MODEL_LATENT: usize = 65_536;
+const MAX_MODEL_CONV_BLOCKS: usize = 6;
+const MAX_MODEL_CHANNELS: usize = 512;
+/// Cap on the flattened-feature × latent product of the junction dense
+/// layers (2²⁸ scalars ≈ 1 GiB of `f32`).
+const MAX_MODEL_DENSE: usize = 1 << 28;
+
+/// Validate a deserialized config before any layer is constructed.
+///
+/// [`ConvAutoencoder::new`] `assert!`s on impossible configs and allocates
+/// proportionally to the architecture, so this is the trust boundary between
+/// file bytes and the constructor.
+fn validate_config(cfg: &AeConfig) -> Result<(), ModelError> {
+    if cfg.spatial_rank != 2 && cfg.spatial_rank != 3 {
+        return Err(ModelError::InvalidConfig("spatial rank must be 2 or 3"));
+    }
+    if cfg.channels.is_empty() || cfg.channels.len() > MAX_MODEL_CONV_BLOCKS {
+        return Err(ModelError::InvalidConfig("conv block count out of range"));
+    }
+    if cfg
+        .channels
+        .iter()
+        .any(|&c| c == 0 || c > MAX_MODEL_CHANNELS)
+    {
+        return Err(ModelError::InvalidConfig("channel count out of range"));
+    }
+    if cfg.block_size == 0 || cfg.block_size > MAX_MODEL_BLOCK {
+        return Err(ModelError::InvalidConfig("block size out of range"));
+    }
+    if !cfg.block_size.is_multiple_of(1 << cfg.channels.len()) {
+        return Err(ModelError::InvalidConfig(
+            "block size not divisible by 2^conv blocks",
+        ));
+    }
+    if cfg.latent_dim == 0 || cfg.latent_dim > MAX_MODEL_LATENT {
+        return Err(ModelError::InvalidConfig("latent dim out of range"));
+    }
+    if cfg
+        .feature_len()
+        .checked_mul(cfg.encoder_out())
+        .is_none_or(|n| n > MAX_MODEL_DENSE)
+    {
+        return Err(ModelError::InvalidConfig("junction dense layer too large"));
+    }
+    Ok(())
+}
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -54,6 +136,56 @@ fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, ModelError> {
     Ok(u64::from_le_bytes([
         b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
     ]))
+}
+
+/// Total scalar count of a parameter list (what a serialized stream of those
+/// parameters must carry).
+pub fn param_count(params: &[&Param]) -> usize {
+    params.iter().map(|p| p.len()).sum()
+}
+
+/// Append every parameter tensor as little-endian `f32`, preceded by the
+/// total scalar count as a `u64` — the weight half of every model format in
+/// the workspace.
+pub fn write_params(out: &mut Vec<u8>, params: &[&Param]) {
+    push_u64(out, param_count(params) as u64);
+    for p in params {
+        for &v in p.value.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Read a parameter stream written by [`write_params`] back into `params`
+/// (which must describe the identical architecture), advancing `pos` past the
+/// payload. Rejects count mismatches and truncation without partial writes
+/// being observable as success.
+pub fn read_params_into(
+    bytes: &[u8],
+    pos: &mut usize,
+    mut params: Vec<&mut Param>,
+) -> Result<(), ModelError> {
+    let expected: usize = params.iter().map(|p| p.len()).sum();
+    let total = read_u64(bytes, pos)? as usize;
+    if expected != total {
+        return Err(ModelError::ParamMismatch {
+            expected,
+            got: total,
+        });
+    }
+    let payload = bytes
+        .get(*pos..*pos + total * 4)
+        .ok_or(ModelError::Truncated)?;
+    *pos += total * 4;
+    let mut values = payload
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+    for p in params.iter_mut() {
+        for v in p.value.as_mut_slice() {
+            *v = values.next().ok_or(ModelError::Truncated)?;
+        }
+    }
+    Ok(())
 }
 
 /// Serialize the model (config + all weights) to bytes.
@@ -70,15 +202,17 @@ pub fn save_model(model: &ConvAutoencoder) -> Vec<u8> {
     for &c in &cfg.channels {
         push_u64(&mut out, c as u64);
     }
-    let params = model.params();
-    let total: usize = params.iter().map(|p| p.len()).sum();
-    push_u64(&mut out, total as u64);
-    for p in params {
-        for &v in p.value.as_slice() {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-    }
+    write_params(&mut out, &model.params());
     out
+}
+
+/// Content-addressed identity of a model: the truncated SHA-256 of its
+/// [`save_model`] bytes. Two models share an id exactly when their serialized
+/// form is byte-identical (same architecture, same weights, same seed field),
+/// which is what lets streams and archives name "the network that encoded
+/// me" without shipping it.
+pub fn model_id(model: &ConvAutoencoder) -> ModelId {
+    ModelId::of(&save_model(model))
 }
 
 /// Rebuild a model from bytes written by [`save_model`].
@@ -90,15 +224,20 @@ pub fn load_model(bytes: &[u8]) -> Result<ConvAutoencoder, ModelError> {
     let spatial_rank = read_u64(bytes, &mut pos)? as usize;
     let block_size = read_u64(bytes, &mut pos)? as usize;
     let latent_dim = read_u64(bytes, &mut pos)? as usize;
-    let variational = read_u64(bytes, &mut pos)? != 0;
+    let variational = match read_u64(bytes, &mut pos)? {
+        0 => false,
+        1 => true,
+        _ => return Err(ModelError::InvalidConfig("variational flag not 0/1")),
+    };
     let seed = read_u64(bytes, &mut pos)?;
     let n_channels = read_u64(bytes, &mut pos)? as usize;
+    if n_channels > MAX_MODEL_CONV_BLOCKS {
+        return Err(ModelError::InvalidConfig("conv block count out of range"));
+    }
     let mut channels = Vec::with_capacity(n_channels);
     for _ in 0..n_channels {
         channels.push(read_u64(bytes, &mut pos)? as usize);
     }
-    let total = read_u64(bytes, &mut pos)? as usize;
-
     let config = AeConfig {
         spatial_rank,
         block_size,
@@ -107,24 +246,11 @@ pub fn load_model(bytes: &[u8]) -> Result<ConvAutoencoder, ModelError> {
         variational,
         seed,
     };
+    validate_config(&config)?;
     let mut model = ConvAutoencoder::new(config);
-    let expected: usize = model.params().iter().map(|p| p.len()).sum();
-    if expected != total {
-        return Err(ModelError::ParamMismatch {
-            expected,
-            got: total,
-        });
-    }
-    let payload = bytes
-        .get(pos..pos + total * 4)
-        .ok_or(ModelError::Truncated)?;
-    let mut values = payload
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
-    for p in model.params_mut() {
-        for v in p.value.as_mut_slice() {
-            *v = values.next().ok_or(ModelError::Truncated)?;
-        }
+    read_params_into(bytes, &mut pos, model.params_mut())?;
+    if pos != bytes.len() {
+        return Err(ModelError::TrailingBytes);
     }
     Ok(model)
 }
@@ -189,5 +315,132 @@ mod tests {
         }
         .to_string()
         .contains("expected 10"));
+        assert!(ModelError::InvalidConfig("latent dim out of range")
+            .to_string()
+            .contains("latent dim"));
+        assert!(ModelError::TrailingBytes.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn every_zoo_variant_roundtrips_with_a_stable_id() {
+        use crate::models::zoo::AeVariant;
+        use crate::train::{TrainConfig, Trainer};
+
+        // All eight zoo variants share the conv trunk; the variational ones
+        // double the encoder output. Train each for one tiny epoch so the
+        // weights are variant-specific, then save → load → compare.
+        let blocks: Vec<Vec<f32>> = (0..8)
+            .map(|i| crate::train::synthetic_block(64, 8, 2, i))
+            .collect();
+        for variant in AeVariant::table1() {
+            let cfg = AeConfig {
+                spatial_rank: 2,
+                block_size: 8,
+                latent_dim: 4,
+                channels: vec![4],
+                variational: variant.is_variational(),
+                seed: 21,
+            };
+            let mut trainer = Trainer::new(
+                cfg,
+                TrainConfig {
+                    epochs: 1,
+                    batch_size: 4,
+                    learning_rate: 1e-3,
+                    variant,
+                    seed: 22,
+                },
+            );
+            trainer.train(&blocks);
+            let model = trainer.into_model();
+            let bytes = save_model(&model);
+            let mut loaded = load_model(&bytes).unwrap_or_else(|e| {
+                panic!("{} failed to round-trip: {e}", variant.name());
+            });
+            assert_eq!(loaded.config(), model.config(), "{}", variant.name());
+            assert_eq!(
+                model_id(&loaded),
+                model_id(&model),
+                "{} id must survive the round-trip",
+                variant.name()
+            );
+            assert_eq!(save_model(&loaded), bytes, "{}", variant.name());
+            let x = Tensor::from_vec(&[1, 1, 8, 8], (0..64).map(|v| v as f32 / 64.0).collect())
+                .unwrap();
+            let mut model = model;
+            assert_eq!(
+                model.reconstruct(&x).as_slice(),
+                loaded.reconstruct(&x).as_slice(),
+                "{} outputs must match",
+                variant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn model_id_tracks_weight_content() {
+        let model = tiny_model();
+        let id = model_id(&model);
+        assert_eq!(id, ModelId::of(&save_model(&model)), "id = hash of bytes");
+        assert_eq!(id, model_id(&tiny_model()), "same seed, same id");
+        let mut other = tiny_model();
+        other.params_mut()[0].value.as_mut_slice()[0] += 1.0;
+        assert_ne!(model_id(&other), id, "a changed weight changes the id");
+    }
+
+    #[test]
+    fn hostile_configs_are_rejected_before_construction() {
+        let good = save_model(&tiny_model());
+        // Field layout: magic(8) rank(8) block(8) latent(8) variational(8)
+        // seed(8) n_channels(8) channels… — patch fields in place.
+        let patch = |at: usize, v: u64| {
+            let mut b = good.clone();
+            b[at..at + 8].copy_from_slice(&v.to_le_bytes());
+            b
+        };
+        assert!(matches!(
+            load_model(&patch(8, 5)),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            load_model(&patch(16, 0)), // zero block size
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            load_model(&patch(16, 7)), // not divisible by 2^blocks
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            load_model(&patch(16, u64::MAX)), // absurd block size
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            load_model(&patch(24, 0)), // zero latent
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            load_model(&patch(24, u64::MAX)), // absurd latent
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            load_model(&patch(32, 2)), // non-canonical variational flag
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            load_model(&patch(48, u64::MAX)), // absurd conv block count
+            Err(ModelError::InvalidConfig(_))
+        ));
+        // A wrong parameter count and trailing bytes are both rejected.
+        let total_at = 48 + 8 + 8; // one channel entry in tiny_model
+        let mut b = good.clone();
+        let claimed = u64::from_le_bytes(b[total_at..total_at + 8].try_into().unwrap());
+        b[total_at..total_at + 8].copy_from_slice(&(claimed + 1).to_le_bytes());
+        assert!(matches!(
+            load_model(&b),
+            Err(ModelError::ParamMismatch { .. })
+        ));
+        let mut b = good.clone();
+        b.push(0);
+        assert!(matches!(load_model(&b), Err(ModelError::TrailingBytes)));
     }
 }

@@ -3,11 +3,15 @@
 //! Re-exports the public APIs of every member crate so that examples and
 //! integration tests can `use aesz_repro::...` without naming each crate,
 //! and hosts the [`registry`] module (the codec [`Registry`] over all seven
-//! compressors and the [`decompress_any`] dispatch entry point) plus the
+//! compressors and the [`decompress_any`] dispatch entry point), the
+//! [`model_store`] module (content-addressed storage and lazy resolution of
+//! trained models — the train → ship → resolve lifecycle), and the
 //! [`archive`] module (registry-driven chunked streaming archives with
-//! per-chunk codec choice and random-access decode).
+//! per-chunk codec choice, random-access decode, and embedded-model
+//! resolution).
 
 pub mod archive;
+pub mod model_store;
 pub mod registry;
 
 pub use aesz_baselines as baselines;
@@ -25,7 +29,9 @@ pub use aesz_tensor as tensor;
 // everything through.
 pub use aesz_core::{AeSz, AeSzConfig, CompressionReport, PredictorPolicy};
 pub use aesz_metrics::{
-    CodecId, CompressError, Compressor, CompressorError, DecompressError, ErrorBound,
+    CodecId, CompressError, Compressor, CompressorError, DecompressError, EmbeddedModel,
+    ErrorBound, ModelId,
 };
 pub use aesz_tensor::{Dims, Field};
+pub use model_store::{ModelStore, ModelStoreError};
 pub use registry::{decompress_any, Registry};

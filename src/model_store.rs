@@ -1,0 +1,355 @@
+//! The content-addressed model store behind the codec
+//! [`Registry`](crate::registry::Registry).
+//!
+//! The paper's central design keeps the trained autoencoder *separate* from
+//! the compressed data so one network serves every snapshot of an
+//! application (Fig. 2). That split needs an artifact pipeline: somewhere to
+//! put a trained model ("ship"), and a way for a decoder that never saw the
+//! trainer to find it again ("resolve"). [`ModelStore`] is that pipeline:
+//!
+//! * **in-memory registration** — [`ModelStore::insert`] /
+//!   [`ModelStore::insert_frame`] hold `AESM` frames keyed by [`ModelId`];
+//! * **sidecar files** — [`ModelStore::add_sidecar_dir`] points at
+//!   directories of `<model-id-hex>.aesm` files
+//!   ([`ModelStore::save_sidecar`] writes them), looked up lazily on miss;
+//! * **embedded archive sections** — the `AESA` v2 model section is loaded
+//!   into the store by the archive entry points of [`crate::archive`].
+//!
+//! Every byte entering the store is verified: the frame must parse and the
+//! payload must hash to the id it is filed under, so a corrupted or renamed
+//! model file is rejected instead of silently decoding garbage.
+//! [`ModelStore::build`] turns a stored frame into a trained compressor for
+//! the frame's codec — the `ModelId → trained compressor` resolution the
+//! registry performs when a stream reports [`DecompressError::MissingModel`].
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use aesz_baselines::{AeA, AeB};
+use aesz_core::AeSz;
+use aesz_metrics::container::read_model_frame;
+use aesz_metrics::{CodecId, Compressor, DecompressError, EmbeddedModel, ModelId};
+use aesz_nn::serialize::{load_model, ModelError};
+
+/// Why a model file or frame could not enter the store.
+#[derive(Debug)]
+pub enum ModelStoreError {
+    /// Reading a sidecar file failed.
+    Io(std::io::Error),
+    /// The bytes are not a valid `AESM` frame.
+    Frame(DecompressError),
+    /// The file name promises a different id than the payload hashes to.
+    IdMismatch {
+        /// Id the file name (or caller) claimed.
+        claimed: ModelId,
+        /// Id the payload actually hashes to.
+        actual: ModelId,
+    },
+}
+
+impl From<std::io::Error> for ModelStoreError {
+    fn from(e: std::io::Error) -> Self {
+        ModelStoreError::Io(e)
+    }
+}
+
+impl From<DecompressError> for ModelStoreError {
+    fn from(e: DecompressError) -> Self {
+        ModelStoreError::Frame(e)
+    }
+}
+
+impl std::fmt::Display for ModelStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelStoreError::Io(e) => write!(f, "model store I/O failed: {e}"),
+            ModelStoreError::Frame(e) => write!(f, "invalid model frame: {e}"),
+            ModelStoreError::IdMismatch { claimed, actual } => write!(
+                f,
+                "model file claims id {claimed} but its payload hashes to {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelStoreError::Io(e) => Some(e),
+            ModelStoreError::Frame(e) => Some(e),
+            ModelStoreError::IdMismatch { .. } => None,
+        }
+    }
+}
+
+/// Content-addressed storage of serialized trained models (`AESM` frames),
+/// resolvable from memory or sidecar directories.
+#[derive(Default)]
+pub struct ModelStore {
+    models: HashMap<ModelId, EmbeddedModel>,
+    sidecar_dirs: Vec<PathBuf>,
+}
+
+impl ModelStore {
+    /// An empty store with no sidecar directories.
+    pub fn new() -> Self {
+        ModelStore::default()
+    }
+
+    /// Register a verified model, returning its id. Re-inserting the same
+    /// content is a no-op (content addressing makes it idempotent).
+    pub fn insert(&mut self, model: EmbeddedModel) -> ModelId {
+        let id = model.id;
+        self.models.insert(id, model);
+        id
+    }
+
+    /// Parse, verify and register a raw `AESM` frame.
+    pub fn insert_frame(&mut self, frame: &[u8]) -> Result<ModelId, ModelStoreError> {
+        let (model, _) = EmbeddedModel::from_frame(frame)?;
+        Ok(self.insert(model))
+    }
+
+    /// Load, verify and register a sidecar model file (any path — the file
+    /// name does not have to be the id).
+    pub fn insert_file(&mut self, path: &Path) -> Result<ModelId, ModelStoreError> {
+        let bytes = std::fs::read(path)?;
+        self.insert_frame(&bytes)
+    }
+
+    /// Add a directory that is searched for `<model-id-hex>.aesm` files when
+    /// an id misses the in-memory map. Directories are searched in the order
+    /// they were added; files are verified before use.
+    pub fn add_sidecar_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.sidecar_dirs.push(dir.into());
+    }
+
+    /// The canonical sidecar path of a model inside `dir`.
+    pub fn sidecar_path(dir: &Path, id: ModelId) -> PathBuf {
+        dir.join(format!("{id}.aesm"))
+    }
+
+    /// Write a model to its canonical sidecar path inside `dir`, returning
+    /// that path — the "ship" half of train → ship → resolve.
+    pub fn save_sidecar(dir: &Path, model: &EmbeddedModel) -> std::io::Result<PathBuf> {
+        let path = Self::sidecar_path(dir, model.id);
+        std::fs::write(&path, &model.frame)?;
+        Ok(path)
+    }
+
+    /// Ids currently resident in memory (sidecar files are not enumerated).
+    pub fn ids(&self) -> Vec<ModelId> {
+        let mut ids: Vec<ModelId> = self.models.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Non-caching lookup: the in-memory map first, then each sidecar
+    /// directory's `<id>.aesm`. Sidecar hits are verified (frame parse +
+    /// payload hash); a file whose content does not hash to its name is
+    /// ignored (a later directory may hold the real one). Returns an owned
+    /// copy so read-only holders (e.g. the archive decode path behind
+    /// `&Registry`) can resolve without mutating the store.
+    pub fn lookup(&self, id: ModelId) -> Option<EmbeddedModel> {
+        if let Some(m) = self.models.get(&id) {
+            return Some(m.clone());
+        }
+        for dir in &self.sidecar_dirs {
+            let path = Self::sidecar_path(dir, id);
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let Ok((model, _)) = EmbeddedModel::from_frame(&bytes) else {
+                continue;
+            };
+            if model.id == id {
+                return Some(model);
+            }
+        }
+        None
+    }
+
+    /// [`ModelStore::lookup`] that additionally caches sidecar hits in
+    /// memory, so repeated resolutions of the same id read the file once.
+    pub fn get(&mut self, id: ModelId) -> Option<&EmbeddedModel> {
+        if !self.models.contains_key(&id) {
+            if let Some(model) = self.lookup(id) {
+                self.models.insert(id, model);
+            }
+        }
+        self.models.get(&id)
+    }
+
+    /// Resolve `id` into a **trained compressor** for `codec` — the lazy
+    /// `ModelId → trained compressor` step of the registry. Returns
+    /// [`DecompressError::MissingModel`] when the id cannot be found
+    /// anywhere (or is filed under a different codec), and a parse-level
+    /// error when the stored payload is corrupt or geometrically impossible
+    /// for its codec.
+    pub fn build(
+        &mut self,
+        codec: CodecId,
+        id: ModelId,
+    ) -> Result<Box<dyn Compressor>, DecompressError> {
+        let missing = DecompressError::MissingModel {
+            codec,
+            model_id: id,
+        };
+        let model = match self.get(id) {
+            Some(m) if m.codec() == codec => m.clone(),
+            _ => return Err(missing),
+        };
+        build_compressor(&model)
+    }
+}
+
+/// Turn a verified model frame into a trained compressor instance for the
+/// codec the frame names. Fails on codecs that carry no model and on
+/// payloads the codec's loader rejects.
+pub fn build_compressor(model: &EmbeddedModel) -> Result<Box<dyn Compressor>, DecompressError> {
+    let (codec, payload) = read_model_frame(&model.frame)?;
+    match codec {
+        CodecId::AeSz => {
+            let net = load_model(payload).map_err(model_error_to_decompress)?;
+            Ok(Box::new(AeSz::from_model(net)))
+        }
+        CodecId::AeA => {
+            let ae = AeA::from_model_bytes(payload).map_err(model_error_to_decompress)?;
+            Ok(Box::new(ae))
+        }
+        CodecId::AeB => {
+            let ae = AeB::from_model_bytes(payload).map_err(model_error_to_decompress)?;
+            Ok(Box::new(ae))
+        }
+        _ => Err(DecompressError::Unsupported(
+            "model frame names a codec that takes no model",
+        )),
+    }
+}
+
+fn model_error_to_decompress(e: ModelError) -> DecompressError {
+    match e {
+        ModelError::BadMagic => DecompressError::InvalidHeader("model payload magic"),
+        ModelError::Truncated => DecompressError::Truncated("model payload"),
+        ModelError::InvalidConfig(what) => DecompressError::InvalidHeader(what),
+        ModelError::ParamMismatch { .. } => {
+            DecompressError::Inconsistent("model parameter count mismatch")
+        }
+        ModelError::TrailingBytes => {
+            DecompressError::Inconsistent("trailing bytes after model parameters")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aesz_core::training::{train_swae_for_field, TrainingOptions};
+    use aesz_datagen::Application;
+    use aesz_metrics::ErrorBound;
+    use aesz_nn::serialize::save_model;
+    use aesz_tensor::Dims;
+
+    fn tiny_trained_aesz() -> AeSz {
+        let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 1);
+        let opts = TrainingOptions {
+            block_size: 8,
+            latent_dim: 4,
+            channels: vec![4],
+            epochs: 1,
+            max_blocks: 6,
+            seed: 9,
+            ..TrainingOptions::default_for_rank(2)
+        };
+        AeSz::from_model(train_swae_for_field(std::slice::from_ref(&field), &opts))
+    }
+
+    #[test]
+    fn memory_and_sidecar_resolution_build_the_same_compressor() {
+        let aesz = tiny_trained_aesz();
+        let model = Compressor::embedded_model(&aesz).expect("AE-SZ always has a model");
+        assert_eq!(model.id, aesz.model_id());
+
+        // In-memory path.
+        let mut store = ModelStore::new();
+        assert!(store.get(model.id).is_none());
+        let id = store.insert_frame(&model.frame).expect("valid frame");
+        assert_eq!(id, model.id);
+        assert_eq!(store.ids(), vec![id]);
+        let built = store.build(CodecId::AeSz, id).expect("resolves");
+        assert_eq!(built.codec_id(), CodecId::AeSz);
+
+        // Sidecar path, from a store that never saw the frame in memory.
+        let dir = std::env::temp_dir().join(format!("aesz_store_test_{id}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = ModelStore::save_sidecar(&dir, &model).unwrap();
+        assert_eq!(path, ModelStore::sidecar_path(&dir, id));
+        let mut fresh = ModelStore::new();
+        fresh.add_sidecar_dir(&dir);
+        let built2 = fresh.build(CodecId::AeSz, id).expect("sidecar resolves");
+        assert_eq!(built2.codec_id(), CodecId::AeSz);
+
+        // Both builds decode a stream from the original trainer identically.
+        let field = Application::CesmCldhgh.generate(Dims::d2(24, 24), 2);
+        let mut aesz = aesz;
+        let bytes = aesz.compress(&field, ErrorBound::rel(1e-2)).unwrap();
+        let mut built = built;
+        let mut built2 = built2;
+        let a = built.decompress(&bytes).expect("memory-built decodes");
+        let b = built2.decompress(&bytes).expect("sidecar-built decodes");
+        assert_eq!(a.as_slice(), b.as_slice());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_ids_and_corrupt_files_are_rejected() {
+        let mut store = ModelStore::new();
+        let id = ModelId::of(b"never stored");
+        assert!(matches!(
+            store.build(CodecId::AeSz, id),
+            Err(DecompressError::MissingModel { model_id, .. }) if model_id == id
+        ));
+
+        // A sidecar whose bytes do not hash to its file name is ignored.
+        let dir = std::env::temp_dir().join("aesz_store_test_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = EmbeddedModel::new(CodecId::AeA, b"not really a model");
+        let mut frame = model.frame.clone();
+        let last = frame.len() - 1;
+        frame[last] ^= 1; // breaks the hash
+        std::fs::write(ModelStore::sidecar_path(&dir, model.id), &frame).unwrap();
+        let mut store = ModelStore::new();
+        store.add_sidecar_dir(&dir);
+        assert!(store.get(model.id).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Garbage frames cannot enter the store at all.
+        assert!(matches!(
+            ModelStore::new().insert_frame(b"garbage"),
+            Err(ModelStoreError::Frame(_))
+        ));
+
+        // A structurally valid frame whose payload the codec rejects fails
+        // at build time, not silently.
+        let bogus = EmbeddedModel::new(CodecId::AeA, b"not really a model");
+        let mut store = ModelStore::new();
+        let id = store.insert(bogus);
+        assert!(store.build(CodecId::AeA, id).is_err());
+
+        // Model frames for model-free codecs are refused.
+        let sz2 = EmbeddedModel::new(CodecId::Sz2, b"whatever");
+        assert!(matches!(
+            build_compressor(&sz2),
+            Err(DecompressError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn geometry_is_validated_per_codec_at_build_time() {
+        // A perfectly valid conv model, but framed as AE-B with the wrong
+        // geometry: build must fail rather than construct a broken AE-B.
+        let aesz = tiny_trained_aesz();
+        let wrong = EmbeddedModel::new(CodecId::AeB, &save_model(aesz.model()));
+        assert!(build_compressor(&wrong).is_err());
+    }
+}

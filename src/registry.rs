@@ -1,4 +1,4 @@
-//! Codec registry and cross-codec dispatch.
+//! Codec registry, cross-codec dispatch, and lazy trained-model resolution.
 //!
 //! Every stream produced through the [`Compressor`] trait carries the
 //! self-describing container frame of [`aesz_metrics::container`], so bytes
@@ -8,19 +8,27 @@
 //! untrusted traffic.
 //!
 //! The learned codecs (AE-SZ, AE-A, AE-B) need the *same trained model* the
-//! encoder used to reconstruct meaningfully; the default registry holds
-//! fresh untrained instances, which decode self-produced streams consistently
-//! but report [`DecompressError::Unsupported`] (AE-A/AE-B) or decode with
-//! untrained weights (AE-SZ streams carrying latent payloads are rejected on
-//! geometry mismatch, accepted otherwise). Swap in trained instances with
-//! [`Registry::register`] — the latest registration per codec id wins.
+//! encoder used. Their streams carry that model's content-addressed
+//! [`ModelId`](aesz_metrics::ModelId), and the registry is backed by a
+//! [`ModelStore`]: when a dispatched codec rejects a stream with
+//! [`DecompressError::MissingModel`], [`Registry::decompress_any`] resolves
+//! the id through the store (in-memory registrations, sidecar `.aesm`
+//! files), registers the freshly built trained instance, and retries once —
+//! so `ModelId → trained compressor` happens lazily, on first use. Streams
+//! whose model cannot be resolved fail with that same dedicated
+//! [`DecompressError::MissingModel`]; every other codec failure is wrapped
+//! in [`DecompressError::CodecFailed`] naming the codec that rejected the
+//! bytes.
 
+use crate::model_store::ModelStore;
 use aesz_metrics::{CodecId, Compressor, DecompressError};
 use aesz_tensor::Field;
 
-/// One decoder/encoder per codec id, dispatchable by container frame.
+/// One decoder/encoder per codec id, dispatchable by container frame, backed
+/// by a [`ModelStore`] for lazy trained-model resolution.
 pub struct Registry {
     entries: Vec<Box<dyn Compressor>>,
+    store: ModelStore,
 }
 
 impl Registry {
@@ -28,15 +36,24 @@ impl Registry {
     pub fn empty() -> Self {
         Registry {
             entries: Vec::new(),
+            store: ModelStore::new(),
         }
     }
 
     /// A registry holding all seven compressors of the paper's evaluation.
     ///
-    /// The five traditional codecs are fully functional. The learned codecs
-    /// are fresh (untrained, deterministic-seed) instances — replace them
-    /// with trained ones via [`Registry::register`] before decoding foreign
-    /// AE streams.
+    /// The five traditional codecs are fully functional immediately. The
+    /// learned codecs (AE-SZ, AE-A, AE-B) start as fresh untrained
+    /// instances: they encode/decode their *own* streams consistently, but a
+    /// foreign learned stream names its trained model by id and is refused
+    /// with [`DecompressError::MissingModel`] until that model is available
+    /// — registered directly ([`Registry::register`] with a trained
+    /// instance), added to the backing [`ModelStore`]
+    /// ([`Registry::model_store_mut`], sidecar `.aesm` files), or embedded
+    /// in the archive being decoded ([`crate::archive::decompress`]).
+    /// Resolution is lazy: `decompress_any` builds and registers the trained
+    /// instance on first use. Pre-model (id-less) AE-SZ streams fall back to
+    /// geometry checks and decode with whatever model is registered.
     pub fn with_defaults() -> Self {
         use aesz_baselines::{AeA, AeB, Sz2, SzAuto, SzInterp, Zfp};
         use aesz_core::{AeSz, AeSzConfig};
@@ -104,17 +121,67 @@ impl Registry {
         self.entries.iter_mut()
     }
 
+    /// The backing model store.
+    pub fn model_store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Mutable access to the backing model store — where trained models are
+    /// inserted ([`ModelStore::insert_frame`]) and sidecar directories
+    /// attached ([`ModelStore::add_sidecar_dir`]) so `decompress_any` can
+    /// resolve foreign learned streams.
+    pub fn model_store_mut(&mut self) -> &mut ModelStore {
+        &mut self.store
+    }
+
     /// Decode a framed stream from *any* registered codec, dispatching by
     /// the codec id in the container frame. Returns the reconstruction and
     /// which codec produced it; fails (never panics) on malformed frames,
     /// unknown or unregistered codecs, and hostile payloads.
+    ///
+    /// # Errors
+    ///
+    /// Frame-level problems ([`DecompressError::BadMagic`],
+    /// [`DecompressError::UnknownCodec`], …) are returned as-is. When the
+    /// dispatched codec reports [`DecompressError::MissingModel`], the model
+    /// id is resolved through the backing [`ModelStore`]; on success the
+    /// trained instance is registered (shadowing the previous entry for that
+    /// codec) and the decode retried, on failure the `MissingModel` error
+    /// propagates unchanged. Any other codec failure is wrapped in
+    /// [`DecompressError::CodecFailed`], which names the codec id that
+    /// rejected the bytes.
     pub fn decompress_any(&mut self, bytes: &[u8]) -> Result<(Field, CodecId), DecompressError> {
         let id = aesz_metrics::container::peek_codec(bytes)?;
         let codec = self
             .get_mut(id)
             .ok_or(DecompressError::UnknownCodec(id as u8))?;
-        let field = codec.decompress(bytes)?;
-        Ok((field, id))
+        let wrap = |error: DecompressError| DecompressError::CodecFailed {
+            codec: id,
+            error: Box::new(error),
+        };
+        match codec.decompress(bytes) {
+            Ok(field) => Ok((field, id)),
+            Err(DecompressError::MissingModel { codec, model_id }) => {
+                // Lazy resolution: the stream told us exactly which trained
+                // model it needs; build it from the store and retry once.
+                let built = self.store.build(codec, model_id)?;
+                // Registering the resolved instance evicts the current one —
+                // which may be a directly-registered trained model the store
+                // has never seen. Salvage its serialized form first, so
+                // earlier streams stay resolvable instead of becoming
+                // permanently undecodable in this process.
+                if let Some(evicted) = self.get(id).and_then(|c| c.embedded_model()) {
+                    self.store.insert(evicted);
+                }
+                self.register(built);
+                self.get_mut(id)
+                    .expect("just registered")
+                    .decompress(bytes)
+                    .map(|field| (field, id))
+                    .map_err(wrap)
+            }
+            Err(e) => Err(wrap(e)),
+        }
     }
 }
 
@@ -205,5 +272,123 @@ mod tests {
         registry.register(Box::new(aesz_baselines::Sz2 { block_size: 8 }));
         registry.register(Box::new(aesz_baselines::Sz2 { block_size: 4 }));
         assert_eq!(registry.codec_ids(), vec![CodecId::Sz2]);
+    }
+
+    #[test]
+    fn codec_failures_name_the_failing_codec() {
+        let field = Application::CesmCldhgh.generate(Dims::d2(16, 16), 4);
+        let mut registry = Registry::with_defaults();
+        let bytes = registry
+            .get_mut(CodecId::Sz2)
+            .unwrap()
+            .compress(&field, ErrorBound::rel(1e-2))
+            .unwrap();
+        // Truncate the payload but keep the frame intact by rewriting the
+        // declared length, so the failure comes from SZ2's own parser.
+        let cut = bytes.len() - 10;
+        let mut evil = bytes[..cut].to_vec();
+        let payload_len = (cut - aesz_metrics::container::FRAME_LEN) as u64;
+        evil[6..14].copy_from_slice(&payload_len.to_le_bytes());
+        match registry.decompress_any(&evil) {
+            Err(DecompressError::CodecFailed { codec, error }) => {
+                assert_eq!(codec, CodecId::Sz2);
+                assert!(!matches!(*error, DecompressError::CodecFailed { .. }));
+            }
+            other => panic!("expected CodecFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lazy_resolution_salvages_the_evicted_registered_model() {
+        use aesz_core::training::{train_swae_for_field, TrainingOptions};
+        use aesz_core::AeSz;
+
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 21);
+        let train = |seed: u64| {
+            let opts = TrainingOptions {
+                block_size: 8,
+                latent_dim: 4,
+                channels: vec![4],
+                epochs: 1,
+                max_blocks: 8,
+                seed,
+                ..TrainingOptions::default_for_rank(2)
+            };
+            let mut t = AeSz::from_model(train_swae_for_field(std::slice::from_ref(&field), &opts));
+            t.set_policy(aesz_core::PredictorPolicy::AeOnly);
+            t
+        };
+        let mut a = train(1);
+        let mut b = train(2);
+        let stream_a = a.compress(&field, ErrorBound::rel(1e-2)).unwrap();
+        let stream_b = b.compress(&field, ErrorBound::rel(1e-2)).unwrap();
+        let ref_a = a.decompress(&stream_a).unwrap();
+
+        // Model A is *directly registered* (never inserted into the store);
+        // model B only exists in the store.
+        let mut registry = Registry::with_defaults();
+        registry.register(Box::new(a));
+        registry
+            .model_store_mut()
+            .insert_frame(&Compressor::embedded_model(&b).unwrap().frame)
+            .unwrap();
+        let (got_a, _) = registry.decompress_any(&stream_a).expect("registered A");
+        assert_eq!(got_a.as_slice(), ref_a.as_slice());
+        // Resolving B registers it, evicting A — whose model must be
+        // salvaged into the store so stream A stays decodable.
+        registry.decompress_any(&stream_b).expect("resolved B");
+        let (again_a, _) = registry
+            .decompress_any(&stream_a)
+            .expect("A must survive B's resolution");
+        assert_eq!(again_a.as_slice(), ref_a.as_slice());
+    }
+
+    #[test]
+    fn missing_models_resolve_lazily_from_the_store() {
+        use aesz_core::training::{train_swae_for_field, TrainingOptions};
+        use aesz_core::AeSz;
+
+        let field = Application::CesmCldhgh.generate(Dims::d2(32, 32), 8);
+        let opts = TrainingOptions {
+            block_size: 8,
+            latent_dim: 4,
+            channels: vec![4],
+            epochs: 2,
+            max_blocks: 16,
+            seed: 14,
+            ..TrainingOptions::default_for_rank(2)
+        };
+        let mut trained =
+            AeSz::from_model(train_swae_for_field(std::slice::from_ref(&field), &opts));
+        // Force every block through the autoencoder so the stream is
+        // guaranteed to need the model (Adaptive could route everything to
+        // Lorenzo on an easy field and dodge the resolution path).
+        trained.set_policy(aesz_core::PredictorPolicy::AeOnly);
+        let bytes = trained.compress(&field, ErrorBound::rel(1e-2)).unwrap();
+        assert_eq!(trained.last_report().ae_blocks, 16, "all blocks AE-coded");
+        let reference = trained.decompress(&bytes).unwrap();
+        let model = Compressor::embedded_model(&trained).expect("AE-SZ carries its model");
+
+        // A fresh default registry that never saw the trainer refuses with
+        // the dedicated missing-model error…
+        let mut fresh = Registry::with_defaults();
+        assert!(matches!(
+            fresh.decompress_any(&bytes),
+            Err(DecompressError::MissingModel { codec: CodecId::AeSz, model_id })
+                if model_id == model.id
+        ));
+        // …until the model enters the store, after which the same call
+        // resolves it lazily and decodes bit-identically.
+        fresh
+            .model_store_mut()
+            .insert_frame(&model.frame)
+            .expect("valid frame");
+        let (recon, id) = fresh.decompress_any(&bytes).expect("resolved");
+        assert_eq!(id, CodecId::AeSz);
+        assert_eq!(recon.as_slice(), reference.as_slice());
+        // The resolved instance is now registered: a second decode needs no
+        // store lookup and still succeeds.
+        let (again, _) = fresh.decompress_any(&bytes).expect("cached");
+        assert_eq!(again.as_slice(), reference.as_slice());
     }
 }

@@ -1,0 +1,266 @@
+//! Cross-process model lifecycle: compress with a trained model in one
+//! registry, decode in a **fresh** `Registry::with_defaults()` that never
+//! saw the trainer — given only the archive bytes (embedded model), only a
+//! sidecar model file, or nothing (the dedicated missing-model failure).
+//!
+//! "Fresh registry" is the in-process stand-in for a separate process: it
+//! holds only what a new process would (default untrained codecs), so
+//! everything the decode needs must travel through bytes on the wire or on
+//! disk. The CI `archive-smoke` job runs the same cycle across real
+//! processes through the `aesz` CLI.
+
+use aesz_repro::archive::{
+    compress_field_embedding, compress_field_with, decompress, decompress_chunk, ArchiveOptions,
+    ArchiveReader,
+};
+use aesz_repro::baselines::AeA;
+use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
+use aesz_repro::core::AeSz;
+use aesz_repro::metrics::archive::ArchiveReadError;
+use aesz_repro::model_store::ModelStore;
+use aesz_repro::{
+    CodecId, Compressor, DecompressError, ErrorBound, Field, PredictorPolicy, Registry,
+};
+
+mod common;
+
+/// A trained 2D AE-SZ forced to AE-predict every block, so its streams are
+/// guaranteed to carry latent payloads (and therefore to need the model).
+fn trained_aesz(field: &Field) -> AeSz {
+    let opts = TrainingOptions {
+        block_size: 16,
+        latent_dim: 8,
+        channels: vec![4, 8],
+        epochs: 2,
+        max_blocks: 48,
+        seed: 31,
+        ..TrainingOptions::default_for_rank(2)
+    };
+    let mut aesz = AeSz::from_model(train_swae_for_field(std::slice::from_ref(field), &opts));
+    aesz.set_policy(PredictorPolicy::AeOnly);
+    aesz
+}
+
+fn trainer_registry(field: &Field) -> (Registry, AeSz) {
+    let aesz = trained_aesz(field);
+    let mut registry = Registry::with_defaults();
+    registry.register(Box::new(aesz.clone()));
+    (registry, aesz)
+}
+
+const OPTS: ArchiveOptions = ArchiveOptions {
+    chunk: 16,
+    window: 3,
+};
+
+#[test]
+fn embedded_model_archive_decodes_in_a_fresh_registry_bit_identically() {
+    let field = common::field_2d();
+    let (registry, _) = trainer_registry(&field);
+    let bound = ErrorBound::rel(1e-2);
+
+    let (bytes, stats) =
+        compress_field_embedding(&registry, &field, bound, &OPTS, |_| CodecId::AeSz)
+            .expect("embedding write");
+    assert!(stats.model_bytes > 0, "the model must actually be embedded");
+
+    // The trainer's own decode is the reference.
+    let (reference, _) = decompress(&registry, &bytes, 3).expect("trainer decode");
+
+    // A fresh registry that never saw the trainer decodes the archive from
+    // its bytes alone, bit-identically.
+    let fresh = Registry::with_defaults();
+    let (recon, codecs) = decompress(&fresh, &bytes, 3).expect("fresh decode via embedded model");
+    assert!(codecs.iter().all(|&c| c == CodecId::AeSz));
+    assert_eq!(recon.as_slice(), reference.as_slice());
+
+    // Random access through the fresh registry agrees chunk by chunk.
+    let reader = ArchiveReader::open(&bytes).unwrap();
+    assert_eq!(reader.models().len(), 1);
+    for i in 0..reader.chunk_count() {
+        let (spec, chunk) = decompress_chunk(&fresh, &bytes, i).expect("fresh random access");
+        assert_eq!(
+            chunk.as_slice(),
+            reference.read_block_valid(&spec).as_slice(),
+            "chunk {i} diverged"
+        );
+    }
+
+    // The bound holds through the whole lifecycle.
+    let abs = bound.resolve(&field);
+    for (a, b) in field.as_slice().iter().zip(recon.as_slice()) {
+        assert!(((a - b) as f64).abs() <= abs * 1.0001);
+    }
+}
+
+#[test]
+fn sidecar_model_file_decodes_in_a_fresh_registry() {
+    let field = common::field_2d();
+    let (registry, aesz) = trainer_registry(&field);
+    let bound = ErrorBound::rel(1e-2);
+    let model = Compressor::embedded_model(&aesz).expect("trained");
+
+    // A *plain* (v1) archive: no embedded model, the model travels as a
+    // sidecar file instead.
+    let (bytes, stats) = compress_field_with(&registry, &field, bound, &OPTS, |_| CodecId::AeSz)
+        .expect("plain write");
+    assert_eq!(stats.model_bytes, 0);
+    let (reference, _) = decompress(&registry, &bytes, 3).expect("trainer decode");
+
+    let dir = std::env::temp_dir().join(format!("aesz_lifecycle_{}", model.id));
+    std::fs::create_dir_all(&dir).unwrap();
+    ModelStore::save_sidecar(&dir, &model).unwrap();
+
+    // Fresh registry + sidecar directory → decodes bit-identically.
+    let mut fresh = Registry::with_defaults();
+    fresh.model_store_mut().add_sidecar_dir(&dir);
+    let (recon, _) = decompress(&fresh, &bytes, 3).expect("fresh decode via sidecar");
+    assert_eq!(recon.as_slice(), reference.as_slice());
+
+    // The single-frame (non-archive) path resolves through the same store:
+    // compress one framed stream, decode it with another fresh registry.
+    // (A whole-field frame is its own reconstruction — chunked archives
+    // compress each chunk independently — so the reference here is the
+    // trainer's own decode of that frame.)
+    let mut enc = aesz;
+    let frame = enc.compress(&field, bound).expect("frame compress");
+    let frame_reference = enc.decompress(&frame).expect("trainer frame decode");
+    let mut fresh2 = Registry::with_defaults();
+    fresh2.model_store_mut().add_sidecar_dir(&dir);
+    let (recon2, id) = fresh2
+        .decompress_any(&frame)
+        .expect("frame decode via sidecar");
+    assert_eq!(id, CodecId::AeSz);
+    assert_eq!(recon2.as_slice(), frame_reference.as_slice());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unresolvable_models_fail_with_the_dedicated_missing_model_error() {
+    let field = common::field_2d();
+    let (registry, mut aesz) = trainer_registry(&field);
+    let bound = ErrorBound::rel(1e-2);
+    let expect_id = aesz.model_id();
+
+    // Frame path: the fresh registry names the missing model — and the
+    // failure is MissingModel, not a geometry mismatch (the acceptance
+    // criterion), even though the default model's geometry also differs.
+    let frame = aesz.compress(&field, bound).unwrap();
+    let mut fresh = Registry::with_defaults();
+    match fresh.decompress_any(&frame) {
+        Err(DecompressError::MissingModel { codec, model_id }) => {
+            assert_eq!(codec, CodecId::AeSz);
+            assert_eq!(model_id, expect_id);
+        }
+        other => panic!("expected MissingModel, got {other:?}"),
+    }
+
+    // Archive path: a v1 archive with no embedded model and no sidecar
+    // fails per-chunk with the same dedicated error.
+    let (bytes, _) = compress_field_with(&registry, &field, bound, &OPTS, |_| CodecId::AeSz)
+        .expect("plain write");
+    let fresh = Registry::with_defaults();
+    match decompress(&fresh, &bytes, 3) {
+        Err(ArchiveReadError::Chunk { error, .. }) => {
+            assert!(
+                matches!(
+                    error,
+                    DecompressError::MissingModel { codec: CodecId::AeSz, model_id }
+                        if model_id == expect_id
+                ),
+                "expected MissingModel, got {error:?}"
+            );
+        }
+        other => panic!("expected a chunk MissingModel failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_models_of_one_codec_in_one_archive_both_resolve() {
+    use aesz_repro::archive::write_field_archive_embedding;
+    use aesz_repro::metrics::CompressError;
+
+    // Two differently trained AE-SZ instances (different seeds → different
+    // content-addressed ids) encode alternating chunks of one archive, and
+    // both models are embedded. Decoding must dispatch per chunk by the
+    // model id stamped in each stream — per-codec resolution would feed half
+    // the chunks the wrong model.
+    let field = common::field_2d();
+    let a = trained_aesz(&field);
+    let b = {
+        let opts = TrainingOptions {
+            block_size: 16,
+            latent_dim: 8,
+            channels: vec![4, 8],
+            epochs: 2,
+            max_blocks: 48,
+            seed: 77, // different weights, same geometry
+            ..TrainingOptions::default_for_rank(2)
+        };
+        let mut b = AeSz::from_model(train_swae_for_field(std::slice::from_ref(&field), &opts));
+        b.set_policy(PredictorPolicy::AeOnly);
+        b
+    };
+    assert_ne!(a.model_id(), b.model_id());
+
+    let bound = ErrorBound::rel(1e-2);
+    let (bytes, stats) = write_field_archive_embedding(
+        &field,
+        bound,
+        &OPTS,
+        &mut |spec: &aesz_repro::tensor::BlockSpec| {
+            let pick: &AeSz = if spec.index.is_multiple_of(2) { &a } else { &b };
+            Ok::<_, CompressError>(Box::new(pick.clone()) as Box<dyn Compressor>)
+        },
+    )
+    .expect("two-model embedding write");
+    let reader = ArchiveReader::open(&bytes).unwrap();
+    assert_eq!(reader.models().len(), 2, "both models embedded once each");
+    assert!(stats.model_bytes > 0);
+
+    // A fresh registry decodes the whole archive and every chunk by random
+    // access, purely from the archive bytes.
+    let fresh = Registry::with_defaults();
+    let (recon, _) = decompress(&fresh, &bytes, 3).expect("fresh two-model decode");
+    let abs = bound.resolve(&field);
+    for (x, y) in field.as_slice().iter().zip(recon.as_slice()) {
+        assert!(((x - y) as f64).abs() <= abs * 1.0001);
+    }
+    for i in 0..reader.chunk_count() {
+        let (spec, chunk) = decompress_chunk(&fresh, &bytes, i).expect("random access");
+        assert_eq!(
+            chunk.as_slice(),
+            recon.read_block_valid(&spec).as_slice(),
+            "chunk {i} diverged from the full decode"
+        );
+    }
+}
+
+#[test]
+fn ae_a_streams_travel_through_sidecars_too() {
+    let field = common::field_2d();
+    let mut ae = AeA::new(3);
+    ae.train(std::slice::from_ref(&field), 1, 4);
+    let model = Compressor::embedded_model(&ae).expect("trained");
+    let stream = ae.compress(&field, ErrorBound::rel(1e-2)).unwrap();
+    let reference = ae.decompress(&stream).unwrap();
+
+    // Fresh registry: dedicated failure first…
+    let mut fresh = Registry::with_defaults();
+    assert!(matches!(
+        fresh.decompress_any(&stream),
+        Err(DecompressError::MissingModel {
+            codec: CodecId::AeA,
+            ..
+        })
+    ));
+    // …then resolution once the model enters the store.
+    fresh
+        .model_store_mut()
+        .insert_frame(&model.frame)
+        .expect("valid frame");
+    let (recon, id) = fresh.decompress_any(&stream).expect("resolved");
+    assert_eq!(id, CodecId::AeA);
+    assert_eq!(recon.as_slice(), reference.as_slice());
+}

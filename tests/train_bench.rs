@@ -1,0 +1,84 @@
+//! Release-mode training benchmark: measures the paper's offline stage
+//! (SWAE training throughput) and what the trained model buys at
+//! compression time (trained vs. untrained compression ratio under the
+//! AE-only policy, plus how often the adaptive policy actually picks the
+//! AE), and writes `BENCH_train.json` (CI's bench artifact).
+//!
+//! Timings only mean something under the optimized profile, so the test is
+//! ignored in debug builds (CI runs it via `cargo test --release`).
+
+use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
+use aesz_repro::core::AeSz;
+use aesz_repro::datagen::Application;
+use aesz_repro::{Compressor, Dims, ErrorBound, PredictorPolicy};
+use std::time::Instant;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "training throughput needs --release")]
+fn training_throughput_and_trained_vs_untrained_ratio_are_recorded() {
+    let dims = Dims::d2(256, 256);
+    let field = Application::CesmCldhgh.generate(dims, 3);
+    let bound = ErrorBound::rel(1e-3);
+    let opts = TrainingOptions::default_for_rank(2);
+
+    // Offline stage: train the SWAE and time it.
+    let t0 = Instant::now();
+    let model = train_swae_for_field(std::slice::from_ref(&field), &opts);
+    let train_s = t0.elapsed().as_secs_f64();
+    let blocks = opts.max_blocks.min(field.block_count(opts.block_size));
+    let block_bytes = blocks * opts.block_size * opts.block_size * 4 * opts.epochs;
+
+    let mut trained = AeSz::from_model(model);
+    let model_bytes = Compressor::embedded_model(&trained)
+        .expect("trained")
+        .frame
+        .len();
+
+    // AE-only isolates the model's prediction quality in the ratio; the
+    // untrained comparison is a freshly initialised twin of the same
+    // architecture (same geometry, untrained weights).
+    let ratio = |bytes: usize| (field.len() * 4) as f64 / bytes as f64;
+    trained.set_policy(PredictorPolicy::AeOnly);
+    let (stream, _) = trained
+        .compress_with_report(&field, bound)
+        .expect("compress");
+    let ratio_trained_aeonly = ratio(stream.len());
+    let twin_cfg = trained.model().config().clone();
+    let mut twin = AeSz::from_model(aesz_repro::nn::models::conv_ae::ConvAutoencoder::new(
+        twin_cfg,
+    ));
+    twin.set_policy(PredictorPolicy::AeOnly);
+    let (stream, _) = twin.compress_with_report(&field, bound).expect("compress");
+    let ratio_untrained_aeonly = ratio(stream.len());
+
+    // Adaptive: how often the trained AE beats (mean-)Lorenzo, and the
+    // resulting ratio.
+    trained.set_policy(PredictorPolicy::Adaptive);
+    let (stream, report) = trained
+        .compress_with_report(&field, bound)
+        .expect("compress");
+    let ratio_adaptive = ratio(stream.len());
+
+    assert!(
+        ratio_trained_aeonly >= ratio_untrained_aeonly * 0.95,
+        "training should not hurt the AE-only ratio: {ratio_untrained_aeonly:.2} -> \
+         {ratio_trained_aeonly:.2}"
+    );
+
+    let json = format!(
+        "{{\n  \"field\": \"cesm-cldhgh {dims}\",\n  \"bound\": \"{bound}\",\n  \
+         \"train\": {{\n    \"epochs\": {}, \"blocks\": {blocks}, \"block_size\": {},\n    \
+         \"seconds\": {train_s:.3}, \"train_mbps\": {:.3},\n    \"model_file_bytes\": \
+         {model_bytes}\n  }},\n  \"compress\": {{\n    \"ratio_untrained_aeonly\": \
+         {ratio_untrained_aeonly:.3},\n    \"ratio_trained_aeonly\": \
+         {ratio_trained_aeonly:.3},\n    \"ratio_trained_adaptive\": {ratio_adaptive:.3},\n    \
+         \"adaptive_ae_fraction\": {:.4}\n  }}\n}}\n",
+        opts.epochs,
+        opts.block_size,
+        block_bytes as f64 / 1e6 / train_s,
+        report.ae_fraction(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_train.json");
+    std::fs::write(path, &json).expect("write BENCH_train.json");
+    println!("wrote {path}:\n{json}");
+}
