@@ -14,6 +14,8 @@
 //!                 --model field.aesm --embed-model \
 //!                 --chunk 64 --window 8 --output field.aesa [--verify]
 //! aesz decompress --input field.aesa --output recon.f32 [--model field.aesm]
+//! aesz append     --archive field.aesa --input more.f32 --dims 128x512 \
+//!                 --codec zfp --abs 1e-3
 //! aesz info       --input field.aesa
 //! aesz compare    --a x.f32 --b y.f32 --dims 512x512 [--max-abs 1e-3]
 //! ```
@@ -24,14 +26,35 @@
 //! inline (`--train`), and embed the model bytes into the archive itself
 //! (`--embed-model`) so `decompress` in a fresh process needs nothing but
 //! the archive.
+//!
+//! # Piped streaming
+//!
+//! `compress` and `decompress` accept `-` for `--input` / `--output` and
+//! then run truly streaming: stdin is consumed band by band (one chunk-row
+//! of the field at a time), stdout receives the inline (unindexed) archive
+//! layout that needs no seeking, and resident memory stays bounded by one
+//! band plus one window of chunks — never the field:
+//!
+//! ```text
+//! aesz gen --app cesm --dims 2048x2048 --output - \
+//!   | aesz compress --input - --dims 2048x2048 --codec zfp --abs 1e-3 --output - \
+//!   | aesz decompress --input - --output recon.f32
+//! ```
+//!
+//! Piped compression requires `--abs` (a pipe cannot be re-scanned for the
+//! value range a `--rel` bound resolves against), and `--embed-model`
+//! requires a seekable output. `append` extends an existing version-3
+//! archive in place along its slowest axis without rewriting existing
+//! payload bytes (write it with `--reserve` to leave index capacity, or
+//! pipe through `compress --output -` for the capacity-free inline layout).
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::time::Instant;
 
 use aesz_repro::archive::{
-    write_archive, write_archive_embedding, ArchiveDecoders, ArchiveOptions, ArchiveReader,
-    ChunkSink, ChunkSource,
+    write_archive, write_archive_embedding, write_archive_stream, ArchiveAppender, ArchiveDecoders,
+    ArchiveOptions, ArchiveReader, ChunkSink, ChunkSource,
 };
 use aesz_repro::baselines::{AeA, AeB};
 use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
@@ -39,18 +62,24 @@ use aesz_repro::core::AeSz;
 use aesz_repro::datagen::Application;
 use aesz_repro::model_store::build_compressor;
 use aesz_repro::tensor::BlockSpec;
-use aesz_repro::{CodecId, Compressor, Dims, EmbeddedModel, ErrorBound, Field, Registry};
+use aesz_repro::{
+    CodecId, Compressor, Dims, EmbeddedModel, ErrorBound, Field, Registry, StreamFieldDecoder,
+    StreamOutput,
+};
 
 const USAGE: &str = "usage:
-  aesz gen        --app NAME --dims DIMS --output FILE [--seed N]
+  aesz gen        --app NAME --dims DIMS --output FILE|- [--seed N]
   aesz train      --input FILE | --app NAME  --dims DIMS --output FILE
                   [--codec aesz|aea|aeb] [--epochs N] [--block N] [--latent N]
                   [--channels 8,16] [--max-blocks N] [--train-seed N] [--seed N]
-  aesz compress   --input FILE --dims DIMS --codec NAME --rel E | --abs E
-                  --output FILE [--chunk N] [--window N] [--verify]
-                  [--model FILE] [--train] [--embed-model] [--epochs N]
-  aesz decompress --input FILE --output FILE [--window N] [--model FILE]
+  aesz compress   --input FILE|- --dims DIMS --codec NAME --rel E | --abs E
+                  --output FILE|- [--chunk N] [--window N] [--reserve N]
+                  [--verify] [--model FILE] [--train] [--embed-model]
+                  [--epochs N]
+  aesz decompress --input FILE|- --output FILE|- [--window N] [--model FILE]
                   [--verify]
+  aesz append     --archive FILE --input FILE|- --dims DIMS --codec NAME
+                  --abs E [--window N] [--model FILE] [--embed-model]
   aesz info       --input FILE
   aesz compare    --a FILE --b FILE --dims DIMS [--max-abs E]
 
@@ -61,7 +90,20 @@ load it with --model, or train inline with --train. `--embed-model` ships
 the model inside the archive; `decompress` also resolves sidecar files
 given via --model. With --train, --model names where to SAVE the model.
 apps for gen/train: cesm, cesm-freqsh, exafel, nyx, nyx-temp, nyx-dm,
-hurricane-u, hurricane-qvapor, rtm.";
+hurricane-u, hurricane-qvapor, rtm.
+`-` streams stdin/stdout with memory bounded by one chunk band: piped
+compression needs --abs (a pipe cannot be re-scanned for the value range)
+and a piped archive uses the inline (unindexed) layout. --reserve N leaves
+empty index slots so `aesz append` can extend the archive in place; append
+takes the appended slab's DIMS (matching every axis but the slowest).";
+
+/// Route a status line: stdout normally, stderr when stdout is the data
+/// channel (a status line inside a piped archive corrupts it).
+macro_rules! status {
+    ($stdout_is_data:expr, $($arg:tt)*) => {
+        if $stdout_is_data { eprintln!($($arg)*) } else { println!($($arg)*) }
+    };
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +126,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "train" => cmd_train(args),
         "compress" => cmd_compress(args),
         "decompress" => cmd_decompress(args),
+        "append" => cmd_append(args),
         "info" => cmd_info(args),
         "compare" => cmd_compare(args),
         "-h" | "--help" | "help" => {
@@ -211,7 +254,9 @@ fn load_model_file(path: &str) -> Result<(EmbeddedModel, Box<dyn Compressor>), S
     let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
     let (model, codec) = EmbeddedModel::from_frame(&bytes).map_err(|e| format!("{path}: {e}"))?;
     let built = build_compressor(&model).map_err(|e| format!("{path}: {e}"))?;
-    println!(
+    // Diagnostic, so stderr: compress/append may be piping their archive
+    // through stdout when this prints.
+    eprintln!(
         "loaded {} model {} from {path} ({} bytes)",
         codec.name(),
         model.id,
@@ -322,14 +367,14 @@ fn train_codec(
 
 // ------------------------------------------------------------- file chunk IO
 
-/// Fill `buf` from `file`, looping over short reads, and return how many
-/// bytes landed (< `buf.len()` only at end of file). Plain `read()` may
-/// return counts that are not multiples of 4, which would shear every
-/// following `f32` off its byte boundary.
-fn read_full(file: &mut File, buf: &mut [u8]) -> std::io::Result<usize> {
+/// Fill `buf` from `input`, looping over short reads, and return how many
+/// bytes landed (< `buf.len()` only at end of input). Plain `read()` may
+/// return counts that are not multiples of 4 — pipes routinely do — which
+/// would shear every following `f32` off its byte boundary.
+fn read_full(input: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
-        let n = file.read(&mut buf[filled..])?;
+        let n = input.read(&mut buf[filled..])?;
         if n == 0 {
             break;
         }
@@ -485,6 +530,192 @@ impl ChunkSink for RawFileSink {
     }
 }
 
+/// [`ChunkSource`] over a pipe of raw little-endian `f32` values: buffers
+/// one *band* (a chunk-row of the field) and serves chunk reads out of it.
+/// The archive writers read chunks in ascending index order, which over a
+/// row-major chunk grid means band by band — so one band of residency is
+/// enough and the pipe never rewinds.
+struct BandSource<R: Read> {
+    input: R,
+    dims: Dims,
+    chunk: usize,
+    /// Elements per slow-axis row (product of every extent but the slowest).
+    row_elems: usize,
+    /// First slow-axis row currently buffered; `band` holds `band_rows`
+    /// rows from there (zero rows before the first read).
+    band_start: usize,
+    band_rows: usize,
+    band: Vec<f32>,
+    bytes: Vec<u8>,
+}
+
+impl<R: Read> BandSource<R> {
+    fn new(input: R, dims: Dims, chunk: usize) -> Self {
+        let slow = dims.extents()[0];
+        BandSource {
+            input,
+            dims,
+            chunk,
+            row_elems: dims.len() / slow,
+            band_start: 0,
+            band_rows: 0,
+            band: Vec::new(),
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Advance the band until it holds slow-axis row `row`, which must lie
+    /// at or past the buffered band — pipes only move forward.
+    fn load_to(&mut self, row: usize) -> std::io::Result<()> {
+        let slow = self.dims.extents()[0];
+        while row >= self.band_start + self.band_rows && self.band_start + self.band_rows < slow {
+            self.band_start += self.band_rows;
+            self.band_rows = self.chunk.min(slow - self.band_start);
+            self.bytes.resize(self.band_rows * self.row_elems * 4, 0);
+            let got = read_full(&mut self.input, &mut self.bytes)?;
+            if got != self.bytes.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "piped input ended {got} bytes into a {}-byte band; \
+                         --dims promise more data",
+                        self.bytes.len()
+                    ),
+                ));
+            }
+            self.band.clear();
+            self.band.extend(
+                self.bytes
+                    .chunks_exact(4)
+                    .map(|v| f32::from_le_bytes([v[0], v[1], v[2], v[3]])),
+            );
+        }
+        if row < self.band_start || row >= self.band_start + self.band_rows {
+            return Err(std::io::Error::other(
+                "chunk read outside the buffered band; a pipe cannot rewind",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> ChunkSource for BandSource<R> {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn min_max(&mut self) -> std::io::Result<(f32, f32)> {
+        // Resolving a relative bound needs the full value range up front,
+        // and scanning for it would consume the pipe. cmd_compress rejects
+        // --rel with piped input before it gets here.
+        Err(std::io::Error::other(
+            "a piped source cannot be pre-scanned for its value range; use --abs",
+        ))
+    }
+
+    fn read_chunk(&mut self, spec: &BlockSpec) -> std::io::Result<Field> {
+        self.load_to(spec.origin[0])?;
+        let mut values = Vec::with_capacity(spec.valid_len());
+        let band = &self.band;
+        let base = self.band_start * self.row_elems;
+        for_each_run(self.dims, spec, |offset, len| {
+            let at = (offset as usize)
+                .checked_sub(base)
+                .filter(|at| at + len <= band.len())
+                .ok_or_else(|| "chunk run outside the buffered band".to_string())?;
+            values.extend_from_slice(&band[at..at + len]);
+            Ok(())
+        })
+        .map_err(std::io::Error::other)?;
+        Ok(
+            Field::from_vec(aesz_repro::archive::chunk_dims(spec), values)
+                .expect("run lengths sum to the chunk size"),
+        )
+    }
+}
+
+/// [`ChunkSink`] feeding a pipe of raw little-endian `f32` values: decoded
+/// chunks land in a one-band buffer that is flushed, in order, the moment
+/// decoding moves past it. The windowed decoder and the push decoder both
+/// emit chunks in ascending index order for well-formed archives, so a band
+/// is complete when the first chunk of the next band arrives.
+struct BandSink<W: Write> {
+    out: W,
+    dims: Dims,
+    chunk: usize,
+    row_elems: usize,
+    band_start: usize,
+    band_rows: usize,
+    band: Vec<f32>,
+}
+
+impl<W: Write> BandSink<W> {
+    fn new(out: W, dims: Dims, chunk: usize) -> Self {
+        let slow = dims.extents()[0];
+        let band_rows = chunk.min(slow);
+        let row_elems = dims.len() / slow;
+        BandSink {
+            out,
+            dims,
+            chunk,
+            row_elems,
+            band_start: 0,
+            band_rows,
+            band: vec![0.0; band_rows * row_elems],
+        }
+    }
+
+    fn flush_band(&mut self) -> std::io::Result<()> {
+        let mut bytes = Vec::with_capacity(self.band.len() * 4);
+        for &v in &self.band {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.out.write_all(&bytes)?;
+        let slow = self.dims.extents()[0];
+        self.band_start += self.band_rows;
+        self.band_rows = self.chunk.min(slow.saturating_sub(self.band_start));
+        self.band.clear();
+        self.band.resize(self.band_rows * self.row_elems, 0.0);
+        Ok(())
+    }
+
+    /// Write out whatever bands remain — the last band has no successor
+    /// chunk to trigger its flush — and flush the pipe.
+    fn finish(&mut self) -> std::io::Result<()> {
+        while self.band_rows > 0 {
+            self.flush_band()?;
+        }
+        self.out.flush()
+    }
+}
+
+impl<W: Write> ChunkSink for BandSink<W> {
+    fn write_chunk(&mut self, spec: &BlockSpec, chunk: &Field) -> std::io::Result<()> {
+        while self.band_rows > 0 && spec.origin[0] >= self.band_start + self.band_rows {
+            self.flush_band()?;
+        }
+        if self.band_rows == 0 || spec.origin[0] < self.band_start {
+            // A chunk deferred on a late-arriving embedded model replays out
+            // of order; that needs a seekable output file.
+            return Err(std::io::Error::other(
+                "decoded chunk arrived behind the already-flushed band; \
+                 a piped output cannot seek — decompress to a file",
+            ));
+        }
+        let values = chunk.as_slice();
+        let base = self.band_start * self.row_elems;
+        let band = &mut self.band;
+        let mut taken = 0usize;
+        for_each_run(self.dims, spec, |offset, len| {
+            let at = offset as usize - base;
+            band[at..at + len].copy_from_slice(&values[taken..taken + len]);
+            taken += len;
+            Ok(())
+        })
+        .map_err(std::io::Error::other)
+    }
+}
+
 /// [`ChunkSink`] that compares decoded chunks against the original source
 /// instead of storing them — the streaming PSNR/max-error accumulator of
 /// `compress --verify`.
@@ -532,13 +763,22 @@ fn cmd_gen(mut args: Vec<String>) -> Result<(), String> {
     };
     finish_args(args)?;
     let field = app.generate(dims, seed);
-    let mut out =
-        BufWriter::new(File::create(&output).map_err(|e| format!("create {output}: {e}"))?);
-    out.write_all(&field.to_le_bytes())
-        .and_then(|()| out.flush())
-        .map_err(|e| format!("write {output}: {e}"))?;
+    let piped = output == "-";
+    if piped {
+        let mut out = BufWriter::new(std::io::stdout().lock());
+        out.write_all(&field.to_le_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("write stdout: {e}"))?;
+    } else {
+        let mut out =
+            BufWriter::new(File::create(&output).map_err(|e| format!("create {output}: {e}"))?);
+        out.write_all(&field.to_le_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("write {output}: {e}"))?;
+    }
     let (lo, hi) = field.min_max();
-    println!(
+    status!(
+        piped,
         "wrote {} ({} elements, {:.1} MB) range [{lo}, {hi}]",
         output,
         field.len(),
@@ -604,22 +844,59 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         (None, Some(e)) => ErrorBound::abs(parse_f64(&e, "absolute bound")?),
         _ => return Err(format!("exactly one of --rel / --abs is required\n{USAGE}")),
     };
-    let opts = ArchiveOptions {
-        chunk: match take_opt(&mut args, "--chunk")? {
-            Some(s) => parse_usize(&s, "chunk")?,
-            None => ArchiveOptions::default().chunk,
-        },
-        window: match take_opt(&mut args, "--window")? {
-            Some(s) => parse_usize(&s, "window")?,
-            None => ArchiveOptions::default().window,
-        },
-    };
+    let mut opts = ArchiveOptions::new();
+    if let Some(s) = take_opt(&mut args, "--chunk")? {
+        opts = opts.chunk(parse_usize(&s, "chunk")?);
+    }
+    if let Some(s) = take_opt(&mut args, "--window")? {
+        opts = opts.window(parse_usize(&s, "window")?);
+    }
+    if let Some(s) = take_opt(&mut args, "--reserve")? {
+        opts = opts.reserve(parse_usize(&s, "reserve")?);
+    }
     let verify = take_flag(&mut args, "--verify");
     let train = take_flag(&mut args, "--train");
     let embed_model = take_flag(&mut args, "--embed-model");
     let model_path = take_opt(&mut args, "--model")?;
     let knobs = TrainKnobs::take(&mut args)?;
     finish_args(args)?;
+
+    let piped_in = input == "-";
+    let piped_out = output == "-";
+    if piped_in && matches!(bound, ErrorBound::RangeRel(_)) {
+        return Err(
+            "--rel resolves against the value range, which means scanning the \
+                    input twice; a pipe cannot be re-read — use --abs with --input -"
+                .into(),
+        );
+    }
+    if piped_in && train {
+        return Err(
+            "--train needs the whole field resident; train offline (`aesz train`) \
+                    and pass --model instead of piping the training data"
+                .into(),
+        );
+    }
+    if piped_in && verify {
+        return Err("--verify re-reads the input, which a pipe cannot replay".into());
+    }
+    if piped_out && verify {
+        return Err("--verify re-reads the output archive; write a file to verify".into());
+    }
+    if piped_out && embed_model {
+        return Err(
+            "--embed-model back-patches the archive header, which needs a \
+                    seekable output; write a file to embed models"
+                .into(),
+        );
+    }
+    if piped_out && opts.reserved_chunks() > 0 {
+        return Err(
+            "--reserve sizes an index table, but a piped output uses the inline \
+                    (unindexed) layout; write a file to reserve slots"
+                .into(),
+        );
+    }
 
     let mut registry = Registry::with_defaults();
     if train {
@@ -628,7 +905,8 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         let field = read_field(&input, dims)?;
         let t0 = Instant::now();
         let (model, built) = train_codec(codec, &field, &knobs)?;
-        println!(
+        status!(
+            piped_out,
             "trained {} model {} in {:.2} s",
             codec.name(),
             model.id,
@@ -636,7 +914,7 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         );
         if let Some(path) = &model_path {
             std::fs::write(path, &model.frame).map_err(|e| format!("write {path}: {e}"))?;
-            println!("model saved to {path}");
+            status!(piped_out, "model saved to {path}");
         }
         registry.register(built);
     } else if let Some(path) = &model_path {
@@ -652,8 +930,6 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         registry.register(built);
     }
     let registry = registry;
-    let mut source = RawFileSource::open(&input, dims)?;
-    let mut sink = File::create(&output).map_err(|e| format!("create {output}: {e}"))?;
     let t0 = Instant::now();
     let mut codecs = |_spec: &BlockSpec| {
         registry
@@ -662,20 +938,49 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
                 "codec not registered",
             ))
     };
-    let stats = if embed_model {
-        write_archive_embedding(&mut source, bound, &opts, &mut codecs, &mut sink)
+    let mut file_source;
+    let mut pipe_source;
+    let source: &mut dyn ChunkSource = if piped_in {
+        pipe_source = BandSource::new(std::io::stdin().lock(), dims, opts.chunk_edge());
+        &mut pipe_source
     } else {
-        write_archive(&mut source, bound, &opts, &mut codecs, &mut sink)
-    }
-    .map_err(|e| e.to_string())?;
-    sink.flush().map_err(|e| e.to_string())?;
+        file_source = RawFileSource::open(&input, dims)?;
+        &mut file_source
+    };
+    let stats = if piped_out {
+        // No seeking on a pipe: emit the inline layout, which needs neither
+        // an index back-patch nor a header rewrite.
+        let mut sink = BufWriter::new(std::io::stdout().lock());
+        let stats = write_archive_stream(source, bound, &opts, &mut codecs, &mut sink)
+            .map_err(|e| e.to_string())?;
+        sink.flush().map_err(|e| e.to_string())?;
+        stats
+    } else {
+        let mut sink = File::create(&output).map_err(|e| format!("create {output}: {e}"))?;
+        let stats = if embed_model {
+            write_archive_embedding(source, bound, &opts, &mut codecs, &mut sink)
+        } else {
+            write_archive(source, bound, &opts, &mut codecs, &mut sink)
+        }
+        .map_err(|e| e.to_string())?;
+        sink.flush().map_err(|e| e.to_string())?;
+        stats
+    };
     let secs = t0.elapsed().as_secs_f64();
 
-    println!(
+    status!(
+        piped_out,
         "{} -> {}: {} chunks (chunk {}, window {}), {} -> {} bytes",
-        input, output, stats.chunks, opts.chunk, opts.window, stats.raw_bytes, stats.archive_bytes
+        input,
+        output,
+        stats.chunks,
+        opts.chunk_edge(),
+        opts.window_chunks(),
+        stats.raw_bytes,
+        stats.archive_bytes
     );
-    println!(
+    status!(
+        piped_out,
         "codec {}, bound {}, ratio {:.2}:1, {:.1} MB/s, peak window payload {:.2} MB",
         codec.name(),
         bound,
@@ -684,7 +989,11 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         mb(stats.peak_window_raw_bytes),
     );
     if embed_model {
-        println!("embedded model section: {} bytes", stats.model_bytes);
+        status!(
+            piped_out,
+            "embedded model section: {} bytes",
+            stats.model_bytes
+        );
     }
 
     if verify {
@@ -701,7 +1010,7 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
         let decoders = ArchiveDecoders::resolve(&registry, &reader);
         reader
             .decode_into(
-                opts.window,
+                opts.window_chunks(),
                 &mut |i, id| decoders.fork_for(&reader, i, id),
                 &mut check,
             )
@@ -727,11 +1036,17 @@ fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
     let output = need_opt(&mut args, "--output")?;
     let window = match take_opt(&mut args, "--window")? {
         Some(s) => parse_usize(&s, "window")?,
-        None => ArchiveOptions::default().window,
+        None => ArchiveOptions::default().window_chunks(),
     };
     let model_path = take_opt(&mut args, "--model")?;
     let verify = take_flag(&mut args, "--verify");
     finish_args(args)?;
+
+    let piped_in = input == "-";
+    let piped_out = output == "-";
+    if verify && (piped_in || piped_out) {
+        return Err("--verify re-reads both files, which pipes cannot replay".into());
+    }
 
     let mut registry = Registry::with_defaults();
     if let Some(path) = &model_path {
@@ -741,9 +1056,12 @@ fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
             .model_store_mut()
             .insert_file(std::path::Path::new(path))
             .map_err(|e| format!("{path}: {e}"))?;
-        println!("loaded sidecar model {id} from {path}");
+        status!(piped_out, "loaded sidecar model {id} from {path}");
     }
     let registry = registry;
+    if piped_in {
+        return decompress_stdin(&registry, &output, piped_out);
+    }
     let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
     let t0 = Instant::now();
     let reader = ArchiveReader::open(&bytes).map_err(|e| e.to_string())?;
@@ -751,25 +1069,42 @@ fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
         let codec = aesz_repro::metrics::container::read_model_frame(frame)
             .map(|(c, _)| c.name())
             .unwrap_or("?");
-        println!("archive embeds {codec} model {id}");
+        status!(piped_out, "archive embeds {codec} model {id}");
     }
     // Per-chunk model resolution: embedded section first (hash-verified at
     // open), then the registry's store (the sidecar above) — so the learned
     // chunks decode in this fresh process.
     let decoders = ArchiveDecoders::resolve(&registry, &reader);
     let dims = reader.dims();
-    let mut sink = RawFileSink::create(&output, dims)?;
-    reader
-        .decode_into(
-            window,
-            &mut |i, id| decoders.fork_for(&reader, i, id),
-            &mut sink,
-        )
-        .map_err(|e| e.to_string())?;
-    sink.file.flush().map_err(|e| e.to_string())?;
+    if piped_out {
+        let mut sink = BandSink::new(
+            BufWriter::new(std::io::stdout().lock()),
+            dims,
+            reader.header().chunk,
+        );
+        reader
+            .decode_into(
+                window,
+                &mut |i, id| decoders.fork_for(&reader, i, id),
+                &mut sink,
+            )
+            .map_err(|e| e.to_string())?;
+        sink.finish().map_err(|e| format!("write stdout: {e}"))?;
+    } else {
+        let mut sink = RawFileSink::create(&output, dims)?;
+        reader
+            .decode_into(
+                window,
+                &mut |i, id| decoders.fork_for(&reader, i, id),
+                &mut sink,
+            )
+            .map_err(|e| e.to_string())?;
+        sink.file.flush().map_err(|e| e.to_string())?;
+    }
     let secs = t0.elapsed().as_secs_f64();
     let raw = dims.len() * 4;
-    println!(
+    status!(
+        piped_out,
         "{} -> {}: dims {}, {} chunks, {} -> {} bytes, {:.1} MB/s",
         input,
         output,
@@ -807,6 +1142,185 @@ fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
             "verify: all {} chunks random-access decode bit-identically OK",
             reader.chunk_count()
         );
+    }
+    Ok(())
+}
+
+/// `decompress --input -`: drive the push-based [`StreamFieldDecoder`] off
+/// stdin. Chunks are written as they decode — with seeks into the output
+/// file, or forwarded band by band when the output is stdout too — so
+/// resident memory is one band plus the parser's bounded buffer, never the
+/// archive or the field.
+fn decompress_stdin(registry: &Registry, output: &str, piped_out: bool) -> Result<(), String> {
+    let t0 = Instant::now();
+    let mut decoder = StreamFieldDecoder::new(registry);
+    let mut input = std::io::stdin().lock();
+    let mut file_sink: Option<RawFileSink> = None;
+    let mut band_sink: Option<BandSink<BufWriter<std::io::StdoutLock>>> = None;
+    let mut dims_seen: Option<Dims> = None;
+    let mut chunks = 0usize;
+    let mut bytes_in = 0usize;
+    let mut buf = [0u8; 1 << 16];
+    loop {
+        let n = input
+            .read(&mut buf)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        if n == 0 {
+            decoder.finish();
+        } else {
+            bytes_in += n;
+            decoder.feed(&buf[..n]);
+        }
+        while let Some(out) = decoder.poll().map_err(|e| e.to_string())? {
+            match out {
+                StreamOutput::Header(h) => {
+                    dims_seen = Some(h.dims);
+                    if piped_out {
+                        band_sink = Some(BandSink::new(
+                            BufWriter::new(std::io::stdout().lock()),
+                            h.dims,
+                            h.chunk,
+                        ));
+                    } else {
+                        file_sink = Some(RawFileSink::create(output, h.dims)?);
+                    }
+                }
+                StreamOutput::Chunk(spec, chunk) => {
+                    chunks += 1;
+                    if let Some(sink) = band_sink.as_mut() {
+                        sink.write_chunk(&spec, &chunk)
+                            .map_err(|e| format!("write stdout: {e}"))?;
+                    } else if let Some(sink) = file_sink.as_mut() {
+                        sink.write_chunk(&spec, &chunk)
+                            .map_err(|e| format!("write {output}: {e}"))?;
+                    }
+                }
+                StreamOutput::Field(field) => {
+                    // The stream was one container frame, not an archive:
+                    // the decoder hands over the whole reconstruction.
+                    dims_seen = Some(field.dims());
+                    let bytes = field.to_le_bytes();
+                    if piped_out {
+                        let mut out = std::io::stdout().lock();
+                        out.write_all(&bytes)
+                            .and_then(|()| out.flush())
+                            .map_err(|e| format!("write stdout: {e}"))?;
+                    } else {
+                        std::fs::write(output, &bytes)
+                            .map_err(|e| format!("write {output}: {e}"))?;
+                    }
+                }
+            }
+        }
+        if n == 0 {
+            break;
+        }
+    }
+    if let Some(mut sink) = band_sink {
+        sink.finish().map_err(|e| format!("write stdout: {e}"))?;
+    }
+    if let Some(mut sink) = file_sink {
+        sink.file.flush().map_err(|e| e.to_string())?;
+    }
+    let dims = dims_seen.ok_or("empty stream")?;
+    let secs = t0.elapsed().as_secs_f64();
+    let raw = dims.len() * 4;
+    status!(
+        piped_out,
+        "- -> {}: dims {}, {} chunks, {} -> {} bytes, {:.1} MB/s, peak parser buffer {} bytes",
+        output,
+        dims,
+        chunks,
+        bytes_in,
+        raw,
+        mb(raw) / secs,
+        decoder.peak_buffered(),
+    );
+    Ok(())
+}
+
+fn cmd_append(mut args: Vec<String>) -> Result<(), String> {
+    let archive = need_opt(&mut args, "--archive")?;
+    let input = need_opt(&mut args, "--input")?;
+    let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
+    let codec = parse_codec(&need_opt(&mut args, "--codec")?)?;
+    // Appends only take --abs: a relative bound would resolve against the
+    // new slab's range alone and silently diverge from the archive's bound.
+    let bound = ErrorBound::abs(parse_f64(&need_opt(&mut args, "--abs")?, "absolute bound")?);
+    let window = match take_opt(&mut args, "--window")? {
+        Some(s) => parse_usize(&s, "window")?,
+        None => ArchiveOptions::default().window_chunks(),
+    };
+    let embed_model = take_flag(&mut args, "--embed-model");
+    let model_path = take_opt(&mut args, "--model")?;
+    finish_args(args)?;
+
+    let mut registry = Registry::with_defaults();
+    if let Some(path) = &model_path {
+        let (_, built) = load_model_file(path)?;
+        if built.codec_id() != codec {
+            return Err(format!(
+                "{path} holds a {} model but --codec is {}",
+                built.codec_id().name(),
+                codec.name()
+            ));
+        }
+        registry.register(built);
+    }
+    let registry = registry;
+
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&archive)
+        .map_err(|e| format!("open {archive}: {e}"))?;
+    let mut appender = ArchiveAppender::open(file).map_err(|e| format!("{archive}: {e}"))?;
+    let chunk = appender.header().chunk;
+    let old_dims = appender.header().dims;
+    let spare_before = appender.spare_slots();
+
+    let t0 = Instant::now();
+    let mut codecs = |_spec: &BlockSpec| {
+        registry
+            .fork(codec)
+            .ok_or(aesz_repro::CompressError::UnsupportedField(
+                "codec not registered",
+            ))
+    };
+    let mut file_source;
+    let mut pipe_source;
+    let source: &mut dyn ChunkSource = if input == "-" {
+        pipe_source = BandSource::new(std::io::stdin().lock(), dims, chunk);
+        &mut pipe_source
+    } else {
+        file_source = RawFileSource::open(&input, dims)?;
+        &mut file_source
+    };
+    let stats = if embed_model {
+        appender.append_embedding(source, bound, window, &mut codecs)
+    } else {
+        appender.append(source, bound, window, &mut codecs)
+    }
+    .map_err(|e| e.to_string())?;
+    let new_dims = appender.header().dims;
+    let spare_after = appender.spare_slots();
+    let file = appender.finalize().map_err(|e| e.to_string())?;
+    file.sync_all()
+        .map_err(|e| format!("sync {archive}: {e}"))?;
+    let secs = t0.elapsed().as_secs_f64();
+
+    println!(
+        "{archive}: dims {old_dims} -> {new_dims}, +{} chunks (chunk {chunk}), \
+         {} -> {} bytes, {:.1} MB/s",
+        stats.chunks,
+        stats.raw_bytes,
+        stats.archive_bytes,
+        mb(stats.raw_bytes) / secs,
+    );
+    if spare_before == usize::MAX {
+        println!("inline archive (no index): append capacity is unbounded");
+    } else {
+        println!("index slots: {spare_before} spare before, {spare_after} after");
     }
     Ok(())
 }

@@ -1030,6 +1030,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // payload-level peek is exactly what a frameless core stream needs
     fn wrong_model_is_reported_as_missing_model_not_geometry() {
         let field = Application::CesmCldhgh.generate(Dims::d2(64, 64), 57);
         let mut aesz = quick_aesz_2d(&field);

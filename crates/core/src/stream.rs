@@ -365,6 +365,11 @@ impl Stream {
 /// pre-dispatch hook a registry uses to resolve the right trained model.
 /// Returns `None` for version-2 streams (no id) and for anything too short
 /// or mis-tagged to carry one.
+#[deprecated(
+    note = "use `aesz_metrics::container::peek`, which reports the model id (and the codec, \
+            version and payload length) from a complete framed stream; this payload-level \
+            peek survives only as a shim"
+)]
 pub fn peek_model_id(bytes: &[u8]) -> Option<ModelId> {
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
         return None;
@@ -414,6 +419,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the shim's behavior until it is removed
     fn v3_streams_carry_a_peekable_model_id() {
         let mut s = sample_stream();
         let id = ModelId::of(b"the trained network");
@@ -437,6 +443,14 @@ mod tests {
         assert_eq!(Stream::from_bytes(&v2).unwrap().header.model_id, None);
         assert_eq!(peek_model_id(&bytes[..10]), None);
         assert_eq!(peek_model_id(b"garbage"), None);
+    }
+
+    #[test]
+    fn payload_magic_is_pinned_to_the_container_peek() {
+        // `aesz_metrics::container::peek` sniffs the AE-SZ payload magic to
+        // report a framed stream's model id without depending on this crate;
+        // the two constants must never drift apart.
+        assert_eq!(aesz_metrics::container::AESZ_PAYLOAD_MAGIC, *MAGIC);
     }
 
     #[test]

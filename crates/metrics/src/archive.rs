@@ -26,36 +26,97 @@
 //! every chunk as an absolute bound, so the archive honours exactly the
 //! bound a whole-field compression would have.
 
-use std::io::{Cursor, Seek, SeekFrom, Write};
+use std::io::{Cursor, Read, Seek, SeekFrom, Write};
 
 use rayon::prelude::*;
 
 use crate::bound::ErrorBound;
 use crate::compressor::Compressor;
 use crate::container::{
-    read_chunk_index, read_model_section, write_chunk_entry, ArchiveHeader, ChunkEntry, CodecId,
-    EmbeddedModel, ModelId, ARCHIVE_VERSION, ARCHIVE_VERSION_MODELS,
+    decode_chunk_entry, parse_model_section, read_chunk_index, read_model_section,
+    validate_chunk_entry, write_chunk_entry, ArchiveHeader, ChunkEntry, CodecId, EmbeddedModel,
+    ModelId, ARCHIVE_VERSION, ARCHIVE_VERSION_APPEND, ARCHIVE_VERSION_MODELS, CHUNK_ENTRY_LEN,
 };
 use crate::error::{CompressError, DecompressError};
 use aesz_tensor::{BlockSpec, Dims, Field};
 
-/// Chunking and batching knobs of the archive writer/reader.
+/// Chunking and batching knobs of the archive writer/reader, built fluently:
+///
+/// ```
+/// use aesz_metrics::archive::ArchiveOptions;
+/// let opts = ArchiveOptions::new().chunk(32).window(4).reserve(16);
+/// assert_eq!(opts.chunk_edge(), 32);
+/// assert_eq!(opts.window_chunks(), 4);
+/// assert_eq!(opts.reserved_chunks(), 16);
+/// ```
+///
+/// Every builder method is `const fn`, so options can live in `const`
+/// context. The fields are private on purpose: new knobs (like `reserve`,
+/// added for the appender) extend the builder without breaking a single
+/// call site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArchiveOptions {
     /// Nominal chunk edge length (need not divide the extents; edge chunks
     /// are smaller).
-    pub chunk: usize,
+    chunk: usize,
     /// Number of chunks processed concurrently per batch — the bound on
     /// resident raw payload and on parallelism.
-    pub window: usize,
+    window: usize,
+    /// Spare index slots reserved for future appends. Non-zero makes the
+    /// writer emit a version-3 archive whose index capacity is
+    /// `chunk count + reserve`.
+    reserve: usize,
+}
+
+impl ArchiveOptions {
+    /// The default knobs: chunk edge 64, window 8, no reserved slots.
+    pub const fn new() -> ArchiveOptions {
+        ArchiveOptions {
+            chunk: 64,
+            window: 8,
+            reserve: 0,
+        }
+    }
+
+    /// Set the nominal chunk edge length.
+    pub const fn chunk(mut self, chunk: usize) -> ArchiveOptions {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Set the number of chunks compressed/decompressed concurrently per
+    /// batch.
+    pub const fn window(mut self, window: usize) -> ArchiveOptions {
+        self.window = window;
+        self
+    }
+
+    /// Reserve spare index slots for future [`ArchiveAppender`] appends
+    /// (non-zero selects the version-3 layout).
+    pub const fn reserve(mut self, reserve: usize) -> ArchiveOptions {
+        self.reserve = reserve;
+        self
+    }
+
+    /// The nominal chunk edge length.
+    pub const fn chunk_edge(&self) -> usize {
+        self.chunk
+    }
+
+    /// The per-batch concurrency window, in chunks.
+    pub const fn window_chunks(&self) -> usize {
+        self.window
+    }
+
+    /// Spare index slots reserved for appends.
+    pub const fn reserved_chunks(&self) -> usize {
+        self.reserve
+    }
 }
 
 impl Default for ArchiveOptions {
     fn default() -> Self {
-        ArchiveOptions {
-            chunk: 64,
-            window: 8,
-        }
+        ArchiveOptions::new()
     }
 }
 
@@ -308,18 +369,19 @@ pub fn write_archive_embedding<W: Write + Seek>(
     write_archive_impl(source, bound, opts, codecs, true, sink)
 }
 
-fn write_archive_impl<W: Write + Seek>(
+/// Validate writer knobs and resolve a range-relative bound against the
+/// whole source once (a per-chunk range would be tighter on smooth chunks
+/// and looser on none). Shared by every archive writer.
+fn resolve_write_request(
     source: &mut dyn ChunkSource,
     bound: ErrorBound,
-    opts: &ArchiveOptions,
-    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
-    embed_models: bool,
-    sink: &mut W,
-) -> Result<ArchiveStats, ArchiveWriteError> {
-    if opts.chunk == 0 {
+    chunk: usize,
+    window: usize,
+) -> Result<(Dims, ErrorBound), ArchiveWriteError> {
+    if chunk == 0 {
         return Err(ArchiveWriteError::Invalid("chunk edge must be at least 1"));
     }
-    if opts.window == 0 {
+    if window == 0 {
         return Err(ArchiveWriteError::Invalid("window must be at least 1"));
     }
     if bound.validate().is_err() {
@@ -331,10 +393,6 @@ fn write_archive_impl<W: Write + Seek>(
     if dims.is_empty() {
         return Err(ArchiveWriteError::Invalid("field has no elements"));
     }
-
-    // Resolve a range-relative bound against the whole field once, so every
-    // chunk honours the field-level bound (a per-chunk range would be
-    // tighter on smooth chunks and looser on none).
     let chunk_bound = match bound {
         ErrorBound::Abs(_) => bound,
         ErrorBound::RangeRel(_) => {
@@ -347,31 +405,31 @@ fn write_archive_impl<W: Write + Seek>(
             ErrorBound::Abs(bound.absolute(lo, hi))
         }
     };
+    Ok((dims, chunk_bound))
+}
 
-    let header = ArchiveHeader {
-        dims,
-        chunk: opts.chunk,
-        version: if embed_models {
-            ARCHIVE_VERSION_MODELS
-        } else {
-            ARCHIVE_VERSION
-        },
-        // Which models the chunks reference is only known once every codec
-        // has been forked; the length slot is back-patched like the index.
-        model_len: 0,
-    };
-    // The archive may be embedded at any position of a larger stream: every
-    // seek below is relative to where the sink stands now, and the index
-    // offsets are archive-relative (per the format), not stream-absolute.
-    let base = sink.stream_position()?;
-    let count = header.chunk_count();
-    let mut head = Vec::with_capacity(header.encoded_len());
-    header.write(&mut head);
-    sink.write_all(&head)?;
-    // Reserve the index; its entries are back-patched once every frame
-    // length is known.
-    sink.write_all(&vec![0u8; header.index_len()])?;
-
+/// The windowed compression core every writer shares: pull chunks from
+/// `source` over `dims`, compress them in rayon-parallel windows, and hand
+/// each finished frame to `on_frame` in index order.
+///
+/// `spec_for_codec` maps the source-local [`BlockSpec`] to the spec the
+/// codec factory sees — the identity for a plain write, a global-coordinate
+/// shift for an append. When `models` is `Some`, each forked codec's
+/// embedded model is collected there exactly once (deduplicated by id, also
+/// against whatever the vector already holds — the appender seeds it with
+/// the archive's existing tail). Returns `(raw_bytes, peak_window_raw_bytes)`.
+#[allow(clippy::too_many_arguments)]
+fn compress_chunk_frames(
+    source: &mut dyn ChunkSource,
+    dims: Dims,
+    chunk_bound: ErrorBound,
+    chunk: usize,
+    window: usize,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    mut models: Option<&mut Vec<EmbeddedModel>>,
+    spec_for_codec: &dyn Fn(&BlockSpec) -> BlockSpec,
+    on_frame: &mut dyn FnMut(usize, CodecId, Vec<u8>) -> Result<(), ArchiveWriteError>,
+) -> Result<(usize, usize), ArchiveWriteError> {
     struct Job {
         index: usize,
         id: CodecId,
@@ -380,28 +438,27 @@ fn write_archive_impl<W: Write + Seek>(
         out: Option<Result<Vec<u8>, CompressError>>,
     }
 
-    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(count);
-    let mut models: Vec<EmbeddedModel> = Vec::new();
-    let mut offset = header.data_start() as u64;
+    let count: usize = dims.block_grid(chunk).iter().product();
     let mut raw_bytes = 0usize;
     let mut peak_window_raw_bytes = 0usize;
     let mut next = 0usize;
     while next < count {
-        let batch = opts.window.min(count - next);
+        let batch = window.min(count - next);
         let mut jobs = Vec::with_capacity(batch);
         for index in next..next + batch {
-            let spec = BlockSpec::of(dims, opts.chunk, index);
+            let spec = BlockSpec::of(dims, chunk, index);
             let field = source.read_chunk(&spec)?;
             if field.dims() != chunk_dims(&spec) {
                 return Err(ArchiveWriteError::Invalid(
                     "chunk source returned a chunk with the wrong dims",
                 ));
             }
-            let codec = codecs(&spec).map_err(|error| ArchiveWriteError::Compress {
-                chunk: index,
+            let codec_spec = spec_for_codec(&spec);
+            let codec = codecs(&codec_spec).map_err(|error| ArchiveWriteError::Compress {
+                chunk: codec_spec.index,
                 error,
             })?;
-            if embed_models {
+            if let Some(models) = models.as_deref_mut() {
                 // Dedup by the cached id first: serializing + hashing the
                 // full model once per *chunk* would be O(chunks × weights).
                 match codec.embedded_model_id() {
@@ -436,35 +493,101 @@ fn write_archive_impl<W: Write + Seek>(
                         chunk: job.index,
                         error,
                     })?;
+            raw_bytes += job.field.len() * 4;
+            on_frame(job.index, job.id, frame)?;
+        }
+        next += batch;
+    }
+    Ok((raw_bytes, peak_window_raw_bytes))
+}
+
+/// Serialize the model tail: per model, its id, frame length and frame.
+fn encode_model_section(models: &[EmbeddedModel]) -> Vec<u8> {
+    let mut section = Vec::new();
+    for model in models {
+        section.extend_from_slice(model.id.as_bytes());
+        section.extend_from_slice(&(model.frame.len() as u64).to_le_bytes());
+        section.extend_from_slice(&model.frame);
+    }
+    section
+}
+
+fn write_archive_impl<W: Write + Seek>(
+    source: &mut dyn ChunkSource,
+    bound: ErrorBound,
+    opts: &ArchiveOptions,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    embed_models: bool,
+    sink: &mut W,
+) -> Result<ArchiveStats, ArchiveWriteError> {
+    let (dims, chunk_bound) = resolve_write_request(source, bound, opts.chunk, opts.window)?;
+
+    let mut header = ArchiveHeader {
+        dims,
+        chunk: opts.chunk,
+        version: if opts.reserve > 0 {
+            ARCHIVE_VERSION_APPEND
+        } else if embed_models {
+            ARCHIVE_VERSION_MODELS
+        } else {
+            ARCHIVE_VERSION
+        },
+        // Which models the chunks reference is only known once every codec
+        // has been forked; the length slot is back-patched like the index.
+        model_len: 0,
+        index_cap: 0,
+    };
+    let count = header.chunk_count();
+    if opts.reserve > 0 {
+        header.index_cap = count + opts.reserve;
+    }
+    // The archive may be embedded at any position of a larger stream: every
+    // seek below is relative to where the sink stands now, and the index
+    // offsets are archive-relative (per the format), not stream-absolute.
+    let base = sink.stream_position()?;
+    let mut head = Vec::with_capacity(header.encoded_len());
+    header.write(&mut head);
+    sink.write_all(&head)?;
+    // Reserve the index; its entries are back-patched once every frame
+    // length is known (reserved v3 capacity slots stay zero).
+    sink.write_all(&vec![0u8; header.index_len()])?;
+
+    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(count);
+    let mut models: Vec<EmbeddedModel> = Vec::new();
+    let mut offset = header.data_start() as u64;
+    let (raw_bytes, peak_window_raw_bytes) = compress_chunk_frames(
+        source,
+        dims,
+        chunk_bound,
+        opts.chunk,
+        opts.window,
+        codecs,
+        embed_models.then_some(&mut models),
+        &|spec| spec.clone(),
+        &mut |_index, id, frame| {
             sink.write_all(&frame)?;
             entries.push(ChunkEntry {
-                codec: job.id,
+                codec: id,
                 offset,
                 len: frame.len() as u64,
             });
             offset += frame.len() as u64;
-            raw_bytes += job.field.len() * 4;
-        }
-        next += batch;
-    }
+            Ok(())
+        },
+    )?;
 
     // The model section sits after the last chunk frame; its length goes
-    // into the header slot reserved for it (v2 only).
-    let mut model_section = Vec::new();
-    for model in &models {
-        model_section.extend_from_slice(model.id.as_bytes());
-        model_section.extend_from_slice(&(model.frame.len() as u64).to_le_bytes());
-        model_section.extend_from_slice(&model.frame);
-    }
+    // into the header slot reserved for it (v2/v3 only).
+    let model_section = encode_model_section(&models);
     sink.write_all(&model_section)?;
 
-    let mut index_bytes = Vec::with_capacity(header.index_len());
+    let mut index_bytes = Vec::with_capacity(entries.len() * CHUNK_ENTRY_LEN);
     for entry in &entries {
         write_chunk_entry(&mut index_bytes, entry);
     }
     if embed_models {
-        // Back-patch the model-section length (the u64 right before the
-        // chunk index in a v2 header).
+        // Back-patch the model-section length (the last u64 of a v2/v3
+        // header).
         sink.seek(SeekFrom::Start(base + (header.encoded_len() - 8) as u64))?;
         sink.write_all(&(model_section.len() as u64).to_le_bytes())?;
     }
@@ -480,6 +603,63 @@ fn write_archive_impl<W: Write + Seek>(
         archive_bytes: offset as usize + model_section.len(),
         peak_window_raw_bytes,
         model_bytes: model_section.len(),
+    })
+}
+
+/// [`write_archive`] for sinks that cannot seek — a pipe, a socket, stdout.
+///
+/// Emits the **inline** version-3 layout: a v3 header with index capacity 0
+/// and no index table, chunk frames back-to-back in index order, nothing to
+/// back-patch. Readers reconstruct the index from the frame headers
+/// ([`crate::container::reconstruct_chunk_index`]), so once the bytes land
+/// on disk the archive is random-accessible like any other. Peak resident
+/// raw payload is one [`ArchiveOptions::window_chunks`] window, never the
+/// field. Model embedding is not available on this path (the model-section
+/// length lives in the already-written header); use a seekable sink or ship
+/// models as sidecars.
+pub fn write_archive_stream<W: Write>(
+    source: &mut dyn ChunkSource,
+    bound: ErrorBound,
+    opts: &ArchiveOptions,
+    codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    sink: &mut W,
+) -> Result<ArchiveStats, ArchiveWriteError> {
+    let (dims, chunk_bound) = resolve_write_request(source, bound, opts.chunk, opts.window)?;
+
+    let header = ArchiveHeader {
+        dims,
+        chunk: opts.chunk,
+        version: ARCHIVE_VERSION_APPEND,
+        model_len: 0,
+        index_cap: 0,
+    };
+    let mut head = Vec::with_capacity(header.encoded_len());
+    header.write(&mut head);
+    sink.write_all(&head)?;
+
+    let mut archive_bytes = header.encoded_len();
+    let (raw_bytes, peak_window_raw_bytes) = compress_chunk_frames(
+        source,
+        dims,
+        chunk_bound,
+        opts.chunk,
+        opts.window,
+        codecs,
+        None,
+        &|spec| spec.clone(),
+        &mut |_index, _id, frame| {
+            sink.write_all(&frame)?;
+            archive_bytes += frame.len();
+            Ok(())
+        },
+    )?;
+
+    Ok(ArchiveStats {
+        chunks: header.chunk_count(),
+        raw_bytes,
+        archive_bytes,
+        peak_window_raw_bytes,
+        model_bytes: 0,
     })
 }
 
@@ -506,6 +686,343 @@ pub fn write_field_archive_embedding(
     let mut cursor = Cursor::new(Vec::new());
     let stats = write_archive_embedding(&mut FieldSource(field), bound, opts, codecs, &mut cursor)?;
     Ok((cursor.into_inner(), stats))
+}
+
+/// In-place extension of an existing version-3 archive along its slowest
+/// axis, without rewriting a single existing payload byte.
+///
+/// [`ArchiveAppender::open`] validates the archive exactly like
+/// [`ArchiveReader::open`] (header, index tiling, model-tail hashes) but
+/// through seeks — chunk payloads are never read. Each
+/// [`append`](ArchiveAppender::append) compresses a new slab of data into
+/// frames written where the model tail used to start; the tail itself is
+/// stashed at open and written back — extended with any newly referenced
+/// models — by [`finalize`](ArchiveAppender::finalize), which also
+/// back-patches the header (grown extents, chunk count, model-section
+/// length) and the index (new entries filled into reserved slots for
+/// indexed archives; nothing to patch for inline ones).
+///
+/// Only version-3 archives are appendable: indexed ones need spare capacity
+/// slots ([`ArchiveOptions::reserve`]), inline ones (index capacity 0, the
+/// [`write_archive_stream`] output) need nothing. The archive must also be
+/// *open-ended*: its slowest extent must be a multiple of the chunk edge,
+/// otherwise the last slab of existing chunks would change shape when the
+/// axis grows. Appends require an absolute error bound — the whole-field
+/// value range that a relative bound resolves against cannot be recomputed
+/// without decoding everything.
+pub struct ArchiveAppender<F: Read + Write + Seek> {
+    file: F,
+    /// Stream position of the archive's first byte (archives may be
+    /// embedded in larger files).
+    base: u64,
+    header: ArchiveHeader,
+    entries: Vec<ChunkEntry>,
+    /// The stashed model tail (existing models first, newly referenced ones
+    /// appended), rewritten on finalize.
+    models: Vec<EmbeddedModel>,
+    /// Archive-relative offset one past the last chunk frame — where the
+    /// next appended frame (and, on finalize, the model tail) goes.
+    data_end: u64,
+}
+
+impl<F: Read + Write + Seek> ArchiveAppender<F> {
+    /// Open and validate an existing archive for appending. The archive is
+    /// taken to start at the file's *current* position and extend to its
+    /// end.
+    pub fn open(mut file: F) -> Result<Self, ArchiveReadError> {
+        let base = file.stream_position()?;
+        let archive_len = file.seek(SeekFrom::End(0))?.saturating_sub(base);
+
+        // Fixed header first: read the largest possible encoded header (64
+        // bytes, rank 3 v3) or whatever the file holds, then parse a prefix.
+        let head_len = (archive_len as usize).min(64);
+        let mut head = vec![0u8; head_len];
+        file.seek(SeekFrom::Start(base))?;
+        file.read_exact(&mut head)?;
+        let header = ArchiveHeader::read_prefix(&head).map_err(ArchiveReadError::Archive)?;
+        if header.version != ARCHIVE_VERSION_APPEND {
+            return Err(ArchiveReadError::Archive(DecompressError::Unsupported(
+                "only version-3 archives are appendable; rewrite with reserved index slots or \
+                 the stream writer",
+            )));
+        }
+        let count = header.chunk_count();
+        let data_start = header.data_start() as u64;
+        let tail = (header.model_len as u64)
+            .checked_add(data_start)
+            .filter(|&t| t <= archive_len)
+            .ok_or(ArchiveReadError::Archive(DecompressError::Truncated(
+                "archive model section",
+            )))?;
+        let data_end = archive_len - header.model_len as u64;
+        debug_assert!(tail <= archive_len);
+
+        // The chunk index: decode stored entries (indexed) or walk the
+        // frame headers with seeks (inline), with the exact validation the
+        // buffered readers apply.
+        let mut entries = Vec::with_capacity(count);
+        let mut expected = data_start;
+        if header.index_slots() > 0 {
+            let mut index = vec![0u8; header.index_len()];
+            file.seek(SeekFrom::Start(base + header.encoded_len() as u64))?;
+            file.read_exact(&mut index)?;
+            for i in 0..count {
+                let at = i * CHUNK_ENTRY_LEN;
+                let entry = decode_chunk_entry(&index[at..at + CHUNK_ENTRY_LEN])
+                    .map_err(ArchiveReadError::Archive)?;
+                expected = validate_chunk_entry(&entry, i, expected, data_end, header.model_len)
+                    .map_err(ArchiveReadError::Archive)?;
+                entries.push(entry);
+            }
+            for slot in count..header.index_slots() {
+                let at = slot * CHUNK_ENTRY_LEN;
+                if index[at..at + CHUNK_ENTRY_LEN].iter().any(|&b| b != 0) {
+                    return Err(ArchiveReadError::Archive(DecompressError::BadChunkIndex {
+                        chunk: slot,
+                        reason: "reserved index slot is not zero-filled",
+                    }));
+                }
+            }
+        } else {
+            let mut frame_head = [0u8; crate::container::FRAME_LEN];
+            for i in 0..count {
+                if data_end - expected < crate::container::FRAME_LEN as u64 {
+                    return Err(ArchiveReadError::Archive(DecompressError::Truncated(
+                        "archive chunk data",
+                    )));
+                }
+                file.seek(SeekFrom::Start(base + expected))?;
+                file.read_exact(&mut frame_head)?;
+                let info =
+                    crate::container::peek(&frame_head).map_err(ArchiveReadError::Archive)?;
+                let len = (crate::container::FRAME_LEN as u64)
+                    .checked_add(info.payload_len)
+                    .ok_or(ArchiveReadError::Archive(DecompressError::BadChunkIndex {
+                        chunk: i,
+                        reason: "frame length overflows the archive",
+                    }))?;
+                let entry = ChunkEntry {
+                    codec: info.codec,
+                    offset: expected,
+                    len,
+                };
+                expected = validate_chunk_entry(&entry, i, expected, data_end, header.model_len)
+                    .map_err(ArchiveReadError::Archive)?;
+                entries.push(entry);
+            }
+        }
+        if expected != data_end {
+            return Err(ArchiveReadError::Archive(DecompressError::Inconsistent(
+                "trailing bytes after the last chunk frame",
+            )));
+        }
+
+        // Stash and verify the model tail; finalize writes it back.
+        let mut models = Vec::new();
+        if header.model_len > 0 {
+            let mut section = vec![0u8; header.model_len];
+            file.seek(SeekFrom::Start(base + data_end))?;
+            file.read_exact(&mut section)?;
+            for (_, frame) in parse_model_section(&section).map_err(ArchiveReadError::Archive)? {
+                let (model, _) =
+                    EmbeddedModel::from_frame(frame).map_err(ArchiveReadError::Archive)?;
+                models.push(model);
+            }
+        }
+
+        Ok(ArchiveAppender {
+            file,
+            base,
+            header,
+            entries,
+            models,
+            data_end,
+        })
+    }
+
+    /// The archive's current header (extents grow with each append).
+    pub fn header(&self) -> ArchiveHeader {
+        self.header
+    }
+
+    /// The validated chunk index, including entries added by appends.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// Index slots still free for appended chunks (`usize::MAX` for inline
+    /// archives, which have no index to exhaust).
+    pub fn spare_slots(&self) -> usize {
+        if self.header.index_slots() == 0 {
+            usize::MAX
+        } else {
+            self.header.index_slots() - self.entries.len()
+        }
+    }
+
+    /// Compress `source` as new chunks extending the archive's slowest
+    /// axis. `source.dims()` must match the archive on every faster axis;
+    /// its slowest extent is the growth. May be called repeatedly; call
+    /// [`finalize`](ArchiveAppender::finalize) once at the end.
+    pub fn append(
+        &mut self,
+        source: &mut dyn ChunkSource,
+        bound: ErrorBound,
+        window: usize,
+        codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    ) -> Result<ArchiveStats, ArchiveWriteError> {
+        self.append_impl(source, bound, window, codecs, false)
+    }
+
+    /// [`append`](ArchiveAppender::append), additionally embedding the
+    /// trained models of the codecs used (deduplicated against the models
+    /// already in the archive's tail).
+    pub fn append_embedding(
+        &mut self,
+        source: &mut dyn ChunkSource,
+        bound: ErrorBound,
+        window: usize,
+        codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+    ) -> Result<ArchiveStats, ArchiveWriteError> {
+        self.append_impl(source, bound, window, codecs, true)
+    }
+
+    fn append_impl(
+        &mut self,
+        source: &mut dyn ChunkSource,
+        bound: ErrorBound,
+        window: usize,
+        codecs: &mut dyn FnMut(&BlockSpec) -> CompressorFork,
+        embed_models: bool,
+    ) -> Result<ArchiveStats, ArchiveWriteError> {
+        if !matches!(bound, ErrorBound::Abs(_)) {
+            return Err(ArchiveWriteError::Invalid(
+                "appending requires an absolute error bound (the whole-field value range \
+                 cannot be recomputed without decoding the archive)",
+            ));
+        }
+        let chunk = self.header.chunk;
+        let (slab_dims, chunk_bound) = resolve_write_request(source, bound, chunk, window)?;
+        let old_dims = self.header.dims;
+        if slab_dims.rank() != old_dims.rank() {
+            return Err(ArchiveWriteError::Invalid(
+                "appended slab must have the archive's rank",
+            ));
+        }
+        let old_extents = old_dims.extents();
+        let slab_extents = slab_dims.extents();
+        if old_extents[1..] != slab_extents[1..] {
+            return Err(ArchiveWriteError::Invalid(
+                "appended slab must match the archive on every axis but the slowest",
+            ));
+        }
+        if !old_extents[0].is_multiple_of(chunk) {
+            return Err(ArchiveWriteError::Invalid(
+                "archive is sealed: its slowest extent is not a multiple of the chunk edge, so \
+                 the existing edge chunks would change shape",
+            ));
+        }
+        let new_dims = grow_slowest(old_dims, slab_extents[0]);
+        let old_count = self.entries.len();
+        let new_header = ArchiveHeader {
+            dims: new_dims,
+            ..self.header
+        };
+        let added = new_header.chunk_count() - old_count;
+        if self.header.index_slots() > 0 && added > self.spare_slots() {
+            return Err(ArchiveWriteError::Invalid(
+                "archive index capacity exhausted; rewrite with more reserved slots",
+            ));
+        }
+
+        // New chunks land exactly at indices old_count.. in row-major grid
+        // order (the slow axis is the outermost), so the slab's local grid
+        // enumerates them 1:1. The codec factory sees the *global* spec —
+        // grid position and origin in the grown field.
+        self.file.seek(SeekFrom::Start(self.base + self.data_end))?;
+        let mut offset = self.data_end;
+        let entries = &mut self.entries;
+        let file = &mut self.file;
+        let (raw_bytes, peak_window_raw_bytes) = compress_chunk_frames(
+            source,
+            slab_dims,
+            chunk_bound,
+            chunk,
+            window,
+            codecs,
+            embed_models.then_some(&mut self.models),
+            &|local| BlockSpec::of(new_dims, chunk, old_count + local.index),
+            &mut |_index, id, frame| {
+                file.write_all(&frame)?;
+                entries.push(ChunkEntry {
+                    codec: id,
+                    offset,
+                    len: frame.len() as u64,
+                });
+                offset += frame.len() as u64;
+                Ok(())
+            },
+        )?;
+        let written = (offset - self.data_end) as usize;
+        self.data_end = offset;
+        self.header.dims = new_dims;
+        debug_assert_eq!(self.header.chunk_count(), self.entries.len());
+
+        Ok(ArchiveStats {
+            chunks: added,
+            raw_bytes,
+            archive_bytes: written,
+            peak_window_raw_bytes,
+            model_bytes: 0,
+        })
+    }
+
+    /// Write the model tail back, fill the index, patch the header, flush,
+    /// and hand the file back. The archive is complete and readable after
+    /// this (and only after this — a crash between appends leaves the old
+    /// header in place, so the previously committed chunks stay readable
+    /// while the appended frames are simply unreachable garbage past the
+    /// stale model tail... which the tiling check then flags; treat an
+    /// unfinalized append as lost).
+    pub fn finalize(mut self) -> Result<F, ArchiveWriteError> {
+        let model_section = encode_model_section(&self.models);
+        self.header.model_len = model_section.len();
+        self.file.seek(SeekFrom::Start(self.base + self.data_end))?;
+        self.file.write_all(&model_section)?;
+
+        if self.header.index_slots() > 0 {
+            let mut index = Vec::with_capacity(self.header.index_len());
+            for entry in &self.entries {
+                write_chunk_entry(&mut index, entry);
+            }
+            index.resize(self.header.index_len(), 0);
+            self.file.seek(SeekFrom::Start(
+                self.base + self.header.encoded_len() as u64,
+            ))?;
+            self.file.write_all(&index)?;
+        }
+
+        let mut head = Vec::with_capacity(self.header.encoded_len());
+        self.header.write(&mut head);
+        self.file.seek(SeekFrom::Start(self.base))?;
+        self.file.write_all(&head)?;
+        self.file.seek(SeekFrom::Start(
+            self.base + self.data_end + model_section.len() as u64,
+        ))?;
+        self.file.flush()?;
+        Ok(self.file)
+    }
+}
+
+/// `dims` with its slowest extent grown by `extra`.
+fn grow_slowest(dims: Dims, extra: usize) -> Dims {
+    let e = dims.extents();
+    match *e.as_slice() {
+        [n] => Dims::d1(n + extra),
+        [ny, nx] => Dims::d2(ny + extra, nx),
+        [nz, ny, nx] => Dims::d3(nz + extra, ny, nx),
+        _ => unreachable!("rank is always 1..=3"),
+    }
 }
 
 /// Random-access view over a validated archive byte stream.
@@ -774,7 +1291,7 @@ mod tests {
             (Dims::d3(5, 7, 9), 4, 5),
         ] {
             let field = ramp(dims);
-            let opts = ArchiveOptions { chunk, window };
+            let opts = ArchiveOptions::new().chunk(chunk).window(window);
             let (bytes, stats) =
                 write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec())
                     .expect("write");
@@ -792,10 +1309,7 @@ mod tests {
     #[test]
     fn random_access_matches_the_full_decode() {
         let field = ramp(Dims::d2(30, 22));
-        let opts = ArchiveOptions {
-            chunk: 8,
-            window: 2,
-        };
+        let opts = ArchiveOptions::new().chunk(8).window(2);
         let (bytes, _) =
             write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
         let reader = ArchiveReader::open(&bytes).unwrap();
@@ -813,10 +1327,7 @@ mod tests {
     #[test]
     fn archives_can_be_embedded_at_a_nonzero_stream_position() {
         let field = ramp(Dims::d2(10, 11));
-        let opts = ArchiveOptions {
-            chunk: 4,
-            window: 2,
-        };
+        let opts = ArchiveOptions::new().chunk(4).window(2);
         let prefix = b"sixteen byte hdr".to_vec();
         let mut cursor = Cursor::new(prefix.clone());
         cursor.set_position(prefix.len() as u64);
@@ -848,24 +1359,16 @@ mod tests {
     #[test]
     fn writer_rejects_unusable_requests() {
         let field = ramp(Dims::d1(8));
-        let ok = ArchiveOptions {
-            chunk: 4,
-            window: 1,
-        };
+        let ok = ArchiveOptions::new().chunk(4).window(1);
         assert!(matches!(
-            write_field_archive(
-                &field,
-                ErrorBound::abs(1.0),
-                &ArchiveOptions { chunk: 0, ..ok },
-                &mut raw_codec()
-            ),
+            write_field_archive(&field, ErrorBound::abs(1.0), &ok.chunk(0), &mut raw_codec()),
             Err(ArchiveWriteError::Invalid(_))
         ));
         assert!(matches!(
             write_field_archive(
                 &field,
                 ErrorBound::abs(1.0),
-                &ArchiveOptions { window: 0, ..ok },
+                &ok.window(0),
                 &mut raw_codec()
             ),
             Err(ArchiveWriteError::Invalid(_))
@@ -884,10 +1387,7 @@ mod tests {
     #[test]
     fn every_truncation_of_an_archive_is_rejected() {
         let field = ramp(Dims::d2(9, 9));
-        let opts = ArchiveOptions {
-            chunk: 4,
-            window: 2,
-        };
+        let opts = ArchiveOptions::new().chunk(4).window(2);
         let (bytes, _) =
             write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
         for len in 0..bytes.len() {
@@ -905,10 +1405,7 @@ mod tests {
     #[test]
     fn header_errors_are_reported_before_chunk_payloads() {
         let field = ramp(Dims::d1(10));
-        let opts = ArchiveOptions {
-            chunk: 4,
-            window: 1,
-        };
+        let opts = ArchiveOptions::new().chunk(4).window(1);
         let (bytes, _) =
             write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
         // Codec byte of the first index entry → unknown id.
@@ -959,10 +1456,7 @@ mod tests {
     #[test]
     fn embedding_writer_ships_each_model_once_and_readers_verify_it() {
         let field = ramp(Dims::d2(12, 10));
-        let opts = ArchiveOptions {
-            chunk: 4,
-            window: 2,
-        };
+        let opts = ArchiveOptions::new().chunk(4).window(2);
         let weights = b"pretend weights".to_vec();
         let expected = EmbeddedModel::new(CodecId::Zfp, &weights);
         let mut codecs = move |_spec: &BlockSpec| {
@@ -1001,10 +1495,7 @@ mod tests {
     #[test]
     fn embedding_model_free_codecs_yields_an_empty_v2_section() {
         let field = ramp(Dims::d1(10));
-        let opts = ArchiveOptions {
-            chunk: 4,
-            window: 2,
-        };
+        let opts = ArchiveOptions::new().chunk(4).window(2);
         let (v2, stats) =
             write_field_archive_embedding(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec())
                 .unwrap();
@@ -1027,19 +1518,338 @@ mod tests {
     #[test]
     fn frames_inside_an_archive_are_plain_container_frames() {
         let field = ramp(Dims::d1(12));
-        let opts = ArchiveOptions {
-            chunk: 4,
-            window: 2,
-        };
+        let opts = ArchiveOptions::new().chunk(4).window(2);
         let (bytes, _) =
             write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
         let reader = ArchiveReader::open(&bytes).unwrap();
         for i in 0..reader.chunk_count() {
             let frame = reader.chunk_frame(i).unwrap();
             assert!(frame.len() >= FRAME_LEN);
-            assert_eq!(container::peek_codec(frame).unwrap(), CodecId::Zfp);
+            assert_eq!(container::peek(frame).unwrap().codec, CodecId::Zfp);
             let (codec, _) = container::read_frame(frame).unwrap();
             assert_eq!(codec, reader.entries()[i].codec);
         }
+    }
+
+    #[test]
+    fn reserved_archives_are_v3_and_still_random_accessible() {
+        let field = ramp(Dims::d2(8, 6));
+        let opts = ArchiveOptions::new().chunk(4).window(2).reserve(5);
+        let (bytes, stats) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        let reader = ArchiveReader::open(&bytes).expect("open v3");
+        assert_eq!(reader.header().version, ARCHIVE_VERSION_APPEND);
+        assert_eq!(reader.header().index_cap, stats.chunks + 5);
+        let recon = reader.decode_all(2, &mut raw_decoder()).unwrap();
+        assert_eq!(recon.as_slice(), field.as_slice());
+        // The reserved slots cost exactly 5 spare index entries plus the
+        // index-capacity header slot, relative to the v1 layout.
+        let v1 = ArchiveOptions::new().chunk(4).window(2);
+        let (plain, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &v1, &mut raw_codec()).unwrap();
+        assert_eq!(bytes.len(), plain.len() + 8 + 8 + 5 * CHUNK_ENTRY_LEN);
+        // A flipped byte inside a reserved slot is caught at open.
+        let mut evil = bytes.clone();
+        evil[reader.header().encoded_len() + stats.chunks * CHUNK_ENTRY_LEN] = 1;
+        assert!(matches!(
+            ArchiveReader::open(&evil),
+            Err(DecompressError::BadChunkIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_written_archives_reload_with_random_access() {
+        let field = ramp(Dims::d2(9, 7));
+        let opts = ArchiveOptions::new().chunk(4).window(2);
+        let mut piped = Vec::new();
+        let stats = write_archive_stream(
+            &mut FieldSource(&field),
+            ErrorBound::abs(1.0),
+            &opts,
+            &mut raw_codec(),
+            &mut piped,
+        )
+        .expect("stream write");
+        assert_eq!(stats.archive_bytes, piped.len());
+        let reader = ArchiveReader::open(&piped).expect("open inline");
+        assert_eq!(reader.header().version, ARCHIVE_VERSION_APPEND);
+        assert_eq!(reader.header().index_cap, 0);
+        assert_eq!(reader.chunk_count(), stats.chunks);
+        let full = reader.decode_all(3, &mut raw_decoder()).unwrap();
+        assert_eq!(full.as_slice(), field.as_slice());
+        for i in 0..reader.chunk_count() {
+            let spec = reader.chunk_spec(i).unwrap();
+            let chunk = reader.decode_chunk(i, &mut Raw).unwrap();
+            assert_eq!(chunk.as_slice(), full.read_block_valid(&spec).as_slice());
+        }
+        // Truncations and trailing garbage are rejected like any archive.
+        for len in 0..piped.len() {
+            assert!(ArchiveReader::open(&piped[..len]).is_err());
+        }
+        let mut padded = piped.clone();
+        padded.push(0);
+        assert!(ArchiveReader::open(&padded).is_err());
+    }
+
+    /// `full` split along its slowest axis at `at`: (head field, tail field).
+    fn split_slow(full: &Field, at: usize) -> (Field, Field) {
+        let e = full.dims().extents();
+        let row: usize = e[1..].iter().product();
+        let (head_dims, tail_dims) = match *e.as_slice() {
+            [n] => (Dims::d1(at), Dims::d1(n - at)),
+            [ny, nx] => (Dims::d2(at, nx), Dims::d2(ny - at, nx)),
+            [nz, ny, nx] => (Dims::d3(at, ny, nx), Dims::d3(nz - at, ny, nx)),
+            _ => unreachable!(),
+        };
+        let head = Field::from_vec(head_dims, full.as_slice()[..at * row].to_vec()).unwrap();
+        let tail = Field::from_vec(tail_dims, full.as_slice()[at * row..].to_vec()).unwrap();
+        (head, tail)
+    }
+
+    #[test]
+    fn appended_archives_decode_as_if_written_in_one_pass() {
+        // The oracle: the concatenated field, written conventionally.
+        let full = ramp(Dims::d2(12, 6));
+        let (head, tail) = split_slow(&full, 8);
+        let opts = ArchiveOptions::new().chunk(4).window(2).reserve(8);
+        let (base, base_stats) =
+            write_field_archive(&head, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+
+        let mut app = ArchiveAppender::open(Cursor::new(base.clone())).expect("open appender");
+        assert_eq!(app.header().dims, head.dims());
+        assert_eq!(app.spare_slots(), 8);
+        let stats = app
+            .append(
+                &mut FieldSource(&tail),
+                ErrorBound::abs(1.0),
+                2,
+                &mut raw_codec(),
+            )
+            .expect("append");
+        // The 4×6 slab tiles into 1×2 chunks of edge 4.
+        assert_eq!(stats.chunks, 2);
+        assert_eq!(app.spare_slots(), 8 - 2);
+        let bytes = app.finalize().expect("finalize").into_inner();
+
+        // Existing payload bytes were not rewritten: the whole data section
+        // of the base archive reappears verbatim.
+        let base_header = ArchiveHeader::read(&base).unwrap();
+        let data = base_header.data_start();
+        let base_data_end = base.len() - base_header.model_len;
+        assert_eq!(&bytes[data..base_data_end], &base[data..base_data_end]);
+
+        let reader = ArchiveReader::open(&bytes).expect("reopen");
+        assert_eq!(reader.dims(), full.dims());
+        assert_eq!(reader.chunk_count(), base_stats.chunks + stats.chunks);
+        let recon = reader.decode_all(3, &mut raw_decoder()).unwrap();
+        assert_eq!(recon.as_slice(), full.as_slice());
+        for i in 0..reader.chunk_count() {
+            let spec = reader.chunk_spec(i).unwrap();
+            let chunk = reader.decode_chunk(i, &mut Raw).unwrap();
+            assert_eq!(chunk.as_slice(), recon.read_block_valid(&spec).as_slice());
+        }
+
+        // A second append drains the remaining capacity; a third is refused.
+        let mut app = ArchiveAppender::open(Cursor::new(bytes)).unwrap();
+        let more = ramp(Dims::d2(8, 6));
+        app.append(
+            &mut FieldSource(&more),
+            ErrorBound::abs(1.0),
+            2,
+            &mut raw_codec(),
+        )
+        .expect("second append");
+        assert_eq!(app.spare_slots(), 2);
+        assert!(matches!(
+            app.append(
+                &mut FieldSource(&more),
+                ErrorBound::abs(1.0),
+                2,
+                &mut raw_codec(),
+            ),
+            Err(ArchiveWriteError::Invalid(reason)) if reason.contains("capacity")
+        ));
+        let bytes = app.finalize().unwrap().into_inner();
+        assert_eq!(ArchiveReader::open(&bytes).unwrap().dims(), Dims::d2(20, 6));
+    }
+
+    #[test]
+    fn inline_archives_append_without_an_index() {
+        let full = ramp(Dims::d2(12, 6));
+        let (head, tail) = split_slow(&full, 8);
+        let opts = ArchiveOptions::new().chunk(4).window(2);
+        let mut piped = Vec::new();
+        write_archive_stream(
+            &mut FieldSource(&head),
+            ErrorBound::abs(1.0),
+            &opts,
+            &mut raw_codec(),
+            &mut piped,
+        )
+        .unwrap();
+        let mut app = ArchiveAppender::open(Cursor::new(piped)).expect("open inline");
+        assert_eq!(app.spare_slots(), usize::MAX);
+        app.append(
+            &mut FieldSource(&tail),
+            ErrorBound::abs(1.0),
+            2,
+            &mut raw_codec(),
+        )
+        .expect("append to inline");
+        let bytes = app.finalize().unwrap().into_inner();
+        let reader = ArchiveReader::open(&bytes).unwrap();
+        assert_eq!(reader.dims(), full.dims());
+        let recon = reader.decode_all(2, &mut raw_decoder()).unwrap();
+        assert_eq!(recon.as_slice(), full.as_slice());
+    }
+
+    #[test]
+    fn appends_can_be_embedded_at_a_nonzero_stream_position() {
+        let full = ramp(Dims::d1(16));
+        let (head, tail) = split_slow(&full, 8);
+        let opts = ArchiveOptions::new().chunk(4).window(1).reserve(4);
+        let (base, _) =
+            write_field_archive(&head, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        let prefix = b"sixteen byte hdr".to_vec();
+        let mut cursor = Cursor::new([prefix.clone(), base].concat());
+        cursor.set_position(prefix.len() as u64);
+        let mut app = ArchiveAppender::open(cursor).expect("open embedded");
+        app.append(
+            &mut FieldSource(&tail),
+            ErrorBound::abs(1.0),
+            1,
+            &mut raw_codec(),
+        )
+        .unwrap();
+        let bytes = app.finalize().unwrap().into_inner();
+        assert_eq!(&bytes[..prefix.len()], prefix.as_slice());
+        let reader = ArchiveReader::open(&bytes[prefix.len()..]).unwrap();
+        let recon = reader.decode_all(2, &mut raw_decoder()).unwrap();
+        assert_eq!(recon.as_slice(), full.as_slice());
+    }
+
+    #[test]
+    fn appender_preserves_and_extends_the_model_tail() {
+        let full = ramp(Dims::d2(12, 6));
+        let (head, tail) = split_slow(&full, 8);
+        let opts = ArchiveOptions::new().chunk(4).window(2).reserve(8);
+        let weights_a = b"weights alpha".to_vec();
+        let weights_b = b"weights beta".to_vec();
+        let mut codecs_a = {
+            let w = weights_a.clone();
+            move |_spec: &BlockSpec| Ok(Box::new(RawWithModel(w.clone())) as Box<dyn Compressor>)
+        };
+        let (base, _) = {
+            let mut sink = Cursor::new(Vec::new());
+            write_archive_impl(
+                &mut FieldSource(&head),
+                ErrorBound::abs(1.0),
+                &opts,
+                &mut codecs_a,
+                true,
+                &mut sink,
+            )
+            .unwrap();
+            (sink.into_inner(), ())
+        };
+        // reserve>0 forces v3; the embedded tail rides along.
+        assert_eq!(ArchiveHeader::read(&base).unwrap().version, 3);
+        assert_eq!(ArchiveReader::open(&base).unwrap().models().len(), 1);
+
+        let mut app = ArchiveAppender::open(Cursor::new(base)).unwrap();
+        // Appending with one already-embedded model and one new model must
+        // keep the old record and add exactly one.
+        let mut codecs_ab = {
+            let (a, b) = (weights_a.clone(), weights_b.clone());
+            let mut flip = false;
+            move |_spec: &BlockSpec| {
+                flip = !flip;
+                let w = if flip { a.clone() } else { b.clone() };
+                Ok(Box::new(RawWithModel(w)) as Box<dyn Compressor>)
+            }
+        };
+        app.append_embedding(
+            &mut FieldSource(&tail),
+            ErrorBound::abs(1.0),
+            2,
+            &mut codecs_ab,
+        )
+        .unwrap();
+        let bytes = app.finalize().unwrap().into_inner();
+        let reader = ArchiveReader::open(&bytes).unwrap();
+        let ids: Vec<ModelId> = reader.models().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&ModelId::of(&weights_a)));
+        assert!(ids.contains(&ModelId::of(&weights_b)));
+        let recon = reader.decode_all(2, &mut raw_decoder()).unwrap();
+        assert_eq!(recon.as_slice(), full.as_slice());
+    }
+
+    #[test]
+    fn appender_rejects_what_it_cannot_honour() {
+        // v1 archives are not appendable.
+        let field = ramp(Dims::d2(8, 6));
+        let v1_opts = ArchiveOptions::new().chunk(4).window(2);
+        let (v1, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &v1_opts, &mut raw_codec()).unwrap();
+        assert!(matches!(
+            ArchiveAppender::open(Cursor::new(v1)),
+            Err(ArchiveReadError::Archive(DecompressError::Unsupported(_)))
+        ));
+
+        let slab = ramp(Dims::d2(4, 6));
+        let opts = ArchiveOptions::new().chunk(4).window(2).reserve(8);
+        let (base, _) =
+            write_field_archive(&field, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+
+        // Relative bounds would need the whole-field range — refused.
+        let mut app = ArchiveAppender::open(Cursor::new(base.clone())).unwrap();
+        assert!(matches!(
+            app.append(
+                &mut FieldSource(&slab),
+                ErrorBound::rel(1e-3),
+                2,
+                &mut raw_codec()
+            ),
+            Err(ArchiveWriteError::Invalid(reason)) if reason.contains("absolute")
+        ));
+        // Fast axes must match.
+        let skewed = ramp(Dims::d2(4, 7));
+        assert!(matches!(
+            app.append(
+                &mut FieldSource(&skewed),
+                ErrorBound::abs(1.0),
+                2,
+                &mut raw_codec()
+            ),
+            Err(ArchiveWriteError::Invalid(reason)) if reason.contains("axis")
+        ));
+        // So must the rank.
+        let flat = ramp(Dims::d1(6));
+        assert!(matches!(
+            app.append(
+                &mut FieldSource(&flat),
+                ErrorBound::abs(1.0),
+                2,
+                &mut raw_codec()
+            ),
+            Err(ArchiveWriteError::Invalid(reason)) if reason.contains("rank")
+        ));
+
+        // A slow extent that is not chunk-aligned seals the archive: its
+        // edge chunks would change shape if the axis grew.
+        let ragged = ramp(Dims::d2(10, 6));
+        let (sealed, _) =
+            write_field_archive(&ragged, ErrorBound::abs(1.0), &opts, &mut raw_codec()).unwrap();
+        let mut app = ArchiveAppender::open(Cursor::new(sealed)).unwrap();
+        assert!(matches!(
+            app.append(
+                &mut FieldSource(&slab),
+                ErrorBound::abs(1.0),
+                2,
+                &mut raw_codec()
+            ),
+            Err(ArchiveWriteError::Invalid(reason)) if reason.contains("sealed")
+        ));
     }
 }

@@ -245,7 +245,7 @@ mod tests {
         let field = Field::from_fn(Dims::d1(8), |c| c[0] as f32);
         let mut ident = Identity;
         let bytes = ident.compress(&field, ErrorBound::abs(1e-3)).unwrap();
-        assert_eq!(container::peek_codec(&bytes).unwrap(), CodecId::Zfp);
+        assert_eq!(container::peek(&bytes).unwrap().codec, CodecId::Zfp);
         let recon = ident.decompress(&bytes).expect("identity roundtrip");
         assert_eq!(recon.as_slice(), field.as_slice());
         for len in 0..bytes.len() {

@@ -58,6 +58,28 @@
 //!                   frame length, and a complete AESM model frame
 //! ```
 //!
+//! Version 3 ([`ARCHIVE_VERSION_APPEND`]) inserts one more `u64` between the
+//! chunk count and the model-section length: the **index capacity** `cap`,
+//! the number of index slots physically present. Two regimes:
+//!
+//! * `cap == 0` — **inline archive**: no index table at all; the chunk
+//!   frames follow the header directly, back-to-back in index order. This
+//!   is what a seekless writer (a pipe) emits — the reader reconstructs the
+//!   index by walking the frame headers ([`reconstruct_chunk_index`]), so
+//!   random access still works once the bytes are on disk.
+//! * `cap >= n` — **appendable archive**: `cap` slots are reserved up
+//!   front, the first `n` hold real entries and the rest are zero-filled
+//!   (validated zero on read). [`crate::archive::ArchiveAppender`] fills
+//!   spare slots in place without shifting a single payload byte.
+//!
+//! ```text
+//! offset      size  field (v3 additions)
+//! 24+8r       8     index capacity cap, u64 LE (0, or >= chunk count n)
+//! 32+8r       8     model section length m_len, u64 little-endian
+//! 40+8r       17·cap chunk index slots (absent when cap == 0)
+//! …                 chunk frames, then the model section as in v2
+//! ```
+//!
 //! [`ArchiveHeader::read`], [`read_chunk_index`] and [`read_model_section`]
 //! are the trust boundary: extents are capped at [`MAX_FIELD_ELEMS`], the
 //! stored chunk count must equal the recomputed grid product, index entries
@@ -206,23 +228,87 @@ pub fn read_frame(bytes: &[u8]) -> Result<(CodecId, &[u8]), DecompressError> {
 
 /// Read only the codec id of a frame (for dispatch or inspection), without
 /// requiring the payload to be complete.
+#[deprecated(note = "use `container::peek`, which also reports the version, \
+                     payload length and referenced model id")]
 pub fn peek_codec(bytes: &[u8]) -> Result<CodecId, DecompressError> {
+    peek(bytes).map(|info| info.codec)
+}
+
+/// Magic bytes opening the AE-SZ codec's current *payload* (the bytes inside
+/// an `AESC` frame), followed on the wire by the 16-byte [`ModelId`] of the
+/// network that encoded the stream.
+///
+/// This is a wire constant mirrored from `aesz_core::stream::MAGIC` — the
+/// container layer sits below the codec crates in the dependency graph, so
+/// it keeps its own copy to peek model ids without decoding; a test in
+/// `aesz_core` pins the two byte-for-byte.
+pub const AESZ_PAYLOAD_MAGIC: [u8; 8] = *b"AESZ0003";
+
+/// Everything [`peek`] can learn about a frame from its fixed-length header
+/// (plus, opportunistically, the first payload bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Codec that produced the frame's payload — the dispatch key.
+    pub codec: CodecId,
+    /// Container version recorded in the frame.
+    pub version: u8,
+    /// Payload byte length the frame declares (the input may hold fewer —
+    /// `peek` does not require the payload to be complete).
+    pub payload_len: u64,
+    /// Content-addressed id of the trained model the payload references,
+    /// when the codec's payload carries one in its prefix (AE-SZ's current
+    /// stream format, AE-A and AE-B) and enough payload bytes are present
+    /// to read it. `None` for model-free codecs, for older AE-SZ streams
+    /// that embed weights inline, and for payload prefixes too short to
+    /// tell.
+    pub model_id: Option<ModelId>,
+}
+
+/// Inspect a container frame without decoding it: codec id, container
+/// version, declared payload length and (best-effort) the referenced model
+/// id. Requires the fixed [`FRAME_LEN`]-byte header to be present; the
+/// payload may be incomplete or absent.
+///
+/// This unifies the old `peek_codec` / `aesz_core::peek_model_id` pair into
+/// one dispatch-and-inspection entry point.
+pub fn peek(bytes: &[u8]) -> Result<FrameInfo, DecompressError> {
     if bytes.len() < CONTAINER_MAGIC.len() {
         return Err(DecompressError::Truncated("container magic"));
     }
     if bytes[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
         return Err(DecompressError::BadMagic);
     }
-    let version = *bytes
-        .get(4)
-        .ok_or(DecompressError::Truncated("container version"))?;
+    if bytes.len() < FRAME_LEN {
+        return Err(DecompressError::Truncated("container frame"));
+    }
+    let version = bytes[4];
     if version != CONTAINER_VERSION {
         return Err(DecompressError::UnsupportedVersion(version));
     }
-    let id = *bytes
-        .get(5)
-        .ok_or(DecompressError::Truncated("container codec id"))?;
-    CodecId::from_byte(id).ok_or(DecompressError::UnknownCodec(id))
+    let codec = CodecId::from_byte(bytes[5]).ok_or(DecompressError::UnknownCodec(bytes[5]))?;
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&bytes[6..14]);
+    let payload_len = u64::from_le_bytes(len_bytes);
+    Ok(FrameInfo {
+        codec,
+        version,
+        payload_len,
+        model_id: peek_payload_model_id(codec, &bytes[FRAME_LEN..]),
+    })
+}
+
+/// Best-effort model-id extraction from the prefix of a codec *payload*
+/// (the bytes after the `AESC` frame header). Returns `None` whenever the
+/// codec's format carries no id up front or the prefix is too short.
+pub fn peek_payload_model_id(codec: CodecId, payload: &[u8]) -> Option<ModelId> {
+    match codec {
+        CodecId::AeSz => {
+            let rest = payload.strip_prefix(&AESZ_PAYLOAD_MAGIC[..])?;
+            ModelId::from_prefix(rest)
+        }
+        CodecId::AeA | CodecId::AeB => ModelId::from_prefix(payload),
+        _ => None,
+    }
 }
 
 /// Magic bytes opening every serialized-model frame ("AE-SZ model").
@@ -347,6 +433,13 @@ pub const ARCHIVE_VERSION: u8 = 1;
 /// whose tail may embed the referenced models' `AESM` frames.
 pub const ARCHIVE_VERSION_MODELS: u8 = 2;
 
+/// Archive format version whose header additionally carries an index
+/// capacity: `0` marks an **inline** archive (no index table — what a
+/// seekless pipe writer emits; readers reconstruct the index from the frame
+/// headers), any other value reserves that many index slots so the archive
+/// can be **appended to** in place without rewriting payload bytes.
+pub const ARCHIVE_VERSION_APPEND: u8 = 3;
+
 /// The one data type archives currently carry: little-endian `f32`.
 pub const ARCHIVE_DTYPE_F32: u8 = 1;
 
@@ -361,14 +454,19 @@ pub struct ArchiveHeader {
     /// Nominal chunk edge length (edge chunks are smaller, exactly like the
     /// blockwise compressors' edge blocks).
     pub chunk: usize,
-    /// Archive format version ([`ARCHIVE_VERSION`] or
-    /// [`ARCHIVE_VERSION_MODELS`]). Version 1 archives have no model section
-    /// and their header carries no model-section length, so the v1 encoding
-    /// is byte-identical to the original format.
+    /// Archive format version ([`ARCHIVE_VERSION`], [`ARCHIVE_VERSION_MODELS`]
+    /// or [`ARCHIVE_VERSION_APPEND`]). Version 1 archives have no model
+    /// section and their header carries no model-section length, so the v1
+    /// encoding is byte-identical to the original format.
     pub version: u8,
     /// Byte length of the model section at the archive's tail (0 for v1 and
-    /// for v2 archives that embed nothing).
+    /// for v2/v3 archives that embed nothing).
     pub model_len: usize,
+    /// Number of index slots physically present (v3 only; must be 0 for
+    /// v1/v2, whose index always holds exactly [`Self::chunk_count`]
+    /// entries). For v3, `0` means an inline archive with no index table and
+    /// any other value must be `>= chunk_count()`.
+    pub index_cap: usize,
 }
 
 impl ArchiveHeader {
@@ -380,6 +478,7 @@ impl ArchiveHeader {
             chunk,
             version: ARCHIVE_VERSION,
             model_len: 0,
+            index_cap: 0,
         }
     }
     /// Number of chunks along each axis (ceiling division per axis).
@@ -393,7 +492,8 @@ impl ArchiveHeader {
     }
 
     /// Encoded byte length of this header (rank- and version-dependent: v2
-    /// appends the 8-byte model-section length).
+    /// appends the 8-byte model-section length, v3 additionally the 8-byte
+    /// index capacity).
     pub fn encoded_len(&self) -> usize {
         8 + 8 * self.dims.rank()
             + 16
@@ -402,11 +502,27 @@ impl ArchiveHeader {
             } else {
                 0
             }
+            + if self.version >= ARCHIVE_VERSION_APPEND {
+                8
+            } else {
+                0
+            }
+    }
+
+    /// Number of index slots physically present after the header: always the
+    /// chunk count for v1/v2; the stored capacity for v3 (0 for an inline
+    /// archive).
+    pub fn index_slots(&self) -> usize {
+        if self.version >= ARCHIVE_VERSION_APPEND {
+            self.index_cap
+        } else {
+            self.chunk_count()
+        }
     }
 
     /// Byte length of the chunk index that follows the header.
     pub fn index_len(&self) -> usize {
-        self.chunk_count() * CHUNK_ENTRY_LEN
+        self.index_slots() * CHUNK_ENTRY_LEN
     }
 
     /// Absolute offset of the first chunk frame (header + index).
@@ -427,6 +543,9 @@ impl ArchiveHeader {
         }
         out.extend_from_slice(&(self.chunk as u64).to_le_bytes());
         out.extend_from_slice(&(self.chunk_count() as u64).to_le_bytes());
+        if self.version >= ARCHIVE_VERSION_APPEND {
+            out.extend_from_slice(&(self.index_cap as u64).to_le_bytes());
+        }
         if self.version >= ARCHIVE_VERSION_MODELS {
             out.extend_from_slice(&(self.model_len as u64).to_le_bytes());
         }
@@ -437,8 +556,28 @@ impl ArchiveHeader {
     /// Rejects wrong magic/version/dtype, out-of-range ranks, zero or
     /// over-cap extents (total capped at [`MAX_FIELD_ELEMS`]), a zero chunk
     /// edge, and any stored chunk count that disagrees with the grid implied
-    /// by the extents and chunk edge.
+    /// by the extents and chunk edge. Requires the whole archive as input so
+    /// a declared model-section length larger than the input is rejected
+    /// here; incremental parsers that only hold a prefix use
+    /// [`ArchiveHeader::read_prefix`] and enforce that bound themselves.
     pub fn read(bytes: &[u8]) -> Result<ArchiveHeader, DecompressError> {
+        let header = Self::read_prefix(bytes)?;
+        // The model section lives inside the archive, so its length can
+        // never exceed the input; a precise bound (input minus header,
+        // index and frames) is enforced by `read_chunk_index`.
+        if header.model_len as u64 > bytes.len() as u64 {
+            return Err(DecompressError::Truncated("archive model section"));
+        }
+        Ok(header)
+    }
+
+    /// Parse and validate an archive header from a *prefix* of an archive.
+    ///
+    /// Identical to [`ArchiveHeader::read`] except that the declared
+    /// model-section length is not compared against the input length — a
+    /// streaming parser holding only the first bytes cannot know the final
+    /// size yet. `bytes` must still hold the complete fixed-size header.
+    pub fn read_prefix(bytes: &[u8]) -> Result<ArchiveHeader, DecompressError> {
         if bytes.len() < ARCHIVE_MAGIC.len() {
             return Err(DecompressError::Truncated("archive magic"));
         }
@@ -449,7 +588,7 @@ impl ArchiveHeader {
             return Err(DecompressError::Truncated("archive header"));
         }
         let version = bytes[4];
-        if version != ARCHIVE_VERSION && version != ARCHIVE_VERSION_MODELS {
+        if !(ARCHIVE_VERSION..=ARCHIVE_VERSION_APPEND).contains(&version) {
             return Err(DecompressError::UnsupportedVersion(version));
         }
         if bytes[5] != ARCHIVE_DTYPE_F32 {
@@ -466,6 +605,11 @@ impl ArchiveHeader {
             + 8 * rank
             + 16
             + if version >= ARCHIVE_VERSION_MODELS {
+                8
+            } else {
+                0
+            }
+            + if version >= ARCHIVE_VERSION_APPEND {
                 8
             } else {
                 0
@@ -510,15 +654,27 @@ impl ArchiveHeader {
                 "archive chunk edge exceeds cap",
             ));
         }
-        let model_len = if version >= ARCHIVE_VERSION_MODELS {
-            let len = u64_at(24 + 8 * rank);
-            // The model section lives inside the archive, so its length can
-            // never exceed the input; a precise bound (input minus header,
-            // index and frames) is enforced by `read_chunk_index`.
-            if len > bytes.len() as u64 {
-                return Err(DecompressError::Truncated("archive model section"));
+        let index_cap = if version >= ARCHIVE_VERSION_APPEND {
+            let cap = u64_at(24 + 8 * rank);
+            // The cap sizes the index allocation, so bound it like the
+            // element count; the precise fit against the input is enforced
+            // by `read_chunk_index`.
+            if cap > MAX_FIELD_ELEMS as u64 {
+                return Err(DecompressError::InvalidHeader(
+                    "archive index capacity exceeds cap",
+                ));
             }
-            len as usize
+            cap as usize
+        } else {
+            0
+        };
+        let model_len_at = if version >= ARCHIVE_VERSION_APPEND {
+            32 + 8 * rank
+        } else {
+            24 + 8 * rank
+        };
+        let model_len = if version >= ARCHIVE_VERSION_MODELS {
+            u64_at(model_len_at) as usize
         } else {
             0
         };
@@ -527,11 +683,17 @@ impl ArchiveHeader {
             chunk: chunk as usize,
             version,
             model_len,
+            index_cap,
         };
         let declared = u64_at(16 + 8 * rank);
         if declared != header.chunk_count() as u64 {
             return Err(DecompressError::Inconsistent(
                 "stored chunk count disagrees with the chunk grid",
+            ));
+        }
+        if version >= ARCHIVE_VERSION_APPEND && index_cap != 0 && index_cap < header.chunk_count() {
+            return Err(DecompressError::InvalidHeader(
+                "archive index capacity smaller than the chunk count",
             ));
         }
         Ok(header)
@@ -557,20 +719,79 @@ pub fn write_chunk_entry(out: &mut Vec<u8>, entry: &ChunkEntry) {
     out.extend_from_slice(&entry.len.to_le_bytes());
 }
 
+/// Validate one chunk-index entry against the running tiling cursor and the
+/// data-section end, advancing the cursor past the entry's frame. Shared by
+/// the buffered index reader, the inline-index reconstruction and the
+/// streaming parser so every path rejects the same hostile inputs.
+pub fn validate_chunk_entry(
+    entry: &ChunkEntry,
+    chunk: usize,
+    expected_offset: u64,
+    data_end: u64,
+    model_len: usize,
+) -> Result<u64, DecompressError> {
+    if entry.offset > expected_offset {
+        return Err(DecompressError::BadChunkIndex {
+            chunk,
+            reason: "entry leaves a gap after its predecessor",
+        });
+    }
+    if entry.offset < expected_offset {
+        return Err(DecompressError::BadChunkIndex {
+            chunk,
+            reason: "entry overlaps its predecessor",
+        });
+    }
+    if entry.len < FRAME_LEN as u64 {
+        return Err(DecompressError::BadChunkIndex {
+            chunk,
+            reason: "frame shorter than a container frame",
+        });
+    }
+    let next = entry
+        .offset
+        .checked_add(entry.len)
+        .ok_or(DecompressError::BadChunkIndex {
+            chunk,
+            reason: "frame length overflows the archive",
+        })?;
+    if next > data_end {
+        // With a model section present the entry demonstrably reaches into
+        // (or past) the model tail — a malformed index. Without one, the
+        // input may simply have been cut short.
+        return Err(if model_len > 0 {
+            DecompressError::BadChunkIndex {
+                chunk,
+                reason: "entry points past the data section into the model tail",
+            }
+        } else {
+            DecompressError::Truncated("archive chunk data")
+        });
+    }
+    Ok(next)
+}
+
 /// Parse and validate the chunk index of an archive whose header already
 /// parsed as `header`.
 ///
 /// Beyond per-entry decoding, this enforces the tiling invariant: entry 0
-/// starts at the data section, every entry abuts its predecessor, every
-/// frame is at least [`FRAME_LEN`] long, and the last entry ends exactly
-/// where the model section begins (the end of the input for v1 and for v2
-/// archives embedding nothing) — so lying offsets or lengths, overlapping or
-/// reordered entries, truncation and trailing garbage are all rejected here.
+/// starts at the data section, every entry abuts its predecessor (no
+/// overlaps, no gaps), every frame is at least [`FRAME_LEN`] long, no entry
+/// reaches into the model tail, and the last entry ends exactly where the
+/// model section begins (the end of the input for archives embedding
+/// nothing) — so lying offsets or lengths, overlapping or reordered entries,
+/// truncation and trailing garbage are all rejected here. For v3 archives
+/// the reserved capacity slots past the chunk count must be zero-filled, and
+/// an inline v3 archive (capacity 0) has its index reconstructed by walking
+/// the frame headers ([`reconstruct_chunk_index`]).
 pub fn read_chunk_index(
     bytes: &[u8],
     header: &ArchiveHeader,
 ) -> Result<Vec<ChunkEntry>, DecompressError> {
     let count = header.chunk_count();
+    if header.index_slots() == 0 && header.version >= ARCHIVE_VERSION_APPEND {
+        return reconstruct_chunk_index(bytes, header);
+    }
     let index_start = header.encoded_len();
     // Both bounds are computed from the already-validated header, so this
     // check (against the real input length) caps every allocation below.
@@ -589,32 +810,104 @@ pub fn read_chunk_index(
     let mut expected_offset = data_start as u64;
     for i in 0..count {
         let at = index_start + i * CHUNK_ENTRY_LEN;
-        let codec =
-            CodecId::from_byte(bytes[at]).ok_or(DecompressError::UnknownCodec(bytes[at]))?;
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&bytes[at + 1..at + 9]);
-        let offset = u64::from_le_bytes(b);
-        b.copy_from_slice(&bytes[at + 9..at + 17]);
-        let len = u64::from_le_bytes(b);
-        if offset != expected_offset {
-            return Err(DecompressError::Inconsistent(
-                "chunk index entries do not tile the data section",
-            ));
+        let entry = decode_chunk_entry(&bytes[at..at + CHUNK_ENTRY_LEN])?;
+        expected_offset = validate_chunk_entry(
+            &entry,
+            i,
+            expected_offset,
+            data_end as u64,
+            header.model_len,
+        )?;
+        entries.push(entry);
+    }
+    // Reserved capacity slots (v3) must be zero-filled: a stray byte there
+    // is either corruption or a finalize that never happened.
+    for slot in count..header.index_slots() {
+        let at = index_start + slot * CHUNK_ENTRY_LEN;
+        if bytes[at..at + CHUNK_ENTRY_LEN].iter().any(|&b| b != 0) {
+            return Err(DecompressError::BadChunkIndex {
+                chunk: slot,
+                reason: "reserved index slot is not zero-filled",
+            });
         }
-        if len < FRAME_LEN as u64 {
-            return Err(DecompressError::InvalidHeader(
-                "chunk frame shorter than a container frame",
-            ));
-        }
-        expected_offset = offset
-            .checked_add(len)
-            .ok_or(DecompressError::InvalidHeader("chunk frame length"))?;
-        if expected_offset > data_end as u64 {
-            return Err(DecompressError::Truncated("archive chunk data"));
-        }
-        entries.push(ChunkEntry { codec, offset, len });
     }
     if expected_offset != data_end as u64 {
+        return Err(DecompressError::Inconsistent(
+            "trailing bytes after the last chunk frame",
+        ));
+    }
+    Ok(entries)
+}
+
+/// Decode one raw 17-byte chunk-index entry (codec id, offset, length).
+pub fn decode_chunk_entry(bytes: &[u8]) -> Result<ChunkEntry, DecompressError> {
+    if bytes.len() < CHUNK_ENTRY_LEN {
+        return Err(DecompressError::Truncated("archive chunk index"));
+    }
+    let codec = CodecId::from_byte(bytes[0]).ok_or(DecompressError::UnknownCodec(bytes[0]))?;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[1..9]);
+    let offset = u64::from_le_bytes(b);
+    b.copy_from_slice(&bytes[9..17]);
+    let len = u64::from_le_bytes(b);
+    Ok(ChunkEntry { codec, offset, len })
+}
+
+/// Rebuild the chunk index of an **inline** v3 archive (index capacity 0) by
+/// walking the `AESC` frame headers back-to-back from the data start.
+///
+/// Each frame's magic, version and codec byte are validated and its declared
+/// payload length consumed; the walk must land exactly on the model-section
+/// boundary after exactly [`ArchiveHeader::chunk_count`] frames. The result
+/// is indistinguishable from a stored index, so random access over a piped
+/// archive works as soon as the bytes are on disk.
+pub fn reconstruct_chunk_index(
+    bytes: &[u8],
+    header: &ArchiveHeader,
+) -> Result<Vec<ChunkEntry>, DecompressError> {
+    let count = header.chunk_count();
+    let data_start = header.encoded_len();
+    if bytes.len() < data_start {
+        return Err(DecompressError::Truncated("archive header"));
+    }
+    let data_end = bytes.len() - header.model_len.min(bytes.len());
+    if data_end < data_start {
+        return Err(DecompressError::Truncated("archive model section"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    let mut pos = data_start;
+    for i in 0..count {
+        if data_end - pos < FRAME_LEN {
+            return Err(DecompressError::Truncated("archive chunk data"));
+        }
+        let head = &bytes[pos..pos + FRAME_LEN];
+        if head[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
+            return Err(DecompressError::BadMagic);
+        }
+        if head[4] != CONTAINER_VERSION {
+            return Err(DecompressError::UnsupportedVersion(head[4]));
+        }
+        let codec = CodecId::from_byte(head[5]).ok_or(DecompressError::UnknownCodec(head[5]))?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&head[6..14]);
+        let payload_len = u64::from_le_bytes(b);
+        let len =
+            (FRAME_LEN as u64)
+                .checked_add(payload_len)
+                .ok_or(DecompressError::BadChunkIndex {
+                    chunk: i,
+                    reason: "frame length overflows the archive",
+                })?;
+        let entry = ChunkEntry {
+            codec,
+            offset: pos as u64,
+            len,
+        };
+        pos = validate_chunk_entry(&entry, i, pos as u64, data_end as u64, header.model_len)?
+            as usize;
+        entries.push(entry);
+    }
+    if pos != data_end {
         return Err(DecompressError::Inconsistent(
             "trailing bytes after the last chunk frame",
         ));
@@ -642,7 +935,13 @@ pub fn read_model_section<'a>(
         .len()
         .checked_sub(header.model_len)
         .ok_or(DecompressError::Truncated("archive model section"))?;
-    let section = &bytes[start..];
+    parse_model_section(&bytes[start..])
+}
+
+/// Walk a complete model *section* (the last `model_len` bytes of a v2/v3
+/// archive), validating every record — the shared trust boundary behind
+/// [`read_model_section`] and the streaming parser.
+pub fn parse_model_section(section: &[u8]) -> Result<Vec<(ModelId, &[u8])>, DecompressError> {
     let mut models = Vec::new();
     let mut pos = 0usize;
     while pos < section.len() {
@@ -686,7 +985,45 @@ mod tests {
         let (codec, body) = read_frame(&framed).unwrap();
         assert_eq!(codec, CodecId::SzInterp);
         assert_eq!(body, payload);
-        assert_eq!(peek_codec(&framed).unwrap(), CodecId::SzInterp);
+        #[allow(deprecated)]
+        let peeked = peek_codec(&framed).unwrap();
+        assert_eq!(peeked, CodecId::SzInterp);
+    }
+
+    #[test]
+    fn peek_reports_codec_length_and_model_id() {
+        // A model-free codec: no id, full header info.
+        let framed = write_frame(CodecId::Zfp, b"0123456789");
+        let info = peek(&framed).unwrap();
+        assert_eq!(info.codec, CodecId::Zfp);
+        assert_eq!(info.version, CONTAINER_VERSION);
+        assert_eq!(info.payload_len, 10);
+        assert_eq!(info.model_id, None);
+
+        // AE-SZ's current stream format: payload magic + 16-byte model id.
+        let id = ModelId::of(b"some weights");
+        let mut payload = AESZ_PAYLOAD_MAGIC.to_vec();
+        payload.extend_from_slice(id.as_bytes());
+        payload.extend_from_slice(b"rest of stream");
+        let framed = write_frame(CodecId::AeSz, &payload);
+        assert_eq!(peek(&framed).unwrap().model_id, Some(id));
+        // Peeking works even when only the id prefix of the payload arrived.
+        let cut = FRAME_LEN + AESZ_PAYLOAD_MAGIC.len() + MODEL_ID_LEN;
+        assert_eq!(peek(&framed[..cut]).unwrap().model_id, Some(id));
+        // …and degrades to None when too few payload bytes are present.
+        assert_eq!(peek(&framed[..cut - 1]).unwrap().model_id, None);
+
+        // AE-A / AE-B payloads open with the raw id.
+        let mut payload = id.as_bytes().to_vec();
+        payload.extend_from_slice(b"latents");
+        let framed = write_frame(CodecId::AeA, &payload);
+        assert_eq!(peek(&framed).unwrap().model_id, Some(id));
+
+        // The frame header itself is still mandatory.
+        assert!(matches!(
+            peek(&framed[..FRAME_LEN - 1]),
+            Err(DecompressError::Truncated(_))
+        ));
     }
 
     #[test]
@@ -765,6 +1102,7 @@ mod tests {
             chunk: 4,
             version: ARCHIVE_VERSION_MODELS,
             model_len: model_section.len(),
+            index_cap: 0,
         };
         let mut bytes = Vec::new();
         header.write(&mut bytes);
@@ -876,5 +1214,163 @@ mod tests {
         let mut framed = write_frame(CodecId::Zfp, b"abc");
         framed[5] = 0;
         assert_eq!(read_frame(&framed), Err(DecompressError::UnknownCodec(0)));
+    }
+
+    /// Build a synthetic v3 archive over `Dims::d1(8)` / chunk 4 (two
+    /// chunks) with the given index capacity (0 = inline).
+    fn v3_archive(index_cap: usize) -> (Vec<u8>, ArchiveHeader) {
+        let frames = [
+            write_frame(CodecId::Zfp, b"first chunk"),
+            write_frame(CodecId::Sz2, b"second"),
+        ];
+        let header = ArchiveHeader {
+            dims: Dims::d1(8),
+            chunk: 4,
+            version: ARCHIVE_VERSION_APPEND,
+            model_len: 0,
+            index_cap,
+        };
+        let mut bytes = Vec::new();
+        header.write(&mut bytes);
+        if index_cap > 0 {
+            let mut offset = header.data_start() as u64;
+            for (f, codec) in frames.iter().zip([CodecId::Zfp, CodecId::Sz2]) {
+                write_chunk_entry(
+                    &mut bytes,
+                    &ChunkEntry {
+                        codec,
+                        offset,
+                        len: f.len() as u64,
+                    },
+                );
+                offset += f.len() as u64;
+            }
+            bytes.resize(bytes.len() + (index_cap - 2) * CHUNK_ENTRY_LEN, 0);
+        }
+        for f in &frames {
+            bytes.extend_from_slice(f);
+        }
+        (bytes, header)
+    }
+
+    #[test]
+    fn v3_headers_roundtrip_in_both_regimes() {
+        for cap in [0usize, 2, 7] {
+            let (bytes, header) = v3_archive(cap);
+            let parsed = ArchiveHeader::read(&bytes).unwrap();
+            assert_eq!(parsed, header);
+            assert_eq!(parsed.index_slots(), cap);
+            let entries = read_chunk_index(&bytes, &parsed).unwrap();
+            assert_eq!(entries.len(), 2);
+            assert_eq!(entries[0].codec, CodecId::Zfp);
+            assert_eq!(entries[1].codec, CodecId::Sz2);
+            assert_eq!(entries[0].offset as usize, parsed.data_start());
+        }
+        // Inline and indexed forms agree on the reconstructed entries.
+        let (inline, h0) = v3_archive(0);
+        let (indexed, h2) = v3_archive(2);
+        assert_eq!(
+            read_chunk_index(&inline, &h0)
+                .unwrap()
+                .iter()
+                .map(|e| (e.codec, e.len))
+                .collect::<Vec<_>>(),
+            read_chunk_index(&indexed, &h2)
+                .unwrap()
+                .iter()
+                .map(|e| (e.codec, e.len))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn v3_capacity_and_reserved_slots_are_validated() {
+        // A capacity smaller than the chunk count is rejected at the header.
+        let (mut bytes, _) = v3_archive(2);
+        bytes[32] = 1; // index_cap u64 at offset 24 + 8·rank = 32 for rank 1
+        assert_eq!(
+            ArchiveHeader::read(&bytes),
+            Err(DecompressError::InvalidHeader(
+                "archive index capacity smaller than the chunk count"
+            ))
+        );
+
+        // A non-zero byte in a reserved slot is a dedicated index error.
+        let (mut bytes, header) = v3_archive(4);
+        let slot3 = header.encoded_len() + 3 * CHUNK_ENTRY_LEN;
+        bytes[slot3 + 5] = 0xAA;
+        assert_eq!(
+            read_chunk_index(&bytes, &header),
+            Err(DecompressError::BadChunkIndex {
+                chunk: 3,
+                reason: "reserved index slot is not zero-filled",
+            })
+        );
+
+        // Every truncation of an inline archive is rejected.
+        let (bytes, _) = v3_archive(0);
+        for len in 0..bytes.len() {
+            let slice = &bytes[..len];
+            let ok = ArchiveHeader::read(slice).and_then(|h| read_chunk_index(slice, &h));
+            assert!(
+                ok.is_err(),
+                "truncated v3 inline archive of {len} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_and_tail_crossing_index_entries_are_rejected() {
+        let (bytes, header) = v3_archive(2);
+        let e0 = header.encoded_len();
+
+        // Shrink entry 0's offset: entry 1 then overlaps it... actually
+        // entry 0 itself no longer starts at the data section (a gap or
+        // overlap depending on direction). Both directions must fail.
+        let mut evil = bytes.clone();
+        evil[e0 + 1] = evil[e0 + 1].wrapping_sub(1);
+        assert!(matches!(
+            read_chunk_index(&evil, &header),
+            Err(DecompressError::BadChunkIndex { chunk: 0, .. })
+        ));
+        let mut evil = bytes.clone();
+        evil[e0 + 1] = evil[e0 + 1].wrapping_add(1);
+        assert!(matches!(
+            read_chunk_index(&evil, &header),
+            Err(DecompressError::BadChunkIndex { chunk: 0, .. })
+        ));
+
+        // Inflate entry 0's length: entry 1 now overlaps it.
+        let mut evil = bytes.clone();
+        evil[e0 + 9] = evil[e0 + 9].wrapping_add(1);
+        assert!(matches!(
+            read_chunk_index(&evil, &header),
+            Err(DecompressError::BadChunkIndex { chunk: 1, .. })
+        ));
+
+        // An index entry reaching into the model tail is the dedicated
+        // error when a model section exists.
+        let model = EmbeddedModel::new(CodecId::AeSz, b"tail model");
+        let mut section = Vec::new();
+        section.extend_from_slice(model.id.as_bytes());
+        section.extend_from_slice(&(model.frame.len() as u64).to_le_bytes());
+        section.extend_from_slice(&model.frame);
+        let mut tailed = v3_archive(2).0;
+        let mlen_at = 40; // rank 1, v3: model_len u64 at offset 32 + 8·rank = 40
+        tailed.extend_from_slice(&section);
+        tailed[mlen_at..mlen_at + 8].copy_from_slice(&(section.len() as u64).to_le_bytes());
+        let h = ArchiveHeader::read(&tailed).unwrap();
+        assert_eq!(h.model_len, section.len());
+        assert!(read_chunk_index(&tailed, &h).is_ok());
+        // Now inflate the *last* entry's length so it crosses into the tail.
+        let last = h.encoded_len() + CHUNK_ENTRY_LEN;
+        tailed[last + 9] = tailed[last + 9].wrapping_add(1);
+        assert_eq!(
+            read_chunk_index(&tailed, &h),
+            Err(DecompressError::BadChunkIndex {
+                chunk: 1,
+                reason: "entry points past the data section into the model tail",
+            })
+        );
     }
 }

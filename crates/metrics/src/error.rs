@@ -63,6 +63,17 @@ pub enum DecompressError {
     InvalidHeader(&'static str),
     /// Header fields and payload sections disagree with each other.
     Inconsistent(&'static str),
+    /// An archive chunk-index entry is malformed: its extent overlaps a
+    /// neighbour, leaves a gap, points past the data section into the model
+    /// tail, or (for reserved capacity slots) is not zero-filled. Carries the
+    /// zero-based index of the offending entry so multi-thousand-chunk
+    /// archives can be triaged without a hex dump.
+    BadChunkIndex {
+        /// Zero-based position of the offending index entry.
+        chunk: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
     /// The stream is well-formed but this decoder instance cannot honour it
     /// (e.g. a learned codec whose model is not trained).
     Unsupported(&'static str),
@@ -126,6 +137,9 @@ impl std::fmt::Display for DecompressError {
             DecompressError::Truncated(what) => write!(f, "truncated stream: {what}"),
             DecompressError::InvalidHeader(what) => write!(f, "invalid header field: {what}"),
             DecompressError::Inconsistent(what) => write!(f, "inconsistent stream: {what}"),
+            DecompressError::BadChunkIndex { chunk, reason } => {
+                write!(f, "bad chunk index entry {chunk}: {reason}")
+            }
             DecompressError::Unsupported(what) => write!(f, "decoder cannot serve stream: {what}"),
             DecompressError::MissingModel { codec, model_id } => write!(
                 f,
@@ -216,6 +230,12 @@ mod tests {
         };
         assert!(wrong.to_string().contains("ZFP"));
         assert!(wrong.to_string().contains("SZ2.1"));
+        let bad = DecompressError::BadChunkIndex {
+            chunk: 7,
+            reason: "entries overlap",
+        };
+        assert!(bad.to_string().contains('7'));
+        assert!(bad.to_string().contains("overlap"));
     }
 
     #[test]

@@ -16,18 +16,20 @@ pub mod container;
 pub mod error;
 pub mod error_stats;
 pub mod rate_distortion;
+pub mod stream;
 
 pub use archive::{
-    write_archive, write_archive_embedding, write_field_archive, write_field_archive_embedding,
-    ArchiveOptions, ArchiveReadError, ArchiveReader, ArchiveStats, ArchiveWriteError, ChunkSink,
-    ChunkSource, FieldSink, FieldSource,
+    write_archive, write_archive_embedding, write_archive_stream, write_field_archive,
+    write_field_archive_embedding, ArchiveAppender, ArchiveOptions, ArchiveReadError,
+    ArchiveReader, ArchiveStats, ArchiveWriteError, ChunkSink, ChunkSource, FieldSink, FieldSource,
 };
 pub use bound::ErrorBound;
 pub use compressor::{measure, Compressor, SweepPoint};
 pub use container::{
-    read_frame, read_model_frame, write_frame, write_model_frame, ArchiveHeader, ChunkEntry,
-    CodecId, EmbeddedModel, ModelId,
+    peek, read_frame, read_model_frame, write_frame, write_model_frame, ArchiveHeader, ChunkEntry,
+    CodecId, EmbeddedModel, FrameInfo, ModelId,
 };
 pub use error::{CompressError, CompressorError, DecompressError};
 pub use error_stats::{max_abs_error, mse, nrmse, psnr, verify_error_bound, ErrorStats};
 pub use rate_distortion::{bit_rate, compression_ratio, RdCurve, RdPoint};
+pub use stream::{StreamDecoder, StreamEvent};

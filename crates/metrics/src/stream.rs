@@ -1,0 +1,898 @@
+//! Push-based incremental parsing of `AESC` frames and `AESA` archives.
+//!
+//! [`StreamDecoder`] is a state machine fed bytes as they arrive — from a
+//! pipe, a socket, a chunked download — and polled for parse events. The
+//! same machine drives both stream shapes: a single [`container`] frame
+//! (detected by its `AESC` magic) and a multi-chunk archive (`AESA`, any
+//! version including the inline v3 layout a seekless writer emits). Every
+//! hostile-input check of the buffered parsers ([`container::read_frame`],
+//! [`ArchiveHeader::read`], [`container::read_chunk_index`],
+//! [`container::read_model_section`]) is applied at the equivalent state
+//! transition, so feeding a malformed input incrementally surfaces the same
+//! error class as handing the whole buffer to the one-shot API.
+//!
+//! ```text
+//!            feed()/poll()
+//!   Detect ──"AESC"──► FrameHeader ──► FramePayload ──────────────┐
+//!     │                                                           ▼
+//!     └──"AESA"──► ArchiveHead ──► Index ──► ChunkHead ─► ChunkBody
+//!                      (v3 cap=0       ▲          │          │
+//!                       skips Index)   └──────────┴──(next)──┘
+//!                                                 │ (all chunks)
+//!                                                 ▼
+//!                              Models ──► Epilogue ──finish()──► done
+//! ```
+//!
+//! Buffering is bounded by the largest single section the machine must see
+//! at once — the fixed header, one 17-byte index entry, one chunk frame, or
+//! one model record — never the whole field: consumed bytes are dropped
+//! eagerly and nothing is preallocated from header-declared lengths, so a
+//! lying length cannot force an allocation larger than the bytes actually
+//! fed.
+//!
+//! Known, deliberate divergence from the buffered path: an index entry that
+//! points past the data section into the model tail is
+//! [`DecompressError::BadChunkIndex`] when the whole archive is in hand, but
+//! a streaming consumer cannot see the end of its input in advance, so the
+//! same corruption surfaces as [`DecompressError::Truncated`] when the bytes
+//! run out early.
+
+use crate::container::{
+    self, validate_chunk_entry, ArchiveHeader, ChunkEntry, CodecId, FrameInfo, ModelId,
+    ARCHIVE_MAGIC, ARCHIVE_VERSION_APPEND, ARCHIVE_VERSION_MODELS, CHUNK_ENTRY_LEN,
+    CONTAINER_MAGIC, CONTAINER_VERSION, FRAME_LEN, MODEL_ID_LEN,
+};
+use crate::error::DecompressError;
+
+/// One parse event produced by [`StreamDecoder::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// The archive's fixed-size header parsed and validated (`AESA` inputs
+    /// only; emitted exactly once, before any other event).
+    ArchiveHeader(ArchiveHeader),
+    /// One chunk-index entry parsed and validated. For indexed archives
+    /// these arrive in order before the first chunk; for inline v3 archives
+    /// each entry is reconstructed from its chunk's frame header and arrives
+    /// immediately before that chunk's [`StreamEvent::ChunkFrame`].
+    IndexEntry {
+        /// Zero-based chunk number.
+        index: usize,
+        /// The validated entry.
+        entry: ChunkEntry,
+    },
+    /// A container frame header parsed and validated — for a single `AESC`
+    /// input the stream's only frame, for an archive each chunk's frame.
+    FrameHeader(FrameInfo),
+    /// A complete container frame: header plus full payload. `frame` is the
+    /// exact bytes a buffered reader would slice, ready for
+    /// [`crate::Compressor::decompress`].
+    ChunkFrame {
+        /// Zero-based chunk number (0 for a single-frame stream).
+        index: usize,
+        /// Codec that owns the chunk (the index entry's codec for indexed
+        /// archives, the frame header's for everything else).
+        codec: CodecId,
+        /// The complete `AESC` frame.
+        frame: Vec<u8>,
+    },
+    /// One embedded model record from a v2/v3 archive tail, hash-verified.
+    Model {
+        /// Content-addressed id the record stores (verified against the
+        /// frame payload's recomputed hash).
+        id: ModelId,
+        /// The complete `AESM` frame.
+        frame: Vec<u8>,
+    },
+}
+
+/// What the machine is waiting for next.
+#[derive(Debug)]
+enum State {
+    /// Sniffing the 4-byte magic to pick a mode.
+    Detect,
+    /// Single-frame mode: waiting for the fixed `AESC` header.
+    FrameHeader,
+    /// Single-frame mode: accumulating the declared payload.
+    FramePayload {
+        info: FrameInfo,
+        head: [u8; FRAME_LEN],
+    },
+    /// Archive mode: waiting for the fixed `AESA` header (length depends on
+    /// rank and version, learned from the first 8 bytes).
+    ArchiveHead,
+    /// Archive mode: consuming index slots one 17-byte entry at a time.
+    Index { slot: usize },
+    /// Archive mode: waiting for chunk `index`'s frame header. `expect`
+    /// holds the index entry in indexed mode (frame length known up front),
+    /// `None` in inline mode (length learned from the frame itself).
+    ChunkHead {
+        index: usize,
+        expect: Option<ChunkEntry>,
+    },
+    /// Archive mode: accumulating chunk `index`'s payload.
+    ChunkBody {
+        index: usize,
+        codec: CodecId,
+        head: [u8; FRAME_LEN],
+        payload_len: usize,
+    },
+    /// Archive mode: consuming the model section record by record.
+    Models { remaining: usize },
+    /// All sections consumed; any further byte is trailing garbage.
+    Epilogue { trailing: &'static str },
+    /// Input complete and validated.
+    Done,
+}
+
+/// A push-based incremental decoder for `AESC` frames and `AESA` archives.
+///
+/// Feed bytes with [`feed`](Self::feed) as they arrive, drain events with
+/// [`poll`](Self::poll), and signal end-of-input with
+/// [`finish`](Self::finish) (truncation can only be diagnosed once the
+/// caller declares the input over). After an error, every subsequent poll
+/// repeats the same error — a failed stream cannot be resumed.
+#[derive(Debug)]
+pub struct StreamDecoder {
+    /// Unconsumed input. `pos` is the read cursor; consumed bytes are
+    /// compacted away so residency tracks the current section, not the
+    /// stream.
+    buf: Vec<u8>,
+    pos: usize,
+    /// Absolute stream offset of `buf[pos]` — the tiling cursor the archive
+    /// index is validated against.
+    offset: u64,
+    state: State,
+    /// Parsed archive header (archive mode only).
+    header: Option<ArchiveHeader>,
+    /// Tiling cursor for index validation.
+    expected_offset: u64,
+    /// Validated index entries awaiting their chunk frames (indexed mode).
+    entries: Vec<ChunkEntry>,
+    /// Ids seen in the model section (duplicate rejection).
+    model_ids: Vec<ModelId>,
+    /// An event produced alongside the previous poll's return value (a
+    /// state transition can surface at most two events: the reconstructed
+    /// index entry of an inline chunk plus its frame header).
+    pending: Option<StreamEvent>,
+    /// Caller declared end-of-input.
+    eof: bool,
+    /// Sticky failure: every poll after an error repeats it.
+    failed: Option<DecompressError>,
+    /// High-water mark of `buf.len()` (observability for residency tests).
+    peak_buffered: usize,
+}
+
+impl Default for StreamDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamDecoder {
+    /// A fresh decoder that will auto-detect the stream shape from its
+    /// magic.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            offset: 0,
+            state: State::Detect,
+            header: None,
+            expected_offset: 0,
+            entries: Vec::new(),
+            model_ids: Vec::new(),
+            pending: None,
+            eof: false,
+            failed: None,
+            peak_buffered: 0,
+        }
+    }
+
+    /// Append arriving bytes. Never parses and never fails; all validation
+    /// happens in [`poll`](Self::poll).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing so residency tracks unconsumed bytes only.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+        self.peak_buffered = self.peak_buffered.max(self.buf.len());
+    }
+
+    /// Declare the input complete. Idempotent; bytes must not be fed
+    /// afterwards (they would be reported as trailing garbage).
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// Bytes currently buffered and not yet consumed.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Largest number of bytes the decoder ever held at once.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// The parsed archive header, once [`StreamEvent::ArchiveHeader`] has
+    /// been emitted.
+    pub fn archive_header(&self) -> Option<&ArchiveHeader> {
+        self.header.as_ref()
+    }
+
+    /// True once the whole input parsed cleanly: [`finish`](Self::finish)
+    /// was called, every section was consumed and no error occurred.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    fn avail(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Vec<u8> {
+        let out = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        self.offset += n as u64;
+        out
+    }
+
+    fn fail(&mut self, e: DecompressError) -> DecompressError {
+        self.failed = Some(e.clone());
+        e
+    }
+
+    /// Advance the machine. `Ok(Some(event))` hands out the next parse
+    /// event; `Ok(None)` means either "need more input" (before
+    /// [`finish`](Self::finish)) or "stream complete" (after). Errors are
+    /// sticky.
+    pub fn poll(&mut self) -> Result<Option<StreamEvent>, DecompressError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if let Some(ev) = self.pending.take() {
+            return Ok(Some(ev));
+        }
+        match self.step() {
+            Ok(ev) => Ok(ev),
+            Err(e) => Err(self.fail(e)),
+        }
+    }
+
+    /// Drive one state transition. Loops internally over transitions that
+    /// produce no event (e.g. skipping the index in inline mode).
+    fn step(&mut self) -> Result<Option<StreamEvent>, DecompressError> {
+        loop {
+            match &self.state {
+                State::Detect => {
+                    if self.avail() < ARCHIVE_MAGIC.len() {
+                        if self.eof {
+                            let seen = &self.buf[self.pos..];
+                            return Err(
+                                if seen == &ARCHIVE_MAGIC[..seen.len()] && !seen.is_empty() {
+                                    DecompressError::Truncated("archive magic")
+                                } else {
+                                    DecompressError::Truncated("container magic")
+                                },
+                            );
+                        }
+                        return Ok(None);
+                    }
+                    let magic = &self.buf[self.pos..self.pos + 4];
+                    if magic == CONTAINER_MAGIC {
+                        self.state = State::FrameHeader;
+                    } else if magic == ARCHIVE_MAGIC {
+                        self.state = State::ArchiveHead;
+                    } else {
+                        return Err(DecompressError::BadMagic);
+                    }
+                }
+                State::FrameHeader => {
+                    if self.avail() < FRAME_LEN {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("container frame"));
+                        }
+                        return Ok(None);
+                    }
+                    let info = container::peek(&self.buf[self.pos..])?;
+                    let mut head = [0u8; FRAME_LEN];
+                    head.copy_from_slice(&self.take(FRAME_LEN));
+                    self.state = State::FramePayload { info, head };
+                    return Ok(Some(StreamEvent::FrameHeader(info)));
+                }
+                State::FramePayload { info, head } => {
+                    let need = info.payload_len as usize;
+                    if self.avail() < need {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("container payload"));
+                        }
+                        return Ok(None);
+                    }
+                    let (info, head) = (*info, *head);
+                    let mut frame = head.to_vec();
+                    frame.extend_from_slice(&self.take(need));
+                    self.state = State::Epilogue {
+                        trailing: "trailing bytes after container payload",
+                    };
+                    return Ok(Some(StreamEvent::ChunkFrame {
+                        index: 0,
+                        codec: info.codec,
+                        frame,
+                    }));
+                }
+                State::ArchiveHead => {
+                    // The fixed header's length depends on rank and version,
+                    // both in the first 8 bytes.
+                    if self.avail() < 8 {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("archive header"));
+                        }
+                        return Ok(None);
+                    }
+                    let probe = &self.buf[self.pos..];
+                    let version = probe[4];
+                    let rank = probe[6] as usize;
+                    // Out-of-range version/rank are caught by `read_prefix`
+                    // below with the right error; clamp only to size the
+                    // wait.
+                    let fixed = 8
+                        + 8 * rank.clamp(1, 3)
+                        + 16
+                        + if version >= ARCHIVE_VERSION_MODELS {
+                            8
+                        } else {
+                            0
+                        }
+                        + if version >= ARCHIVE_VERSION_APPEND {
+                            8
+                        } else {
+                            0
+                        };
+                    if self.avail() < fixed {
+                        if self.eof {
+                            // Let the buffered parser name the missing piece
+                            // (magic/version checks come first there too).
+                            return Err(ArchiveHeader::read_prefix(&self.buf[self.pos..])
+                                .err()
+                                .unwrap_or(DecompressError::Truncated("archive header")));
+                        }
+                        return Ok(None);
+                    }
+                    let header = ArchiveHeader::read_prefix(&self.buf[self.pos..])?;
+                    self.take(header.encoded_len());
+                    self.expected_offset = (header.encoded_len() + header.index_len()) as u64;
+                    let indexed = header.index_slots() > 0;
+                    self.header = Some(header);
+                    self.state = if indexed {
+                        State::Index { slot: 0 }
+                    } else {
+                        State::ChunkHead {
+                            index: 0,
+                            expect: None,
+                        }
+                    };
+                    return Ok(Some(StreamEvent::ArchiveHeader(header)));
+                }
+                State::Index { slot } => {
+                    let slot = *slot;
+                    let header = self.header.expect("set before Index");
+                    if slot == header.index_slots() {
+                        self.state = State::ChunkHead {
+                            index: 0,
+                            expect: Some(self.entries[0]),
+                        };
+                        continue;
+                    }
+                    if self.avail() < CHUNK_ENTRY_LEN {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("archive chunk index"));
+                        }
+                        return Ok(None);
+                    }
+                    let raw = self.take(CHUNK_ENTRY_LEN);
+                    if slot >= header.chunk_count() {
+                        // Reserved capacity slot: must be zero-filled.
+                        if raw.iter().any(|&b| b != 0) {
+                            return Err(DecompressError::BadChunkIndex {
+                                chunk: slot,
+                                reason: "reserved index slot is not zero-filled",
+                            });
+                        }
+                        self.state = State::Index { slot: slot + 1 };
+                        continue;
+                    }
+                    let entry = container::decode_chunk_entry(&raw)?;
+                    // The stream's end is unknown here, so the
+                    // "points past the data section" check is deferred to
+                    // EOF (it surfaces as Truncated); everything else is
+                    // identical to the buffered index reader.
+                    self.expected_offset = validate_chunk_entry(
+                        &entry,
+                        slot,
+                        self.expected_offset,
+                        u64::MAX,
+                        header.model_len,
+                    )?;
+                    self.entries.push(entry);
+                    self.state = State::Index { slot: slot + 1 };
+                    return Ok(Some(StreamEvent::IndexEntry { index: slot, entry }));
+                }
+                State::ChunkHead { index, expect } => {
+                    let (index, expect) = (*index, *expect);
+                    let header = self.header.expect("set before ChunkHead");
+                    if self.avail() < FRAME_LEN {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("archive chunk data"));
+                        }
+                        return Ok(None);
+                    }
+                    let head_slice = &self.buf[self.pos..self.pos + FRAME_LEN];
+                    if head_slice[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
+                        return Err(DecompressError::BadMagic);
+                    }
+                    if head_slice[4] != CONTAINER_VERSION {
+                        return Err(DecompressError::UnsupportedVersion(head_slice[4]));
+                    }
+                    let codec_byte = head_slice[5];
+                    let frame_codec = CodecId::from_byte(codec_byte)
+                        .ok_or(DecompressError::UnknownCodec(codec_byte))?;
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&head_slice[6..14]);
+                    let payload_len = u64::from_le_bytes(b);
+                    let codec = match expect {
+                        Some(entry) => {
+                            // The index promised this frame's exact extent;
+                            // the frame's own declared length must agree
+                            // (the buffered path reports the same pair of
+                            // errors when `read_frame` slices by the entry).
+                            let body = entry.len - FRAME_LEN as u64;
+                            if payload_len > body {
+                                return Err(DecompressError::Truncated("container payload"));
+                            }
+                            if payload_len < body {
+                                return Err(DecompressError::Inconsistent(
+                                    "trailing bytes after container payload",
+                                ));
+                            }
+                            // A codec the index claims but the frame denies
+                            // fails the buffered path at decode time (the
+                            // forked compressor rejects the foreign frame);
+                            // the parser can see the lie right here.
+                            if entry.codec != frame_codec {
+                                return Err(DecompressError::Inconsistent(
+                                    "index entry codec disagrees with the chunk frame",
+                                ));
+                            }
+                            entry.codec
+                        }
+                        None => frame_codec,
+                    };
+                    if payload_len > u64::MAX - FRAME_LEN as u64 {
+                        return Err(DecompressError::BadChunkIndex {
+                            chunk: index,
+                            reason: "frame length overflows the archive",
+                        });
+                    }
+                    let mut head = [0u8; FRAME_LEN];
+                    let frame_offset = self.offset;
+                    head.copy_from_slice(&self.take(FRAME_LEN));
+                    let info = FrameInfo {
+                        codec: frame_codec,
+                        version: CONTAINER_VERSION,
+                        payload_len,
+                        model_id: None,
+                    };
+                    self.state = State::ChunkBody {
+                        index,
+                        codec,
+                        head,
+                        payload_len: payload_len as usize,
+                    };
+                    if expect.is_none() {
+                        // Inline mode: the reconstructed index entry is only
+                        // knowable now. Emit it before the frame header so
+                        // consumers see the same event order as an indexed
+                        // archive (entry, then frame).
+                        let entry = ChunkEntry {
+                            codec: frame_codec,
+                            offset: frame_offset,
+                            len: FRAME_LEN as u64 + payload_len,
+                        };
+                        self.expected_offset = validate_chunk_entry(
+                            &entry,
+                            index,
+                            self.expected_offset,
+                            u64::MAX,
+                            header.model_len,
+                        )?;
+                        self.entries.push(entry);
+                        self.pending = Some(StreamEvent::FrameHeader(info));
+                        return Ok(Some(StreamEvent::IndexEntry { index, entry }));
+                    }
+                    return Ok(Some(StreamEvent::FrameHeader(info)));
+                }
+                State::ChunkBody {
+                    index,
+                    codec,
+                    head,
+                    payload_len,
+                } => {
+                    let (index, codec, head, payload_len) = (*index, *codec, *head, *payload_len);
+                    if self.avail() < payload_len {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("archive chunk data"));
+                        }
+                        return Ok(None);
+                    }
+                    let header = self.header.expect("set before ChunkBody");
+                    let mut frame = head.to_vec();
+                    frame.extend_from_slice(&self.take(payload_len));
+                    let next = index + 1;
+                    self.state = if next < header.chunk_count() {
+                        State::ChunkHead {
+                            index: next,
+                            expect: if header.index_slots() > 0 {
+                                Some(self.entries[next])
+                            } else {
+                                None
+                            },
+                        }
+                    } else if header.model_len > 0 {
+                        State::Models {
+                            remaining: header.model_len,
+                        }
+                    } else {
+                        State::Epilogue {
+                            trailing: "trailing bytes after the last chunk frame",
+                        }
+                    };
+                    return Ok(Some(StreamEvent::ChunkFrame {
+                        index,
+                        codec,
+                        frame,
+                    }));
+                }
+                State::Models { remaining } => {
+                    let remaining = *remaining;
+                    if remaining == 0 {
+                        self.state = State::Epilogue {
+                            trailing: "trailing bytes after the last chunk frame",
+                        };
+                        continue;
+                    }
+                    const RECORD_HEAD: usize = MODEL_ID_LEN + 8;
+                    if remaining < RECORD_HEAD {
+                        return Err(DecompressError::Truncated("archive model entry"));
+                    }
+                    if self.avail() < RECORD_HEAD {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("archive model section"));
+                        }
+                        return Ok(None);
+                    }
+                    let head = &self.buf[self.pos..self.pos + RECORD_HEAD];
+                    let id = ModelId::from_prefix(head).expect("slice holds a full id");
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&head[MODEL_ID_LEN..]);
+                    let len = u64::from_le_bytes(b);
+                    if len > (remaining - RECORD_HEAD) as u64 {
+                        return Err(DecompressError::Truncated("archive model frame"));
+                    }
+                    let len = len as usize;
+                    if self.avail() < RECORD_HEAD + len {
+                        if self.eof {
+                            return Err(DecompressError::Truncated("archive model section"));
+                        }
+                        return Ok(None);
+                    }
+                    self.take(RECORD_HEAD);
+                    let frame = self.take(len);
+                    let (_, payload) = container::read_model_frame(&frame)?;
+                    if ModelId::of(payload) != id {
+                        return Err(DecompressError::Inconsistent(
+                            "embedded model bytes do not hash to their stored id",
+                        ));
+                    }
+                    if self.model_ids.contains(&id) {
+                        return Err(DecompressError::Inconsistent(
+                            "model embedded more than once",
+                        ));
+                    }
+                    self.model_ids.push(id);
+                    self.state = State::Models {
+                        remaining: remaining - RECORD_HEAD - len,
+                    };
+                    return Ok(Some(StreamEvent::Model { id, frame }));
+                }
+                State::Epilogue { trailing } => {
+                    if self.avail() > 0 {
+                        return Err(DecompressError::Inconsistent(trailing));
+                    }
+                    if self.eof {
+                        self.state = State::Done;
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                State::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{write_chunk_entry, write_frame, EmbeddedModel, ARCHIVE_VERSION};
+    use aesz_tensor::Dims;
+
+    /// Feed `bytes` in `step`-sized increments, collecting every event.
+    fn run(bytes: &[u8], step: usize) -> Result<Vec<StreamEvent>, DecompressError> {
+        let mut dec = StreamDecoder::new();
+        let mut events = Vec::new();
+        for piece in bytes.chunks(step.max(1)) {
+            dec.feed(piece);
+            while let Some(ev) = dec.poll()? {
+                events.push(ev);
+            }
+        }
+        dec.finish();
+        while let Some(ev) = dec.poll()? {
+            events.push(ev);
+        }
+        assert!(dec.is_done());
+        Ok(events)
+    }
+
+    #[test]
+    fn single_frames_stream_at_any_granularity() {
+        let payload = b"a payload of some size".repeat(7);
+        let framed = write_frame(CodecId::SzAuto, &payload);
+        for step in [1, 2, 3, 7, framed.len()] {
+            let events = run(&framed, step).unwrap();
+            assert_eq!(events.len(), 2);
+            assert!(matches!(
+                events[0],
+                StreamEvent::FrameHeader(FrameInfo {
+                    codec: CodecId::SzAuto,
+                    ..
+                })
+            ));
+            match &events[1] {
+                StreamEvent::ChunkFrame {
+                    index: 0,
+                    codec: CodecId::SzAuto,
+                    frame,
+                } => assert_eq!(frame, &framed),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_frame_errors_match_the_buffered_classes() {
+        let framed = write_frame(CodecId::Zfp, b"abc");
+        // Truncation at every prefix mirrors `read_frame`.
+        for cut in 0..framed.len() {
+            let err = run(&framed[..cut], 1).unwrap_err();
+            assert!(
+                matches!(err, DecompressError::Truncated(_)),
+                "cut {cut} gave {err:?}"
+            );
+        }
+        // Trailing garbage.
+        let mut padded = framed.clone();
+        padded.push(0);
+        assert_eq!(
+            run(&padded, 1).unwrap_err(),
+            DecompressError::Inconsistent("trailing bytes after container payload")
+        );
+        // Bad magic, version, codec.
+        let mut evil = framed.clone();
+        evil[0] = b'X';
+        assert_eq!(run(&evil, 1).unwrap_err(), DecompressError::BadMagic);
+        let mut evil = framed.clone();
+        evil[4] = 9;
+        assert_eq!(
+            run(&evil, 3).unwrap_err(),
+            DecompressError::UnsupportedVersion(9)
+        );
+        let mut evil = framed;
+        evil[5] = 200;
+        assert_eq!(
+            run(&evil, 2).unwrap_err(),
+            DecompressError::UnknownCodec(200)
+        );
+    }
+
+    /// A synthetic v1 archive with two raw chunks over `d1(8)`/chunk 4.
+    fn v1_archive() -> Vec<u8> {
+        let frames = [
+            write_frame(CodecId::Zfp, b"chunk zero"),
+            write_frame(CodecId::Sz2, b"chunk one!"),
+        ];
+        let header = ArchiveHeader::v1(Dims::d1(8), 4);
+        let mut bytes = Vec::new();
+        header.write(&mut bytes);
+        let mut offset = header.data_start() as u64;
+        for (f, codec) in frames.iter().zip([CodecId::Zfp, CodecId::Sz2]) {
+            write_chunk_entry(
+                &mut bytes,
+                &ChunkEntry {
+                    codec,
+                    offset,
+                    len: f.len() as u64,
+                },
+            );
+            offset += f.len() as u64;
+        }
+        for f in &frames {
+            bytes.extend_from_slice(f);
+        }
+        bytes
+    }
+
+    #[test]
+    fn index_codec_lie_is_rejected_at_the_frame_header() {
+        // Entry 1 claims ZFP, but its frame's own header says SZ2: the
+        // buffered path fails this at decode time (the forked ZFP rejects
+        // the foreign frame); the parser must not hand the lie downstream.
+        let mut evil = v1_archive();
+        let header = ArchiveHeader::read(&evil).unwrap();
+        let codec_at = header.encoded_len() + CHUNK_ENTRY_LEN;
+        assert_eq!(evil[codec_at], CodecId::Sz2 as u8);
+        evil[codec_at] = CodecId::Zfp as u8;
+        assert_eq!(
+            run(&evil, 1).unwrap_err(),
+            DecompressError::Inconsistent("index entry codec disagrees with the chunk frame")
+        );
+    }
+
+    /// The same two chunks as an inline v3 archive with a one-model tail.
+    fn v3_inline_archive_with_model() -> (Vec<u8>, EmbeddedModel) {
+        let frames = [
+            write_frame(CodecId::Zfp, b"chunk zero"),
+            write_frame(CodecId::Sz2, b"chunk one!"),
+        ];
+        let model = EmbeddedModel::new(CodecId::AeSz, b"tail weights");
+        let mut section = Vec::new();
+        section.extend_from_slice(model.id.as_bytes());
+        section.extend_from_slice(&(model.frame.len() as u64).to_le_bytes());
+        section.extend_from_slice(&model.frame);
+        let header = ArchiveHeader {
+            dims: Dims::d1(8),
+            chunk: 4,
+            version: ARCHIVE_VERSION_APPEND,
+            model_len: section.len(),
+            index_cap: 0,
+        };
+        let mut bytes = Vec::new();
+        header.write(&mut bytes);
+        for f in &frames {
+            bytes.extend_from_slice(f);
+        }
+        bytes.extend_from_slice(&section);
+        (bytes, model)
+    }
+
+    #[test]
+    fn archives_stream_with_event_parity_across_granularities() {
+        let bytes = v1_archive();
+        let whole = run(&bytes, bytes.len()).unwrap();
+        for step in [1, 2, 5, 13] {
+            assert_eq!(run(&bytes, step).unwrap(), whole, "step {step} diverged");
+        }
+        // Events: header, two index entries, then (frame header, chunk) × 2.
+        assert!(matches!(whole[0], StreamEvent::ArchiveHeader(h) if h.version == ARCHIVE_VERSION));
+        assert!(matches!(whole[1], StreamEvent::IndexEntry { index: 0, .. }));
+        assert!(matches!(whole[2], StreamEvent::IndexEntry { index: 1, .. }));
+        let frames: Vec<_> = whole
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::ChunkFrame { index, codec, .. } => Some((*index, *codec)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frames, vec![(0, CodecId::Zfp), (1, CodecId::Sz2)]);
+
+        // The reconstructed entries match the buffered index reader.
+        let header = ArchiveHeader::read(&bytes).unwrap();
+        let buffered = container::read_chunk_index(&bytes, &header).unwrap();
+        let streamed: Vec<_> = whole
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::IndexEntry { entry, .. } => Some(*entry),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(streamed, buffered);
+    }
+
+    #[test]
+    fn inline_v3_archives_stream_and_verify_their_model_tail() {
+        let (bytes, model) = v3_inline_archive_with_model();
+        for step in [1, 3, bytes.len()] {
+            let events = run(&bytes, step).unwrap();
+            // Inline order: header, then per chunk (reconstructed entry,
+            // frame header, frame), then the model tail.
+            assert!(matches!(events[0], StreamEvent::ArchiveHeader(_)));
+            assert!(matches!(
+                events[1],
+                StreamEvent::IndexEntry { index: 0, .. }
+            ));
+            assert!(matches!(events[2], StreamEvent::FrameHeader(_)));
+            assert!(matches!(
+                events[3],
+                StreamEvent::ChunkFrame { index: 0, .. }
+            ));
+            assert!(matches!(
+                events[4],
+                StreamEvent::IndexEntry { index: 1, .. }
+            ));
+            assert!(matches!(events[5], StreamEvent::FrameHeader(_)));
+            assert!(matches!(
+                events[6],
+                StreamEvent::ChunkFrame { index: 1, .. }
+            ));
+            match &events[7] {
+                StreamEvent::Model { id, frame } => {
+                    assert_eq!(*id, model.id);
+                    assert_eq!(*frame, model.frame);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+            assert_eq!(events.len(), 8);
+        }
+        // A flipped bit in the model payload is caught with the buffered
+        // path's error.
+        let mut evil = bytes.clone();
+        let last = evil.len() - 1;
+        evil[last] ^= 1;
+        assert_eq!(
+            run(&evil, 1).unwrap_err(),
+            DecompressError::Inconsistent("embedded model bytes do not hash to their stored id")
+        );
+        // Truncation anywhere inside the archive is Truncated.
+        for cut in [5, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                run(&bytes[..cut], 1).unwrap_err(),
+                DecompressError::Truncated(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn residency_stays_bounded_by_one_section() {
+        let bytes = v1_archive();
+        let mut dec = StreamDecoder::new();
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+            while dec.poll().unwrap().is_some() {}
+        }
+        dec.finish();
+        while dec.poll().unwrap().is_some() {}
+        assert!(dec.is_done());
+        // Largest section in this archive: the fixed header (32 bytes for
+        // rank 1 v1) — every chunk frame is smaller than 32 bytes here, so
+        // the high-water mark must stay tiny and, crucially, far below the
+        // whole input.
+        assert!(
+            dec.peak_buffered() <= 40,
+            "peak {} exceeds one section",
+            dec.peak_buffered()
+        );
+        assert!(dec.peak_buffered() < bytes.len());
+    }
+
+    #[test]
+    fn sticky_failure_repeats_and_garbage_is_rejected() {
+        let mut dec = StreamDecoder::new();
+        dec.feed(b"GARBAGE!");
+        assert_eq!(dec.poll().unwrap_err(), DecompressError::BadMagic);
+        assert_eq!(dec.poll().unwrap_err(), DecompressError::BadMagic);
+        dec.feed(b"more");
+        assert_eq!(dec.poll().unwrap_err(), DecompressError::BadMagic);
+    }
+}

@@ -21,10 +21,7 @@ fn main() {
 
     // Chunks of 16³, at most 4 in flight: the writer's resident raw payload
     // is 4 × 16³ × 4 B = 64 KiB, independent of the field size.
-    let opts = ArchiveOptions {
-        chunk: 16,
-        window: 4,
-    };
+    let opts = ArchiveOptions::new().chunk(16).window(4);
 
     // Per-chunk codec choice: SZ2.1 for boundary chunks (they are cheap to
     // predict), the ZFP-like transform codec for the interior.
@@ -72,7 +69,7 @@ fn main() {
     );
 
     // Full decode (windowed + parallel) honours the field-level bound.
-    let (recon, _) = decompress(&registry, &bytes, opts.window).expect("decode");
+    let (recon, _) = decompress(&registry, &bytes, opts.window_chunks()).expect("decode");
     let abs = bound.resolve(&field);
     let worst = field
         .as_slice()

@@ -20,9 +20,10 @@
 //! that with seek-based file IO.
 
 pub use aesz_metrics::archive::{
-    chunk_dims, write_archive, write_archive_embedding, write_field_archive,
-    write_field_archive_embedding, ArchiveOptions, ArchiveReadError, ArchiveReader, ArchiveStats,
-    ArchiveWriteError, ChunkSink, ChunkSource, CompressorFork, DecoderFork, FieldSink, FieldSource,
+    chunk_dims, write_archive, write_archive_embedding, write_archive_stream, write_field_archive,
+    write_field_archive_embedding, ArchiveAppender, ArchiveOptions, ArchiveReadError,
+    ArchiveReader, ArchiveStats, ArchiveWriteError, ChunkSink, ChunkSource, CompressorFork,
+    DecoderFork, FieldSink, FieldSource,
 };
 pub use aesz_metrics::container::{ArchiveHeader, ChunkEntry};
 
@@ -89,15 +90,12 @@ pub fn compress_field_embedding(
 
 /// Read the model id stamped into a chunk frame's payload, for the learned
 /// codecs that stamp one. Traditional codecs and pre-model streams yield
-/// `None`.
+/// `None`, as does a frame whose codec disagrees with its index entry.
 fn peek_stream_model_id(codec: CodecId, frame: &[u8]) -> Option<ModelId> {
-    let (_, payload) = aesz_metrics::container::read_frame(frame).ok()?;
-    match codec {
-        CodecId::AeSz => aesz_core::peek_model_id(payload),
-        CodecId::AeA => aesz_baselines::ae_a::peek_model_id(payload),
-        CodecId::AeB => aesz_baselines::ae_b::peek_model_id(payload),
-        _ => None,
-    }
+    aesz_metrics::container::peek(frame)
+        .ok()
+        .filter(|info| info.codec == codec)?
+        .model_id
 }
 
 /// Per-archive trained-model resolution: one built compressor prototype per
@@ -281,10 +279,7 @@ mod tests {
     fn registry_archive_roundtrip_with_mixed_codecs() {
         let registry = Registry::with_defaults();
         let field = Application::CesmCldhgh.generate(Dims::d2(40, 56), 9);
-        let opts = ArchiveOptions {
-            chunk: 16,
-            window: 3,
-        };
+        let opts = ArchiveOptions::new().chunk(16).window(3);
         let lenses = [
             CodecId::Sz2,
             CodecId::Zfp,
@@ -319,10 +314,7 @@ mod tests {
     fn unregistered_codecs_fail_cleanly() {
         let registry = Registry::with_defaults();
         let field = Application::CesmCldhgh.generate(Dims::d2(16, 16), 2);
-        let opts = ArchiveOptions {
-            chunk: 8,
-            window: 2,
-        };
+        let opts = ArchiveOptions::new().chunk(8).window(2);
         let (bytes, _) = compress_field(
             &registry,
             &field,

@@ -13,6 +13,7 @@
 pub mod archive;
 pub mod model_store;
 pub mod registry;
+pub mod stream;
 
 pub use aesz_baselines as baselines;
 pub use aesz_codec as codec;
@@ -35,3 +36,4 @@ pub use aesz_metrics::{
 pub use aesz_tensor::{Dims, Field};
 pub use model_store::{ModelStore, ModelStoreError};
 pub use registry::{decompress_any, Registry};
+pub use stream::{decompress_reader, StreamFieldDecoder, StreamOutput};

@@ -151,7 +151,7 @@ impl Registry {
     /// [`DecompressError::CodecFailed`], which names the codec id that
     /// rejected the bytes.
     pub fn decompress_any(&mut self, bytes: &[u8]) -> Result<(Field, CodecId), DecompressError> {
-        let id = aesz_metrics::container::peek_codec(bytes)?;
+        let id = aesz_metrics::container::peek(bytes)?.codec;
         let codec = self
             .get_mut(id)
             .ok_or(DecompressError::UnknownCodec(id as u8))?;

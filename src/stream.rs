@@ -1,0 +1,390 @@
+//! Registry-driven incremental decoding of pushed byte streams.
+//!
+//! [`aesz_metrics::stream::StreamDecoder`] owns the byte-level state machine
+//! (feed bytes in any granularity, get validated parse events out); this
+//! module binds it to the codec [`Registry`], turning those events into
+//! decoded fields:
+//!
+//! * [`StreamFieldDecoder`] — the push-based core: [`feed`] arbitrary byte
+//!   slices (a socket, a pipe, a file tail), [`poll`] decoded output —
+//!   archive geometry, decoded chunks with their placement, or a whole field
+//!   for single-frame streams. Resident memory is bounded by one chunk
+//!   frame plus the decoder's internal buffer, never the archive.
+//! * [`decompress_reader`] — the pull convenience over any [`std::io::Read`]:
+//!   drives a [`StreamFieldDecoder`] with a fixed read buffer and assembles
+//!   the chunks into an in-memory field.
+//!
+//! Trained-model resolution works like the buffered
+//! [`decompress`](crate::archive::decompress), with one twist inherent to
+//! streaming: an archive's embedded model section arrives *after* its
+//! chunks. A learned chunk whose model is not yet resolvable (not in the
+//! registry, not in its [`ModelStore`](crate::model_store::ModelStore)) is
+//! deferred — its compressed frame is parked, costing compressed (not raw)
+//! bytes — and decoded the moment the tail supplies the model. Chunks whose
+//! model never shows up fail with the dedicated
+//! [`DecompressError::MissingModel`] when the stream ends.
+//!
+//! [`feed`]: StreamFieldDecoder::feed
+//! [`poll`]: StreamFieldDecoder::poll
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::archive::ArchiveReadError;
+use crate::model_store::build_compressor;
+use crate::registry::Registry;
+use aesz_metrics::container::{ArchiveHeader, CodecId, EmbeddedModel, ModelId};
+use aesz_metrics::stream::{StreamDecoder, StreamEvent};
+use aesz_metrics::{Compressor, DecompressError};
+use aesz_tensor::{BlockSpec, Field};
+
+/// One decoded unit of a pushed stream.
+#[derive(Debug)]
+pub enum StreamOutput {
+    /// The stream is a multi-chunk archive with this geometry. Always the
+    /// first output of an archive stream — a sink can size its destination
+    /// before any chunk arrives.
+    Header(ArchiveHeader),
+    /// One decoded archive chunk and its placement in the field. Chunks
+    /// normally arrive in index order; chunks deferred on a missing model
+    /// are emitted later, when the archive's model tail resolves them.
+    Chunk(BlockSpec, Field),
+    /// The stream was a single container frame: the whole reconstruction.
+    Field(Field),
+}
+
+/// A learned chunk frame parked until its trained model arrives.
+struct Deferred {
+    index: usize,
+    codec: CodecId,
+    model_id: ModelId,
+    frame: Vec<u8>,
+}
+
+/// Push-based incremental decoder: bytes in ([`feed`]), decoded fields and
+/// chunks out ([`poll`]), bounded residency throughout.
+///
+/// ```no_run
+/// use aesz_repro::stream::{StreamFieldDecoder, StreamOutput};
+/// use aesz_repro::Registry;
+///
+/// let registry = Registry::with_defaults();
+/// let mut decoder = StreamFieldDecoder::new(&registry);
+/// # let packets: Vec<Vec<u8>> = vec![];
+/// for packet in packets {
+///     decoder.feed(&packet);
+///     while let Some(out) = decoder.poll().unwrap() {
+///         match out {
+///             StreamOutput::Header(h) => eprintln!("archive of {:?}", h.dims),
+///             StreamOutput::Chunk(spec, chunk) => { /* place chunk at spec */ }
+///             StreamOutput::Field(field) => { /* whole reconstruction */ }
+///         }
+///     }
+/// }
+/// decoder.finish();
+/// while let Some(out) = decoder.poll().unwrap() { /* tail chunks */ }
+/// ```
+///
+/// [`feed`]: StreamFieldDecoder::feed
+/// [`poll`]: StreamFieldDecoder::poll
+pub struct StreamFieldDecoder<'r> {
+    registry: &'r Registry,
+    inner: StreamDecoder,
+    header: Option<ArchiveHeader>,
+    /// Decoded-but-not-yet-polled output (a model arriving in the tail can
+    /// unblock several deferred chunks at once).
+    ready: VecDeque<StreamOutput>,
+    deferred: Vec<Deferred>,
+    /// Trained prototypes built for this stream, one per distinct
+    /// `(codec, model id)` — forked per chunk like the buffered reader.
+    protos: HashMap<(CodecId, ModelId), Box<dyn Compressor>>,
+}
+
+impl<'r> StreamFieldDecoder<'r> {
+    /// A decoder dispatching to `registry`'s codecs and model store.
+    pub fn new(registry: &'r Registry) -> Self {
+        StreamFieldDecoder {
+            registry,
+            inner: StreamDecoder::new(),
+            header: None,
+            ready: VecDeque::new(),
+            deferred: Vec::new(),
+            protos: HashMap::new(),
+        }
+    }
+
+    /// Push the next bytes of the stream. Never fails — errors surface on
+    /// [`poll`](StreamFieldDecoder::poll).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.inner.feed(bytes);
+    }
+
+    /// Declare the end of input. Required: a stream that merely stops is
+    /// indistinguishable from one still in flight, so truncation is only
+    /// detected (and deferred chunks only fail with their missing-model
+    /// error) after this call. Keep polling until `Ok(None)` afterwards.
+    pub fn finish(&mut self) {
+        self.inner.finish();
+    }
+
+    /// The archive geometry, once the header has been parsed (`None` before
+    /// that, and forever for single-frame streams).
+    pub fn archive_header(&self) -> Option<&ArchiveHeader> {
+        self.header.as_ref()
+    }
+
+    /// High-water mark of the parser's internal byte buffer — the witness
+    /// that residency is bounded by one section, not the stream.
+    pub fn peak_buffered(&self) -> usize {
+        self.inner.peak_buffered()
+    }
+
+    /// Next decoded output, `Ok(None)` when more input (or
+    /// [`finish`](StreamFieldDecoder::finish)) is needed. Errors are sticky;
+    /// decode failures name the codec via [`DecompressError::CodecFailed`],
+    /// except [`DecompressError::MissingModel`], which propagates unchanged.
+    pub fn poll(&mut self) -> Result<Option<StreamOutput>, DecompressError> {
+        loop {
+            if let Some(out) = self.ready.pop_front() {
+                return Ok(Some(out));
+            }
+            let Some(event) = self.inner.poll()? else {
+                // End of a well-formed stream: any chunk still deferred
+                // references a model neither the archive nor the store has.
+                if self.inner.is_done() {
+                    if let Some(miss) = self.deferred.pop() {
+                        return Err(DecompressError::MissingModel {
+                            codec: miss.codec,
+                            model_id: miss.model_id,
+                        });
+                    }
+                }
+                return Ok(None);
+            };
+            match event {
+                StreamEvent::ArchiveHeader(h) => {
+                    self.header = Some(h);
+                    return Ok(Some(StreamOutput::Header(h)));
+                }
+                StreamEvent::IndexEntry { .. } | StreamEvent::FrameHeader(_) => {}
+                StreamEvent::ChunkFrame {
+                    index,
+                    codec,
+                    frame,
+                } => {
+                    if let Some(out) = self.decode_or_defer(index, codec, frame)? {
+                        return Ok(Some(out));
+                    }
+                }
+                StreamEvent::Model { id, frame } => {
+                    // Hash-verified by the parser; a malformed model frame
+                    // still fails here rather than poisoning the prototypes.
+                    let (model, codec) = EmbeddedModel::from_frame(&frame)?;
+                    if let Ok(proto) = build_compressor(&model) {
+                        self.protos.insert((codec, id), proto);
+                    }
+                    // Un-defer every chunk this model unblocks, preserving
+                    // index order among them.
+                    let mut still = Vec::with_capacity(self.deferred.len());
+                    for d in std::mem::take(&mut self.deferred) {
+                        if d.model_id == id {
+                            let out = self.decode_or_defer(d.index, d.codec, d.frame)?;
+                            debug_assert!(
+                                out.is_none() || !matches!(out, Some(StreamOutput::Header(_)))
+                            );
+                            if let Some(out) = out {
+                                self.ready.push_back(out);
+                            }
+                        } else {
+                            still.push(d);
+                        }
+                    }
+                    // `decode_or_defer` may have re-parked a chunk just now
+                    // (an unbuildable model, or a model whose codec is not
+                    // the chunk's): merge those back, never clobber them.
+                    still.append(&mut self.deferred);
+                    self.deferred = still;
+                }
+            }
+        }
+    }
+
+    /// Decode chunk `index` now if its codec (and, for learned streams, its
+    /// trained model) is available; park it until the model tail otherwise.
+    fn decode_or_defer(
+        &mut self,
+        index: usize,
+        codec: CodecId,
+        frame: Vec<u8>,
+    ) -> Result<Option<StreamOutput>, DecompressError> {
+        let model_id = aesz_metrics::container::peek(&frame)
+            .ok()
+            .and_then(|info| info.model_id);
+        let mut decoder = match model_id {
+            Some(id) if self.needs_resolution(codec, id) => {
+                match self.resolve(codec, id) {
+                    Some(proto) => proto,
+                    // Not resolvable yet — the archive's model tail is still
+                    // to come. Park the compressed frame.
+                    None => {
+                        self.deferred.push(Deferred {
+                            index,
+                            codec,
+                            model_id: id,
+                            frame,
+                        });
+                        return Ok(None);
+                    }
+                }
+            }
+            _ => self
+                .registry
+                .fork(codec)
+                .ok_or(DecompressError::UnknownCodec(codec as u8))?,
+        };
+        let field = decoder.decompress(&frame).map_err(|e| match e {
+            miss @ DecompressError::MissingModel { .. } => miss,
+            error => DecompressError::CodecFailed {
+                codec,
+                error: Box::new(error),
+            },
+        })?;
+        Ok(Some(match self.header {
+            Some(h) => StreamOutput::Chunk(BlockSpec::of(h.dims, h.chunk, index), field),
+            None => StreamOutput::Field(field),
+        }))
+    }
+
+    /// Does decoding a `codec` stream naming model `id` need a prototype
+    /// beyond the registered instance?
+    fn needs_resolution(&self, codec: CodecId, id: ModelId) -> bool {
+        self.registry.get(codec).and_then(|c| c.embedded_model_id()) != Some(id)
+    }
+
+    /// A decoder holding model `id`: a fork of an already-built prototype,
+    /// or one freshly built from the registry's model store.
+    fn resolve(&mut self, codec: CodecId, id: ModelId) -> Option<Box<dyn Compressor>> {
+        if let Some(proto) = self.protos.get(&(codec, id)) {
+            return Some(proto.fork());
+        }
+        let model = self
+            .registry
+            .model_store()
+            .lookup(id)
+            .filter(|m| m.codec() == codec)?;
+        let proto = build_compressor(&model).ok()?;
+        let fork = proto.fork();
+        self.protos.insert((codec, id), proto);
+        Some(fork)
+    }
+}
+
+/// Decode a complete stream (single frame or archive) from any
+/// [`std::io::Read`] into an in-memory field, reading in fixed-size slabs —
+/// the pull-shaped convenience over [`StreamFieldDecoder`]. The *input* is
+/// never buffered whole; the reconstruction of course is.
+pub fn decompress_reader(
+    registry: &Registry,
+    input: &mut dyn std::io::Read,
+) -> Result<Field, ArchiveReadError> {
+    let mut decoder = StreamFieldDecoder::new(registry);
+    let mut sink: Option<Field> = None;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = input.read(&mut buf)?;
+        if n == 0 {
+            decoder.finish();
+        } else {
+            decoder.feed(&buf[..n]);
+        }
+        while let Some(out) = decoder.poll().map_err(ArchiveReadError::Archive)? {
+            match out {
+                StreamOutput::Header(h) => sink = Some(Field::zeros(h.dims)),
+                StreamOutput::Chunk(spec, chunk) => sink
+                    .as_mut()
+                    .expect("header precedes chunks")
+                    .write_block_valid(&spec, chunk.as_slice()),
+                StreamOutput::Field(field) => sink = Some(field),
+            }
+        }
+        if n == 0 {
+            return sink.ok_or(ArchiveReadError::Archive(DecompressError::Truncated(
+                "empty stream",
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{compress_field_with, ArchiveOptions};
+    use aesz_metrics::{CodecId, ErrorBound};
+    use aesz_tensor::Dims;
+
+    #[test]
+    fn pushed_archive_bytes_decode_chunk_by_chunk() {
+        let registry = Registry::with_defaults();
+        let field = aesz_datagen::Application::CesmCldhgh.generate(Dims::d2(24, 40), 11);
+        let opts = ArchiveOptions::new().chunk(8).window(2);
+        let lenses = [CodecId::Zfp, CodecId::Sz2, CodecId::SzInterp];
+        let bound = ErrorBound::rel(1e-3);
+        let (bytes, stats) = compress_field_with(&registry, &field, bound, &opts, |spec| {
+            lenses[spec.index % lenses.len()]
+        })
+        .unwrap();
+        let (buffered, _) = crate::archive::decompress(&registry, &bytes, 3).unwrap();
+
+        // Feed in awkward 7-byte packets; the reconstruction must be
+        // byte-identical to the buffered decode.
+        let mut decoder = StreamFieldDecoder::new(&registry);
+        let mut recon: Option<Field> = None;
+        let mut chunks = 0;
+        let mut drain = |d: &mut StreamFieldDecoder, recon: &mut Option<Field>| {
+            while let Some(out) = d.poll().unwrap() {
+                match out {
+                    StreamOutput::Header(h) => {
+                        assert_eq!(h.dims, field.dims());
+                        *recon = Some(Field::zeros(h.dims));
+                    }
+                    StreamOutput::Chunk(spec, chunk) => {
+                        chunks += 1;
+                        recon
+                            .as_mut()
+                            .unwrap()
+                            .write_block_valid(&spec, chunk.as_slice());
+                    }
+                    StreamOutput::Field(_) => panic!("archive stream, not a frame"),
+                }
+            }
+        };
+        for packet in bytes.chunks(7) {
+            decoder.feed(packet);
+            drain(&mut decoder, &mut recon);
+        }
+        decoder.finish();
+        drain(&mut decoder, &mut recon);
+        assert_eq!(chunks, stats.chunks);
+        assert_eq!(recon.unwrap().as_slice(), buffered.as_slice());
+        // Residency stayed far below the archive: parser buffering is
+        // bounded by one section (frame/header/index slice), not the stream.
+        assert!(decoder.peak_buffered() < bytes.len());
+    }
+
+    #[test]
+    fn pushed_single_frames_yield_the_whole_field() {
+        let mut registry = Registry::with_defaults();
+        let field = aesz_datagen::Application::CesmCldhgh.generate(Dims::d2(16, 16), 3);
+        let bytes = registry
+            .get_mut(CodecId::SzAuto)
+            .unwrap()
+            .compress(&field, ErrorBound::rel(1e-3))
+            .unwrap();
+        let recon = decompress_reader(&registry, &mut &bytes[..]).unwrap();
+        let buffered = registry.decompress_any(&bytes).unwrap().0;
+        assert_eq!(recon.as_slice(), buffered.as_slice());
+        // Truncations fail instead of hanging or panicking.
+        for len in [0, 5, bytes.len() - 1] {
+            assert!(decompress_reader(&registry, &mut &bytes[..len]).is_err());
+        }
+    }
+}

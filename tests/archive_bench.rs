@@ -31,10 +31,7 @@ fn eight_megabyte_field_through_the_archive_path_all_seven_codecs() {
 
     let registry = trained_registry();
     let bound = ErrorBound::rel(1e-2);
-    let opts = ArchiveOptions {
-        chunk: 32,
-        window: 4,
-    };
+    let opts = ArchiveOptions::new().chunk(32).window(4);
     let all = CodecId::all();
     let (bytes, stats) = compress_field_with(&registry, &field, bound, &opts, |s: &BlockSpec| {
         all[s.index % all.len()]
@@ -61,7 +58,7 @@ fn eight_megabyte_field_through_the_archive_path_all_seven_codecs() {
     let (lo, hi) = field.min_max();
     let slack = (hi - lo) * 0.5;
     for (i, &id) in codecs.iter().enumerate() {
-        let spec = BlockSpec::of(dims, opts.chunk, i);
+        let spec = BlockSpec::of(dims, opts.chunk_edge(), i);
         let original = field.read_block_valid(&spec);
         let restored = recon.read_block_valid(&spec);
         if registry.get(id).expect("registered").is_error_bounded() {
@@ -100,7 +97,7 @@ fn chunked_vs_whole_field_throughput_is_recorded() {
         .map(|n| n.get())
         .unwrap_or(1)
         .clamp(2, 16);
-    let opts = ArchiveOptions { chunk: 64, window };
+    let opts = ArchiveOptions::new().chunk(64).window(window);
 
     // Whole-field single-frame path.
     let mut sz2 = registry.fork(CodecId::Sz2).expect("sz2");
@@ -135,7 +132,7 @@ fn chunked_vs_whole_field_throughput_is_recorded() {
         mbps(whole_c),
         mbps(whole_d),
         whole.len(),
-        opts.chunk,
+        opts.chunk_edge(),
         mbps(arch_c),
         mbps(arch_d),
         bytes.len(),

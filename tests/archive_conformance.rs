@@ -62,7 +62,7 @@ fn every_codec_roundtrips_through_the_archive_path() {
         for rank in ranks(id) {
             for (dims, chunk) in geometries(rank) {
                 let field = wavy(dims);
-                let opts = ArchiveOptions { chunk, window: 3 };
+                let opts = ArchiveOptions::new().chunk(chunk).window(3);
                 let (bytes, stats) = compress_field(&registry, &field, bound, &opts, id)
                     .unwrap_or_else(|e| panic!("{id} failed to archive {dims}/{chunk}: {e}"));
                 assert_eq!(stats.raw_bytes, field.len() * 4);
@@ -119,10 +119,7 @@ fn window_size_does_not_change_the_archive() {
         &registry,
         &field,
         bound,
-        &ArchiveOptions {
-            chunk: 8,
-            window: 1,
-        },
+        &ArchiveOptions::new().chunk(8).window(1),
         CodecId::Sz2,
     )
     .unwrap()
@@ -132,7 +129,7 @@ fn window_size_does_not_change_the_archive() {
             &registry,
             &field,
             bound,
-            &ArchiveOptions { chunk: 8, window },
+            &ArchiveOptions::new().chunk(8).window(window),
             CodecId::Sz2,
         )
         .unwrap()
@@ -156,10 +153,7 @@ fn heterogeneous_archives_dispatch_each_chunk_to_its_codec() {
         CodecId::AeSz,
     ];
     let bound = ErrorBound::rel(1e-2);
-    let opts = ArchiveOptions {
-        chunk: 16,
-        window: 4,
-    };
+    let opts = ArchiveOptions::new().chunk(16).window(4);
     let (bytes, stats) =
         compress_field_with(&registry, &field, bound, &opts, |spec: &BlockSpec| {
             lenses[spec.index % lenses.len()]
@@ -185,10 +179,7 @@ fn small_archive() -> (Registry, Vec<u8>) {
         &registry,
         &field,
         ErrorBound::rel(1e-3),
-        &ArchiveOptions {
-            chunk: 8,
-            window: 2,
-        },
+        &ArchiveOptions::new().chunk(8).window(2),
         CodecId::Sz2,
     )
     .unwrap()

@@ -24,7 +24,7 @@ fn roundtrip_honours_both_bound_modes() {
             let bytes = codec
                 .compress(&field, bound)
                 .unwrap_or_else(|e| panic!("{id} failed to compress ({bound}): {e}"));
-            assert_eq!(container::peek_codec(&bytes).unwrap(), id);
+            assert_eq!(container::peek(&bytes).unwrap().codec, id);
             let recon = codec
                 .decompress(&bytes)
                 .unwrap_or_else(|e| panic!("{id} failed to decode its own stream: {e}"));

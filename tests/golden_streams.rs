@@ -72,10 +72,9 @@ fn make_archive() -> Vec<u8> {
         &registry,
         &golden_field(ARCHIVE_DIMS),
         BOUND,
-        &aesz_repro::archive::ArchiveOptions {
-            chunk: ARCHIVE_CHUNK,
-            window: 2,
-        },
+        &aesz_repro::archive::ArchiveOptions::new()
+            .chunk(ARCHIVE_CHUNK)
+            .window(2),
         |spec: &BlockSpec| ARCHIVE_CODECS[spec.index % ARCHIVE_CODECS.len()],
     )
     .expect("golden archive")
@@ -87,7 +86,7 @@ fn golden_aesc_frame_still_decodes_byte_for_byte() {
     let stream = read_fixture("sz2_16x12.aesc");
     let expected = read_fixture("sz2_16x12.recon.f32");
 
-    assert_eq!(container::peek_codec(&stream).unwrap(), CodecId::Sz2);
+    assert_eq!(container::peek(&stream).unwrap().codec, CodecId::Sz2);
     let (recon, id) = aesz_repro::decompress_any(&stream).expect("golden frame decodes");
     assert_eq!(id, CodecId::Sz2);
     assert_eq!(recon.dims(), FRAME_DIMS);

@@ -48,10 +48,7 @@ fn trainer_registry(field: &Field) -> (Registry, AeSz) {
     (registry, aesz)
 }
 
-const OPTS: ArchiveOptions = ArchiveOptions {
-    chunk: 16,
-    window: 3,
-};
+const OPTS: ArchiveOptions = ArchiveOptions::new().chunk(16).window(3);
 
 #[test]
 fn embedded_model_archive_decodes_in_a_fresh_registry_bit_identically() {
