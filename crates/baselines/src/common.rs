@@ -57,9 +57,10 @@ pub fn write_dims(out: &mut Vec<u8>, dims: Dims) {
 /// non-zero, and a total element count that neither overflows nor exceeds
 /// [`MAX_FIELD_ELEMS`].
 pub fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, DecompressError> {
-    let rank = *buf
-        .get(*pos)
-        .ok_or(DecompressError::Truncated("rank byte"))? as usize;
+    let rank = usize::from(
+        *buf.get(*pos)
+            .ok_or(DecompressError::Truncated("rank byte"))?,
+    );
     *pos += 1;
     if !(1..=3).contains(&rank) {
         return Err(DecompressError::InvalidHeader("rank must be 1-3"));
@@ -73,7 +74,11 @@ pub fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, DecompressError> {
         if ext > MAX_FIELD_ELEMS as u64 {
             return Err(DecompressError::InvalidHeader("extent too large"));
         }
-        e.push(ext as usize);
+        // Capped above, but keep the conversion checked so a 32-bit target
+        // can never truncate a large extent into a small plausible one.
+        let ext = usize::try_from(ext)
+            .map_err(|_| DecompressError::InvalidHeader("extent exceeds this platform"))?;
+        e.push(ext);
     }
     e.iter()
         .try_fold(1usize, |acc, &ext| acc.checked_mul(ext))

@@ -22,8 +22,22 @@
 //! goal is to reproduce each algorithm's characteristic rate-distortion
 //! behaviour, not its exact bitstream.
 
+#![forbid(unsafe_code)]
+
 pub mod ae_a;
 pub mod ae_b;
+// Wire-parsing modules (the `aesz-lint` deny-set, see the repo-root
+// lint.toml) must not panic on attacker-shaped bytes; the clippy headers
+// below enforce the same contract (rule R1) at the compiler level. Tests
+// are exempt via clippy.toml's allow-*-in-tests keys.
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod common;
 pub mod sz2;
 pub mod szauto;

@@ -11,6 +11,8 @@
 //! where the crossovers fall) are what the binaries print and what
 //! EXPERIMENTS.md records.
 
+#![forbid(unsafe_code)]
+
 use aesz_core::training::TrainingOptions;
 use aesz_core::{train_swae_for_field, AeSz, AeSzConfig};
 use aesz_datagen::Application;

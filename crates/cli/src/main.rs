@@ -48,6 +48,8 @@
 //! payload bytes (write it with `--reserve` to leave index capacity, or
 //! pipe through `compress --output -` for the capacity-free inline layout).
 
+#![forbid(unsafe_code)]
+
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::time::Instant;

@@ -22,6 +22,8 @@ impl BitWriter {
     /// Writer with pre-allocated capacity (in bytes).
     pub fn with_capacity(bytes: usize) -> Self {
         BitWriter {
+            // lint:allow(R3): encoder-side hint sized by the caller's own
+            // data, never by a wire-read length
             buf: Vec::with_capacity(bytes),
             bit_pos: 0,
         }
@@ -34,8 +36,9 @@ impl BitWriter {
             self.buf.push(0);
         }
         if bit {
-            let last = self.buf.len() - 1;
-            self.buf[last] |= 1 << self.bit_pos;
+            if let Some(last) = self.buf.last_mut() {
+                *last |= 1 << self.bit_pos;
+            }
         }
         self.bit_pos = (self.bit_pos + 1) & 7;
     }
@@ -54,7 +57,7 @@ impl BitWriter {
         if self.bit_pos == 0 {
             self.buf.len() * 8
         } else {
-            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+            (self.buf.len() - 1) * 8 + usize::from(self.bit_pos)
         }
     }
 
@@ -90,10 +93,8 @@ impl<'a> BitReader<'a> {
     /// Read one bit; returns `None` past the end of the buffer.
     #[inline]
     pub fn read_bit(&mut self) -> Option<bool> {
-        if self.byte_pos >= self.buf.len() {
-            return None;
-        }
-        let bit = (self.buf[self.byte_pos] >> self.bit_pos) & 1 == 1;
+        let byte = *self.buf.get(self.byte_pos)?;
+        let bit = (byte >> self.bit_pos) & 1 == 1;
         self.bit_pos += 1;
         if self.bit_pos == 8 {
             self.bit_pos = 0;
@@ -117,7 +118,7 @@ impl<'a> BitReader<'a> {
 
     /// Number of whole bits remaining (counting padding in the final byte).
     pub fn bits_remaining(&self) -> usize {
-        (self.buf.len() - self.byte_pos) * 8 - self.bit_pos as usize
+        (self.buf.len() - self.byte_pos) * 8 - usize::from(self.bit_pos)
     }
 }
 

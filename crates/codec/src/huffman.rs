@@ -48,25 +48,32 @@ fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u8)> {
     }
     // Tree nodes: leaves 0..n, internal nodes appended after.
     let mut weights: Vec<u64> = freqs.iter().map(|&(_, w)| w.max(1)).collect();
-    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut parent: Vec<usize> = vec![usize::MAX; freqs.len()];
     let mut heap: std::collections::BinaryHeap<HeapNode> = freqs
         .iter()
         .enumerate()
         .map(|(i, &(_, w))| HeapNode {
             weight: w.max(1),
-            order: i as u32,
+            // Tie-break order saturates far beyond any real alphabet (the
+            // symbol space itself is only u32).
+            order: u32::try_from(i).unwrap_or(u32::MAX),
             index: i,
         })
         .collect();
-    let mut next_order = n as u32;
+    let mut next_order = u32::try_from(n).unwrap_or(u32::MAX);
     while heap.len() > 1 {
-        let a = heap.pop().expect("heap has >= 2 entries");
-        let b = heap.pop().expect("heap has >= 2 entries");
+        let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         let idx = weights.len();
         weights.push(a.weight + b.weight);
         parent.push(usize::MAX);
-        parent[a.index] = idx;
-        parent[b.index] = idx;
+        if let Some(p) = parent.get_mut(a.index) {
+            *p = idx;
+        }
+        if let Some(p) = parent.get_mut(b.index) {
+            *p = idx;
+        }
         heap.push(HeapNode {
             weight: a.weight + b.weight,
             order: next_order,
@@ -75,13 +82,16 @@ fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u8)> {
         next_order += 1;
     }
     // Depth of each leaf = number of parent hops to the root.
-    let mut lengths = Vec::with_capacity(n);
+    let mut lengths = Vec::with_capacity(freqs.len());
     for (i, &(sym, _)) in freqs.iter().enumerate() {
         let mut depth = 0u8;
         let mut node = i;
-        while parent[node] != usize::MAX {
-            node = parent[node];
-            depth += 1;
+        while let Some(&up) = parent.get(node) {
+            if up == usize::MAX {
+                break;
+            }
+            node = up;
+            depth = depth.saturating_add(1);
         }
         lengths.push((sym, depth.max(1)));
     }
@@ -149,7 +159,13 @@ pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
 
     let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
     for &s in symbols {
-        let &(code, len) = codes.get(&s).expect("every symbol has a code");
+        let Some(&(code, len)) = codes.get(&s) else {
+            // Impossible by construction (the table was built from these
+            // symbols); skipping would still yield a stream the decoder
+            // rejects by count, not a panic.
+            debug_assert!(false, "every input symbol has a code");
+            continue;
+        };
         // Canonical codes are MSB-first; emit them that way so the decoder can
         // grow the prefix bit by bit.
         for i in (0..len).rev() {
@@ -183,8 +199,8 @@ pub fn huffman_decode_capped(buf: &[u8], max_symbols: usize) -> Option<Vec<u32>>
     if count > max_symbols as u64 {
         return None;
     }
-    let count = count as usize;
-    let table_len = read_uvarint(buf, &mut pos)? as usize;
+    let count = usize::try_from(count).ok()?;
+    let table_len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
     if count == 0 {
         return Some(Vec::new());
     }
@@ -205,13 +221,10 @@ pub fn huffman_decode_capped(buf: &[u8], max_symbols: usize) -> Option<Vec<u32>>
             return None;
         }
         let sym = prev.checked_add(delta)?;
-        if sym > u32::MAX as u64 {
-            return None;
-        }
-        lengths.push((sym as u32, len));
+        lengths.push((u32::try_from(sym).ok()?, len));
         prev = sym;
     }
-    let payload_len = read_uvarint(buf, &mut pos)? as usize;
+    let payload_len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
     let payload = buf.get(pos..pos.checked_add(payload_len)?)?;
 
     if table_len == 1 {

@@ -18,11 +18,57 @@
 //! * [`hash`] — a self-contained SHA-256 and the content-addressed
 //!   [`ModelId`] that names trained models across streams and archives.
 
+#![forbid(unsafe_code)]
+
+// Wire-parsing modules (the `aesz-lint` deny-set, see the repo-root
+// lint.toml) must not panic on attacker-shaped bytes; the clippy headers
+// below enforce the same contract (rule R1) at the compiler level. Tests
+// are exempt via clippy.toml's allow-*-in-tests keys.
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod bitio;
 pub mod hash;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod huffman;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod lz;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod pipeline;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};

@@ -32,8 +32,37 @@ const HASH_SIZE: usize = 1 << HASH_BITS;
 
 #[inline]
 fn hash4(data: &[u8], pos: usize) -> usize {
-    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
-    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    let w = data
+        .get(pos..pos + 4)
+        .map_or([0; 4], |w| [w[0], w[1], w[2], w[3]]);
+    // The fold keeps HASH_BITS (= 16) significant bits, so the hash fits a
+    // u16 and widens losslessly.
+    let folded = (u32::from_le_bytes(w).wrapping_mul(2654435761) >> (32 - HASH_BITS)) as u16;
+    usize::from(folded)
+}
+
+/// Widen a stored chain stamp to an index. `u32` always fits `usize` on the
+/// platforms we build for; the fallback is the empty-chain sentinel.
+#[inline]
+fn stamp_to_index(v: u32) -> usize {
+    usize::try_from(v).unwrap_or(0)
+}
+
+/// Record position `p` in the hash chain. Positions past `u32::MAX - 1` are
+/// silently not indexed (matches are simply not found there) rather than
+/// wrapping into a bogus chain entry.
+#[inline]
+fn chain_insert(head: &mut [u32], prev: &mut [u32], h: usize, p: usize) {
+    let Ok(stamp) = u32::try_from(p + 1) else {
+        return;
+    };
+    let old = head.get(h).copied().unwrap_or(0);
+    if let Some(slot) = prev.get_mut(p % prev.len().max(1)) {
+        *slot = old;
+    }
+    if let Some(slot) = head.get_mut(h) {
+        *slot = stamp;
+    }
 }
 
 /// Compress a byte buffer with greedy LZ77.
@@ -61,24 +90,31 @@ pub fn zlite_compress(data: &[u8]) -> Vec<u8> {
         }
     };
 
+    let prev_len = prev.len();
     while pos < data.len() {
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
         if pos + MIN_MATCH <= data.len() {
             let h = hash4(data, pos);
-            let mut candidate = head[h] as usize;
+            let mut candidate = stamp_to_index(head.get(h).copied().unwrap_or(0));
             let mut chain = 0;
             while candidate > 0 && chain < MAX_CHAIN {
                 let cand_pos = candidate - 1;
-                if pos - cand_pos > WINDOW.min(pos) {
+                if cand_pos >= pos || pos - cand_pos > WINDOW.min(pos) {
                     break;
                 }
-                // Extend the match.
+                // Extend the match: both windows end before `data.len()`
+                // because `cand_pos < pos`, so the `get`s always succeed.
                 let limit = (data.len() - pos).min(MAX_MATCH);
-                let mut len = 0usize;
-                while len < limit && data[cand_pos + len] == data[pos + len] {
-                    len += 1;
-                }
+                let len = match (
+                    data.get(cand_pos..cand_pos + limit),
+                    data.get(pos..pos + limit),
+                ) {
+                    (Some(cand), Some(cur)) => {
+                        cand.iter().zip(cur).take_while(|(a, b)| a == b).count()
+                    }
+                    _ => 0,
+                };
                 if len > best_len {
                     best_len = len;
                     best_dist = pos - cand_pos;
@@ -86,7 +122,7 @@ pub fn zlite_compress(data: &[u8]) -> Vec<u8> {
                         break;
                     }
                 }
-                candidate = prev[cand_pos % prev.len()] as usize;
+                candidate = stamp_to_index(prev.get(cand_pos % prev_len).copied().unwrap_or(0));
                 chain += 1;
             }
         }
@@ -99,22 +135,18 @@ pub fn zlite_compress(data: &[u8]) -> Vec<u8> {
             // Insert hash entries for the skipped positions so later matches
             // can still reference them.
             let end = pos + best_len;
-            let prev_len = prev.len();
             while pos < end && pos + MIN_MATCH <= data.len() {
-                let h = hash4(data, pos);
-                prev[pos % prev_len] = head[h];
-                head[h] = (pos + 1) as u32;
+                chain_insert(&mut head, &mut prev, hash4(data, pos), pos);
                 pos += 1;
             }
             pos = end;
         } else {
             if pos + MIN_MATCH <= data.len() {
-                let h = hash4(data, pos);
-                let prev_len = prev.len();
-                prev[pos % prev_len] = head[h];
-                head[h] = (pos + 1) as u32;
+                chain_insert(&mut head, &mut prev, hash4(data, pos), pos);
             }
-            literals.push(data[pos]);
+            if let Some(&b) = data.get(pos) {
+                literals.push(b);
+            }
             pos += 1;
         }
     }
@@ -140,7 +172,9 @@ pub fn zlite_decompress_capped(buf: &[u8], max_len: usize) -> Option<Vec<u8>> {
     if original_len > max_len as u64 {
         return None;
     }
-    let original_len = original_len as usize;
+    // Checked above against `max_len: usize`, so this conversion cannot fail;
+    // `try_from` still guards 32-bit targets where the cap itself is smaller.
+    let original_len = usize::try_from(original_len).ok()?;
     // The capacity is only a hint: clamp it so a corrupt prefix that slipped
     // past a permissive cap still cannot abort the process on allocation.
     let mut out = Vec::with_capacity(original_len.min(buf.len().saturating_mul(8).max(4096)));
@@ -149,21 +183,21 @@ pub fn zlite_decompress_capped(buf: &[u8], max_len: usize) -> Option<Vec<u8>> {
         pos += 1;
         match tag {
             0x00 => {
-                let len = read_uvarint(buf, &mut pos)? as usize;
+                let len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
                 let bytes = buf.get(pos..pos.checked_add(len)?)?;
                 pos += len;
                 out.extend_from_slice(bytes);
             }
             0x01 => {
-                let len = read_uvarint(buf, &mut pos)? as usize;
-                let dist = read_uvarint(buf, &mut pos)? as usize;
+                let len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
+                let dist = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
                 if dist == 0 || dist > out.len() || !(MIN_MATCH..=MAX_MATCH).contains(&len) {
                     return None;
                 }
                 let start = out.len() - dist;
                 // Overlapping copies are valid (and common for runs).
                 for i in 0..len {
-                    let b = out[start + i];
+                    let b = *out.get(start + i)?;
                     out.push(b);
                 }
             }

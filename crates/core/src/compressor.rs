@@ -31,7 +31,7 @@ use rayon::prelude::*;
 use crate::config::{AeSzConfig, PredictorPolicy};
 use crate::error::DecompressError;
 use crate::latent::LatentCodec;
-use crate::stream::{BlockPredictor, Header, Stream};
+use crate::stream::{BlockPredictor, Header, Stream, MAX_FIELD_ELEMS};
 
 /// Per-compression statistics (drives Fig. 10 and the section-size analysis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,6 +109,8 @@ impl AeSz {
     /// # Panics
     /// Panics when the model's block size does not match the configuration.
     pub fn new(model: ConvAutoencoder, config: AeSzConfig) -> Self {
+        // lint:allow(R1): documented `# Panics` contract on a constructor that
+        // takes programmer-supplied configuration, not untrusted wire input
         assert_eq!(
             model.config().block_size,
             config.block_size,
@@ -189,25 +191,21 @@ impl AeSz {
 
     /// Extract the valid-region values of a padded block buffer.
     fn padded_to_valid(padded: &[f32], spec: &BlockSpec, rank: usize) -> Vec<f32> {
-        let b = spec.nominal;
+        let b = spec.nominal.max(1);
         let mut out = Vec::with_capacity(spec.valid_len());
         match rank {
             1 => {
-                out.extend_from_slice(&padded[..spec.size[0]]);
+                out.extend(padded.iter().take(spec.size[0]));
             }
             2 => {
-                for y in 0..spec.size[0] {
-                    for x in 0..spec.size[1] {
-                        out.push(padded[y * b + x]);
-                    }
+                for row in padded.chunks(b).take(spec.size[0]) {
+                    out.extend(row.iter().take(spec.size[1]));
                 }
             }
             _ => {
-                for z in 0..spec.size[0] {
-                    for y in 0..spec.size[1] {
-                        for x in 0..spec.size[2] {
-                            out.push(padded[(z * b + y) * b + x]);
-                        }
+                for plane in padded.chunks(b * b).take(spec.size[0]) {
+                    for row in plane.chunks(b).take(spec.size[1]) {
+                        out.extend(row.iter().take(spec.size[2]));
                     }
                 }
             }
@@ -217,27 +215,27 @@ impl AeSz {
 
     /// Scatter valid-region values back into a padded block buffer.
     fn valid_to_padded(valid: &[f32], spec: &BlockSpec, rank: usize) -> Vec<f32> {
-        let b = spec.nominal;
+        let b = spec.nominal.max(1);
         let mut out = vec![0.0f32; spec.padded_len(rank)];
-        let mut it = valid.iter();
+        let mut it = valid.iter().copied();
         match rank {
             1 => {
                 for slot in out.iter_mut().take(spec.size[0]) {
-                    *slot = *it.next().expect("length checked");
+                    *slot = it.next().unwrap_or(0.0);
                 }
             }
             2 => {
-                for y in 0..spec.size[0] {
-                    for x in 0..spec.size[1] {
-                        out[y * b + x] = *it.next().expect("length checked");
+                for row in out.chunks_mut(b).take(spec.size[0]) {
+                    for slot in row.iter_mut().take(spec.size[1]) {
+                        *slot = it.next().unwrap_or(0.0);
                     }
                 }
             }
             _ => {
-                for z in 0..spec.size[0] {
-                    for y in 0..spec.size[1] {
-                        for x in 0..spec.size[2] {
-                            out[(z * b + y) * b + x] = *it.next().expect("length checked");
+                for plane in out.chunks_mut(b * b).take(spec.size[0]) {
+                    for row in plane.chunks_mut(b).take(spec.size[1]) {
+                        for slot in row.iter_mut().take(spec.size[2]) {
+                            *slot = it.next().unwrap_or(0.0);
                         }
                     }
                 }
@@ -272,15 +270,13 @@ impl AeSz {
             let latents = self.model.encode_blocks(&batch_buf, chunk.len());
             // Quantize + dequantize the latents (the z → z_d path of Fig. 5).
             let mut zd = Vec::with_capacity(latents.len());
-            for bi in 0..chunk.len() {
-                let z = &latents[bi * latent_dim..(bi + 1) * latent_dim];
+            for z in latents.chunks(latent_dim.max(1)).take(chunk.len()) {
                 let idx = latent_codec.quantize(z);
                 zd.extend(latent_codec.dequantize(&idx));
                 latent_indices_per_block.push(idx);
             }
             let decoded = self.model.decode_latents(&zd, chunk.len());
-            for bi in 0..chunk.len() {
-                let pred_norm = &decoded[bi * block_len..(bi + 1) * block_len];
+            for pred_norm in decoded.chunks(block_len.max(1)).take(chunk.len()) {
                 // Denormalise back to the data domain.
                 let pred: Vec<f32> = pred_norm
                     .iter()
@@ -303,23 +299,20 @@ impl AeSz {
         latent_codec: &LatentCodec,
         batch: usize,
     ) -> Vec<Vec<f32>> {
-        let latent_dim = self.model.config().latent_dim;
+        let latent_dim = self.model.config().latent_dim.max(1);
         let block_len = self.model.config().block_len();
-        debug_assert_eq!(latent_indices.len() % latent_dim.max(1), 0);
-        let n_ae = latent_indices.len() / latent_dim.max(1);
-        let mut preds = Vec::with_capacity(n_ae);
+        debug_assert_eq!(latent_indices.len() % latent_dim, 0);
+        let n_ae = latent_indices.len() / latent_dim;
+        let mut preds = Vec::with_capacity(n_ae.min(MAX_FIELD_ELEMS));
         let batch = batch.max(1);
-        let mut done = 0usize;
-        while done < n_ae {
-            let n = batch.min(n_ae - done);
-            let mut zd = Vec::with_capacity(n * latent_dim);
-            for k in 0..n {
-                let offset = (done + k) * latent_dim;
-                zd.extend(latent_codec.dequantize(&latent_indices[offset..offset + latent_dim]));
+        for group in latent_indices.chunks(batch * latent_dim) {
+            let n = group.len() / latent_dim;
+            let mut zd = Vec::with_capacity(group.len());
+            for idx in group.chunks(latent_dim) {
+                zd.extend(latent_codec.dequantize(idx));
             }
             let decoded = self.model.decode_latents(&zd, n);
-            for k in 0..n {
-                let pred_norm = &decoded[k * block_len..(k + 1) * block_len];
+            for pred_norm in decoded.chunks(block_len.max(1)).take(n) {
                 preds.push(
                     pred_norm
                         .iter()
@@ -327,7 +320,6 @@ impl AeSz {
                         .collect(),
                 );
             }
-            done += n;
         }
         preds
     }
@@ -418,8 +410,7 @@ impl AeSz {
 
         // --- Per-block predictor selection and quantization, chunked ---
         let policy = self.config.policy;
-        let compute_block = |bi: usize| -> BlockOut {
-            let spec = &specs[bi];
+        let compute_block = |spec: &BlockSpec, ae_pred: Option<&[f32]>| -> BlockOut {
             let valid = field.read_block_valid(spec);
             if range == 0.0 {
                 // Constant field: store the exact constant as the block mean
@@ -431,19 +422,16 @@ impl AeSz {
                     mean: lo,
                 };
             }
-            // Candidate losses.
-            let ae_loss = if use_ae {
-                let pred_valid = Self::padded_to_valid(&ae_preds[bi], spec, rank);
-                Some(
-                    valid
-                        .iter()
-                        .zip(pred_valid.iter())
-                        .map(|(&a, &b)| (a as f64 - b as f64).abs())
-                        .sum::<f64>(),
-                )
-            } else {
-                None
-            };
+            // AE candidate: valid-region prediction plus its L1 loss.
+            let ae = ae_pred.map(|pred| {
+                let pred_valid = Self::padded_to_valid(pred, spec, rank);
+                let loss = valid
+                    .iter()
+                    .zip(pred_valid.iter())
+                    .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                    .sum::<f64>();
+                (pred_valid, loss)
+            });
             let lorenzo_preds = lorenzo::ideal_predictions(&valid, &spec.size);
             let lorenzo_loss: f64 = valid
                 .iter()
@@ -454,7 +442,7 @@ impl AeSz {
             let mean_loss = mean::mean_l1_loss(&valid);
 
             let choice = match policy {
-                PredictorPolicy::AeOnly if use_ae => BlockPredictor::Ae,
+                PredictorPolicy::AeOnly if ae.is_some() => BlockPredictor::Ae,
                 PredictorPolicy::LorenzoOnly | PredictorPolicy::AeOnly => {
                     if mean_loss < lorenzo_loss {
                         BlockPredictor::Mean
@@ -464,8 +452,8 @@ impl AeSz {
                 }
                 PredictorPolicy::Adaptive => {
                     let lor_best = lorenzo_loss.min(mean_loss);
-                    match ae_loss {
-                        Some(al) if al < lor_best => BlockPredictor::Ae,
+                    match &ae {
+                        Some((_, al)) if *al < lor_best => BlockPredictor::Ae,
                         _ => {
                             if mean_loss < lorenzo_loss {
                                 BlockPredictor::Mean
@@ -477,17 +465,19 @@ impl AeSz {
                 }
             };
 
-            let block = match choice {
-                BlockPredictor::Ae => {
-                    let pred_valid = Self::padded_to_valid(&ae_preds[bi], spec, rank);
+            let block = match (choice, ae) {
+                (BlockPredictor::Ae, Some((pred_valid, _))) => {
                     let (blk, _) = quantizer.quantize_buffer(&valid, &pred_valid);
                     blk
                 }
-                BlockPredictor::Lorenzo => {
+                (BlockPredictor::Ae, None) | (BlockPredictor::Lorenzo, _) => {
+                    // The first arm pattern is unreachable: `choice` is only
+                    // Ae when an AE prediction exists.
+                    debug_assert!(choice == BlockPredictor::Lorenzo);
                     let (blk, _) = lorenzo::compress(&valid, &spec.size, &quantizer);
                     blk
                 }
-                BlockPredictor::Mean => {
+                (BlockPredictor::Mean, _) => {
                     let (blk, _) = mean::compress(&valid, mean_value, &quantizer);
                     blk
                 }
@@ -502,8 +492,11 @@ impl AeSz {
         let chunk = self.config.chunk_blocks.max(1);
         let mut slots: Vec<Option<BlockOut>> = (0..n_blocks).map(|_| None).collect();
         let fill_chunk = |ci: usize, out: &mut [Option<BlockOut>]| {
-            for (j, slot) in out.iter_mut().enumerate() {
-                *slot = Some(compute_block(ci * chunk + j));
+            let start = ci * chunk;
+            let chunk_specs = specs.get(start..).unwrap_or(&[]);
+            for ((slot, spec), bi) in out.iter_mut().zip(chunk_specs).zip(start..) {
+                let ae_pred = ae_preds.get(bi).map(Vec::as_slice);
+                *slot = Some(compute_block(spec, ae_pred));
             }
         };
         if parallel {
@@ -518,7 +511,7 @@ impl AeSz {
         }
 
         // --- Deterministic merge in block order ---
-        let mut predictors = Vec::with_capacity(n_blocks);
+        let mut predictors = Vec::with_capacity(n_blocks.min(MAX_FIELD_ELEMS));
         let mut all_codes: Vec<u32> = Vec::with_capacity(field.len());
         let mut unpredictable: Vec<f32> = Vec::new();
         let mut means: Vec<f32> = Vec::new();
@@ -528,11 +521,17 @@ impl AeSz {
             ..CompressionReport::default()
         };
         for (bi, slot) in slots.into_iter().enumerate() {
+            #[expect(clippy::expect_used)]
+            // lint:allow(R1): fill_chunk writes every slot of every chunk
+            // (slots and specs are the same length) before this merge runs
             let out = slot.expect("every chunk fills its blocks");
             match out.choice {
                 BlockPredictor::Ae => {
                     report.ae_blocks += 1;
-                    kept_latent_indices.extend_from_slice(&latent_indices_per_block[bi]);
+                    let idx = latent_indices_per_block
+                        .get(bi)
+                        .map_or(&[][..], Vec::as_slice);
+                    kept_latent_indices.extend_from_slice(idx);
                 }
                 BlockPredictor::Lorenzo => report.lorenzo_blocks += 1,
                 BlockPredictor::Mean => {
@@ -720,22 +719,25 @@ impl AeSz {
         let mut field = Field::zeros(dims);
         let specs: Vec<BlockSpec> = field.blocks(bs).collect();
         debug_assert_eq!(specs.len(), n_blocks, "validated by Stream::from_bytes");
-        let mut code_off = Vec::with_capacity(n_blocks + 1);
+        let mut code_off = Vec::with_capacity((n_blocks + 1).min(MAX_FIELD_ELEMS));
+        let mut code_end = 0usize;
         code_off.push(0usize);
         for spec in &specs {
-            code_off.push(code_off.last().unwrap() + spec.valid_len());
+            code_end = code_end.saturating_add(spec.valid_len());
+            code_off.push(code_end);
         }
-        if *code_off.last().unwrap() != n_points {
+        if code_end != n_points {
             return Err(DecompressError::Inconsistent(
                 "block geometry does not cover the field",
             ));
         }
-        let mut esc_off = Vec::with_capacity(n_blocks + 1);
-        let mut mean_off = Vec::with_capacity(n_blocks);
-        let mut ae_ord = Vec::with_capacity(n_blocks);
+        let mut esc_off = Vec::with_capacity((n_blocks + 1).min(MAX_FIELD_ELEMS));
+        let mut mean_off = Vec::with_capacity(n_blocks.min(MAX_FIELD_ELEMS));
+        let mut ae_ord = Vec::with_capacity(n_blocks.min(MAX_FIELD_ELEMS));
         let (mut esc, mut me, mut ae) = (0usize, 0usize, 0usize);
         esc_off.push(0usize);
-        for (bi, p) in stream.predictors.iter().enumerate() {
+        let mut code_rest = all_codes.as_slice();
+        for (p, spec) in stream.predictors.iter().zip(&specs) {
             mean_off.push(me);
             ae_ord.push(ae);
             match p {
@@ -743,36 +745,44 @@ impl AeSz {
                 BlockPredictor::Ae => ae += 1,
                 BlockPredictor::Lorenzo => {}
             }
-            esc += all_codes[code_off[bi]..code_off[bi + 1]]
-                .iter()
-                .filter(|&&c| c == 0)
-                .count();
+            let (block_codes, rest) = code_rest.split_at(spec.valid_len().min(code_rest.len()));
+            code_rest = rest;
+            esc += block_codes.iter().filter(|&&c| c == 0).count();
             esc_off.push(esc);
         }
 
         // --- Chunked parallel reconstruction, then ordered write-back ---
+        // Every offset table is exact by the payload checks above, so the
+        // lookups below cannot fail; `None` is still surfaced as an error
+        // rather than trusted away.
         let predictors = &stream.predictors;
-        let reconstruct_block = |bi: usize| -> Vec<f32> {
-            let spec = &specs[bi];
+        let reconstruct_block = |bi: usize| -> Option<Vec<f32>> {
+            let spec = specs.get(bi)?;
+            let codes = all_codes.get(*code_off.get(bi)?..*code_off.get(bi + 1)?)?;
+            let unpred = unpredictable.get(*esc_off.get(bi)?..*esc_off.get(bi + 1)?)?;
             let blk = QuantizedBlock {
-                codes: all_codes[code_off[bi]..code_off[bi + 1]].to_vec(),
-                unpredictable: unpredictable[esc_off[bi]..esc_off[bi + 1]].to_vec(),
+                codes: codes.to_vec(),
+                unpredictable: unpred.to_vec(),
             };
-            let valid = match predictors[bi] {
+            let valid = match predictors.get(bi)? {
                 BlockPredictor::Ae => {
-                    let pred_valid = Self::padded_to_valid(&ae_preds[ae_ord[bi]], spec, rank);
+                    let pred = ae_preds.get(*ae_ord.get(bi)?)?;
+                    let pred_valid = Self::padded_to_valid(pred, spec, rank);
                     quantizer.dequantize_buffer(&blk, &pred_valid)
                 }
                 BlockPredictor::Lorenzo => lorenzo::decompress(&blk, &spec.size, &quantizer),
-                BlockPredictor::Mean => mean::decompress(&blk, means[mean_off[bi]], &quantizer),
+                BlockPredictor::Mean => {
+                    let mean = *means.get(*mean_off.get(bi)?)?;
+                    mean::decompress(&blk, mean, &quantizer)
+                }
             };
-            Self::valid_to_padded(&valid, spec, rank)
+            Some(Self::valid_to_padded(&valid, spec, rank))
         };
         let chunk = self.config.chunk_blocks.max(1);
         let mut padded: Vec<Option<Vec<f32>>> = (0..n_blocks).map(|_| None).collect();
         let fill_chunk = |ci: usize, out: &mut [Option<Vec<f32>>]| {
             for (j, slot) in out.iter_mut().enumerate() {
-                *slot = Some(reconstruct_block(ci * chunk + j));
+                *slot = reconstruct_block(ci * chunk + j);
             }
         };
         if parallel {
@@ -785,8 +795,10 @@ impl AeSz {
                 fill_chunk(ci, out);
             }
         }
-        for (bi, spec) in specs.iter().enumerate() {
-            let buf = padded[bi].take().expect("every chunk fills its blocks");
+        for (spec, slot) in specs.iter().zip(padded.iter_mut()) {
+            let buf = slot.take().ok_or(DecompressError::Inconsistent(
+                "internal: block reconstruction left a hole",
+            ))?;
             field.write_block(spec, &buf);
         }
         Ok(field)

@@ -22,10 +22,32 @@
 //! application — exactly the offline-training / online-compression split of
 //! Fig. 2.
 
+#![forbid(unsafe_code)]
+
+// Wire-parsing modules (the `aesz-lint` deny-set, see the repo-root
+// lint.toml) must not panic on attacker-shaped bytes; the clippy headers
+// below enforce the same contract (rule R1) at the compiler level. Tests
+// are exempt via clippy.toml's allow-*-in-tests keys.
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod compressor;
 pub mod config;
 pub mod error;
 pub mod latent;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod stream;
 pub mod training;
 

@@ -145,9 +145,10 @@ fn write_dims(out: &mut Vec<u8>, dims: Dims) {
 }
 
 fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, DecompressError> {
-    let rank = *buf
-        .get(*pos)
-        .ok_or(DecompressError::Truncated("rank byte"))? as usize;
+    let rank = usize::from(
+        *buf.get(*pos)
+            .ok_or(DecompressError::Truncated("rank byte"))?,
+    );
     *pos += 1;
     if !(1..=3).contains(&rank) {
         return Err(DecompressError::InvalidHeader("rank must be 1-3"));
@@ -158,7 +159,9 @@ fn read_dims(buf: &[u8], pos: &mut usize) -> Result<Dims, DecompressError> {
         if ext > MAX_FIELD_ELEMS as u64 {
             return Err(DecompressError::InvalidHeader("extent too large"));
         }
-        e.push(ext as usize);
+        e.push(
+            usize::try_from(ext).map_err(|_| DecompressError::InvalidHeader("extent too large"))?,
+        );
     }
     e.iter()
         .try_fold(1usize, |acc, &ext| acc.checked_mul(ext))
@@ -188,8 +191,11 @@ fn read_section(
     if len > remaining as u64 {
         return Err(DecompressError::Truncated(what));
     }
-    let len = len as usize;
-    let bytes = buf[*pos..*pos + len].to_vec();
+    let len = usize::try_from(len).map_err(|_| DecompressError::Truncated(what))?;
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or(DecompressError::Truncated(what))?
+        .to_vec();
     *pos += len;
     Ok(bytes)
 }
@@ -223,7 +229,9 @@ impl Stream {
         // Two bits per block, packed four to a byte.
         let mut packed = vec![0u8; self.predictors.len().div_ceil(4)];
         for (i, &p) in self.predictors.iter().enumerate() {
-            packed[i / 4] |= (p as u8) << ((i % 4) * 2);
+            if let Some(slot) = packed.get_mut(i / 4) {
+                *slot |= (p as u8) << ((i % 4) * 2);
+            }
         }
         out.extend_from_slice(&packed);
         write_section(&mut out, &self.latent_section);
@@ -243,7 +251,9 @@ impl Stream {
         let mut pos = MAGIC.len();
         let model_id = match &bytes[..MAGIC.len()] {
             m if m == MAGIC => {
-                let id = ModelId::from_prefix(&bytes[pos..])
+                let id = bytes
+                    .get(pos..)
+                    .and_then(ModelId::from_prefix)
                     .ok_or(DecompressError::Truncated("model id"))?;
                 pos += MODEL_ID_LEN;
                 Some(id)
@@ -261,25 +271,34 @@ impl Stream {
         if !rel_eb.is_finite() || rel_eb <= 0.0 {
             return Err(DecompressError::InvalidHeader("rel_eb"));
         }
-        let block_size =
-            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("block_size"))? as usize;
-        if block_size == 0 || block_size > MAX_FIELD_ELEMS {
+        // Validate wire integers in the u64 domain *before* narrowing; an
+        // `as usize` here would wrap on 32-bit targets and let a value like
+        // 2^32 + 8 masquerade as a tiny block size.
+        let block_size_raw =
+            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("block_size"))?;
+        if block_size_raw == 0 || block_size_raw > MAX_FIELD_ELEMS as u64 {
             return Err(DecompressError::InvalidHeader("block_size"));
         }
         // Reconstruction allocates padded block_size^rank buffers; cap that
         // volume like the field itself so a tiny hostile stream (e.g. a 1×1
         // field claiming a 2³⁰ block edge) cannot abort on allocation.
-        if (block_size as u64)
-            .checked_pow(dims.rank() as u32)
+        let rank_exp =
+            u32::try_from(dims.rank()).map_err(|_| DecompressError::InvalidHeader("rank"))?;
+        if block_size_raw
+            .checked_pow(rank_exp)
             .is_none_or(|v| v > MAX_FIELD_ELEMS as u64)
         {
             return Err(DecompressError::InvalidHeader("block volume"));
         }
-        let latent_dim =
-            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("latent_dim"))? as usize;
-        if latent_dim == 0 || latent_dim > MAX_FIELD_ELEMS {
+        let block_size = usize::try_from(block_size_raw)
+            .map_err(|_| DecompressError::InvalidHeader("block_size"))?;
+        let latent_dim_raw =
+            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("latent_dim"))?;
+        if latent_dim_raw == 0 || latent_dim_raw > MAX_FIELD_ELEMS as u64 {
             return Err(DecompressError::InvalidHeader("latent_dim"));
         }
+        let latent_dim = usize::try_from(latent_dim_raw)
+            .map_err(|_| DecompressError::InvalidHeader("latent_dim"))?;
         let quant_bins =
             read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("quant_bins"))?;
         // The quantizer requires at least 4 bins; the cap keeps the value
@@ -287,7 +306,8 @@ impl Stream {
         if !(4..=1 << 31).contains(&quant_bins) {
             return Err(DecompressError::InvalidHeader("quant_bins"));
         }
-        let quant_bins = quant_bins as usize;
+        let quant_bins = usize::try_from(quant_bins)
+            .map_err(|_| DecompressError::InvalidHeader("quant_bins"))?;
         let latent_eb_fraction =
             read_f64(bytes, &mut pos).ok_or(DecompressError::Truncated("latent_eb_fraction"))?;
         if !latent_eb_fraction.is_finite() || latent_eb_fraction < 0.0 {
@@ -300,29 +320,35 @@ impl Stream {
             _ => return Err(DecompressError::InvalidHeader("policy value")),
         };
         pos += 1;
-        let n_blocks =
-            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("n_blocks"))? as usize;
+        let n_blocks_raw =
+            read_uvarint(bytes, &mut pos).ok_or(DecompressError::Truncated("n_blocks"))?;
         // The block count is implied by the dims and block size; a stream
         // claiming anything else is corrupt, and rejecting it here bounds
         // the predictor-flag allocation by the (already capped) field size.
+        // The comparison stays in u64 so a count like 2^32 + k cannot alias
+        // the expected value on 32-bit targets.
         let expected_blocks: usize = dims
             .block_grid(block_size)
             .iter()
             .try_fold(1usize, |acc, &g| acc.checked_mul(g))
             .ok_or(DecompressError::InvalidHeader("block grid overflow"))?;
-        if n_blocks != expected_blocks {
+        if n_blocks_raw != expected_blocks as u64 {
             return Err(DecompressError::Inconsistent(
                 "block count does not match dims / block_size",
             ));
         }
+        let n_blocks = expected_blocks;
         let packed_len = n_blocks.div_ceil(4);
         let packed = bytes
             .get(pos..pos + packed_len)
             .ok_or(DecompressError::Truncated("predictor flags"))?;
         pos += packed_len;
-        let mut predictors = Vec::with_capacity(n_blocks);
+        let mut predictors = Vec::with_capacity(n_blocks.min(MAX_FIELD_ELEMS));
         for i in 0..n_blocks {
-            let p = BlockPredictor::try_from_bits(packed[i / 4] >> ((i % 4) * 2))
+            let byte = *packed
+                .get(i / 4)
+                .ok_or(DecompressError::Truncated("predictor flags"))?;
+            let p = BlockPredictor::try_from_bits(byte >> ((i % 4) * 2))
                 .ok_or(DecompressError::InvalidHeader("predictor flag 0b11"))?;
             if p == BlockPredictor::Ae && policy == PredictorPolicy::LorenzoOnly {
                 return Err(DecompressError::Inconsistent(

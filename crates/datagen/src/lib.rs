@@ -21,6 +21,8 @@
 //! split uses low snapshot indices, the test split high ones, exactly like the
 //! papers' split across simulation time steps.
 
+#![forbid(unsafe_code)]
+
 pub mod cesm;
 pub mod exafel;
 pub mod hurricane;

@@ -1,0 +1,401 @@
+//! A small Rust lexer: just enough token structure for the wire-safety rules.
+//!
+//! The goal is *not* a faithful grammar — it is to walk real source without
+//! being fooled by the things that break naive text matching: string and raw
+//! string literals (`"buf[i]"` is not an index expression), nested block
+//! comments, char literals vs. lifetimes, raw identifiers, and numeric
+//! literals with suffixes. Everything the rules reason about (identifiers,
+//! punctuation, literals) comes out as a flat token stream with line numbers;
+//! comment text is captured separately so `// lint:allow(...)` escapes can be
+//! associated with the code they annotate.
+
+/// One lexical token, stripped of literal contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident(String),
+    /// Numeric literal (value and suffix dropped).
+    Num,
+    /// String, byte-string, raw-string or char literal (contents dropped).
+    Lit,
+    /// Lifetime such as `'a` (label dropped).
+    Lifetime,
+    /// A single punctuation character (`::` is two `:` tokens, `..` two `.`).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A `//` comment: its line and its text (without the leading slashes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and line comments. Never fails: unterminated
+/// literals or comments simply end the token stream at end of input, which is
+/// the right behaviour for a linter (rustc will reject the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`, `'\u{1}'`)?
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if is_ident_start(n))
+                    && after != Some(b'\'')
+                    && next != Some(b'\\');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    if b.get(i) == Some(&b'\\') {
+                        i += 2; // escape lead + escaped char (u{..} handled below)
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        // One (possibly multi-byte) char.
+                        i += utf8_len(b[i]);
+                    }
+                    if b.get(i) == Some(&b'\'') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i += 1;
+                while i < b.len() && (is_ident_continue(b[i]) || b[i] == b'.') {
+                    if b[i] == b'.' {
+                        // `1..x` is a range, `1.5` a float: only consume the
+                        // dot when a digit follows.
+                        if b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                            i += 2;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                // Raw strings / byte strings / raw identifiers share their
+                // first letters with plain identifiers; disambiguate first.
+                let start_line = line;
+                if let Some(end) = raw_or_byte_string(b, i, &mut line) {
+                    i = end;
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                let mut j = i;
+                if c == b'r' && b.get(i + 1) == Some(&b'#') && {
+                    b.get(i + 2).copied().is_some_and(is_ident_start)
+                } {
+                    j = i + 2; // raw identifier: keep the name, drop `r#`
+                }
+                let start = j;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(src[start..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Skip a `"…"` string starting at the opening quote; returns the index past
+/// the closing quote and keeps the line counter honest across embedded
+/// newlines.
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            // An escape consumes the next char too; `\<newline>` (a string
+            // continuation) still ends a source line and must be counted.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If position `i` starts a raw string (`r"`, `r#"`), byte string (`b"`,
+/// `b'`), or raw byte string (`br"`, `br#"`), skip it and return the index
+/// past its end.
+fn raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let (raw, mut j) = match (b[i], b.get(i + 1).copied()) {
+        (b'r', Some(b'"' | b'#')) => (true, i + 1),
+        (b'b', Some(b'"')) => (false, i + 1),
+        (b'b', Some(b'\'')) => {
+            // Byte char literal `b'x'` / `b'\n'`.
+            let mut k = i + 2;
+            if b.get(k) == Some(&b'\\') {
+                k += 2;
+            } else {
+                k += 1;
+            }
+            while k < b.len() && b[k] != b'\'' {
+                k += 1;
+            }
+            return Some((k + 1).min(b.len()));
+        }
+        (b'b', Some(b'r')) if matches!(b.get(i + 2), Some(b'"' | b'#')) => (true, i + 2),
+        _ => return None,
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&b'"') {
+            return None; // `r#ident`, not a raw string
+        }
+        j += 1;
+        loop {
+            match b.get(j) {
+                None => return Some(j),
+                Some(b'\n') => {
+                    *line += 1;
+                    j += 1;
+                }
+                Some(b'"') => {
+                    let mut k = j + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && b.get(k) == Some(&b'#') {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        return Some(k);
+                    }
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+    } else {
+        Some(skip_string(b, j, line))
+    }
+}
+
+/// Remove test-only regions from a token stream: any item annotated
+/// `#[cfg(test)]` or `#[test]`, and any `mod tests { … }` block. Returns the
+/// tokens that belong to shipped (non-test) code.
+pub fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // `#[…]` attribute: decide whether it marks a test item.
+        if tokens[i].tok == Tok::Punct('#')
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+        {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                // Consume any further attributes, then the whole item.
+                let mut j = attr_end;
+                while tokens.get(j).map(|t| &t.tok) == Some(&Tok::Punct('#'))
+                    && tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+                {
+                    j = scan_attribute(tokens, j + 1).0;
+                }
+                i = skip_item(tokens, j);
+                continue;
+            }
+            // Not a test attribute: emit it verbatim.
+            out.extend_from_slice(&tokens[i..attr_end]);
+            i = attr_end;
+            continue;
+        }
+        // Conventional `mod tests { … }` (covered by #[cfg(test)] in this
+        // workspace, but the convention is worth honouring on its own).
+        if tokens[i].tok == Tok::Ident("mod".into())
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Ident("tests".into()))
+            && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('{'))
+        {
+            i = skip_braced(tokens, i + 2);
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scan an attribute whose `[` is at `open`. Returns (index past the closing
+/// `]`, whether the attribute gates test-only code).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            Tok::Ident(name) => idents.push(name),
+            _ => {}
+        }
+        i += 1;
+    }
+    let is_bare_test = idents.first() == Some(&"test");
+    let is_cfg_test = idents.first() == Some(&"cfg") && idents.contains(&"test");
+    (i, is_bare_test || is_cfg_test)
+}
+
+/// Skip one item starting at `i`: through the matching `}` of its first brace
+/// block, or past a `;` reached before any brace (use/const/fn-declarations).
+fn skip_item(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('{') => return skip_braced(tokens, j),
+            Tok::Punct(';') => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a brace block whose `{` is at `open`; returns the index past the
+/// matching `}`.
+fn skip_braced(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}

@@ -1,0 +1,429 @@
+//! `aesz-lint` — a dependency-free, token-level wire-safety analyzer for the
+//! AE-SZ workspace.
+//!
+//! The decode paths of this repository (container/archive/stream headers,
+//! the capped codec decoders, the push-based `StreamDecoder`) promise that
+//! hostile bytes return `Err` — never a panic, never an attacker-sized
+//! allocation. This tool makes that promise machine-checked:
+//!
+//! * **R1** — no `unwrap`/`expect`/`panic!`-family calls in decode paths;
+//! * **R2** — no direct slice indexing where `.get()` is required;
+//! * **R3** — no allocation sized by an uncapped variable;
+//! * **R4** — no `as usize`/`as u32` narrowing casts;
+//! * **R5** — every non-compat crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! R1–R4 apply to the *deny-set* — the parse/decode surface listed in the
+//! repo-root `lint.toml`; R5 applies to every non-compat crate. Sites the
+//! rules cannot prove safe but a human can are annotated in place with
+//! `// lint:allow(<rule>): <non-empty reason>`, and `lint-baseline.toml`
+//! ratchets the unannotated counts: CI fails when any count rises, and
+//! `--update-baseline` rewrites the file downward as violations are burned
+//! off.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Rule, Violation};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Repo-root configuration (`lint.toml`): the deny-set and scan exclusions.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files (repo-relative, `/`-separated) under R1–R4.
+    pub deny: Vec<String>,
+    /// Directory prefixes never scanned (vendored shims, fixtures).
+    pub exclude: Vec<String>,
+}
+
+impl Config {
+    /// Parse the minimal TOML subset `lint.toml` uses: top-level
+    /// `key = [ "string", … ]` arrays, possibly spanning lines, with `#`
+    /// comments.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut key: Option<String> = None;
+        let mut items: Vec<String> = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let line = if key.is_none() {
+                match line.split_once('=') {
+                    Some((k, rest)) => {
+                        key = Some(k.trim().to_string());
+                        rest.trim().to_string()
+                    }
+                    None => return Err(format!("lint.toml:{}: expected `key = [...]`", n + 1)),
+                }
+            } else {
+                line
+            };
+            let mut rest = line.as_str();
+            loop {
+                rest = rest.trim_start_matches([',', ' ', '\t', '[']);
+                if let Some(stripped) = rest.strip_prefix('"') {
+                    let Some(end) = stripped.find('"') else {
+                        return Err(format!("lint.toml:{}: unterminated string", n + 1));
+                    };
+                    items.push(stripped[..end].to_string());
+                    rest = &stripped[end + 1..];
+                    continue;
+                }
+                break;
+            }
+            if rest.trim_start_matches([',', ' ', '\t']).starts_with(']') {
+                let k = key.take().unwrap_or_default();
+                match k.as_str() {
+                    "deny" => config.deny = std::mem::take(&mut items),
+                    "exclude" => config.exclude = std::mem::take(&mut items),
+                    other => return Err(format!("lint.toml: unknown key `{other}`")),
+                }
+            }
+        }
+        if key.is_some() {
+            return Err("lint.toml: unterminated array".into());
+        }
+        Ok(config)
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for this file: `#` never appears inside our strings.
+    line.split('#').next().unwrap_or(line)
+}
+
+/// Per-file, per-rule unannotated violation counts (`lint-baseline.toml`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub files: BTreeMap<String, BTreeMap<Rule, u32>>,
+}
+
+impl Baseline {
+    /// Parse the `[[file]]` table-array format written by [`Baseline::render`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut baseline = Baseline::default();
+        let mut current: Option<String> = None;
+        for (n, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[file]]" {
+                current = None;
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(format!(
+                    "lint-baseline.toml:{}: expected `key = value`",
+                    n + 1
+                ));
+            };
+            let (k, v) = (k.trim(), v.trim());
+            if k == "path" {
+                let path = v.trim_matches('"').to_string();
+                baseline.files.entry(path.clone()).or_default();
+                current = Some(path);
+            } else if let Some(rule) = Rule::parse(k) {
+                let count: u32 = v
+                    .parse()
+                    .map_err(|_| format!("lint-baseline.toml:{}: bad count `{v}`", n + 1))?;
+                let Some(path) = &current else {
+                    return Err(format!(
+                        "lint-baseline.toml:{}: rule count before any `path`",
+                        n + 1
+                    ));
+                };
+                baseline
+                    .files
+                    .entry(path.clone())
+                    .or_default()
+                    .insert(rule, count);
+            } else {
+                return Err(format!("lint-baseline.toml:{}: unknown key `{k}`", n + 1));
+            }
+        }
+        Ok(baseline)
+    }
+
+    /// Serialize in a stable order, ready to commit.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Unannotated wire-safety violations per deny-set file (see lint.toml).\n\
+             # The ratchet only turns one way: CI fails if any count rises; run\n\
+             # `cargo run -p aesz-lint -- --update-baseline` after burning one down.\n",
+        );
+        for (path, counts) in &self.files {
+            let _ = write!(out, "\n[[file]]\npath = \"{path}\"\n");
+            for rule in [Rule::R1, Rule::R2, Rule::R3, Rule::R4] {
+                let _ = writeln!(
+                    out,
+                    "{} = {}",
+                    rule.name(),
+                    counts.get(&rule).copied().unwrap_or(0)
+                );
+            }
+        }
+        out
+    }
+
+    pub fn allowed(&self, path: &str, rule: Rule) -> u32 {
+        self.files
+            .get(path)
+            .and_then(|c| c.get(&rule))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// A `// lint:allow(<rules>): <reason>` annotation found in a source file.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rules: Vec<Rule>,
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line of the code the annotation covers (same line for trailing
+    /// comments, the next code line for comments on their own line).
+    pub target: u32,
+}
+
+/// Extract and validate the allow annotations of one lexed file. Malformed
+/// or reason-less annotations are hard errors (pushed into `errors`).
+fn collect_allows(lexed: &lexer::Lexed, path: &str, errors: &mut Vec<String>) -> Vec<Allow> {
+    let code_lines: std::collections::BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut allows = Vec::new();
+    for comment in &lexed.comments {
+        let text = comment.text.trim();
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let parse = || -> Option<(Vec<Rule>, String)> {
+            let rest = rest.strip_prefix('(')?;
+            let (names, after) = rest.split_once(')')?;
+            let rules = names
+                .split(',')
+                .map(Rule::parse)
+                .collect::<Option<Vec<_>>>()?;
+            let reason = after.strip_prefix(':')?.trim().to_string();
+            if rules.is_empty() || reason.is_empty() {
+                return None;
+            }
+            Some((rules, reason))
+        };
+        match parse() {
+            Some((rules, reason)) => {
+                let target = if code_lines.contains(&comment.line) {
+                    comment.line
+                } else {
+                    code_lines
+                        .range(comment.line..)
+                        .next()
+                        .copied()
+                        .unwrap_or(comment.line)
+                };
+                allows.push(Allow {
+                    rules,
+                    reason,
+                    line: comment.line,
+                    target,
+                });
+            }
+            None => errors.push(format!(
+                "{path}:{}: malformed annotation `// {text}` — the form is \
+                 `// lint:allow(R2): non-empty reason`",
+                comment.line
+            )),
+        }
+    }
+    allows
+}
+
+/// One checked file's outcome.
+#[derive(Debug)]
+pub struct FileReport {
+    pub path: String,
+    /// Violations with no covering annotation — what the baseline counts.
+    pub unannotated: Vec<Violation>,
+    /// Violations covered by a `lint:allow` (kept for `--verbose` listings).
+    pub annotated: Vec<(Violation, String)>,
+}
+
+/// The whole run's outcome.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files: Vec<FileReport>,
+    /// Hard errors independent of the baseline: malformed annotations,
+    /// missing `#![forbid(unsafe_code)]`, unreadable config.
+    pub errors: Vec<String>,
+    /// Ratchet regressions: (path, rule, count, allowed).
+    pub regressions: Vec<(String, Rule, u32, u32)>,
+    /// Entries where the live count undercuts the baseline — the nudge to
+    /// ratchet down.
+    pub improvements: Vec<(String, Rule, u32, u32)>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.regressions.is_empty()
+    }
+
+    /// Current unannotated counts in baseline form.
+    pub fn to_baseline(&self) -> Baseline {
+        let mut baseline = Baseline::default();
+        for file in &self.files {
+            let counts = baseline.files.entry(file.path.clone()).or_default();
+            for rule in [Rule::R1, Rule::R2, Rule::R3, Rule::R4] {
+                counts.insert(rule, 0);
+            }
+            for v in &file.unannotated {
+                *counts.entry(v.rule).or_insert(0) += 1;
+            }
+        }
+        baseline
+    }
+}
+
+/// Check one source file against R1–R4, honouring its annotations.
+pub fn check_file(path: &str, source: &str) -> (FileReport, Vec<String>) {
+    let lexed = lexer::lex(source);
+    let mut errors = Vec::new();
+    let allows = collect_allows(&lexed, path, &mut errors);
+    let stripped = lexer::strip_test_code(&lexed.tokens);
+    let lines: Vec<&str> = source.lines().collect();
+    let violations = rules::check_tokens(&stripped, &lines);
+    let mut report = FileReport {
+        path: path.to_string(),
+        unannotated: Vec::new(),
+        annotated: Vec::new(),
+    };
+    for v in violations {
+        let covering = allows
+            .iter()
+            .find(|a| a.target == v.line && a.rules.contains(&v.rule));
+        match covering {
+            Some(a) => report.annotated.push((v, a.reason.clone())),
+            None => report.unannotated.push(v),
+        }
+    }
+    (report, errors)
+}
+
+/// Does a crate-root source carry `#![forbid(unsafe_code)]`?
+pub fn has_forbid_unsafe(source: &str) -> bool {
+    source
+        .lines()
+        .any(|l| l.replace(' ', "").starts_with("#![forbid(unsafe_code)]"))
+}
+
+/// Walk `root`, run every check, compare against `baseline`.
+pub fn run(root: &Path, config: &Config, baseline: &Baseline) -> Report {
+    let mut report = Report::default();
+
+    // R1–R4 over the deny-set.
+    for rel in &config.deny {
+        let path = root.join(rel);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                report
+                    .errors
+                    .push(format!("{rel}: cannot read deny-set file: {e}"));
+                continue;
+            }
+        };
+        let (file, mut errors) = check_file(rel, &source);
+        report.errors.append(&mut errors);
+        let mut counts: BTreeMap<Rule, u32> = BTreeMap::new();
+        for v in &file.unannotated {
+            *counts.entry(v.rule).or_insert(0) += 1;
+        }
+        for rule in [Rule::R1, Rule::R2, Rule::R3, Rule::R4] {
+            let count = counts.get(&rule).copied().unwrap_or(0);
+            let allowed = baseline.allowed(rel, rule);
+            if count > allowed {
+                report.regressions.push((rel.clone(), rule, count, allowed));
+            } else if count < allowed {
+                report
+                    .improvements
+                    .push((rel.clone(), rule, count, allowed));
+            }
+        }
+        report.files.push(file);
+    }
+
+    // R5 over every non-compat crate root, plus annotation syntax everywhere.
+    for crate_root in find_crate_roots(root, config) {
+        let rel = rel_path(root, &crate_root);
+        match std::fs::read_to_string(&crate_root) {
+            Ok(source) => {
+                if !has_forbid_unsafe(&source) {
+                    report.errors.push(format!(
+                        "{rel}: crate root lacks `#![forbid(unsafe_code)]` (R5)"
+                    ));
+                }
+            }
+            Err(e) => report.errors.push(format!("{rel}: cannot read: {e}")),
+        }
+    }
+    report
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Every crate root (`src/lib.rs`, else `src/main.rs`) of every `Cargo.toml`
+/// under `root`, excluding the configured prefixes.
+fn find_crate_roots(root: &Path, config: &Config) -> Vec<PathBuf> {
+    let mut manifests = Vec::new();
+    walk(root, root, config, &mut |path| {
+        if path.file_name().is_some_and(|n| n == "Cargo.toml") {
+            manifests.push(path.to_path_buf());
+        }
+    });
+    let mut roots = Vec::new();
+    for manifest in manifests {
+        let dir = manifest.parent().unwrap_or(root);
+        for candidate in ["src/lib.rs", "src/main.rs"] {
+            let path = dir.join(candidate);
+            if path.is_file() {
+                roots.push(path);
+                break;
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+fn walk(root: &Path, dir: &Path, config: &Config, f: &mut impl FnMut(&Path)) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let rel = rel_path(root, &path);
+        if config.exclude.iter().any(|e| rel.starts_with(e.as_str()))
+            || rel.starts_with('.')
+            || rel.starts_with("target")
+        {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, config, f);
+        } else {
+            f(&path);
+        }
+    }
+}

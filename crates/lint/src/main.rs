@@ -1,0 +1,182 @@
+//! CLI for the wire-safety analyzer: `cargo run -p aesz-lint -- --check`.
+
+#![forbid(unsafe_code)]
+
+use aesz_lint::{Baseline, Config, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+aesz-lint — wire-safety static analysis for the AE-SZ decode paths
+
+USAGE:
+    aesz-lint --check [--verbose] [--root <dir>]
+    aesz-lint --update-baseline [--root <dir>]
+
+MODES:
+    --check             verify the deny-set against lint-baseline.toml (CI mode)
+    --update-baseline   rewrite lint-baseline.toml with the current counts
+                        (refuses to raise any count: the ratchet only tightens)
+
+OPTIONS:
+    --root <dir>        repository root (default: current directory)
+    --verbose           also list annotated (lint:allow'd) sites
+";
+
+struct Args {
+    root: PathBuf,
+    update: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut update = false;
+    let mut check = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--update-baseline" => update = true,
+            "--verbose" => verbose = true,
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if check == update {
+        return Err("pass exactly one of --check / --update-baseline".into());
+    }
+    Ok(Args {
+        root,
+        update,
+        verbose,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config_path = args.root.join("lint.toml");
+    let config = match std::fs::read_to_string(&config_path).map_err(|e| e.to_string()) {
+        Ok(text) => match Config::parse(&text) {
+            Ok(config) => config,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = args.root.join("lint-baseline.toml");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // Missing baseline = empty baseline (everything must be at zero).
+        Err(_) => Baseline::default(),
+    };
+
+    let report = aesz_lint::run(&args.root, &config, &baseline);
+
+    if args.update {
+        let current = report.to_baseline();
+        // The ratchet only tightens: refuse to regenerate a looser baseline
+        // while violations have regressed.
+        if !report.regressions.is_empty() {
+            print_findings(&report, false);
+            eprintln!("error: refusing to update the baseline upward; fix the new violations");
+            return ExitCode::from(1);
+        }
+        if !report.errors.is_empty() {
+            print_findings(&report, false);
+            return ExitCode::from(1);
+        }
+        if let Err(e) = std::fs::write(&baseline_path, current.render()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    print_findings(&report, args.verbose);
+    if report.is_clean() {
+        let files = report.files.len();
+        let annotated: usize = report.files.iter().map(|f| f.annotated.len()).sum();
+        println!("lint: clean — {files} deny-set files, {annotated} annotated allowances");
+        if !report.improvements.is_empty() {
+            println!(
+                "note: {} baseline entr{} can ratchet down; run `cargo run -p aesz-lint -- \
+                 --update-baseline`",
+                report.improvements.len(),
+                if report.improvements.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_findings(report: &Report, verbose: bool) {
+    for error in &report.errors {
+        eprintln!("error: {error}");
+    }
+    for file in &report.files {
+        for v in &file.unannotated {
+            let over = report
+                .regressions
+                .iter()
+                .any(|(p, r, _, _)| *p == file.path && *r == v.rule);
+            let status = if over { "DENY" } else { "baselined" };
+            eprintln!(
+                "{}:{}: [{}] {} ({status})",
+                file.path,
+                v.line,
+                v.rule.name(),
+                v.what
+            );
+        }
+        if verbose {
+            for (v, reason) in &file.annotated {
+                eprintln!(
+                    "{}:{}: [{}] allowed: {reason}",
+                    file.path,
+                    v.line,
+                    v.rule.name()
+                );
+            }
+        }
+    }
+    for (path, rule, count, allowed) in &report.regressions {
+        eprintln!(
+            "regression: {path} has {count} unannotated {} violations, baseline allows {allowed}",
+            rule.name()
+        );
+    }
+}

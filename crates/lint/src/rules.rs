@@ -1,0 +1,324 @@
+//! The wire-safety rule families R1–R4 over a lexed, test-stripped token
+//! stream.
+//!
+//! These are *syntactic* rules: without type or data-flow analysis they
+//! cannot prove an index in bounds or an allocation capped, so each rule
+//! carves out the patterns that are safe by construction (literal indices,
+//! const-sized allocations, `len`-proportional capacities, adjacent cap
+//! checks) and flags everything else. What the rules cannot see, the
+//! `// lint:allow(<rule>): <reason>` escape hatch records explicitly — with
+//! the burden of a written justification.
+
+use crate::lexer::{Tok, Token};
+
+/// The rule families. `R5` (crate roots must `#![forbid(unsafe_code)]`) is
+/// checked at the file level in `lib.rs`, not over tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/
+    /// `assert*!` in decode paths (`debug_assert*!` is allowed: compiled out
+    /// of release builds, it documents invariants without a release panic).
+    R1,
+    /// No direct slice indexing `buf[i]` / `buf[a..b]` with runtime-computed
+    /// positions; use `.get()` and surface an error. Literal, const and
+    /// const-derived indices are exempt.
+    R2,
+    /// No `Vec::with_capacity(n)` / `vec![x; n]` whose size comes from a
+    /// plain variable without cap evidence (a `.min(...)`/`*_len()` call in
+    /// the expression, a const, or a cap check on a nearby preceding line).
+    R3,
+    /// No `as usize` / `as u32` narrowing casts; use `usize::from`,
+    /// `try_from`, or justify the cap with an annotation.
+    R4,
+    /// Crate roots must carry `#![forbid(unsafe_code)]`.
+    R5,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    pub line: u32,
+    pub what: String,
+}
+
+/// Run R1–R4 over a test-stripped token stream. `lines` is the raw source
+/// split by line (1-based indexing via `line - 1`), used only for R3's
+/// nearby-cap-evidence scan.
+pub fn check_tokens(tokens: &[Token], lines: &[&str]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_r1(tokens, &mut out);
+    check_r2(tokens, &mut out);
+    check_r3(tokens, lines, &mut out);
+    check_r4(tokens, &mut out);
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+const R1_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+const R1_METHODS: &[&str] = &["unwrap", "expect"];
+
+fn check_r1(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let next = tokens.get(i + 1).map(|t| &t.tok);
+        if R1_MACROS.contains(&name.as_str()) && next == Some(&Tok::Punct('!')) {
+            out.push(Violation {
+                rule: Rule::R1,
+                line: t.line,
+                what: format!("`{name}!` can panic at runtime"),
+            });
+        }
+        if R1_METHODS.contains(&name.as_str())
+            && next == Some(&Tok::Punct('('))
+            && i > 0
+            && tokens[i - 1].tok == Tok::Punct('.')
+        {
+            out.push(Violation {
+                rule: Rule::R1,
+                line: t.line,
+                what: format!("`.{name}()` panics on the Err/None it hides"),
+            });
+        }
+    }
+}
+
+/// Identifiers treated as compile-time constants: `SCREAMING_SNAKE_CASE`
+/// with at least one letter and two characters.
+fn is_const_ident(name: &str) -> bool {
+    name.len() >= 2
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && name.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Does `[` at `open` open an index expression (as opposed to an array
+/// literal/type, slice pattern, attribute or `vec![`)? True when the previous
+/// token could end a place expression.
+fn is_index_position(tokens: &[Token], open: usize) -> bool {
+    let Some(prev) = open.checked_sub(1).map(|p| &tokens[p].tok) else {
+        return false;
+    };
+    match prev {
+        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+        Tok::Ident(name) => !matches!(
+            name.as_str(),
+            // Keywords that may directly precede an array literal or type.
+            "mut"
+                | "ref"
+                | "let"
+                | "const"
+                | "static"
+                | "return"
+                | "break"
+                | "in"
+                | "as"
+                | "dyn"
+                | "impl"
+                | "where"
+                | "else"
+                | "match"
+                | "if"
+                | "move"
+        ),
+        _ => false,
+    }
+}
+
+/// Tokens allowed inside an exempt (const-derived) index expression.
+fn index_token_allowed(tokens: &[Token], i: usize) -> bool {
+    match &tokens[i].tok {
+        Tok::Num => true,
+        Tok::Punct('.' | '+' | '-' | '*' | ':' | '=' | '(' | ')') => true,
+        Tok::Ident(name) => {
+            if is_const_ident(name) {
+                return true;
+            }
+            match name.as_str() {
+                "as" | "usize" | "u64" | "u32" | "u16" | "u8" => true,
+                // `.len()`/`.min()` only as *calls* (CONST.len() is fine;
+                // a variable named `len` is not).
+                "len" | "min" => tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')),
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn check_r2(tokens: &[Token], out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok != Tok::Punct('[') || !is_index_position(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let close = matching(tokens, i, '[', ']');
+        let exempt = (i + 1..close).all(|j| index_token_allowed(tokens, j));
+        if !exempt {
+            out.push(Violation {
+                rule: Rule::R2,
+                line: tokens[i].line,
+                what: "slice indexing with a runtime-computed position can panic; use `.get()`"
+                    .into(),
+            });
+        }
+        i += 1; // nested index expressions are reported on their own
+    }
+}
+
+/// Index of the token holding the delimiter that closes `open_ch` at `open`.
+fn matching(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].tok == Tok::Punct(open_ch) {
+            depth += 1;
+        } else if tokens[j].tok == Tok::Punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    j.saturating_sub(1)
+}
+
+/// How many preceding source lines R3 searches for cap evidence.
+const R3_EVIDENCE_WINDOW: u32 = 12;
+/// Substrings on a nearby preceding line accepted as evidence that the size
+/// was capped or validated before the allocation.
+const R3_EVIDENCE: &[&str] = &["MAX", "CAP", ".min(", "checked_", "contains("];
+
+fn size_expr_is_risky(tokens: &[Token], range: std::ops::Range<usize>) -> bool {
+    let mut saw_variable = false;
+    for j in range.clone() {
+        if let Tok::Ident(name) = &tokens[j].tok {
+            if is_const_ident(name) {
+                return false; // const-sized
+            }
+            let is_call = tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('('));
+            if is_call && (name.ends_with("len") || name == "min") {
+                // Proportional to something already in memory, or
+                // explicitly clamped.
+                return false;
+            }
+            if !is_call
+                && !matches!(
+                    name.as_str(),
+                    "as" | "usize" | "u64" | "u32" | "u16" | "u8" | "self" | "f32" | "f64"
+                )
+            {
+                saw_variable = true;
+            }
+        }
+    }
+    saw_variable
+}
+
+fn nearby_cap_evidence(lines: &[&str], line: u32) -> bool {
+    let end = line.saturating_sub(1) as usize; // violation line itself excluded
+    let start = line.saturating_sub(R3_EVIDENCE_WINDOW) as usize;
+    lines[start.min(lines.len())..end.min(lines.len())]
+        .iter()
+        .any(|l| R3_EVIDENCE.iter().any(|e| l.contains(e)))
+}
+
+fn check_r3(tokens: &[Token], lines: &[&str], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        // `fn with_capacity(...)` definitions declare the API, they don't
+        // allocate; only call sites are checked.
+        let is_definition = i > 0 && tokens[i - 1].tok == Tok::Ident("fn".into());
+        let (range, what) = if name == "with_capacity"
+            && !is_definition
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+        {
+            let close = matching(tokens, i + 1, '(', ')');
+            (i + 2..close, "with_capacity")
+        } else if name == "vec" && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!')) {
+            let Some(open) = tokens.get(i + 2).filter(|t| t.tok == Tok::Punct('[')) else {
+                continue;
+            };
+            let _ = open;
+            let close = matching(tokens, i + 2, '[', ']');
+            // `vec![elem; n]`: the size expression follows the top-level `;`.
+            let Some(semi) = (i + 3..close).find(|&j| {
+                tokens[j].tok == Tok::Punct(';')
+                    && (i + 3..j).fold(0i32, |d, k| match tokens[k].tok {
+                        Tok::Punct('[' | '(' | '{') => d + 1,
+                        Tok::Punct(']' | ')' | '}') => d - 1,
+                        _ => d,
+                    }) == 0
+            }) else {
+                continue; // list form `vec![a, b, c]`
+            };
+            (semi + 1..close, "vec![..; n]")
+        } else {
+            continue;
+        };
+        if size_expr_is_risky(tokens, range) && !nearby_cap_evidence(lines, t.line) {
+            out.push(Violation {
+                rule: Rule::R3,
+                line: t.line,
+                what: format!(
+                    "`{what}` sized by a variable with no visible cap; clamp it or check it first"
+                ),
+            });
+        }
+    }
+}
+
+fn check_r4(tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.tok != Tok::Ident("as".into()) {
+            continue;
+        }
+        let Some(Tok::Ident(target)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            continue;
+        };
+        if target == "usize" || target == "u32" {
+            out.push(Violation {
+                rule: Rule::R4,
+                line: t.line,
+                what: format!(
+                    "`as {target}` silently truncates wider integers; use `{target}::from` or \
+                     `try_from`"
+                ),
+            });
+        }
+    }
+}

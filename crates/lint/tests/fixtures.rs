@@ -1,0 +1,76 @@
+//! Rule-level fixture tests: each fixture file triggers exactly the
+//! violations asserted here, at the exact lines asserted here. Line numbers
+//! are load-bearing — they pin the lexer's line accounting (strings, raw
+//! strings, comments, backslash-newline continuations) as much as the rules
+//! themselves.
+
+use aesz_lint::check_file;
+use aesz_lint::rules::Rule;
+
+/// Unannotated (rule, line) pairs of a fixture, asserting no hard errors.
+fn unannotated(src: &str) -> Vec<(Rule, u32)> {
+    let (report, errors) = check_file("fixture.rs", src);
+    assert!(errors.is_empty(), "unexpected hard errors: {errors:?}");
+    report
+        .unannotated
+        .iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn r1_flags_unwrap_and_panic_at_exact_lines() {
+    let got = unannotated(include_str!("fixtures/r1.rs"));
+    assert_eq!(got, vec![(Rule::R1, 2), (Rule::R1, 6)]);
+}
+
+#[test]
+fn r2_flags_runtime_indices_but_not_const_ones() {
+    let got = unannotated(include_str!("fixtures/r2.rs"));
+    // `buf[i]` is flagged; `buf[0]` and `&buf[..HEADER_LEN]` are exempt.
+    assert_eq!(got, vec![(Rule::R2, 4)]);
+}
+
+#[test]
+fn r3_flags_uncapped_capacity_but_not_min_or_len() {
+    let got = unannotated(include_str!("fixtures/r3.rs"));
+    assert_eq!(got, vec![(Rule::R3, 2)]);
+}
+
+#[test]
+fn r4_flags_narrowing_casts_but_not_widening_ones() {
+    let got = unannotated(include_str!("fixtures/r4.rs"));
+    assert_eq!(got, vec![(Rule::R4, 2)]);
+}
+
+#[test]
+fn clean_fixture_is_clean_including_its_test_module() {
+    let got = unannotated(include_str!("fixtures/clean.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn allow_with_reason_covers_own_line_and_next_code_line() {
+    let (report, errors) = check_file("fixture.rs", include_str!("fixtures/allow_ok.rs"));
+    assert!(errors.is_empty(), "{errors:?}");
+    assert!(report.unannotated.is_empty(), "{:?}", report.unannotated);
+    assert_eq!(report.annotated.len(), 2);
+}
+
+#[test]
+fn allow_without_reason_is_a_hard_error_not_a_suppression() {
+    let (report, errors) = check_file("fixture.rs", include_str!("fixtures/allow_bad.rs"));
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors[0].contains("malformed annotation"), "{}", errors[0]);
+    // The malformed annotation must NOT silence the violation.
+    assert_eq!(report.unannotated.len(), 1);
+    assert_eq!(report.unannotated[0].rule, Rule::R1);
+}
+
+#[test]
+fn backslash_newline_continuations_still_count_source_lines() {
+    // The string literal spans lines 2-4 via `\<newline>` continuations; a
+    // lexer that skips the escaped newline reports the unwrap 2 lines early.
+    let got = unannotated(include_str!("fixtures/continuation.rs"));
+    assert_eq!(got, vec![(Rule::R1, 9)]);
+}

@@ -1,0 +1,4 @@
+fn decode(v: Option<u8>) -> u8 {
+    // lint:allow(R1):
+    v.unwrap()
+}

@@ -1,0 +1,8 @@
+fn decode(v: Option<u8>) -> u8 {
+    // lint:allow(R1): the caller has already checked is_some
+    v.unwrap()
+}
+
+fn trailing(v: Option<u8>) -> u8 {
+    v.unwrap() // lint:allow(R1): same-line trailing annotation
+}

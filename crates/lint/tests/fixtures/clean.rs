@@ -1,0 +1,24 @@
+fn read(buf: &[u8], i: usize) -> Option<u8> {
+    buf.get(i).copied()
+}
+
+fn narrow(n: u64) -> Option<usize> {
+    usize::try_from(n).ok()
+}
+
+fn looks_like_code_but_is_a_string() -> &'static str {
+    "buf[i].unwrap() as usize // vec![0; n]"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_and_index() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let buf = [0u8; 4];
+        let i = 1;
+        let _ = buf[i];
+        let _ = (7u64) as usize;
+    }
+}

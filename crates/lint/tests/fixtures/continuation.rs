@@ -1,0 +1,10 @@
+fn message() -> String {
+    let s = "a string whose backslash-newline \
+continuation \
+spans three source lines";
+    s.to_string()
+}
+
+fn after_continuation(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

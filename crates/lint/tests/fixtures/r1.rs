@@ -1,0 +1,7 @@
+fn decode(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+fn fail() -> u8 {
+    panic!("boom")
+}

@@ -1,0 +1,13 @@
+const HEADER_LEN: usize = 4;
+
+fn at(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}
+
+fn first(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+fn header(buf: &[u8]) -> &[u8] {
+    &buf[..HEADER_LEN]
+}

@@ -1,0 +1,11 @@
+fn alloc(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}
+
+fn alloc_capped(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n.min(4096))
+}
+
+fn alloc_proportional(data: &[u8]) -> Vec<u8> {
+    Vec::with_capacity(data.len())
+}

@@ -1,0 +1,7 @@
+fn narrow(n: u64) -> usize {
+    n as usize
+}
+
+fn widen(n: u8) -> u64 {
+    n as u64
+}

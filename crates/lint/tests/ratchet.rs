@@ -1,0 +1,83 @@
+//! Ratchet semantics over a throwaway repo root: the baseline only holds or
+//! tightens, and going above it is a regression.
+
+use aesz_lint::rules::Rule;
+use aesz_lint::{run, Baseline, Config};
+use std::path::PathBuf;
+
+/// A scratch repo root holding one deny-set file with `src` as its contents.
+fn scratch_root(name: &str, src: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("src")).unwrap();
+    std::fs::write(root.join("src/parse.rs"), src).unwrap();
+    root
+}
+
+fn deny_parse() -> Config {
+    Config::parse("deny = [\"src/parse.rs\"]\nexclude = []").unwrap()
+}
+
+const ONE_VIOLATION: &str = "fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n";
+const NO_VIOLATION: &str = "fn f(v: Option<u8>) -> Option<u8> {\n    v\n}\n";
+
+fn baseline(r1: u32) -> Baseline {
+    Baseline::parse(&format!(
+        "[[file]]\npath = \"src/parse.rs\"\nR1 = {r1}\nR2 = 0\nR3 = 0\nR4 = 0\n"
+    ))
+    .unwrap()
+}
+
+#[test]
+fn count_at_baseline_is_clean() {
+    let root = scratch_root("ratchet_at", ONE_VIOLATION);
+    let report = run(&root, &deny_parse(), &baseline(1));
+    assert!(report.is_clean(), "{report:?}");
+    assert!(report.improvements.is_empty());
+}
+
+#[test]
+fn count_above_baseline_is_a_regression() {
+    let root = scratch_root("ratchet_above", ONE_VIOLATION);
+    let report = run(&root, &deny_parse(), &baseline(0));
+    assert!(!report.is_clean());
+    assert_eq!(
+        report.regressions,
+        vec![("src/parse.rs".to_string(), Rule::R1, 1, 0)]
+    );
+}
+
+#[test]
+fn count_below_baseline_is_an_improvement_to_ratchet_down() {
+    let root = scratch_root("ratchet_below", NO_VIOLATION);
+    let report = run(&root, &deny_parse(), &baseline(1));
+    assert!(report.is_clean(), "undercutting the baseline must not fail");
+    assert_eq!(
+        report.improvements,
+        vec![("src/parse.rs".to_string(), Rule::R1, 0, 1)]
+    );
+    // --update-baseline writes the tightened counts.
+    let updated = report.to_baseline();
+    assert_eq!(updated.files["src/parse.rs"][&Rule::R1], 0);
+}
+
+#[test]
+fn baseline_render_parse_roundtrips() {
+    let root = scratch_root("ratchet_roundtrip", ONE_VIOLATION);
+    let report = run(&root, &deny_parse(), &baseline(1));
+    let b = report.to_baseline();
+    assert_eq!(Baseline::parse(&b.render()).unwrap(), b);
+}
+
+#[test]
+fn missing_deny_set_file_is_a_hard_error() {
+    let root = scratch_root("ratchet_missing", ONE_VIOLATION);
+    let config = Config::parse("deny = [\"src/gone.rs\"]\nexclude = []").unwrap();
+    let report = run(&root, &config, &Baseline::default());
+    assert!(!report.is_clean());
+    assert!(
+        report.errors[0].contains("cannot read"),
+        "{:?}",
+        report.errors
+    );
+}

@@ -1,0 +1,53 @@
+//! The linter run against this repository itself, exactly as the CI `--check`
+//! step runs it: the committed baseline must hold, every annotation must be
+//! well-formed, and — because the deny-set is fully burned down — every
+//! baseline count must be zero so the decode surface ships panic-free.
+
+use aesz_lint::{run, Baseline, Config};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+#[test]
+fn the_repo_is_clean_against_its_committed_baseline() {
+    let root = repo_root();
+    let config = Config::parse(&std::fs::read_to_string(root.join("lint.toml")).unwrap()).unwrap();
+    let baseline =
+        Baseline::parse(&std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap())
+            .unwrap();
+    let report = run(&root, &config, &baseline);
+    assert!(
+        report.errors.is_empty(),
+        "hard errors:\n{}",
+        report.errors.join("\n")
+    );
+    let regressions: Vec<String> = report
+        .regressions
+        .iter()
+        .map(|(p, r, c, a)| format!("{p}: {} {c} > baseline {a}", r.name()))
+        .collect();
+    assert!(regressions.is_empty(), "{}", regressions.join("\n"));
+}
+
+#[test]
+fn the_committed_baseline_is_fully_burned_down() {
+    let root = repo_root();
+    let baseline =
+        Baseline::parse(&std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap())
+            .unwrap();
+    for (path, counts) in &baseline.files {
+        for (rule, count) in counts {
+            assert_eq!(
+                *count,
+                0,
+                "{path} still allows {count} unannotated {} violations",
+                rule.name()
+            );
+        }
+    }
+}

@@ -36,6 +36,7 @@ use crate::container::{
     decode_chunk_entry, parse_model_section, read_chunk_index, read_model_section,
     validate_chunk_entry, write_chunk_entry, ArchiveHeader, ChunkEntry, CodecId, EmbeddedModel,
     ModelId, ARCHIVE_VERSION, ARCHIVE_VERSION_APPEND, ARCHIVE_VERSION_MODELS, CHUNK_ENTRY_LEN,
+    MAX_FIELD_ELEMS,
 };
 use crate::error::{CompressError, DecompressError};
 use aesz_tensor::{BlockSpec, Dims, Field};
@@ -122,11 +123,14 @@ impl Default for ArchiveOptions {
 
 /// The dims of the small [`Field`] holding one chunk's values (same rank as
 /// the parent field, extents = the chunk's valid size).
+#[expect(clippy::unreachable)]
 pub fn chunk_dims(spec: &BlockSpec) -> Dims {
     match *spec.size.as_slice() {
         [n] => Dims::d1(n),
         [ny, nx] => Dims::d2(ny, nx),
         [nz, ny, nx] => Dims::d3(nz, ny, nx),
+        // lint:allow(R1): BlockSpec::size is built from a Dims, whose rank
+        // is 1..=3 by construction; no wire input reaches this match
         _ => unreachable!("BlockSpec rank is always 1..=3"),
     }
 }
@@ -169,7 +173,8 @@ impl ChunkSource for FieldSource<'_> {
 
     fn read_chunk(&mut self, spec: &BlockSpec) -> std::io::Result<Field> {
         let values = self.0.read_block_valid(spec);
-        Ok(Field::from_vec(chunk_dims(spec), values).expect("spec sizes match value count"))
+        Field::from_vec(chunk_dims(spec), values)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 }
 
@@ -486,13 +491,14 @@ fn compress_chunk_frames(
             job.out = Some(job.codec.compress(&job.field, chunk_bound));
         });
         for job in jobs {
-            let frame =
-                job.out
-                    .expect("window ran")
-                    .map_err(|error| ArchiveWriteError::Compress {
-                        chunk: job.index,
-                        error,
-                    })?;
+            #[expect(clippy::expect_used)]
+            // lint:allow(R1): `run_jobs` invokes the closure on every job in
+            // the window exactly once, so `out` is always populated here
+            let out = job.out.expect("window ran");
+            let frame = out.map_err(|error| ArchiveWriteError::Compress {
+                chunk: job.index,
+                error,
+            })?;
             raw_bytes += job.field.len() * 4;
             on_frame(job.index, job.id, frame)?;
         }
@@ -552,7 +558,7 @@ fn write_archive_impl<W: Write + Seek>(
     // length is known (reserved v3 capacity slots stay zero).
     sink.write_all(&vec![0u8; header.index_len()])?;
 
-    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(count);
+    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(count.min(MAX_FIELD_ELEMS));
     let mut models: Vec<EmbeddedModel> = Vec::new();
     let mut offset = header.data_start() as u64;
     let (raw_bytes, peak_window_raw_bytes) = compress_chunk_frames(
@@ -600,7 +606,7 @@ fn write_archive_impl<W: Write + Seek>(
     Ok(ArchiveStats {
         chunks: count,
         raw_bytes,
-        archive_bytes: offset as usize + model_section.len(),
+        archive_bytes: usize::try_from(offset).unwrap_or(usize::MAX) + model_section.len(),
         peak_window_raw_bytes,
         model_bytes: model_section.len(),
     })
@@ -735,7 +741,7 @@ impl<F: Read + Write + Seek> ArchiveAppender<F> {
 
         // Fixed header first: read the largest possible encoded header (64
         // bytes, rank 3 v3) or whatever the file holds, then parse a prefix.
-        let head_len = (archive_len as usize).min(64);
+        let head_len = usize::try_from(archive_len.min(64)).unwrap_or(64);
         let mut head = vec![0u8; head_len];
         file.seek(SeekFrom::Start(base))?;
         file.read_exact(&mut head)?;
@@ -760,7 +766,7 @@ impl<F: Read + Write + Seek> ArchiveAppender<F> {
         // The chunk index: decode stored entries (indexed) or walk the
         // frame headers with seeks (inline), with the exact validation the
         // buffered readers apply.
-        let mut entries = Vec::with_capacity(count);
+        let mut entries = Vec::with_capacity(count.min(MAX_FIELD_ELEMS));
         let mut expected = data_start;
         if header.index_slots() > 0 {
             let mut index = vec![0u8; header.index_len()];
@@ -768,15 +774,24 @@ impl<F: Read + Write + Seek> ArchiveAppender<F> {
             file.read_exact(&mut index)?;
             for i in 0..count {
                 let at = i * CHUNK_ENTRY_LEN;
-                let entry = decode_chunk_entry(&index[at..at + CHUNK_ENTRY_LEN])
-                    .map_err(ArchiveReadError::Archive)?;
+                let raw = index
+                    .get(at..at + CHUNK_ENTRY_LEN)
+                    .ok_or(ArchiveReadError::Archive(DecompressError::Truncated(
+                        "archive chunk index",
+                    )))?;
+                let entry = decode_chunk_entry(raw).map_err(ArchiveReadError::Archive)?;
                 expected = validate_chunk_entry(&entry, i, expected, data_end, header.model_len)
                     .map_err(ArchiveReadError::Archive)?;
                 entries.push(entry);
             }
             for slot in count..header.index_slots() {
                 let at = slot * CHUNK_ENTRY_LEN;
-                if index[at..at + CHUNK_ENTRY_LEN].iter().any(|&b| b != 0) {
+                let raw = index
+                    .get(at..at + CHUNK_ENTRY_LEN)
+                    .ok_or(ArchiveReadError::Archive(DecompressError::Truncated(
+                        "archive chunk index",
+                    )))?;
+                if raw.iter().any(|&b| b != 0) {
                     return Err(ArchiveReadError::Archive(DecompressError::BadChunkIndex {
                         chunk: slot,
                         reason: "reserved index slot is not zero-filled",
@@ -820,6 +835,8 @@ impl<F: Read + Write + Seek> ArchiveAppender<F> {
         // Stash and verify the model tail; finalize writes it back.
         let mut models = Vec::new();
         if header.model_len > 0 {
+            // lint:allow(R3): model_len was bounds-checked against the real
+            // archive length when computing `tail` above
             let mut section = vec![0u8; header.model_len];
             file.seek(SeekFrom::Start(base + data_end))?;
             file.read_exact(&mut section)?;
@@ -963,7 +980,7 @@ impl<F: Read + Write + Seek> ArchiveAppender<F> {
                 Ok(())
             },
         )?;
-        let written = (offset - self.data_end) as usize;
+        let written = usize::try_from(offset - self.data_end).unwrap_or(usize::MAX);
         self.data_end = offset;
         self.header.dims = new_dims;
         debug_assert_eq!(self.header.chunk_count(), self.entries.len());
@@ -1015,12 +1032,15 @@ impl<F: Read + Write + Seek> ArchiveAppender<F> {
 }
 
 /// `dims` with its slowest extent grown by `extra`.
+#[expect(clippy::unreachable)]
 fn grow_slowest(dims: Dims, extra: usize) -> Dims {
     let e = dims.extents();
     match *e.as_slice() {
         [n] => Dims::d1(n + extra),
         [ny, nx] => Dims::d2(ny + extra, nx),
         [nz, ny, nx] => Dims::d3(nz + extra, ny, nx),
+        // lint:allow(R1): Dims::extents always yields 1..=3 entries by
+        // construction; no wire input reaches this match
         _ => unreachable!("rank is always 1..=3"),
     }
 }
@@ -1096,7 +1116,9 @@ impl<'a> ArchiveReader<'a> {
     /// The raw `AESC` frame of chunk `index` (`None` out of range).
     pub fn chunk_frame(&self, index: usize) -> Option<&'a [u8]> {
         let entry = self.entries.get(index)?;
-        Some(&self.bytes[entry.offset as usize..(entry.offset + entry.len) as usize])
+        let start = usize::try_from(entry.offset).ok()?;
+        let end = usize::try_from(entry.offset.checked_add(entry.len)?).ok()?;
+        self.bytes.get(start..end)
     }
 
     /// Decode a single chunk by index through `codec` — the random-access
@@ -1114,7 +1136,9 @@ impl<'a> ArchiveReader<'a> {
         let frame = self
             .chunk_frame(index)
             .ok_or(DecompressError::Inconsistent("chunk index out of range"))?;
-        let spec = self.chunk_spec(index).expect("index checked");
+        let spec = self
+            .chunk_spec(index)
+            .ok_or(DecompressError::Inconsistent("chunk index out of range"))?;
         let field = codec.decompress(frame)?;
         if field.dims() != chunk_dims(&spec) {
             return Err(DecompressError::Inconsistent(
@@ -1153,7 +1177,11 @@ impl<'a> ArchiveReader<'a> {
             let batch = window.min(count - next);
             let mut jobs = Vec::with_capacity(batch);
             for index in next..next + batch {
-                let entry = self.entries[index];
+                let out_of_range = || ArchiveReadError::Chunk {
+                    chunk: index,
+                    error: DecompressError::Inconsistent("chunk index out of range"),
+                };
+                let entry = self.entries.get(index).copied().ok_or_else(out_of_range)?;
                 let codec =
                     codecs(index, entry.codec).map_err(|error| ArchiveReadError::Chunk {
                         chunk: index,
@@ -1161,8 +1189,8 @@ impl<'a> ArchiveReader<'a> {
                     })?;
                 jobs.push(Job {
                     index,
-                    spec: self.chunk_spec(index).expect("index in range"),
-                    frame: self.chunk_frame(index).expect("index in range"),
+                    spec: self.chunk_spec(index).ok_or_else(out_of_range)?,
+                    frame: self.chunk_frame(index).ok_or_else(out_of_range)?,
                     codec,
                     out: None,
                 });
@@ -1171,13 +1199,14 @@ impl<'a> ArchiveReader<'a> {
                 job.out = Some(job.codec.decompress(job.frame));
             });
             for job in jobs {
-                let field =
-                    job.out
-                        .expect("window ran")
-                        .map_err(|error| ArchiveReadError::Chunk {
-                            chunk: job.index,
-                            error,
-                        })?;
+                #[expect(clippy::expect_used)]
+                // lint:allow(R1): `run_jobs` invokes the closure on every
+                // job in the window exactly once, so `out` is always set
+                let out = job.out.expect("window ran");
+                let field = out.map_err(|error| ArchiveReadError::Chunk {
+                    chunk: job.index,
+                    error,
+                })?;
                 if field.dims() != chunk_dims(&job.spec) {
                     return Err(ArchiveReadError::Chunk {
                         chunk: job.index,
@@ -1592,6 +1621,7 @@ mod tests {
     }
 
     /// `full` split along its slowest axis at `at`: (head field, tail field).
+    #[allow(clippy::unreachable)] // no allow-unreachable-in-tests config key
     fn split_slow(full: &Field, at: usize) -> (Field, Field) {
         let e = full.dims().extents();
         let row: usize = e[1..].iter().product();

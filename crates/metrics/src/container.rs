@@ -413,7 +413,11 @@ impl EmbeddedModel {
     }
 
     /// The codec this model belongs to (from the frame header).
+    #[expect(clippy::expect_used)]
     pub fn codec(&self) -> CodecId {
+        // lint:allow(R1): `new`/`from_frame` validate the frame header; a
+        // hand-assembled `frame` breaking that is a programmer error in this
+        // process, not untrusted input reaching the decoder
         CodecId::from_byte(self.frame[5]).expect("validated at construction")
     }
 
@@ -594,7 +598,7 @@ impl ArchiveHeader {
         if bytes[5] != ARCHIVE_DTYPE_F32 {
             return Err(DecompressError::InvalidHeader("archive dtype"));
         }
-        let rank = bytes[6] as usize;
+        let rank = usize::from(bytes[6]);
         if !(1..=3).contains(&rank) {
             return Err(DecompressError::InvalidHeader("archive rank"));
         }
@@ -617,22 +621,26 @@ impl ArchiveHeader {
         if bytes.len() < fixed {
             return Err(DecompressError::Truncated("archive header"));
         }
-        let u64_at = |pos: usize| {
+        let u64_at = |pos: usize| -> Result<u64, DecompressError> {
+            let src = bytes
+                .get(pos..pos + 8)
+                .ok_or(DecompressError::Truncated("archive header"))?;
             let mut b = [0u8; 8];
-            b.copy_from_slice(&bytes[pos..pos + 8]);
-            u64::from_le_bytes(b)
+            b.copy_from_slice(src);
+            Ok(u64::from_le_bytes(b))
         };
         let mut extents = [0usize; 3];
         let mut total: usize = 1;
         for (ax, slot) in extents.iter_mut().take(rank).enumerate() {
-            let e = u64_at(8 + 8 * ax);
+            let e = u64_at(8 + 8 * ax)?;
             if e == 0 {
                 return Err(DecompressError::InvalidHeader("archive extent is zero"));
             }
             if e > MAX_FIELD_ELEMS as u64 {
                 return Err(DecompressError::InvalidHeader("archive extent exceeds cap"));
             }
-            *slot = e as usize;
+            *slot = usize::try_from(e)
+                .map_err(|_| DecompressError::InvalidHeader("archive extent exceeds cap"))?;
             total = total
                 .checked_mul(*slot)
                 .filter(|&t| t <= MAX_FIELD_ELEMS)
@@ -645,7 +653,7 @@ impl ArchiveHeader {
             2 => Dims::d2(extents[0], extents[1]),
             _ => Dims::d3(extents[0], extents[1], extents[2]),
         };
-        let chunk = u64_at(8 + 8 * rank);
+        let chunk = u64_at(8 + 8 * rank)?;
         if chunk == 0 {
             return Err(DecompressError::InvalidHeader("archive chunk edge is zero"));
         }
@@ -655,7 +663,7 @@ impl ArchiveHeader {
             ));
         }
         let index_cap = if version >= ARCHIVE_VERSION_APPEND {
-            let cap = u64_at(24 + 8 * rank);
+            let cap = u64_at(24 + 8 * rank)?;
             // The cap sizes the index allocation, so bound it like the
             // element count; the precise fit against the input is enforced
             // by `read_chunk_index`.
@@ -664,7 +672,8 @@ impl ArchiveHeader {
                     "archive index capacity exceeds cap",
                 ));
             }
-            cap as usize
+            usize::try_from(cap)
+                .map_err(|_| DecompressError::InvalidHeader("archive index capacity exceeds cap"))?
         } else {
             0
         };
@@ -674,18 +683,25 @@ impl ArchiveHeader {
             24 + 8 * rank
         };
         let model_len = if version >= ARCHIVE_VERSION_MODELS {
-            u64_at(model_len_at) as usize
+            // Checked narrowing only — `bytes` may be just a header prefix
+            // here, so the fit against the real archive length is the
+            // caller's check. An `as usize` would wrap 2^32 + k to k on a
+            // 32-bit target and mislocate the model-section boundary.
+            usize::try_from(u64_at(model_len_at)?).map_err(|_| {
+                DecompressError::InvalidHeader("model section exceeds this platform")
+            })?
         } else {
             0
         };
         let header = ArchiveHeader {
             dims,
-            chunk: chunk as usize,
+            chunk: usize::try_from(chunk)
+                .map_err(|_| DecompressError::InvalidHeader("archive chunk edge exceeds cap"))?,
             version,
             model_len,
             index_cap,
         };
-        let declared = u64_at(16 + 8 * rank);
+        let declared = u64_at(16 + 8 * rank)?;
         if declared != header.chunk_count() as u64 {
             return Err(DecompressError::Inconsistent(
                 "stored chunk count disagrees with the chunk grid",
@@ -810,7 +826,10 @@ pub fn read_chunk_index(
     let mut expected_offset = data_start as u64;
     for i in 0..count {
         let at = index_start + i * CHUNK_ENTRY_LEN;
-        let entry = decode_chunk_entry(&bytes[at..at + CHUNK_ENTRY_LEN])?;
+        let raw = bytes
+            .get(at..at + CHUNK_ENTRY_LEN)
+            .ok_or(DecompressError::Truncated("archive chunk index"))?;
+        let entry = decode_chunk_entry(raw)?;
         expected_offset = validate_chunk_entry(
             &entry,
             i,
@@ -824,7 +843,10 @@ pub fn read_chunk_index(
     // is either corruption or a finalize that never happened.
     for slot in count..header.index_slots() {
         let at = index_start + slot * CHUNK_ENTRY_LEN;
-        if bytes[at..at + CHUNK_ENTRY_LEN].iter().any(|&b| b != 0) {
+        let raw = bytes
+            .get(at..at + CHUNK_ENTRY_LEN)
+            .ok_or(DecompressError::Truncated("archive chunk index"))?;
+        if raw.iter().any(|&b| b != 0) {
             return Err(DecompressError::BadChunkIndex {
                 chunk: slot,
                 reason: "reserved index slot is not zero-filled",
@@ -880,7 +902,9 @@ pub fn reconstruct_chunk_index(
         if data_end - pos < FRAME_LEN {
             return Err(DecompressError::Truncated("archive chunk data"));
         }
-        let head = &bytes[pos..pos + FRAME_LEN];
+        let head = bytes
+            .get(pos..pos + FRAME_LEN)
+            .ok_or(DecompressError::Truncated("archive chunk data"))?;
         if head[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
             return Err(DecompressError::BadMagic);
         }
@@ -903,8 +927,11 @@ pub fn reconstruct_chunk_index(
             offset: pos as u64,
             len,
         };
-        pos = validate_chunk_entry(&entry, i, pos as u64, data_end as u64, header.model_len)?
-            as usize;
+        let next = validate_chunk_entry(&entry, i, pos as u64, data_end as u64, header.model_len)?;
+        // The validated end offset is bounded by `data_end <= bytes.len()`,
+        // so it always fits back into usize.
+        pos = usize::try_from(next)
+            .map_err(|_| DecompressError::Inconsistent("chunk frame end exceeds this platform"))?;
         entries.push(entry);
     }
     if pos != data_end {
@@ -935,7 +962,10 @@ pub fn read_model_section<'a>(
         .len()
         .checked_sub(header.model_len)
         .ok_or(DecompressError::Truncated("archive model section"))?;
-    parse_model_section(&bytes[start..])
+    let section = bytes
+        .get(start..)
+        .ok_or(DecompressError::Truncated("archive model section"))?;
+    parse_model_section(section)
 }
 
 /// Walk a complete model *section* (the last `model_len` bytes of a v2/v3
@@ -948,7 +978,8 @@ pub fn parse_model_section(section: &[u8]) -> Result<Vec<(ModelId, &[u8])>, Deco
         let head = section
             .get(pos..pos + MODEL_ID_LEN + 8)
             .ok_or(DecompressError::Truncated("archive model entry"))?;
-        let id = ModelId::from_prefix(head).expect("slice holds a full id");
+        let id = ModelId::from_prefix(head)
+            .ok_or(DecompressError::Truncated("archive model entry id"))?;
         let mut len_bytes = [0u8; 8];
         len_bytes.copy_from_slice(&head[MODEL_ID_LEN..]);
         let len = u64::from_le_bytes(len_bytes);
@@ -956,8 +987,12 @@ pub fn parse_model_section(section: &[u8]) -> Result<Vec<(ModelId, &[u8])>, Deco
         if len > (section.len() - pos) as u64 {
             return Err(DecompressError::Truncated("archive model frame"));
         }
-        let frame = &section[pos..pos + len as usize];
-        pos += len as usize;
+        let len =
+            usize::try_from(len).map_err(|_| DecompressError::Truncated("archive model frame"))?;
+        let frame = section
+            .get(pos..pos + len)
+            .ok_or(DecompressError::Truncated("archive model frame"))?;
+        pos += len;
         let (_, payload) = read_model_frame(frame)?;
         if ModelId::of(payload) != id {
             return Err(DecompressError::Inconsistent(
@@ -1045,6 +1080,42 @@ mod tests {
                 "prefix of {len} bytes parsed as a complete frame"
             );
         }
+    }
+
+    #[test]
+    fn hostile_u64_lengths_are_rejected_without_truncation_or_allocation() {
+        // A declared payload length of exactly 1 << 32 becomes 0 under a
+        // 32-bit `as usize` cast — the truncation bug this exercises. The
+        // frame must be rejected as truncated, not accepted as empty.
+        let mut framed = write_frame(CodecId::Zfp, b"tiny");
+        framed[6..14].copy_from_slice(&(1u64 << 32).to_le_bytes());
+        assert!(matches!(
+            read_frame(&framed),
+            Err(DecompressError::Truncated(_))
+        ));
+
+        // The worst case: u64::MAX. Still a clean error, and `read_frame`
+        // never allocates payload-proportional memory (it borrows).
+        framed[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_frame(&framed).is_err());
+
+        // An archive header whose trailing model-section length claims more
+        // bytes than the whole input: `read` must fail before any caller
+        // trusts the length, while `read_prefix` (which by contract does not
+        // validate the tail sections) still parses the fixed prefix.
+        let mut header = ArchiveHeader::v1(Dims::d1(16), 16);
+        header.version = ARCHIVE_VERSION_APPEND;
+        let mut bytes = Vec::new();
+        header.write(&mut bytes);
+        let model_len_at = bytes.len() - 8;
+        bytes[model_len_at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            ArchiveHeader::read(&bytes),
+            Err(DecompressError::Truncated(_)) | Err(DecompressError::InvalidHeader(_))
+        ));
+        let prefix = ArchiveHeader::read_prefix(&bytes).unwrap();
+        assert_eq!(prefix.dims, Dims::d1(16));
+        assert_eq!(prefix.model_len as u64, u64::MAX);
     }
 
     #[test]

@@ -9,13 +9,43 @@
 //! * `bit rate = compressed bits / number of data points`
 //! * `compression ratio = |D| / |D'|` in bytes.
 
+#![forbid(unsafe_code)]
+
+// Wire-parsing modules (the `aesz-lint` deny-set, see the repo-root
+// lint.toml) must not panic on attacker-shaped bytes; the clippy headers
+// below enforce the same contract (rule R1) at the compiler level. Tests
+// are exempt via clippy.toml's allow-*-in-tests keys.
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod archive;
 pub mod bound;
 pub mod compressor;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod container;
 pub mod error;
 pub mod error_stats;
 pub mod rate_distortion;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod stream;
 
 pub use archive::{

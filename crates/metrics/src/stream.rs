@@ -233,6 +233,9 @@ impl StreamDecoder {
     }
 
     fn take(&mut self, n: usize) -> Vec<u8> {
+        // lint:allow(R2): every caller checks `avail() >= n` in the same
+        // state transition before taking; the machine never consumes
+        // unbuffered bytes
         let out = self.buf[self.pos..self.pos + n].to_vec();
         self.pos += n;
         self.offset += n as u64;
@@ -269,18 +272,16 @@ impl StreamDecoder {
                 State::Detect => {
                     if self.avail() < ARCHIVE_MAGIC.len() {
                         if self.eof {
-                            let seen = &self.buf[self.pos..];
-                            return Err(
-                                if seen == &ARCHIVE_MAGIC[..seen.len()] && !seen.is_empty() {
-                                    DecompressError::Truncated("archive magic")
-                                } else {
-                                    DecompressError::Truncated("container magic")
-                                },
-                            );
+                            let seen = self.buf.get(self.pos..).unwrap_or(&[]);
+                            return Err(if ARCHIVE_MAGIC.starts_with(seen) && !seen.is_empty() {
+                                DecompressError::Truncated("archive magic")
+                            } else {
+                                DecompressError::Truncated("container magic")
+                            });
                         }
                         return Ok(None);
                     }
-                    let magic = &self.buf[self.pos..self.pos + 4];
+                    let magic = self.buf.get(self.pos..self.pos + 4).unwrap_or(&[]);
                     if magic == CONTAINER_MAGIC {
                         self.state = State::FrameHeader;
                     } else if magic == ARCHIVE_MAGIC {
@@ -296,14 +297,18 @@ impl StreamDecoder {
                         }
                         return Ok(None);
                     }
-                    let info = container::peek(&self.buf[self.pos..])?;
+                    let info = container::peek(self.buf.get(self.pos..).unwrap_or(&[]))?;
                     let mut head = [0u8; FRAME_LEN];
                     head.copy_from_slice(&self.take(FRAME_LEN));
                     self.state = State::FramePayload { info, head };
                     return Ok(Some(StreamEvent::FrameHeader(info)));
                 }
                 State::FramePayload { info, head } => {
-                    let need = info.payload_len as usize;
+                    // u64 → usize must be checked: on a 32-bit target a
+                    // declared length of 2^32 + k would otherwise wrap to k.
+                    let need = usize::try_from(info.payload_len).map_err(|_| {
+                        DecompressError::InvalidHeader("container payload exceeds this platform")
+                    })?;
                     if self.avail() < need {
                         if self.eof {
                             return Err(DecompressError::Truncated("container payload"));
@@ -331,9 +336,9 @@ impl StreamDecoder {
                         }
                         return Ok(None);
                     }
-                    let probe = &self.buf[self.pos..];
+                    let probe = self.buf.get(self.pos..).unwrap_or(&[]);
                     let version = probe[4];
-                    let rank = probe[6] as usize;
+                    let rank = usize::from(probe[6]);
                     // Out-of-range version/rank are caught by `read_prefix`
                     // below with the right error; clamp only to size the
                     // wait.
@@ -354,13 +359,16 @@ impl StreamDecoder {
                         if self.eof {
                             // Let the buffered parser name the missing piece
                             // (magic/version checks come first there too).
-                            return Err(ArchiveHeader::read_prefix(&self.buf[self.pos..])
-                                .err()
-                                .unwrap_or(DecompressError::Truncated("archive header")));
+                            return Err(ArchiveHeader::read_prefix(
+                                self.buf.get(self.pos..).unwrap_or(&[]),
+                            )
+                            .err()
+                            .unwrap_or(DecompressError::Truncated("archive header")));
                         }
                         return Ok(None);
                     }
-                    let header = ArchiveHeader::read_prefix(&self.buf[self.pos..])?;
+                    let header =
+                        ArchiveHeader::read_prefix(self.buf.get(self.pos..).unwrap_or(&[]))?;
                     self.take(header.encoded_len());
                     self.expected_offset = (header.encoded_len() + header.index_len()) as u64;
                     let indexed = header.index_slots() > 0;
@@ -377,11 +385,15 @@ impl StreamDecoder {
                 }
                 State::Index { slot } => {
                     let slot = *slot;
-                    let header = self.header.expect("set before Index");
+                    let Some(header) = self.header else {
+                        return Err(DecompressError::Inconsistent(
+                            "internal: Index state without an archive header",
+                        ));
+                    };
                     if slot == header.index_slots() {
                         self.state = State::ChunkHead {
                             index: 0,
-                            expect: Some(self.entries[0]),
+                            expect: self.entries.first().copied(),
                         };
                         continue;
                     }
@@ -421,14 +433,21 @@ impl StreamDecoder {
                 }
                 State::ChunkHead { index, expect } => {
                     let (index, expect) = (*index, *expect);
-                    let header = self.header.expect("set before ChunkHead");
+                    let Some(header) = self.header else {
+                        return Err(DecompressError::Inconsistent(
+                            "internal: ChunkHead state without an archive header",
+                        ));
+                    };
                     if self.avail() < FRAME_LEN {
                         if self.eof {
                             return Err(DecompressError::Truncated("archive chunk data"));
                         }
                         return Ok(None);
                     }
-                    let head_slice = &self.buf[self.pos..self.pos + FRAME_LEN];
+                    let head_slice = self
+                        .buf
+                        .get(self.pos..self.pos + FRAME_LEN)
+                        .ok_or(DecompressError::Truncated("archive chunk data"))?;
                     if head_slice[..CONTAINER_MAGIC.len()] != CONTAINER_MAGIC {
                         return Err(DecompressError::BadMagic);
                     }
@@ -488,7 +507,11 @@ impl StreamDecoder {
                         index,
                         codec,
                         head,
-                        payload_len: payload_len as usize,
+                        payload_len: usize::try_from(payload_len).map_err(|_| {
+                            DecompressError::InvalidHeader(
+                                "container payload exceeds this platform",
+                            )
+                        })?,
                     };
                     if expect.is_none() {
                         // Inline mode: the reconstructed index entry is only
@@ -526,7 +549,11 @@ impl StreamDecoder {
                         }
                         return Ok(None);
                     }
-                    let header = self.header.expect("set before ChunkBody");
+                    let Some(header) = self.header else {
+                        return Err(DecompressError::Inconsistent(
+                            "internal: ChunkBody state without an archive header",
+                        ));
+                    };
                     let mut frame = head.to_vec();
                     frame.extend_from_slice(&self.take(payload_len));
                     let next = index + 1;
@@ -534,7 +561,7 @@ impl StreamDecoder {
                         State::ChunkHead {
                             index: next,
                             expect: if header.index_slots() > 0 {
-                                Some(self.entries[next])
+                                self.entries.get(next).copied()
                             } else {
                                 None
                             },
@@ -572,15 +599,20 @@ impl StreamDecoder {
                         }
                         return Ok(None);
                     }
-                    let head = &self.buf[self.pos..self.pos + RECORD_HEAD];
-                    let id = ModelId::from_prefix(head).expect("slice holds a full id");
+                    let head = self
+                        .buf
+                        .get(self.pos..self.pos + RECORD_HEAD)
+                        .ok_or(DecompressError::Truncated("archive model section"))?;
+                    let id = ModelId::from_prefix(head)
+                        .ok_or(DecompressError::Truncated("archive model entry"))?;
                     let mut b = [0u8; 8];
                     b.copy_from_slice(&head[MODEL_ID_LEN..]);
                     let len = u64::from_le_bytes(b);
                     if len > (remaining - RECORD_HEAD) as u64 {
                         return Err(DecompressError::Truncated("archive model frame"));
                     }
-                    let len = len as usize;
+                    let len = usize::try_from(len)
+                        .map_err(|_| DecompressError::Truncated("archive model frame"))?;
                     if self.avail() < RECORD_HEAD + len {
                         if self.eof {
                             return Err(DecompressError::Truncated("archive model section"));
@@ -808,6 +840,55 @@ mod tests {
             })
             .collect();
         assert_eq!(streamed, buffered);
+    }
+
+    #[test]
+    fn hostile_frame_lengths_error_cleanly_in_every_stream_mode() {
+        // Single-frame mode, u64::MAX declared payload: the decoder buffers
+        // only what was actually fed (no length-proportional reservation)
+        // and reports truncation at finish.
+        let mut framed = write_frame(CodecId::Zfp, b"tiny");
+        framed[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            run(&framed, 3).unwrap_err(),
+            DecompressError::Truncated("container payload")
+        );
+
+        // The 32-bit wraparound value 2^32, which an unchecked `as usize`
+        // cast would turn into a successfully-parsed 0-byte payload on a
+        // 32-bit target: same clean truncation error.
+        framed[6..14].copy_from_slice(&(1u64 << 32).to_le_bytes());
+        assert_eq!(
+            run(&framed, 3).unwrap_err(),
+            DecompressError::Truncated("container payload")
+        );
+
+        // Indexed archive mode: the frame's own declared length must agree
+        // with the index entry's extent, so a u64::MAX lie dies right at
+        // the chunk frame header.
+        let mut evil = v1_archive();
+        let header = ArchiveHeader::read(&evil).unwrap();
+        let len_at = header.data_start() + 6;
+        evil[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            run(&evil, 1).unwrap_err(),
+            DecompressError::Truncated("container payload")
+        );
+
+        // Inline (index-free) archive mode has no entry to cross-check, but
+        // a length that would overflow the archive's own u64 addressing is
+        // rejected before any buffering begins.
+        let (mut evil, _) = v3_inline_archive_with_model();
+        let header = ArchiveHeader::read(&evil).unwrap();
+        let len_at = header.data_start() + 6;
+        evil[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            run(&evil, 1).unwrap_err(),
+            DecompressError::BadChunkIndex {
+                chunk: 0,
+                reason: "frame length overflows the archive",
+            }
+        );
     }
 
     #[test]

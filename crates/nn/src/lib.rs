@@ -29,6 +29,8 @@
 //! Everything is deterministic given a seed; training parallelises over the
 //! mini-batch with rayon.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod conv;
 pub mod dense;

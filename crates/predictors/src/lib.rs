@@ -14,6 +14,8 @@
 //! * [`lorenzo2`] — the second-order Lorenzo predictor used by SZauto.
 //! * [`interp`] — the multi-level spline-interpolation predictor of SZinterp.
 
+#![forbid(unsafe_code)]
+
 pub mod interp;
 pub mod lorenzo;
 pub mod lorenzo2;

@@ -15,6 +15,8 @@
 //! The crate is dependency-light on purpose; everything else in the workspace
 //! builds on top of it.
 
+#![forbid(unsafe_code)]
+
 pub mod dims;
 pub mod field;
 pub mod init;

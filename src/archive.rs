@@ -234,7 +234,9 @@ pub fn decompress_chunk(
         },
         Ok,
     )?;
-    let spec = reader.chunk_spec(index).expect("index checked");
+    let spec = reader.chunk_spec(index).ok_or(ArchiveReadError::Archive(
+        DecompressError::Inconsistent("chunk index out of range"),
+    ))?;
     let field = reader
         .decode_chunk(index, codec.as_mut())
         .map_err(|error| ArchiveReadError::Chunk {

@@ -10,9 +10,39 @@
 //! per-chunk codec choice, random-access decode, and embedded-model
 //! resolution).
 
+#![forbid(unsafe_code)]
+
+// Wire-parsing modules (the `aesz-lint` deny-set, see the repo-root
+// lint.toml) must not panic on attacker-shaped bytes; the clippy headers
+// below enforce the same contract (rule R1) at the compiler level. Tests
+// are exempt via clippy.toml's allow-*-in-tests keys.
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod archive;
 pub mod model_store;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod registry;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
 pub mod stream;
 
 pub use aesz_baselines as baselines;

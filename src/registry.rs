@@ -164,7 +164,8 @@ impl Registry {
             Err(DecompressError::MissingModel { codec, model_id }) => {
                 // Lazy resolution: the stream told us exactly which trained
                 // model it needs; build it from the store and retry once.
-                let built = self.store.build(codec, model_id)?;
+                let mut built = self.store.build(codec, model_id)?;
+                let retried = built.decompress(bytes);
                 // Registering the resolved instance evicts the current one —
                 // which may be a directly-registered trained model the store
                 // has never seen. Salvage its serialized form first, so
@@ -174,11 +175,7 @@ impl Registry {
                     self.store.insert(evicted);
                 }
                 self.register(built);
-                self.get_mut(id)
-                    .expect("just registered")
-                    .decompress(bytes)
-                    .map(|field| (field, id))
-                    .map_err(wrap)
+                retried.map(|field| (field, id)).map_err(wrap)
             }
             Err(e) => Err(wrap(e)),
         }

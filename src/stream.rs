@@ -294,15 +294,26 @@ pub fn decompress_reader(
         if n == 0 {
             decoder.finish();
         } else {
-            decoder.feed(&buf[..n]);
+            // A conforming `Read` never returns more than the buffer holds;
+            // a broken one must not become an out-of-bounds slice.
+            let fed =
+                buf.get(..n)
+                    .ok_or(ArchiveReadError::Archive(DecompressError::Inconsistent(
+                        "reader returned more bytes than requested",
+                    )))?;
+            decoder.feed(fed);
         }
         while let Some(out) = decoder.poll().map_err(ArchiveReadError::Archive)? {
             match out {
                 StreamOutput::Header(h) => sink = Some(Field::zeros(h.dims)),
-                StreamOutput::Chunk(spec, chunk) => sink
-                    .as_mut()
-                    .expect("header precedes chunks")
-                    .write_block_valid(&spec, chunk.as_slice()),
+                StreamOutput::Chunk(spec, chunk) => match sink.as_mut() {
+                    Some(field) => field.write_block_valid(&spec, chunk.as_slice()),
+                    None => {
+                        return Err(ArchiveReadError::Archive(DecompressError::Inconsistent(
+                            "chunk emitted before the archive header",
+                        )))
+                    }
+                },
                 StreamOutput::Field(field) => sink = Some(field),
             }
         }
