@@ -47,6 +47,13 @@
 //! archive in place along its slowest axis without rewriting existing
 //! payload bytes (write it with `--reserve` to leave index capacity, or
 //! pipe through `compress --output -` for the capacity-free inline layout).
+//!
+//! # Compression as a service
+//!
+//! `aesz serve` runs the [`aesz_server`] daemon — trained models stay
+//! resident across requests — and `aesz remote` is its client, speaking the
+//! `AESP` protocol over TCP. A `Busy` backpressure rejection exits with
+//! code 75 (`EX_TEMPFAIL`) so callers know to back off and retry.
 
 #![forbid(unsafe_code)]
 
@@ -62,12 +69,14 @@ use aesz_repro::baselines::{AeA, AeB};
 use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
 use aesz_repro::core::AeSz;
 use aesz_repro::datagen::Application;
+use aesz_repro::metrics::protocol as wire;
 use aesz_repro::model_store::build_compressor;
 use aesz_repro::tensor::BlockSpec;
 use aesz_repro::{
-    CodecId, Compressor, Dims, EmbeddedModel, ErrorBound, Field, Registry, StreamFieldDecoder,
-    StreamOutput,
+    CodecId, Compressor, Dims, EmbeddedModel, ErrorBound, Field, ModelStore, Registry,
+    StreamFieldDecoder, StreamOutput,
 };
+use aesz_server::{RemoteClient, Server, ServerConfig};
 
 const USAGE: &str = "usage:
   aesz gen        --app NAME --dims DIMS --output FILE|- [--seed N]
@@ -84,6 +93,16 @@ const USAGE: &str = "usage:
                   --abs E [--window N] [--model FILE] [--embed-model]
   aesz info       --input FILE
   aesz compare    --a FILE --b FILE --dims DIMS [--max-abs E]
+  aesz models     --dir DIR
+  aesz serve      [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
+                  [--max-bytes N] [--max-elems N] [--models DIR]
+  aesz remote     --addr HOST:PORT compress --input FILE|- --dims DIMS
+                  --codec NAME --rel E | --abs E --output FILE|-
+  aesz remote     --addr HOST:PORT decompress --input FILE|- --output FILE|-
+  aesz remote     --addr HOST:PORT train --input FILE|- --dims DIMS
+                  --codec NAME --output FILE|- [--epochs N] [--block N]
+                  [--latent N] [--max-blocks N] [--train-seed N]
+  aesz remote     --addr HOST:PORT health | stats | models
 
 DIMS is slow-to-fast extents, e.g. 1800x3600 or 256x256x256.
 codecs: aesz, sz2, zfp, szauto, szinterp, aea, aeb. The learned codecs
@@ -97,14 +116,35 @@ hurricane-u, hurricane-qvapor, rtm.
 compression needs --abs (a pipe cannot be re-scanned for the value range)
 and a piped archive uses the inline (unindexed) layout. --reserve N leaves
 empty index slots so `aesz append` can extend the archive in place; append
-takes the appended slab's DIMS (matching every axis but the slowest).";
+takes the appended slab's DIMS (matching every axis but the slowest).
+`serve` keeps trained models resident across requests; `remote` exits 75
+(EX_TEMPFAIL) on a Busy backpressure rejection so callers back off.";
+
+/// Print a line to stdout without dying on a closed pipe. `println!` panics
+/// on `EPIPE`, so `aesz ... | head` used to crash with a raw Broken pipe
+/// abort once `head` exited. Downstream closing early is flow control, not
+/// failure: exit 141 (128 + SIGPIPE) quietly, the way a signal-killed
+/// filter would.
+macro_rules! emit {
+    ($($arg:tt)*) => { emit_line(format_args!($($arg)*)) };
+}
 
 /// Route a status line: stdout normally, stderr when stdout is the data
 /// channel (a status line inside a piped archive corrupts it).
 macro_rules! status {
     ($stdout_is_data:expr, $($arg:tt)*) => {
-        if $stdout_is_data { eprintln!($($arg)*) } else { println!($($arg)*) }
+        if $stdout_is_data { eprintln!($($arg)*) } else { emit!($($arg)*) }
     };
+}
+
+fn emit_line(line: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    let wrote = out.write_fmt(line).and_then(|()| out.write_all(b"\n"));
+    if let Err(e) = wrote {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(141);
+        }
+    }
 }
 
 fn main() {
@@ -112,6 +152,12 @@ fn main() {
     match run(args) {
         Ok(()) => {}
         Err(e) => {
+            // Data writes that hit EPIPE surface here as error strings (the
+            // subcommands wrap io::Error into prose); same deal as emit! —
+            // the downstream hung up, so leave quietly.
+            if e.to_lowercase().contains("broken pipe") {
+                std::process::exit(141);
+            }
             eprintln!("aesz: {e}");
             std::process::exit(1);
         }
@@ -131,8 +177,11 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "append" => cmd_append(args),
         "info" => cmd_info(args),
         "compare" => cmd_compare(args),
+        "models" => cmd_models(args),
+        "serve" => cmd_serve(args),
+        "remote" => cmd_remote(args),
         "-h" | "--help" | "help" => {
-            println!("{USAGE}");
+            emit!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
@@ -818,14 +867,14 @@ fn cmd_train(mut args: Vec<String>) -> Result<(), String> {
     let (model, _) = train_codec(codec, &field, &knobs)?;
     let secs = t0.elapsed().as_secs_f64();
     std::fs::write(&output, &model.frame).map_err(|e| format!("write {output}: {e}"))?;
-    println!(
+    emit!(
         "trained {} on {} ({} elements) in {secs:.2} s ({:.2} MB/s of training data)",
         codec.name(),
         input.or(app).unwrap_or_default(),
         field.len(),
         mb(field.len() * 4) / secs,
     );
-    println!(
+    emit!(
         "model {} -> {output} ({} bytes); decode with `--model {output}` or name it \
          <id>.aesm in a sidecar directory",
         model.id,
@@ -1019,7 +1068,7 @@ fn cmd_compress(mut args: Vec<String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         let resolved = bound.absolute(lo, hi);
         let ok = check.max_abs <= resolved * 1.0001;
-        println!(
+        emit!(
             "verify: PSNR {:.2} dB, max abs err {:.3e} (bound {:.3e}) {}",
             psnr((hi - lo) as f64, check.sum_sq, check.count),
             check.max_abs,
@@ -1140,7 +1189,7 @@ fn cmd_decompress(mut args: Vec<String>) -> Result<(), String> {
                 }
             }
         }
-        println!(
+        emit!(
             "verify: all {} chunks random-access decode bit-identically OK",
             reader.chunk_count()
         );
@@ -1311,7 +1360,7 @@ fn cmd_append(mut args: Vec<String>) -> Result<(), String> {
         .map_err(|e| format!("sync {archive}: {e}"))?;
     let secs = t0.elapsed().as_secs_f64();
 
-    println!(
+    emit!(
         "{archive}: dims {old_dims} -> {new_dims}, +{} chunks (chunk {chunk}), \
          {} -> {} bytes, {:.1} MB/s",
         stats.chunks,
@@ -1320,9 +1369,9 @@ fn cmd_append(mut args: Vec<String>) -> Result<(), String> {
         mb(stats.raw_bytes) / secs,
     );
     if spare_before == usize::MAX {
-        println!("inline archive (no index): append capacity is unbounded");
+        emit!("inline archive (no index): append capacity is unbounded");
     } else {
-        println!("index slots: {spare_before} spare before, {spare_after} after");
+        emit!("index slots: {spare_before} spare before, {spare_after} after");
     }
     Ok(())
 }
@@ -1333,7 +1382,7 @@ fn cmd_info(mut args: Vec<String>) -> Result<(), String> {
     let bytes = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
     let reader = ArchiveReader::open(&bytes).map_err(|e| e.to_string())?;
     let header = reader.header();
-    println!(
+    emit!(
         "{input}: AESA v{}, f32, dims {} ({} elements), chunk {} -> {} chunks",
         header.version,
         header.dims,
@@ -1341,7 +1390,7 @@ fn cmd_info(mut args: Vec<String>) -> Result<(), String> {
         header.chunk,
         reader.chunk_count()
     );
-    println!(
+    emit!(
         "archive {} bytes (ratio {:.2}:1), header+index {} bytes",
         bytes.len(),
         (header.dims.len() * 4) as f64 / bytes.len() as f64,
@@ -1354,16 +1403,16 @@ fn cmd_info(mut args: Vec<String>) -> Result<(), String> {
             .filter(|e| e.codec == id)
             .fold((0usize, 0u64), |(n, b), e| (n + 1, b + e.len));
         if count > 0 {
-            println!("  {:<9} {count:>6} chunks, {frame_bytes} bytes", id.name());
+            emit!("  {:<9} {count:>6} chunks, {frame_bytes} bytes", id.name());
         }
     }
     if !reader.models().is_empty() {
-        println!("embedded models ({} bytes):", header.model_len);
+        emit!("embedded models ({} bytes):", header.model_len);
         for &(id, frame) in reader.models() {
             let codec = aesz_repro::metrics::container::read_model_frame(frame)
                 .map(|(c, _)| c.name())
                 .unwrap_or("?");
-            println!("  {codec:<9} {id} ({} bytes)", frame.len());
+            emit!("  {codec:<9} {id} ({} bytes)", frame.len());
         }
     }
     Ok(())
@@ -1405,7 +1454,7 @@ fn cmd_compare(mut args: Vec<String>) -> Result<(), String> {
             count += 1;
         }
     }
-    println!(
+    emit!(
         "{a} vs {b}: PSNR {:.2} dB, max abs err {:.3e}",
         psnr((hi - lo) as f64, sum_sq, count),
         worst
@@ -1416,7 +1465,349 @@ fn cmd_compare(mut args: Vec<String>) -> Result<(), String> {
                 "max abs err {worst:.3e} exceeds --max-abs {cap:.3e}"
             ));
         }
-        println!("within --max-abs {cap:.3e} OK");
+        emit!("within --max-abs {cap:.3e} OK");
     }
     Ok(())
+}
+
+// --------------------------------------------------------------- service
+
+/// `aesz models`: list the `.aesm` sidecar models in a directory, with
+/// their content-addressed ids re-verified against the frame bytes.
+fn cmd_models(mut args: Vec<String>) -> Result<(), String> {
+    let dir = need_opt(&mut args, "--dir")?;
+    finish_args(args)?;
+    let entries = ModelStore::scan_sidecar_dir(std::path::Path::new(&dir))
+        .map_err(|e| format!("scan {dir}: {e}"))?;
+    if entries.is_empty() {
+        emit!("{dir}: no .aesm sidecar models");
+        return Ok(());
+    }
+    for entry in &entries {
+        let codec = entry.codec.map(|c| c.name()).unwrap_or("?");
+        let id = match entry.id {
+            Some(id) => id.to_string(),
+            None => "?".into(),
+        };
+        emit!(
+            "{:<30} {codec:<9} {:>10} bytes  {}  {id}",
+            entry.file_name,
+            entry.param_bytes,
+            if entry.verified {
+                "verified  "
+            } else {
+                "UNVERIFIED"
+            },
+        );
+    }
+    Ok(())
+}
+
+/// `aesz serve`: run the compression daemon in the foreground. Models
+/// trained over the wire (or found in `--models DIR`) stay resident, so
+/// repeat decompressions skip the per-process model load the one-shot CLI
+/// pays.
+fn cmd_serve(mut args: Vec<String>) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    if let Some(s) = take_opt(&mut args, "--addr")? {
+        config.addr = s;
+    }
+    if let Some(s) = take_opt(&mut args, "--workers")? {
+        config.workers = parse_usize(&s, "workers")?.max(1);
+    }
+    if let Some(s) = take_opt(&mut args, "--queue")? {
+        config.queue_cap = parse_usize(&s, "queue")?;
+    }
+    if let Some(s) = take_opt(&mut args, "--max-conns")? {
+        config.max_connections = parse_usize(&s, "max-conns")?.max(1);
+    }
+    if let Some(s) = take_opt(&mut args, "--max-bytes")? {
+        config.max_request_bytes = parse_usize(&s, "max-bytes")? as u64;
+    }
+    if let Some(s) = take_opt(&mut args, "--max-elems")? {
+        config.max_field_elems = parse_usize(&s, "max-elems")?;
+    }
+    if let Some(s) = take_opt(&mut args, "--models")? {
+        config.model_dir = Some(std::path::PathBuf::from(s));
+    }
+    finish_args(args)?;
+    let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let state = server.state();
+    // The bound address goes to stdout (scripts read it, ports may be
+    // auto-assigned via :0); flushed by emit_line before run() blocks.
+    emit!(
+        "aesz serve: listening on {addr} ({} workers, {} queue slots, {} connections max)",
+        state.config.workers,
+        state.config.queue_cap,
+        state.config.max_connections
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// `aesz remote`: one request against an `aesz serve` daemon.
+fn cmd_remote(mut args: Vec<String>) -> Result<(), String> {
+    let addr = need_opt(&mut args, "--addr")?;
+    if args.is_empty() {
+        return Err(format!(
+            "remote needs a verb: compress, decompress, train, health, stats or models\n{USAGE}"
+        ));
+    }
+    let verb = args.remove(0);
+    let mut client = RemoteClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match verb.as_str() {
+        "compress" => remote_compress(&mut client, args),
+        "decompress" => remote_decompress(&mut client, args),
+        "train" => remote_train(&mut client, args),
+        "health" => {
+            finish_args(args)?;
+            match remote_request(&mut client, &wire::Request::Health)? {
+                wire::Response::HealthOk {
+                    uptime_ms,
+                    queue_depth,
+                } => {
+                    emit!(
+                        "{addr}: healthy, uptime {:.1} s, queue depth {queue_depth}",
+                        uptime_ms as f64 / 1e3
+                    );
+                    Ok(())
+                }
+                _ => Err("unexpected response to health".into()),
+            }
+        }
+        "stats" => {
+            finish_args(args)?;
+            match remote_request(&mut client, &wire::Request::Stats)? {
+                wire::Response::StatsOk(s) => {
+                    print_stats(&addr, &s);
+                    Ok(())
+                }
+                _ => Err("unexpected response to stats".into()),
+            }
+        }
+        "models" => {
+            finish_args(args)?;
+            match remote_request(&mut client, &wire::Request::ListModels)? {
+                wire::Response::ModelList { entries } => {
+                    emit!("{addr}: {} models", entries.len());
+                    for e in &entries {
+                        emit!(
+                            "  {} {:<9} {:>10} bytes  {}",
+                            e.id,
+                            e.codec.map(|c| c.name()).unwrap_or("?"),
+                            e.param_bytes,
+                            if e.verified { "verified" } else { "UNVERIFIED" },
+                        );
+                    }
+                    Ok(())
+                }
+                _ => Err("unexpected response to models".into()),
+            }
+        }
+        other => Err(format!("unknown remote verb `{other}`\n{USAGE}")),
+    }
+}
+
+/// Send one request, translating the daemon's typed failure responses:
+/// `Busy` exits 75 (EX_TEMPFAIL — retry later), `Error` becomes the
+/// process-level error message.
+fn remote_request(
+    client: &mut RemoteClient,
+    request: &wire::Request,
+) -> Result<wire::Response, String> {
+    match client.request(request).map_err(|e| e.to_string())? {
+        wire::Response::Busy { queue_depth } => {
+            eprintln!("aesz: server busy ({queue_depth} queued); retry later");
+            std::process::exit(75);
+        }
+        wire::Response::Error { code, message } => {
+            Err(format!("server error ({code:?}): {message}"))
+        }
+        other => Ok(other),
+    }
+}
+
+fn remote_compress(client: &mut RemoteClient, mut args: Vec<String>) -> Result<(), String> {
+    let input = need_opt(&mut args, "--input")?;
+    let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
+    let codec = parse_codec(&need_opt(&mut args, "--codec")?)?;
+    let output = need_opt(&mut args, "--output")?;
+    let rel = take_opt(&mut args, "--rel")?;
+    let abs = take_opt(&mut args, "--abs")?;
+    let bound = match (rel, abs) {
+        (Some(e), None) => ErrorBound::rel(parse_f64(&e, "relative bound")?),
+        (None, Some(e)) => ErrorBound::abs(parse_f64(&e, "absolute bound")?),
+        _ => return Err(format!("exactly one of --rel / --abs is required\n{USAGE}")),
+    };
+    finish_args(args)?;
+    let field = read_field_or_stdin(&input, dims)?;
+    let raw_bytes = field.len() * 4;
+    let response = remote_request(
+        client,
+        &wire::Request::Compress {
+            codec,
+            bound,
+            field,
+        },
+    )?;
+    let wire::Response::CompressOk { stream } = response else {
+        return Err("unexpected response to compress".into());
+    };
+    let piped_out = output == "-";
+    write_bytes_or_stdout(&output, &stream)?;
+    status!(
+        piped_out,
+        "remote {}: {input} -> {output}, {raw_bytes} -> {} bytes (ratio {:.2}:1)",
+        codec.name(),
+        stream.len(),
+        raw_bytes as f64 / stream.len().max(1) as f64,
+    );
+    Ok(())
+}
+
+fn remote_decompress(client: &mut RemoteClient, mut args: Vec<String>) -> Result<(), String> {
+    let input = need_opt(&mut args, "--input")?;
+    let output = need_opt(&mut args, "--output")?;
+    finish_args(args)?;
+    let bytes = read_bytes_or_stdin(&input)?;
+    let compressed = bytes.len();
+    let response = remote_request(client, &wire::Request::Decompress { bytes })?;
+    let wire::Response::DecompressOk { field } = response else {
+        return Err("unexpected response to decompress".into());
+    };
+    let piped_out = output == "-";
+    write_bytes_or_stdout(&output, &field.to_le_bytes())?;
+    status!(
+        piped_out,
+        "remote decompress: {input} -> {output}, dims {}, {compressed} -> {} bytes",
+        field.dims(),
+        field.len() * 4,
+    );
+    Ok(())
+}
+
+fn remote_train(client: &mut RemoteClient, mut args: Vec<String>) -> Result<(), String> {
+    let input = need_opt(&mut args, "--input")?;
+    let dims = parse_dims(&need_opt(&mut args, "--dims")?)?;
+    let codec = match take_opt(&mut args, "--codec")? {
+        Some(s) => parse_codec(&s)?,
+        None => CodecId::AeSz,
+    };
+    let output = need_opt(&mut args, "--output")?;
+    // Zero means "codec default" on the wire, so absent knobs encode as 0.
+    let knobs = wire::TrainKnobs {
+        epochs: take_knob_u32(&mut args, "--epochs")?,
+        block: take_knob_u32(&mut args, "--block")?,
+        latent: take_knob_u32(&mut args, "--latent")?,
+        max_blocks: take_knob_u32(&mut args, "--max-blocks")?,
+        seed: match take_opt(&mut args, "--train-seed")? {
+            Some(s) => parse_usize(&s, "train-seed")? as u64,
+            None => 2021,
+        },
+    };
+    finish_args(args)?;
+    let field = read_field_or_stdin(&input, dims)?;
+    let response = remote_request(
+        client,
+        &wire::Request::Train {
+            codec,
+            knobs,
+            field,
+        },
+    )?;
+    let wire::Response::TrainOk { id, frame } = response else {
+        return Err("unexpected response to train".into());
+    };
+    let piped_out = output == "-";
+    write_bytes_or_stdout(&output, &frame)?;
+    status!(
+        piped_out,
+        "remote train: {} model {id} ({} bytes) -> {output}; now resident on the server",
+        codec.name(),
+        frame.len(),
+    );
+    Ok(())
+}
+
+/// Parse an optional `u32` training knob; absent means 0 ("codec default").
+fn take_knob_u32(args: &mut Vec<String>, name: &str) -> Result<u32, String> {
+    match take_opt(args, name)? {
+        Some(s) => {
+            let v = parse_usize(&s, name.trim_start_matches('-'))?;
+            u32::try_from(v).map_err(|_| format!("{name} {v} is out of range"))
+        }
+        None => Ok(0),
+    }
+}
+
+fn print_stats(addr: &str, s: &wire::ServerStats) {
+    emit!("{addr}: uptime {:.1} s", s.uptime_ms as f64 / 1e3);
+    emit!(
+        "requests {} (ok {}, errors {}, busy rejections {})",
+        s.requests,
+        s.ok,
+        s.errors,
+        s.busy_rejections
+    );
+    emit!("bytes {} in, {} out", s.bytes_in, s.bytes_out);
+    emit!(
+        "connections {} active / {} total, queue depth {}",
+        s.connections_active,
+        s.connections_total,
+        s.queue_depth
+    );
+    emit!(
+        "models {} resident, {} cache hits, {} store resolutions",
+        s.models_resident,
+        s.model_cache_hits,
+        s.model_resolutions
+    );
+    for id in CodecId::all() {
+        let slot = wire::ServerStats::codec_slot(id);
+        let c = s.compress_by_codec.get(slot).copied().unwrap_or(0);
+        let d = s.decompress_by_codec.get(slot).copied().unwrap_or(0);
+        if c > 0 || d > 0 {
+            emit!("  {:<9} {c} compressed, {d} decompressed", id.name());
+        }
+    }
+}
+
+/// Read a raw `f32` field from a file or stdin (`-`).
+fn read_field_or_stdin(path: &str, dims: Dims) -> Result<Field, String> {
+    if path != "-" {
+        return read_field(path, dims);
+    }
+    let bytes = read_bytes_or_stdin(path)?;
+    let expected = dims.len() * 4;
+    if bytes.len() != expected {
+        return Err(format!(
+            "stdin held {} bytes but dims {dims} need {expected} (f32)",
+            bytes.len()
+        ));
+    }
+    Field::from_le_bytes(dims, &bytes).map_err(|_| "stdin: byte/dims mismatch".to_string())
+}
+
+fn read_bytes_or_stdin(path: &str) -> Result<Vec<u8>, String> {
+    if path == "-" {
+        let mut bytes = Vec::new();
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut bytes)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        Ok(bytes)
+    } else {
+        std::fs::read(path).map_err(|e| format!("read {path}: {e}"))
+    }
+}
+
+fn write_bytes_or_stdout(path: &str, bytes: &[u8]) -> Result<(), String> {
+    if path == "-" {
+        let mut out = std::io::stdout().lock();
+        out.write_all(bytes)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("write stdout: {e}"))
+    } else {
+        std::fs::write(path, bytes).map_err(|e| format!("write {path}: {e}"))
+    }
 }

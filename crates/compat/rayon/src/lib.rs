@@ -7,6 +7,8 @@
 //! in this workspace (per-sample convolution) is uniform, so static
 //! distribution is close to optimal.
 
+pub mod pool;
+
 pub mod prelude {
     pub use crate::slice::ParallelSliceMut;
 }

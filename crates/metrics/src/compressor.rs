@@ -20,11 +20,13 @@ use aesz_tensor::Field;
 
 /// A lossy field compressor with (optionally) bounded pointwise error.
 ///
-/// Compressors are `Send` and can produce independent deep copies of
+/// Compressors are `Send + Sync` and can produce independent deep copies of
 /// themselves ([`Compressor::fork`]), which is what lets the archive layer
 /// ([`crate::archive`]) fan per-chunk compression and decompression out
-/// across threads without sharing one `&mut` instance.
-pub trait Compressor: Send {
+/// across threads without sharing one `&mut` instance. The `Sync` bound is
+/// what lets a server hold a registry of trained instances behind an
+/// `RwLock` and fork per-request copies under a shared read lock.
+pub trait Compressor: Send + Sync {
     /// Which codec this compressor implements (the container dispatch key).
     fn codec_id(&self) -> CodecId;
 

@@ -37,6 +37,15 @@ pub mod compressor;
 pub mod container;
 pub mod error;
 pub mod error_stats;
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable,
+    clippy::todo,
+    clippy::unimplemented
+)]
+pub mod protocol;
 pub mod rate_distortion;
 #[deny(
     clippy::unwrap_used,
@@ -61,5 +70,9 @@ pub use container::{
 };
 pub use error::{CompressError, CompressorError, DecompressError};
 pub use error_stats::{max_abs_error, mse, nrmse, psnr, verify_error_bound, ErrorStats};
+pub use protocol::{
+    decode_request, decode_response, ErrorCode, Limits, ModelEntry, MsgHeader, MsgType, Request,
+    Response, ServerStats, TrainKnobs,
+};
 pub use rate_distortion::{bit_rate, compression_ratio, RdCurve, RdPoint};
 pub use stream::{StreamDecoder, StreamEvent};

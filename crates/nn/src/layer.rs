@@ -40,7 +40,10 @@ impl Param {
 }
 
 /// A neural-network layer with explicit forward/backward passes.
-pub trait Layer: Send {
+///
+/// `Send + Sync` so compressors holding a network can be shared across
+/// server worker threads (layers only mutate through `&mut self`).
+pub trait Layer: Send + Sync {
     /// Human-readable layer name (used in summaries and serialization).
     fn name(&self) -> &'static str;
 

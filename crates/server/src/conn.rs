@@ -1,0 +1,200 @@
+//! Per-connection protocol framing over a `TcpStream`.
+//!
+//! This module owns the socket-facing parse path, so it carries the
+//! workspace's wire-safety contract (lint.toml deny-set): the declared body
+//! length is checked against the configured cap *before* a single body byte
+//! is read or allocated, every failure is a typed `Error` response followed
+//! by a close, and nothing here can panic on hostile bytes.
+//!
+//! Connection lifecycle: success responses keep the connection open for the
+//! next request (clients may pipeline sequentially); `Error` and `Busy`
+//! responses close it, so a peer that desynchronized the framing cannot
+//! feed us garbage forever.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::handler;
+use crate::state::ServerState;
+use aesz_repro::metrics::protocol::{ErrorCode, MsgHeader, MsgType, Response, HEADER_LEN};
+
+/// Serve requests on `stream` until EOF, an error response, or an I/O
+/// failure. Never panics; never blocks longer than the configured read
+/// timeout on an idle peer.
+pub fn serve_connection(stream: TcpStream, state: &ServerState) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match serve_one(&mut stream, state) {
+            Ok(true) => continue,
+            Ok(false) | Err(_) => return,
+        }
+    }
+}
+
+/// Serve one request. `Ok(true)` keeps the connection open.
+fn serve_one(stream: &mut TcpStream, state: &ServerState) -> std::io::Result<bool> {
+    let mut header = [0u8; HEADER_LEN];
+    if read_header_or_eof(stream, &mut header)? {
+        return Ok(false); // clean close at a message boundary
+    }
+    let parsed = match MsgHeader::parse(&header) {
+        Ok(h) => h,
+        Err(e) => {
+            state.count_request();
+            state.count_error();
+            drain_available(stream, u64::MAX);
+            return respond(
+                stream,
+                state,
+                &Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                },
+                false,
+            );
+        }
+    };
+    state.count_request();
+    state.count_bytes_in(HEADER_LEN as u64);
+    if !parsed.msg.is_request() {
+        state.count_error();
+        drain_available(stream, parsed.body_len);
+        return respond(
+            stream,
+            state,
+            &Response::Error {
+                code: ErrorCode::Malformed,
+                message: "response type where a request was expected".into(),
+            },
+            false,
+        );
+    }
+    if parsed.body_len > state.config.max_request_bytes {
+        // The cap check precedes any body read or allocation: an oversized
+        // (or hostile u64) declared length costs nothing. Bytes the peer
+        // already pushed are drained (bounded, non-blocking) so the error
+        // response is not torn away by a reset on close.
+        state.count_error();
+        drain_available(stream, parsed.body_len);
+        return respond(
+            stream,
+            state,
+            &Response::Error {
+                code: ErrorCode::TooLarge,
+                message: "request body exceeds the server limit".into(),
+            },
+            false,
+        );
+    }
+    state.count_bytes_in(parsed.body_len);
+    let response = if parsed.msg == MsgType::Decompress {
+        // Stream the body straight off the socket; it is never buffered
+        // whole on the server side.
+        let mut limited = Read::take(&mut *stream, parsed.body_len);
+        let response = handler::handle_decompress_stream(state, &mut limited);
+        let leftover = limited.limit();
+        if leftover > 0 {
+            // The decoder stopped before consuming the body (it errored);
+            // the connection closes below, so only what already arrived is
+            // drained — never more.
+            debug_assert!(!matches!(response, Response::DecompressOk { .. }));
+            drain_available(stream, leftover);
+        }
+        response
+    } else {
+        // Bounded by the cap check above; `take` enforces it byte-for-byte.
+        let mut body = Vec::new();
+        let got = Read::take(&mut *stream, parsed.body_len).read_to_end(&mut body)?;
+        if (got as u64) != parsed.body_len {
+            state.count_error();
+            return respond(
+                stream,
+                state,
+                &Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: "request body ended early".into(),
+                },
+                false,
+            );
+        }
+        handler::handle_buffered(state, parsed.msg, &body)
+    };
+    let keep_open = match &response {
+        Response::Error { .. } => {
+            state.count_error();
+            false
+        }
+        Response::Busy { .. } => {
+            state.count_busy();
+            false
+        }
+        _ => {
+            state.count_ok();
+            true
+        }
+    };
+    respond(stream, state, &response, keep_open)
+}
+
+/// Encode and send `response`, returning `keep_open` on success.
+fn respond(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    response: &Response,
+    keep_open: bool,
+) -> std::io::Result<bool> {
+    let bytes = response.encode();
+    stream.write_all(&bytes)?;
+    stream.flush()?;
+    state.count_bytes_out(bytes.len() as u64);
+    Ok(keep_open)
+}
+
+/// Best-effort drain of request bytes the peer already sent, ahead of an
+/// error response that closes the connection: closing a socket with unread
+/// received data answers with a reset, and a reset can discard the error
+/// response out of the peer's receive buffer before it reads it. Takes only
+/// what is already available locally — never blocks, never reads more than
+/// a fixed cap — so a hostile declared length still costs nothing.
+fn drain_available(stream: &mut TcpStream, declared: u64) {
+    const DRAIN_CAP: u64 = 1 << 20;
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut scratch = [0u8; 16 * 1024];
+    let mut left = declared.min(DRAIN_CAP);
+    while left > 0 {
+        match stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => left = left.saturating_sub(n as u64),
+            Err(_) => break, // WouldBlock: nothing more has arrived
+        }
+    }
+    let _ = stream.set_nonblocking(false);
+}
+
+/// Fill the 16-byte header buffer. `Ok(true)` means the peer closed cleanly
+/// before sending anything; EOF mid-header is an error.
+fn read_header_or_eof(stream: &mut TcpStream, buf: &mut [u8; HEADER_LEN]) -> std::io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let region = match buf.get_mut(filled..) {
+            Some(r) => r,
+            None => return Ok(false), // filled == HEADER_LEN, loop exits
+        };
+        let n = stream.read(region)?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(true);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-header",
+            ));
+        }
+        filled += n;
+    }
+    Ok(false)
+}

@@ -1,0 +1,304 @@
+//! Request → response logic, independent of the socket framing.
+//!
+//! [`handle_buffered`] serves every fully-read request body;
+//! [`handle_decompress_stream`] is the streaming path `conn` uses for
+//! `Decompress` bodies, feeding socket slabs straight through
+//! [`StreamFieldDecoder`] so the compressed input is never resident whole.
+
+use std::io::Read;
+
+use crate::state::ServerState;
+use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
+use aesz_repro::metrics::protocol::{ErrorCode, ModelEntry, Request, Response, TrainKnobs};
+use aesz_repro::{
+    CodecId, Compressor, DecompressError, Field, ModelStore, StreamFieldDecoder, StreamOutput,
+};
+
+/// Map a decode/dispatch failure onto the wire error code.
+pub fn error_code_for(e: &DecompressError) -> ErrorCode {
+    match e {
+        DecompressError::Unsupported(what) if what.contains("cap") => ErrorCode::TooLarge,
+        DecompressError::Unsupported(_) | DecompressError::UnknownCodec(_) => {
+            ErrorCode::Unsupported
+        }
+        DecompressError::MissingModel { .. } | DecompressError::CodecFailed { .. } => {
+            ErrorCode::DecompressFailed
+        }
+        _ => ErrorCode::Malformed,
+    }
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Serve one fully-buffered request body of type `msg`.
+pub fn handle_buffered(
+    state: &ServerState,
+    msg: aesz_repro::metrics::protocol::MsgType,
+    body: &[u8],
+) -> Response {
+    let request = match Request::decode_body(msg, body, state.config.max_field_elems) {
+        Ok(r) => r,
+        Err(e) => return error(error_code_for(&e), e.to_string()),
+    };
+    match request {
+        Request::Compress {
+            codec,
+            bound,
+            field,
+        } => match state.registry.compress(codec, &field, bound) {
+            Ok(stream) => {
+                state.count_compress(codec);
+                Response::CompressOk { stream }
+            }
+            Err(e) => error(ErrorCode::CompressFailed, e.to_string()),
+        },
+        Request::Decompress { bytes } => match state.registry.decompress_any(&bytes) {
+            Ok((field, codec)) => {
+                state.count_decompress(codec);
+                Response::DecompressOk { field }
+            }
+            Err(e) => error(error_code_for(&e), e.to_string()),
+        },
+        Request::Train {
+            codec,
+            knobs,
+            field,
+        } => train(state, codec, knobs, &field),
+        Request::Health => Response::HealthOk {
+            uptime_ms: state.uptime_ms(),
+            queue_depth: state.queue_depth(),
+        },
+        Request::Stats => Response::StatsOk(state.snapshot()),
+        Request::ListModels => list_models(state),
+    }
+}
+
+/// Serve a `Decompress` body directly from the socket: slabs feed the
+/// incremental decoder under a shared registry read lock, so per-connection
+/// residency is one slab plus the decoder's own bounded buffer — never the
+/// whole compressed body.
+pub fn handle_decompress_stream(state: &ServerState, input: &mut dyn Read) -> Response {
+    let max_elems = state.config.max_field_elems;
+    state.registry.with_read(|registry| {
+        let mut decoder = StreamFieldDecoder::new(registry);
+        let mut sink: Option<Field> = None;
+        let mut first_codec: Option<CodecId> = None;
+        let mut primed = false;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let n = match input.read(&mut buf) {
+                Ok(n) => n,
+                Err(e) => return error(ErrorCode::Internal, format!("body read failed: {e}")),
+            };
+            if n == 0 {
+                decoder.finish();
+            } else {
+                let Some(fed) = buf.get(..n) else {
+                    return error(ErrorCode::Internal, "reader overran its buffer");
+                };
+                if !primed {
+                    primed = true;
+                    // Single-frame streams reveal their codec up front; for
+                    // archives (different magic) this stays None and the
+                    // per-codec counter is not attributed.
+                    first_codec = aesz_repro::metrics::container::peek(fed)
+                        .ok()
+                        .map(|info| info.codec);
+                }
+                decoder.feed(fed);
+            }
+            loop {
+                let out = match decoder.poll() {
+                    Ok(out) => out,
+                    Err(e) => return error(error_code_for(&e), e.to_string()),
+                };
+                let Some(out) = out else { break };
+                match out {
+                    StreamOutput::Header(h) => {
+                        if h.dims.len() > max_elems {
+                            return error(
+                                ErrorCode::TooLarge,
+                                "reconstruction exceeds the element cap",
+                            );
+                        }
+                        sink = Some(Field::zeros(h.dims));
+                    }
+                    StreamOutput::Chunk(spec, chunk) => match sink.as_mut() {
+                        Some(field) => field.write_block_valid(&spec, chunk.as_slice()),
+                        None => {
+                            return error(
+                                ErrorCode::Malformed,
+                                "chunk emitted before the archive header",
+                            )
+                        }
+                    },
+                    StreamOutput::Field(field) => {
+                        if field.len() > max_elems {
+                            return error(
+                                ErrorCode::TooLarge,
+                                "reconstruction exceeds the element cap",
+                            );
+                        }
+                        sink = Some(field);
+                    }
+                }
+            }
+            if n == 0 {
+                state.count_stream_models(
+                    decoder.registry_model_hits(),
+                    decoder.resolved_models() as u64,
+                );
+                return match sink {
+                    Some(field) => {
+                        if let Some(codec) = first_codec {
+                            state.count_decompress(codec);
+                        }
+                        Response::DecompressOk { field }
+                    }
+                    None => error(ErrorCode::Malformed, "empty decompress body"),
+                };
+            }
+        }
+    })
+}
+
+/// Train a learned codec, make the model resident (registry + store +
+/// optional sidecar), and hand the serialized frame back.
+fn train(state: &ServerState, codec: CodecId, knobs: TrainKnobs, field: &Field) -> Response {
+    let built = match build_trained(codec, &knobs, field) {
+        Ok(b) => b,
+        Err((code, msg)) => return error(code, msg),
+    };
+    let Some(model) = built.embedded_model() else {
+        return error(ErrorCode::Internal, "trained codec produced no model");
+    };
+    // Resident immediately: later decompress requests hit the registered
+    // instance without a store round-trip.
+    state.registry.with_write(|r| {
+        r.model_store_mut().insert(model.clone());
+        r.register(built);
+    });
+    if let Some(dir) = &state.config.model_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = ModelStore::save_sidecar(dir, &model);
+    }
+    Response::TrainOk {
+        id: model.id,
+        frame: model.frame.clone(),
+    }
+}
+
+/// Mirror of the CLI's training dispatch (`aesz train`): same codecs, same
+/// rank checks, same defaulting — a knob of 0 means "codec default".
+fn build_trained(
+    codec: CodecId,
+    knobs: &TrainKnobs,
+    field: &Field,
+) -> Result<Box<dyn Compressor>, (ErrorCode, String)> {
+    use aesz_repro::baselines::{AeA, AeB};
+    use aesz_repro::AeSz;
+
+    let fields = std::slice::from_ref(field);
+    let default_epochs = 3usize;
+    match codec {
+        CodecId::AeSz => {
+            let rank = field.dims().rank();
+            if rank < 2 {
+                return Err((
+                    ErrorCode::Unsupported,
+                    "aesz training needs a 2D or 3D field".into(),
+                ));
+            }
+            let mut opts = TrainingOptions::default_for_rank(rank);
+            if knobs.epochs != 0 {
+                opts.epochs = knobs.epochs as usize;
+            }
+            if knobs.block != 0 {
+                opts.block_size = knobs.block as usize;
+            }
+            if knobs.latent != 0 {
+                opts.latent_dim = knobs.latent as usize;
+            }
+            if knobs.max_blocks != 0 {
+                opts.max_blocks = knobs.max_blocks as usize;
+            }
+            opts.seed = knobs.seed;
+            Ok(Box::new(AeSz::from_model(train_swae_for_field(
+                fields, &opts,
+            ))))
+        }
+        CodecId::AeA => {
+            let mut ae = AeA::new(knobs.seed);
+            let epochs = if knobs.epochs == 0 {
+                default_epochs
+            } else {
+                knobs.epochs as usize
+            };
+            ae.train(fields, epochs, knobs.seed);
+            Ok(Box::new(ae))
+        }
+        CodecId::AeB => {
+            if field.dims().rank() != 3 {
+                return Err((
+                    ErrorCode::Unsupported,
+                    "aeb training needs a 3D field".into(),
+                ));
+            }
+            let mut ae = AeB::new(knobs.seed);
+            let epochs = if knobs.epochs == 0 {
+                default_epochs
+            } else {
+                knobs.epochs as usize
+            };
+            ae.train(fields, epochs, knobs.seed);
+            Ok(Box::new(ae))
+        }
+        other => Err((
+            ErrorCode::Unsupported,
+            format!(
+                "codec {} takes no model; only aesz, aea and aeb train",
+                other.name()
+            ),
+        )),
+    }
+}
+
+/// Inventory: models resident in the store (verified by construction) plus
+/// anything sitting in the configured sidecar directory.
+fn list_models(state: &ServerState) -> Response {
+    let mut entries: Vec<ModelEntry> = Vec::new();
+    state.registry.with_read(|r| {
+        for id in r.model_store().ids() {
+            if let Some(m) = r.model_store().lookup(id) {
+                entries.push(ModelEntry {
+                    id,
+                    codec: Some(m.codec()),
+                    verified: true,
+                    param_bytes: m.payload().len() as u64,
+                });
+            }
+        }
+    });
+    if let Some(dir) = &state.config.model_dir {
+        if let Ok(scan) = ModelStore::scan_sidecar_dir(dir) {
+            for s in scan {
+                let Some(id) = s.id else { continue };
+                if entries.iter().any(|e| e.id == id) {
+                    continue;
+                }
+                entries.push(ModelEntry {
+                    id,
+                    codec: s.codec,
+                    verified: s.verified,
+                    param_bytes: s.param_bytes,
+                });
+            }
+        }
+    }
+    Response::ModelList { entries }
+}

@@ -1,0 +1,142 @@
+//! The daemon: bind, accept, shed load at the edge, serve from the pool.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::config::ServerConfig;
+use crate::conn;
+use crate::state::ServerState;
+use aesz_repro::metrics::protocol::Response;
+use aesz_repro::SharedRegistry;
+use rayon::pool::WorkPool;
+use std::io::Write;
+
+/// A bound (not yet running) daemon. [`Server::run`] blocks the calling
+/// thread in the accept loop; take a [`ServerHandle`] first to stop it from
+/// another thread.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: Arc<WorkPool>,
+    /// `workers + queue_cap`: past this many connections in flight the
+    /// acceptor answers `Busy` instead of queueing.
+    pool_cap: usize,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener and build the shared state: a default registry
+    /// (all seven codecs) with the configured sidecar directory attached,
+    /// and a worker pool sized `workers` with `queue_cap` connections of
+    /// headroom.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let registry = SharedRegistry::with_defaults();
+        if let Some(dir) = &config.model_dir {
+            registry.add_sidecar_dir(dir.clone());
+        }
+        let workers = config.workers.max(1);
+        let pool_cap = workers.saturating_add(config.queue_cap);
+        let pool = Arc::new(WorkPool::new(workers, pool_cap));
+        let state = Arc::new(ServerState::new(config, registry));
+        state.set_pool(Arc::clone(&pool));
+        Ok(Server {
+            listener,
+            state,
+            pool,
+            pool_cap,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (registry + counters) — lets an embedder pre-train
+    /// models or read stats without a socket round-trip.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            stop: Arc::clone(&self.stop),
+        })
+    }
+
+    /// Accept and serve until [`ServerHandle::shutdown`]. Blocks the
+    /// calling thread.
+    pub fn run(self) -> std::io::Result<()> {
+        for incoming in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let Ok(stream) = incoming else { continue };
+            self.accept(stream);
+        }
+        Ok(())
+    }
+
+    /// Admit or reject one fresh connection. Rejection is cheap and typed:
+    /// a `Busy` response carrying the queue depth, then close — the peer
+    /// knows to back off, and the daemon buffers nothing.
+    fn accept(&self, stream: TcpStream) {
+        let active = self.state.active_connections();
+        let at_connection_cap = active >= self.state.config.max_connections as u64;
+        // The acceptor is the pool's only submitter, so this check cannot
+        // race against another producer: if there is room now, try_execute
+        // below cannot fail.
+        let at_queue_cap = self.pool.pending() >= self.pool_cap;
+        if at_connection_cap || at_queue_cap {
+            self.state.connection_rejected();
+            self.state.count_busy();
+            busy_reject(stream, self.state.queue_depth());
+            return;
+        }
+        self.state.connection_opened();
+        let state = Arc::clone(&self.state);
+        let submitted = self.pool.try_execute(Box::new(move || {
+            conn::serve_connection(stream, &state);
+            state.connection_closed();
+        }));
+        if let Err(full) = submitted {
+            // Unreachable with a single submitter (checked above); if it
+            // ever happens, dropping the job closes the stream.
+            drop(full);
+            self.state.connection_closed();
+            self.state.count_busy();
+        }
+    }
+}
+
+/// Best-effort `Busy` + close; the peer may already be gone, which is fine.
+fn busy_reject(mut stream: TcpStream, queue_depth: u64) {
+    let bytes = Response::Busy { queue_depth }.encode();
+    let _ = stream.write_all(&bytes);
+    let _ = stream.flush();
+}
+
+/// Stops a running [`Server`] from another thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to exit: sets the stop flag, then opens (and
+    /// immediately drops) one connection to unblock the blocking accept.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+    }
+}

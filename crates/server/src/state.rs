@@ -1,0 +1,182 @@
+//! Shared daemon state: the hot-model registry and the stats counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::config::ServerConfig;
+use aesz_repro::metrics::protocol::{ServerStats, CODEC_SLOTS};
+use aesz_repro::{CodecId, SharedRegistry};
+use rayon::pool::WorkPool;
+
+/// Everything the connection handlers share: the registry of resident
+/// models, the configuration caps, and lock-free stats counters. One
+/// instance lives behind an `Arc` for the daemon's lifetime.
+pub struct ServerState {
+    /// Hot codec registry (trained models stay resident here).
+    pub registry: SharedRegistry,
+    /// The caps and knobs the daemon was started with.
+    pub config: ServerConfig,
+    started: Instant,
+    pool: OnceLock<Arc<WorkPool>>,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    conns_active: AtomicU64,
+    conns_total: AtomicU64,
+    /// Model-cache hits observed inside streaming decodes (the per-stream
+    /// decoder counters, folded in as streams finish).
+    stream_hits: AtomicU64,
+    /// Store resolutions observed inside streaming decodes.
+    stream_resolutions: AtomicU64,
+    compress_by_codec: [AtomicU64; CODEC_SLOTS],
+    decompress_by_codec: [AtomicU64; CODEC_SLOTS],
+}
+
+impl ServerState {
+    /// Fresh state around `registry`, started "now".
+    pub fn new(config: ServerConfig, registry: SharedRegistry) -> Self {
+        ServerState {
+            registry,
+            config,
+            started: Instant::now(),
+            pool: OnceLock::new(),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            stream_hits: AtomicU64::new(0),
+            stream_resolutions: AtomicU64::new(0),
+            compress_by_codec: std::array::from_fn(|_| AtomicU64::new(0)),
+            decompress_by_codec: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Attach the worker pool (once, by the server during bind) so queue
+    /// depth can be reported.
+    pub(crate) fn set_pool(&self, pool: Arc<WorkPool>) {
+        let _ = self.pool.set(pool);
+    }
+
+    /// Connections queued behind busy workers right now.
+    pub fn queue_depth(&self) -> u64 {
+        self.pool
+            .get()
+            .map(|p| p.pending().saturating_sub(p.workers()) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Connections currently in service (accepted, not yet closed).
+    pub fn active_connections(&self) -> u64 {
+        self.conns_active.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the daemon started.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_ok(&self) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.conns_total.fetch_add(1, Ordering::Relaxed);
+        self.conns_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was counted ([`ServerState::connection_opened`]) and is
+    /// now done.
+    pub(crate) fn connection_closed(&self) {
+        self.conns_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was rejected at the edge (never entered service).
+    pub(crate) fn connection_rejected(&self) {
+        self.conns_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_compress(&self, codec: CodecId) {
+        if let Some(slot) = self.compress_by_codec.get(ServerStats::codec_slot(codec)) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn count_decompress(&self, codec: CodecId) {
+        if let Some(slot) = self.decompress_by_codec.get(ServerStats::codec_slot(codec)) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fold the counters of a finished streaming decode into the totals.
+    pub(crate) fn count_stream_models(&self, hits: u64, resolutions: u64) {
+        self.stream_hits.fetch_add(hits, Ordering::Relaxed);
+        self.stream_resolutions
+            .fetch_add(resolutions, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of every counter (individually atomic;
+    /// relative skew across counters is fine for monitoring).
+    pub fn snapshot(&self) -> ServerStats {
+        let mut stats = ServerStats {
+            uptime_ms: self.uptime_ms(),
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            connections_active: self.conns_active.load(Ordering::Relaxed),
+            connections_total: self.conns_total.load(Ordering::Relaxed),
+            model_cache_hits: self.registry.model_cache_hits()
+                + self.stream_hits.load(Ordering::Relaxed),
+            model_resolutions: self.registry.model_resolutions()
+                + self.stream_resolutions.load(Ordering::Relaxed),
+            models_resident: self.registry.models_resident() as u64,
+            ..ServerStats::default()
+        };
+        for (out, slot) in stats
+            .compress_by_codec
+            .iter_mut()
+            .zip(self.compress_by_codec.iter())
+        {
+            *out = slot.load(Ordering::Relaxed);
+        }
+        for (out, slot) in stats
+            .decompress_by_codec
+            .iter_mut()
+            .zip(self.decompress_by_codec.iter())
+        {
+            *out = slot.load(Ordering::Relaxed);
+        }
+        stats
+    }
+}

@@ -1,0 +1,132 @@
+//! Release-mode service throughput measurement: an in-process daemon under
+//! eight concurrent remote clients, reporting requests/s, payload MB/s and
+//! request latency percentiles to `BENCH_serve.json` (CI's bench artifact).
+//!
+//! Timings only mean something under the optimized profile, so the suite is
+//! ignored in debug builds (CI runs it via `cargo test --release`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use aesz_datagen::Application;
+use aesz_repro::metrics::protocol as wire;
+use aesz_repro::metrics::CodecId;
+use aesz_repro::{Dims, ErrorBound, Registry};
+use aesz_server::{RemoteClient, Server, ServerConfig};
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "throughput measurement needs --release")]
+fn concurrent_service_throughput_is_recorded() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 20;
+
+    let dims = Dims::d2(128, 128);
+    let field = Application::CesmCldhgh.generate(dims, 17);
+    let raw_bytes = field.len() * 4;
+    let bound = ErrorBound::abs(1e-3);
+
+    // A compressed stream for the decompress rounds, from the local path.
+    let registry = Registry::with_defaults();
+    let mut codec = registry.fork(CodecId::Zfp).expect("zfp registered");
+    let stream = codec.compress(&field, bound).expect("local compress");
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: CLIENTS,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr().to_string();
+    let state = server.state();
+    let runner = std::thread::spawn(move || server.run());
+
+    let field = Arc::new(field);
+    let stream = Arc::new(stream);
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let field = Arc::clone(&field);
+            let stream = Arc::clone(&stream);
+            std::thread::spawn(move || {
+                let mut client = RemoteClient::connect(&addr).expect("connect");
+                let mut latencies = Vec::with_capacity(ROUNDS * 2);
+                let mut moved = 0usize;
+                for _ in 0..ROUNDS {
+                    let t = Instant::now();
+                    let got = client
+                        .request(&wire::Request::Compress {
+                            codec: CodecId::Zfp,
+                            bound,
+                            field: (*field).clone(),
+                        })
+                        .expect("compress request");
+                    latencies.push(t.elapsed().as_secs_f64());
+                    let wire::Response::CompressOk { stream: s } = got else {
+                        panic!("expected CompressOk");
+                    };
+                    moved += field.len() * 4 + s.len();
+
+                    let t = Instant::now();
+                    let got = client
+                        .request(&wire::Request::Decompress {
+                            bytes: (*stream).clone(),
+                        })
+                        .expect("decompress request");
+                    latencies.push(t.elapsed().as_secs_f64());
+                    let wire::Response::DecompressOk { field: recon } = got else {
+                        panic!("expected DecompressOk");
+                    };
+                    moved += stream.len() + recon.len() * 4;
+                }
+                (latencies, moved)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut moved = 0usize;
+    for t in threads {
+        let (l, m) = t.join().expect("client thread");
+        latencies.extend(l);
+        moved += m;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    handle.shutdown();
+    runner
+        .join()
+        .expect("accept loop exits")
+        .expect("clean run");
+
+    let stats = state.snapshot();
+    assert_eq!(stats.errors, 0, "benchmark requests must all succeed");
+    let requests = latencies.len();
+    assert_eq!(requests, CLIENTS * ROUNDS * 2);
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| {
+        let at = ((requests as f64 * p).ceil() as usize).clamp(1, requests) - 1;
+        latencies[at]
+    };
+    let p50 = pct(0.50);
+    let p99 = pct(0.99);
+    let rps = requests as f64 / wall_s;
+    let mbps = moved as f64 / 1e6 / wall_s;
+
+    let json = format!(
+        "{{\n  \"field\": \"cesm {dims}\",\n  \"field_bytes\": {raw_bytes},\n  \
+         \"bound\": \"{bound}\",\n  \"codec\": \"zfp\",\n  \
+         \"clients\": {CLIENTS},\n  \"requests\": {requests},\n  \"wall_s\": {wall_s:.4},\n  \
+         \"requests_per_s\": {rps:.1},\n  \"payload_mbps\": {mbps:.2},\n  \
+         \"latency_p50_ms\": {:.3},\n  \"latency_p99_ms\": {:.3},\n  \
+         \"busy_rejections\": {},\n  \"bytes_in\": {},\n  \"bytes_out\": {}\n}}\n",
+        p50 * 1e3,
+        p99 * 1e3,
+        stats.busy_rejections,
+        stats.bytes_in,
+        stats.bytes_out,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}:\n{json}");
+}

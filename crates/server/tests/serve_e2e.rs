@@ -1,0 +1,323 @@
+//! End-to-end daemon tests: a real `Server` on a loopback socket, real
+//! `RemoteClient`s on OS threads. The service path must be *bit-identical*
+//! to the local library path for compress, decompress, and train — the
+//! daemon is a deployment shape, not a different compressor.
+
+use std::sync::Arc;
+
+use aesz_datagen::Application;
+use aesz_repro::metrics::protocol as wire;
+use aesz_repro::metrics::CodecId;
+use aesz_repro::{Compressor, Dims, ErrorBound, Field, Registry};
+use aesz_server::{RemoteClient, Server, ServerConfig, ServerState};
+
+fn test_field(seed: u64) -> Field {
+    Application::CesmCldhgh.generate(Dims::d2(32, 48), seed)
+}
+
+fn assert_fields_bit_identical(a: &Field, b: &Field, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: dims diverged");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} diverged");
+    }
+}
+
+/// Bind a daemon on an ephemeral port and run it on a background thread.
+/// Returns the address, the shared state, and a shutdown closure.
+fn spawn_server(config: ServerConfig) -> (String, Arc<ServerState>, impl FnOnce()) {
+    let server = Server::bind(config).expect("bind loopback");
+    let state = server.state();
+    let handle = server.handle().expect("handle");
+    let addr = handle.addr().to_string();
+    let runner = std::thread::spawn(move || server.run());
+    let stop = move || {
+        handle.shutdown();
+        runner
+            .join()
+            .expect("accept loop exits")
+            .expect("clean run");
+    };
+    (addr, state, stop)
+}
+
+#[test]
+fn eight_concurrent_clients_match_the_local_path_bit_for_bit() {
+    let (addr, state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let bound = ErrorBound::abs(1e-3);
+
+    let clients: Vec<_> = (0..8u64)
+        .map(|seed| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let field = test_field(seed);
+                // The reference result from the in-process library path.
+                let registry = Registry::with_defaults();
+                let mut local = registry.fork(CodecId::Zfp).expect("zfp registered");
+                let want_stream = local.compress(&field, bound).expect("local compress");
+                let want_field = local.decompress(&want_stream).expect("local decompress");
+
+                let mut client = RemoteClient::connect(&addr).expect("connect");
+                let got = client
+                    .request(&wire::Request::Compress {
+                        codec: CodecId::Zfp,
+                        bound,
+                        field: field.clone(),
+                    })
+                    .expect("compress request");
+                let wire::Response::CompressOk { stream } = got else {
+                    panic!("client {seed}: expected CompressOk, got {got:?}");
+                };
+                assert_eq!(
+                    stream, want_stream,
+                    "client {seed}: compressed bytes diverged"
+                );
+
+                // Same connection, next request: the daemon keeps it open
+                // after a success response.
+                let got = client
+                    .request(&wire::Request::Decompress { bytes: stream })
+                    .expect("decompress request");
+                let wire::Response::DecompressOk { field: recon } = got else {
+                    panic!("client {seed}: expected DecompressOk, got {got:?}");
+                };
+                assert_fields_bit_identical(&recon, &want_field, "remote decompress");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Liveness + counters over the wire.
+    let mut probe = RemoteClient::connect(&addr).expect("connect");
+    let got = probe
+        .request(&wire::Request::Health)
+        .expect("health request");
+    assert!(matches!(got, wire::Response::HealthOk { .. }));
+    let got = probe.request(&wire::Request::Stats).expect("stats request");
+    let wire::Response::StatsOk(stats) = got else {
+        panic!("expected StatsOk, got {got:?}");
+    };
+    assert!(stats.requests >= 18, "8×(compress+decompress)+health+stats");
+    // The stats request itself is still in flight when the snapshot is
+    // taken — it is counted ok only after its response is built.
+    assert!(stats.ok >= 17);
+    assert_eq!(stats.errors, 0);
+    let zfp = wire::ServerStats::codec_slot(CodecId::Zfp);
+    assert_eq!(stats.compress_by_codec[zfp], 8);
+    assert_eq!(stats.decompress_by_codec[zfp], 8);
+    assert!(stats.connections_total >= 9);
+    drop(probe);
+    stop();
+    assert_eq!(state.snapshot().errors, 0);
+}
+
+#[test]
+fn train_is_deterministic_resident_and_saved_as_a_sidecar() {
+    let dir = std::env::temp_dir().join(format!("aesz-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        model_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let field = test_field(3);
+    let knobs = wire::TrainKnobs {
+        epochs: 1,
+        block: 0,
+        latent: 0,
+        max_blocks: 0,
+        seed: 5,
+    };
+
+    // Reference: the same training run through the library path.
+    let mut local = aesz_repro::baselines::AeA::new(knobs.seed);
+    local.train(std::slice::from_ref(&field), 1, knobs.seed);
+    let want = local.embedded_model().expect("trained model");
+
+    let mut client = RemoteClient::connect(&addr).expect("connect");
+    let got = client
+        .request(&wire::Request::Train {
+            codec: CodecId::AeA,
+            knobs,
+            field: field.clone(),
+        })
+        .expect("train request");
+    let wire::Response::TrainOk { id, frame } = got else {
+        panic!("expected TrainOk, got {got:?}");
+    };
+    assert_eq!(id, want.id, "training is not deterministic across paths");
+    assert_eq!(frame, want.frame);
+
+    // The model is resident: a learned stream compressed locally with the
+    // very same model must decompress over the wire, no sidecar handshake.
+    let mut codec = aesz_repro::model_store::build_compressor(&want).expect("build");
+    let stream = codec
+        .compress(&field, ErrorBound::abs(1e-3))
+        .expect("local learned compress");
+    let want_recon = codec.decompress(&stream).expect("local learned decode");
+    let got = client
+        .request(&wire::Request::Decompress { bytes: stream })
+        .expect("decompress request");
+    let wire::Response::DecompressOk { field: recon } = got else {
+        panic!("expected DecompressOk, got {got:?}");
+    };
+    assert_fields_bit_identical(&recon, &want_recon, "learned remote decompress");
+
+    // Inventory over the wire names the trained model, hash-verified.
+    let got = client
+        .request(&wire::Request::ListModels)
+        .expect("models request");
+    let wire::Response::ModelList { entries } = got else {
+        panic!("expected ModelList, got {got:?}");
+    };
+    let entry = entries
+        .iter()
+        .find(|e| e.id == id)
+        .expect("trained model listed");
+    assert!(entry.verified);
+    assert_eq!(entry.codec, Some(CodecId::AeA));
+
+    let stats = state.snapshot();
+    assert!(stats.models_resident >= 1);
+    drop(client);
+    stop();
+
+    // The sidecar landed on disk under the content-addressed name.
+    let sidecar = dir.join(format!("{id}.aesm"));
+    let bytes = std::fs::read(&sidecar).expect("sidecar written");
+    assert_eq!(bytes, want.frame);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn archive_bytes_stream_decode_remotely() {
+    let (addr, _state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let field = Application::Rtm.generate(Dims::d3(16, 16, 16), 9);
+    let registry = Registry::with_defaults();
+    let opts = aesz_repro::archive::ArchiveOptions::new()
+        .chunk(8)
+        .window(2);
+    let (bytes, _stats) = aesz_repro::archive::compress_field(
+        &registry,
+        &field,
+        ErrorBound::abs(1e-3),
+        &opts,
+        CodecId::Zfp,
+    )
+    .expect("build archive");
+    let (want, _) = aesz_repro::archive::decompress(&registry, &bytes, 2).expect("local decode");
+
+    let mut client = RemoteClient::connect(&addr).expect("connect");
+    let got = client
+        .request(&wire::Request::Decompress { bytes })
+        .expect("decompress request");
+    let wire::Response::DecompressOk { field: recon } = got else {
+        panic!("expected DecompressOk, got {got:?}");
+    };
+    assert_fields_bit_identical(&recon, &want, "remote archive decompress");
+    drop(client);
+    stop();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_busy() {
+    let (addr, state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 0,
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+
+    // First connection occupies the single slot (and stays open: success
+    // responses keep the connection alive).
+    let mut first = RemoteClient::connect(&addr).expect("connect");
+    let got = first.request(&wire::Request::Health).expect("health");
+    assert!(matches!(got, wire::Response::HealthOk { .. }));
+
+    // Second connection must be shed at the edge with a typed Busy — the
+    // acceptor observed the first connection before ever accepting this one,
+    // so the rejection is deterministic, not timing-dependent. Read without
+    // writing: the Busy arrives unprompted, and never sending means no RST
+    // can race the buffered response away.
+    {
+        use std::io::Read;
+        let mut second = std::net::TcpStream::connect(&addr).expect("connect");
+        let mut reply = Vec::new();
+        second
+            .read_to_end(&mut reply)
+            .expect("busy response then close");
+        let (resp, _) =
+            wire::decode_response(&reply, &wire::Limits::default()).expect("typed response");
+        assert!(
+            matches!(resp, wire::Response::Busy { .. }),
+            "expected Busy, got {resp:?}"
+        );
+    }
+    assert!(state.snapshot().busy_rejections >= 1);
+
+    // Releasing the slot lets fresh connections through again.
+    drop(first);
+    let mut served = false;
+    for _ in 0..50 {
+        let mut retry = RemoteClient::connect(&addr).expect("connect");
+        if let Ok(wire::Response::HealthOk { .. }) = retry.request(&wire::Request::Health) {
+            served = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(served, "slot never freed after the first client left");
+    stop();
+}
+
+#[test]
+fn oversized_and_hostile_requests_get_typed_errors() {
+    use std::io::{Read, Write};
+
+    let (addr, _state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_request_bytes: 1024,
+        ..ServerConfig::default()
+    });
+
+    // A legitimate request whose body exceeds the server cap: typed
+    // TooLarge, connection closed, nothing drained.
+    let mut client = RemoteClient::connect(&addr).expect("connect");
+    let got = client
+        .request(&wire::Request::Compress {
+            codec: CodecId::Zfp,
+            bound: ErrorBound::abs(1e-3),
+            field: test_field(0), // 32×48×4 B ≫ 1024
+        })
+        .expect("error still parses");
+    let wire::Response::Error { code, .. } = got else {
+        panic!("expected Error, got {got:?}");
+    };
+    assert_eq!(code, wire::ErrorCode::TooLarge);
+
+    // A hostile declared length with no body behind it: the server must
+    // answer from the header alone, without waiting for u64::MAX bytes.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.write_all(&wire::header_bytes(wire::MsgType::Compress, u64::MAX))
+        .expect("send hostile header");
+    raw.flush().expect("flush");
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply)
+        .expect("server responds and closes");
+    let (resp, _) =
+        wire::decode_response(&reply, &wire::Limits::default()).expect("typed response");
+    let wire::Response::Error { code, .. } = resp else {
+        panic!("expected Error, got {resp:?}");
+    };
+    assert_eq!(code, wire::ErrorCode::TooLarge);
+    stop();
+}

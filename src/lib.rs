@@ -64,6 +64,6 @@ pub use aesz_metrics::{
     ErrorBound, ModelId,
 };
 pub use aesz_tensor::{Dims, Field};
-pub use model_store::{ModelStore, ModelStoreError};
-pub use registry::{decompress_any, Registry};
-pub use stream::{decompress_reader, StreamFieldDecoder, StreamOutput};
+pub use model_store::{ModelStore, ModelStoreError, SidecarEntry};
+pub use registry::{decompress_any, Registry, SharedRegistry};
+pub use stream::{decompress_reader, decompress_reader_limited, StreamFieldDecoder, StreamOutput};

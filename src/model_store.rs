@@ -82,6 +82,26 @@ impl std::error::Error for ModelStoreError {
     }
 }
 
+/// One `*.aesm` file found by [`ModelStore::scan_sidecar_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SidecarEntry {
+    /// File name inside the scanned directory.
+    pub file_name: String,
+    /// The payload's content hash when the frame parses, otherwise the id
+    /// the file name claims (when it is valid hex). `None` for files that
+    /// neither parse nor carry an id-shaped name.
+    pub id: Option<ModelId>,
+    /// Codec the frame names, when it parses.
+    pub codec: Option<CodecId>,
+    /// Serialized parameter bytes (the `AESM` payload length; 0 when the
+    /// frame does not parse).
+    pub param_bytes: u64,
+    /// Whether the frame parses *and* its payload hashes to the id the
+    /// file name claims — only verified files will resolve via
+    /// [`ModelStore::lookup`].
+    pub verified: bool,
+}
+
 /// Content-addressed storage of serialized trained models (`AESM` frames),
 /// resolvable from memory or sidecar directories.
 #[derive(Default)]
@@ -178,6 +198,52 @@ impl ModelStore {
             }
         }
         self.models.get(&id)
+    }
+
+    /// Inventory a sidecar directory without registering anything: every
+    /// `*.aesm` file, whether it parses, and whether its payload hashes to
+    /// the id its file name claims — the `aesz models` listing and the
+    /// daemon's `ListModels` answer. Entries are sorted by file name for
+    /// deterministic output. Unreadable or corrupt files become unverified
+    /// entries rather than errors, so one bad file cannot hide the rest.
+    pub fn scan_sidecar_dir(dir: &Path) -> std::io::Result<Vec<SidecarEntry>> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".aesm"))
+            .collect();
+        names.sort();
+        let mut entries = Vec::new();
+        for name in names {
+            let claimed = name.strip_suffix(".aesm").and_then(ModelId::from_hex);
+            let entry = match std::fs::read(dir.join(&name)) {
+                Ok(bytes) => match EmbeddedModel::from_frame(&bytes) {
+                    Ok((model, codec)) => SidecarEntry {
+                        verified: claimed == Some(model.id),
+                        id: Some(model.id),
+                        codec: Some(codec),
+                        param_bytes: model.payload().len() as u64,
+                        file_name: name,
+                    },
+                    Err(_) => SidecarEntry {
+                        file_name: name,
+                        id: claimed,
+                        codec: None,
+                        param_bytes: 0,
+                        verified: false,
+                    },
+                },
+                Err(_) => SidecarEntry {
+                    file_name: name,
+                    id: claimed,
+                    codec: None,
+                    param_bytes: 0,
+                    verified: false,
+                },
+            };
+            entries.push(entry);
+        }
+        Ok(entries)
     }
 
     /// Resolve `id` into a **trained compressor** for `codec` — the lazy

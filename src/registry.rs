@@ -188,6 +188,188 @@ impl Default for Registry {
     }
 }
 
+/// A thread-safe registry for long-running services: a [`Registry`] behind
+/// an `RwLock`, plus atomic counters for model-cache observability.
+///
+/// Decompression forks the dispatched codec under a shared *read* lock and
+/// decodes outside it, so concurrent requests on hot (already registered)
+/// models never serialize on the lock. Lazy model resolution takes the
+/// write lock, double-checks whether a racing thread already registered the
+/// model while it waited, and only then builds from the store — so N
+/// threads racing on the same unresolved model produce exactly one store
+/// build ([`SharedRegistry::model_resolutions`]); the N−1 losers count as
+/// cache hits ([`SharedRegistry::model_cache_hits`]).
+///
+/// Lock poisoning is tolerated (`unwrap_or_else(PoisonError::into_inner)`):
+/// a panicking thread elsewhere must not wedge the daemon, and the registry
+/// holds no invariants that a partial mutation could break — `register`
+/// swaps whole entries.
+pub struct SharedRegistry {
+    inner: std::sync::RwLock<Registry>,
+    hits: std::sync::atomic::AtomicU64,
+    resolutions: std::sync::atomic::AtomicU64,
+}
+
+impl SharedRegistry {
+    /// Wrap an existing registry.
+    pub fn new(registry: Registry) -> Self {
+        SharedRegistry {
+            inner: std::sync::RwLock::new(registry),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            resolutions: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// A shared default registry of all seven codecs.
+    pub fn with_defaults() -> Self {
+        SharedRegistry::new(Registry::with_defaults())
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Registry> {
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Registry> {
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Run `f` with shared access to the registry.
+    pub fn with_read<T>(&self, f: impl FnOnce(&Registry) -> T) -> T {
+        f(&self.read())
+    }
+
+    /// Run `f` with exclusive access to the registry.
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut Registry) -> T) -> T {
+        f(&mut self.write())
+    }
+
+    /// Register a compressor (see [`Registry::register`]).
+    pub fn register(&self, compressor: Box<dyn Compressor>) {
+        self.write().register(compressor);
+    }
+
+    /// Insert a serialized model frame into the backing store.
+    pub fn insert_model_frame(
+        &self,
+        frame: &[u8],
+    ) -> Result<aesz_metrics::ModelId, crate::model_store::ModelStoreError> {
+        self.write().model_store_mut().insert_frame(frame)
+    }
+
+    /// Attach a sidecar directory to the backing store.
+    pub fn add_sidecar_dir(&self, dir: impl Into<std::path::PathBuf>) {
+        self.write().model_store_mut().add_sidecar_dir(dir);
+    }
+
+    /// Fork an independent instance of the compressor registered for `id`.
+    pub fn fork(&self, id: CodecId) -> Option<Box<dyn Compressor>> {
+        self.read().fork(id)
+    }
+
+    /// Compress `field` with the codec registered for `id`, on a private
+    /// fork so concurrent compressions never contend past the read lock.
+    pub fn compress(
+        &self,
+        id: CodecId,
+        field: &Field,
+        bound: aesz_metrics::ErrorBound,
+    ) -> Result<Vec<u8>, DecompressError> {
+        let mut instance = self
+            .fork(id)
+            .ok_or(DecompressError::UnknownCodec(id as u8))?;
+        instance
+            .compress(field, bound)
+            .map_err(|e| DecompressError::Unsupported(compress_error_reason(e)))
+    }
+
+    /// Decode a framed stream from any registered codec (the concurrent
+    /// counterpart of [`Registry::decompress_any`], taking `&self`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Registry::decompress_any`]: frame-level errors
+    /// as-is, unresolvable models as [`DecompressError::MissingModel`],
+    /// other codec failures wrapped in [`DecompressError::CodecFailed`].
+    pub fn decompress_any(&self, bytes: &[u8]) -> Result<(Field, CodecId), DecompressError> {
+        let info = aesz_metrics::container::peek(bytes)?;
+        let id = info.codec;
+        let mut instance = self
+            .fork(id)
+            .ok_or(DecompressError::UnknownCodec(id as u8))?;
+        let wrap = |error: DecompressError| DecompressError::CodecFailed {
+            codec: id,
+            error: Box::new(error),
+        };
+        match instance.decompress(bytes) {
+            Ok(field) => {
+                if info.model_id.is_some() {
+                    // A learned stream decoded without store resolution:
+                    // the registered trained instance served it.
+                    self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Ok((field, id))
+            }
+            Err(DecompressError::MissingModel { codec, model_id }) => {
+                let mut built = self.resolve(codec, model_id)?;
+                built.decompress(bytes).map(|f| (f, id)).map_err(wrap)
+            }
+            Err(e) => Err(wrap(e)),
+        }
+    }
+
+    /// Resolve `model_id` for `codec`, returning a private trained fork.
+    /// Exactly one racing caller builds from the store; the rest fork the
+    /// freshly registered instance.
+    fn resolve(
+        &self,
+        codec: CodecId,
+        model_id: aesz_metrics::ModelId,
+    ) -> Result<Box<dyn Compressor>, DecompressError> {
+        let mut guard = self.write();
+        // Double-check under the write lock: a racing thread may have
+        // resolved this exact model while we waited.
+        if guard.get(codec).and_then(|c| c.embedded_model_id()) == Some(model_id) {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return guard
+                .fork(codec)
+                .ok_or(DecompressError::UnknownCodec(codec as u8));
+        }
+        let built = guard.model_store_mut().build(codec, model_id)?;
+        self.resolutions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Salvage the evicted registered model (see Registry::decompress_any).
+        if let Some(evicted) = guard.get(codec).and_then(|c| c.embedded_model()) {
+            guard.model_store_mut().insert(evicted);
+        }
+        let fork = built.fork();
+        guard.register(built);
+        Ok(fork)
+    }
+
+    /// Decodes of learned streams served by an already-registered model.
+    pub fn model_cache_hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Trained models built from the store on demand.
+    pub fn model_resolutions(&self) -> u64 {
+        self.resolutions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Models currently resident in the backing store.
+    pub fn models_resident(&self) -> usize {
+        self.read().model_store().ids().len()
+    }
+}
+
+fn compress_error_reason(e: aesz_metrics::CompressError) -> &'static str {
+    match e {
+        aesz_metrics::CompressError::InvalidBound(what)
+        | aesz_metrics::CompressError::UnsupportedField(what)
+        | aesz_metrics::CompressError::Untrained(what) => what,
+    }
+}
+
 /// A fresh default registry of all seven codecs (see
 /// [`Registry::with_defaults`] for the trained-model caveat on AE codecs).
 pub fn registry() -> Registry {

@@ -97,6 +97,9 @@ pub struct StreamFieldDecoder<'r> {
     /// Trained prototypes built for this stream, one per distinct
     /// `(codec, model id)` — forked per chunk like the buffered reader.
     protos: HashMap<(CodecId, ModelId), Box<dyn Compressor>>,
+    /// Learned chunks served directly by the registered instance (the
+    /// model-cache-hit half of the daemon's stats).
+    registry_hits: u64,
 }
 
 impl<'r> StreamFieldDecoder<'r> {
@@ -109,6 +112,7 @@ impl<'r> StreamFieldDecoder<'r> {
             ready: VecDeque::new(),
             deferred: Vec::new(),
             protos: HashMap::new(),
+            registry_hits: 0,
         }
     }
 
@@ -136,6 +140,18 @@ impl<'r> StreamFieldDecoder<'r> {
     /// that residency is bounded by one section, not the stream.
     pub fn peak_buffered(&self) -> usize {
         self.inner.peak_buffered()
+    }
+
+    /// Distinct trained models this stream made resident (built from the
+    /// registry's store or the archive's embedded model tail).
+    pub fn resolved_models(&self) -> usize {
+        self.protos.len()
+    }
+
+    /// Learned chunks decoded by the already-registered trained instance —
+    /// no store lookup, no prototype build.
+    pub fn registry_model_hits(&self) -> u64 {
+        self.registry_hits
     }
 
     /// Next decoded output, `Ok(None)` when more input (or
@@ -236,7 +252,14 @@ impl<'r> StreamFieldDecoder<'r> {
                     }
                 }
             }
-            _ => self
+            Some(_) => {
+                // The registered instance already holds this exact model.
+                self.registry_hits += 1;
+                self.registry
+                    .fork(codec)
+                    .ok_or(DecompressError::UnknownCodec(codec as u8))?
+            }
+            None => self
                 .registry
                 .fork(codec)
                 .ok_or(DecompressError::UnknownCodec(codec as u8))?,
@@ -286,6 +309,25 @@ pub fn decompress_reader(
     registry: &Registry,
     input: &mut dyn std::io::Read,
 ) -> Result<Field, ArchiveReadError> {
+    decompress_reader_limited(registry, input, usize::MAX)
+}
+
+/// [`decompress_reader`] with a reconstruction cap: streams whose declared
+/// geometry (archive header dims, or a single frame's decoded field) exceeds
+/// `max_elems` elements fail with [`DecompressError::Unsupported`] — for
+/// archives *before* the destination field is allocated. This is the entry
+/// point a server uses on untrusted sockets, so a hostile header cannot
+/// drive resident memory.
+pub fn decompress_reader_limited(
+    registry: &Registry,
+    input: &mut dyn std::io::Read,
+    max_elems: usize,
+) -> Result<Field, ArchiveReadError> {
+    let over = || {
+        ArchiveReadError::Archive(DecompressError::Unsupported(
+            "reconstruction exceeds the element cap",
+        ))
+    };
     let mut decoder = StreamFieldDecoder::new(registry);
     let mut sink: Option<Field> = None;
     let mut buf = [0u8; 64 * 1024];
@@ -305,7 +347,12 @@ pub fn decompress_reader(
         }
         while let Some(out) = decoder.poll().map_err(ArchiveReadError::Archive)? {
             match out {
-                StreamOutput::Header(h) => sink = Some(Field::zeros(h.dims)),
+                StreamOutput::Header(h) => {
+                    if h.dims.len() > max_elems {
+                        return Err(over());
+                    }
+                    sink = Some(Field::zeros(h.dims));
+                }
                 StreamOutput::Chunk(spec, chunk) => match sink.as_mut() {
                     Some(field) => field.write_block_valid(&spec, chunk.as_slice()),
                     None => {
@@ -314,7 +361,12 @@ pub fn decompress_reader(
                         )))
                     }
                 },
-                StreamOutput::Field(field) => sink = Some(field),
+                StreamOutput::Field(field) => {
+                    if field.len() > max_elems {
+                        return Err(over());
+                    }
+                    sink = Some(field);
+                }
             }
         }
         if n == 0 {

@@ -1,0 +1,114 @@
+//! Concurrency soak of [`SharedRegistry`]'s lazy model resolution: many
+//! threads decompressing learned streams whose model is *not* yet
+//! registered — only its frame sits in the backing store — must trigger
+//! exactly one store build, with every other decode served by the freshly
+//! registered instance. No deadlock, no lock poisoning, no double builds.
+
+use std::sync::{Arc, Barrier};
+
+use aesz_repro::metrics::CodecId;
+use aesz_repro::{ErrorBound, SharedRegistry};
+
+mod common;
+
+#[test]
+fn racing_threads_resolve_a_cold_model_exactly_once() {
+    // A learned AESC stream plus the model frame it references. AE-A is
+    // the strictly model-dependent codec: every stream is id-prefixed and
+    // undecodable without the exact network (AE-SZ streams whose adaptive
+    // stage picked no AE blocks decode model-free, which would bypass the
+    // resolution path this test exists to race).
+    let trained = common::trained_registry();
+    let field = common::field_2d();
+    let mut codec = trained.fork(CodecId::AeA).expect("trained aea");
+    let stream = codec
+        .compress(&field, ErrorBound::rel(1e-2))
+        .expect("compress");
+    let model = codec
+        .embedded_model()
+        .expect("trained codecs carry a model");
+
+    // Decoding side: default registry (untrained aea), model only in the
+    // store — the first decode must come up through lazy resolution.
+    let shared = Arc::new(SharedRegistry::with_defaults());
+    shared
+        .insert_model_frame(&model.frame)
+        .expect("store the frame");
+    assert_eq!(shared.model_resolutions(), 0);
+    assert_eq!(shared.model_cache_hits(), 0);
+
+    let threads = 16usize;
+    let rounds = 8usize;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let barrier = Arc::clone(&barrier);
+            let stream = stream.clone();
+            let dims = field.dims();
+            std::thread::spawn(move || {
+                // All threads hit the unresolved model at once.
+                barrier.wait();
+                for _ in 0..rounds {
+                    let (got, id) = shared.decompress_any(&stream).expect("decompress");
+                    assert_eq!(id, CodecId::AeA);
+                    assert_eq!(got.dims(), dims);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread panicked, no lock poisoned");
+    }
+
+    // Exactly one thread won the write race and built from the store; the
+    // losers (and every later round) counted as cache hits.
+    assert_eq!(shared.model_resolutions(), 1);
+    assert_eq!(
+        shared.model_cache_hits(),
+        (threads * rounds - 1) as u64,
+        "every decode but the resolving one must be a cache hit"
+    );
+}
+
+#[test]
+fn decodes_proceed_while_other_codecs_are_registered() {
+    // Readers on a hot model must not deadlock against writers swapping a
+    // different codec's entry.
+    let trained = common::trained_registry();
+    let field = common::field_2d();
+    let mut codec = trained.fork(CodecId::AeSz).expect("trained aesz");
+    let stream = codec
+        .compress(&field, ErrorBound::rel(1e-2))
+        .expect("compress");
+
+    let shared = Arc::new(SharedRegistry::with_defaults());
+    shared.register(codec.fork());
+
+    let writer = {
+        let shared = Arc::clone(&shared);
+        let other = trained.fork(CodecId::AeA).expect("trained aea");
+        std::thread::spawn(move || {
+            for _ in 0..64 {
+                shared.register(other.fork());
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let stream = stream.clone();
+            std::thread::spawn(move || {
+                for _ in 0..16 {
+                    shared.decompress_any(&stream).expect("decompress");
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer survived");
+    for r in readers {
+        r.join().expect("reader survived");
+    }
+    // The hot model never left the registry, so no store builds happened.
+    assert_eq!(shared.model_resolutions(), 0);
+}
