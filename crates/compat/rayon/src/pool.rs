@@ -170,7 +170,13 @@ fn pop_job(shared: &Shared, id: usize) -> Option<Job> {
 fn worker_loop(shared: &Shared, id: usize) {
     loop {
         if let Some(job) = pop_job(shared, id) {
-            job();
+            // A panicking job must not unwind through the worker: that would
+            // kill the thread and leak its in-flight slot, shrinking the
+            // pool one panic at a time until every submit answers full.
+            // Catch the unwind, release the slot, keep serving. Jobs own
+            // their captures, so a broken invariant stays inside the
+            // panicked job's own state (hence AssertUnwindSafe).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
             continue;
         }
@@ -230,6 +236,34 @@ mod tests {
             std::thread::yield_now();
         }
         pool.try_execute(Box::new(|| {})).expect("slot freed");
+        pool.close();
+    }
+
+    #[test]
+    fn panicking_jobs_release_their_slot_and_worker() {
+        let pool = WorkPool::new(1, 2);
+        for _ in 0..3 {
+            // Spin until a slot frees: more panicking jobs than the cap
+            // proves slots are released, not leaked.
+            loop {
+                if pool
+                    .try_execute(Box::new(|| panic!("deliberate test panic")))
+                    .is_ok()
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        while pool.pending() > 0 {
+            std::thread::yield_now();
+        }
+        // The lone worker must have survived every panic to run real work.
+        let (tx, rx) = mpsc::channel();
+        pool.try_execute(Box::new(move || tx.send(()).expect("test channel")))
+            .expect("slots free after panicked jobs");
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker alive after panicked jobs");
         pool.close();
     }
 

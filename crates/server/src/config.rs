@@ -31,6 +31,17 @@ pub struct ServerConfig {
     /// Per-connection socket read timeout, so an idle or stalled peer
     /// cannot pin a worker forever.
     pub read_timeout: Duration,
+    /// Largest `epochs` training knob accepted from the wire. The read
+    /// timeout bounds a peer's I/O but not the CPU a `Train` request buys,
+    /// so every training knob is capped before any work starts.
+    pub max_train_epochs: u32,
+    /// Largest `block` (edge length) training knob accepted from the wire.
+    pub max_train_block: u32,
+    /// Largest `latent` (dimension) training knob accepted from the wire.
+    pub max_train_latent: u32,
+    /// Largest `max_blocks` (block budget) training knob accepted from the
+    /// wire.
+    pub max_train_blocks: u32,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +58,13 @@ impl Default for ServerConfig {
             max_field_elems: 1 << 27,
             model_dir: None,
             read_timeout: Duration::from_secs(30),
+            // Comfortably above the codec defaults (6 epochs, 32-block,
+            // 16-latent, 256-block budget) while keeping the compute one
+            // request can buy bounded.
+            max_train_epochs: 128,
+            max_train_block: 128,
+            max_train_latent: 256,
+            max_train_blocks: 8192,
         }
     }
 }

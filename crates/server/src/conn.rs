@@ -88,13 +88,15 @@ fn serve_one(stream: &mut TcpStream, state: &ServerState) -> std::io::Result<boo
             false,
         );
     }
-    state.count_bytes_in(parsed.body_len);
     let response = if parsed.msg == MsgType::Decompress {
         // Stream the body straight off the socket; it is never buffered
         // whole on the server side.
         let mut limited = Read::take(&mut *stream, parsed.body_len);
         let response = handler::handle_decompress_stream(state, &mut limited);
         let leftover = limited.limit();
+        // bytes_in counts what the decoder actually consumed, not the
+        // declared length — a body that never arrives must not inflate it.
+        state.count_bytes_in(parsed.body_len.saturating_sub(leftover));
         if leftover > 0 {
             // The decoder stopped before consuming the body (it errored);
             // the connection closes below, so only what already arrived is
@@ -107,6 +109,8 @@ fn serve_one(stream: &mut TcpStream, state: &ServerState) -> std::io::Result<boo
         // Bounded by the cap check above; `take` enforces it byte-for-byte.
         let mut body = Vec::new();
         let got = Read::take(&mut *stream, parsed.body_len).read_to_end(&mut body)?;
+        // Count the bytes that actually arrived, truncated bodies included.
+        state.count_bytes_in(got as u64);
         if (got as u64) != parsed.body_len {
             state.count_error();
             return respond(

@@ -79,97 +79,127 @@ pub fn handle_buffered(
 }
 
 /// Serve a `Decompress` body directly from the socket: slabs feed the
-/// incremental decoder under a shared registry read lock, so per-connection
-/// residency is one slab plus the decoder's own bounded buffer — never the
-/// whole compressed body.
+/// incremental decoder, so per-connection residency is one slab plus the
+/// decoder's own bounded buffer — never the whole compressed body.
+///
+/// No registry lock is held across the socket reads: the decoder accesses
+/// the shared registry through [`aesz_repro::RegistryAccess`], which scopes
+/// each read-lock acquisition to a single fork/lookup inside `poll`. A peer
+/// trickling its body therefore cannot pin the lock while a `Train`
+/// request's write blocks — which would otherwise queue every new reader
+/// behind it and stall all workers.
 pub fn handle_decompress_stream(state: &ServerState, input: &mut dyn Read) -> Response {
     let max_elems = state.config.max_field_elems;
-    state.registry.with_read(|registry| {
-        let mut decoder = StreamFieldDecoder::new(registry);
-        let mut sink: Option<Field> = None;
-        let mut first_codec: Option<CodecId> = None;
-        let mut primed = false;
-        let mut buf = [0u8; 64 * 1024];
-        loop {
-            let n = match input.read(&mut buf) {
-                Ok(n) => n,
-                Err(e) => return error(ErrorCode::Internal, format!("body read failed: {e}")),
+    let mut decoder = StreamFieldDecoder::new(&state.registry);
+    let mut sink: Option<Field> = None;
+    let mut first_codec: Option<CodecId> = None;
+    let mut primed = false;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = match input.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) => return error(ErrorCode::Internal, format!("body read failed: {e}")),
+        };
+        if n == 0 {
+            decoder.finish();
+        } else {
+            let Some(fed) = buf.get(..n) else {
+                return error(ErrorCode::Internal, "reader overran its buffer");
             };
-            if n == 0 {
-                decoder.finish();
-            } else {
-                let Some(fed) = buf.get(..n) else {
-                    return error(ErrorCode::Internal, "reader overran its buffer");
-                };
-                if !primed {
-                    primed = true;
-                    // Single-frame streams reveal their codec up front; for
-                    // archives (different magic) this stays None and the
-                    // per-codec counter is not attributed.
-                    first_codec = aesz_repro::metrics::container::peek(fed)
-                        .ok()
-                        .map(|info| info.codec);
-                }
-                decoder.feed(fed);
+            if !primed {
+                primed = true;
+                // Single-frame streams reveal their codec up front; for
+                // archives (different magic) this stays None and the
+                // per-codec counter is not attributed.
+                first_codec = aesz_repro::metrics::container::peek(fed)
+                    .ok()
+                    .map(|info| info.codec);
             }
-            loop {
-                let out = match decoder.poll() {
-                    Ok(out) => out,
-                    Err(e) => return error(error_code_for(&e), e.to_string()),
-                };
-                let Some(out) = out else { break };
-                match out {
-                    StreamOutput::Header(h) => {
-                        if h.dims.len() > max_elems {
-                            return error(
-                                ErrorCode::TooLarge,
-                                "reconstruction exceeds the element cap",
-                            );
-                        }
-                        sink = Some(Field::zeros(h.dims));
+            decoder.feed(fed);
+        }
+        loop {
+            let out = match decoder.poll() {
+                Ok(out) => out,
+                Err(e) => return error(error_code_for(&e), e.to_string()),
+            };
+            let Some(out) = out else { break };
+            match out {
+                StreamOutput::Header(h) => {
+                    if h.dims.len() > max_elems {
+                        return error(
+                            ErrorCode::TooLarge,
+                            "reconstruction exceeds the element cap",
+                        );
                     }
-                    StreamOutput::Chunk(spec, chunk) => match sink.as_mut() {
-                        Some(field) => field.write_block_valid(&spec, chunk.as_slice()),
-                        None => {
-                            return error(
-                                ErrorCode::Malformed,
-                                "chunk emitted before the archive header",
-                            )
-                        }
-                    },
-                    StreamOutput::Field(field) => {
-                        if field.len() > max_elems {
-                            return error(
-                                ErrorCode::TooLarge,
-                                "reconstruction exceeds the element cap",
-                            );
-                        }
-                        sink = Some(field);
-                    }
+                    sink = Some(Field::zeros(h.dims));
                 }
-            }
-            if n == 0 {
-                state.count_stream_models(
-                    decoder.registry_model_hits(),
-                    decoder.resolved_models() as u64,
-                );
-                return match sink {
-                    Some(field) => {
-                        if let Some(codec) = first_codec {
-                            state.count_decompress(codec);
-                        }
-                        Response::DecompressOk { field }
+                StreamOutput::Chunk(spec, chunk) => match sink.as_mut() {
+                    Some(field) => field.write_block_valid(&spec, chunk.as_slice()),
+                    None => {
+                        return error(
+                            ErrorCode::Malformed,
+                            "chunk emitted before the archive header",
+                        )
                     }
-                    None => error(ErrorCode::Malformed, "empty decompress body"),
-                };
+                },
+                StreamOutput::Field(field) => {
+                    if field.len() > max_elems {
+                        return error(
+                            ErrorCode::TooLarge,
+                            "reconstruction exceeds the element cap",
+                        );
+                    }
+                    sink = Some(field);
+                }
             }
         }
-    })
+        if n == 0 {
+            state.count_stream_models(
+                decoder.registry_model_hits(),
+                decoder.resolved_models() as u64,
+            );
+            return match sink {
+                Some(field) => {
+                    if let Some(codec) = first_codec {
+                        state.count_decompress(codec);
+                    }
+                    Response::DecompressOk { field }
+                }
+                None => error(ErrorCode::Malformed, "empty decompress body"),
+            };
+        }
+    }
+}
+
+/// Reject wire-supplied training knobs above the server's configured
+/// maxima. Knobs are a compute budget handed to untrusted peers — the
+/// socket read timeout bounds their I/O but not the CPU a `Train` request
+/// spends — so each one is checked before any training work starts.
+fn check_train_knobs(knobs: &TrainKnobs, state: &ServerState) -> Result<(), (ErrorCode, String)> {
+    let config = &state.config;
+    let caps = [
+        ("epochs", knobs.epochs, config.max_train_epochs),
+        ("block", knobs.block, config.max_train_block),
+        ("latent", knobs.latent, config.max_train_latent),
+        ("max_blocks", knobs.max_blocks, config.max_train_blocks),
+    ];
+    for (name, got, cap) in caps {
+        if got > cap {
+            return Err((
+                ErrorCode::TooLarge,
+                format!("training knob {name}={got} exceeds the server cap of {cap}"),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Train a learned codec, make the model resident (registry + store +
 /// optional sidecar), and hand the serialized frame back.
 fn train(state: &ServerState, codec: CodecId, knobs: TrainKnobs, field: &Field) -> Response {
+    if let Err((code, msg)) = check_train_knobs(&knobs, state) {
+        return error(code, msg);
+    }
     let built = match build_trained(codec, &knobs, field) {
         Ok(b) => b,
         Err((code, msg)) => return error(code, msg),

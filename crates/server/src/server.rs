@@ -76,7 +76,16 @@ impl Server {
             if self.stop.load(Ordering::Acquire) {
                 return Ok(());
             }
-            let Ok(stream) = incoming else { continue };
+            let stream = match incoming {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Accept can fail persistently (EMFILE once fds are
+                    // exhausted); back off briefly instead of spinning the
+                    // acceptor at 100% CPU until the condition clears.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
             self.accept(stream);
         }
         Ok(())

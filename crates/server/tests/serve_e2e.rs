@@ -280,6 +280,111 @@ fn connection_cap_rejects_with_typed_busy() {
 }
 
 #[test]
+fn stalled_decompress_body_does_not_stall_train_or_other_clients() {
+    use std::io::Write;
+
+    let (addr, _state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        read_timeout: std::time::Duration::from_secs(8),
+        ..ServerConfig::default()
+    });
+
+    // A peer that declares a Decompress body and then goes silent. Before
+    // streaming decodes scoped their registry access per call, this held
+    // the registry read lock for the whole read timeout — and one Train
+    // request waiting on the write lock then queued every new reader
+    // behind it, stalling the entire daemon.
+    let mut stalled = std::net::TcpStream::connect(&addr).expect("connect");
+    stalled
+        .write_all(&wire::header_bytes(wire::MsgType::Decompress, 4096))
+        .expect("send header");
+    stalled.flush().expect("flush");
+    // Give a worker time to pick the connection up and block on the body.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Train (write lock) plus a fresh decompress (read locks) must both
+    // complete far inside the stalled peer's read timeout.
+    let started = std::time::Instant::now();
+    let field = test_field(7);
+    let mut client = RemoteClient::connect(&addr).expect("connect");
+    let got = client
+        .request(&wire::Request::Train {
+            codec: CodecId::AeA,
+            knobs: wire::TrainKnobs {
+                epochs: 1,
+                block: 0,
+                latent: 0,
+                max_blocks: 0,
+                seed: 2,
+            },
+            field: field.clone(),
+        })
+        .expect("train request");
+    assert!(
+        matches!(got, wire::Response::TrainOk { .. }),
+        "expected TrainOk, got {got:?}"
+    );
+
+    let registry = Registry::with_defaults();
+    let mut zfp = registry.fork(CodecId::Zfp).expect("zfp registered");
+    let stream = zfp
+        .compress(&field, ErrorBound::abs(1e-3))
+        .expect("local compress");
+    let got = client
+        .request(&wire::Request::Decompress { bytes: stream })
+        .expect("decompress request");
+    assert!(
+        matches!(got, wire::Response::DecompressOk { .. }),
+        "expected DecompressOk, got {got:?}"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(4),
+        "requests stalled behind an idle decompress body for {:?}",
+        started.elapsed()
+    );
+    drop(stalled);
+    drop(client);
+    stop();
+}
+
+#[test]
+fn hostile_train_knobs_are_rejected_before_any_work() {
+    let (addr, _state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+
+    // epochs is untrusted wire input: u32::MAX must bounce off the server
+    // cap with a typed TooLarge, not pin a worker for ~4.3e9 epochs.
+    let started = std::time::Instant::now();
+    let mut client = RemoteClient::connect(&addr).expect("connect");
+    let got = client
+        .request(&wire::Request::Train {
+            codec: CodecId::AeA,
+            knobs: wire::TrainKnobs {
+                epochs: u32::MAX,
+                block: 0,
+                latent: 0,
+                max_blocks: 0,
+                seed: 1,
+            },
+            field: test_field(1),
+        })
+        .expect("error still parses");
+    let wire::Response::Error { code, message } = got else {
+        panic!("expected Error, got {got:?}");
+    };
+    assert_eq!(code, wire::ErrorCode::TooLarge);
+    assert!(message.contains("epochs"), "cap named in: {message}");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "the cap must reject before training, not after"
+    );
+    stop();
+}
+
+#[test]
 fn oversized_and_hostile_requests_get_typed_errors() {
     use std::io::{Read, Write};
 

@@ -65,5 +65,5 @@ pub use aesz_metrics::{
 };
 pub use aesz_tensor::{Dims, Field};
 pub use model_store::{ModelStore, ModelStoreError, SidecarEntry};
-pub use registry::{decompress_any, Registry, SharedRegistry};
+pub use registry::{decompress_any, Registry, RegistryAccess, SharedRegistry};
 pub use stream::{decompress_reader, decompress_reader_limited, StreamFieldDecoder, StreamOutput};

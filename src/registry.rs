@@ -188,6 +188,64 @@ impl Default for Registry {
     }
 }
 
+/// The read-only registry surface the streaming decoder needs, abstracted
+/// so a lock-guarded registry can scope each acquisition to one call.
+///
+/// [`StreamFieldDecoder`](crate::stream::StreamFieldDecoder) runs against
+/// `&dyn RegistryAccess` while its caller blocks on transport reads between
+/// polls. For a plain [`Registry`] the methods are direct calls; for
+/// [`SharedRegistry`] each takes the read lock for just that call — so a
+/// slow or hostile byte source can never hold the lock across I/O, and a
+/// writer waiting behind it can never wedge every other reader (std's
+/// `RwLock` queues new readers behind a blocked writer).
+pub trait RegistryAccess {
+    /// An independent instance of the compressor registered for `id`
+    /// (see [`Registry::fork`]).
+    fn fork_codec(&self, id: CodecId) -> Option<Box<dyn Compressor>>;
+    /// The trained-model id embedded in the instance registered for
+    /// `codec`, if any.
+    fn registered_model_id(&self, codec: CodecId) -> Option<aesz_metrics::ModelId>;
+    /// Verified model lookup in the backing store (memory, then sidecars).
+    fn lookup_model(
+        &self,
+        id: aesz_metrics::ModelId,
+    ) -> Option<aesz_metrics::container::EmbeddedModel>;
+}
+
+impl RegistryAccess for Registry {
+    fn fork_codec(&self, id: CodecId) -> Option<Box<dyn Compressor>> {
+        self.fork(id)
+    }
+
+    fn registered_model_id(&self, codec: CodecId) -> Option<aesz_metrics::ModelId> {
+        self.get(codec).and_then(|c| c.embedded_model_id())
+    }
+
+    fn lookup_model(
+        &self,
+        id: aesz_metrics::ModelId,
+    ) -> Option<aesz_metrics::container::EmbeddedModel> {
+        self.model_store().lookup(id)
+    }
+}
+
+impl RegistryAccess for SharedRegistry {
+    fn fork_codec(&self, id: CodecId) -> Option<Box<dyn Compressor>> {
+        self.read().fork(id)
+    }
+
+    fn registered_model_id(&self, codec: CodecId) -> Option<aesz_metrics::ModelId> {
+        self.read().get(codec).and_then(|c| c.embedded_model_id())
+    }
+
+    fn lookup_model(
+        &self,
+        id: aesz_metrics::ModelId,
+    ) -> Option<aesz_metrics::container::EmbeddedModel> {
+        self.read().model_store().lookup(id)
+    }
+}
+
 /// A thread-safe registry for long-running services: a [`Registry`] behind
 /// an `RwLock`, plus atomic counters for model-cache observability.
 ///

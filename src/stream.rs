@@ -31,7 +31,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::archive::ArchiveReadError;
 use crate::model_store::build_compressor;
-use crate::registry::Registry;
+use crate::registry::{Registry, RegistryAccess};
 use aesz_metrics::container::{ArchiveHeader, CodecId, EmbeddedModel, ModelId};
 use aesz_metrics::stream::{StreamDecoder, StreamEvent};
 use aesz_metrics::{Compressor, DecompressError};
@@ -87,7 +87,11 @@ struct Deferred {
 /// [`feed`]: StreamFieldDecoder::feed
 /// [`poll`]: StreamFieldDecoder::poll
 pub struct StreamFieldDecoder<'r> {
-    registry: &'r Registry,
+    /// Registry access is per-call ([`RegistryAccess`]): with a
+    /// [`SharedRegistry`](crate::SharedRegistry) behind this reference, no
+    /// lock is ever held between [`poll`](StreamFieldDecoder::poll) calls —
+    /// a caller may block on transport I/O without starving writers.
+    registry: &'r dyn RegistryAccess,
     inner: StreamDecoder,
     header: Option<ArchiveHeader>,
     /// Decoded-but-not-yet-polled output (a model arriving in the tail can
@@ -103,8 +107,10 @@ pub struct StreamFieldDecoder<'r> {
 }
 
 impl<'r> StreamFieldDecoder<'r> {
-    /// A decoder dispatching to `registry`'s codecs and model store.
-    pub fn new(registry: &'r Registry) -> Self {
+    /// A decoder dispatching to `registry`'s codecs and model store — a
+    /// plain [`Registry`] or anything else implementing [`RegistryAccess`]
+    /// (a [`SharedRegistry`](crate::SharedRegistry) for concurrent callers).
+    pub fn new<R: RegistryAccess>(registry: &'r R) -> Self {
         StreamFieldDecoder {
             registry,
             inner: StreamDecoder::new(),
@@ -256,21 +262,48 @@ impl<'r> StreamFieldDecoder<'r> {
                 // The registered instance already holds this exact model.
                 self.registry_hits += 1;
                 self.registry
-                    .fork(codec)
+                    .fork_codec(codec)
                     .ok_or(DecompressError::UnknownCodec(codec as u8))?
             }
             None => self
                 .registry
-                .fork(codec)
+                .fork_codec(codec)
                 .ok_or(DecompressError::UnknownCodec(codec as u8))?,
         };
-        let field = decoder.decompress(&frame).map_err(|e| match e {
+        let wrap = |error: DecompressError| match error {
             miss @ DecompressError::MissingModel { .. } => miss,
             error => DecompressError::CodecFailed {
                 codec,
                 error: Box::new(error),
             },
-        })?;
+        };
+        let field = match decoder.decompress(&frame) {
+            Ok(field) => field,
+            Err(miss @ DecompressError::MissingModel { .. }) => {
+                let Some(id) = model_id else {
+                    return Err(miss);
+                };
+                // With a shared registry each access above takes its own
+                // short lock, so the instance `needs_resolution` vouched for
+                // can be replaced before the fork. Models that were ever
+                // resident are salvaged into the store, so a store retry
+                // usually recovers; otherwise the chunk parks until the
+                // archive's model tail arrives (or fails at finish).
+                match self.resolve(codec, id) {
+                    Some(mut proto) => proto.decompress(&frame).map_err(wrap)?,
+                    None => {
+                        self.deferred.push(Deferred {
+                            index,
+                            codec,
+                            model_id: id,
+                            frame,
+                        });
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(error) => return Err(wrap(error)),
+        };
         Ok(Some(match self.header {
             Some(h) => StreamOutput::Chunk(BlockSpec::of(h.dims, h.chunk, index), field),
             None => StreamOutput::Field(field),
@@ -280,7 +313,7 @@ impl<'r> StreamFieldDecoder<'r> {
     /// Does decoding a `codec` stream naming model `id` need a prototype
     /// beyond the registered instance?
     fn needs_resolution(&self, codec: CodecId, id: ModelId) -> bool {
-        self.registry.get(codec).and_then(|c| c.embedded_model_id()) != Some(id)
+        self.registry.registered_model_id(codec) != Some(id)
     }
 
     /// A decoder holding model `id`: a fork of an already-built prototype,
@@ -291,8 +324,7 @@ impl<'r> StreamFieldDecoder<'r> {
         }
         let model = self
             .registry
-            .model_store()
-            .lookup(id)
+            .lookup_model(id)
             .filter(|m| m.codec() == codec)?;
         let proto = build_compressor(&model).ok()?;
         let fork = proto.fork();
