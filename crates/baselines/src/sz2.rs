@@ -36,10 +36,18 @@ impl Sz2 {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    fn valid_block(field: &Field, spec: &BlockSpec) -> Vec<f32> {
-        field.read_block_valid(spec)
-    }
+/// Per-call scratch buffers reused across every block of one payload, so the
+/// per-block loop performs no heap allocation after the first block warms the
+/// buffers up (see `tests/allocation_discipline.rs`).
+#[derive(Default)]
+struct BlockScratch {
+    valid: Vec<f32>,
+    codes: Vec<u32>,
+    unpredictable: Vec<f32>,
+    recon: Vec<f32>,
+    coeffs: RegressionCoeffs,
 }
 
 impl Compressor for Sz2 {
@@ -67,28 +75,50 @@ impl Compressor for Sz2 {
         // Extra section: per-block flag (1 bit per block, packed) + coefficients.
         let mut flags = vec![0u8; specs.len().div_ceil(8)];
         let mut coeff_bytes: Vec<u8> = Vec::new();
+        let mut scratch = BlockScratch::default();
         for (bi, spec) in specs.iter().enumerate() {
-            let valid = Self::valid_block(field, spec);
-            // Choose by comparing l1 losses of ideal predictions.
-            let lorenzo_loss: f64 = valid
-                .iter()
-                .zip(lorenzo::ideal_predictions(&valid, &spec.size).iter())
-                .map(|(&a, &b)| (a as f64 - b as f64).abs())
-                .sum();
-            let reg_loss = regression::l1_loss(&valid, &spec.size);
+            field.read_block_valid_into(spec, &mut scratch.valid);
+            let valid = &scratch.valid;
+            // Choose by comparing l1 losses of ideal predictions. The fit
+            // is computed once into scratch and reused for compression —
+            // `l1_loss` / `compress_into` would each refit identically.
+            let lorenzo_loss = lorenzo::l1_loss(valid, &spec.size);
+            regression::fit_into(valid, &spec.size, &mut scratch.coeffs);
+            let reg_loss = regression::l1_loss_with(&scratch.coeffs, valid, &spec.size);
             let use_regression = reg_loss < lorenzo_loss && spec.valid_len() > spec.size.len() + 1;
-            let (blk, _recon) = if use_regression {
-                flags[bi / 8] |= 1 << (bi % 8);
-                let (coeffs, blk, recon) = regression::compress(&valid, &spec.size, &quantizer);
-                for v in coeffs.to_vec() {
+            if use_regression {
+                if let Some(byte) = flags.get_mut(bi / 8) {
+                    *byte |= 1 << (bi % 8);
+                }
+                regression::compress_with_coeffs_into(
+                    &scratch.coeffs,
+                    valid,
+                    &spec.size,
+                    &quantizer,
+                    &mut scratch.codes,
+                    &mut scratch.unpredictable,
+                    &mut scratch.recon,
+                );
+                let coeffs = &scratch.coeffs;
+                for &v in coeffs
+                    .slopes
+                    .iter()
+                    .chain(std::iter::once(&coeffs.intercept))
+                {
                     coeff_bytes.extend_from_slice(&v.to_le_bytes());
                 }
-                (blk, recon)
             } else {
-                lorenzo::compress(&valid, &spec.size, &quantizer)
-            };
-            all.codes.extend_from_slice(&blk.codes);
-            all.unpredictable.extend_from_slice(&blk.unpredictable);
+                lorenzo::compress_into(
+                    valid,
+                    &spec.size,
+                    &quantizer,
+                    &mut scratch.codes,
+                    &mut scratch.unpredictable,
+                    &mut scratch.recon,
+                );
+            }
+            all.codes.extend_from_slice(&scratch.codes);
+            all.unpredictable.extend_from_slice(&scratch.unpredictable);
         }
 
         let mut extra = Vec::new();
@@ -120,7 +150,7 @@ impl Compressor for Sz2 {
         // on allocation.
         if block_size == 0
             || (block_size as u64)
-                .checked_pow(header.dims.rank() as u32)
+                .checked_pow(u32::try_from(header.dims.rank()).unwrap_or(u32::MAX))
                 .is_none_or(|v| v > crate::common::MAX_FIELD_ELEMS as u64)
         {
             return Err(DecompressError::InvalidHeader("block size"));
@@ -142,7 +172,7 @@ impl Compressor for Sz2 {
             ));
         }
         let n_regression: usize = (0..specs.len())
-            .filter(|bi| flags[bi / 8] >> (bi % 8) & 1 == 1)
+            .filter(|bi| flags.get(bi / 8).is_some_and(|b| b >> (bi % 8) & 1 == 1))
             .count();
         let expected_coeffs = n_regression * (rank + 1) * 4;
         let coeff_bytes = decompress_bytes_capped(coeff_section, expected_coeffs)?;
@@ -160,61 +190,44 @@ impl Compressor for Sz2 {
         let mut code_pos = 0usize;
         let mut unpred_pos = 0usize;
         let mut coeff_pos = 0usize;
+        let mut valid: Vec<f32> = Vec::new();
+        let mut block_coeffs = RegressionCoeffs::default();
         for (bi, spec) in specs.iter().enumerate() {
             let n = spec.valid_len();
             let codes = all
                 .codes
                 .get(code_pos..code_pos + n)
-                .ok_or(DecompressError::Inconsistent("codes underrun"))?
-                .to_vec();
+                .ok_or(DecompressError::Inconsistent("codes underrun"))?;
             code_pos += n;
             let escapes = codes.iter().filter(|&&c| c == 0).count();
             let unpredictable = all
                 .unpredictable
                 .get(unpred_pos..unpred_pos + escapes)
-                .ok_or(DecompressError::Inconsistent("unpredictable underrun"))?
-                .to_vec();
+                .ok_or(DecompressError::Inconsistent("unpredictable underrun"))?;
             unpred_pos += escapes;
-            let blk = QuantizedBlock {
-                codes,
-                unpredictable,
-            };
-            let use_regression = flags[bi / 8] >> (bi % 8) & 1 == 1;
-            let valid = if use_regression {
-                let c = RegressionCoeffs::from_slice(&coeffs[coeff_pos..coeff_pos + rank + 1]);
+            let use_regression = flags.get(bi / 8).is_some_and(|b| b >> (bi % 8) & 1 == 1);
+            if use_regression {
+                // Sized exactly by the `expected_coeffs` check above, but read
+                // through `get` so the invariant is local, not load-bearing.
+                let section = coeffs
+                    .get(coeff_pos..coeff_pos + rank + 1)
+                    .ok_or(DecompressError::Inconsistent("coefficient underrun"))?;
+                block_coeffs.copy_from_slice(section);
                 coeff_pos += rank + 1;
-                regression::decompress(&c, &blk, &spec.size, &quantizer)
+                regression::decompress_into(
+                    &block_coeffs,
+                    codes,
+                    unpredictable,
+                    &spec.size,
+                    &quantizer,
+                    &mut valid,
+                );
             } else {
-                lorenzo::decompress(&blk, &spec.size, &quantizer)
-            };
-            // Write back the valid region (no padding involved here).
-            let mut padded = vec![0.0f32; spec.padded_len(rank)];
-            let b = spec.nominal;
-            let mut it = valid.iter();
-            match rank {
-                1 => {
-                    for slot in padded.iter_mut().take(spec.size[0]) {
-                        *slot = *it.next().expect("size");
-                    }
-                }
-                2 => {
-                    for y in 0..spec.size[0] {
-                        for x in 0..spec.size[1] {
-                            padded[y * b + x] = *it.next().expect("size");
-                        }
-                    }
-                }
-                _ => {
-                    for z in 0..spec.size[0] {
-                        for y in 0..spec.size[1] {
-                            for x in 0..spec.size[2] {
-                                padded[(z * b + y) * b + x] = *it.next().expect("size");
-                            }
-                        }
-                    }
-                }
+                lorenzo::decompress_into(codes, unpredictable, &spec.size, &quantizer, &mut valid);
             }
-            field.write_block(spec, &padded);
+            // Write back the valid region directly; blocks partition the
+            // field, so no padded staging buffer is needed.
+            field.write_block_valid(spec, &valid);
         }
         Ok(field)
     }

@@ -44,8 +44,45 @@ impl BitWriter {
     }
 
     /// Append the `n` low bits of `value`, LSB first. `n` must be ≤ 64.
+    ///
+    /// Batched form of [`BitWriter::write_bits_reference`]: the partial
+    /// final byte is topped up with one masked OR, whole bytes are pushed
+    /// directly, and at most one trailing partial byte remains. Bit-identity
+    /// with the per-bit reference is locked by `tests/kernel_differential.rs`.
     #[inline]
     pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        let mut v = value;
+        let mut rem = n;
+        // Top up the partial final byte so the byte loop starts aligned.
+        if self.bit_pos != 0 && rem > 0 {
+            let take = (8 - self.bit_pos).min(rem);
+            let mask = (1u16 << take) - 1;
+            if let Some(last) = self.buf.last_mut() {
+                *last |= (((v as u16) & mask) as u8) << self.bit_pos;
+            }
+            v = v.wrapping_shr(u32::from(take));
+            rem -= take;
+            self.bit_pos = (self.bit_pos + take) & 7;
+        }
+        // Whole bytes straight into the buffer.
+        while rem >= 8 {
+            self.buf.push((v & 0xFF) as u8);
+            v >>= 8;
+            rem -= 8;
+        }
+        // Trailing partial byte.
+        if rem > 0 {
+            let mask = (1u16 << rem) - 1;
+            self.buf.push(((v as u16) & mask) as u8);
+            self.bit_pos = rem;
+        }
+    }
+
+    /// Scalar per-bit twin of [`BitWriter::write_bits`]; the differential
+    /// harness drives both on identical inputs.
+    #[inline]
+    pub fn write_bits_reference(&mut self, value: u64, n: u8) {
         debug_assert!(n <= 64);
         for i in 0..n {
             self.write_bit((value >> i) & 1 == 1);
@@ -104,8 +141,42 @@ impl<'a> BitReader<'a> {
     }
 
     /// Read `n` bits (LSB first); returns `None` if the buffer runs out.
+    ///
+    /// Batched form of [`BitReader::read_bits_reference`]: up to eight bits
+    /// are extracted per byte with one shift-and-mask. On exhaustion it
+    /// reproduces the reference failure state exactly (every remaining bit
+    /// consumed: `byte_pos == buf.len()`, `bit_pos == 0`, returns `None`).
     #[inline]
     pub fn read_bits(&mut self, n: u8) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if usize::from(n) > self.bits_remaining() {
+            // The per-bit reference consumes all remaining bits before
+            // reporting None; mirror that state.
+            self.byte_pos = self.buf.len();
+            self.bit_pos = 0;
+            return None;
+        }
+        let mut value = 0u64;
+        let mut got = 0u8;
+        while got < n {
+            let byte = u64::from(*self.buf.get(self.byte_pos)?);
+            let take = (8 - self.bit_pos).min(n - got);
+            let chunk = (byte >> self.bit_pos) & ((1u64 << take) - 1);
+            value |= chunk << got;
+            got += take;
+            self.bit_pos += take;
+            if self.bit_pos == 8 {
+                self.bit_pos = 0;
+                self.byte_pos += 1;
+            }
+        }
+        Some(value)
+    }
+
+    /// Scalar per-bit twin of [`BitReader::read_bits`]; the differential
+    /// harness drives both on identical inputs.
+    #[inline]
+    pub fn read_bits_reference(&mut self, n: u8) -> Option<u64> {
         debug_assert!(n <= 64);
         let mut value = 0u64;
         for i in 0..n {
@@ -114,6 +185,32 @@ impl<'a> BitReader<'a> {
             }
         }
         Some(value)
+    }
+
+    /// Look at the next `n` bits (LSB first) without consuming them. Bits
+    /// past the end of the buffer read as zero — callers gate on
+    /// [`BitReader::bits_remaining`] before trusting the full window.
+    /// `n` must be ≤ 57 so one eight-byte load covers any `bit_pos`.
+    #[inline]
+    pub fn peek_bits(&self, n: u8) -> u64 {
+        debug_assert!(n <= 57);
+        let mut word = [0u8; 8];
+        for (dst, src) in word.iter_mut().zip(self.buf.iter().skip(self.byte_pos)) {
+            *dst = *src;
+        }
+        let raw = u64::from_le_bytes(word) >> self.bit_pos;
+        raw & ((1u64 << n) - 1)
+    }
+
+    /// Advance the cursor by `n` bits (the consuming half of a
+    /// peek-then-commit decode step). `n` must not exceed
+    /// [`BitReader::bits_remaining`].
+    #[inline]
+    pub fn consume(&mut self, n: u8) {
+        debug_assert!(usize::from(n) <= self.bits_remaining());
+        let total = usize::from(self.bit_pos) + usize::from(n);
+        self.byte_pos = (self.byte_pos + total / 8).min(self.buf.len());
+        self.bit_pos = (total % 8) as u8;
     }
 
     /// Number of whole bits remaining (counting padding in the final byte).
@@ -176,6 +273,58 @@ mod tests {
         assert_eq!(w.bit_len(), 8);
         w.write_bit(true);
         assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn batched_writer_matches_reference() {
+        let values = [
+            (0u64, 0u8),
+            (1, 1),
+            (0b101, 3),
+            (0xABCD, 16),
+            (0xDEAD_BEEF, 37),
+            (u64::MAX, 64),
+            (u64::MAX, 57),
+        ];
+        let mut fast = BitWriter::new();
+        let mut slow = BitWriter::new();
+        for &(v, n) in &values {
+            fast.write_bits(v, n);
+            slow.write_bits_reference(v, n);
+            assert_eq!(fast.as_bytes(), slow.as_bytes());
+            assert_eq!(fast.bit_len(), slow.bit_len());
+        }
+    }
+
+    #[test]
+    fn batched_reader_matches_reference_including_failure_state() {
+        let bytes = [0xA5u8, 0x3C, 0xFF];
+        let mut fast = BitReader::new(&bytes);
+        let mut slow = BitReader::new(&bytes);
+        for n in [3u8, 7, 1, 8, 6] {
+            assert_eq!(fast.read_bits(n), slow.read_bits_reference(n));
+            assert_eq!(fast.bits_remaining(), slow.bits_remaining());
+        }
+        // One bit left; asking for more must fail identically and leave
+        // both readers fully drained.
+        assert_eq!(fast.read_bits(4), slow.read_bits_reference(4));
+        assert_eq!(fast.bits_remaining(), 0);
+        assert_eq!(slow.bits_remaining(), 0);
+    }
+
+    #[test]
+    fn peek_then_consume_matches_read_bits() {
+        let bytes = [0xA5u8, 0x3C, 0xFF, 0x01];
+        let mut peeker = BitReader::new(&bytes);
+        let mut reader = BitReader::new(&bytes);
+        for n in [5u8, 11, 3, 9] {
+            let peeked = peeker.peek_bits(n);
+            peeker.consume(n);
+            assert_eq!(Some(peeked), reader.read_bits(n));
+            assert_eq!(peeker.bits_remaining(), reader.bits_remaining());
+        }
+        // Peeking past the end pads with zeros.
+        assert_eq!(peeker.peek_bits(16), reader.read_bits(4).unwrap_or(0));
     }
 
     #[test]

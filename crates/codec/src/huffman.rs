@@ -13,6 +13,22 @@ use std::collections::HashMap;
 /// Maximum code length we allow before rescaling frequencies.
 const MAX_CODE_LEN: u8 = 56;
 
+/// Upper bound (exclusive) on symbol values served by the dense encode
+/// tables. Covers the full quantizer alphabet (65,536 bins plus escape)
+/// with headroom; wider alphabets take the hash-map reference path.
+const DENSE_SYMBOL_LIMIT: usize = 1 << 17;
+
+/// Window width (bits) of the flattened decode LUT: one peek of this many
+/// bits resolves any code of length ≤ `LUT_BITS` in a single table probe.
+const LUT_BITS: u8 = 12;
+const LUT_SIZE: usize = 1 << 12;
+/// Sentinel for unclaimed LUT slots (impossible entry: the length byte of a
+/// real entry is 1..=56, never 0xFF).
+const LUT_EMPTY: u64 = u64::MAX;
+/// Streams with fewer symbols than this decode straight through the
+/// reference loop — building the LUT would cost more than it saves.
+const LUT_MIN_SYMBOLS: usize = 512;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct HeapNode {
     weight: u64,
@@ -118,7 +134,96 @@ fn canonical_codes(lengths: &[(u32, u8)]) -> HashMap<u32, (u64, u8)> {
 /// Encode a slice of symbols. The output is self-describing (header with the
 /// canonical table plus the packed code stream) and decodable with
 /// [`huffman_decode`].
+///
+/// Fast path for compact alphabets (symbols < [`DENSE_SYMBOL_LIMIT`], which
+/// covers every quantizer stream): frequencies are counted into a dense
+/// array instead of a hash map, and emission goes through a dense
+/// symbol-indexed table of pre-reversed codes so each symbol is one batched
+/// [`BitWriter::write_bits`] call instead of a per-bit loop. Output bytes
+/// are identical to [`huffman_encode_reference`] — scanning the dense count
+/// array in index order yields exactly the sorted `(symbol, weight)` list
+/// the reference builds, and writing the bit-reversed code LSB-first equals
+/// writing the code MSB-first. `tests/kernel_differential.rs` locks this.
 pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    let Some(&max_sym) = symbols.iter().max() else {
+        return huffman_encode_reference(symbols);
+    };
+    let dense_len = match usize::try_from(max_sym) {
+        Ok(max_idx) if max_idx < DENSE_SYMBOL_LIMIT => (max_idx + 1).min(DENSE_SYMBOL_LIMIT),
+        _ => return huffman_encode_reference(symbols),
+    };
+    let mut counts = vec![0u64; dense_len];
+    for &s in symbols {
+        if let Some(slot) = usize::try_from(s).ok().and_then(|i| counts.get_mut(i)) {
+            *slot += 1;
+        }
+    }
+    let mut freqs: Vec<(u32, u64)> = Vec::new();
+    for (i, &w) in counts.iter().enumerate() {
+        if w != 0 {
+            freqs.push((u32::try_from(i).unwrap_or(u32::MAX), w));
+        }
+    }
+
+    let mut lengths = code_lengths(&freqs);
+    if lengths.iter().any(|&(_, l)| l > MAX_CODE_LEN) {
+        let rescaled: Vec<(u32, u64)> = freqs
+            .iter()
+            .map(|&(s, w)| (s, (w as f64).sqrt().ceil() as u64))
+            .collect();
+        lengths = code_lengths(&rescaled);
+    }
+    let codes = canonical_codes(&lengths);
+
+    let mut out = Vec::new();
+    write_uvarint(&mut out, symbols.len() as u64);
+    write_uvarint(&mut out, lengths.len() as u64);
+    let mut sorted = lengths.clone();
+    sorted.sort_unstable_by_key(|&(sym, _)| sym);
+    let mut prev = 0u64;
+    for &(sym, len) in &sorted {
+        write_uvarint(&mut out, sym as u64 - prev);
+        out.push(len);
+        prev = sym as u64;
+    }
+
+    if lengths.len() <= 1 {
+        write_uvarint(&mut out, 0);
+        return out;
+    }
+
+    // Dense emission table: entry = (bit-reversed code << 8) | length, so
+    // the hot loop is one lookup plus one batched write per symbol. A
+    // length byte of zero marks "no code" and is unreachable for any input
+    // symbol (the table was built from them).
+    let mut emit = vec![0u64; dense_len.min(DENSE_SYMBOL_LIMIT)];
+    for (&sym, &(code, len)) in &codes {
+        let rev = code.reverse_bits() >> (64 - u32::from(len.max(1)));
+        if let Some(slot) = usize::try_from(sym).ok().and_then(|i| emit.get_mut(i)) {
+            *slot = (rev << 8) | u64::from(len);
+        }
+    }
+    let mut bits = BitWriter::with_capacity(symbols.len() / 2 + 16);
+    for &s in symbols {
+        let entry = usize::try_from(s)
+            .ok()
+            .and_then(|i| emit.get(i))
+            .copied()
+            .unwrap_or(0);
+        debug_assert!(entry != 0, "every input symbol has a code");
+        bits.write_bits(entry >> 8, (entry & 0xFF) as u8);
+    }
+    let payload = bits.into_bytes();
+    write_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Scalar twin of [`huffman_encode`]: hash-map frequency counting and
+/// per-bit MSB-first emission. Also serves as the fallback for alphabets
+/// too wide for the dense tables. The differential harness asserts both
+/// paths produce identical bytes.
+pub fn huffman_encode_reference(symbols: &[u32]) -> Vec<u8> {
     let mut freq: HashMap<u32, u64> = HashMap::new();
     for &s in symbols {
         *freq.entry(s).or_insert(0) += 1;
@@ -240,10 +345,134 @@ pub fn huffman_decode_capped(buf: &[u8], max_symbols: usize) -> Option<Vec<u32>>
         decode.insert((len, code), sym);
         max_len = max_len.max(len);
     }
+    // Flattened LUT: peeking LUT_BITS bits resolves any code of length
+    // ≤ LUT_BITS in one probe. Short streams skip the build cost.
+    let lut = if count >= LUT_MIN_SYMBOLS {
+        Some(build_decode_lut(&codes))
+    } else {
+        None
+    };
 
     // Each symbol consumes at least one payload bit; clamp the hint so a
     // corrupt count cannot force a huge allocation before the bit reader
     // runs out of input.
+    let mut out = Vec::with_capacity(count.min(payload.len().saturating_mul(8)));
+    let mut reader = BitReader::new(payload);
+    'symbols: while out.len() < count {
+        if let Some(lut) = &lut {
+            if reader.bits_remaining() >= usize::from(LUT_BITS) {
+                let window = reader.peek_bits(LUT_BITS);
+                let entry = usize::try_from(window)
+                    .ok()
+                    .and_then(|i| lut.get(i))
+                    .copied()
+                    .unwrap_or(LUT_EMPTY);
+                if entry != LUT_EMPTY {
+                    reader.consume((entry & 0xFF) as u8);
+                    out.push(u32::try_from(entry >> 8).ok()?);
+                    continue 'symbols;
+                }
+            }
+        }
+        // Long-code / stream-tail fallback: the scalar reference loop, one
+        // bit at a time against the (length, code) map. A LUT miss leaves
+        // the reader untouched, so this re-reads the same bits the peek saw.
+        let mut code: u64 = 0;
+        let mut len: u8 = 0;
+        loop {
+            let bit = reader.read_bit()?;
+            code = (code << 1) | u64::from(bit);
+            len += 1;
+            if len > max_len {
+                return None;
+            }
+            if let Some(&sym) = decode.get(&(len, code)) {
+                out.push(sym);
+                continue 'symbols;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Build the flattened decode LUT: for every window value whose leading
+/// bits spell a code of length ≤ [`LUT_BITS`] (MSB-first in code space,
+/// which is LSB-first in the reader's peek window), store
+/// `(symbol << 8) | length`. Slots are claimed in ascending
+/// `(length, code)` order and never overwritten, so the shortest matching
+/// code wins — exactly the reference loop's first-match semantics. Entries
+/// whose code value overflows its own length (possible only for hostile
+/// over-full tables) are unreachable in the reference and are skipped here.
+fn build_decode_lut(codes: &HashMap<u32, (u64, u8)>) -> Vec<u64> {
+    let mut entries: Vec<(u8, u64, u32)> = codes
+        .iter()
+        .filter(|&(_, &(code, len))| len <= LUT_BITS && code >> len == 0)
+        .map(|(&sym, &(code, len))| (len, code, sym))
+        .collect();
+    entries.sort_unstable();
+    let mut lut = vec![LUT_EMPTY; LUT_SIZE];
+    for &(len, code, sym) in &entries {
+        let rev = code.reverse_bits() >> (64 - u32::from(len.max(1)));
+        let step = 1usize << len.min(LUT_BITS);
+        let mut idx = usize::try_from(rev).unwrap_or(LUT_SIZE);
+        while idx < LUT_SIZE {
+            if let Some(slot) = lut.get_mut(idx) {
+                if *slot == LUT_EMPTY {
+                    *slot = (u64::from(sym) << 8) | u64::from(len);
+                }
+            }
+            idx += step;
+        }
+    }
+    lut
+}
+
+/// Scalar twin of [`huffman_decode_capped`]: identical header parsing and
+/// validation, but the symbol loop reads one bit at a time against the
+/// `(length, code)` map with no LUT. The differential harness asserts both
+/// decoders agree on every stream, hostile inputs included.
+pub fn huffman_decode_capped_reference(buf: &[u8], max_symbols: usize) -> Option<Vec<u32>> {
+    let mut pos = 0usize;
+    let count = read_uvarint(buf, &mut pos)?;
+    if count > max_symbols as u64 {
+        return None;
+    }
+    let count = usize::try_from(count).ok()?;
+    let table_len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
+    if count == 0 {
+        return Some(Vec::new());
+    }
+    if table_len.checked_mul(2)? > buf.len().saturating_sub(pos) {
+        return None;
+    }
+    let mut lengths = Vec::with_capacity(table_len);
+    let mut prev = 0u64;
+    for _ in 0..table_len {
+        let delta = read_uvarint(buf, &mut pos)?;
+        let len = *buf.get(pos)?;
+        pos += 1;
+        if len == 0 || len > MAX_CODE_LEN {
+            return None;
+        }
+        let sym = prev.checked_add(delta)?;
+        lengths.push((u32::try_from(sym).ok()?, len));
+        prev = sym;
+    }
+    let payload_len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
+    let payload = buf.get(pos..pos.checked_add(payload_len)?)?;
+
+    if table_len == 1 {
+        return Some(vec![lengths[0].0; count]);
+    }
+
+    let codes = canonical_codes(&lengths);
+    let mut decode: HashMap<(u8, u64), u32> = HashMap::with_capacity(codes.len());
+    let mut max_len = 0u8;
+    for (&sym, &(code, len)) in &codes {
+        decode.insert((len, code), sym);
+        max_len = max_len.max(len);
+    }
+
     let mut out = Vec::with_capacity(count.min(payload.len().saturating_mul(8)));
     let mut reader = BitReader::new(payload);
     let mut code: u64 = 0;
@@ -380,5 +609,74 @@ mod tests {
     fn determinism() {
         let data: Vec<u32> = (0..4096).map(|i| i % 97).collect();
         assert_eq!(huffman_encode(&data), huffman_encode(&data));
+    }
+
+    #[test]
+    fn dense_encode_matches_reference() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![7; 1000],
+            (0..257).map(|i| if i % 3 == 0 { 5 } else { 9 }).collect(),
+            (0..10_000u32)
+                .map(|i| if i % 20 == 0 { 32768 + (i % 7) } else { 32768 })
+                .collect(),
+            (0..5000)
+                .map(|i| (i * 2654435761u64 % 60000) as u32)
+                .collect(),
+            // Beyond the dense limit: both sides take the hash-map path.
+            vec![u32::MAX, 0, u32::MAX, 1],
+        ];
+        for data in cases {
+            assert_eq!(huffman_encode(&data), huffman_encode_reference(&data));
+        }
+    }
+
+    #[test]
+    fn lut_decode_matches_reference() {
+        // Large enough that the LUT path is active (count ≥ 512) with a
+        // wide alphabet so both short and long codes occur.
+        let data: Vec<u32> = (0..20_000u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    100
+                } else {
+                    (i * 2654435761 % 60000) as u32
+                }
+            })
+            .collect();
+        let enc = huffman_encode(&data);
+        assert_eq!(
+            huffman_decode_capped(&enc, usize::MAX),
+            huffman_decode_capped_reference(&enc, usize::MAX)
+        );
+        assert_eq!(huffman_decode(&enc), Some(data));
+        // Truncated streams must fail identically.
+        let cut = &enc[..enc.len() - 4];
+        assert_eq!(
+            huffman_decode_capped(cut, usize::MAX),
+            huffman_decode_capped_reference(cut, usize::MAX)
+        );
+    }
+
+    #[test]
+    fn hostile_overfull_table_decodes_identically() {
+        // Hand-built header: 3 symbols all claiming length 1 (violates
+        // Kraft). The canonical assignment gives the third symbol a code
+        // value that overflows its length; both decoders must treat it as
+        // unreachable and agree bit for bit.
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 600); // count (LUT path active)
+        write_uvarint(&mut buf, 3); // table_len
+        for delta in [0u64, 1, 1] {
+            write_uvarint(&mut buf, delta);
+            buf.push(1); // length 1 for every symbol
+        }
+        let payload = vec![0b0101_0101u8; 80];
+        write_uvarint(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            huffman_decode_capped(&buf, usize::MAX),
+            huffman_decode_capped_reference(&buf, usize::MAX)
+        );
     }
 }

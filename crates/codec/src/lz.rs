@@ -195,6 +195,63 @@ pub fn zlite_decompress_capped(buf: &[u8], max_len: usize) -> Option<Vec<u8>> {
                     return None;
                 }
                 let start = out.len() - dist;
+                if dist >= len {
+                    // Disjoint source: one bulk copy. The range is in
+                    // bounds by the validation above (start + len ≤
+                    // out.len() exactly when len ≤ dist).
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping copy (common for runs): the source grows
+                    // as we append, so copy in doubling chunks — each
+                    // chunk's source range ends at the pre-chunk length.
+                    let mut src = start;
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let chunk = (out.len() - src).min(remaining);
+                        out.extend_from_within(src..src + chunk);
+                        src += chunk;
+                        remaining -= chunk;
+                    }
+                }
+            }
+            _ => return None,
+        }
+    }
+    if out.len() == original_len {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Scalar twin of [`zlite_decompress_capped`]: identical parsing and
+/// validation, with matches copied one byte at a time. The differential
+/// harness asserts both decoders agree on every stream.
+pub fn zlite_decompress_capped_reference(buf: &[u8], max_len: usize) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let original_len = read_uvarint(buf, &mut pos)?;
+    if original_len > max_len as u64 {
+        return None;
+    }
+    let original_len = usize::try_from(original_len).ok()?;
+    let mut out = Vec::with_capacity(original_len.min(buf.len().saturating_mul(8).max(4096)));
+    while out.len() < original_len {
+        let tag = *buf.get(pos)?;
+        pos += 1;
+        match tag {
+            0x00 => {
+                let len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
+                let bytes = buf.get(pos..pos.checked_add(len)?)?;
+                pos += len;
+                out.extend_from_slice(bytes);
+            }
+            0x01 => {
+                let len = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
+                let dist = usize::try_from(read_uvarint(buf, &mut pos)?).ok()?;
+                if dist == 0 || dist > out.len() || !(MIN_MATCH..=MAX_MATCH).contains(&len) {
+                    return None;
+                }
+                let start = out.len() - dist;
                 // Overlapping copies are valid (and common for runs).
                 for i in 0..len {
                     let b = *out.get(start + i)?;
@@ -299,6 +356,39 @@ mod tests {
         crate::varint::write_uvarint(&mut buf, (MAX_MATCH + 1) as u64);
         crate::varint::write_uvarint(&mut buf, 1);
         assert_eq!(zlite_decompress(&buf), None);
+    }
+
+    #[test]
+    fn bulk_copy_decoder_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![7u8; 100_000],
+            b"abc".iter().cycle().take(3000).copied().collect(),
+            (0..64u8).cycle().take(64 * 200).collect(),
+            (0..50_000).map(|_| rng.gen()).collect(),
+        ];
+        // Structured payload with long aligned repeats.
+        let mut structured = Vec::new();
+        for i in 0..2000u32 {
+            structured.extend_from_slice(&(i / 7).to_le_bytes());
+        }
+        cases.push(structured);
+        for data in &cases {
+            let enc = zlite_compress(data);
+            assert_eq!(
+                zlite_decompress_capped(&enc, usize::MAX),
+                zlite_decompress_capped_reference(&enc, usize::MAX)
+            );
+            // Truncations must fail identically.
+            if enc.len() > 3 {
+                let cut = &enc[..enc.len() - 3];
+                assert_eq!(
+                    zlite_decompress_capped(cut, usize::MAX),
+                    zlite_decompress_capped_reference(cut, usize::MAX)
+                );
+            }
+        }
     }
 
     #[test]

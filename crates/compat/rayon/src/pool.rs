@@ -24,6 +24,17 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A job that receives the index of the worker thread executing it —
+/// the key into [`WorkerLocal`] state. Stolen jobs get the *stealing*
+/// worker's index, so the key always names the thread actually running.
+pub type TaggedJob = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// Internal queue entry: a plain job or a worker-index-aware one.
+enum Task {
+    Plain(Job),
+    Tagged(TaggedJob),
+}
+
 /// Returned by [`WorkPool::try_execute`] when the in-flight cap is reached.
 /// Carries the job back so the caller can retry or drop it deliberately.
 pub struct PoolFull(pub Job);
@@ -34,8 +45,57 @@ impl std::fmt::Debug for PoolFull {
     }
 }
 
+/// [`PoolFull`] for [`WorkPool::try_execute_with`] submissions.
+pub struct PoolFullTagged(pub TaggedJob);
+
+impl std::fmt::Debug for PoolFullTagged {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolFullTagged(..)")
+    }
+}
+
+/// Fixed-size per-worker-thread state for jobs submitted through
+/// [`WorkPool::try_execute_with`]: slot `i` belongs to worker `i`.
+///
+/// Only the worker whose index keys a slot ever locks it while the pool is
+/// running (one thread runs one job at a time), so the mutexes are
+/// uncontended in steady state; they exist so the container is `Sync` and
+/// so external threads (stats, tests) can inspect slots safely.
+pub struct WorkerLocal<T> {
+    slots: Vec<Mutex<T>>,
+}
+
+impl<T> WorkerLocal<T> {
+    /// One slot per worker, each built by `init`.
+    pub fn with(workers: usize, mut init: impl FnMut() -> T) -> WorkerLocal<T> {
+        WorkerLocal {
+            slots: (0..workers.max(1)).map(|_| Mutex::new(init())).collect(),
+        }
+    }
+
+    /// Number of slots (== the pool's worker count it was sized for).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lock worker `worker`'s slot; `None` when the index is out of range.
+    /// Poisoned slots are recovered, matching the pool's own lock policy.
+    pub fn get(&self, worker: usize) -> Option<std::sync::MutexGuard<'_, T>> {
+        self.slots
+            .get(worker)
+            .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl<T: Default> WorkerLocal<T> {
+    /// One default-initialised slot per worker.
+    pub fn new(workers: usize) -> WorkerLocal<T> {
+        Self::with(workers, T::default)
+    }
+}
+
 struct Shared {
-    queues: Vec<Mutex<VecDeque<Job>>>,
+    queues: Vec<Mutex<VecDeque<Task>>>,
     /// Jobs accepted but not yet finished (queued + running).
     in_flight: AtomicUsize,
     /// Submission cap on `in_flight`.
@@ -91,12 +151,31 @@ impl WorkPool {
     /// Submit a job, or return it inside [`PoolFull`] when the in-flight
     /// cap is reached. Never blocks.
     pub fn try_execute(&self, job: Job) -> Result<(), PoolFull> {
-        // Reserve a slot first; roll back on failure so the counter can
-        // never leak past `max_in_flight`.
+        if !self.reserve_slot() {
+            return Err(PoolFull(job));
+        }
+        self.push_task(Task::Plain(job));
+        Ok(())
+    }
+
+    /// Submit a job that receives the executing worker's index (the key
+    /// into a [`WorkerLocal`] sized for this pool), or return it inside
+    /// [`PoolFullTagged`] at the cap. Never blocks.
+    pub fn try_execute_with(&self, job: TaggedJob) -> Result<(), PoolFullTagged> {
+        if !self.reserve_slot() {
+            return Err(PoolFullTagged(job));
+        }
+        self.push_task(Task::Tagged(job));
+        Ok(())
+    }
+
+    /// Reserve an in-flight slot; `false` at the cap. CAS loop so the
+    /// counter can never leak past `max_in_flight` under races.
+    fn reserve_slot(&self) -> bool {
         let mut seen = self.shared.in_flight.load(Ordering::Acquire);
         loop {
             if seen >= self.shared.max_in_flight {
-                return Err(PoolFull(job));
+                return false;
             }
             match self.shared.in_flight.compare_exchange_weak(
                 seen,
@@ -104,22 +183,25 @@ impl WorkPool {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => break,
+                Ok(_) => return true,
                 Err(actual) => seen = actual,
             }
         }
+    }
+
+    /// Enqueue a reserved task round-robin and wake the workers.
+    fn push_task(&self, task: Task) {
         let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
         if let Some(queue) = self.shared.queues.get(slot) {
             let mut guard = queue.lock().unwrap_or_else(|p| p.into_inner());
-            guard.push_back(job);
+            guard.push_back(task);
         } else {
             // Unreachable by construction (slot < queues.len()); undo the
             // reservation rather than lose the slot.
             self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-            return Ok(());
+            return;
         }
         self.shared.wake.notify_all();
-        Ok(())
     }
 
     /// Signal shutdown and join every worker. Jobs already accepted are
@@ -146,7 +228,7 @@ impl Drop for WorkPool {
     }
 }
 
-fn pop_job(shared: &Shared, id: usize) -> Option<Job> {
+fn pop_job(shared: &Shared, id: usize) -> Option<Task> {
     // Own queue first (front: FIFO for fairness)...
     if let Some(queue) = shared.queues.get(id) {
         let mut guard = queue.lock().unwrap_or_else(|p| p.into_inner());
@@ -176,7 +258,10 @@ fn worker_loop(shared: &Shared, id: usize) {
             // Catch the unwind, release the slot, keep serving. Jobs own
             // their captures, so a broken invariant stays inside the
             // panicked job's own state (hence AssertUnwindSafe).
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job {
+                Task::Plain(f) => f(),
+                Task::Tagged(f) => f(id),
+            }));
             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
             continue;
         }
@@ -265,6 +350,65 @@ mod tests {
         rx.recv_timeout(std::time::Duration::from_secs(10))
             .expect("worker alive after panicked jobs");
         pool.close();
+    }
+
+    #[test]
+    fn tagged_jobs_see_a_valid_executing_worker_index() {
+        let pool = WorkPool::new(3, 64);
+        let bad = Arc::new(AtomicUsize::new(0));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..48 {
+            let bad = Arc::clone(&bad);
+            let ran = Arc::clone(&ran);
+            pool.try_execute_with(Box::new(move |worker| {
+                if worker >= 3 {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect("under cap");
+        }
+        pool.close();
+        assert_eq!(ran.load(Ordering::SeqCst), 48);
+        assert_eq!(bad.load(Ordering::SeqCst), 0, "worker index out of range");
+    }
+
+    #[test]
+    fn worker_local_state_persists_across_jobs_without_cross_talk() {
+        let pool = WorkPool::new(2, 64);
+        // Each slot accumulates (count, sum); every job adds its own value
+        // to the slot of the worker running it. If slots leaked across
+        // workers the per-slot counts could not add up to the total.
+        let local = Arc::new(WorkerLocal::<(usize, u64)>::new(pool.workers()));
+        for v in 0..100u64 {
+            let local = Arc::clone(&local);
+            let mut job: TaggedJob = Box::new(move |worker| {
+                if let Some(mut slot) = local.get(worker) {
+                    slot.0 += 1;
+                    slot.1 += v;
+                }
+            });
+            // Spin until the in-flight cap admits the job.
+            loop {
+                match pool.try_execute_with(job) {
+                    Ok(()) => break,
+                    Err(PoolFullTagged(back)) => {
+                        job = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        pool.close();
+        let (mut count, mut sum) = (0usize, 0u64);
+        for w in 0..local.slots() {
+            let slot = local.get(w).expect("slot in range");
+            count += slot.0;
+            sum += slot.1;
+        }
+        assert_eq!(count, 100);
+        assert_eq!(sum, (0..100).sum::<u64>());
+        assert!(local.get(local.slots()).is_none(), "out of range is None");
     }
 
     #[test]

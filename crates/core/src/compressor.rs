@@ -24,7 +24,7 @@ use aesz_codec::{compress_bytes, decode_codes_capped, decompress_bytes_capped, e
 use aesz_metrics::{CodecId, CompressError, Compressor, EmbeddedModel, ErrorBound, ModelId};
 use aesz_nn::models::conv_ae::ConvAutoencoder;
 use aesz_nn::serialize::save_model;
-use aesz_predictors::{lorenzo, mean, QuantizedBlock, Quantizer};
+use aesz_predictors::{lorenzo, mean, Quantizer};
 use aesz_tensor::{BlockSpec, Dims, Field};
 use rayon::prelude::*;
 
@@ -95,12 +95,28 @@ const AE_BATCH: usize = 32;
 /// does not change the network outputs, so this only affects speed/memory.
 const AE_PARALLEL_BATCH: usize = 1024;
 
-/// Everything the per-block compression stage produces for one block.
-struct BlockOut {
-    choice: BlockPredictor,
-    block: QuantizedBlock,
-    /// The stored mean, meaningful only when `choice == Mean`.
-    mean: f32,
+/// Everything the per-block compression stage produces for one *chunk* of
+/// blocks. Chunk-level outputs (instead of per-block `QuantizedBlock`s) keep
+/// the hot loop at O(1) heap allocations per chunk: block-level buffers live
+/// in [`BlockScratch`] and are appended here.
+struct ChunkOut {
+    /// `(predictor choice, block mean)` per block, in block order; the mean
+    /// is meaningful only when the choice is [`BlockPredictor::Mean`].
+    choices: Vec<(BlockPredictor, f32)>,
+    codes: Vec<u32>,
+    unpredictable: Vec<f32>,
+}
+
+/// Scratch buffers reused across every block of one chunk, so the per-block
+/// predictor-selection/quantization loop performs no heap allocation after
+/// the first block warms the buffers up.
+#[derive(Default)]
+struct BlockScratch {
+    valid: Vec<f32>,
+    pred_valid: Vec<f32>,
+    codes: Vec<u32>,
+    unpredictable: Vec<f32>,
+    recon: Vec<f32>,
 }
 
 impl AeSz {
@@ -189,10 +205,12 @@ impl AeSz {
         dims.rank()
     }
 
-    /// Extract the valid-region values of a padded block buffer.
-    fn padded_to_valid(padded: &[f32], spec: &BlockSpec, rank: usize) -> Vec<f32> {
+    /// Extract the valid-region values of a padded block buffer into a
+    /// caller-owned buffer (cleared first) with row-contiguous copies.
+    fn padded_to_valid_into(padded: &[f32], spec: &BlockSpec, rank: usize, out: &mut Vec<f32>) {
         let b = spec.nominal.max(1);
-        let mut out = Vec::with_capacity(spec.valid_len());
+        out.clear();
+        out.reserve(spec.valid_len());
         match rank {
             1 => {
                 out.extend(padded.iter().take(spec.size[0]));
@@ -210,38 +228,6 @@ impl AeSz {
                 }
             }
         }
-        out
-    }
-
-    /// Scatter valid-region values back into a padded block buffer.
-    fn valid_to_padded(valid: &[f32], spec: &BlockSpec, rank: usize) -> Vec<f32> {
-        let b = spec.nominal.max(1);
-        let mut out = vec![0.0f32; spec.padded_len(rank)];
-        let mut it = valid.iter().copied();
-        match rank {
-            1 => {
-                for slot in out.iter_mut().take(spec.size[0]) {
-                    *slot = it.next().unwrap_or(0.0);
-                }
-            }
-            2 => {
-                for row in out.chunks_mut(b).take(spec.size[0]) {
-                    for slot in row.iter_mut().take(spec.size[1]) {
-                        *slot = it.next().unwrap_or(0.0);
-                    }
-                }
-            }
-            _ => {
-                for plane in out.chunks_mut(b * b).take(spec.size[0]) {
-                    for row in plane.chunks_mut(b).take(spec.size[1]) {
-                        for slot in row.iter_mut().take(spec.size[2]) {
-                            *slot = it.next().unwrap_or(0.0);
-                        }
-                    }
-                }
-            }
-        }
-        out
     }
 
     /// Run every block through encoder → latent quantization → decoder in
@@ -410,39 +396,42 @@ impl AeSz {
 
         // --- Per-block predictor selection and quantization, chunked ---
         let policy = self.config.policy;
-        let compute_block = |spec: &BlockSpec, ae_pred: Option<&[f32]>| -> BlockOut {
-            let valid = field.read_block_valid(spec);
+        // Selects the predictor and quantizes one block; the quantized codes
+        // and escapes land in `scratch.codes` / `scratch.unpredictable`.
+        let compute_block = |spec: &BlockSpec,
+                             ae_pred: Option<&[f32]>,
+                             scratch: &mut BlockScratch|
+         -> (BlockPredictor, f32) {
+            field.read_block_valid_into(spec, &mut scratch.valid);
             if range == 0.0 {
                 // Constant field: store the exact constant as the block mean
                 // so reconstruction is bit-exact (see `abs_bound`).
-                let (block, _) = mean::compress(&valid, lo, &quantizer);
-                return BlockOut {
-                    choice: BlockPredictor::Mean,
-                    block,
-                    mean: lo,
-                };
+                mean::compress_into(
+                    &scratch.valid,
+                    lo,
+                    &quantizer,
+                    &mut scratch.codes,
+                    &mut scratch.unpredictable,
+                    &mut scratch.recon,
+                );
+                return (BlockPredictor::Mean, lo);
             }
             // AE candidate: valid-region prediction plus its L1 loss.
-            let ae = ae_pred.map(|pred| {
-                let pred_valid = Self::padded_to_valid(pred, spec, rank);
-                let loss = valid
+            let ae_loss = ae_pred.map(|pred| {
+                Self::padded_to_valid_into(pred, spec, rank, &mut scratch.pred_valid);
+                scratch
+                    .valid
                     .iter()
-                    .zip(pred_valid.iter())
+                    .zip(scratch.pred_valid.iter())
                     .map(|(&a, &b)| (a as f64 - b as f64).abs())
-                    .sum::<f64>();
-                (pred_valid, loss)
+                    .sum::<f64>()
             });
-            let lorenzo_preds = lorenzo::ideal_predictions(&valid, &spec.size);
-            let lorenzo_loss: f64 = valid
-                .iter()
-                .zip(lorenzo_preds.iter())
-                .map(|(&a, &b)| (a as f64 - b as f64).abs())
-                .sum();
-            let mean_value = mean::block_mean(&valid);
-            let mean_loss = mean::mean_l1_loss(&valid);
+            let lorenzo_loss = lorenzo::l1_loss(&scratch.valid, &spec.size);
+            let mean_value = mean::block_mean(&scratch.valid);
+            let mean_loss = mean::mean_l1_loss(&scratch.valid);
 
             let choice = match policy {
-                PredictorPolicy::AeOnly if ae.is_some() => BlockPredictor::Ae,
+                PredictorPolicy::AeOnly if ae_loss.is_some() => BlockPredictor::Ae,
                 PredictorPolicy::LorenzoOnly | PredictorPolicy::AeOnly => {
                     if mean_loss < lorenzo_loss {
                         BlockPredictor::Mean
@@ -452,8 +441,8 @@ impl AeSz {
                 }
                 PredictorPolicy::Adaptive => {
                     let lor_best = lorenzo_loss.min(mean_loss);
-                    match &ae {
-                        Some((_, al)) if *al < lor_best => BlockPredictor::Ae,
+                    match ae_loss {
+                        Some(al) if al < lor_best => BlockPredictor::Ae,
                         _ => {
                             if mean_loss < lorenzo_loss {
                                 BlockPredictor::Mean
@@ -465,48 +454,67 @@ impl AeSz {
                 }
             };
 
-            let block = match (choice, ae) {
-                (BlockPredictor::Ae, Some((pred_valid, _))) => {
-                    let (blk, _) = quantizer.quantize_buffer(&valid, &pred_valid);
-                    blk
-                }
-                (BlockPredictor::Ae, None) | (BlockPredictor::Lorenzo, _) => {
-                    // The first arm pattern is unreachable: `choice` is only
-                    // Ae when an AE prediction exists.
-                    debug_assert!(choice == BlockPredictor::Lorenzo);
-                    let (blk, _) = lorenzo::compress(&valid, &spec.size, &quantizer);
-                    blk
-                }
-                (BlockPredictor::Mean, _) => {
-                    let (blk, _) = mean::compress(&valid, mean_value, &quantizer);
-                    blk
-                }
-            };
-            BlockOut {
-                choice,
-                block,
-                mean: mean_value,
+            match choice {
+                // `choice` is only Ae when an AE prediction exists, so
+                // `scratch.pred_valid` was filled by the loss pass above.
+                BlockPredictor::Ae => quantizer.quantize_buffer_into(
+                    &scratch.valid,
+                    &scratch.pred_valid,
+                    &mut scratch.codes,
+                    &mut scratch.unpredictable,
+                    &mut scratch.recon,
+                ),
+                BlockPredictor::Lorenzo => lorenzo::compress_into(
+                    &scratch.valid,
+                    &spec.size,
+                    &quantizer,
+                    &mut scratch.codes,
+                    &mut scratch.unpredictable,
+                    &mut scratch.recon,
+                ),
+                BlockPredictor::Mean => mean::compress_into(
+                    &scratch.valid,
+                    mean_value,
+                    &quantizer,
+                    &mut scratch.codes,
+                    &mut scratch.unpredictable,
+                    &mut scratch.recon,
+                ),
             }
+            (choice, mean_value)
         };
 
         let chunk = self.config.chunk_blocks.max(1);
-        let mut slots: Vec<Option<BlockOut>> = (0..n_blocks).map(|_| None).collect();
-        let fill_chunk = |ci: usize, out: &mut [Option<BlockOut>]| {
+        let n_chunks = n_blocks.div_ceil(chunk);
+        let mut slots: Vec<Option<ChunkOut>> = (0..n_chunks).map(|_| None).collect();
+        let fill_chunk = |ci: usize| -> ChunkOut {
             let start = ci * chunk;
-            let chunk_specs = specs.get(start..).unwrap_or(&[]);
-            for ((slot, spec), bi) in out.iter_mut().zip(chunk_specs).zip(start..) {
+            let end = (start + chunk).min(n_blocks);
+            let chunk_specs = specs.get(start..end).unwrap_or(&[]);
+            let mut scratch = BlockScratch::default();
+            let mut out = ChunkOut {
+                choices: Vec::with_capacity(chunk_specs.len()),
+                codes: Vec::new(),
+                unpredictable: Vec::new(),
+            };
+            for (spec, bi) in chunk_specs.iter().zip(start..) {
                 let ae_pred = ae_preds.get(bi).map(Vec::as_slice);
-                *slot = Some(compute_block(spec, ae_pred));
+                let (choice, mean_value) = compute_block(spec, ae_pred, &mut scratch);
+                out.choices.push((choice, mean_value));
+                out.codes.extend_from_slice(&scratch.codes);
+                out.unpredictable.extend_from_slice(&scratch.unpredictable);
             }
+            out
         };
         if parallel {
-            slots
-                .par_chunks_mut(chunk)
-                .enumerate()
-                .for_each(|(ci, out)| fill_chunk(ci, out));
+            slots.par_chunks_mut(1).enumerate().for_each(|(ci, group)| {
+                if let Some(slot) = group.first_mut() {
+                    *slot = Some(fill_chunk(ci));
+                }
+            });
         } else {
-            for (ci, out) in slots.chunks_mut(chunk).enumerate() {
-                fill_chunk(ci, out);
+            for (ci, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(fill_chunk(ci));
             }
         }
 
@@ -520,28 +528,32 @@ impl AeSz {
             total_blocks: n_blocks,
             ..CompressionReport::default()
         };
-        for (bi, slot) in slots.into_iter().enumerate() {
+        let mut bi = 0usize;
+        for slot in slots {
             #[expect(clippy::expect_used)]
-            // lint:allow(R1): fill_chunk writes every slot of every chunk
-            // (slots and specs are the same length) before this merge runs
-            let out = slot.expect("every chunk fills its blocks");
-            match out.choice {
-                BlockPredictor::Ae => {
-                    report.ae_blocks += 1;
-                    let idx = latent_indices_per_block
-                        .get(bi)
-                        .map_or(&[][..], Vec::as_slice);
-                    kept_latent_indices.extend_from_slice(idx);
+            // lint:allow(R1): fill_chunk writes every slot (slots covers the
+            // same chunk grid) before this merge runs
+            let out = slot.expect("every chunk fills its slot");
+            for &(choice, mean_value) in &out.choices {
+                match choice {
+                    BlockPredictor::Ae => {
+                        report.ae_blocks += 1;
+                        let idx = latent_indices_per_block
+                            .get(bi)
+                            .map_or(&[][..], Vec::as_slice);
+                        kept_latent_indices.extend_from_slice(idx);
+                    }
+                    BlockPredictor::Lorenzo => report.lorenzo_blocks += 1,
+                    BlockPredictor::Mean => {
+                        report.mean_blocks += 1;
+                        means.push(mean_value);
+                    }
                 }
-                BlockPredictor::Lorenzo => report.lorenzo_blocks += 1,
-                BlockPredictor::Mean => {
-                    report.mean_blocks += 1;
-                    means.push(out.mean);
-                }
+                predictors.push(choice);
+                bi += 1;
             }
-            predictors.push(out.choice);
-            all_codes.extend_from_slice(&out.block.codes);
-            unpredictable.extend_from_slice(&out.block.unpredictable);
+            all_codes.extend_from_slice(&out.codes);
+            unpredictable.extend_from_slice(&out.unpredictable);
         }
 
         // --- Assemble the stream ---
@@ -754,52 +766,82 @@ impl AeSz {
         // --- Chunked parallel reconstruction, then ordered write-back ---
         // Every offset table is exact by the payload checks above, so the
         // lookups below cannot fail; `None` is still surfaced as an error
-        // rather than trusted away.
+        // rather than trusted away. Each chunk reconstructs its blocks
+        // through reused scratch buffers and concatenates the valid-region
+        // values into one buffer (O(1) allocations per chunk).
         let predictors = &stream.predictors;
-        let reconstruct_block = |bi: usize| -> Option<Vec<f32>> {
+        let reconstruct_block = |bi: usize, scratch: &mut BlockScratch| -> Option<()> {
             let spec = specs.get(bi)?;
             let codes = all_codes.get(*code_off.get(bi)?..*code_off.get(bi + 1)?)?;
             let unpred = unpredictable.get(*esc_off.get(bi)?..*esc_off.get(bi + 1)?)?;
-            let blk = QuantizedBlock {
-                codes: codes.to_vec(),
-                unpredictable: unpred.to_vec(),
-            };
-            let valid = match predictors.get(bi)? {
+            match predictors.get(bi)? {
                 BlockPredictor::Ae => {
                     let pred = ae_preds.get(*ae_ord.get(bi)?)?;
-                    let pred_valid = Self::padded_to_valid(pred, spec, rank);
-                    quantizer.dequantize_buffer(&blk, &pred_valid)
+                    Self::padded_to_valid_into(pred, spec, rank, &mut scratch.pred_valid);
+                    quantizer.dequantize_buffer_into(
+                        codes,
+                        unpred,
+                        &scratch.pred_valid,
+                        &mut scratch.valid,
+                    );
                 }
-                BlockPredictor::Lorenzo => lorenzo::decompress(&blk, &spec.size, &quantizer),
+                BlockPredictor::Lorenzo => {
+                    lorenzo::decompress_into(
+                        codes,
+                        unpred,
+                        &spec.size,
+                        &quantizer,
+                        &mut scratch.valid,
+                    );
+                }
                 BlockPredictor::Mean => {
                     let mean = *means.get(*mean_off.get(bi)?)?;
-                    mean::decompress(&blk, mean, &quantizer)
+                    mean::decompress_into(codes, unpred, mean, &quantizer, &mut scratch.valid);
                 }
-            };
-            Some(Self::valid_to_padded(&valid, spec, rank))
+            }
+            Some(())
         };
         let chunk = self.config.chunk_blocks.max(1);
-        let mut padded: Vec<Option<Vec<f32>>> = (0..n_blocks).map(|_| None).collect();
-        let fill_chunk = |ci: usize, out: &mut [Option<Vec<f32>>]| {
-            for (j, slot) in out.iter_mut().enumerate() {
-                *slot = reconstruct_block(ci * chunk + j);
+        let n_chunks = n_blocks.div_ceil(chunk);
+        let mut slots: Vec<Option<Vec<f32>>> = (0..n_chunks).map(|_| None).collect();
+        let fill_chunk = |ci: usize| -> Option<Vec<f32>> {
+            let start = ci * chunk;
+            let end = (start + chunk).min(n_blocks);
+            let mut scratch = BlockScratch::default();
+            let mut buf: Vec<f32> = Vec::new();
+            for bi in start..end {
+                reconstruct_block(bi, &mut scratch)?;
+                buf.extend_from_slice(&scratch.valid);
             }
+            Some(buf)
         };
         if parallel {
-            padded
-                .par_chunks_mut(chunk)
-                .enumerate()
-                .for_each(|(ci, out)| fill_chunk(ci, out));
+            slots.par_chunks_mut(1).enumerate().for_each(|(ci, group)| {
+                if let Some(slot) = group.first_mut() {
+                    *slot = fill_chunk(ci);
+                }
+            });
         } else {
-            for (ci, out) in padded.chunks_mut(chunk).enumerate() {
-                fill_chunk(ci, out);
+            for (ci, slot) in slots.iter_mut().enumerate() {
+                *slot = fill_chunk(ci);
             }
         }
-        for (spec, slot) in specs.iter().zip(padded.iter_mut()) {
+        let mut bi = 0usize;
+        for slot in slots.iter_mut() {
             let buf = slot.take().ok_or(DecompressError::Inconsistent(
                 "internal: block reconstruction left a hole",
             ))?;
-            field.write_block(spec, &buf);
+            let end = (bi + chunk).min(n_blocks);
+            let mut off = 0usize;
+            for spec in specs.get(bi..end).unwrap_or(&[]) {
+                let n = spec.valid_len();
+                let vals = buf.get(off..off + n).ok_or(DecompressError::Inconsistent(
+                    "internal: chunk buffer underrun",
+                ))?;
+                field.write_block_valid(spec, vals);
+                off += n;
+            }
+            bi = end;
         }
         Ok(field)
     }

@@ -91,9 +91,136 @@ fn for_each_coord(extents: &[usize], mut f: impl FnMut(usize, &[usize])) {
     }
 }
 
+/// Region-split Lorenzo scan shared by every optimized kernel in this
+/// module. Expands to row-major loops over `$extents`, invoking the local
+/// macro `$step!(index, prediction_expr)` at each point with the
+/// first-order Lorenzo prediction read from `$buf`.
+///
+/// Out-of-range neighbour terms stay in the expressions as literal `0.0`
+/// in the exact position and order [`predict`] evaluates them: IEEE signed
+/// zeros make `-0.0 + 0.0 == +0.0`, so shortening `left + 0.0 - 0.0` to
+/// `left` would change bits for `-0.0` inputs and, through the encoder's
+/// reconstruction feedback, diverge from the scalar reference.
+macro_rules! lorenzo_scan {
+    ($buf:ident, $extents:ident, $step:ident) => {
+        match $extents.len() {
+            1 => {
+                let n = $extents[0];
+                if n > 0 {
+                    $step!(0, 0.0);
+                }
+                for x in 1..n {
+                    $step!(x, $buf[x - 1]);
+                }
+            }
+            2 => {
+                let (ny, nx) = ($extents[0], $extents[1]);
+                if ny > 0 && nx > 0 {
+                    $step!(0, 0.0 + 0.0 - 0.0);
+                    for x in 1..nx {
+                        $step!(x, $buf[x - 1] + 0.0 - 0.0);
+                    }
+                    for y in 1..ny {
+                        let i = y * nx;
+                        $step!(i, 0.0 + $buf[i - nx] - 0.0);
+                        for x in 1..nx {
+                            let j = i + x;
+                            $step!(j, $buf[j - 1] + $buf[j - nx] - $buf[j - nx - 1]);
+                        }
+                    }
+                }
+            }
+            3 => {
+                let (nz, ny, nx) = ($extents[0], $extents[1], $extents[2]);
+                if nz > 0 && ny > 0 && nx > 0 {
+                    $step!(0, 0.0 + 0.0 + 0.0 - 0.0 - 0.0 - 0.0 + 0.0);
+                    for x in 1..nx {
+                        $step!(x, 0.0 + 0.0 + $buf[x - 1] - 0.0 - 0.0 - 0.0 + 0.0);
+                    }
+                    for y in 1..ny {
+                        let i = y * nx;
+                        $step!(i, 0.0 + $buf[i - nx] + 0.0 - 0.0 - 0.0 - 0.0 + 0.0);
+                        for x in 1..nx {
+                            let j = i + x;
+                            $step!(
+                                j,
+                                0.0 + $buf[j - nx] + $buf[j - 1] - 0.0 - 0.0 - $buf[j - nx - 1]
+                                    + 0.0
+                            );
+                        }
+                    }
+                    let plane = ny * nx;
+                    for z in 1..nz {
+                        let zi = z * plane;
+                        $step!(zi, $buf[zi - plane] + 0.0 + 0.0 - 0.0 - 0.0 - 0.0 + 0.0);
+                        for x in 1..nx {
+                            let j = zi + x;
+                            $step!(
+                                j,
+                                $buf[j - plane] + 0.0 + $buf[j - 1]
+                                    - 0.0
+                                    - $buf[j - plane - 1]
+                                    - 0.0
+                                    + 0.0
+                            );
+                        }
+                        for y in 1..ny {
+                            let i = zi + y * nx;
+                            $step!(
+                                i,
+                                $buf[i - plane] + $buf[i - nx] + 0.0
+                                    - $buf[i - plane - nx]
+                                    - 0.0
+                                    - 0.0
+                                    + 0.0
+                            );
+                            for x in 1..nx {
+                                let j = i + x;
+                                $step!(
+                                    j,
+                                    $buf[j - plane] + $buf[j - nx] + $buf[j - 1]
+                                        - $buf[j - plane - nx]
+                                        - $buf[j - plane - 1]
+                                        - $buf[j - nx - 1]
+                                        + $buf[j - plane - nx - 1]
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            r => panic!("Lorenzo predictor supports rank 1-3, got {r}"),
+        }
+    };
+}
+
 /// "Ideal" Lorenzo predictions computed from the original data (no feedback of
 /// reconstruction error). Used for predictor selection and Fig. 7.
 pub fn ideal_predictions(data: &[f32], extents: &[usize]) -> Vec<f32> {
+    let mut preds = Vec::new();
+    ideal_predictions_into(data, extents, &mut preds);
+    preds
+}
+
+/// [`ideal_predictions`] into a caller-owned buffer (cleared first), so
+/// per-block paths can reuse one allocation across blocks.
+pub fn ideal_predictions_into(data: &[f32], extents: &[usize], preds: &mut Vec<f32>) {
+    let n: usize = extents.iter().product();
+    assert_eq!(data.len(), n, "data length must match extents");
+    preds.clear();
+    preds.resize(n, 0.0);
+    macro_rules! step {
+        ($j:expr, $pred:expr) => {{
+            let p: f32 = $pred;
+            preds[$j] = p;
+        }};
+    }
+    lorenzo_scan!(data, extents, step);
+}
+
+/// Scalar twin of [`ideal_predictions`]: per-point [`predict`] through the
+/// generic coordinate walk. The differential harness drives both.
+pub fn ideal_predictions_reference(data: &[f32], extents: &[usize]) -> Vec<f32> {
     let mut preds = vec![0.0f32; data.len()];
     for_each_coord(extents, |i, coord| {
         preds[i] = predict(data, extents, coord);
@@ -101,11 +228,94 @@ pub fn ideal_predictions(data: &[f32], extents: &[usize]) -> Vec<f32> {
     preds
 }
 
+/// l1 loss of the ideal Lorenzo predictor, fused and allocation-free:
+/// identical to summing `|data[i] − ideal_predictions(data)[i]|` as `f64`
+/// in scan order, without materialising the prediction buffer.
+pub fn l1_loss(data: &[f32], extents: &[usize]) -> f64 {
+    let n: usize = extents.iter().product();
+    assert_eq!(data.len(), n, "data length must match extents");
+    let mut sum = 0.0f64;
+    macro_rules! step {
+        ($j:expr, $pred:expr) => {{
+            let j = $j;
+            let p: f32 = $pred;
+            sum += (data[j] as f64 - p as f64).abs();
+        }};
+    }
+    lorenzo_scan!(data, extents, step);
+    sum
+}
+
 /// Compress a buffer with streaming Lorenzo prediction + linear quantization.
 ///
 /// Returns the quantized block and the reconstruction (the values a decoder
 /// will produce), which respects the quantizer's error bound at every point.
 pub fn compress(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> (QuantizedBlock, Vec<f32>) {
+    let mut codes = Vec::new();
+    let mut unpredictable = Vec::new();
+    let mut recon = Vec::new();
+    compress_into(
+        data,
+        extents,
+        quantizer,
+        &mut codes,
+        &mut unpredictable,
+        &mut recon,
+    );
+    (
+        QuantizedBlock {
+            codes,
+            unpredictable,
+        },
+        recon,
+    )
+}
+
+/// [`compress`] into caller-owned buffers (each cleared first). The
+/// prediction source is the reconstruction buffer as it fills, exactly as
+/// in the scalar reference — feedback of quantization error included.
+pub fn compress_into(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+    codes: &mut Vec<u32>,
+    unpredictable: &mut Vec<f32>,
+    recon: &mut Vec<f32>,
+) {
+    let n: usize = extents.iter().product();
+    assert_eq!(data.len(), n, "data length must match extents");
+    codes.clear();
+    codes.reserve(n);
+    unpredictable.clear();
+    recon.clear();
+    recon.resize(n, 0.0);
+    macro_rules! step {
+        ($j:expr, $pred:expr) => {{
+            let j = $j;
+            let pred: f32 = $pred;
+            match quantizer.quantize(data[j], pred) {
+                Some((code, r)) => {
+                    codes.push(code + 1);
+                    recon[j] = r;
+                }
+                None => {
+                    codes.push(0);
+                    unpredictable.push(data[j]);
+                    recon[j] = data[j];
+                }
+            }
+        }};
+    }
+    lorenzo_scan!(recon, extents, step);
+}
+
+/// Scalar twin of [`compress`]: per-point [`predict`] over the growing
+/// reconstruction through the generic coordinate walk.
+pub fn compress_reference(
     data: &[f32],
     extents: &[usize],
     quantizer: &Quantizer,
@@ -140,6 +350,58 @@ pub fn compress(
 
 /// Decompress a buffer produced by [`compress`] with the same quantizer.
 pub fn decompress(block: &QuantizedBlock, extents: &[usize], quantizer: &Quantizer) -> Vec<f32> {
+    let mut recon = Vec::new();
+    decompress_into(
+        &block.codes,
+        &block.unpredictable,
+        extents,
+        quantizer,
+        &mut recon,
+    );
+    recon
+}
+
+/// [`decompress`] from code/escape slices into a caller-owned buffer
+/// (cleared first), so per-block decode paths reuse one allocation and
+/// never copy the section slices into temporary vectors.
+///
+/// # Panics
+/// Panics when `unpredictable` has fewer entries than escape codes — same
+/// contract as the scalar reference; callers validate counts up front.
+pub fn decompress_into(
+    codes: &[u32],
+    unpredictable: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+    recon: &mut Vec<f32>,
+) {
+    let n: usize = extents.iter().product();
+    assert_eq!(codes.len(), n, "code count must match extents");
+    recon.clear();
+    recon.resize(n, 0.0);
+    let mut un = unpredictable.iter();
+    macro_rules! step {
+        ($j:expr, $pred:expr) => {{
+            let j = $j;
+            let pred: f32 = $pred;
+            let code = codes[j];
+            recon[j] = if code == 0 {
+                *un.next().expect("unpredictable value present")
+            } else {
+                quantizer.dequantize(code - 1, pred)
+            };
+        }};
+    }
+    lorenzo_scan!(recon, extents, step);
+}
+
+/// Scalar twin of [`decompress`]: per-point [`predict`] over the growing
+/// reconstruction through the generic coordinate walk.
+pub fn decompress_reference(
+    block: &QuantizedBlock,
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> Vec<f32> {
     let n: usize = extents.iter().product();
     assert_eq!(block.codes.len(), n, "code count must match extents");
     let mut recon = vec![0.0f32; n];
@@ -241,6 +503,67 @@ mod tests {
     #[should_panic(expected = "rank 1-3")]
     fn rejects_rank_4() {
         predict(&[0.0; 16], &[2, 2, 2, 2], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn optimized_kernels_match_reference_bitwise() {
+        // Signed zeros, denormals and huge values included: the optimized
+        // scan must reproduce the reference bits, not just close values.
+        let tricky = [
+            -0.0f32,
+            0.0,
+            f32::MIN_POSITIVE / 2.0,
+            -1e30,
+            1e30,
+            1.0,
+            -0.0,
+            3.5,
+        ];
+        let cases: Vec<(Vec<f32>, Vec<usize>)> = vec![
+            (tricky.iter().cycle().take(13).copied().collect(), vec![13]),
+            (
+                tricky.iter().cycle().take(35).copied().collect(),
+                vec![5, 7],
+            ),
+            (
+                tricky.iter().cycle().take(60).copied().collect(),
+                vec![3, 4, 5],
+            ),
+            (
+                (0..64).map(|i| (i as f32 * 0.3).sin()).collect(),
+                vec![8, 8],
+            ),
+        ];
+        let q = Quantizer::with_default_bins(1e-3);
+        for (data, extents) in &cases {
+            let fast = ideal_predictions(data, extents);
+            let slow = ideal_predictions_reference(data, extents);
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "ideal predictions diverge for extents {extents:?}"
+            );
+            let loss_fast = l1_loss(data, extents);
+            let loss_slow: f64 = data
+                .iter()
+                .zip(slow.iter())
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum();
+            assert_eq!(loss_fast.to_bits(), loss_slow.to_bits());
+            let (blk_f, rec_f) = compress(data, extents, &q);
+            let (blk_s, rec_s) = compress_reference(data, extents, &q);
+            assert_eq!(blk_f, blk_s);
+            assert_eq!(
+                rec_f.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                rec_s.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            let dec_f = decompress(&blk_f, extents, &q);
+            let dec_s = decompress_reference(&blk_s, extents, &q);
+            assert_eq!(
+                dec_f.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                dec_s.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     proptest! {

@@ -24,12 +24,108 @@ pub fn mean_l1_loss(data: &[f32]) -> f64 {
 
 /// Quantize a block against the constant prediction `mean`.
 pub fn compress(data: &[f32], mean: f32, quantizer: &Quantizer) -> (QuantizedBlock, Vec<f32>) {
+    let mut codes = Vec::new();
+    let mut unpredictable = Vec::new();
+    let mut recon = Vec::new();
+    compress_into(
+        data,
+        mean,
+        quantizer,
+        &mut codes,
+        &mut unpredictable,
+        &mut recon,
+    );
+    (
+        QuantizedBlock {
+            codes,
+            unpredictable,
+        },
+        recon,
+    )
+}
+
+/// [`compress`] into caller-owned buffers (each cleared first): the
+/// constant prediction is passed per point instead of materialising a
+/// `vec![mean; len]` — identical quantize calls, zero allocation.
+pub fn compress_into(
+    data: &[f32],
+    mean: f32,
+    quantizer: &Quantizer,
+    codes: &mut Vec<u32>,
+    unpredictable: &mut Vec<f32>,
+    recon: &mut Vec<f32>,
+) {
+    codes.clear();
+    codes.reserve(data.len());
+    unpredictable.clear();
+    recon.clear();
+    recon.reserve(data.len());
+    for &v in data {
+        match quantizer.quantize(v, mean) {
+            Some((code, r)) => {
+                codes.push(code + 1);
+                recon.push(r);
+            }
+            None => {
+                codes.push(0);
+                unpredictable.push(v);
+                recon.push(v);
+            }
+        }
+    }
+}
+
+/// Scalar twin of [`compress`]: materialises the constant prediction
+/// buffer and goes through the generic quantize path.
+pub fn compress_reference(
+    data: &[f32],
+    mean: f32,
+    quantizer: &Quantizer,
+) -> (QuantizedBlock, Vec<f32>) {
     let preds = vec![mean; data.len()];
     quantizer.quantize_buffer(data, &preds)
 }
 
 /// Reconstruct a block compressed with [`compress`] and the same `mean`.
 pub fn decompress(block: &QuantizedBlock, mean: f32, quantizer: &Quantizer) -> Vec<f32> {
+    let mut out = Vec::new();
+    decompress_into(
+        &block.codes,
+        &block.unpredictable,
+        mean,
+        quantizer,
+        &mut out,
+    );
+    out
+}
+
+/// [`decompress`] from code/escape slices into a caller-owned buffer
+/// (cleared first).
+///
+/// # Panics
+/// Panics when `unpredictable` has fewer entries than escape codes — same
+/// contract as the scalar reference; callers validate counts up front.
+pub fn decompress_into(
+    codes: &[u32],
+    unpredictable: &[f32],
+    mean: f32,
+    quantizer: &Quantizer,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.reserve(codes.len());
+    let mut un = unpredictable.iter();
+    for &code in codes {
+        if code == 0 {
+            out.push(*un.next().expect("unpredictable value present"));
+        } else {
+            out.push(quantizer.dequantize(code - 1, mean));
+        }
+    }
+}
+
+/// Scalar twin of [`decompress`] through the generic dequantize path.
+pub fn decompress_reference(block: &QuantizedBlock, mean: f32, quantizer: &Quantizer) -> Vec<f32> {
     let preds = vec![mean; block.codes.len()];
     quantizer.dequantize_buffer(block, &preds)
 }

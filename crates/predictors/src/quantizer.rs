@@ -102,10 +102,41 @@ impl Quantizer {
         values: &[f32],
         predictions: &[f32],
     ) -> (QuantizedBlock, Vec<f32>) {
-        assert_eq!(values.len(), predictions.len());
-        let mut codes = Vec::with_capacity(values.len());
+        let mut codes = Vec::new();
         let mut unpredictable = Vec::new();
-        let mut reconstruction = Vec::with_capacity(values.len());
+        let mut reconstruction = Vec::new();
+        self.quantize_buffer_into(
+            values,
+            predictions,
+            &mut codes,
+            &mut unpredictable,
+            &mut reconstruction,
+        );
+        (
+            QuantizedBlock {
+                codes,
+                unpredictable,
+            },
+            reconstruction,
+        )
+    }
+
+    /// [`Quantizer::quantize_buffer`] into caller-owned buffers (each
+    /// cleared first), so per-block paths can reuse allocations.
+    pub fn quantize_buffer_into(
+        &self,
+        values: &[f32],
+        predictions: &[f32],
+        codes: &mut Vec<u32>,
+        unpredictable: &mut Vec<f32>,
+        reconstruction: &mut Vec<f32>,
+    ) {
+        assert_eq!(values.len(), predictions.len());
+        codes.clear();
+        codes.reserve(values.len());
+        unpredictable.clear();
+        reconstruction.clear();
+        reconstruction.reserve(values.len());
         for (&v, &p) in values.iter().zip(predictions.iter()) {
             match self.quantize(v, p) {
                 Some((code, recon)) => {
@@ -119,28 +150,39 @@ impl Quantizer {
                 }
             }
         }
-        (
-            QuantizedBlock {
-                codes,
-                unpredictable,
-            },
-            reconstruction,
-        )
     }
 
     /// Inverse of [`Quantizer::quantize_buffer`] given the same predictions.
     pub fn dequantize_buffer(&self, block: &QuantizedBlock, predictions: &[f32]) -> Vec<f32> {
-        assert_eq!(block.codes.len(), predictions.len());
-        let mut out = Vec::with_capacity(block.codes.len());
-        let mut un = block.unpredictable.iter();
-        for (&code, &p) in block.codes.iter().zip(predictions.iter()) {
+        let mut out = Vec::new();
+        self.dequantize_buffer_into(&block.codes, &block.unpredictable, predictions, &mut out);
+        out
+    }
+
+    /// [`Quantizer::dequantize_buffer`] from code/escape slices into a
+    /// caller-owned buffer (cleared first).
+    ///
+    /// # Panics
+    /// Panics when `unpredictable` has fewer entries than escape codes —
+    /// same contract as [`Quantizer::dequantize_buffer`].
+    pub fn dequantize_buffer_into(
+        &self,
+        codes: &[u32],
+        unpredictable: &[f32],
+        predictions: &[f32],
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(codes.len(), predictions.len());
+        out.clear();
+        out.reserve(codes.len());
+        let mut un = unpredictable.iter();
+        for (&code, &p) in codes.iter().zip(predictions.iter()) {
             if code == 0 {
                 out.push(*un.next().expect("unpredictable value for escape code"));
             } else {
                 out.push(self.dequantize(code - 1, p));
             }
         }
-        out
     }
 }
 

@@ -8,10 +8,10 @@
 //! AE-SZ, which replace this predictor.
 
 use crate::quantizer::{QuantizedBlock, Quantizer};
-use aesz_tensor::ops::least_squares;
+use aesz_tensor::ops::{least_squares, solve_linear_in_place};
 
 /// Regression coefficients for one block: one slope per axis plus an intercept.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegressionCoeffs {
     /// Slopes, ordered slow-to-fast axis (`[z, y, x]` in 3D).
     pub slopes: Vec<f32>,
@@ -39,18 +39,145 @@ impl RegressionCoeffs {
 
     /// Rebuild from the flattened representation.
     pub fn from_slice(values: &[f32]) -> RegressionCoeffs {
-        let (slopes, intercept) = values.split_at(values.len() - 1);
-        RegressionCoeffs {
-            slopes: slopes.to_vec(),
-            intercept: intercept[0],
-        }
+        let mut coeffs = RegressionCoeffs::default();
+        coeffs.copy_from_slice(values);
+        coeffs
     }
+
+    /// [`RegressionCoeffs::from_slice`] into an existing value, reusing its
+    /// slope allocation — the per-block decode path calls this once per
+    /// regression block.
+    pub fn copy_from_slice(&mut self, values: &[f32]) {
+        let (slopes, intercept) = values.split_at(values.len() - 1);
+        self.slopes.clear();
+        self.slopes.extend_from_slice(slopes);
+        self.intercept = intercept[0];
+    }
+}
+
+/// Row-major scan over `$extents` evaluating the affine model at every
+/// point and invoking `$step!(prediction_expr)` in order.
+///
+/// The per-point expression replicates the reference `eval` closure's
+/// fold exactly — `((0.0 + c₀·s₀) + c₁·s₁ …) + intercept` — including the
+/// literal `0.0` the `sum::<f32>()` fold starts from (IEEE signed zeros
+/// make dropping it observable). Hoisting the slow-axis partial sums out
+/// of the inner loops preserves the association, so bits are identical.
+macro_rules! affine_scan {
+    ($extents:ident, $slopes:ident, $intercept:ident, $step:ident) => {
+        match $extents.len() {
+            1 => {
+                let sx = $slopes[0];
+                for x in 0..$extents[0] {
+                    $step!(0.0 + x as f32 * sx + $intercept);
+                }
+            }
+            2 => {
+                let (sy, sx) = ($slopes[0], $slopes[1]);
+                for y in 0..$extents[0] {
+                    let base = 0.0 + y as f32 * sy;
+                    for x in 0..$extents[1] {
+                        $step!(base + x as f32 * sx + $intercept);
+                    }
+                }
+            }
+            3 => {
+                let (sz, sy, sx) = ($slopes[0], $slopes[1], $slopes[2]);
+                for z in 0..$extents[0] {
+                    let bz = 0.0 + z as f32 * sz;
+                    for y in 0..$extents[1] {
+                        let bzy = bz + y as f32 * sy;
+                        for x in 0..$extents[2] {
+                            $step!(bzy + x as f32 * sx + $intercept);
+                        }
+                    }
+                }
+            }
+            r => panic!("regression predictor supports rank 1-3, got {r}"),
+        }
+    };
 }
 
 /// Fit the affine model to a block (row-major with the given extents).
 /// Falls back to a constant (mean) fit when the normal equations are singular,
 /// which happens for degenerate extents like 1×1 blocks.
+///
+/// Optimized form of [`fit_reference`]: the normal equations are
+/// accumulated directly into stack arrays (`cols ≤ 4`) as the coordinate
+/// loops run, instead of materialising the `n × cols` design matrix. The
+/// accumulation order — per row, `xty[i]`, then `xtx[i][j]` for `j ≥ i` —
+/// is exactly `least_squares`'s, so every `f64` intermediate is identical.
 pub fn fit(data: &[f32], extents: &[usize]) -> RegressionCoeffs {
+    let mut coeffs = RegressionCoeffs::default();
+    fit_into(data, extents, &mut coeffs);
+    coeffs
+}
+
+/// [`fit`] into an existing [`RegressionCoeffs`], reusing its slope
+/// allocation — together with [`solve_linear_in_place`] this makes the fit
+/// completely heap-free, so per-block callers can run it without allocating
+/// (see `tests/allocation_discipline.rs`).
+pub fn fit_into(data: &[f32], extents: &[usize], out: &mut RegressionCoeffs) {
+    let rank = extents.len();
+    let n: usize = extents.iter().product();
+    assert_eq!(data.len(), n);
+    let cols = rank + 1;
+    let mut xtx = [0.0f64; 16];
+    let mut xty = [0.0f64; 4];
+    let mut idx = 0usize;
+    let mut accumulate = |row: &[f32], v: f32| {
+        for i in 0..cols {
+            xty[i] += row[i] as f64 * v as f64;
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] as f64 * row[j] as f64;
+            }
+        }
+    };
+    match rank {
+        1 => {
+            for x in 0..extents[0] {
+                accumulate(&[x as f32, 1.0], data[idx]);
+                idx += 1;
+            }
+        }
+        2 => {
+            for y in 0..extents[0] {
+                for x in 0..extents[1] {
+                    accumulate(&[y as f32, x as f32, 1.0], data[idx]);
+                    idx += 1;
+                }
+            }
+        }
+        3 => {
+            for z in 0..extents[0] {
+                for y in 0..extents[1] {
+                    for x in 0..extents[2] {
+                        accumulate(&[z as f32, y as f32, x as f32, 1.0], data[idx]);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        r => panic!("regression predictor supports rank 1-3, got {r}"),
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+    }
+    out.slopes.clear();
+    if solve_linear_in_place(&mut xtx[..cols * cols], &mut xty[..cols], cols) {
+        out.slopes.extend(xty[..rank].iter().map(|&v| v as f32));
+        out.intercept = xty[rank] as f32;
+    } else {
+        out.slopes.resize(rank, 0.0);
+        out.intercept = crate::mean::block_mean(data);
+    }
+}
+
+/// Scalar twin of [`fit`]: builds the dense design matrix and solves the
+/// normal equations through [`least_squares`].
+pub fn fit_reference(data: &[f32], extents: &[usize]) -> RegressionCoeffs {
     let rank = extents.len();
     let n: usize = extents.iter().product();
     assert_eq!(data.len(), n);
@@ -100,6 +227,34 @@ pub fn fit(data: &[f32], extents: &[usize]) -> RegressionCoeffs {
 
 /// Evaluate the fitted plane at every point of the block.
 pub fn predictions(coeffs: &RegressionCoeffs, extents: &[usize]) -> Vec<f32> {
+    let mut preds = Vec::new();
+    predictions_into(coeffs, extents, &mut preds);
+    preds
+}
+
+/// [`predictions`] into a caller-owned buffer (cleared first).
+pub fn predictions_into(coeffs: &RegressionCoeffs, extents: &[usize], preds: &mut Vec<f32>) {
+    let n: usize = extents.iter().product();
+    preds.clear();
+    preds.reserve(n);
+    if coeffs.slopes.len() != extents.len() {
+        // Mismatched slope count (only possible for hand-built coeffs):
+        // the generic zip-eval reference defines the semantics.
+        preds.extend_from_slice(&predictions_reference(coeffs, extents));
+        return;
+    }
+    let slopes = &coeffs.slopes;
+    let intercept = coeffs.intercept;
+    macro_rules! step {
+        ($pred:expr) => {
+            preds.push($pred);
+        };
+    }
+    affine_scan!(extents, slopes, intercept, step);
+}
+
+/// Scalar twin of [`predictions`]: generic zip-fold evaluation per point.
+pub fn predictions_reference(coeffs: &RegressionCoeffs, extents: &[usize]) -> Vec<f32> {
     let n: usize = extents.iter().product();
     let mut preds = Vec::with_capacity(n);
     let eval = |coord: &[usize]| -> f32 {
@@ -138,9 +293,37 @@ pub fn predictions(coeffs: &RegressionCoeffs, extents: &[usize]) -> Vec<f32> {
 }
 
 /// l1 loss of the regression predictor on a block (for predictor selection).
+/// Fused and allocation-free on the hot path: predictions are evaluated and
+/// accumulated in scan order without materialising the buffer.
 pub fn l1_loss(data: &[f32], extents: &[usize]) -> f64 {
     let coeffs = fit(data, extents);
-    let preds = predictions(&coeffs, extents);
+    l1_loss_with(&coeffs, data, extents)
+}
+
+/// [`l1_loss`] given an already-computed fit — per-block callers fit once
+/// via [`fit_into`] and reuse the coefficients for both selection and
+/// compression, instead of fitting twice.
+pub fn l1_loss_with(coeffs: &RegressionCoeffs, data: &[f32], extents: &[usize]) -> f64 {
+    let slopes = &coeffs.slopes;
+    let intercept = coeffs.intercept;
+    let mut sum = 0.0f64;
+    let mut idx = 0usize;
+    macro_rules! step {
+        ($pred:expr) => {{
+            let p: f32 = $pred;
+            sum += (data[idx] as f64 - p as f64).abs();
+            idx += 1;
+        }};
+    }
+    affine_scan!(extents, slopes, intercept, step);
+    sum
+}
+
+/// Scalar twin of [`l1_loss`] through the reference fit and prediction
+/// buffer.
+pub fn l1_loss_reference(data: &[f32], extents: &[usize]) -> f64 {
+    let coeffs = fit_reference(data, extents);
+    let preds = predictions_reference(&coeffs, extents);
     data.iter()
         .zip(preds.iter())
         .map(|(&a, &b)| (a as f64 - b as f64).abs())
@@ -153,8 +336,100 @@ pub fn compress(
     extents: &[usize],
     quantizer: &Quantizer,
 ) -> (RegressionCoeffs, QuantizedBlock, Vec<f32>) {
+    let mut codes = Vec::new();
+    let mut unpredictable = Vec::new();
+    let mut recon = Vec::new();
+    let coeffs = compress_into(
+        data,
+        extents,
+        quantizer,
+        &mut codes,
+        &mut unpredictable,
+        &mut recon,
+    );
+    (
+        coeffs,
+        QuantizedBlock {
+            codes,
+            unpredictable,
+        },
+        recon,
+    )
+}
+
+/// [`compress`] into caller-owned buffers (each cleared first), fusing
+/// prediction evaluation with quantization.
+pub fn compress_into(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+    codes: &mut Vec<u32>,
+    unpredictable: &mut Vec<f32>,
+    recon: &mut Vec<f32>,
+) -> RegressionCoeffs {
     let coeffs = fit(data, extents);
-    let preds = predictions(&coeffs, extents);
+    compress_with_coeffs_into(
+        &coeffs,
+        data,
+        extents,
+        quantizer,
+        codes,
+        unpredictable,
+        recon,
+    );
+    coeffs
+}
+
+/// [`compress_into`] given an already-computed fit (the coefficients
+/// [`fit_into`] would produce for `data`) — the fully allocation-free
+/// per-block form.
+pub fn compress_with_coeffs_into(
+    coeffs: &RegressionCoeffs,
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+    codes: &mut Vec<u32>,
+    unpredictable: &mut Vec<f32>,
+    recon: &mut Vec<f32>,
+) {
+    codes.clear();
+    codes.reserve(data.len());
+    unpredictable.clear();
+    recon.clear();
+    recon.reserve(data.len());
+    let slopes = &coeffs.slopes;
+    let intercept = coeffs.intercept;
+    let mut idx = 0usize;
+    macro_rules! step {
+        ($pred:expr) => {{
+            let pred: f32 = $pred;
+            let v = data[idx];
+            match quantizer.quantize(v, pred) {
+                Some((code, rc)) => {
+                    codes.push(code + 1);
+                    recon.push(rc);
+                }
+                None => {
+                    codes.push(0);
+                    unpredictable.push(v);
+                    recon.push(v);
+                }
+            }
+            idx += 1;
+        }};
+    }
+    affine_scan!(extents, slopes, intercept, step);
+}
+
+/// Scalar twin of [`compress`]: reference fit, materialised predictions,
+/// generic buffer quantization.
+pub fn compress_reference(
+    data: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> (RegressionCoeffs, QuantizedBlock, Vec<f32>) {
+    let coeffs = fit_reference(data, extents);
+    let preds = predictions_reference(&coeffs, extents);
     let (blk, recon) = quantizer.quantize_buffer(data, &preds);
     (coeffs, blk, recon)
 }
@@ -166,7 +441,70 @@ pub fn decompress(
     extents: &[usize],
     quantizer: &Quantizer,
 ) -> Vec<f32> {
-    let preds = predictions(coeffs, extents);
+    let mut out = Vec::new();
+    decompress_into(
+        coeffs,
+        &block.codes,
+        &block.unpredictable,
+        extents,
+        quantizer,
+        &mut out,
+    );
+    out
+}
+
+/// [`decompress`] from code/escape slices into a caller-owned buffer
+/// (cleared first), fusing prediction evaluation with dequantization.
+///
+/// # Panics
+/// Panics when `codes` does not cover the extents or `unpredictable` has
+/// fewer entries than escape codes — same contract as the reference.
+pub fn decompress_into(
+    coeffs: &RegressionCoeffs,
+    codes: &[u32],
+    unpredictable: &[f32],
+    extents: &[usize],
+    quantizer: &Quantizer,
+    out: &mut Vec<f32>,
+) {
+    let n: usize = extents.iter().product();
+    assert_eq!(codes.len(), n);
+    if coeffs.slopes.len() != extents.len() {
+        // Mismatched slope count: defer to the reference evaluation.
+        let preds = predictions_reference(coeffs, extents);
+        quantizer.dequantize_buffer_into(codes, unpredictable, &preds, out);
+        return;
+    }
+    out.clear();
+    out.reserve(n);
+    let mut un = unpredictable.iter();
+    let slopes = &coeffs.slopes;
+    let intercept = coeffs.intercept;
+    let mut idx = 0usize;
+    macro_rules! step {
+        ($pred:expr) => {{
+            let pred: f32 = $pred;
+            let code = codes[idx];
+            out.push(if code == 0 {
+                *un.next().expect("unpredictable value present")
+            } else {
+                quantizer.dequantize(code - 1, pred)
+            });
+            idx += 1;
+        }};
+    }
+    affine_scan!(extents, slopes, intercept, step);
+}
+
+/// Scalar twin of [`decompress`] through the materialised prediction
+/// buffer.
+pub fn decompress_reference(
+    coeffs: &RegressionCoeffs,
+    block: &QuantizedBlock,
+    extents: &[usize],
+    quantizer: &Quantizer,
+) -> Vec<f32> {
+    let preds = predictions_reference(coeffs, extents);
     quantizer.dequantize_buffer(block, &preds)
 }
 
@@ -221,6 +559,57 @@ mod tests {
     fn degenerate_block_falls_back_to_mean() {
         let c = fit(&[5.0], &[1]);
         assert_eq!(c.intercept, 5.0);
+    }
+
+    #[test]
+    fn optimized_kernels_match_reference_bitwise() {
+        let tricky = [-0.0f32, 0.0, f32::MIN_POSITIVE / 2.0, -1e18, 1e18, 2.25];
+        let cases: Vec<(Vec<f32>, Vec<usize>)> = vec![
+            (tricky.iter().cycle().take(11).copied().collect(), vec![11]),
+            (
+                tricky.iter().cycle().take(42).copied().collect(),
+                vec![6, 7],
+            ),
+            (
+                (0..120).map(|i| (i as f32 * 0.17).cos() * 40.0).collect(),
+                vec![4, 5, 6],
+            ),
+            (vec![5.0], vec![1]), // singular → mean fallback on both sides
+        ];
+        let q = Quantizer::with_default_bins(1e-3);
+        for (data, extents) in &cases {
+            let cf = fit(data, extents);
+            let cs = fit_reference(data, extents);
+            assert_eq!(
+                cf.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                cs.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "fit diverges for extents {extents:?}"
+            );
+            let pf = predictions(&cf, extents);
+            let ps = predictions_reference(&cs, extents);
+            assert_eq!(
+                pf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ps.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                l1_loss(data, extents).to_bits(),
+                l1_loss_reference(data, extents).to_bits()
+            );
+            let (c_f, blk_f, rec_f) = compress(data, extents, &q);
+            let (c_s, blk_s, rec_s) = compress_reference(data, extents, &q);
+            assert_eq!(c_f, c_s);
+            assert_eq!(blk_f, blk_s);
+            assert_eq!(
+                rec_f.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                rec_s.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            let d_f = decompress(&c_f, &blk_f, extents, &q);
+            let d_s = decompress_reference(&c_s, &blk_s, extents, &q);
+            assert_eq!(
+                d_f.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d_s.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

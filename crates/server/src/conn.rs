@@ -20,13 +20,15 @@ use aesz_repro::metrics::protocol::{ErrorCode, MsgHeader, MsgType, Response, HEA
 
 /// Serve requests on `stream` until EOF, an error response, or an I/O
 /// failure. Never panics; never blocks longer than the configured read
-/// timeout on an idle peer.
-pub fn serve_connection(stream: TcpStream, state: &ServerState) {
+/// timeout on an idle peer. `worker` is the pool worker index executing
+/// this connection (the per-worker codec-cache key); `None` when the
+/// caller runs outside the pool.
+pub fn serve_connection(stream: TcpStream, state: &ServerState, worker: Option<usize>) {
     let mut stream = stream;
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let _ = stream.set_nodelay(true);
     loop {
-        match serve_one(&mut stream, state) {
+        match serve_one(&mut stream, state, worker) {
             Ok(true) => continue,
             Ok(false) | Err(_) => return,
         }
@@ -34,7 +36,11 @@ pub fn serve_connection(stream: TcpStream, state: &ServerState) {
 }
 
 /// Serve one request. `Ok(true)` keeps the connection open.
-fn serve_one(stream: &mut TcpStream, state: &ServerState) -> std::io::Result<bool> {
+fn serve_one(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    worker: Option<usize>,
+) -> std::io::Result<bool> {
     let mut header = [0u8; HEADER_LEN];
     if read_header_or_eof(stream, &mut header)? {
         return Ok(false); // clean close at a message boundary
@@ -123,7 +129,7 @@ fn serve_one(stream: &mut TcpStream, state: &ServerState) -> std::io::Result<boo
                 false,
             );
         }
-        handler::handle_buffered(state, parsed.msg, &body)
+        handler::handle_buffered(state, worker, parsed.msg, &body)
     };
     let keep_open = match &response {
         Response::Error { .. } => {

@@ -35,9 +35,12 @@ fn error(code: ErrorCode, message: impl Into<String>) -> Response {
     }
 }
 
-/// Serve one fully-buffered request body of type `msg`.
+/// Serve one fully-buffered request body of type `msg`. `worker` is the
+/// pool worker executing the connection (keys the per-worker codec cache);
+/// `None` falls back to fork-per-call compression.
 pub fn handle_buffered(
     state: &ServerState,
+    worker: Option<usize>,
     msg: aesz_repro::metrics::protocol::MsgType,
     body: &[u8],
 ) -> Response {
@@ -50,7 +53,7 @@ pub fn handle_buffered(
             codec,
             bound,
             field,
-        } => match state.registry.compress(codec, &field, bound) {
+        } => match state.compress_cached(worker, codec, &field, bound) {
             Ok(stream) => {
                 state.count_compress(codec);
                 Response::CompressOk { stream }

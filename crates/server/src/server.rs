@@ -109,8 +109,11 @@ impl Server {
         }
         self.state.connection_opened();
         let state = Arc::clone(&self.state);
-        let submitted = self.pool.try_execute(Box::new(move || {
-            conn::serve_connection(stream, &state);
+        // Tagged submission: the job learns which worker thread runs it, the
+        // key into the per-worker codec cache (stolen jobs get the stealing
+        // worker's index, so the key always names the executing thread).
+        let submitted = self.pool.try_execute_with(Box::new(move |worker| {
+            conn::serve_connection(stream, &state, Some(worker));
             state.connection_closed();
         }));
         if let Err(full) = submitted {

@@ -6,8 +6,31 @@ use std::time::Instant;
 
 use crate::config::ServerConfig;
 use aesz_repro::metrics::protocol::{ServerStats, CODEC_SLOTS};
-use aesz_repro::{CodecId, SharedRegistry};
-use rayon::pool::WorkPool;
+use aesz_repro::{
+    CodecId, Compressor, DecompressError, ErrorBound, Field, ModelId, SharedRegistry,
+};
+use rayon::pool::{WorkPool, WorkerLocal};
+
+/// One worker thread's resident codec forks, one slot per codec
+/// (`ServerStats::codec_slot`). Each entry remembers the embedded-model id
+/// the fork was taken at, so staleness is a cheap id comparison against the
+/// registry ([`SharedRegistry::registered_codec_state`]): stateless codecs
+/// report `None` forever (the fork never invalidates), while a `Train`
+/// re-registering a learned codec changes the id and forces a re-fork.
+pub(crate) struct CodecCache {
+    entries: Vec<Option<CacheEntry>>,
+}
+
+/// The embedded-model id a fork was taken at, plus the fork itself.
+type CacheEntry = (Option<ModelId>, Box<dyn Compressor>);
+
+impl Default for CodecCache {
+    fn default() -> Self {
+        CodecCache {
+            entries: (0..CODEC_SLOTS).map(|_| None).collect(),
+        }
+    }
+}
 
 /// Everything the connection handlers share: the registry of resident
 /// models, the configuration caps, and lock-free stats counters. One
@@ -19,6 +42,8 @@ pub struct ServerState {
     pub config: ServerConfig,
     started: Instant,
     pool: OnceLock<Arc<WorkPool>>,
+    /// Per-worker codec forks, sized to the pool when it is attached.
+    worker_codecs: OnceLock<WorkerLocal<CodecCache>>,
     requests: AtomicU64,
     ok: AtomicU64,
     errors: AtomicU64,
@@ -44,6 +69,7 @@ impl ServerState {
             config,
             started: Instant::now(),
             pool: OnceLock::new(),
+            worker_codecs: OnceLock::new(),
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -60,9 +86,51 @@ impl ServerState {
     }
 
     /// Attach the worker pool (once, by the server during bind) so queue
-    /// depth can be reported.
+    /// depth can be reported, and size the per-worker codec caches to it.
     pub(crate) fn set_pool(&self, pool: Arc<WorkPool>) {
+        let _ = self.worker_codecs.set(WorkerLocal::new(pool.workers()));
         let _ = self.pool.set(pool);
+    }
+
+    /// Compress `field`, preferring the executing worker's resident codec
+    /// fork over the registry's fork-per-call path. A cached fork is used
+    /// only while it is *current* — the registered instance still reports
+    /// the embedded-model id the fork was taken at — so results are
+    /// indistinguishable from a fresh fork (compression is deterministic in
+    /// the model and input; see `tests/registry_concurrency.rs`). Without a
+    /// worker identity (no pool attached, direct calls) this falls back to
+    /// [`SharedRegistry::compress`].
+    pub(crate) fn compress_cached(
+        &self,
+        worker: Option<usize>,
+        codec: CodecId,
+        field: &Field,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, DecompressError> {
+        let (Some(locals), Some(worker)) = (self.worker_codecs.get(), worker) else {
+            return self.registry.compress(codec, field, bound);
+        };
+        let Some(mut cache) = locals.get(worker) else {
+            return self.registry.compress(codec, field, bound);
+        };
+        let Some(current) = self.registry.registered_codec_state(codec) else {
+            return Err(DecompressError::UnknownCodec(codec as u8));
+        };
+        let slot = ServerStats::codec_slot(codec);
+        if let Some(Some((forked_at, instance))) = cache.entries.get_mut(slot) {
+            if *forked_at == current && instance.codec_id() == codec {
+                return SharedRegistry::compress_on(instance.as_mut(), field, bound);
+            }
+        }
+        let mut fresh = self
+            .registry
+            .fork(codec)
+            .ok_or(DecompressError::UnknownCodec(codec as u8))?;
+        let result = SharedRegistry::compress_on(fresh.as_mut(), field, bound);
+        if let Some(entry) = cache.entries.get_mut(slot) {
+            *entry = Some((current, fresh));
+        }
+        result
     }
 
     /// Connections queued behind busy workers right now.

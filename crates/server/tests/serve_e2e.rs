@@ -194,6 +194,68 @@ fn train_is_deterministic_resident_and_saved_as_a_sidecar() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The per-worker resident codec cache must follow retraining: compress
+/// requests after a `Train` that re-registers the codec must be served by
+/// a fork of the *new* model, byte-identical to the library path — a stale
+/// cached fork would emit the old model's stream. Repeated rounds on one
+/// worker also prove the cached fork itself never drifts between requests.
+#[test]
+fn worker_codec_cache_follows_retraining() {
+    let (addr, state, stop) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let field = test_field(7);
+    let bound = ErrorBound::abs(1e-3);
+    let mut client = RemoteClient::connect(&addr).expect("connect");
+
+    for seed in [5u64, 9] {
+        let knobs = wire::TrainKnobs {
+            epochs: 1,
+            block: 0,
+            latent: 0,
+            max_blocks: 0,
+            seed,
+        };
+        let got = client
+            .request(&wire::Request::Train {
+                codec: CodecId::AeA,
+                knobs,
+                field: field.clone(),
+            })
+            .expect("train request");
+        let wire::Response::TrainOk { .. } = got else {
+            panic!("expected TrainOk, got {got:?}");
+        };
+
+        // The library-path reference for this model generation.
+        let mut local = aesz_repro::baselines::AeA::new(seed);
+        local.train(std::slice::from_ref(&field), 1, seed);
+        let want = local.compress(&field, bound).expect("local compress");
+
+        for round in 0..3 {
+            let got = client
+                .request(&wire::Request::Compress {
+                    codec: CodecId::AeA,
+                    bound,
+                    field: field.clone(),
+                })
+                .expect("compress request");
+            let wire::Response::CompressOk { stream } = got else {
+                panic!("expected CompressOk, got {got:?}");
+            };
+            assert_eq!(
+                stream, want,
+                "seed {seed} round {round}: worker cache served a stale or drifted fork"
+            );
+        }
+    }
+    drop(client);
+    stop();
+    assert_eq!(state.snapshot().errors, 0);
+}
+
 #[test]
 fn archive_bytes_stream_decode_remotely() {
     let (addr, _state, stop) = spawn_server(ServerConfig {

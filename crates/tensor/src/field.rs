@@ -17,6 +17,70 @@ pub struct Field {
     data: Vec<f32>,
 }
 
+/// Up to three coordinates stored inline (rank is at most 3 everywhere in
+/// the workspace), so building a [`BlockSpec`] never touches the heap —
+/// block iteration is a hot path and spec construction used to dominate its
+/// allocation profile (see `tests/allocation_discipline.rs`).
+///
+/// Derefs to `[usize]`, so call sites that read `&spec.size` as a slice,
+/// index it, or iterate it are unaffected. Unused trailing slots are always
+/// zero, which keeps the derived `Eq`/`Hash`-free comparisons honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coords {
+    buf: [usize; 3],
+    len: u8,
+}
+
+impl Coords {
+    /// Inline copy of `s`. Panics when `s` has more than three entries —
+    /// rank > 3 does not exist in this workspace.
+    pub fn from_slice(s: &[usize]) -> Coords {
+        assert!(s.len() <= 3, "rank above 3 is unsupported");
+        let mut buf = [0usize; 3];
+        buf[..s.len()].copy_from_slice(s);
+        Coords {
+            buf,
+            len: s.len() as u8,
+        }
+    }
+
+    /// The coordinates as a slice (slow-to-fast axis order).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Coords {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq<Vec<usize>> for Coords {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Coords> for Vec<usize> {
+    fn eq(&self, other: &Coords) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[usize]> for Coords {
+    fn eq(&self, other: &[usize]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[usize; N]> for Coords {
+    fn eq(&self, other: &[usize; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// Location and valid extent of one block inside a field.
 ///
 /// `origin` and `size` always have exactly `dims.rank()` entries, ordered
@@ -26,9 +90,9 @@ pub struct BlockSpec {
     /// Linear index of the block in the block grid (row-major over the grid).
     pub index: usize,
     /// Origin of the block in field coordinates.
-    pub origin: Vec<usize>,
+    pub origin: Coords,
     /// Valid extent of the block along each axis (≤ nominal block size at edges).
-    pub size: Vec<usize>,
+    pub size: Coords,
     /// Nominal (requested) block edge length.
     pub nominal: usize,
 }
@@ -37,27 +101,33 @@ impl BlockSpec {
     /// Build the spec of the `i`-th block (row-major over the block grid) of
     /// a field with extents `dims`, without needing the field itself — the
     /// random-access entry point the archive layer uses to map a chunk index
-    /// back to its region.
+    /// back to its region. Allocation-free: everything lives in fixed
+    /// rank-≤-3 arrays.
     pub fn of(dims: Dims, block: usize, i: usize) -> BlockSpec {
         let block = block.max(1);
-        let grid = dims.block_grid(block);
-        let extents = dims.extents();
-        let mut coord = vec![0usize; grid.len()];
+        let (rank, ext) = match dims {
+            Dims::D1 { n } => (1usize, [n, 1, 1]),
+            Dims::D2 { ny, nx } => (2, [ny, nx, 1]),
+            Dims::D3 { nz, ny, nx } => (3, [nz, ny, nx]),
+        };
+        let mut grid = [1usize; 3];
+        for ax in 0..rank {
+            grid[ax] = ext[ax].div_ceil(block);
+        }
+        let mut origin = [0usize; 3];
         let mut rem = i;
-        for ax in (0..grid.len()).rev() {
-            coord[ax] = rem % grid[ax];
+        for ax in (0..rank).rev() {
+            origin[ax] = (rem % grid[ax]) * block;
             rem /= grid[ax];
         }
-        let origin: Vec<usize> = coord.iter().map(|&c| c * block).collect();
-        let size: Vec<usize> = origin
-            .iter()
-            .zip(extents.iter())
-            .map(|(&o, &e)| block.min(e - o))
-            .collect();
+        let mut size = [0usize; 3];
+        for ax in 0..rank {
+            size[ax] = block.min(ext[ax] - origin[ax]);
+        }
         BlockSpec {
             index: i,
-            origin,
-            size,
+            origin: Coords::from_slice(&origin[..rank]),
+            size: Coords::from_slice(&size[..rank]),
             nominal: block,
         }
     }
@@ -364,19 +434,26 @@ impl Field {
 
     /// Read the valid region of a block (no padding), row-major over `spec.size`.
     pub fn read_block_valid(&self, spec: &BlockSpec) -> Vec<f32> {
-        let mut out = Vec::with_capacity(spec.valid_len());
+        let mut out = Vec::new();
+        self.read_block_valid_into(spec, &mut out);
+        out
+    }
+
+    /// [`Field::read_block_valid`] into a caller-owned buffer (cleared
+    /// first), copying whole contiguous rows along the fastest axis so
+    /// per-block paths reuse one allocation and skip per-element pushes.
+    pub fn read_block_valid_into(&self, spec: &BlockSpec, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(spec.valid_len());
         match self.dims {
             Dims::D1 { .. } => {
-                for i in 0..spec.size[0] {
-                    out.push(self.data[spec.origin[0] + i]);
-                }
+                let start = spec.origin[0];
+                out.extend_from_slice(&self.data[start..start + spec.size[0]]);
             }
             Dims::D2 { nx, .. } => {
                 for by in 0..spec.size[0] {
-                    let dy = spec.origin[0] + by;
-                    for bx in 0..spec.size[1] {
-                        out.push(self.data[dy * nx + spec.origin[1] + bx]);
-                    }
+                    let row = (spec.origin[0] + by) * nx + spec.origin[1];
+                    out.extend_from_slice(&self.data[row..row + spec.size[1]]);
                 }
             }
             Dims::D3 { ny, nx, .. } => {
@@ -384,14 +461,12 @@ impl Field {
                     let dz = spec.origin[0] + bz;
                     for by in 0..spec.size[1] {
                         let dy = spec.origin[1] + by;
-                        for bx in 0..spec.size[2] {
-                            out.push(self.data[(dz * ny + dy) * nx + spec.origin[2] + bx]);
-                        }
+                        let row = (dz * ny + dy) * nx + spec.origin[2];
+                        out.extend_from_slice(&self.data[row..row + spec.size[2]]);
                     }
                 }
             }
         }
-        out
     }
 
     /// Serialize the raw values to little-endian bytes (the on-disk format of

@@ -87,6 +87,18 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Result<Vec<f32>> {
 /// Gaussian elimination. `a` is `n*n` row-major. Returns `None` when the
 /// system is (numerically) singular.
 pub fn solve_linear(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    if solve_linear_in_place(a, b, n) {
+        Some(b.to_vec())
+    } else {
+        None
+    }
+}
+
+/// [`solve_linear`] without the output allocation: on success the solution
+/// replaces `b`. Bit-identical to the allocating form — the back
+/// substitution reads the already-solved entries of `b` exactly where the
+/// reference read its freshly-written `x`.
+pub fn solve_linear_in_place(a: &mut [f64], b: &mut [f64], n: usize) -> bool {
     debug_assert_eq!(a.len(), n * n);
     debug_assert_eq!(b.len(), n);
     for col in 0..n {
@@ -101,7 +113,7 @@ pub fn solve_linear(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> 
             }
         }
         if best < 1e-12 {
-            return None;
+            return false;
         }
         if pivot != col {
             for j in 0..n {
@@ -121,16 +133,17 @@ pub fn solve_linear(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> 
             b[row] -= factor * b[col];
         }
     }
-    // Back substitution.
-    let mut x = vec![0.0f64; n];
+    // Back substitution, solving into `b` itself: entries below `row` are
+    // still right-hand side, entries above are already solution values —
+    // exactly the `x[j]` the allocating form read.
     for row in (0..n).rev() {
         let mut acc = b[row];
         for j in (row + 1)..n {
-            acc -= a[row * n + j] * x[j];
+            acc -= a[row * n + j] * b[j];
         }
-        x[row] = acc / a[row * n + row];
+        b[row] = acc / a[row * n + row];
     }
-    Some(x)
+    true
 }
 
 /// Ordinary least squares: find `beta` minimising `||X beta − y||²` via the

@@ -335,9 +335,30 @@ impl SharedRegistry {
         let mut instance = self
             .fork(id)
             .ok_or(DecompressError::UnknownCodec(id as u8))?;
+        Self::compress_on(instance.as_mut(), field, bound)
+    }
+
+    /// Compress `field` on a caller-owned codec instance with the same
+    /// error mapping as [`SharedRegistry::compress`] — the entry point for
+    /// callers that keep long-lived forks (e.g. the server's per-worker
+    /// codec cache) instead of forking per call.
+    pub fn compress_on(
+        instance: &mut dyn Compressor,
+        field: &Field,
+        bound: aesz_metrics::ErrorBound,
+    ) -> Result<Vec<u8>, DecompressError> {
         instance
             .compress(field, bound)
             .map_err(|e| DecompressError::Unsupported(compress_error_reason(e)))
+    }
+
+    /// What is registered for `id` right now: `None` when the codec is
+    /// unregistered, `Some(embedded_model_id)` otherwise — so `Some(None)`
+    /// means a registered stateless codec. Long-lived forks compare this
+    /// against the id they were forked at to learn whether they are stale
+    /// (a `Train` re-registering a learned codec changes the id).
+    pub fn registered_codec_state(&self, id: CodecId) -> Option<Option<aesz_metrics::ModelId>> {
+        self.read().get(id).map(|c| c.embedded_model_id())
     }
 
     /// Decode a framed stream from any registered codec (the concurrent

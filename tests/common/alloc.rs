@@ -1,0 +1,50 @@
+//! A counting global allocator for the allocation-discipline tests.
+//!
+//! Wraps [`System`] and counts every allocating call (`alloc`,
+//! `alloc_zeroed`, `realloc`); frees are not counted. The type lives here in
+//! `tests/common` so any test binary can install it, but registration via
+//! `#[global_allocator]` happens per binary — only
+//! `tests/allocation_discipline.rs` does, so the rest of the suite runs on
+//! the plain system allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator plus an atomic count of allocating calls.
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+}
+
+impl CountingAlloc {
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocating calls (alloc + alloc_zeroed + realloc) so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -3,6 +3,8 @@
 //! compressors can produce and decode streams.
 #![allow(dead_code)] // each test binary uses its own subset
 
+pub mod alloc;
+
 use aesz_repro::baselines::{AeA, AeB};
 use aesz_repro::core::training::{train_swae_for_field, TrainingOptions};
 use aesz_repro::core::{AeSz, AeSzConfig};

@@ -1,0 +1,331 @@
+//! Differential bit-identity harness for the optimized hot-path kernels.
+//!
+//! Every rewritten kernel in the workspace keeps a scalar `*_reference`
+//! twin (see README "Performance"). This suite drives both sides over the
+//! same randomized inputs — ranks 1–3, lengths covering every `len % 8`
+//! residue, denormals, ±infinity and NaN-adjacent magnitudes — and demands
+//! *bitwise* identical outputs: same quantizer codes, same escape lists,
+//! same `f32` reconstruction bits, same `f64` loss bits, same encoded
+//! bytes. A kernel that is merely "close" fails; the optimizations must be
+//! reorderings the IEEE semantics cannot observe.
+//!
+//! The second half locks whole streams: each of the seven codecs must emit
+//! byte-identical output across repeated runs and across fork boundaries
+//! (learned codecs included), and the traditional codecs must keep decoding
+//! the committed golden fixtures from before the kernel rewrite byte-for-
+//! byte (`golden_streams.rs` holds the encode-side lock).
+
+mod common;
+
+use aesz_repro::codec::bitio::{BitReader, BitWriter};
+use aesz_repro::codec::huffman::{
+    huffman_decode_capped, huffman_decode_capped_reference, huffman_encode,
+    huffman_encode_reference,
+};
+use aesz_repro::codec::lz::{
+    zlite_compress, zlite_decompress_capped, zlite_decompress_capped_reference,
+};
+use aesz_repro::metrics::{CodecId, ErrorBound};
+use aesz_repro::predictors::{lorenzo, mean, regression, Quantizer};
+use proptest::prelude::*;
+
+/// Finite-but-hostile values spliced into random blocks: denormals on both
+/// sides of zero, signed zeros, both infinities, and NaN-adjacent
+/// magnitudes (`f32::MAX`, near-overflow products).
+const SPECIALS: [f32; 10] = [
+    f32::MIN_POSITIVE / 2.0,  // positive denormal
+    -f32::MIN_POSITIVE / 4.0, // negative denormal
+    0.0,
+    -0.0,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    f32::MAX,
+    -f32::MAX,
+    3.0e38,
+    -3.0e38,
+];
+
+/// Deterministic extents for a case: rank 1–3, shaped so the total length
+/// sweeps every `len % 8` residue class across the case budget.
+fn make_extents(rank: usize, a: usize, b: usize, c: usize) -> Vec<usize> {
+    match rank {
+        1 => vec![a * b * c], // 1..=125: hits every residue mod 8
+        2 => vec![a, b * c],
+        _ => vec![a, b, c],
+    }
+}
+
+/// Slice `values` to the extents' product and splice specials at `spots`.
+fn make_block(values: &[f32], extents: &[usize], spots: &[usize], picks: &[usize]) -> Vec<f32> {
+    let n: usize = extents.iter().product();
+    let mut block: Vec<f32> = values.iter().copied().cycle().take(n).collect();
+    for (&spot, &pick) in spots.iter().zip(picks.iter()) {
+        block[spot % n] = SPECIALS[pick % SPECIALS.len()];
+    }
+    block
+}
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn lorenzo_kernels_match_their_references(
+        rank in 1usize..=3,
+        a in 1usize..=5,
+        b in 1usize..=5,
+        c in 1usize..=5,
+        values in proptest::collection::vec(-100.0f32..100.0, 16..64),
+        spots in proptest::collection::vec(0usize..1024, 0..5),
+        picks in proptest::collection::vec(0usize..SPECIALS.len(), 0..5),
+        eb_exp in -6i32..0,
+    ) {
+        let extents = make_extents(rank, a, b, c);
+        let data = make_block(&values, &extents, &spots, &picks);
+        let quantizer = Quantizer::new(10f64.powi(eb_exp), 1 << 16);
+
+        // Ideal predictions: fused scan vs. per-point coordinate walk.
+        let mut preds = Vec::new();
+        lorenzo::ideal_predictions_into(&data, &extents, &mut preds);
+        let preds_ref = lorenzo::ideal_predictions_reference(&data, &extents);
+        prop_assert_eq!(bits32(&preds), bits32(&preds_ref));
+
+        // Fused l1 loss vs. the same f64 fold over the reference buffer.
+        let loss = lorenzo::l1_loss(&data, &extents);
+        let loss_ref: f64 = data
+            .iter()
+            .zip(preds_ref.iter())
+            .map(|(&d, &p)| (d as f64 - p as f64).abs())
+            .sum();
+        prop_assert_eq!(loss.to_bits(), loss_ref.to_bits());
+
+        // Compress: same codes, same escapes, same reconstruction bits.
+        let (mut codes, mut unpred, mut recon) = (Vec::new(), Vec::new(), Vec::new());
+        lorenzo::compress_into(&data, &extents, &quantizer, &mut codes, &mut unpred, &mut recon);
+        let (blk_ref, recon_ref) = lorenzo::compress_reference(&data, &extents, &quantizer);
+        prop_assert_eq!(&codes, &blk_ref.codes);
+        prop_assert_eq!(bits32(&unpred), bits32(&blk_ref.unpredictable));
+        prop_assert_eq!(bits32(&recon), bits32(&recon_ref));
+
+        // Decompress the block both ways.
+        let mut out = Vec::new();
+        lorenzo::decompress_into(&codes, &unpred, &extents, &quantizer, &mut out);
+        let out_ref = lorenzo::decompress_reference(&blk_ref, &extents, &quantizer);
+        prop_assert_eq!(bits32(&out), bits32(&out_ref));
+    }
+
+    #[test]
+    fn mean_kernels_match_their_references(
+        n in 1usize..=64,
+        values in proptest::collection::vec(-100.0f32..100.0, 16..64),
+        spots in proptest::collection::vec(0usize..1024, 0..5),
+        picks in proptest::collection::vec(0usize..SPECIALS.len(), 0..5),
+        eb_exp in -6i32..0,
+    ) {
+        let extents = [n];
+        let data = make_block(&values, &extents, &spots, &picks);
+        let quantizer = Quantizer::new(10f64.powi(eb_exp), 1 << 16);
+        let mv = mean::block_mean(&data);
+
+        let (mut codes, mut unpred, mut recon) = (Vec::new(), Vec::new(), Vec::new());
+        mean::compress_into(&data, mv, &quantizer, &mut codes, &mut unpred, &mut recon);
+        let (blk_ref, recon_ref) = mean::compress_reference(&data, mv, &quantizer);
+        prop_assert_eq!(&codes, &blk_ref.codes);
+        prop_assert_eq!(bits32(&unpred), bits32(&blk_ref.unpredictable));
+        prop_assert_eq!(bits32(&recon), bits32(&recon_ref));
+
+        let mut out = Vec::new();
+        mean::decompress_into(&codes, &unpred, mv, &quantizer, &mut out);
+        let out_ref = mean::decompress_reference(&blk_ref, mv, &quantizer);
+        prop_assert_eq!(bits32(&out), bits32(&out_ref));
+    }
+
+    #[test]
+    fn regression_kernels_match_their_references(
+        rank in 1usize..=3,
+        a in 1usize..=5,
+        b in 1usize..=5,
+        c in 1usize..=5,
+        values in proptest::collection::vec(-100.0f32..100.0, 16..64),
+        spots in proptest::collection::vec(0usize..1024, 0..3),
+        picks in proptest::collection::vec(0usize..SPECIALS.len(), 0..3),
+        eb_exp in -6i32..0,
+    ) {
+        let extents = make_extents(rank, a, b, c);
+        let data = make_block(&values, &extents, &spots, &picks);
+        let quantizer = Quantizer::new(10f64.powi(eb_exp), 1 << 16);
+
+        // Stack-array normal equations vs. dense design matrix.
+        let fit = regression::fit(&data, &extents);
+        let fit_ref = regression::fit_reference(&data, &extents);
+        prop_assert_eq!(bits32(&fit.slopes), bits32(&fit_ref.slopes));
+        prop_assert_eq!(fit.intercept.to_bits(), fit_ref.intercept.to_bits());
+
+        // Fused fit-and-sum loss vs. the materialised-predictions fold.
+        let loss = regression::l1_loss(&data, &extents);
+        let loss_ref = regression::l1_loss_reference(&data, &extents);
+        prop_assert_eq!(loss.to_bits(), loss_ref.to_bits());
+
+        let (mut codes, mut unpred, mut recon) = (Vec::new(), Vec::new(), Vec::new());
+        let coeffs =
+            regression::compress_into(&data, &extents, &quantizer, &mut codes, &mut unpred, &mut recon);
+        let (coeffs_ref, blk_ref, recon_ref) =
+            regression::compress_reference(&data, &extents, &quantizer);
+        prop_assert_eq!(bits32(&coeffs.slopes), bits32(&coeffs_ref.slopes));
+        prop_assert_eq!(coeffs.intercept.to_bits(), coeffs_ref.intercept.to_bits());
+        prop_assert_eq!(&codes, &blk_ref.codes);
+        prop_assert_eq!(bits32(&unpred), bits32(&blk_ref.unpredictable));
+        prop_assert_eq!(bits32(&recon), bits32(&recon_ref));
+
+        let mut out = Vec::new();
+        regression::decompress_into(&coeffs, &codes, &unpred, &extents, &quantizer, &mut out);
+        let out_ref = regression::decompress_reference(&coeffs_ref, &blk_ref, &extents, &quantizer);
+        prop_assert_eq!(bits32(&out), bits32(&out_ref));
+    }
+
+    #[test]
+    fn bitio_batched_and_scalar_paths_agree(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..48),
+        widths in proptest::collection::vec(1usize..=57, 1..48),
+    ) {
+        // Pair each value with a width and mask it down so both writers see
+        // identical in-range inputs.
+        let items: Vec<(u64, u8)> = words
+            .iter()
+            .zip(widths.iter())
+            .map(|(&w, &n)| (w & (u64::MAX >> (64 - n)), n as u8))
+            .collect();
+
+        let mut fast = BitWriter::new();
+        let mut slow = BitWriter::new();
+        for &(v, n) in &items {
+            fast.write_bits(v, n);
+            slow.write_bits_reference(v, n);
+        }
+        prop_assert_eq!(fast.bit_len(), slow.bit_len());
+        let bytes = fast.into_bytes();
+        prop_assert_eq!(&bytes, &slow.into_bytes());
+
+        // Read the stream back three ways: batched, scalar, peek+consume.
+        let mut fast_r = BitReader::new(&bytes);
+        let mut slow_r = BitReader::new(&bytes);
+        let mut peek_r = BitReader::new(&bytes);
+        for &(v, n) in &items {
+            prop_assert_eq!(fast_r.read_bits(n), Some(v));
+            prop_assert_eq!(slow_r.read_bits_reference(n), Some(v));
+            let peeked = peek_r.peek_bits(n) & (u64::MAX >> (64 - n as u32));
+            prop_assert_eq!(peeked, v);
+            peek_r.consume(n);
+        }
+    }
+
+    #[test]
+    fn huffman_lut_decode_matches_the_walker(
+        symbols in proptest::collection::vec(0u32..600, 0..512),
+        skew in proptest::collection::vec(0u32..4, 0..512),
+    ) {
+        // Skew the alphabet: most streams are dominated by a few hot codes
+        // (quantizer output is), which is what makes the LUT path fire.
+        let symbols: Vec<u32> = symbols
+            .iter()
+            .zip(skew.iter().chain(std::iter::repeat(&0)))
+            .map(|(&s, &k)| if k > 0 { s % 7 } else { s })
+            .collect();
+
+        let fast = huffman_encode(&symbols);
+        let slow = huffman_encode_reference(&symbols);
+        prop_assert_eq!(&fast, &slow);
+
+        let dec = huffman_decode_capped(&fast, symbols.len());
+        let dec_ref = huffman_decode_capped_reference(&fast, symbols.len());
+        prop_assert_eq!(&dec, &dec_ref);
+        prop_assert_eq!(dec, Some(symbols));
+    }
+
+    #[test]
+    fn huffman_decoders_agree_on_hostile_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+        cap in 0usize..512,
+    ) {
+        // On arbitrary (mostly invalid) bytes the two decoders must agree
+        // exactly: same acceptance, same symbols, same rejection.
+        prop_assert_eq!(
+            huffman_decode_capped(&bytes, cap),
+            huffman_decode_capped_reference(&bytes, cap)
+        );
+    }
+
+    #[test]
+    fn zlite_decoders_agree_on_round_trips_and_hostile_bytes(
+        data in proptest::collection::vec(0u8..=255, 0..512),
+        stutter in proptest::collection::vec(0usize..64, 0..8),
+        flips in proptest::collection::vec(0usize..4096, 0..4),
+    ) {
+        // Make the input compressible (repeats at varying distances) so the
+        // copy paths — overlapping and disjoint — actually run.
+        let mut input = data.clone();
+        for &s in &stutter {
+            if !input.is_empty() {
+                let from = s % input.len();
+                let take = (s / 7 + 1).min(input.len() - from);
+                let chunk: Vec<u8> = input[from..from + take].to_vec();
+                input.extend_from_slice(&chunk);
+            }
+        }
+        let packed = zlite_compress(&input);
+        let out = zlite_decompress_capped(&packed, input.len());
+        let out_ref = zlite_decompress_capped_reference(&packed, input.len());
+        prop_assert_eq!(&out, &out_ref);
+        prop_assert_eq!(out, Some(input));
+
+        // Corrupt the stream; both decoders must still agree byte-for-byte.
+        let mut bad = packed;
+        for &f in &flips {
+            if !bad.is_empty() {
+                let at = f % bad.len();
+                bad[at] ^= (f / 251 + 1) as u8;
+            }
+        }
+        for cap in [0usize, 16, 4096] {
+            prop_assert_eq!(
+                zlite_decompress_capped(&bad, cap),
+                zlite_decompress_capped_reference(&bad, cap)
+            );
+        }
+    }
+}
+
+/// Whole-stream lock: every codec (learned ones included) must be
+/// deterministic — two independent forks compressing the same field under
+/// the same bound emit byte-identical streams, under both `ErrorBound`
+/// modes. Combined with `golden_streams.rs` (which pins the traditional
+/// codecs' bytes to committed pre-rewrite fixtures), this extends the
+/// bit-identity contract from kernels to full streams for all seven codecs.
+#[test]
+fn all_seven_codecs_emit_bit_identical_streams_across_forks() {
+    let mut registry = common::trained_registry();
+    for codec in CodecId::all() {
+        let field = common::test_field(codec);
+        for bound in [ErrorBound::Abs(1e-3), ErrorBound::RangeRel(1e-3)] {
+            let one = registry
+                .fork(codec)
+                .expect("codec registered")
+                .compress(&field, bound)
+                .expect("compress");
+            let two = registry
+                .fork(codec)
+                .expect("codec registered")
+                .compress(&field, bound)
+                .expect("compress");
+            assert_eq!(
+                one, two,
+                "{codec:?} under {bound:?} is not run-to-run deterministic"
+            );
+            // And the stream its own fork emitted must decode.
+            let (recon, id) = registry.decompress_any(&one).expect("stream decodes");
+            assert_eq!(id, codec);
+            assert_eq!(recon.dims(), field.dims());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Release-mode per-codec throughput measurement and speed gate.
+//!
+//! Every registered codec compresses and decompresses an 8 MB field
+//! (rank matched to what the codec supports) through the whole-field
+//! path — the same path the kernel rewrites in `crates/codec`,
+//! `crates/predictors`, `crates/baselines` and `crates/core` target.
+//! The measured MB/s land in `BENCH_speed.json` (CI's speed artifact),
+//! and `bench-floor.toml` records the per-codec floor: the test fails
+//! if any codec drops more than 20% below its floor, so a kernel
+//! regression breaks the build instead of silently eating the speedup.
+//!
+//! Timings only mean something under the optimized profile, so the
+//! suite is ignored in debug builds (CI runs it via
+//! `cargo test --release -q --test speed_bench`).
+
+use aesz_repro::datagen::Application;
+use aesz_repro::metrics::{CodecId, ErrorBound};
+use aesz_repro::Dims;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+mod common;
+
+/// Stable lowercase key for JSON/TOML (CodecId::name has dots and dashes).
+fn key(id: CodecId) -> &'static str {
+    match id {
+        CodecId::AeSz => "aesz",
+        CodecId::Sz2 => "sz2",
+        CodecId::Zfp => "zfp",
+        CodecId::SzAuto => "szauto",
+        CodecId::SzInterp => "szinterp",
+        CodecId::AeA => "aea",
+        CodecId::AeB => "aeb",
+    }
+}
+
+struct Measured {
+    id: CodecId,
+    field_desc: String,
+    raw_bytes: usize,
+    stream_bytes: usize,
+    compress_mbps: f64,
+    decompress_mbps: f64,
+}
+
+/// Floors parsed from `bench-floor.toml`: `(codec key, compress, decompress)`.
+///
+/// The file is plain `[section]` + `key = float` TOML; parsing it by hand
+/// keeps the gate dependency-free (the workspace is offline).
+fn parse_floors(src: &str) -> Vec<(String, f64, f64)> {
+    let mut floors: Vec<(String, f64, f64)> = Vec::new();
+    for line in src.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            floors.push((name.trim().to_string(), f64::NAN, f64::NAN));
+        } else if let Some((k, v)) = line.split_once('=') {
+            let entry = floors.last_mut().expect("key before any [codec] section");
+            let value: f64 = v.trim().parse().expect("floor values are floats");
+            match k.trim() {
+                "compress_mbps" => entry.1 = value,
+                "decompress_mbps" => entry.2 = value,
+                other => panic!("unknown floor key {other:?}"),
+            }
+        }
+    }
+    for (name, c, d) in &floors {
+        assert!(
+            c.is_finite() && d.is_finite(),
+            "[{name}] must set both compress_mbps and decompress_mbps"
+        );
+    }
+    floors
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "throughput measurement needs --release")]
+fn per_codec_throughput_is_recorded_and_gated() {
+    // 8 MB fields, rank-matched: AE-B only accepts rank 3; the 2D codecs
+    // get a 2048x1024 CESM slab of the same byte size.
+    let dims_2d = Dims::d2(2048, 1024);
+    let field_2d = Application::CesmCldhgh.generate(dims_2d, 9);
+    let dims_3d = Dims::d3(128, 128, 128);
+    let field_3d = Application::NyxBaryonDensity.generate(dims_3d, 3);
+    assert!(field_2d.len() * 4 >= 8 * 1024 * 1024);
+    assert!(field_3d.len() * 4 >= 8 * 1024 * 1024);
+
+    let registry = common::trained_registry();
+    let bound = ErrorBound::rel(1e-3);
+
+    let mut results: Vec<Measured> = Vec::new();
+    for id in CodecId::all() {
+        let (field, desc) = match id {
+            // The learned codecs were trained on rank-2 blocks; AE-B is the
+            // rank-3-only convolutional baseline.
+            CodecId::AeB => (&field_3d, format!("nyx-baryon {dims_3d}")),
+            _ => (&field_2d, format!("cesm {dims_2d}")),
+        };
+        let raw_bytes = field.len() * 4;
+        let mut codec = registry.fork(id).expect("every codec is registered");
+
+        let t0 = Instant::now();
+        let stream = codec.compress(field, bound).expect("compress");
+        let compress_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let recon = codec.decompress(&stream).expect("decompress");
+        let decompress_s = t0.elapsed().as_secs_f64();
+        assert_eq!(recon.dims(), field.dims(), "{id} round trip lost the dims");
+
+        let mbps = |secs: f64| raw_bytes as f64 / 1e6 / secs;
+        results.push(Measured {
+            id,
+            field_desc: desc,
+            raw_bytes,
+            stream_bytes: stream.len(),
+            compress_mbps: mbps(compress_s),
+            decompress_mbps: mbps(decompress_s),
+        });
+    }
+
+    // BENCH_speed.json: one object per codec, keyed by the stable name.
+    let mut json = String::from("{\n  \"bound\": \"rel 1e-3\",\n  \"codecs\": {\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = write!(
+            json,
+            "    \"{}\": {{\n      \"name\": \"{}\", \"field\": \"{}\",\n      \
+             \"raw_bytes\": {}, \"stream_bytes\": {},\n      \
+             \"compress_mbps\": {:.2}, \"decompress_mbps\": {:.2}\n    }}{}\n",
+            key(m.id),
+            m.id.name(),
+            m.field_desc,
+            m.raw_bytes,
+            m.stream_bytes,
+            m.compress_mbps,
+            m.decompress_mbps,
+            comma,
+        );
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_speed.json");
+    std::fs::write(path, &json).expect("write BENCH_speed.json");
+    println!("wrote {path}:\n{json}");
+
+    // The gate: every codec with a recorded floor must stay within 20% of
+    // it, in both directions.
+    let floor_path = concat!(env!("CARGO_MANIFEST_DIR"), "/bench-floor.toml");
+    let floors = parse_floors(&std::fs::read_to_string(floor_path).expect("read bench-floor.toml"));
+    assert_eq!(
+        floors.len(),
+        results.len(),
+        "bench-floor.toml must carry a floor for every codec"
+    );
+    let mut failures = String::new();
+    for (name, floor_c, floor_d) in &floors {
+        let m = results
+            .iter()
+            .find(|m| key(m.id) == name)
+            .unwrap_or_else(|| panic!("bench-floor.toml names unknown codec {name:?}"));
+        for (dir, measured, floor) in [
+            ("compress", m.compress_mbps, *floor_c),
+            ("decompress", m.decompress_mbps, *floor_d),
+        ] {
+            if measured < floor * 0.8 {
+                let _ = writeln!(
+                    failures,
+                    "  {name} {dir}: {measured:.2} MB/s is more than 20% below \
+                     the {floor:.2} MB/s floor"
+                );
+            }
+        }
+    }
+    assert!(failures.is_empty(), "speed gate failed:\n{failures}");
+}
