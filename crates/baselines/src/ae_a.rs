@@ -35,6 +35,7 @@ use aesz_nn::loss;
 use aesz_nn::optim::Adam;
 use aesz_nn::sequential::Sequential;
 use aesz_nn::serialize::{read_params_into, write_params, ModelError};
+use aesz_nn::{NnScratch, Shape};
 use aesz_predictors::{Quantizer, DEFAULT_QUANT_BINS};
 use aesz_tensor::{init, Field, Tensor};
 
@@ -58,6 +59,25 @@ pub struct AeA {
     trained: bool,
     /// Content-addressed id of the trained weights; `None` until trained.
     model_id: Option<ModelId>,
+    /// Resident inference buffers; warm after the first call, clone cold.
+    scratch: AeAScratch,
+}
+
+/// Per-instance buffers of the window codec's inference path: the network
+/// scratch plus the flattened-window and prediction staging vectors. Clones
+/// are cold so [`Compressor::fork`] stays cheap and every fork warms its own
+/// buffers (the per-worker residency model of `aesz serve`).
+#[derive(Default)]
+struct AeAScratch {
+    nn: NnScratch,
+    flat: Vec<f32>,
+    pred: Vec<f32>,
+}
+
+impl Clone for AeAScratch {
+    fn clone(&self) -> Self {
+        AeAScratch::default()
+    }
 }
 
 impl Default for AeA {
@@ -89,6 +109,7 @@ impl AeA {
             decoder,
             trained: false,
             model_id: None,
+            scratch: AeAScratch::default(),
         }
     }
 
@@ -181,21 +202,34 @@ impl AeA {
         self.model_id = Some(ModelId::of(&self.to_model_bytes()));
     }
 
-    /// Encode a normalised field into one latent vector per window.
+    /// Encode a normalised field into one latent vector per window, through
+    /// the allocation-free inference path: the windows are packed (with the
+    /// zero-padded tail) straight into a resident flat buffer — no
+    /// per-window `Vec`s, no input clone, no training caches touched.
     fn encode_latents(&mut self, norm: &[f32]) -> Vec<f32> {
-        let windows = Self::windows(norm);
-        let n = windows.len();
-        let flat: Vec<f32> = windows.into_iter().flatten().collect();
-        let x = Tensor::from_vec(&[n, WINDOW], flat).expect("shape");
-        self.encoder.forward(&x).into_vec()
+        let n = norm.len().div_ceil(WINDOW);
+        let sc = &mut self.scratch;
+        sc.flat.clear();
+        sc.flat.resize(n * WINDOW, 0.0);
+        for (dst, src) in sc.flat.chunks_mut(WINDOW).zip(norm.chunks(WINDOW)) {
+            dst[..src.len()].copy_from_slice(src);
+        }
+        let mut latents = Vec::new();
+        self.encoder
+            .infer_into(&sc.flat, Shape::new(&[n, WINDOW]), &mut latents, &mut sc.nn)
+            .expect("windows shaped by the packing loop");
+        latents
     }
 
-    /// Decode latents back to a flat normalised signal of length `len`.
+    /// Decode latents back to a flat normalised signal of length `len`,
+    /// through the allocation-free inference path.
     fn decode_latents(&mut self, latents: &[f32], len: usize) -> Vec<f32> {
         let n = latents.len() / LATENT;
-        let z = Tensor::from_vec(&[n, LATENT], latents.to_vec()).expect("shape");
-        let y = self.decoder.forward(&z);
-        y.into_vec().into_iter().take(len).collect()
+        let sc = &mut self.scratch;
+        self.decoder
+            .infer_into(latents, Shape::new(&[n, LATENT]), &mut sc.pred, &mut sc.nn)
+            .expect("latent count is a multiple of LATENT");
+        sc.pred[..len.min(sc.pred.len())].to_vec()
     }
 
     /// Denormalise a prediction signal back to the data domain.

@@ -22,6 +22,7 @@ use aesz_nn::models::conv_ae::{AeConfig, ConvAutoencoder};
 use aesz_nn::models::zoo::AeVariant;
 use aesz_nn::serialize::{load_model, model_id, save_model, ModelError};
 use aesz_nn::train::{TrainConfig, Trainer};
+use aesz_nn::NnScratch;
 use aesz_tensor::{BlockSpec, Dims, Field};
 
 use crate::common::{read_dims, read_len, write_dims};
@@ -38,6 +39,25 @@ pub struct AeB {
     trained: bool,
     /// Content-addressed id of the trained weights; `None` until trained.
     model_id: Option<ModelId>,
+    /// Resident inference buffers; warm after the first batch, clone cold.
+    scratch: AeBScratch,
+}
+
+/// Per-instance buffers of the blockwise inference path (clone cold — each
+/// [`Compressor::fork`] warms its own, the per-worker residency model of
+/// `aesz serve`).
+#[derive(Default)]
+struct AeBScratch {
+    nn: NnScratch,
+    batch: Vec<f32>,
+    latents: Vec<f32>,
+    decoded: Vec<f32>,
+}
+
+impl Clone for AeBScratch {
+    fn clone(&self) -> Self {
+        AeBScratch::default()
+    }
 }
 
 impl Default for AeB {
@@ -61,6 +81,7 @@ impl AeB {
             model,
             trained: false,
             model_id: None,
+            scratch: AeBScratch::default(),
         }
     }
 
@@ -101,6 +122,7 @@ impl AeB {
             model,
             trained: true,
             model_id: Some(id),
+            scratch: AeBScratch::default(),
         })
     }
 
@@ -188,7 +210,6 @@ impl Compressor for AeB {
         }
         let range = hi - lo;
         let specs: Vec<BlockSpec> = field.blocks(BLOCK).collect();
-        let block_len = BLOCK * BLOCK * BLOCK;
         let mut out = Vec::new();
         // The model id leads the payload (like AE-A) so dispatchers can
         // resolve the model without parsing the stream.
@@ -197,11 +218,12 @@ impl Compressor for AeB {
         write_f32(&mut out, lo);
         write_f32(&mut out, hi);
         write_uvarint(&mut out, specs.len() as u64);
+        let sc = &mut self.scratch;
         for chunk in specs.chunks(16) {
-            let mut batch = Vec::with_capacity(chunk.len() * block_len);
+            sc.batch.clear();
             for spec in chunk {
                 let blk = field.extract_block(spec);
-                batch.extend(blk.data.iter().map(|&v| {
+                sc.batch.extend(blk.data.iter().map(|&v| {
                     if range > 0.0 {
                         2.0 * (v - lo) / range - 1.0
                     } else {
@@ -209,8 +231,10 @@ impl Compressor for AeB {
                     }
                 }));
             }
-            let latents = self.model.encode_blocks(&batch, chunk.len());
-            for &v in &latents {
+            self.model
+                .encode_blocks_into(&sc.batch, chunk.len(), &mut sc.latents, &mut sc.nn)
+                .expect("batch shaped by the block loop");
+            for &v in &sc.latents {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
@@ -262,15 +286,26 @@ impl Compressor for AeB {
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
         let block_len = BLOCK * BLOCK * BLOCK;
+        // Batched decode through the resident inference path: one
+        // `decode_latents_into` per 16-block chunk, reusing the network
+        // scratch and both staging buffers across the whole field (the
+        // old per-chunk tensor allocation and training-cache churn made
+        // AE-B's decode pathologically slow).
+        let sc = &mut self.scratch;
+        let mut pred = Vec::with_capacity(block_len);
         for (chunk_no, chunk) in specs.chunks(16).enumerate() {
             let start = chunk_no * 16 * LATENT;
             let z = &latents[start..start + chunk.len() * LATENT];
-            let decoded = self.model.decode_latents(z, chunk.len());
+            self.model
+                .decode_latents_into(z, chunk.len(), &mut sc.decoded, &mut sc.nn)
+                .expect("latent payload length checked above");
             for (k, spec) in chunk.iter().enumerate() {
-                let pred: Vec<f32> = decoded[k * block_len..(k + 1) * block_len]
-                    .iter()
-                    .map(|&v| ((v as f64 + 1.0) * 0.5 * range + lo as f64) as f32)
-                    .collect();
+                pred.clear();
+                pred.extend(
+                    sc.decoded[k * block_len..(k + 1) * block_len]
+                        .iter()
+                        .map(|&v| ((v as f64 + 1.0) * 0.5 * range + lo as f64) as f32),
+                );
                 field.write_block(spec, &pred);
             }
         }

@@ -24,6 +24,7 @@ use aesz_codec::{compress_bytes, decode_codes_capped, decompress_bytes_capped, e
 use aesz_metrics::{CodecId, CompressError, Compressor, EmbeddedModel, ErrorBound, ModelId};
 use aesz_nn::models::conv_ae::ConvAutoencoder;
 use aesz_nn::serialize::save_model;
+use aesz_nn::NnScratch;
 use aesz_predictors::{lorenzo, mean, Quantizer};
 use aesz_tensor::{BlockSpec, Dims, Field};
 use rayon::prelude::*;
@@ -82,6 +83,30 @@ pub struct AeSz {
     model_id: ModelId,
     config: AeSzConfig,
     last_report: CompressionReport,
+    /// Resident inference buffers; warm after the first batch, clone cold.
+    scratch: AeSzScratch,
+}
+
+/// Per-instance buffers of the AE inference stages: the network scratch plus
+/// the batch/latent/decode staging vectors that `ae_predict_blocks` and
+/// `ae_decode_latents` cycle through. All reach their high-water mark on the
+/// first batch, making AE inference allocation-free for the rest of the
+/// field. Clones are cold — a [`Compressor::fork`] must not drag a sibling's
+/// megabytes along; each fork warms its own, which is exactly the per-worker
+/// residency model of `aesz serve`.
+#[derive(Default)]
+struct AeSzScratch {
+    nn: NnScratch,
+    batch: Vec<f32>,
+    latents: Vec<f32>,
+    zd: Vec<f32>,
+    decoded: Vec<f32>,
+}
+
+impl Clone for AeSzScratch {
+    fn clone(&self) -> Self {
+        AeSzScratch::default()
+    }
 }
 
 /// Batch size used by the serial reference path when pushing blocks through
@@ -140,6 +165,7 @@ impl AeSz {
             model_id,
             config,
             last_report: CompressionReport::default(),
+            scratch: AeSzScratch::default(),
         }
     }
 
@@ -247,22 +273,40 @@ impl AeSz {
         let mut ae_preds = Vec::with_capacity(specs.len());
         let mut latent_indices_per_block = Vec::with_capacity(specs.len());
         let norm = |v: f32| 2.0 * (v - lo) / range as f32 - 1.0;
+        let sc = &mut self.scratch;
         for chunk in specs.chunks(batch.max(1)) {
-            let mut batch_buf = Vec::with_capacity(chunk.len() * block_len);
+            sc.batch.clear();
             for spec in chunk {
                 let blk = field.extract_block(spec);
-                batch_buf.extend(blk.data.iter().map(|&v| norm(v)));
+                sc.batch.extend(blk.data.iter().map(|&v| norm(v)));
             }
-            let latents = self.model.encode_blocks(&batch_buf, chunk.len());
+            if self
+                .model
+                .encode_blocks_into(&sc.batch, chunk.len(), &mut sc.latents, &mut sc.nn)
+                .is_err()
+            {
+                // Unreachable: the batch is shaped by the loop above. Fall
+                // back to zero latents so downstream shapes stay consistent.
+                sc.latents.clear();
+                sc.latents.resize(chunk.len() * latent_dim, 0.0);
+            }
             // Quantize + dequantize the latents (the z → z_d path of Fig. 5).
-            let mut zd = Vec::with_capacity(latents.len());
-            for z in latents.chunks(latent_dim.max(1)).take(chunk.len()) {
+            sc.zd.clear();
+            for z in sc.latents.chunks(latent_dim.max(1)).take(chunk.len()) {
                 let idx = latent_codec.quantize(z);
-                zd.extend(latent_codec.dequantize(&idx));
+                sc.zd.extend(latent_codec.dequantize(&idx));
                 latent_indices_per_block.push(idx);
             }
-            let decoded = self.model.decode_latents(&zd, chunk.len());
-            for pred_norm in decoded.chunks(block_len.max(1)).take(chunk.len()) {
+            if self
+                .model
+                .decode_latents_into(&sc.zd, chunk.len(), &mut sc.decoded, &mut sc.nn)
+                .is_err()
+            {
+                // Unreachable: the latents are shaped by the quantize loop.
+                sc.decoded.clear();
+                sc.decoded.resize(chunk.len() * block_len, 0.0);
+            }
+            for pred_norm in sc.decoded.chunks(block_len.max(1)).take(chunk.len()) {
                 // Denormalise back to the data domain.
                 let pred: Vec<f32> = pred_norm
                     .iter()
@@ -291,14 +335,23 @@ impl AeSz {
         let n_ae = latent_indices.len() / latent_dim;
         let mut preds = Vec::with_capacity(n_ae.min(MAX_FIELD_ELEMS));
         let batch = batch.max(1);
+        let sc = &mut self.scratch;
         for group in latent_indices.chunks(batch * latent_dim) {
             let n = group.len() / latent_dim;
-            let mut zd = Vec::with_capacity(group.len());
+            sc.zd.clear();
             for idx in group.chunks(latent_dim) {
-                zd.extend(latent_codec.dequantize(idx));
+                sc.zd.extend(latent_codec.dequantize(idx));
             }
-            let decoded = self.model.decode_latents(&zd, n);
-            for pred_norm in decoded.chunks(block_len.max(1)).take(n) {
+            if self
+                .model
+                .decode_latents_into(&sc.zd, n, &mut sc.decoded, &mut sc.nn)
+                .is_err()
+            {
+                // Unreachable: the latents are shaped by the dequantize loop.
+                sc.decoded.clear();
+                sc.decoded.resize(n * block_len, 0.0);
+            }
+            for pred_norm in sc.decoded.chunks(block_len.max(1)).take(n) {
                 preds.push(
                     pred_norm
                         .iter()

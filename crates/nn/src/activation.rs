@@ -2,8 +2,32 @@
 //! paper's network), ReLU and LeakyReLU (used as ablation alternatives to GDN
 //! in the Table I experiments).
 
-use crate::layer::Layer;
+use crate::infer::{NnScratch, Shape};
+use crate::layer::{Layer, NnError};
 use aesz_tensor::Tensor;
+
+/// Pointwise inference core shared by the activation layers: stream `f` over
+/// the input into the caller's buffer (same scalar function as the training
+/// path, so bit-identity is immediate).
+fn pointwise_into(
+    input: &[f32],
+    shape: Shape,
+    out: &mut Vec<f32>,
+    layer: &'static str,
+    f: impl Fn(f32) -> f32,
+) -> Result<Shape, NnError> {
+    if input.len() != shape.len() {
+        return Err(NnError {
+            layer,
+            problem: "input length does not match shape",
+            expected: shape.len(),
+            got: input.len(),
+        });
+    }
+    out.clear();
+    out.extend(input.iter().map(|&v| f(v)));
+    Ok(shape)
+}
 
 /// Hyperbolic tangent activation.
 #[derive(Clone, Default)]
@@ -27,10 +51,20 @@ impl Layer for Tanh {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         let out = input.map(|v| v.tanh());
         self.cached_output = Some(out.clone());
-        out
+        Ok(out)
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        pointwise_into(input, shape, out, "Tanh", |v| v.tanh())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -66,9 +100,19 @@ impl Layer for Relu {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         self.cached_input = Some(input.clone());
-        input.map(|v| v.max(0.0))
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        pointwise_into(input, shape, out, "ReLU", |v| v.max(0.0))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -108,10 +152,27 @@ impl Layer for LeakyRelu {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         self.cached_input = Some(input.clone());
         let s = self.slope;
-        input.map(|v| if v > 0.0 { v } else { s * v })
+        Ok(input.map(|v| if v > 0.0 { v } else { s * v }))
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        let s = self.slope;
+        pointwise_into(input, shape, out, "LeakyReLU", |v| {
+            if v > 0.0 {
+                v
+            } else {
+                s * v
+            }
+        })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -9,10 +9,17 @@
 //! Padding is always `k/2` ("same"), so stride-1 convolutions preserve the
 //! spatial size and stride-2 convolutions halve it (for even sizes).
 
-use crate::layer::{Layer, Param};
+use crate::gemm::{gemm_into, GemmBias};
+use crate::im2col::{im2col_into, ConvGeom};
+use crate::infer::{NnScratch, Shape};
+use crate::layer::{Layer, NnError, Param};
 use aesz_tensor::{init, Tensor};
 use rand::rngs::StdRng;
-use rayon::prelude::*;
+
+/// Target column count of one im2col panel: bounds the resident column
+/// buffer (`k_rows · PANEL_COLS` floats) so it stays cache-friendly while
+/// leaving enough width for the GEMM inner loop to vectorize.
+const PANEL_COLS: usize = 512;
 
 /// Convolution over 2 or 3 spatial dimensions with cubic kernels.
 #[derive(Clone)]
@@ -39,22 +46,41 @@ pub(crate) struct Act5 {
 
 impl Act5 {
     pub(crate) fn from_shape(shape: &[usize], spatial_rank: usize) -> Act5 {
+        match Self::try_from_shape(shape, spatial_rank, "Act5") {
+            Ok(a) => a,
+            Err(_) => {
+                panic!("activation shape {shape:?} incompatible with spatial rank {spatial_rank}")
+            }
+        }
+    }
+
+    /// Fallible parse for the error-returning layer entry points.
+    pub(crate) fn try_from_shape(
+        shape: &[usize],
+        spatial_rank: usize,
+        layer: &'static str,
+    ) -> Result<Act5, NnError> {
         match (shape.len(), spatial_rank) {
-            (4, 2) => Act5 {
+            (4, 2) => Ok(Act5 {
                 n: shape[0],
                 c: shape[1],
                 d: 1,
                 h: shape[2],
                 w: shape[3],
-            },
-            (5, 3) => Act5 {
+            }),
+            (5, 3) => Ok(Act5 {
                 n: shape[0],
                 c: shape[1],
                 d: shape[2],
                 h: shape[3],
                 w: shape[4],
-            },
-            _ => panic!("activation shape {shape:?} incompatible with spatial rank {spatial_rank}"),
+            }),
+            _ => Err(NnError {
+                layer,
+                problem: "activation rank incompatible with spatial rank",
+                expected: spatial_rank + 2,
+                got: shape.len(),
+            }),
         }
     }
 
@@ -62,6 +88,15 @@ impl Act5 {
         match spatial_rank {
             2 => vec![self.n, self.c, self.h, self.w],
             3 => vec![self.n, self.c, self.d, self.h, self.w],
+            r => panic!("unsupported spatial rank {r}"),
+        }
+    }
+
+    /// Shape for the inference path, built without touching the heap.
+    pub(crate) fn to_infer_shape(self, spatial_rank: usize) -> Shape {
+        match spatial_rank {
+            2 => Shape::new(&[self.n, self.c, self.h, self.w]),
+            3 => Shape::new(&[self.n, self.c, self.d, self.h, self.w]),
             r => panic!("unsupported spatial rank {r}"),
         }
     }
@@ -148,6 +183,79 @@ impl ConvNd {
             w: Self::out_extent(input.w, kw, pw, self.stride),
         }
     }
+
+    /// The im2col lowering geometry for one input sample.
+    fn geom(&self, ia: Act5) -> ConvGeom {
+        let (kd, kh, kw) = self.kernel_dims();
+        let (pd, ph, pw) = self.pads();
+        let sd = if self.spatial_rank == 2 {
+            1
+        } else {
+            self.stride
+        };
+        ConvGeom::new(
+            self.in_channels,
+            [ia.d, ia.h, ia.w],
+            [kd, kh, kw],
+            [sd, self.stride, self.stride],
+            [pd as usize, ph as usize, pw as usize],
+        )
+    }
+
+    /// Shape checks shared by both forward entry points.
+    fn validate(&self, shape: &[usize]) -> Result<Act5, NnError> {
+        let ia = Act5::try_from_shape(shape, self.spatial_rank, "ConvNd")?;
+        if ia.c != self.in_channels {
+            return Err(NnError {
+                layer: "ConvNd",
+                problem: "channel count mismatch",
+                expected: self.in_channels,
+                got: ia.c,
+            });
+        }
+        Ok(ia)
+    }
+
+    /// GEMM inference core shared by `try_forward` and `infer_into`: per
+    /// sample, unfold cache-sized im2col panels and multiply them against
+    /// the weight matrix. Bit-identical to the direct 7-deep loop it
+    /// replaced: the column rows follow the weight layout's
+    /// `(ci, dk, hk, wk)` order and [`gemm_into`] accumulates ascending-k,
+    /// so every output element sums its taps in the original order (padded
+    /// taps contribute an explicit `+0.0`; see [`crate::gemm`]).
+    fn run(&self, x: &[f32], ia: Act5, oa: Act5, out: &mut [f32], scratch: &mut NnScratch) {
+        let g = self.geom(ia);
+        debug_assert_eq!([oa.d, oa.h, oa.w], g.out_dhw);
+        let w = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        let k = g.k_rows();
+        let in_sample = ia.sample_len();
+        let out_sample = oa.sample_len();
+        let spatial = oa.spatial_len();
+        let rows_total = g.out_rows();
+        let rows_per_panel = (PANEL_COLS / oa.w.max(1)).clamp(1, rows_total.max(1));
+        for n in 0..ia.n {
+            let x_n = &x[n * in_sample..(n + 1) * in_sample];
+            let out_n = &mut out[n * out_sample..(n + 1) * out_sample];
+            let mut r0 = 0usize;
+            while r0 < rows_total {
+                let r1 = (r0 + rows_per_panel).min(rows_total);
+                im2col_into(x_n, &g, r0, r1, &mut scratch.col);
+                let np = (r1 - r0) * oa.w;
+                gemm_into(
+                    w,
+                    &scratch.col,
+                    GemmBias::Row(b),
+                    oa.c,
+                    k,
+                    np,
+                    &mut out_n[r0 * oa.w..],
+                    spatial,
+                );
+                r0 = r1;
+            }
+        }
+    }
 }
 
 impl Layer for ConvNd {
@@ -159,75 +267,36 @@ impl Layer for ConvNd {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let ia = Act5::from_shape(input.shape(), self.spatial_rank);
-        assert_eq!(ia.c, self.in_channels, "channel count mismatch");
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let ia = self.validate(input.shape())?;
         let oa = self.output_act(ia);
-        let (kd, kh, kw) = self.kernel_dims();
-        let (pd, ph, pw) = self.pads();
-        let sd = if self.spatial_rank == 2 {
-            1
-        } else {
-            self.stride
-        };
-        let (sh, sw) = (self.stride, self.stride);
-        let x = input.as_slice();
-        let w = self.weight.value.as_slice();
-        let b = self.bias.value.as_slice();
-        let k_elems = kd * kh * kw;
-
-        let in_sample = ia.sample_len();
-        let out_sample = oa.sample_len();
-        let mut out = vec![0.0f32; oa.n * out_sample];
-
-        out.par_chunks_mut(out_sample)
-            .enumerate()
-            .for_each(|(n, o_n)| {
-                let x_n = &x[n * in_sample..(n + 1) * in_sample];
-                for co in 0..oa.c {
-                    let w_co =
-                        &w[co * self.in_channels * k_elems..(co + 1) * self.in_channels * k_elems];
-                    for od in 0..oa.d {
-                        for oh in 0..oa.h {
-                            for ow in 0..oa.w {
-                                let mut acc = b[co];
-                                for ci in 0..ia.c {
-                                    let w_ci = &w_co[ci * k_elems..(ci + 1) * k_elems];
-                                    let x_ci =
-                                        &x_n[ci * ia.spatial_len()..(ci + 1) * ia.spatial_len()];
-                                    for dk in 0..kd {
-                                        let id = od as isize * sd as isize - pd + dk as isize;
-                                        if id < 0 || id >= ia.d as isize {
-                                            continue;
-                                        }
-                                        for hk in 0..kh {
-                                            let ih = oh as isize * sh as isize - ph + hk as isize;
-                                            if ih < 0 || ih >= ia.h as isize {
-                                                continue;
-                                            }
-                                            for wk in 0..kw {
-                                                let iw =
-                                                    ow as isize * sw as isize - pw + wk as isize;
-                                                if iw < 0 || iw >= ia.w as isize {
-                                                    continue;
-                                                }
-                                                let xi = (id as usize * ia.h + ih as usize) * ia.w
-                                                    + iw as usize;
-                                                let wi = (dk * kh + hk) * kw + wk;
-                                                acc += x_ci[xi] * w_ci[wi];
-                                            }
-                                        }
-                                    }
-                                }
-                                o_n[(co * oa.d + od) * oa.h * oa.w + oh * oa.w + ow] = acc;
-                            }
-                        }
-                    }
-                }
-            });
-
+        let mut out = vec![0.0f32; oa.n * oa.sample_len()];
+        let mut scratch = NnScratch::new();
+        self.run(input.as_slice(), ia, oa, &mut out, &mut scratch);
         self.cached_input = Some(input.clone());
-        Tensor::from_vec(&oa.to_shape(self.spatial_rank), out).expect("consistent shape")
+        Ok(Tensor::from_vec(&oa.to_shape(self.spatial_rank), out).expect("consistent shape"))
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        let ia = self.validate(shape.dims())?;
+        if input.len() != shape.len() {
+            return Err(NnError {
+                layer: "ConvNd",
+                problem: "input length does not match shape",
+                expected: shape.len(),
+                got: input.len(),
+            });
+        }
+        let oa = self.output_act(ia);
+        out.resize(oa.n * oa.sample_len(), 0.0);
+        self.run(input, ia, oa, out, scratch);
+        Ok(oa.to_infer_shape(self.spatial_rank))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -349,15 +418,49 @@ impl Layer for Reshape {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         let n = input.shape()[0];
         let per_sample: usize = input.shape()[1..].iter().product();
         let target: usize = self.per_sample_shape.iter().product();
-        assert_eq!(per_sample, target, "reshape element count mismatch");
+        if per_sample != target {
+            return Err(NnError {
+                layer: "Reshape",
+                problem: "per-sample element count mismatch",
+                expected: target,
+                got: per_sample,
+            });
+        }
         self.cached_in_shape = Some(input.shape().to_vec());
         let mut shape = vec![n];
         shape.extend_from_slice(&self.per_sample_shape);
-        input.reshape(&shape).expect("element count checked")
+        Ok(input.reshape(&shape).expect("element count checked"))
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        let dims = shape.dims();
+        let n = dims.first().copied().unwrap_or(0);
+        let per_sample: usize = dims.iter().skip(1).product();
+        let target: usize = self.per_sample_shape.iter().product();
+        if per_sample != target {
+            return Err(NnError {
+                layer: "Reshape",
+                problem: "per-sample element count mismatch",
+                expected: target,
+                got: per_sample,
+            });
+        }
+        out.clear();
+        out.extend_from_slice(input);
+        let mut out_dims = [0usize; Shape::MAX_RANK];
+        out_dims[0] = n;
+        out_dims[1..=self.per_sample_shape.len()].copy_from_slice(&self.per_sample_shape);
+        Ok(Shape::new(&out_dims[..self.per_sample_shape.len() + 1]))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -446,10 +549,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "channel count mismatch")]
     fn rejects_wrong_channel_count() {
         let mut r = rng(6);
         let mut conv = ConvNd::new(2, 3, 4, 3, 1, &mut r);
-        conv.forward(&Tensor::zeros(&[1, 2, 8, 8]));
+        let err = conv
+            .try_forward(&Tensor::zeros(&[1, 2, 8, 8]))
+            .expect_err("mismatched channels must be rejected");
+        assert_eq!(err.layer, "ConvNd");
+        assert_eq!(err.problem, "channel count mismatch");
+        assert_eq!((err.expected, err.got), (3, 2));
+        // The inference path rejects the same shape without panicking.
+        let mut out = Vec::new();
+        let mut scratch = NnScratch::new();
+        let x = vec![0.0f32; 2 * 64];
+        let err = conv
+            .infer_into(&x, Shape::new(&[1, 2, 8, 8]), &mut out, &mut scratch)
+            .expect_err("mismatched channels must be rejected");
+        assert_eq!(err.problem, "channel count mismatch");
+    }
+
+    #[test]
+    fn infer_into_matches_forward_bitwise() {
+        let mut r = rng(7);
+        let mut conv = ConvNd::new(2, 3, 5, 3, 2, &mut r);
+        let x = init::normal(&[2, 3, 9, 7], 0.0, 1.0, &mut r);
+        let y = conv.forward(&x);
+        let mut out = Vec::new();
+        let mut scratch = NnScratch::new();
+        let shape = conv
+            .infer_into(x.as_slice(), Shape::new(x.shape()), &mut out, &mut scratch)
+            .expect("valid shape");
+        assert_eq!(shape.dims(), y.shape());
+        let fwd: Vec<u32> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+        let inf: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fwd, inf);
     }
 }

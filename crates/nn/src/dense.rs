@@ -4,8 +4,15 @@
 //! flattened convolutional feature map to the latent vector, and the decoder
 //! starts with the mirror layer (latent → feature map). Input is `(N, in)`,
 //! output `(N, out)`.
+//!
+//! Both forward paths are a single [`gemm_into`] call against a packed `Wᵀ`
+//! panel: element `(i, o)` seeds from `b[o]` and accumulates
+//! `x[i][j]·w[o][j]` in ascending `j`, exactly the original dot-product
+//! order, so the GEMM lowering is bit-identical to the loop it replaced.
 
-use crate::layer::{Layer, Param};
+use crate::gemm::{gemm_into, GemmBias};
+use crate::infer::{NnScratch, Shape};
+use crate::layer::{Layer, NnError, Param};
 use aesz_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 
@@ -41,6 +48,54 @@ impl Dense {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Shape checks shared by both forward entry points.
+    fn validate(&self, shape: &[usize]) -> Result<usize, NnError> {
+        if shape.len() != 2 {
+            return Err(NnError {
+                layer: "Dense",
+                problem: "expects rank-2 (N, features) input",
+                expected: 2,
+                got: shape.len(),
+            });
+        }
+        if shape[1] != self.in_features {
+            return Err(NnError {
+                layer: "Dense",
+                problem: "feature size mismatch",
+                expected: self.in_features,
+                got: shape[1],
+            });
+        }
+        Ok(shape[0])
+    }
+
+    /// GEMM core shared by `try_forward` and `infer_into`: pack `Wᵀ` into
+    /// `scratch.packed`, then one `x·Wᵀ ⊕ b` multiply. The transpose pack
+    /// turns the per-row dot products into a `p`-vectorizable axpy sweep
+    /// without changing any element's accumulation order.
+    fn run(&self, x: &[f32], n: usize, out: &mut [f32], scratch: &mut NnScratch) {
+        let w = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        let (fin, fout) = (self.in_features, self.out_features);
+        scratch.packed.clear();
+        scratch.packed.resize(fin * fout, 0.0);
+        for (o, wrow) in w.chunks_exact(fin).enumerate() {
+            for (j, &wv) in wrow.iter().enumerate() {
+                scratch.packed[j * fout + o] = wv;
+            }
+        }
+        gemm_into(
+            x,
+            &scratch.packed,
+            GemmBias::Col(b),
+            n,
+            fin,
+            fout,
+            out,
+            fout,
+        );
+    }
 }
 
 impl Layer for Dense {
@@ -52,28 +107,34 @@ impl Layer for Dense {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.rank(), 2, "Dense expects (N, features) input");
-        assert_eq!(input.shape()[1], self.in_features, "feature size mismatch");
-        let n = input.shape()[0];
-        let x = input.as_slice();
-        let w = self.weight.value.as_slice();
-        let b = self.bias.value.as_slice();
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let n = self.validate(input.shape())?;
         let mut out = vec![0.0f32; n * self.out_features];
-        for i in 0..n {
-            let xi = &x[i * self.in_features..(i + 1) * self.in_features];
-            let oi = &mut out[i * self.out_features..(i + 1) * self.out_features];
-            for (o, ob) in oi.iter_mut().enumerate() {
-                let wrow = &w[o * self.in_features..(o + 1) * self.in_features];
-                let mut acc = b[o];
-                for (xv, wv) in xi.iter().zip(wrow.iter()) {
-                    acc += xv * wv;
-                }
-                *ob = acc;
-            }
-        }
+        let mut scratch = NnScratch::new();
+        self.run(input.as_slice(), n, &mut out, &mut scratch);
         self.cached_input = Some(input.clone());
-        Tensor::from_vec(&[n, self.out_features], out).expect("consistent shape")
+        Ok(Tensor::from_vec(&[n, self.out_features], out).expect("consistent shape"))
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        let n = self.validate(shape.dims())?;
+        if input.len() != shape.len() {
+            return Err(NnError {
+                layer: "Dense",
+                problem: "input length does not match shape",
+                expected: shape.len(),
+                got: input.len(),
+            });
+        }
+        out.resize(n * self.out_features, 0.0);
+        self.run(input, n, out, scratch);
+        Ok(Shape::new(&[n, self.out_features]))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -161,10 +222,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "feature size mismatch")]
     fn rejects_wrong_input_width() {
         let mut r = rng(4);
         let mut layer = Dense::new(3, 2, &mut r);
-        layer.forward(&Tensor::zeros(&[1, 4]));
+        let err = layer
+            .try_forward(&Tensor::zeros(&[1, 4]))
+            .expect_err("mismatched width must be rejected");
+        assert_eq!(err.problem, "feature size mismatch");
+        assert_eq!((err.expected, err.got), (3, 4));
+    }
+
+    #[test]
+    fn infer_into_matches_forward_bitwise() {
+        let mut r = rng(5);
+        let mut layer = Dense::new(7, 4, &mut r);
+        let x = init::normal(&[3, 7], 0.0, 1.0, &mut r);
+        let y = layer.forward(&x);
+        let mut out = Vec::new();
+        let mut scratch = NnScratch::new();
+        let shape = layer
+            .infer_into(x.as_slice(), Shape::new(x.shape()), &mut out, &mut scratch)
+            .expect("valid shape");
+        assert_eq!(shape.dims(), y.shape());
+        let fwd: Vec<u32> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+        let inf: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fwd, inf);
     }
 }

@@ -13,7 +13,8 @@
 //! are used in the forward pass, which keeps the constraint differentiable.
 
 use crate::conv::Act5;
-use crate::layer::{Layer, Param};
+use crate::infer::{NnScratch, Shape};
+use crate::layer::{Layer, NnError, Param};
 use aesz_tensor::Tensor;
 
 /// Shared implementation of GDN (divide) and iGDN (multiply).
@@ -70,6 +71,64 @@ impl Gdn {
             .map(|&g| g * g)
             .collect()
     }
+
+    /// Shape checks shared by both forward entry points.
+    fn validate(&self, shape: &[usize]) -> Result<Act5, NnError> {
+        let layer: &'static str = if self.inverse { "iGDN" } else { "GDN" };
+        let a = Act5::try_from_shape(shape, self.spatial_rank, layer)?;
+        if a.c != self.channels {
+            return Err(NnError {
+                layer,
+                problem: "channel count mismatch",
+                expected: self.channels,
+                got: a.c,
+            });
+        }
+        Ok(a)
+    }
+
+    /// Normalisation core shared by `try_forward` and `infer_into`. The
+    /// effective β/γ coefficients and the per-position squares live in
+    /// `scratch.coeff` (partitioned `[β C | γ C² | x² C]`), so the hot loop
+    /// is allocation-free; the arithmetic and its order are unchanged from
+    /// the original forward pass.
+    fn run(&self, x: &[f32], a: Act5, out: &mut [f32], scratch: &mut NnScratch) {
+        let c = a.c;
+        scratch.coeff.clear();
+        scratch.coeff.resize(c + c * c + c, 0.0);
+        let (beta, rest) = scratch.coeff.split_at_mut(c);
+        let (gamma, sq) = rest.split_at_mut(c * c);
+        for (b_eff, &b) in beta.iter_mut().zip(self.beta_raw.value.as_slice()) {
+            *b_eff = b * b + BETA_EPS;
+        }
+        for (g_eff, &g) in gamma.iter_mut().zip(self.gamma_raw.value.as_slice()) {
+            *g_eff = g * g;
+        }
+        let spatial = a.spatial_len();
+        for n in 0..a.n {
+            let base = n * c * spatial;
+            for s in 0..spatial {
+                // Gather x_j² at this position.
+                for (j, sqj) in sq.iter_mut().enumerate() {
+                    let v = x[base + j * spatial + s];
+                    *sqj = v * v;
+                }
+                for ch in 0..c {
+                    let mut denom = beta[ch];
+                    let grow = &gamma[ch * c..(ch + 1) * c];
+                    for j in 0..c {
+                        denom += grow[j] * sq[j];
+                    }
+                    let xc = x[base + ch * spatial + s];
+                    out[base + ch * spatial + s] = if self.inverse {
+                        xc * denom.sqrt()
+                    } else {
+                        xc / denom.sqrt()
+                    };
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Gdn {
@@ -85,40 +144,34 @@ impl Layer for Gdn {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let a = Act5::from_shape(input.shape(), self.spatial_rank);
-        assert_eq!(a.c, self.channels, "GDN channel mismatch");
-        let beta = self.beta();
-        let gamma = self.gamma();
-        let x = input.as_slice();
-        let spatial = a.spatial_len();
-        let mut out = vec![0.0f32; x.len()];
-        for n in 0..a.n {
-            let base = n * a.c * spatial;
-            for s in 0..spatial {
-                // Gather x_j² at this position.
-                let mut sq = vec![0.0f32; a.c];
-                for (j, sqj) in sq.iter_mut().enumerate() {
-                    let v = x[base + j * spatial + s];
-                    *sqj = v * v;
-                }
-                for c in 0..a.c {
-                    let mut denom = beta[c];
-                    let grow = &gamma[c * a.c..(c + 1) * a.c];
-                    for j in 0..a.c {
-                        denom += grow[j] * sq[j];
-                    }
-                    let xc = x[base + c * spatial + s];
-                    out[base + c * spatial + s] = if self.inverse {
-                        xc * denom.sqrt()
-                    } else {
-                        xc / denom.sqrt()
-                    };
-                }
-            }
-        }
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let a = self.validate(input.shape())?;
+        let mut out = vec![0.0f32; input.len()];
+        let mut scratch = NnScratch::new();
+        self.run(input.as_slice(), a, &mut out, &mut scratch);
         self.cached_input = Some(input.clone());
-        Tensor::from_vec(input.shape(), out).expect("consistent shape")
+        Ok(Tensor::from_vec(input.shape(), out).expect("consistent shape"))
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        let a = self.validate(shape.dims())?;
+        if input.len() != shape.len() {
+            return Err(NnError {
+                layer: if self.inverse { "iGDN" } else { "GDN" },
+                problem: "input length does not match shape",
+                expected: shape.len(),
+                got: input.len(),
+            });
+        }
+        out.resize(input.len(), 0.0);
+        self.run(input, a, out, scratch);
+        Ok(shape)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -255,6 +308,25 @@ mod tests {
         let x = normal(&[1, 2, 3, 3, 3], 0.0, 1.0, &mut r);
         let err = grad_check_input(&mut igdn, &x, 1e-3);
         assert!(err < 2e-2, "relative gradient error {err}");
+    }
+
+    #[test]
+    fn infer_into_matches_forward_bitwise() {
+        for inverse in [false, true] {
+            let mut gdn = Gdn::new(2, 3, inverse);
+            let mut r = rng(4);
+            let x = normal(&[2, 3, 4, 4], 0.0, 1.0, &mut r);
+            let y = gdn.forward(&x);
+            let mut out = Vec::new();
+            let mut scratch = NnScratch::new();
+            let shape = gdn
+                .infer_into(x.as_slice(), Shape::new(x.shape()), &mut out, &mut scratch)
+                .expect("valid shape");
+            assert_eq!(shape.dims(), y.shape());
+            let fwd: Vec<u32> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+            let inf: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fwd, inf, "inverse={inverse}");
+        }
     }
 
     #[test]

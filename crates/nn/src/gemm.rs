@@ -1,0 +1,187 @@
+//! Blocked, SIMD-friendly f32 GEMM micro-kernel with a pinned accumulation
+//! order — the single matrix engine behind every inference-path layer.
+//!
+//! `C[m][p] = seed ⊕ Σ_k A[m][k]·B[k][p]` where the seed is a per-row bias
+//! (convolution), a per-column bias (dense) or zero. The defining property is
+//! **bit-identity by construction**: every output element accumulates its
+//! products in ascending `k` order starting from its bias, exactly the order
+//! of the direct 7-deep convolution loop and the dense dot product it
+//! replaces. The optimized kernel vectorizes across *independent* output
+//! elements (the `p` axis) and unrolls `k` four-wide, which changes neither
+//! the per-element operand order nor the rounding: Rust never contracts
+//! `a*b + c` into an FMA and never reassociates float sums, so the axpy form
+//! below is bitwise equal to the scalar reference twin on every input —
+//! enforced by `tests/kernel_differential.rs`.
+//!
+//! One caveat is inherited by callers that lower padding to explicit zero
+//! columns (`im2col`): a `+0.0·w` term is a bitwise no-op only while `w` is
+//! finite and the accumulator is not exactly `-0.0`. Trained and initialised
+//! networks satisfy both (biases are born `+0.0` and round-to-nearest
+//! subtraction cannot produce `-0.0` from training updates); hand-crafted
+//! hostile model files may not, and get a well-defined — just different —
+//! reconstruction, never undefined behaviour.
+
+/// How each output element's accumulator is seeded before the `k` loop.
+#[derive(Clone, Copy, Debug)]
+pub enum GemmBias<'a> {
+    /// Row `m` of `C` starts at `bias[m]` — one bias per output channel, the
+    /// convolution layout.
+    Row(&'a [f32]),
+    /// Every row of `C` starts as a copy of `bias[..p]` — one bias per output
+    /// feature, the dense layout.
+    Col(&'a [f32]),
+    /// Accumulate from `0.0`.
+    Zero,
+}
+
+fn seed_row(c_row: &mut [f32], bias: GemmBias, m: usize) {
+    match bias {
+        GemmBias::Row(b) => c_row.fill(b[m]),
+        GemmBias::Col(b) => c_row.copy_from_slice(&b[..c_row.len()]),
+        GemmBias::Zero => c_row.fill(0.0),
+    }
+}
+
+/// `C = bias ⊕ A·B` with `A: (m, k)` row-major, `B: (k, p)` row-major and
+/// `C` rows of length `p` placed at stride `ldc` (so a caller can write a
+/// panel straight into a larger activation buffer). Accumulation is pinned:
+/// element `(im, ip)` computes `bias ⊕ A[im][0]·B[0][ip] ⊕ A[im][1]·B[1][ip]
+/// ⊕ …` in exactly that order.
+#[allow(clippy::too_many_arguments)] // the BLAS sgemm-style signature
+pub fn gemm_into(
+    a: &[f32],
+    b: &[f32],
+    bias: GemmBias,
+    m: usize,
+    k: usize,
+    p: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(ldc >= p, "row stride {ldc} shorter than row length {p}");
+    assert!(a.len() >= m * k, "A too small");
+    assert!(b.len() >= k * p, "B too small");
+    if m > 0 {
+        assert!(c.len() >= (m - 1) * ldc + p, "C too small");
+    }
+    for im in 0..m {
+        let a_row = &a[im * k..im * k + k];
+        let c_row = &mut c[im * ldc..im * ldc + p];
+        seed_row(c_row, bias, im);
+        // k unrolled 4-wide: four B rows stream through one pass over the C
+        // row, quartering the C-row traffic. Each element still adds its
+        // products in ascending-k order, so the bits match the scalar loop.
+        let mut ik = 0usize;
+        while ik + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[ik], a_row[ik + 1], a_row[ik + 2], a_row[ik + 3]);
+            let b0 = &b[ik * p..ik * p + p];
+            let b1 = &b[(ik + 1) * p..(ik + 1) * p + p];
+            let b2 = &b[(ik + 2) * p..(ik + 2) * p + p];
+            let b3 = &b[(ik + 3) * p..(ik + 3) * p + p];
+            for j in 0..p {
+                let mut v = c_row[j];
+                v += a0 * b0[j];
+                v += a1 * b1[j];
+                v += a2 * b2[j];
+                v += a3 * b3[j];
+                c_row[j] = v;
+            }
+            ik += 4;
+        }
+        while ik < k {
+            let av = a_row[ik];
+            let b_row = &b[ik * p..ik * p + p];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+            ik += 1;
+        }
+    }
+}
+
+/// Scalar reference twin of [`gemm_into`]: the naive per-element triple loop
+/// in the pinned order. The differential harness demands bitwise equality
+/// between the two on every input.
+#[allow(clippy::too_many_arguments)] // mirrors `gemm_into`
+pub fn gemm_reference(
+    a: &[f32],
+    b: &[f32],
+    bias: GemmBias,
+    m: usize,
+    k: usize,
+    p: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(ldc >= p, "row stride {ldc} shorter than row length {p}");
+    for im in 0..m {
+        for ip in 0..p {
+            let mut acc = match bias {
+                GemmBias::Row(bs) => bs[im],
+                GemmBias::Col(bs) => bs[ip],
+                GemmBias::Zero => 0.0,
+            };
+            for ik in 0..k {
+                acc += a[im * k + ik] * b[ik * p + ip];
+            }
+            c[im * ldc + ip] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_a_small_case() {
+        let a = [1.0f32, 2.0, 3.0, -4.0, 0.5, 0.25];
+        let b = [1.0f32, -1.0, 2.0, 0.5, 3.0, -0.5];
+        let bias = [0.125f32, -0.5];
+        let mut fast = [0.0f32; 4];
+        let mut slow = [0.0f32; 4];
+        gemm_into(&a, &b, GemmBias::Row(&bias), 2, 3, 2, &mut fast, 2);
+        gemm_reference(&a, &b, GemmBias::Row(&bias), 2, 3, 2, &mut slow, 2);
+        assert_eq!(bits(&fast), bits(&slow));
+        // m=0: first row = 0.125 + 1·1 + 2·2 + 3·3 = 14.125
+        assert_eq!(fast[0], 14.125);
+    }
+
+    #[test]
+    fn col_bias_seeds_every_row() {
+        let a = [0.0f32; 6]; // 2x3 of zeros
+        let b = [0.0f32; 6]; // 3x2 of zeros
+        let bias = [7.0f32, -3.0];
+        let mut c = [0.0f32; 4];
+        gemm_into(&a, &b, GemmBias::Col(&bias), 2, 3, 2, &mut c, 2);
+        assert_eq!(c, [7.0, -3.0, 7.0, -3.0]);
+    }
+
+    #[test]
+    fn strided_c_rows_leave_the_gap_untouched() {
+        let a = [1.0f32, 1.5];
+        let b = [2.0f32];
+        let mut c = [9.0f32; 6]; // 2 rows of p=1 at stride 3
+        gemm_into(&a, &b, GemmBias::Zero, 2, 1, 1, &mut c, 3);
+        assert_eq!(c, [2.0, 9.0, 9.0, 3.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn k_remainder_paths_agree_with_reference() {
+        // k = 1..9 exercises both the unrolled body and the remainder loop.
+        for k in 1..9usize {
+            let a: Vec<f32> = (0..2 * k).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..k * 3).map(|i| (i as f32 * 0.71).cos()).collect();
+            let bias = [0.1f32, 0.2];
+            let mut fast = vec![0.0f32; 6];
+            let mut slow = vec![0.0f32; 6];
+            gemm_into(&a, &b, GemmBias::Row(&bias), 2, k, 3, &mut fast, 3);
+            gemm_reference(&a, &b, GemmBias::Row(&bias), 2, k, 3, &mut slow, 3);
+            assert_eq!(bits(&fast), bits(&slow), "k={k}");
+        }
+    }
+}

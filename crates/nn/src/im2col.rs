@@ -1,0 +1,343 @@
+//! `im2col`/`col2im` packing: lowering N-dimensional convolution onto the
+//! [`gemm`](crate::gemm) micro-kernel.
+//!
+//! `im2col` unfolds one input sample into a column panel `B: (K, P)` where
+//! `K = channels · kd·kh·kw` ranges over the kernel taps in the weight
+//! layout's `(ci, dk, hk, wk)` order and `P` ranges over a contiguous run of
+//! output positions. Out-of-bounds taps (same-padding) become explicit `0.0`
+//! entries, so `W·B` sums each output element in exactly the direct loop's
+//! tap order with the padded taps contributing `+0.0` — bit-identical for
+//! finite weights (see the [`gemm`](crate::gemm) module docs for the one
+//! caveat). Panels are caller-sized so the column buffer can be held to a
+//! cache-friendly footprint regardless of the activation size.
+//!
+//! `col2im` is the adjoint scatter-add (the decode-side pairing a strided
+//! transpose convolution would use; the current decoder substitutes
+//! upsample + convolution, so it is exercised by the differential harness
+//! only). Both directions keep scalar reference twins; the harness demands
+//! bitwise equality.
+
+/// Geometry of one convolution lowering: a single sample's input extents,
+/// kernel, stride and padding, with the output extents derived. 2D data uses
+/// depth extent 1 with a 1×k×k kernel, exactly like
+/// [`ConvNd`](crate::conv::ConvNd).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub channels: usize,
+    /// Input spatial extents `(d, h, w)`.
+    pub in_dhw: [usize; 3],
+    /// Kernel extents `(kd, kh, kw)`.
+    pub kernel_dhw: [usize; 3],
+    /// Strides `(sd, sh, sw)`.
+    pub stride_dhw: [usize; 3],
+    /// Leading pads `(pd, ph, pw)` (same-padding uses `k/2`).
+    pub pad_dhw: [usize; 3],
+    /// Output spatial extents `(d, h, w)`.
+    pub out_dhw: [usize; 3],
+}
+
+fn out_extent(extent: usize, kernel: usize, pad: usize, stride: usize) -> usize {
+    (extent + 2 * pad - kernel) / stride + 1
+}
+
+impl ConvGeom {
+    /// Geometry with output extents derived from input/kernel/stride/pad.
+    pub fn new(
+        channels: usize,
+        in_dhw: [usize; 3],
+        kernel_dhw: [usize; 3],
+        stride_dhw: [usize; 3],
+        pad_dhw: [usize; 3],
+    ) -> ConvGeom {
+        let out = |i: usize| out_extent(in_dhw[i], kernel_dhw[i], pad_dhw[i], stride_dhw[i]);
+        ConvGeom {
+            channels,
+            in_dhw,
+            kernel_dhw,
+            stride_dhw,
+            pad_dhw,
+            out_dhw: [out(0), out(1), out(2)],
+        }
+    }
+
+    /// Rows of the column panel: `channels · kd·kh·kw`, the GEMM `K`.
+    pub fn k_rows(&self) -> usize {
+        self.channels * self.kernel_dhw.iter().product::<usize>()
+    }
+
+    /// Input spatial length per channel.
+    pub fn in_spatial(&self) -> usize {
+        self.in_dhw.iter().product()
+    }
+
+    /// Output spatial length per channel, the full GEMM `P`.
+    pub fn out_spatial(&self) -> usize {
+        self.out_dhw.iter().product()
+    }
+
+    /// Output "rows" (one per `(od, oh)` pair); panels are whole numbers of
+    /// these so every panel is a contiguous slice of the output.
+    pub fn out_rows(&self) -> usize {
+        self.out_dhw[0] * self.out_dhw[1]
+    }
+}
+
+/// Unfold output rows `or0..or1` (each `out_w` positions wide) of one input
+/// sample into `col`, row-major `(k_rows, (or1-or0)·out_w)`. Out-of-bounds
+/// taps become `0.0`. `x` is one sample: `channels · in_spatial` values.
+pub fn im2col_into(x: &[f32], g: &ConvGeom, or0: usize, or1: usize, col: &mut Vec<f32>) {
+    let [_, ih_e, iw_e] = g.in_dhw;
+    let id_e = g.in_dhw[0];
+    let [kd, kh, kw] = g.kernel_dhw;
+    let [sd, sh, sw] = g.stride_dhw;
+    let [pd, ph, pw] = g.pad_dhw;
+    let [_, oh_e, ow_e] = g.out_dhw;
+    let in_spatial = g.in_spatial();
+    assert!(or1 <= g.out_rows() && or0 <= or1, "panel out of range");
+    assert!(x.len() >= g.channels * in_spatial, "sample too small");
+
+    let np = (or1 - or0) * ow_e;
+    col.clear();
+    col.resize(g.k_rows() * np, 0.0);
+
+    let mut row = 0usize;
+    for ci in 0..g.channels {
+        let x_c = &x[ci * in_spatial..(ci + 1) * in_spatial];
+        for dk in 0..kd {
+            for hk in 0..kh {
+                for wk in 0..kw {
+                    let dst_row = &mut col[row * np..(row + 1) * np];
+                    // iw = ow·sw + tw; valid ow span precomputed so the copy
+                    // loop below runs branch-free.
+                    let tw = wk as isize - pw as isize;
+                    let ow_lo = if tw >= 0 {
+                        0
+                    } else {
+                        ((-tw) as usize).div_ceil(sw)
+                    };
+                    let ow_hi = if (iw_e as isize) <= tw {
+                        0
+                    } else {
+                        ow_e.min(((iw_e as isize - tw - 1) as usize) / sw + 1)
+                    };
+                    for (ri, r) in (or0..or1).enumerate() {
+                        let od = r / oh_e;
+                        let oh = r % oh_e;
+                        let id = (od * sd + dk) as isize - pd as isize;
+                        let ih = (oh * sh + hk) as isize - ph as isize;
+                        if id < 0 || id >= id_e as isize || ih < 0 || ih >= ih_e as isize {
+                            continue; // stays zero
+                        }
+                        let base = (id as usize * ih_e + ih as usize) * iw_e;
+                        let dst = &mut dst_row[ri * ow_e..(ri + 1) * ow_e];
+                        if ow_hi <= ow_lo {
+                            continue;
+                        }
+                        if sw == 1 {
+                            let iw0 = (ow_lo as isize + tw) as usize;
+                            dst[ow_lo..ow_hi]
+                                .copy_from_slice(&x_c[base + iw0..base + iw0 + (ow_hi - ow_lo)]);
+                        } else {
+                            for (ow, d) in dst[ow_lo..ow_hi].iter_mut().enumerate() {
+                                let iw = ((ow_lo + ow) * sw) as isize + tw;
+                                *d = x_c[base + iw as usize];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Scalar reference twin of [`im2col_into`]: one bounds check per entry.
+pub fn im2col_reference(x: &[f32], g: &ConvGeom, or0: usize, or1: usize, col: &mut Vec<f32>) {
+    let [id_e, ih_e, iw_e] = g.in_dhw;
+    let [kd, kh, kw] = g.kernel_dhw;
+    let [sd, sh, sw] = g.stride_dhw;
+    let [pd, ph, pw] = g.pad_dhw;
+    let [_, oh_e, ow_e] = g.out_dhw;
+    let in_spatial = g.in_spatial();
+    let np = (or1 - or0) * ow_e;
+    col.clear();
+    col.resize(g.k_rows() * np, 0.0);
+    let mut row = 0usize;
+    for ci in 0..g.channels {
+        for dk in 0..kd {
+            for hk in 0..kh {
+                for wk in 0..kw {
+                    for (ri, r) in (or0..or1).enumerate() {
+                        let (od, oh) = (r / oh_e, r % oh_e);
+                        for ow in 0..ow_e {
+                            let id = (od * sd + dk) as isize - pd as isize;
+                            let ih = (oh * sh + hk) as isize - ph as isize;
+                            let iw = (ow * sw + wk) as isize - pw as isize;
+                            let inside = id >= 0
+                                && id < id_e as isize
+                                && ih >= 0
+                                && ih < ih_e as isize
+                                && iw >= 0
+                                && iw < iw_e as isize;
+                            if inside {
+                                let xi = ci * in_spatial
+                                    + (id as usize * ih_e + ih as usize) * iw_e
+                                    + iw as usize;
+                                col[row * np + ri * ow_e + ow] = x[xi];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Fold a column panel back onto one input sample, accumulating (`x +=`).
+/// The adjoint of [`im2col_into`]: entries whose tap fell in the padding are
+/// dropped. Accumulation order is row-major over the panel (ascending `k`,
+/// then ascending position), pinned for the reference twin.
+pub fn col2im_into(col: &[f32], g: &ConvGeom, or0: usize, or1: usize, x: &mut [f32]) {
+    let [id_e, ih_e, iw_e] = g.in_dhw;
+    let [kd, kh, kw] = g.kernel_dhw;
+    let [sd, sh, sw] = g.stride_dhw;
+    let [pd, ph, pw] = g.pad_dhw;
+    let [_, oh_e, ow_e] = g.out_dhw;
+    let in_spatial = g.in_spatial();
+    let np = (or1 - or0) * ow_e;
+    assert!(col.len() >= g.k_rows() * np, "panel too small");
+    assert!(x.len() >= g.channels * in_spatial, "sample too small");
+    let mut row = 0usize;
+    for ci in 0..g.channels {
+        for dk in 0..kd {
+            for hk in 0..kh {
+                for wk in 0..kw {
+                    let src_row = &col[row * np..(row + 1) * np];
+                    for (ri, r) in (or0..or1).enumerate() {
+                        let (od, oh) = (r / oh_e, r % oh_e);
+                        let id = (od * sd + dk) as isize - pd as isize;
+                        let ih = (oh * sh + hk) as isize - ph as isize;
+                        if id < 0 || id >= id_e as isize || ih < 0 || ih >= ih_e as isize {
+                            continue;
+                        }
+                        let base = ci * in_spatial + (id as usize * ih_e + ih as usize) * iw_e;
+                        for ow in 0..ow_e {
+                            let iw = (ow * sw + wk) as isize - pw as isize;
+                            if iw < 0 || iw >= iw_e as isize {
+                                continue;
+                            }
+                            x[base + iw as usize] += src_row[ri * ow_e + ow];
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Scalar reference twin of [`col2im_into`], same pinned accumulation order
+/// with one bounds check per entry.
+pub fn col2im_reference(col: &[f32], g: &ConvGeom, or0: usize, or1: usize, x: &mut [f32]) {
+    let [id_e, ih_e, iw_e] = g.in_dhw;
+    let [kd, kh, kw] = g.kernel_dhw;
+    let [sd, sh, sw] = g.stride_dhw;
+    let [pd, ph, pw] = g.pad_dhw;
+    let [_, oh_e, ow_e] = g.out_dhw;
+    let in_spatial = g.in_spatial();
+    let np = (or1 - or0) * ow_e;
+    let mut row = 0usize;
+    for ci in 0..g.channels {
+        for dk in 0..kd {
+            for hk in 0..kh {
+                for wk in 0..kw {
+                    for (ri, r) in (or0..or1).enumerate() {
+                        let (od, oh) = (r / oh_e, r % oh_e);
+                        for ow in 0..ow_e {
+                            let id = (od * sd + dk) as isize - pd as isize;
+                            let ih = (oh * sh + hk) as isize - ph as isize;
+                            let iw = (ow * sw + wk) as isize - pw as isize;
+                            let inside = id >= 0
+                                && id < id_e as isize
+                                && ih >= 0
+                                && ih < ih_e as isize
+                                && iw >= 0
+                                && iw < iw_e as isize;
+                            if inside {
+                                let xi = ci * in_spatial
+                                    + (id as usize * ih_e + ih as usize) * iw_e
+                                    + iw as usize;
+                                x[xi] += col[row * np + ri * ow_e + ow];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn geometry_matches_same_padding_arithmetic() {
+        // 3x3 kernel, pad 1: stride 1 preserves, stride 2 halves even sizes.
+        let g = ConvGeom::new(2, [1, 8, 8], [1, 3, 3], [1, 1, 1], [0, 1, 1]);
+        assert_eq!(g.out_dhw, [1, 8, 8]);
+        assert_eq!(g.k_rows(), 2 * 9);
+        let g2 = ConvGeom::new(1, [8, 8, 8], [3, 3, 3], [2, 2, 2], [1, 1, 1]);
+        assert_eq!(g2.out_dhw, [4, 4, 4]);
+    }
+
+    #[test]
+    fn packed_panel_matches_reference_across_strides_and_panels() {
+        for &(stride, edge) in &[(1usize, 5usize), (2, 6), (2, 7), (3, 7)] {
+            let g = ConvGeom::new(
+                2,
+                [1, edge, edge],
+                [1, 3, 3],
+                [1, stride, stride],
+                [0, 1, 1],
+            );
+            let x: Vec<f32> = (0..2 * edge * edge)
+                .map(|i| (i as f32 * 0.31).sin())
+                .collect();
+            let rows = g.out_rows();
+            for or0 in 0..rows {
+                let or1 = (or0 + 2).min(rows);
+                let (mut fast, mut slow) = (Vec::new(), Vec::new());
+                im2col_into(&x, &g, or0, or1, &mut fast);
+                im2col_reference(&x, &g, or0, or1, &mut slow);
+                assert_eq!(
+                    bits(&fast),
+                    bits(&slow),
+                    "stride {stride} edge {edge} rows {or0}..{or1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_then_unfold_matches_reference_3d() {
+        let g = ConvGeom::new(2, [4, 4, 4], [3, 3, 3], [2, 2, 2], [1, 1, 1]);
+        let np = g.out_spatial();
+        let col: Vec<f32> = (0..g.k_rows() * np)
+            .map(|i| (i as f32 * 0.17).cos())
+            .collect();
+        let mut fast = vec![0.0f32; 2 * g.in_spatial()];
+        let mut slow = fast.clone();
+        col2im_into(&col, &g, 0, g.out_rows(), &mut fast);
+        col2im_reference(&col, &g, 0, g.out_rows(), &mut slow);
+        assert_eq!(bits(&fast), bits(&slow));
+        assert!(fast.iter().any(|&v| v != 0.0));
+    }
+}

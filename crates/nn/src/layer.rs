@@ -5,7 +5,36 @@
 //! backprop; no tape/autograd). The optimizer walks the parameter list each
 //! step, so `Param` keeps the gradient accumulator alongside the value.
 
+use crate::infer::{NnScratch, Shape};
 use aesz_tensor::Tensor;
+
+/// Shaped-input error of the layer API: the input tensor is incompatible
+/// with the layer's geometry. Returned (never panicked) by
+/// [`Layer::try_forward`] and [`Layer::infer_into`], consistent with the
+/// repo's no-panic posture on data paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NnError {
+    /// Layer that rejected the input.
+    pub layer: &'static str,
+    /// What was wrong (e.g. "channel count mismatch").
+    pub problem: &'static str,
+    /// The extent the layer requires.
+    pub expected: usize,
+    /// The extent the input carried.
+    pub got: usize,
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} (expected {}, got {})",
+            self.layer, self.problem, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for NnError {}
 
 /// A trainable parameter: value plus gradient accumulator of identical shape.
 #[derive(Debug, Clone)]
@@ -48,7 +77,37 @@ pub trait Layer: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Run the layer on `input`, caching activations needed by `backward`.
-    fn forward(&mut self, input: &Tensor) -> Tensor;
+    /// Rejects incompatible input shapes with an [`NnError`].
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Training-loop convenience wrapper around [`Layer::try_forward`]:
+    /// panics on shaped-input errors (the training data pipeline controls
+    /// its shapes; data paths use the fallible entry points).
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        match self.try_forward(input) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Allocation-free inference: compute the layer's output from a flat
+    /// activation slice into the caller-owned `out`, using `scratch` for any
+    /// intermediate buffers, and return the output shape.
+    ///
+    /// Contract (enforced by the allocation-discipline tests):
+    /// * `&self` — training-only state (`cached_input`, gradients) is never
+    ///   touched, so inference never pays the training path's input clone;
+    /// * no per-call heap allocation once `out` and `scratch` have warmed to
+    ///   the batch's high-water mark;
+    /// * bit-identical to [`Layer::try_forward`] for finite weights (the
+    ///   GEMM lowering pins the accumulation order; see [`crate::gemm`]).
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError>;
 
     /// Propagate `grad_output` (∂loss/∂output) back through the layer,
     /// accumulating parameter gradients and returning ∂loss/∂input.

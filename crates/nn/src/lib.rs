@@ -6,10 +6,17 @@
 //! the full compression pipeline (encode → compress latents → decode →
 //! quantize residuals) can be exercised end to end:
 //!
-//! * [`layer`] — the `Layer` trait (manual forward/backward) and `Param`.
+//! * [`layer`] — the `Layer` trait (manual forward/backward, plus the
+//!   allocation-free `infer_into` inference path) and `Param`.
 //! * [`dense`], [`conv`], [`upsample`], [`gdn`], [`activation`] — the layers
 //!   used by the paper's architecture: strided convolutions, GDN/iGDN
 //!   nonlinearities, fully-connected resize layers, Tanh output.
+//! * [`gemm`], [`im2col`], [`infer`] — the inference engine: convolution and
+//!   dense forward passes lower to one blocked GEMM micro-kernel with a
+//!   pinned accumulation order (bit-identical to the direct loops it
+//!   replaced, enforced by reference twins in the differential harness),
+//!   fed from caller-owned [`infer::NnScratch`] buffers so a resident
+//!   compressor performs no per-call allocation once warm.
 //! * [`sequential`] — ordered layer stacks with joint backward.
 //! * [`loss`] — reconstruction losses (MSE, L1, log-cosh) and the
 //!   distribution-matching regularizers that differentiate the autoencoder
@@ -35,6 +42,9 @@ pub mod activation;
 pub mod conv;
 pub mod dense;
 pub mod gdn;
+pub mod gemm;
+pub mod im2col;
+pub mod infer;
 pub mod layer;
 pub mod loss;
 pub mod models;
@@ -44,7 +54,8 @@ pub mod serialize;
 pub mod train;
 pub mod upsample;
 
-pub use layer::{Layer, Param};
+pub use infer::{NnScratch, Shape};
+pub use layer::{Layer, NnError, Param};
 pub use models::conv_ae::{AeConfig, ConvAutoencoder};
 pub use models::zoo::AeVariant;
 pub use optim::Adam;

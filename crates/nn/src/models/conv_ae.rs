@@ -14,7 +14,8 @@ use crate::activation::Tanh;
 use crate::conv::{ConvNd, Reshape};
 use crate::dense::Dense;
 use crate::gdn::Gdn;
-use crate::layer::{Layer, Param};
+use crate::infer::{NnScratch, Shape};
+use crate::layer::{Layer, NnError, Param};
 use crate::sequential::Sequential;
 use aesz_tensor::{init, Tensor};
 
@@ -251,20 +252,101 @@ impl ConvAutoencoder {
         p
     }
 
+    /// `input_shape` as a stack-allocated [`Shape`] for the inference path.
+    fn infer_input_shape(&self, n: usize) -> Shape {
+        let e = self.config.block_size;
+        match self.config.spatial_rank {
+            2 => Shape::new(&[n, 1, e, e]),
+            _ => Shape::new(&[n, 1, e, e, e]),
+        }
+    }
+
     /// Encode a set of flat, already-normalised blocks and return their
     /// deterministic latent vectors, row-major `(n, latent_dim)`.
     pub fn encode_blocks(&mut self, blocks: &[f32], n: usize) -> Vec<f32> {
-        assert_eq!(blocks.len(), n * self.config.block_len());
-        let x = Tensor::from_vec(&self.input_shape(n), blocks.to_vec()).expect("shape");
-        let latent = self.encode(&x);
-        self.deterministic_latent(&latent).into_vec()
+        let mut out = Vec::new();
+        let mut scratch = NnScratch::new();
+        match self.encode_blocks_into(blocks, n, &mut out, &mut scratch) {
+            Ok(()) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Decode flat latent vectors `(n, latent_dim)` back to flat blocks.
     pub fn decode_latents(&mut self, latents: &[f32], n: usize) -> Vec<f32> {
-        assert_eq!(latents.len(), n * self.config.latent_dim);
-        let z = Tensor::from_vec(&[n, self.config.latent_dim], latents.to_vec()).expect("shape");
-        self.decode(&z).into_vec()
+        let mut out = Vec::new();
+        let mut scratch = NnScratch::new();
+        match self.decode_latents_into(latents, n, &mut out, &mut scratch) {
+            Ok(()) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Allocation-free twin of [`Self::encode_blocks`]: run the encoder's
+    /// inference path (`&self` — no training caches touched) writing the
+    /// deterministic latents into `out`. Variational encoders emit
+    /// `(μ, log σ²)` pairs; the μ halves are compacted in place.
+    pub fn encode_blocks_into(
+        &self,
+        blocks: &[f32],
+        n: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut NnScratch,
+    ) -> Result<(), NnError> {
+        if blocks.len() != n * self.config.block_len() {
+            return Err(NnError {
+                layer: "ConvAutoencoder",
+                problem: "block buffer length mismatch",
+                expected: n * self.config.block_len(),
+                got: blocks.len(),
+            });
+        }
+        self.encoder
+            .infer_into(blocks, self.infer_input_shape(n), out, scratch)?;
+        if self.config.variational {
+            let ld = self.config.latent_dim;
+            for i in 0..n {
+                out.copy_within(i * 2 * ld..i * 2 * ld + ld, i * ld);
+            }
+            out.truncate(n * ld);
+        }
+        Ok(())
+    }
+
+    /// Allocation-free twin of [`Self::decode_latents`]: run the decoder's
+    /// inference path writing the reconstructed flat blocks into `out`.
+    pub fn decode_latents_into(
+        &self,
+        latents: &[f32],
+        n: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut NnScratch,
+    ) -> Result<(), NnError> {
+        if latents.len() != n * self.config.latent_dim {
+            return Err(NnError {
+                layer: "ConvAutoencoder",
+                problem: "latent buffer length mismatch",
+                expected: n * self.config.latent_dim,
+                got: latents.len(),
+            });
+        }
+        self.decoder.infer_into(
+            latents,
+            Shape::new(&[n, self.config.latent_dim]),
+            out,
+            scratch,
+        )?;
+        Ok(())
+    }
+
+    /// The decoder stack (read-only; used by the per-layer benchmarks).
+    pub fn decoder_layers(&self) -> &Sequential {
+        &self.decoder
+    }
+
+    /// The encoder stack (read-only; used by the per-layer benchmarks).
+    pub fn encoder_layers(&self) -> &Sequential {
+        &self.encoder
     }
 }
 
@@ -338,6 +420,28 @@ mod tests {
         assert_eq!(latents.len(), 2 * 4);
         let recon = ae.decode_latents(&latents, 2);
         assert_eq!(recon.len(), 2 * 64);
+    }
+
+    #[test]
+    fn infer_path_matches_training_forward_bitwise() {
+        let mut ae = ConvAutoencoder::new(tiny_2d());
+        let blocks: Vec<f32> = (0..2 * 64)
+            .map(|i| ((i as f32) * 0.13).sin() * 0.8)
+            .collect();
+        // Training path.
+        let x = Tensor::from_vec(&ae.input_shape(2), blocks.clone()).unwrap();
+        let z_train = ae.encode(&x);
+        let y_train = ae.decode(&z_train);
+        // Inference path.
+        let mut z = Vec::new();
+        let mut y = Vec::new();
+        let mut scratch = NnScratch::new();
+        ae.encode_blocks_into(&blocks, 2, &mut z, &mut scratch)
+            .unwrap();
+        ae.decode_latents_into(&z, 2, &mut y, &mut scratch).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(z_train.as_slice()), bits(&z));
+        assert_eq!(bits(y_train.as_slice()), bits(&y));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! mixing channels) is identical.
 
 use crate::conv::Act5;
-use crate::layer::Layer;
+use crate::infer::{NnScratch, Shape};
+use crate::layer::{Layer, NnError};
 use aesz_tensor::Tensor;
 
 /// Repeat each spatial cell `factor` times along every spatial axis.
@@ -30,30 +31,24 @@ impl Upsample {
             cached_in_shape: None,
         }
     }
-}
 
-impl Layer for Upsample {
-    fn name(&self) -> &'static str {
-        "Upsample"
-    }
-
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let ia = Act5::from_shape(input.shape(), self.spatial_rank);
+    fn output_act(&self, ia: Act5) -> Act5 {
         let f = self.factor;
         let fd = if self.spatial_rank == 2 { 1 } else { f };
-        let oa = Act5 {
+        Act5 {
             n: ia.n,
             c: ia.c,
             d: ia.d * fd,
             h: ia.h * f,
             w: ia.w * f,
-        };
-        let x = input.as_slice();
-        let mut out = vec![0.0f32; oa.n * oa.sample_len()];
+        }
+    }
+
+    /// Replication core shared by `try_forward` and `infer_into` (pure data
+    /// movement, so bit-identity between the two paths is trivial).
+    fn run(&self, x: &[f32], ia: Act5, oa: Act5, out: &mut [f32]) {
+        let f = self.factor;
+        let fd = if self.spatial_rank == 2 { 1 } else { f };
         for n in 0..oa.n {
             for c in 0..oa.c {
                 for od in 0..oa.d {
@@ -68,8 +63,47 @@ impl Layer for Upsample {
                 }
             }
         }
+    }
+}
+
+impl Layer for Upsample {
+    fn name(&self) -> &'static str {
+        "Upsample"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn try_forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let ia = Act5::try_from_shape(input.shape(), self.spatial_rank, "Upsample")?;
+        let oa = self.output_act(ia);
+        let mut out = vec![0.0f32; oa.n * oa.sample_len()];
+        self.run(input.as_slice(), ia, oa, &mut out);
         self.cached_in_shape = Some(input.shape().to_vec());
-        Tensor::from_vec(&oa.to_shape(self.spatial_rank), out).expect("consistent shape")
+        Ok(Tensor::from_vec(&oa.to_shape(self.spatial_rank), out).expect("consistent shape"))
+    }
+
+    fn infer_into(
+        &self,
+        input: &[f32],
+        shape: Shape,
+        out: &mut Vec<f32>,
+        _scratch: &mut NnScratch,
+    ) -> Result<Shape, NnError> {
+        let ia = Act5::try_from_shape(shape.dims(), self.spatial_rank, "Upsample")?;
+        if input.len() != shape.len() {
+            return Err(NnError {
+                layer: "Upsample",
+                problem: "input length does not match shape",
+                expected: shape.len(),
+                got: input.len(),
+            });
+        }
+        let oa = self.output_act(ia);
+        out.resize(oa.n * oa.sample_len(), 0.0);
+        self.run(input, ia, oa, out);
+        Ok(oa.to_infer_shape(self.spatial_rank))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -17,6 +17,13 @@ use rayon::pool::{WorkPool, WorkerLocal};
 /// registry ([`SharedRegistry::registered_codec_state`]): stateless codecs
 /// report `None` forever (the fork never invalidates), while a `Train`
 /// re-registering a learned codec changes the id and forces a re-fork.
+///
+/// A resident fork is more than warm weights: the AE codecs carry their
+/// inference scratch (`aesz_nn::NnScratch` plus batch/latent staging
+/// buffers) inside the fork. Forks clone *cold* — each worker's fork warms
+/// its own buffers on first use and then serves every subsequent request on
+/// that worker allocation-free, which is exactly the residency this cache
+/// exists to provide.
 pub(crate) struct CodecCache {
     entries: Vec<Option<CacheEntry>>,
 }

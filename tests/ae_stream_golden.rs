@@ -1,0 +1,100 @@
+//! Golden lock: AE codec streams must stay byte-identical across kernel
+//! rewrites.
+//!
+//! The hashes below were captured from the direct-loop (pre-GEMM) nn kernels
+//! on the deterministic `common::trained_registry()` models, so they pin the
+//! "before" side of the before/after bit-identity requirement: any change to
+//! the inference path that perturbs a single output bit of AE-SZ, AE-A or
+//! AE-B shows up here as a changed stream or reconstruction hash. The
+//! untrained-model case is covered through AE-SZ, the only AE codec that
+//! compresses with fresh weights (AE-A/AE-B refuse to run untrained, which
+//! the conformance suite already locks in).
+
+mod common;
+
+use aesz_repro::core::{AeSz, AeSzConfig};
+use aesz_repro::metrics::{CodecId, Compressor, ErrorBound};
+use aesz_repro::nn::{AeConfig, ConvAutoencoder};
+
+/// FNV-1a over the byte stream: dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hash_f32s(values: &[f32]) -> u64 {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// `(codec, stream hash, reconstruction hash)` captured before the GEMM
+/// rewrite. Regenerate by running this test and copying the printed table —
+/// but only if a stream format change (never a kernel change) requires it.
+const TRAINED_GOLDEN: [(CodecId, u64, u64); 3] = [
+    (CodecId::AeSz, 0x96a5_08bb_9a80_a92c, 0xbc96_80ed_12f9_ce68),
+    (CodecId::AeA, 0xc3fe_b621_ec38_2d48, 0x66c0_b6ce_0822_14b9),
+    (CodecId::AeB, 0x003a_ad04_e982_5cba, 0x889c_6844_38c9_c7c7),
+];
+
+const UNTRAINED_AESZ_GOLDEN: (u64, u64) = (0x4aa8_8ea0_6b59_bfc9, 0xbc96_80ed_12f9_ce68);
+
+#[test]
+fn ae_streams_match_the_pre_gemm_golden_hashes() {
+    let registry = common::trained_registry();
+    let bound = ErrorBound::rel(1e-3);
+
+    let mut got = Vec::new();
+    for (id, _, _) in TRAINED_GOLDEN {
+        let field = common::test_field(id);
+        let mut codec = registry.fork(id).expect("registered");
+        let stream = codec.compress(&field, bound).expect("compress");
+        let recon = codec.decompress(&stream).expect("decompress");
+        got.push((id, fnv1a(&stream), hash_f32s(recon.as_slice())));
+    }
+
+    // Untrained coverage: AE-SZ compresses with freshly initialised weights.
+    let fresh = ConvAutoencoder::new(AeConfig {
+        spatial_rank: 2,
+        block_size: 16,
+        latent_dim: 4,
+        channels: vec![4],
+        variational: false,
+        seed: 123,
+    });
+    let mut untrained = AeSz::new(
+        fresh,
+        AeSzConfig {
+            block_size: 16,
+            ..AeSzConfig::default_2d()
+        },
+    );
+    let field = common::field_2d();
+    let stream = untrained.compress(&field, bound).expect("compress");
+    let recon = untrained.decompress(&stream).expect("decompress");
+    let untrained_got = (fnv1a(&stream), hash_f32s(recon.as_slice()));
+
+    for (id, stream_hash, recon_hash) in &got {
+        println!("    (CodecId::{id:?}, 0x{stream_hash:016x}, 0x{recon_hash:016x}),");
+    }
+    println!(
+        "untrained aesz: (0x{:016x}, 0x{:016x})",
+        untrained_got.0, untrained_got.1
+    );
+
+    let want: Vec<(CodecId, u64, u64)> = TRAINED_GOLDEN.to_vec();
+    assert_eq!(
+        got, want,
+        "trained AE stream bits drifted from the golden lock"
+    );
+    assert_eq!(
+        untrained_got, UNTRAINED_AESZ_GOLDEN,
+        "untrained AE-SZ stream bits drifted from the golden lock"
+    );
+}

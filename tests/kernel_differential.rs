@@ -9,6 +9,13 @@
 //! bytes. A kernel that is merely "close" fails; the optimizations must be
 //! reorderings the IEEE semantics cannot observe.
 //!
+//! The NN inference engine is held to the same contract: `gemm_into` and the
+//! `im2col`/`col2im` packers must match their scalar twins bitwise across
+//! spatial ranks 2–3, strides, pads and odd edges, and the whole GEMM-lowered
+//! `ConvNd` path must reproduce the direct 7-deep loop it replaced bit for
+//! bit on hostile weights (`ae_stream_golden.rs` extends that lock to whole
+//! trained-autoencoder streams).
+//!
 //! The second half locks whole streams: each of the seven codecs must emit
 //! byte-identical output across repeated runs and across fork boundaries
 //! (learned codecs included), and the traditional codecs must keep decoding
@@ -26,7 +33,14 @@ use aesz_repro::codec::lz::{
     zlite_compress, zlite_decompress_capped, zlite_decompress_capped_reference,
 };
 use aesz_repro::metrics::{CodecId, ErrorBound};
+use aesz_repro::nn::conv::ConvNd;
+use aesz_repro::nn::gemm::{gemm_into, gemm_reference, GemmBias};
+use aesz_repro::nn::im2col::{
+    col2im_into, col2im_reference, im2col_into, im2col_reference, ConvGeom,
+};
+use aesz_repro::nn::{Layer, NnScratch, Shape};
 use aesz_repro::predictors::{lorenzo, mean, regression, Quantizer};
+use aesz_repro::tensor::init::rng;
 use proptest::prelude::*;
 
 /// Finite-but-hostile values spliced into random blocks: denormals on both
@@ -67,6 +81,94 @@ fn make_block(values: &[f32], extents: &[usize], spots: &[usize], picks: &[usize
 
 fn bits32(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Hostile values safe to splice into *weights* on the GEMM path: everything
+/// in [`SPECIALS`] except the infinities. Padded taps reach the accumulator
+/// as an explicit `+0.0·w` term, which is a bitwise no-op only for finite
+/// `w` (`0·∞ = NaN`); trained networks are always finite, so the harness
+/// matches the contract the kernel documents rather than demanding identity
+/// on inputs no model can produce (see `crates/nn/src/gemm.rs`).
+const FINITE_SPECIALS: [f32; 8] = [
+    f32::MIN_POSITIVE / 2.0,
+    -f32::MIN_POSITIVE / 4.0,
+    0.0,
+    -0.0,
+    f32::MAX,
+    -f32::MAX,
+    3.0e38,
+    -3.0e38,
+];
+
+/// The pre-GEMM `ConvNd` forward pass: the direct 7-deep loop with
+/// skip-out-of-bounds padding, accumulating taps in `(ci, dk, hk, wk)`
+/// order from the bias. The lowered im2col+GEMM path must match this
+/// bitwise on finite weights.
+#[allow(clippy::too_many_arguments)]
+fn conv_direct_reference(
+    x: &[f32],
+    n: usize,
+    in_c: usize,
+    out_c: usize,
+    in_dhw: [usize; 3],
+    kernel_dhw: [usize; 3],
+    stride_dhw: [usize; 3],
+    pad_dhw: [usize; 3],
+    w: &[f32],
+    b: &[f32],
+) -> Vec<f32> {
+    let [id_e, ih_e, iw_e] = in_dhw;
+    let [kd, kh, kw] = kernel_dhw;
+    let [sd, sh, sw] = stride_dhw;
+    let [pd, ph, pw] = pad_dhw;
+    let od_e = (id_e + 2 * pd - kd) / sd + 1;
+    let oh_e = (ih_e + 2 * ph - kh) / sh + 1;
+    let ow_e = (iw_e + 2 * pw - kw) / sw + 1;
+    let k_elems = kd * kh * kw;
+    let in_spatial = id_e * ih_e * iw_e;
+    let out_spatial = od_e * oh_e * ow_e;
+    let mut out = vec![0.0f32; n * out_c * out_spatial];
+    for ni in 0..n {
+        let x_n = &x[ni * in_c * in_spatial..(ni + 1) * in_c * in_spatial];
+        let out_n = &mut out[ni * out_c * out_spatial..(ni + 1) * out_c * out_spatial];
+        for co in 0..out_c {
+            let w_co = &w[co * in_c * k_elems..(co + 1) * in_c * k_elems];
+            for od in 0..od_e {
+                for oh in 0..oh_e {
+                    for ow in 0..ow_e {
+                        let mut acc = b[co];
+                        for ci in 0..in_c {
+                            for dk in 0..kd {
+                                let id = (od * sd + dk) as isize - pd as isize;
+                                if id < 0 || id >= id_e as isize {
+                                    continue;
+                                }
+                                for hk in 0..kh {
+                                    let ih = (oh * sh + hk) as isize - ph as isize;
+                                    if ih < 0 || ih >= ih_e as isize {
+                                        continue;
+                                    }
+                                    for wk in 0..kw {
+                                        let iw = (ow * sw + wk) as isize - pw as isize;
+                                        if iw < 0 || iw >= iw_e as isize {
+                                            continue;
+                                        }
+                                        let xi = ci * in_spatial
+                                            + (id as usize * ih_e + ih as usize) * iw_e
+                                            + iw as usize;
+                                        let wi = ci * k_elems + (dk * kh + hk) * kw + wk;
+                                        acc += x_n[xi] * w_co[wi];
+                                    }
+                                }
+                            }
+                        }
+                        out_n[(co * od_e + od) * oh_e * ow_e + oh * ow_e + ow] = acc;
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 proptest! {
@@ -293,6 +395,161 @@ proptest! {
                 zlite_decompress_capped_reference(&bad, cap)
             );
         }
+    }
+
+    #[test]
+    fn gemm_kernels_match_their_references(
+        m in 1usize..=4,
+        k in 1usize..=9,
+        p in 1usize..=10,
+        slack in 0usize..=2,
+        bias_kind in 0usize..=2,
+        values in proptest::collection::vec(-100.0f32..100.0, 16..64),
+        spots in proptest::collection::vec(0usize..1024, 0..6),
+        picks in proptest::collection::vec(0usize..SPECIALS.len(), 0..6),
+    ) {
+        // A, B and the bias all get the full hostile set (±∞ included): both
+        // kernels run identical per-element op sequences, so even NaN
+        // payloads must agree bit for bit.
+        let a = make_block(&values, &[m, k], &spots, &picks);
+        let b = make_block(&values, &[k, p], &spots, &picks);
+        let bias_buf = make_block(&values, &[m.max(p)], &spots, &picks);
+        let bias = match bias_kind {
+            0 => GemmBias::Zero,
+            1 => GemmBias::Row(&bias_buf),
+            _ => GemmBias::Col(&bias_buf),
+        };
+        // Sentinel-filled C with strided rows: the inter-row gaps must
+        // survive both kernels untouched.
+        let ldc = p + slack;
+        let mut fast = vec![9.25f32; (m - 1) * ldc + p];
+        let mut slow = fast.clone();
+        gemm_into(&a, &b, bias, m, k, p, &mut fast, ldc);
+        gemm_reference(&a, &b, bias, m, k, p, &mut slow, ldc);
+        prop_assert_eq!(bits32(&fast), bits32(&slow));
+        for (i, &v) in fast.iter().enumerate() {
+            if i % ldc >= p {
+                prop_assert_eq!(v.to_bits(), 9.25f32.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_kernels_match_their_references(
+        rank in 2usize..=3,
+        channels in 1usize..=3,
+        d in 1usize..=4,
+        h in 1usize..=6,
+        w in 1usize..=6,
+        kernel_pick in 0usize..=1,
+        sd in 1usize..=2,
+        sh in 1usize..=2,
+        sw in 1usize..=2,
+        panel in 0usize..256,
+        values in proptest::collection::vec(-100.0f32..100.0, 16..64),
+        spots in proptest::collection::vec(0usize..1024, 0..6),
+        picks in proptest::collection::vec(0usize..SPECIALS.len(), 0..6),
+    ) {
+        // Same-padding geometry exactly as ConvNd builds it: 2D data rides
+        // in the depth-1 plane with a 1×k×k kernel.
+        let kk = [1usize, 3][kernel_pick];
+        let (dd, kd, psd) = if rank == 2 { (1, 1, 1) } else { (d, kk, sd) };
+        let g = ConvGeom::new(
+            channels,
+            [dd, h, w],
+            [kd, kk, kk],
+            [psd, sh, sw],
+            [kd / 2, kk / 2, kk / 2],
+        );
+        let x = make_block(&values, &[channels, dd, h, w], &spots, &picks);
+        let rows = g.out_rows();
+        let or0 = panel % rows;
+        let or1 = rows.min(or0 + 1 + panel / 16);
+        for (lo, hi) in [(0, rows), (or0, or1)] {
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            im2col_into(&x, &g, lo, hi, &mut fast);
+            im2col_reference(&x, &g, lo, hi, &mut slow);
+            prop_assert_eq!(bits32(&fast), bits32(&slow));
+        }
+
+        // And fold back: col2im must accumulate onto a pre-seeded buffer in
+        // the same pinned order on both sides.
+        let np = g.out_spatial();
+        let col = make_block(&values, &[g.k_rows(), np], &spots, &picks);
+        let mut xf = make_block(&values, &[channels, dd, h, w], &[], &[]);
+        let mut xs = xf.clone();
+        col2im_into(&col, &g, 0, rows, &mut xf);
+        col2im_reference(&col, &g, 0, rows, &mut xs);
+        prop_assert_eq!(bits32(&xf), bits32(&xs));
+    }
+
+    #[test]
+    fn conv_gemm_lowering_matches_the_direct_loop(
+        rank in 2usize..=3,
+        n in 1usize..=2,
+        in_c in 1usize..=3,
+        out_c in 1usize..=3,
+        kernel_pick in 0usize..=1,
+        stride in 1usize..=2,
+        d in 1usize..=4,
+        h in 1usize..=6,
+        w in 1usize..=6,
+        seed in 0u64..1024,
+        values in proptest::collection::vec(-100.0f32..100.0, 16..64),
+        spots in proptest::collection::vec(0usize..1024, 0..5),
+        picks in proptest::collection::vec(0usize..SPECIALS.len(), 0..5),
+        wspots in proptest::collection::vec(0usize..1024, 0..4),
+        wpicks in proptest::collection::vec(0usize..FINITE_SPECIALS.len(), 0..4),
+    ) {
+        // End-to-end: ConvNd's im2col+GEMM inference path against the
+        // pre-rewrite direct loop, on Kaiming weights spliced with finite
+        // hostile values (the kernel's documented bit-identity domain —
+        // inputs still carry the full set, infinities included).
+        let kernel = [1usize, 3][kernel_pick];
+        let mut r = rng(seed);
+        let mut conv = ConvNd::new(rank, in_c, out_c, kernel, stride, &mut r);
+        {
+            let mut params = conv.params_mut();
+            let wv = params[0].value.as_mut_slice();
+            for (&spot, &pick) in wspots.iter().zip(wpicks.iter()) {
+                let n = wv.len();
+                wv[spot % n] = FINITE_SPECIALS[pick % FINITE_SPECIALS.len()];
+            }
+            let bv = params[1].value.as_mut_slice();
+            for (i, bo) in bv.iter_mut().enumerate() {
+                let v = values[i % values.len()];
+                // Never −0.0: a padded tap's +0.0 term would flip it.
+                *bo = if v == 0.0 { 0.25 } else { v };
+            }
+        }
+        let weights: Vec<f32> = conv.params()[0].value.as_slice().to_vec();
+        let biases: Vec<f32> = conv.params()[1].value.as_slice().to_vec();
+
+        let (dd, kd, psd) = if rank == 2 { (1, 1, 1) } else { (d, kernel, stride) };
+        let x = make_block(&values, &[n, in_c, dd, h, w], &spots, &picks);
+        let shape = if rank == 2 {
+            Shape::new(&[n, in_c, h, w])
+        } else {
+            Shape::new(&[n, in_c, dd, h, w])
+        };
+        let mut out = Vec::new();
+        let mut scratch = NnScratch::new();
+        let out_shape = conv.infer_into(&x, shape, &mut out, &mut scratch).expect("valid shape");
+
+        let direct = conv_direct_reference(
+            &x,
+            n,
+            in_c,
+            out_c,
+            [dd, h, w],
+            [kd, kernel, kernel],
+            [psd, stride, stride],
+            [kd / 2, kernel / 2, kernel / 2],
+            &weights,
+            &biases,
+        );
+        prop_assert_eq!(out.len(), out_shape.len());
+        prop_assert_eq!(bits32(&out), bits32(&direct));
     }
 }
 

@@ -1,0 +1,93 @@
+//! Allocation discipline of the NN inference path (see README
+//! "Performance"): once a resident [`NnScratch`] and output buffer have
+//! warmed up, `encode_blocks_into` / `decode_latents_into` must perform
+//! **zero** heap allocations per call — the whole forward pass runs in the
+//! caller-owned scratch. That is the contract the resident compressor forks
+//! (`AeSz`, `AeA`, `AeB`, and the per-worker forks in `aesz serve`) rely on
+//! for their amortized O(1)-allocations-per-block hot loops.
+//!
+//! The inference path also must not touch the training caches: `infer_into`
+//! takes `&self`, so cache writes are ruled out at the type level — this
+//! binary exercises encode/decode through a shared reference to make that
+//! visible — and the bit-identity of the two paths is locked by
+//! `kernel_differential.rs` and the per-layer tests in `crates/nn`.
+//!
+//! This binary holds exactly one `#[test]` so the measured regions never
+//! interleave with another test's allocations.
+
+mod common;
+
+use aesz_repro::nn::{AeConfig, ConvAutoencoder, NnScratch};
+
+#[global_allocator]
+static ALLOC: common::alloc::CountingAlloc = common::alloc::CountingAlloc::new();
+
+/// Allocating calls made by `f`.
+fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOC.allocations();
+    let result = f();
+    (ALLOC.allocations() - before, result)
+}
+
+#[test]
+fn warm_inference_path_performs_no_per_call_allocations() {
+    // The AE-B-like 2D geometry: 16×16 blocks through a strided conv stack.
+    let model = ConvAutoencoder::new(AeConfig {
+        spatial_rank: 2,
+        block_size: 16,
+        latent_dim: 8,
+        channels: vec![8, 16],
+        variational: true,
+        seed: 11,
+    });
+    let batch = 16usize; // blocks per call, the compressors' chunk size
+    let block_len = model.config().block_len();
+    let blocks: Vec<f32> = (0..batch * block_len)
+        .map(|i| ((i as f32) * 0.37).sin())
+        .collect();
+
+    let mut scratch = NnScratch::new();
+    let (mut latents, mut decoded) = (Vec::new(), Vec::new());
+
+    // Warm-up: first calls size the scratch and output buffers.
+    model
+        .encode_blocks_into(&blocks, batch, &mut latents, &mut scratch)
+        .expect("shaped batch");
+    model
+        .decode_latents_into(&latents, batch, &mut decoded, &mut scratch)
+        .expect("shaped latents");
+
+    // Steady state: every subsequent encode+decode round must run entirely
+    // inside the warm buffers. 32 rounds × 16 blocks = 512 blocks; a single
+    // per-block (or even per-call) allocation would fail the == 0 below.
+    let rounds = 32u64;
+    let (n_alloc, checksum) = count_allocations(|| {
+        let mut acc = 0.0f64;
+        for _ in 0..rounds {
+            model
+                .encode_blocks_into(&blocks, batch, &mut latents, &mut scratch)
+                .expect("shaped batch");
+            model
+                .decode_latents_into(&latents, batch, &mut decoded, &mut scratch)
+                .expect("shaped latents");
+            acc += f64::from(decoded[0]);
+        }
+        acc
+    });
+    assert!(checksum.is_finite());
+    assert_eq!(
+        n_alloc, 0,
+        "warm inference allocated {n_alloc} times over {rounds} encode+decode rounds"
+    );
+
+    // And the outputs of the warm path are the same every round (the loop
+    // above would have amplified any scratch-reuse corruption).
+    let mut latents2 = Vec::new();
+    let mut scratch2 = NnScratch::new();
+    model
+        .encode_blocks_into(&blocks, batch, &mut latents2, &mut scratch2)
+        .expect("shaped batch");
+    let a: Vec<u32> = latents.iter().map(|v| v.to_bits()).collect();
+    let b: Vec<u32> = latents2.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(a, b, "fresh scratch and warm scratch disagree");
+}

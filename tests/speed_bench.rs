@@ -3,11 +3,17 @@
 //! Every registered codec compresses and decompresses an 8 MB field
 //! (rank matched to what the codec supports) through the whole-field
 //! path — the same path the kernel rewrites in `crates/codec`,
-//! `crates/predictors`, `crates/baselines` and `crates/core` target.
-//! The measured MB/s land in `BENCH_speed.json` (CI's speed artifact),
-//! and `bench-floor.toml` records the per-codec floor: the test fails
-//! if any codec drops more than 20% below its floor, so a kernel
-//! regression breaks the build instead of silently eating the speedup.
+//! `crates/predictors`, `crates/baselines`, `crates/core` and the
+//! GEMM-lowered inference engine in `crates/nn` target. The measured
+//! MB/s land in `BENCH_speed.json` (CI's speed artifact) together with
+//! two informational extras: the rank-3-capable codecs re-measured on
+//! the same Nyx 128³ field AE-B runs on (`<codec>@nyx` rows, so the
+//! cross-codec comparison is same-field instead of same-size), and a
+//! per-layer time breakdown of the NN inference stacks. `bench-floor.toml`
+//! records the per-codec floor for the seven canonical rows: the test
+//! fails if any gated codec drops more than 20% below its floor, so a
+//! kernel regression breaks the build instead of silently eating the
+//! speedup. The `@nyx` rows are not gated.
 //!
 //! Timings only mean something under the optimized profile, so the
 //! suite is ignored in debug builds (CI runs it via
@@ -15,7 +21,8 @@
 
 use aesz_repro::datagen::Application;
 use aesz_repro::metrics::{CodecId, ErrorBound};
-use aesz_repro::Dims;
+use aesz_repro::nn::{AeConfig, ConvAutoencoder, NnScratch, Shape};
+use aesz_repro::{Dims, Field, Registry};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -35,12 +42,127 @@ fn key(id: CodecId) -> &'static str {
 }
 
 struct Measured {
-    id: CodecId,
+    key: String,
+    name: String,
     field_desc: String,
     raw_bytes: usize,
     stream_bytes: usize,
     compress_mbps: f64,
     decompress_mbps: f64,
+    /// Canonical rows are gated against `bench-floor.toml`; the same-field
+    /// `@nyx` comparison rows are informational.
+    gated: bool,
+}
+
+/// One whole-field compress + decompress round through a fresh fork.
+fn measure(
+    registry: &Registry,
+    id: CodecId,
+    field: &Field,
+    row_key: String,
+    field_desc: String,
+    gated: bool,
+) -> Measured {
+    let raw_bytes = field.len() * 4;
+    let bound = ErrorBound::rel(1e-3);
+    let mut codec = registry.fork(id).expect("every codec is registered");
+
+    let t0 = Instant::now();
+    let stream = codec.compress(field, bound).expect("compress");
+    let compress_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let recon = codec.decompress(&stream).expect("decompress");
+    let decompress_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        recon.dims(),
+        field.dims(),
+        "{id:?} round trip lost the dims"
+    );
+
+    let mbps = |secs: f64| raw_bytes as f64 / 1e6 / secs;
+    Measured {
+        key: row_key,
+        name: id.name().to_string(),
+        field_desc,
+        raw_bytes,
+        stream_bytes: stream.len(),
+        compress_mbps: mbps(compress_s),
+        decompress_mbps: mbps(decompress_s),
+        gated,
+    }
+}
+
+struct LayerTiming {
+    stack: &'static str,
+    label: String,
+    out_elems: usize,
+    ms_per_batch: f64,
+}
+
+/// Time each layer of the inference stacks on AE-B's model geometry
+/// (3D, block 16, channels [8, 8], latent 64) over a 16-block batch — the
+/// chunk size the AE compressors feed `infer_into` with. Untrained weights
+/// time exactly like trained ones (same shapes, same kernels).
+fn nn_layer_breakdown() -> Vec<LayerTiming> {
+    let model = ConvAutoencoder::new(AeConfig {
+        spatial_rank: 3,
+        block_size: 16,
+        latent_dim: 64,
+        channels: vec![8, 8],
+        variational: false,
+        seed: 7,
+    });
+    let batch = 16usize;
+    let block_len = model.config().block_len();
+    let blocks: Vec<f32> = (0..batch * block_len)
+        .map(|i| ((i as f32) * 0.37).sin())
+        .collect();
+    let latents = vec![0.25f32; batch * model.config().latent_dim];
+
+    let mut timings = Vec::new();
+    let stacks: [(&'static str, &aesz_repro::nn::Sequential, Vec<f32>, Shape); 2] = [
+        (
+            "encoder",
+            model.encoder_layers(),
+            blocks,
+            Shape::new(&[batch, 1, 16, 16, 16]),
+        ),
+        (
+            "decoder",
+            model.decoder_layers(),
+            latents,
+            Shape::new(&[batch, model.config().latent_dim]),
+        ),
+    ];
+    for (stack, seq, input, in_shape) in stacks {
+        let mut scratch = NnScratch::new();
+        let mut cur = input;
+        let mut shape = in_shape;
+        let mut out = Vec::new();
+        for (i, layer) in seq.layers().iter().enumerate() {
+            // Warm the scratch, then time steady-state repetitions.
+            let out_shape = layer
+                .infer_into(&cur, shape, &mut out, &mut scratch)
+                .expect("bench shapes are valid");
+            let reps = 5u32;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                layer
+                    .infer_into(&cur, shape, &mut out, &mut scratch)
+                    .expect("bench shapes are valid");
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+            timings.push(LayerTiming {
+                stack,
+                label: format!("{i}:{}", layer.name()),
+                out_elems: out_shape.len(),
+                ms_per_batch: ms,
+            });
+            std::mem::swap(&mut cur, &mut out);
+            shape = out_shape;
+        }
+    }
+    timings
 }
 
 /// Floors parsed from `bench-floor.toml`: `(codec key, compress, decompress)`.
@@ -88,8 +210,8 @@ fn per_codec_throughput_is_recorded_and_gated() {
     assert!(field_3d.len() * 4 >= 8 * 1024 * 1024);
 
     let registry = common::trained_registry();
-    let bound = ErrorBound::rel(1e-3);
 
+    // The seven canonical (gated) rows.
     let mut results: Vec<Measured> = Vec::new();
     for id in CodecId::all() {
         let (field, desc) = match id {
@@ -98,40 +220,52 @@ fn per_codec_throughput_is_recorded_and_gated() {
             CodecId::AeB => (&field_3d, format!("nyx-baryon {dims_3d}")),
             _ => (&field_2d, format!("cesm {dims_2d}")),
         };
-        let raw_bytes = field.len() * 4;
-        let mut codec = registry.fork(id).expect("every codec is registered");
-
-        let t0 = Instant::now();
-        let stream = codec.compress(field, bound).expect("compress");
-        let compress_s = t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        let recon = codec.decompress(&stream).expect("decompress");
-        let decompress_s = t0.elapsed().as_secs_f64();
-        assert_eq!(recon.dims(), field.dims(), "{id} round trip lost the dims");
-
-        let mbps = |secs: f64| raw_bytes as f64 / 1e6 / secs;
-        results.push(Measured {
+        results.push(measure(
+            &registry,
             id,
-            field_desc: desc,
-            raw_bytes,
-            stream_bytes: stream.len(),
-            compress_mbps: mbps(compress_s),
-            decompress_mbps: mbps(decompress_s),
-        });
+            field,
+            key(id).to_string(),
+            desc,
+            true,
+        ));
     }
 
-    // BENCH_speed.json: one object per codec, keyed by the stable name.
+    // Same-field comparison rows: every rank-3-capable codec on the exact
+    // field AE-B is measured on, so the cross-codec columns compare like
+    // with like (informational — no floors).
+    for id in [
+        CodecId::Sz2,
+        CodecId::Zfp,
+        CodecId::SzAuto,
+        CodecId::SzInterp,
+        CodecId::AeA,
+    ] {
+        results.push(measure(
+            &registry,
+            id,
+            &field_3d,
+            format!("{}@nyx", key(id)),
+            format!("nyx-baryon {dims_3d}"),
+            false,
+        ));
+    }
+
+    let layer_timings = nn_layer_breakdown();
+
+    // BENCH_speed.json: one object per codec row, keyed by the stable name,
+    // plus the per-layer NN inference breakdown.
     let mut json = String::from("{\n  \"bound\": \"rel 1e-3\",\n  \"codecs\": {\n");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         let _ = write!(
             json,
-            "    \"{}\": {{\n      \"name\": \"{}\", \"field\": \"{}\",\n      \
+            "    \"{}\": {{\n      \"name\": \"{}\", \"field\": \"{}\", \"gated\": {},\n      \
              \"raw_bytes\": {}, \"stream_bytes\": {},\n      \
              \"compress_mbps\": {:.2}, \"decompress_mbps\": {:.2}\n    }}{}\n",
-            key(m.id),
-            m.id.name(),
+            m.key,
+            m.name,
             m.field_desc,
+            m.gated,
             m.raw_bytes,
             m.stream_bytes,
             m.compress_mbps,
@@ -139,25 +273,46 @@ fn per_codec_throughput_is_recorded_and_gated() {
             comma,
         );
     }
+    json.push_str("  },\n");
+    json.push_str(
+        "  \"nn_layer_ms_per_16_block_batch\": {\n    \
+         \"model\": \"AE-B geometry: 3D, block 16, channels [8, 8], latent 64\",\n",
+    );
+    for (stack_i, stack) in ["encoder", "decoder"].iter().enumerate() {
+        let rows: Vec<&LayerTiming> = layer_timings.iter().filter(|t| t.stack == *stack).collect();
+        let _ = writeln!(json, "    \"{stack}\": [");
+        for (i, t) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{ \"layer\": \"{}\", \"out_elems\": {}, \"ms\": {:.3} }}{}",
+                t.label, t.out_elems, t.ms_per_batch, comma,
+            );
+        }
+        let comma = if stack_i == 0 { "," } else { "" };
+        let _ = writeln!(json, "    ]{comma}");
+    }
     json.push_str("  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_speed.json");
     std::fs::write(path, &json).expect("write BENCH_speed.json");
     println!("wrote {path}:\n{json}");
 
-    // The gate: every codec with a recorded floor must stay within 20% of
-    // it, in both directions.
+    // The gate: every gated codec must have a floor and stay within 20% of
+    // it, in both directions. Informational rows carry no floors.
     let floor_path = concat!(env!("CARGO_MANIFEST_DIR"), "/bench-floor.toml");
     let floors = parse_floors(&std::fs::read_to_string(floor_path).expect("read bench-floor.toml"));
-    assert_eq!(
-        floors.len(),
-        results.len(),
-        "bench-floor.toml must carry a floor for every codec"
-    );
+    for m in results.iter().filter(|m| m.gated) {
+        assert!(
+            floors.iter().any(|(name, _, _)| *name == m.key),
+            "bench-floor.toml is missing a floor for {}",
+            m.key
+        );
+    }
     let mut failures = String::new();
     for (name, floor_c, floor_d) in &floors {
         let m = results
             .iter()
-            .find(|m| key(m.id) == name)
+            .find(|m| m.gated && m.key == *name)
             .unwrap_or_else(|| panic!("bench-floor.toml names unknown codec {name:?}"));
         for (dir, measured, floor) in [
             ("compress", m.compress_mbps, *floor_c),
